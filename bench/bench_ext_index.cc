@@ -1,0 +1,144 @@
+// Extension experiment: answering CQs from a TPR-tree vs rebuilding a
+// snapshot grid index per evaluation.
+//
+// The paper notes LIRA "can be used in conjunction with many of the
+// existing update indexing ... techniques" and cites the TPR-tree. This
+// bench compares, on identical tracked state, the two server-side
+// evaluation strategies:
+//
+//   A. TPR-tree: apply each surviving update to the tree (incremental),
+//      answer every CQ with QueryAt(t) -- cost grows with the *update* rate
+//      and tree fan-out.
+//   B. Snapshot grid: on every evaluation, recompute all node positions at
+//      t and rebuild/refresh a uniform grid, then run the range queries --
+//      cost grows with n per evaluation regardless of the update rate.
+//
+// Both must return identical result sets (verified).
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "lira/index/grid_index.h"
+#include "lira/index/tpr_tree.h"
+#include "lira/motion/dead_reckoning.h"
+
+int main() {
+  using namespace lira;
+  World world = bench::MustBuildWorld();
+  bench::PrintWorldBanner(
+      world, "=== Extension: TPR-tree vs snapshot-grid query evaluation ===");
+
+  // Drive a LIRA-shedded update stream (z = 0.5) through both structures.
+  auto stats = StatisticsGrid::Create(world.world_rect(), 128);
+  for (NodeId id = 0; id < world.num_nodes(); ++id) {
+    stats->AddNode(world.trace.Position(0, id), world.trace.Speed(0, id));
+  }
+  stats->AddQueries(world.queries, world.reduction.delta_max());
+  const LiraPolicy policy(DefaultLiraConfig());
+  PolicyContext ctx;
+  ctx.stats = &*stats;
+  ctx.reduction = &world.reduction;
+  ctx.z = 0.5;
+  auto plan = policy.BuildPlan(ctx);
+  if (!plan.ok()) {
+    return 1;
+  }
+
+  DeadReckoningEncoder encoder(world.num_nodes());
+  PositionTracker tracker(world.num_nodes());
+  auto tpr = TprTree::Create();
+  // Inflate the grid's frame so its edge clamping never fires (vehicles on
+  // border roads can be predicted slightly outside the world; the TPR-tree
+  // does not clamp, so identical semantics need an un-clamped frame).
+  Rect frame = world.world_rect();
+  frame.min_x -= 500.0;
+  frame.min_y -= 500.0;
+  frame.max_x += 500.0;
+  frame.max_y += 500.0;
+  auto grid = GridIndex::Create(frame, 64, world.num_nodes());
+
+  double tpr_update_s = 0.0;
+  double tpr_query_s = 0.0;
+  double grid_rebuild_s = 0.0;
+  double grid_query_s = 0.0;
+  int64_t updates = 0;
+  int64_t evaluations = 0;
+  int64_t mismatches = 0;
+  using Clock = std::chrono::steady_clock;
+
+  for (int32_t frame = 0; frame < world.trace.num_frames(); ++frame) {
+    const double t = world.trace.TimeOf(frame);
+    for (NodeId id = 0; id < world.num_nodes(); ++id) {
+      const PositionSample sample = world.trace.Sample(frame, id);
+      auto update = encoder.Observe(sample, plan->DeltaAt(sample.position));
+      if (!update.has_value()) {
+        continue;
+      }
+      tracker.Apply(*update);
+      ++updates;
+      const auto start = Clock::now();
+      tpr->Update(update->node_id, update->model);
+      tpr_update_s += std::chrono::duration<double>(Clock::now() - start)
+                          .count();
+    }
+    if (frame % 5 != 0) {
+      continue;
+    }
+    ++evaluations;
+    // Strategy B: refresh the snapshot grid from the tracker.
+    {
+      const auto start = Clock::now();
+      for (NodeId id = 0; id < world.num_nodes(); ++id) {
+        const auto p = tracker.PredictAt(id, t);
+        if (p.has_value()) {
+          grid->Update(id, *p);
+        }
+      }
+      grid_rebuild_s +=
+          std::chrono::duration<double>(Clock::now() - start).count();
+    }
+    for (const RangeQuery& q : world.queries.queries()) {
+      const auto start_a = Clock::now();
+      std::vector<NodeId> via_tpr = tpr->QueryAt(q.range, t);
+      tpr_query_s +=
+          std::chrono::duration<double>(Clock::now() - start_a).count();
+      const auto start_b = Clock::now();
+      std::vector<NodeId> via_grid = grid->RangeQuery(q.range);
+      grid_query_s +=
+          std::chrono::duration<double>(Clock::now() - start_b).count();
+      std::sort(via_tpr.begin(), via_tpr.end());
+      std::sort(via_grid.begin(), via_grid.end());
+      if (via_tpr != via_grid) {
+        ++mismatches;
+      }
+    }
+  }
+
+  std::printf("updates applied: %lld, evaluations: %lld, queries/eval: %d\n",
+              static_cast<long long>(updates),
+              static_cast<long long>(evaluations), world.queries.size());
+  std::printf("result-set mismatches: %lld (must be 0)\n\n",
+              static_cast<long long>(mismatches));
+  TablePrinter table({"strategy", "maintain (ms)", "query (ms)",
+                      "total (ms)"},
+                     16);
+  table.PrintHeader();
+  table.PrintRow({"TPR-tree", TablePrinter::Num(tpr_update_s * 1e3, 4),
+                  TablePrinter::Num(tpr_query_s * 1e3, 4),
+                  TablePrinter::Num((tpr_update_s + tpr_query_s) * 1e3, 4)});
+  table.PrintRow(
+      {"snapshot grid", TablePrinter::Num(grid_rebuild_s * 1e3, 4),
+       TablePrinter::Num(grid_query_s * 1e3, 4),
+       TablePrinter::Num((grid_rebuild_s + grid_query_s) * 1e3, 4)});
+  std::printf(
+      "\n(observed trade-off: the snapshot grid's O(n) refresh is cheap at "
+      "this population, while TPR-tree maintenance pays R-tree "
+      "delete+reinsert per update -- it amortizes only when evaluations "
+      "are much more frequent than (shedded) updates or n is much larger; "
+      "both answer from motion models at arbitrary t, which the snapshot "
+      "grid cannot without a rebuild)\n");
+  return mismatches == 0 ? 0 : 1;
+}

@@ -1,0 +1,69 @@
+// Extension experiment: robustness to the mobility model.
+//
+// The paper's trace comes from trip-like traffic on a real map. Our default
+// substrate is a volume-weighted random walk; this bench re-runs the
+// headline comparison (z = 0.5, Proportional queries) on shortest-route
+// *trip* traffic and checks that the qualitative result -- Random Drop >>
+// Uniform Delta > LIRA -- is not an artifact of the mobility substitute.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+namespace {
+
+void RunOn(lira::MobilityModel mobility, const char* label) {
+  using namespace lira;
+  WorldConfig config = DefaultWorldConfig(2000);
+  config.trace_frames = 480;
+  config.mobility = mobility;
+  auto world = BuildWorld(config);
+  if (!world.ok()) {
+    std::fprintf(stderr, "%s\n", world.status().ToString().c_str());
+    std::exit(1);
+  }
+  std::printf("--- %s mobility: %d nodes, full rate %.1f upd/s ---\n", label,
+              world->num_nodes(), world->full_update_rate);
+
+  const RandomDropPolicy random_drop;
+  const UniformDeltaPolicy uniform;
+  const LiraPolicy lira(DefaultLiraConfig());
+  SimulationConfig sim = DefaultSimulationConfig();
+
+  TablePrinter table({"policy", "E^C_rr", "E^P_rr (m)", "rel E^C"}, 14);
+  table.PrintHeader();
+  const auto lira_result = bench::MustRun(*world, lira, 0.5, sim);
+  for (const auto& [policy, name] :
+       std::initializer_list<std::pair<const LoadSheddingPolicy*,
+                                       const char*>>{
+           {&random_drop, "RandomDrop"},
+           {&uniform, "UniformDelta"},
+           {&lira, "Lira"}}) {
+    const auto result = policy == &lira
+                            ? lira_result
+                            : bench::MustRun(*world, *policy, 0.5, sim);
+    table.PrintRow(
+        {name, TablePrinter::Num(result.metrics.mean_containment_error, 4),
+         TablePrinter::Num(result.metrics.mean_position_error, 4),
+         TablePrinter::Num(
+             bench::Relative(result.metrics.mean_containment_error,
+                             lira_result.metrics.mean_containment_error),
+             4)});
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "=== Extension: headline comparison under both mobility models "
+      "(z=0.5) ===\n\n");
+  RunOn(lira::MobilityModel::kRandomWalk, "random-walk");
+  RunOn(lira::MobilityModel::kTrips, "trip-based");
+  std::printf(
+      "(expected: the error ordering holds under both; absolute errors "
+      "differ because trip traffic is straighter -- fewer dead-reckoning "
+      "violations per km)\n");
+  return 0;
+}

@@ -1,0 +1,108 @@
+// Figures 4 and 5: mean position error E^P_rr (Fig. 4) and mean containment
+// error E^C_rr (Fig. 5) as a function of the throttle fraction z, for the
+// Proportional query distribution; all four approaches.
+//
+// Paper shapes to reproduce:
+//   * Random Drop >> Uniform Delta > Lira-Grid >= LIRA at every z;
+//   * relative errors (vs LIRA) explode as z -> 1 because LIRA's error
+//     approaches zero (it sheds from query-free regions first);
+//   * relative errors fall towards 1 as z shrinks (all threshold-based
+//     approaches converge to Delta_i = delta_max, around z ~ 0.25 here).
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace lira;
+  World world = bench::MustBuildWorld();
+  bench::PrintWorldBanner(
+      world, "=== Figures 4-5: error vs throttle fraction (Proportional) ===");
+
+  const LiraConfig lira_config = DefaultLiraConfig();
+  const RandomDropPolicy random_drop;
+  const UniformDeltaPolicy uniform;
+  const LiraGridPolicy lira_grid(lira_config);
+  const LiraPolicy lira(lira_config);
+
+  const std::vector<double> zs = {0.3, 0.4, 0.5, 0.6, 0.75, 0.9};
+
+  struct Row {
+    double z;
+    SimulationResult drop, uniform, grid, lira;
+  };
+  std::vector<Row> rows;
+  for (double z : zs) {
+    Row row;
+    row.z = z;
+    row.drop = bench::MustRun(world, random_drop, z);
+    row.uniform = bench::MustRun(world, uniform, z);
+    row.grid = bench::MustRun(world, lira_grid, z);
+    row.lira = bench::MustRun(world, lira, z);
+    rows.push_back(std::move(row));
+  }
+
+  std::printf("--- Figure 4: mean position error E^P_rr (meters) ---\n");
+  TablePrinter p({"z", "RandomDrop", "Uniform", "Lira-Grid", "Lira",
+                  "rel(Drop)", "rel(Unif)", "rel(Grid)"},
+                 12);
+  p.PrintHeader();
+  for (const Row& row : rows) {
+    const double base = row.lira.metrics.mean_position_error;
+    p.PrintRow({TablePrinter::Num(row.z, 3),
+                TablePrinter::Num(row.drop.metrics.mean_position_error, 4),
+                TablePrinter::Num(row.uniform.metrics.mean_position_error, 4),
+                TablePrinter::Num(row.grid.metrics.mean_position_error, 4),
+                TablePrinter::Num(base, 4),
+                TablePrinter::Num(
+                    bench::Relative(row.drop.metrics.mean_position_error,
+                                    base),
+                    4),
+                TablePrinter::Num(
+                    bench::Relative(row.uniform.metrics.mean_position_error,
+                                    base),
+                    4),
+                TablePrinter::Num(
+                    bench::Relative(row.grid.metrics.mean_position_error,
+                                    base),
+                    4)});
+  }
+
+  std::printf("\n--- Figure 5: mean containment error E^C_rr ---\n");
+  TablePrinter c({"z", "RandomDrop", "Uniform", "Lira-Grid", "Lira",
+                  "rel(Drop)", "rel(Unif)", "rel(Grid)"},
+                 12);
+  c.PrintHeader();
+  for (const Row& row : rows) {
+    const double base = row.lira.metrics.mean_containment_error;
+    c.PrintRow(
+        {TablePrinter::Num(row.z, 3),
+         TablePrinter::Num(row.drop.metrics.mean_containment_error, 4),
+         TablePrinter::Num(row.uniform.metrics.mean_containment_error, 4),
+         TablePrinter::Num(row.grid.metrics.mean_containment_error, 4),
+         TablePrinter::Num(base, 4),
+         TablePrinter::Num(
+             bench::Relative(row.drop.metrics.mean_containment_error, base),
+             4),
+         TablePrinter::Num(
+             bench::Relative(row.uniform.metrics.mean_containment_error,
+                             base),
+             4),
+         TablePrinter::Num(
+             bench::Relative(row.grid.metrics.mean_containment_error, base),
+             4)});
+  }
+
+  // Budget adherence of the source-actuated approaches.
+  std::printf("\nmeasured update fraction (target = z):\n");
+  TablePrinter b({"z", "Uniform", "Lira-Grid", "Lira"}, 12);
+  b.PrintHeader();
+  for (const Row& row : rows) {
+    b.PrintRow({TablePrinter::Num(row.z, 3),
+                TablePrinter::Num(row.uniform.measured_update_fraction, 3),
+                TablePrinter::Num(row.grid.measured_update_fraction, 3),
+                TablePrinter::Num(row.lira.measured_update_fraction, 3)});
+  }
+  return 0;
+}

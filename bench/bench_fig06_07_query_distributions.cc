@@ -1,0 +1,65 @@
+// Figures 6 and 7: mean containment error E^C_rr vs throttle fraction for
+// the Inverse (Fig. 6) and Random (Fig. 7) query distributions.
+//
+// Paper shape: same ordering as the Proportional case; the advantage of
+// LIRA over the baselines is slightly smaller than under the Proportional
+// distribution but remains clear.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+
+namespace {
+
+void RunDistribution(lira::QueryDistribution distribution,
+                     const char* figure) {
+  using namespace lira;
+  World world = bench::MustBuildWorld(distribution);
+  std::printf("--- %s: E^C_rr vs z (%s query distribution) ---\n", figure,
+              QueryDistributionName(distribution).data());
+  std::printf("queries=%d\n", world.queries.size());
+
+  const LiraConfig lira_config = DefaultLiraConfig();
+  const RandomDropPolicy random_drop;
+  const UniformDeltaPolicy uniform;
+  const LiraGridPolicy lira_grid(lira_config);
+  const LiraPolicy lira(lira_config);
+
+  TablePrinter table({"z", "RandomDrop", "Uniform", "Lira-Grid", "Lira",
+                      "rel(Drop)", "rel(Unif)", "rel(Grid)"},
+                     12);
+  table.PrintHeader();
+  for (double z : {0.3, 0.4, 0.5, 0.6, 0.75, 0.9}) {
+    const auto drop = bench::MustRun(world, random_drop, z);
+    const auto unif = bench::MustRun(world, uniform, z);
+    const auto grid = bench::MustRun(world, lira_grid, z);
+    const auto full = bench::MustRun(world, lira, z);
+    const double base = full.metrics.mean_containment_error;
+    table.PrintRow(
+        {TablePrinter::Num(z, 3),
+         TablePrinter::Num(drop.metrics.mean_containment_error, 4),
+         TablePrinter::Num(unif.metrics.mean_containment_error, 4),
+         TablePrinter::Num(grid.metrics.mean_containment_error, 4),
+         TablePrinter::Num(base, 4),
+         TablePrinter::Num(
+             bench::Relative(drop.metrics.mean_containment_error, base), 4),
+         TablePrinter::Num(
+             bench::Relative(unif.metrics.mean_containment_error, base), 4),
+         TablePrinter::Num(
+             bench::Relative(grid.metrics.mean_containment_error, base),
+             4)});
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "=== Figures 6-7: containment error under Inverse / Random query "
+      "distributions ===\n\n");
+  RunDistribution(lira::QueryDistribution::kInverse, "Figure 6");
+  RunDistribution(lira::QueryDistribution::kRandom, "Figure 7");
+  return 0;
+}

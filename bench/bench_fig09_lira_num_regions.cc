@@ -1,0 +1,40 @@
+// Figure 9: mean containment error of LIRA as a function of the number of
+// shedding regions l, for different throttle fractions.
+//
+// Paper shapes: error falls as l grows and then stabilizes (diminishing
+// accuracy gain); the reduction is more pronounced for larger z; the
+// default l = 250 sits on the flat part of the curve (a conservative
+// setting).
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace lira;
+  World world = bench::MustBuildWorld();
+  bench::PrintWorldBanner(world,
+                          "=== Figure 9: LIRA E^C_rr vs l for different z ===");
+
+  const std::vector<int32_t> ls = {4, 16, 49, 100, 250, 625, 1024};
+  const std::vector<double> zs = {0.3, 0.5, 0.7};
+
+  TablePrinter table({"l", "z=0.3", "z=0.5", "z=0.7"}, 14);
+  table.PrintHeader();
+  for (int32_t l : ls) {
+    LiraConfig config = DefaultLiraConfig();
+    config.l = l;
+    const LiraPolicy lira(config);
+    std::vector<std::string> row = {TablePrinter::Num(l, 5)};
+    for (double z : zs) {
+      row.push_back(TablePrinter::Num(
+          bench::MustRun(world, lira, z).metrics.mean_containment_error, 4));
+    }
+    table.PrintRow(row);
+  }
+  std::printf(
+      "\n(paper: error decreases then stabilizes in l; stronger effect for "
+      "larger z)\n");
+  return 0;
+}

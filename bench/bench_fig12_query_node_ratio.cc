@@ -1,0 +1,55 @@
+// Figure 12: containment error of Uniform Delta relative to LIRA for
+// different query-to-node ratios m/n, as a function of l (z = 0.5).
+//
+// Paper shapes: LIRA's relative advantage is roughly an order of magnitude
+// larger at m/n = 0.01 than at m/n = 0.1 (fewer queries leave more
+// query-free regions to shed from), but LIRA still roughly halves the error
+// even at m/n = 0.1.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace lira;
+  std::printf(
+      "=== Figure 12: Uniform-Delta E^C_rr relative to LIRA vs l, for m/n "
+      "in {0.01, 0.1} (z=0.5) ===\n\n");
+
+  const std::vector<int32_t> ls = {49, 100, 250, 625};
+  TablePrinter table({"l", "m/n=0.01", "m/n=0.1"}, 14);
+  std::vector<std::vector<std::string>> rows(
+      ls.size(), std::vector<std::string>(3));
+  for (size_t i = 0; i < ls.size(); ++i) {
+    rows[i][0] = TablePrinter::Num(ls[i], 5);
+  }
+
+  int column = 1;
+  for (double ratio : {0.01, 0.1}) {
+    World world =
+        bench::MustBuildWorld(QueryDistribution::kProportional, ratio);
+    const UniformDeltaPolicy uniform;
+    const auto uniform_result = bench::MustRun(world, uniform, 0.5);
+    for (size_t i = 0; i < ls.size(); ++i) {
+      LiraConfig config = DefaultLiraConfig();
+      config.l = ls[i];
+      const LiraPolicy lira(config);
+      const auto lira_result = bench::MustRun(world, lira, 0.5);
+      rows[i][column] = TablePrinter::Num(
+          bench::Relative(uniform_result.metrics.mean_containment_error,
+                          lira_result.metrics.mean_containment_error),
+          4);
+    }
+    ++column;
+  }
+
+  table.PrintHeader();
+  for (const auto& row : rows) {
+    table.PrintRow(row);
+  }
+  std::printf(
+      "\n(values > 1: Uniform Delta is worse than LIRA; paper: much larger "
+      "ratios at m/n = 0.01 than 0.1)\n");
+  return 0;
+}

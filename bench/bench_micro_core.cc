@@ -1,0 +1,160 @@
+// Micro-benchmarks (google-benchmark) of the hot paths: GREEDYINCREMENT,
+// GRIDREDUCE (incl. quad-tree build), statistics-grid maintenance, grid-
+// index updates/queries, and dead-reckoning encoding. These back the
+// "lightweight by design" claim with per-operation numbers.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "lira/common/rng.h"
+#include "lira/core/greedy_increment.h"
+#include "lira/core/grid_reduce.h"
+#include "lira/core/quad_hierarchy.h"
+#include "lira/core/statistics_grid.h"
+#include "lira/index/grid_index.h"
+#include "lira/motion/dead_reckoning.h"
+#include "lira/motion/update_reduction.h"
+
+namespace lira {
+namespace {
+
+constexpr Rect kWorld{0.0, 0.0, 14000.0, 14000.0};
+
+const PiecewiseLinearReduction& Reduction() {
+  static const PiecewiseLinearReduction* f = [] {
+    auto analytic = AnalyticReduction::Create(5.0, 100.0, 0.7, 1.0);
+    auto pwl = PiecewiseLinearReduction::SampleFunction(
+        5.0, 100.0, 95, [&](double d) { return analytic->Eval(d); });
+    return new PiecewiseLinearReduction(*std::move(pwl));
+  }();
+  return *f;
+}
+
+std::vector<RegionStats> RandomRegions(int l, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<RegionStats> regions(l);
+  for (RegionStats& r : regions) {
+    r.n = rng.Uniform(0.0, 200.0);
+    r.m = rng.Bernoulli(0.3) ? rng.Uniform(0.1, 3.0) : 0.0;
+    r.s = rng.Uniform(3.0, 28.0);
+  }
+  return regions;
+}
+
+StatisticsGrid RandomGrid(int32_t alpha, uint64_t seed) {
+  auto grid = StatisticsGrid::Create(kWorld, alpha);
+  Rng rng(seed);
+  for (int i = 0; i < 4000; ++i) {
+    // Clustered population: half in a town corner.
+    const bool town = rng.Bernoulli(0.5);
+    const double span = town ? 3000.0 : 14000.0;
+    grid->AddNode({rng.Uniform(0.0, span), rng.Uniform(0.0, span)},
+                  rng.Uniform(3.0, 28.0));
+  }
+  QueryRegistry queries;
+  for (int i = 0; i < 40; ++i) {
+    const double side = rng.Uniform(500.0, 1000.0);
+    queries.Add(Rect::CenteredAt({rng.Uniform(side / 2, 14000.0 - side / 2),
+                                  rng.Uniform(side / 2, 14000.0 - side / 2)},
+                                 side));
+  }
+  grid->AddQueries(queries);
+  return *std::move(grid);
+}
+
+void BM_GreedyIncrement(benchmark::State& state) {
+  const auto regions = RandomRegions(static_cast<int>(state.range(0)), 7);
+  GreedyIncrementConfig config;
+  config.z = 0.5;
+  config.fairness_threshold = 50.0;
+  for (auto _ : state) {
+    auto result = RunGreedyIncrement(regions, Reduction(), config);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetLabel("l=" + std::to_string(state.range(0)));
+}
+BENCHMARK(BM_GreedyIncrement)->Arg(16)->Arg(100)->Arg(250)->Arg(1000);
+
+void BM_QuadHierarchyBuild(benchmark::State& state) {
+  const StatisticsGrid grid =
+      RandomGrid(static_cast<int32_t>(state.range(0)), 11);
+  for (auto _ : state) {
+    QuadHierarchy tree = QuadHierarchy::Build(grid);
+    benchmark::DoNotOptimize(tree);
+  }
+  state.SetLabel("alpha=" + std::to_string(state.range(0)));
+}
+BENCHMARK(BM_QuadHierarchyBuild)->Arg(64)->Arg(128)->Arg(256)->Arg(512);
+
+void BM_GridReduce(benchmark::State& state) {
+  const StatisticsGrid grid = RandomGrid(128, 13);
+  const QuadHierarchy tree = QuadHierarchy::Build(grid);
+  GridReduceConfig config;
+  config.l = static_cast<int32_t>(state.range(0));
+  config.z = 0.5;
+  for (auto _ : state) {
+    auto regions = GridReduce(tree, Reduction(), config);
+    benchmark::DoNotOptimize(regions);
+  }
+  state.SetLabel("l=" + std::to_string(state.range(0)));
+}
+BENCHMARK(BM_GridReduce)->Arg(16)->Arg(100)->Arg(250)->Arg(1000);
+
+void BM_StatisticsGridAddNode(benchmark::State& state) {
+  auto grid = StatisticsGrid::Create(kWorld, 128);
+  Rng rng(17);
+  for (auto _ : state) {
+    grid->AddNode({rng.Uniform(0.0, 14000.0), rng.Uniform(0.0, 14000.0)},
+                  10.0);
+  }
+}
+BENCHMARK(BM_StatisticsGridAddNode);
+
+void BM_GridIndexUpdate(benchmark::State& state) {
+  auto index = GridIndex::Create(kWorld, 64, 4000);
+  Rng rng(19);
+  for (NodeId id = 0; id < 4000; ++id) {
+    index->Update(id, {rng.Uniform(0.0, 14000.0), rng.Uniform(0.0, 14000.0)});
+  }
+  NodeId id = 0;
+  for (auto _ : state) {
+    index->Update(id, {rng.Uniform(0.0, 14000.0), rng.Uniform(0.0, 14000.0)});
+    id = (id + 1) % 4000;
+  }
+}
+BENCHMARK(BM_GridIndexUpdate);
+
+void BM_GridIndexRangeQuery(benchmark::State& state) {
+  auto index = GridIndex::Create(kWorld, 64, 4000);
+  Rng rng(23);
+  for (NodeId id = 0; id < 4000; ++id) {
+    index->Update(id, {rng.Uniform(0.0, 14000.0), rng.Uniform(0.0, 14000.0)});
+  }
+  for (auto _ : state) {
+    const Point c{rng.Uniform(500.0, 13500.0), rng.Uniform(500.0, 13500.0)};
+    auto result = index->RangeQuery(Rect::CenteredAt(c, 1000.0));
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_GridIndexRangeQuery);
+
+void BM_DeadReckoningObserve(benchmark::State& state) {
+  DeadReckoningEncoder encoder(4000);
+  Rng rng(29);
+  PositionSample sample;
+  double t = 0.0;
+  for (auto _ : state) {
+    sample.node_id = static_cast<NodeId>(rng.UniformInt(4000));
+    sample.time = (t += 0.001);
+    sample.position = {rng.Uniform(0.0, 14000.0), rng.Uniform(0.0, 14000.0)};
+    sample.velocity = {10.0, 0.0};
+    benchmark::DoNotOptimize(encoder.Observe(sample, 25.0));
+  }
+}
+BENCHMARK(BM_DeadReckoningObserve);
+
+}  // namespace
+}  // namespace lira
+
+BENCHMARK_MAIN();

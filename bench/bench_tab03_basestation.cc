@@ -1,0 +1,87 @@
+// Table 3: average number of shedding regions known per base station as a
+// function of the coverage radius, plus the paper's density-dependent
+// placement argument (Section 4.3.2).
+//
+// Paper reference: radii 1..5 km give ~3.1 / 12.5 / 28.2 / 50.2 / 78.5
+// regions per station for l = 250 over ~200 km^2; with density-dependent
+// placement each node's station knows ~41 regions -> 656-byte broadcast
+// payload, under the 1472-byte UDP-over-Ethernet budget.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "lira/basestation/base_station.h"
+#include "lira/basestation/broadcast.h"
+
+int main() {
+  using namespace lira;
+  World world = bench::MustBuildWorld();
+  bench::PrintWorldBanner(world,
+                          "=== Table 3: shedding regions per base station ===");
+
+  // Build the default LIRA plan from a mid-trace snapshot.
+  auto stats = StatisticsGrid::Create(world.world_rect(), 128);
+  const int32_t frame = world.trace.num_frames() / 2;
+  for (NodeId id = 0; id < world.num_nodes(); ++id) {
+    stats->AddNode(world.trace.Position(frame, id),
+                   world.trace.Speed(frame, id));
+  }
+  stats->AddQueries(world.queries);
+  const LiraPolicy policy(DefaultLiraConfig());
+  PolicyContext ctx;
+  ctx.stats = &*stats;
+  ctx.reduction = &world.reduction;
+  ctx.z = 0.5;
+  auto plan = policy.BuildPlan(ctx);
+  if (!plan.ok()) {
+    std::fprintf(stderr, "%s\n", plan.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("plan: l = %d shedding regions\n\n", plan->NumRegions());
+
+  std::printf("--- uniform placement: regions per station vs radius ---\n");
+  TablePrinter table({"radius (km)", "stations", "mean regions",
+                      "max regions", "payload (B)"},
+                     14);
+  table.PrintHeader();
+  for (double radius_km : {1.0, 2.0, 3.0, 4.0, 5.0}) {
+    auto stations = UniformPlacement(world.world_rect(), radius_km * 1000.0);
+    if (!stations.ok()) {
+      return 1;
+    }
+    const BroadcastCost cost = ComputeBroadcastCost(*plan, *stations);
+    table.PrintRow({TablePrinter::Num(radius_km, 3),
+                    TablePrinter::Num(cost.num_stations, 5),
+                    TablePrinter::Num(cost.mean_regions_per_station, 4),
+                    TablePrinter::Num(cost.max_regions_per_station, 4),
+                    TablePrinter::Num(cost.mean_payload_bytes, 5)});
+  }
+
+  std::printf(
+      "\n--- density-dependent placement (smaller cells where users are "
+      "dense) ---\n");
+  DensityPlacementConfig density_config;
+  density_config.target_nodes_per_station =
+      world.num_nodes() / 30.0;  // ~30 stations
+  auto stations = DensityAwarePlacement(*stats, density_config);
+  if (!stations.ok()) {
+    return 1;
+  }
+  std::vector<Point> node_positions;
+  for (NodeId id = 0; id < world.num_nodes(); ++id) {
+    node_positions.push_back(world.trace.Position(frame, id));
+  }
+  const double per_node =
+      MeanRegionsPerNode(*plan, *stations, node_positions);
+  const BroadcastCost cost = ComputeBroadcastCost(*plan, *stations);
+  std::printf(
+      "stations=%d  mean regions/station=%.1f  mean regions known per "
+      "node=%.1f  payload=%.0f bytes (paper: ~41 regions, 656 B; UDP "
+      "budget 1472 B)\n",
+      cost.num_stations, cost.mean_regions_per_station, per_node,
+      per_node * kBytesPerRegion);
+  std::printf("node-weighted payload %s the single-packet UDP budget\n",
+              per_node * kBytesPerRegion <= 1472.0 ? "fits" : "EXCEEDS");
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Shared helpers for the bench binaries that regenerate the paper's tables
+// and figures. Every bench prints the experimental setup, then the rows of
+// the corresponding figure/table.
+
+#ifndef LIRA_BENCH_BENCH_UTIL_H_
+#define LIRA_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "lira/core/policy.h"
+#include "lira/sim/experiment.h"
+#include "lira/sim/simulation.h"
+#include "lira/sim/world.h"
+
+namespace lira::bench {
+
+/// Bench-scale defaults: the paper's parameter ratios (Table 2) on a
+/// laptop-sized population.
+inline constexpr int32_t kBenchNodes = 3000;
+inline constexpr int32_t kBenchFrames = 600;
+
+/// Builds a world variant; exits the process on failure (benches are
+/// top-level binaries).
+inline World MustBuildWorld(
+    QueryDistribution distribution = QueryDistribution::kProportional,
+    double query_node_ratio = 0.01, double query_side = 1000.0,
+    int32_t num_nodes = kBenchNodes, int32_t frames = kBenchFrames,
+    uint64_t seed = 42) {
+  WorldConfig config = DefaultWorldConfig(num_nodes);
+  config.trace_frames = frames;
+  config.query_distribution = distribution;
+  config.query_node_ratio = query_node_ratio;
+  config.query_side_length = query_side;
+  config.seed = seed;
+  auto world = BuildWorld(config);
+  if (!world.ok()) {
+    std::fprintf(stderr, "BuildWorld failed: %s\n",
+                 world.status().ToString().c_str());
+    std::exit(1);
+  }
+  return *std::move(world);
+}
+
+/// Runs one policy at throttle fraction z; exits on failure.
+inline SimulationResult MustRun(const World& world,
+                                const LoadSheddingPolicy& policy, double z,
+                                SimulationConfig config =
+                                    DefaultSimulationConfig()) {
+  config.z = z;
+  auto result = RunSimulation(world, policy, config);
+  if (!result.ok()) {
+    std::fprintf(stderr, "RunSimulation(%s, z=%.2f) failed: %s\n",
+                 policy.name().data(), z, result.status().ToString().c_str());
+    std::exit(1);
+  }
+  return *std::move(result);
+}
+
+/// Guards relative-error ratios against division by ~0 (LIRA's error is
+/// essentially zero near z = 1, which is exactly the paper's point).
+inline double Relative(double err, double base) {
+  return err / (base > 1e-12 ? base : 1e-12);
+}
+
+inline void PrintWorldBanner(const World& world, const char* title) {
+  std::printf("%s\n", title);
+  std::printf(
+      "world: %.0f km^2, %d nodes, %d queries, full update rate "
+      "%.1f upd/s\n\n",
+      world.world_rect().Area() / 1e6, world.num_nodes(),
+      world.queries.size(), world.full_update_rate);
+}
+
+}  // namespace lira::bench
+
+#endif  // LIRA_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,167 @@
+// Interactive parameter explorer: run any policy at any operating point
+// from the command line and print the full result record.
+//
+//   explore [--policy Lira|Lira-Grid|UniformDelta|RandomDrop]
+//           [--z 0.5] [--l 250] [--fairness 50] [--nodes 3000]
+//           [--distribution Proportional|Inverse|Random]
+//           [--mobility walk|trips] [--auto-throttle]
+//           [--capacity-fraction 0.5] [--history] [--seed 42]
+//
+// Example: explore --policy Lira --z 0.4 --l 100 --fairness 25 --history
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "lira/core/policy.h"
+#include "lira/sim/experiment.h"
+#include "lira/sim/simulation.h"
+#include "lira/sim/world.h"
+
+namespace {
+
+[[noreturn]] void Usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--policy NAME] [--z Z] [--l L] [--fairness D]\n"
+      "          [--nodes N] [--distribution NAME] [--mobility walk|trips]\n"
+      "          [--auto-throttle] [--capacity-fraction C] [--history]\n"
+      "          [--seed S]\n",
+      argv0);
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace lira;
+  std::string policy_name = "Lira";
+  double z = 0.5;
+  LiraConfig lira_config = DefaultLiraConfig();
+  int32_t nodes = 3000;
+  QueryDistribution distribution = QueryDistribution::kProportional;
+  MobilityModel mobility = MobilityModel::kRandomWalk;
+  bool auto_throttle = false;
+  double capacity_fraction = 0.0;
+  bool history = false;
+  uint64_t seed = 42;
+
+  for (int i = 1; i < argc; ++i) {
+    auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", flag);
+        Usage(argv[0]);
+      }
+      return argv[++i];
+    };
+    if (!std::strcmp(argv[i], "--policy")) {
+      policy_name = next("--policy");
+    } else if (!std::strcmp(argv[i], "--z")) {
+      z = std::atof(next("--z"));
+    } else if (!std::strcmp(argv[i], "--l")) {
+      lira_config.l = std::atoi(next("--l"));
+    } else if (!std::strcmp(argv[i], "--fairness")) {
+      lira_config.fairness_threshold = std::atof(next("--fairness"));
+    } else if (!std::strcmp(argv[i], "--nodes")) {
+      nodes = std::atoi(next("--nodes"));
+    } else if (!std::strcmp(argv[i], "--distribution")) {
+      const std::string name = next("--distribution");
+      if (name == "Proportional") {
+        distribution = QueryDistribution::kProportional;
+      } else if (name == "Inverse") {
+        distribution = QueryDistribution::kInverse;
+      } else if (name == "Random") {
+        distribution = QueryDistribution::kRandom;
+      } else {
+        Usage(argv[0]);
+      }
+    } else if (!std::strcmp(argv[i], "--mobility")) {
+      const std::string name = next("--mobility");
+      if (name == "walk") {
+        mobility = MobilityModel::kRandomWalk;
+      } else if (name == "trips") {
+        mobility = MobilityModel::kTrips;
+      } else {
+        Usage(argv[0]);
+      }
+    } else if (!std::strcmp(argv[i], "--auto-throttle")) {
+      auto_throttle = true;
+    } else if (!std::strcmp(argv[i], "--capacity-fraction")) {
+      capacity_fraction = std::atof(next("--capacity-fraction"));
+    } else if (!std::strcmp(argv[i], "--history")) {
+      history = true;
+    } else if (!std::strcmp(argv[i], "--seed")) {
+      seed = std::strtoull(next("--seed"), nullptr, 10);
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", argv[i]);
+      Usage(argv[0]);
+    }
+  }
+
+  WorldConfig world_config = DefaultWorldConfig(nodes);
+  world_config.query_distribution = distribution;
+  world_config.mobility = mobility;
+  world_config.seed = seed;
+  auto world = BuildWorld(world_config);
+  if (!world.ok()) {
+    std::fprintf(stderr, "BuildWorld: %s\n",
+                 world.status().ToString().c_str());
+    return 1;
+  }
+
+  auto policy = MakePolicy(policy_name, lira_config);
+  if (!policy.ok()) {
+    std::fprintf(stderr, "%s\n", policy.status().ToString().c_str());
+    return 1;
+  }
+
+  SimulationConfig sim = DefaultSimulationConfig();
+  sim.z = z;
+  sim.auto_throttle = auto_throttle;
+  sim.evaluate_history = history;
+  if (capacity_fraction > 0.0) {
+    sim.service_rate_override = capacity_fraction * world->full_update_rate;
+  }
+  auto result = RunSimulation(*world, **policy, sim);
+  if (!result.ok()) {
+    std::fprintf(stderr, "RunSimulation: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("world:    %d nodes, %d queries (%s, %s mobility), full rate "
+              "%.1f upd/s\n",
+              world->num_nodes(), world->queries.size(),
+              QueryDistributionName(distribution).data(),
+              mobility == MobilityModel::kTrips ? "trip" : "random-walk",
+              world->full_update_rate);
+  std::printf("policy:   %s  z=%.3f%s  l=%d  fairness=%.0f m\n",
+              policy_name.c_str(), result->final_z,
+              auto_throttle ? " (auto)" : "", lira_config.l,
+              lira_config.fairness_threshold);
+  std::printf("accuracy: E^C=%.5f  E^P=%.3f m  D^C=%.5f  C^C=%.3f\n",
+              result->metrics.mean_containment_error,
+              result->metrics.mean_position_error,
+              result->metrics.containment_error_stddev,
+              result->metrics.containment_error_cov);
+  std::printf("load:     sent=%lld dropped=%lld applied=%lld  "
+              "update-fraction=%.3f (target %.3f)\n",
+              static_cast<long long>(result->updates_sent),
+              static_cast<long long>(result->updates_dropped),
+              static_cast<long long>(result->updates_applied),
+              result->measured_update_fraction, result->final_z);
+  std::printf("plan:     %d regions, deltas [%.1f, %.1f] m, %lld builds "
+              "(avg %.2f ms)\n",
+              result->final_plan_regions, result->final_plan_min_delta,
+              result->final_plan_max_delta,
+              static_cast<long long>(result->plan_builds),
+              result->mean_plan_build_seconds * 1e3);
+  if (history) {
+    std::printf("history:  E^C=%.5f  E^P=%.3f m  store=%.2f MB\n",
+                result->historical_containment_error,
+                result->historical_position_error,
+                result->history_bytes / 1e6);
+  }
+  return 0;
+}

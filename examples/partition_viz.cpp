@@ -1,0 +1,117 @@
+// Partition visualizer: renders the (alpha, l)-partitioning and the update
+// throttlers LIRA assigns, as ASCII art. Optional arguments:
+//
+//   partition_viz [l] [z]     (defaults: l = 100, z = 0.5)
+//
+// The throttler map uses one letter per display cell: 'a' = delta_min ...
+// 'z' = delta_max, so dark-letter patches are the regions LIRA sheds
+// hardest (many nodes, few queries).
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "lira/core/policy.h"
+#include "lira/sim/experiment.h"
+#include "lira/sim/world.h"
+
+int main(int argc, char** argv) {
+  using namespace lira;
+  const int32_t l = argc > 1 ? std::atoi(argv[1]) : 100;
+  const double z = argc > 2 ? std::atof(argv[2]) : 0.5;
+  if (l < 1 || l % 3 != 1 || z < 0.0 || z > 1.0) {
+    std::fprintf(stderr,
+                 "usage: %s [l] [z]   (l mod 3 == 1, z in [0,1])\n",
+                 argv[0]);
+    return 2;
+  }
+
+  WorldConfig config = DefaultWorldConfig(/*num_nodes=*/2000);
+  config.trace_frames = 240;
+  auto world = BuildWorld(config);
+  if (!world.ok()) {
+    std::fprintf(stderr, "%s\n", world.status().ToString().c_str());
+    return 1;
+  }
+
+  auto stats = StatisticsGrid::Create(world->world_rect(),
+                                      StatisticsGrid::RecommendedAlpha(l));
+  const int32_t frame = world->trace.num_frames() - 1;
+  for (NodeId id = 0; id < world->num_nodes(); ++id) {
+    stats->AddNode(world->trace.Position(frame, id),
+                   world->trace.Speed(frame, id));
+  }
+  stats->AddQueries(world->queries, world->reduction.delta_max());
+
+  LiraConfig lira_config = DefaultLiraConfig();
+  lira_config.l = l;
+  const LiraPolicy policy(lira_config);
+  PolicyContext ctx;
+  ctx.stats = &*stats;
+  ctx.reduction = &world->reduction;
+  ctx.z = z;
+  auto plan = policy.BuildPlan(ctx);
+  if (!plan.ok()) {
+    std::fprintf(stderr, "%s\n", plan.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf(
+      "LIRA plan: l=%d regions (alpha=%d), z=%.2f, throttlers in "
+      "[%.1f, %.1f] m, planned InAcc=%.1f\n\n",
+      plan->NumRegions(), stats->alpha(), z, plan->MinDelta(),
+      plan->MaxDelta(), plan->Inaccuracy());
+  std::printf("update throttler map ('a'=%.0f m ... 'z'=%.0f m; '#' marks "
+              "query areas):\n",
+              world->reduction.delta_min(), world->reduction.delta_max());
+
+  constexpr int kDisplay = 52;
+  const double d_min = world->reduction.delta_min();
+  const double d_max = world->reduction.delta_max();
+  for (int dy = kDisplay - 1; dy >= 0; --dy) {
+    std::putchar(' ');
+    for (int dx = 0; dx < kDisplay; ++dx) {
+      const Point p{
+          world->world_rect().width() * (dx + 0.5) / kDisplay,
+          world->world_rect().height() * (dy + 0.5) / kDisplay};
+      bool in_query = false;
+      for (const RangeQuery& q : world->queries.queries()) {
+        if (q.range.Contains(p)) {
+          in_query = true;
+          break;
+        }
+      }
+      if (in_query) {
+        std::putchar('#');
+        continue;
+      }
+      const double delta = plan->DeltaAt(p);
+      const int letter = static_cast<int>(
+          std::lround(25.0 * (delta - d_min) / (d_max - d_min)));
+      std::putchar(static_cast<char>('a' + std::clamp(letter, 0, 25)));
+    }
+    std::putchar('\n');
+  }
+
+  // Throttler histogram.
+  std::printf("\nthrottler distribution over regions:\n");
+  constexpr int kBins = 10;
+  int counts[kBins] = {0};
+  for (const SheddingRegion& region : plan->regions()) {
+    const int bin = std::clamp(
+        static_cast<int>(kBins * (region.delta - d_min) /
+                         (d_max - d_min + 1e-9)),
+        0, kBins - 1);
+    ++counts[bin];
+  }
+  for (int b = 0; b < kBins; ++b) {
+    std::printf("  [%5.1f, %5.1f) m: %3d ", d_min + b * (d_max - d_min) / kBins,
+                d_min + (b + 1) * (d_max - d_min) / kBins, counts[b]);
+    for (int star = 0; star < counts[b]; star += 2) {
+      std::putchar('*');
+    }
+    std::putchar('\n');
+  }
+  return 0;
+}

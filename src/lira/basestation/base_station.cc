@@ -1,0 +1,125 @@
+#include "lira/basestation/base_station.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+#include "lira/common/check.h"
+
+namespace lira {
+
+StatusOr<std::vector<BaseStation>> UniformPlacement(const Rect& world,
+                                                    double radius) {
+  if (radius <= 0.0) {
+    return InvalidArgumentError("radius must be positive");
+  }
+  if (world.width() <= 0.0 || world.height() <= 0.0) {
+    return InvalidArgumentError("world must be non-degenerate");
+  }
+  // A disc of radius r covers a square cell of side r * sqrt(2).
+  const double spacing = radius * std::numbers::sqrt2;
+  const auto nx = std::max<int32_t>(
+      1, static_cast<int32_t>(std::ceil(world.width() / spacing)));
+  const auto ny = std::max<int32_t>(
+      1, static_cast<int32_t>(std::ceil(world.height() / spacing)));
+  std::vector<BaseStation> stations;
+  stations.reserve(static_cast<size_t>(nx) * ny);
+  for (int32_t iy = 0; iy < ny; ++iy) {
+    for (int32_t ix = 0; ix < nx; ++ix) {
+      BaseStation s;
+      s.center = {world.min_x + (ix + 0.5) * world.width() / nx,
+                  world.min_y + (iy + 0.5) * world.height() / ny};
+      s.radius = radius;
+      stations.push_back(s);
+    }
+  }
+  return stations;
+}
+
+StatusOr<std::vector<BaseStation>> DensityAwarePlacement(
+    const StatisticsGrid& stats, const DensityPlacementConfig& config) {
+  if (config.target_nodes_per_station <= 0.0 || config.min_radius <= 0.0 ||
+      config.max_radius < config.min_radius) {
+    return InvalidArgumentError("invalid density placement configuration");
+  }
+  const int32_t alpha = stats.alpha();
+  std::vector<char> covered(static_cast<size_t>(alpha) * alpha, 0);
+  std::vector<BaseStation> stations;
+
+  auto cell_center = [&](int32_t ix, int32_t iy) {
+    return stats.CellRect(ix, iy).Center();
+  };
+
+  // Greedy cover: densest uncovered cell first.
+  for (;;) {
+    int32_t best_ix = -1;
+    int32_t best_iy = -1;
+    double best_count = -1.0;
+    for (int32_t iy = 0; iy < alpha; ++iy) {
+      for (int32_t ix = 0; ix < alpha; ++ix) {
+        if (covered[static_cast<size_t>(iy) * alpha + ix]) {
+          continue;
+        }
+        const double count = stats.NodeCount(ix, iy);
+        if (count > best_count) {
+          best_count = count;
+          best_ix = ix;
+          best_iy = iy;
+        }
+      }
+    }
+    if (best_ix < 0) {
+      break;  // everything covered
+    }
+    const Point center = cell_center(best_ix, best_iy);
+    const double cell_area = stats.CellRect(best_ix, best_iy).Area();
+    const double density = best_count / cell_area;  // nodes per m^2
+    double radius = config.max_radius;
+    if (density > 0.0) {
+      radius = std::sqrt(config.target_nodes_per_station /
+                         (std::numbers::pi * density));
+    }
+    radius = std::clamp(radius, config.min_radius, config.max_radius);
+    stations.push_back({center, radius});
+    for (int32_t iy = 0; iy < alpha; ++iy) {
+      for (int32_t ix = 0; ix < alpha; ++ix) {
+        if (!covered[static_cast<size_t>(iy) * alpha + ix] &&
+            Distance(cell_center(ix, iy), center) <= radius) {
+          covered[static_cast<size_t>(iy) * alpha + ix] = 1;
+        }
+      }
+    }
+  }
+  return stations;
+}
+
+int32_t StationForPoint(const std::vector<BaseStation>& stations, Point p) {
+  LIRA_CHECK(!stations.empty());
+  int32_t best = -1;
+  double best_dist = 0.0;
+  for (int32_t i = 0; i < static_cast<int32_t>(stations.size()); ++i) {
+    const double d = Distance(stations[i].center, p);
+    if (d <= stations[i].radius && (best < 0 || d < best_dist)) {
+      best = i;
+      best_dist = d;
+    }
+  }
+  if (best >= 0) {
+    return best;
+  }
+  // No covering disc (shouldn't happen with the provided placements): the
+  // nearest station wins.
+  best = 0;
+  best_dist = Distance(stations[0].center, p);
+  for (int32_t i = 1; i < static_cast<int32_t>(stations.size()); ++i) {
+    const double d = Distance(stations[i].center, p);
+    if (d < best_dist) {
+      best = i;
+      best_dist = d;
+    }
+  }
+  return best;
+}
+
+}  // namespace lira

@@ -1,0 +1,53 @@
+// Base-station layer (paper Section 2.2): the stations relay shedding
+// regions and update throttlers to the mobile nodes in their coverage area.
+//
+// Two placement schemes are provided:
+//   * uniform grid placement with a fixed coverage radius (paper Table 3's
+//     radius sweep), and
+//   * density-dependent placement -- "base stations have smaller coverage
+//     regions at places where the number of users is large" (Section 4.3.2)
+//     -- with radius shrinking in dense areas.
+
+#ifndef LIRA_BASESTATION_BASE_STATION_H_
+#define LIRA_BASESTATION_BASE_STATION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "lira/common/geometry.h"
+#include "lira/common/status.h"
+#include "lira/core/statistics_grid.h"
+
+namespace lira {
+
+struct BaseStation {
+  Point center;
+  double radius = 0.0;  ///< coverage radius, meters
+};
+
+/// Square-grid placement with spacing radius * sqrt(2), which guarantees
+/// every point of the world is covered by at least one station.
+StatusOr<std::vector<BaseStation>> UniformPlacement(const Rect& world,
+                                                    double radius);
+
+struct DensityPlacementConfig {
+  /// Target number of mobile nodes per station.
+  double target_nodes_per_station = 100.0;
+  double min_radius = 500.0;
+  double max_radius = 5000.0;
+};
+
+/// Greedy density-dependent placement: repeatedly covers the densest
+/// still-uncovered statistics-grid cell with a station whose radius is
+/// sized so its disc holds roughly the target node count at the local
+/// density. Terminates when every cell is covered.
+StatusOr<std::vector<BaseStation>> DensityAwarePlacement(
+    const StatisticsGrid& stats, const DensityPlacementConfig& config);
+
+/// Index of the covering station nearest to `p` (falls back to the nearest
+/// station when no disc covers p). Requires a non-empty vector.
+int32_t StationForPoint(const std::vector<BaseStation>& stations, Point p);
+
+}  // namespace lira
+
+#endif  // LIRA_BASESTATION_BASE_STATION_H_

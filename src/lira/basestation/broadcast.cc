@@ -1,0 +1,60 @@
+#include "lira/basestation/broadcast.h"
+
+#include <algorithm>
+
+#include "lira/common/check.h"
+
+namespace lira {
+
+std::vector<int32_t> RegionsPerStation(
+    const SheddingPlan& plan, const std::vector<BaseStation>& stations) {
+  std::vector<int32_t> counts(stations.size(), 0);
+  for (size_t s = 0; s < stations.size(); ++s) {
+    int32_t count = 0;
+    for (const SheddingRegion& region : plan.regions()) {
+      if (DiscIntersectsRect(stations[s].center, stations[s].radius,
+                             region.area)) {
+        ++count;
+      }
+    }
+    counts[s] = count;
+  }
+  return counts;
+}
+
+BroadcastCost ComputeBroadcastCost(const SheddingPlan& plan,
+                                   const std::vector<BaseStation>& stations) {
+  BroadcastCost cost;
+  cost.num_stations = static_cast<int32_t>(stations.size());
+  if (stations.empty()) {
+    return cost;
+  }
+  const std::vector<int32_t> counts = RegionsPerStation(plan, stations);
+  double total = 0.0;
+  int32_t max_count = 0;
+  for (int32_t c : counts) {
+    total += c;
+    max_count = std::max(max_count, c);
+  }
+  cost.mean_regions_per_station = total / static_cast<double>(counts.size());
+  cost.max_regions_per_station = max_count;
+  cost.mean_payload_bytes = cost.mean_regions_per_station * kBytesPerRegion;
+  return cost;
+}
+
+double MeanRegionsPerNode(const SheddingPlan& plan,
+                          const std::vector<BaseStation>& stations,
+                          const std::vector<Point>& node_positions) {
+  LIRA_CHECK(!stations.empty());
+  if (node_positions.empty()) {
+    return 0.0;
+  }
+  const std::vector<int32_t> counts = RegionsPerStation(plan, stations);
+  double total = 0.0;
+  for (Point p : node_positions) {
+    total += counts[StationForPoint(stations, p)];
+  }
+  return total / static_cast<double>(node_positions.size());
+}
+
+}  // namespace lira

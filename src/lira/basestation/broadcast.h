@@ -1,0 +1,50 @@
+// Messaging cost of disseminating a shedding plan through base stations
+// (paper Section 4.3.2 and Table 3).
+//
+// A square shedding region is encoded as 3 floats plus 1 float for its
+// update throttler: 16 bytes per region.
+
+#ifndef LIRA_BASESTATION_BROADCAST_H_
+#define LIRA_BASESTATION_BROADCAST_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "lira/basestation/base_station.h"
+#include "lira/common/geometry.h"
+#include "lira/core/shedding_plan.h"
+
+namespace lira {
+
+/// Bytes to encode one (square region, throttler) pair: (3 + 1) * 4.
+inline constexpr int32_t kBytesPerRegion = 16;
+
+struct BroadcastCost {
+  int32_t num_stations = 0;
+  /// Mean number of shedding regions intersecting a station's coverage
+  /// disc ("# of Delta_i's per node", Table 3).
+  double mean_regions_per_station = 0.0;
+  double max_regions_per_station = 0.0;
+  /// mean_regions_per_station * kBytesPerRegion.
+  double mean_payload_bytes = 0.0;
+};
+
+/// Number of plan regions intersecting each station's coverage disc.
+std::vector<int32_t> RegionsPerStation(
+    const SheddingPlan& plan, const std::vector<BaseStation>& stations);
+
+/// Aggregates RegionsPerStation into the Table 3 metrics.
+BroadcastCost ComputeBroadcastCost(const SheddingPlan& plan,
+                                   const std::vector<BaseStation>& stations);
+
+/// Mean number of regions known per *node*: each node position is assigned
+/// to its covering station and inherits that station's region count. This
+/// is the paper's node-weighted variant ("each node ... should know around
+/// 41 shedding regions").
+double MeanRegionsPerNode(const SheddingPlan& plan,
+                          const std::vector<BaseStation>& stations,
+                          const std::vector<Point>& node_positions);
+
+}  // namespace lira
+
+#endif  // LIRA_BASESTATION_BROADCAST_H_

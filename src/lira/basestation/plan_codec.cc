@@ -1,0 +1,88 @@
+#include "lira/basestation/plan_codec.h"
+
+#include <cmath>
+#include <cstring>
+
+namespace lira {
+namespace {
+
+constexpr size_t kRecordBytes = 16;  // 4 x f32, paper Section 4.3.2
+
+void AppendFloat(std::vector<uint8_t>* out, float value) {
+  uint8_t raw[sizeof(float)];
+  std::memcpy(raw, &value, sizeof(float));
+  out->insert(out->end(), raw, raw + sizeof(float));
+}
+
+float ReadFloat(const uint8_t* data) {
+  float value;
+  std::memcpy(&value, data, sizeof(float));
+  return value;
+}
+
+}  // namespace
+
+StatusOr<std::vector<uint8_t>> EncodeRegions(
+    const std::vector<BroadcastRegion>& regions) {
+  std::vector<uint8_t> out;
+  out.reserve(regions.size() * kRecordBytes);
+  for (const BroadcastRegion& region : regions) {
+    const double w = region.area.width();
+    const double h = region.area.height();
+    if (w <= 0.0 || h <= 0.0) {
+      return InvalidArgumentError("degenerate region");
+    }
+    if (std::abs(w - h) > 1e-3 * std::max(w, h)) {
+      return InvalidArgumentError(
+          "wire format encodes square regions only (3 floats + throttler)");
+    }
+    AppendFloat(&out, static_cast<float>(region.area.min_x));
+    AppendFloat(&out, static_cast<float>(region.area.min_y));
+    AppendFloat(&out, static_cast<float>(w));
+    AppendFloat(&out, static_cast<float>(region.delta));
+  }
+  return out;
+}
+
+StatusOr<std::vector<BroadcastRegion>> DecodeRegions(
+    const std::vector<uint8_t>& payload) {
+  if (payload.size() % kRecordBytes != 0) {
+    return InvalidArgumentError("payload size is not a multiple of 16");
+  }
+  std::vector<BroadcastRegion> regions;
+  regions.reserve(payload.size() / kRecordBytes);
+  for (size_t offset = 0; offset < payload.size(); offset += kRecordBytes) {
+    const float x = ReadFloat(&payload[offset]);
+    const float y = ReadFloat(&payload[offset + 4]);
+    const float side = ReadFloat(&payload[offset + 8]);
+    const float delta = ReadFloat(&payload[offset + 12]);
+    if (!std::isfinite(x) || !std::isfinite(y) || !std::isfinite(side) ||
+        !std::isfinite(delta) || side <= 0.0f || delta < 0.0f) {
+      return InvalidArgumentError("malformed region record");
+    }
+    BroadcastRegion region;
+    region.area = Rect{x, y, static_cast<double>(x) + side,
+                       static_cast<double>(y) + side};
+    region.delta = delta;
+    regions.push_back(region);
+  }
+  return regions;
+}
+
+std::vector<BroadcastRegion> PlanSubsetFor(const SheddingPlan& plan,
+                                           const BaseStation& station) {
+  std::vector<BroadcastRegion> subset;
+  for (const SheddingRegion& region : plan.regions()) {
+    if (DiscIntersectsRect(station.center, station.radius, region.area)) {
+      subset.push_back(BroadcastRegion{region.area, region.delta});
+    }
+  }
+  return subset;
+}
+
+StatusOr<std::vector<uint8_t>> EncodePlanSubset(const SheddingPlan& plan,
+                                                const BaseStation& station) {
+  return EncodeRegions(PlanSubsetFor(plan, station));
+}
+
+}  // namespace lira

@@ -1,0 +1,53 @@
+// Wire format for disseminating shedding regions to mobile nodes.
+//
+// The paper (Section 4.3.2) encodes a square shedding region as 3 floats
+// plus 1 float for its update throttler: 16 bytes per region. A base
+// station broadcasts the subset of regions intersecting its coverage area.
+// This codec implements exactly that layout:
+//
+//   [min_x : f32][min_y : f32][side : f32][delta : f32]  x  num_regions
+
+#ifndef LIRA_BASESTATION_PLAN_CODEC_H_
+#define LIRA_BASESTATION_PLAN_CODEC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "lira/basestation/base_station.h"
+#include "lira/common/geometry.h"
+#include "lira/common/status.h"
+#include "lira/core/shedding_plan.h"
+
+namespace lira {
+
+/// A region as a mobile node sees it: geometry plus throttler (the server-
+/// side statistics are not broadcast).
+struct BroadcastRegion {
+  Rect area;
+  double delta = 0.0;
+};
+
+/// Encodes the given regions into the paper's 16-byte-per-region layout.
+/// Regions must be square (LIRA's quadrants and even partitions of a square
+/// world always are); near-square rectangles within 0.1% tolerance are
+/// accepted and encoded by their width.
+StatusOr<std::vector<uint8_t>> EncodeRegions(
+    const std::vector<BroadcastRegion>& regions);
+
+/// Decodes a broadcast payload. Fails when the size is not a multiple of 16
+/// or a record is malformed (non-positive side, non-finite values).
+StatusOr<std::vector<BroadcastRegion>> DecodeRegions(
+    const std::vector<uint8_t>& payload);
+
+/// The subset of a plan a base station must broadcast: every region whose
+/// area intersects the station's coverage disc.
+std::vector<BroadcastRegion> PlanSubsetFor(const SheddingPlan& plan,
+                                           const BaseStation& station);
+
+/// Convenience: PlanSubsetFor + EncodeRegions.
+StatusOr<std::vector<uint8_t>> EncodePlanSubset(const SheddingPlan& plan,
+                                                const BaseStation& station);
+
+}  // namespace lira
+
+#endif  // LIRA_BASESTATION_PLAN_CODEC_H_

@@ -1,0 +1,74 @@
+// A bounded FIFO queue with drop accounting.
+//
+// This is the "system message queue" the paper's THROTLOOP observes: when the
+// queue is full, arrivals are rejected (tail drop) and counted. The queue is
+// single-threaded by design -- the simulation is a discrete-time loop, not a
+// multi-threaded server.
+
+#ifndef LIRA_COMMON_BOUNDED_QUEUE_H_
+#define LIRA_COMMON_BOUNDED_QUEUE_H_
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <utility>
+
+#include "lira/common/check.h"
+
+namespace lira {
+
+/// FIFO queue of at most `capacity` elements. Push beyond capacity fails and
+/// increments the drop counter.
+template <typename T>
+class BoundedQueue {
+ public:
+  /// Requires capacity >= 1.
+  explicit BoundedQueue(size_t capacity) : capacity_(capacity) {
+    LIRA_CHECK(capacity >= 1);
+  }
+
+  /// Attempts to enqueue; returns false (and counts a drop) when full.
+  bool TryPush(T value) {
+    if (items_.size() >= capacity_) {
+      ++dropped_;
+      return false;
+    }
+    items_.push_back(std::move(value));
+    ++accepted_;
+    return true;
+  }
+
+  /// Dequeues the oldest element, or nullopt when empty.
+  std::optional<T> TryPop() {
+    if (items_.empty()) {
+      return std::nullopt;
+    }
+    T value = std::move(items_.front());
+    items_.pop_front();
+    return value;
+  }
+
+  size_t size() const { return items_.size(); }
+  size_t capacity() const { return capacity_; }
+  bool empty() const { return items_.empty(); }
+
+  /// Total arrivals rejected because the queue was full.
+  int64_t dropped() const { return dropped_; }
+  /// Total arrivals accepted.
+  int64_t accepted() const { return accepted_; }
+
+  void ResetCounters() {
+    dropped_ = 0;
+    accepted_ = 0;
+  }
+
+ private:
+  size_t capacity_;
+  std::deque<T> items_;
+  int64_t dropped_ = 0;
+  int64_t accepted_ = 0;
+};
+
+}  // namespace lira
+
+#endif  // LIRA_COMMON_BOUNDED_QUEUE_H_

@@ -1,0 +1,39 @@
+// Lightweight assertion macros for programmer errors.
+//
+// LIRA_CHECK aborts (in all build types) with a message when a precondition
+// or invariant is violated; LIRA_DCHECK compiles out in NDEBUG builds. These
+// are for bugs, never for recoverable conditions -- recoverable failures are
+// reported through lira::Status (see lira/common/status.h).
+
+#ifndef LIRA_COMMON_CHECK_H_
+#define LIRA_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace lira::internal_check {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr) {
+  std::fprintf(stderr, "LIRA_CHECK failed at %s:%d: %s\n", file, line, expr);
+  std::abort();
+}
+
+}  // namespace lira::internal_check
+
+#define LIRA_CHECK(expr)                                         \
+  do {                                                           \
+    if (!(expr)) {                                               \
+      ::lira::internal_check::CheckFailed(__FILE__, __LINE__, #expr); \
+    }                                                            \
+  } while (false)
+
+#ifdef NDEBUG
+#define LIRA_DCHECK(expr) \
+  do {                    \
+  } while (false)
+#else
+#define LIRA_DCHECK(expr) LIRA_CHECK(expr)
+#endif
+
+#endif  // LIRA_COMMON_CHECK_H_

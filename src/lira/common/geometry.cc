@@ -1,0 +1,48 @@
+#include "lira/common/geometry.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace lira {
+
+Point Rect::Clamp(Point p) const {
+  // Nudge points on (or beyond) the half-open max edge just inside, so the
+  // result always satisfies Contains(). The epsilon is relative to the
+  // rectangle size to stay robust for both meter- and kilometer-scale rects.
+  const double eps_x =
+      std::max(width(), 1.0) * std::numeric_limits<double>::epsilon() * 4;
+  const double eps_y =
+      std::max(height(), 1.0) * std::numeric_limits<double>::epsilon() * 4;
+  Point out;
+  out.x = std::min(std::max(p.x, min_x), max_x - eps_x);
+  out.y = std::min(std::max(p.y, min_y), max_y - eps_y);
+  return out;
+}
+
+std::ostream& operator<<(std::ostream& os, Point p) {
+  return os << "(" << p.x << ", " << p.y << ")";
+}
+
+std::ostream& operator<<(std::ostream& os, const Rect& r) {
+  return os << "[" << r.min_x << ", " << r.min_y << "; " << r.max_x << ", "
+            << r.max_y << ")";
+}
+
+double OverlapFraction(const Rect& inner, const Rect& outer) {
+  const double inner_area = inner.Area();
+  if (inner_area <= 0.0) {
+    return 0.0;
+  }
+  return inner.Intersection(outer).Area() / inner_area;
+}
+
+bool DiscIntersectsRect(Point center, double radius, const Rect& rect) {
+  const double cx = std::clamp(center.x, rect.min_x, rect.max_x);
+  const double cy = std::clamp(center.y, rect.min_y, rect.max_y);
+  const double dx = center.x - cx;
+  const double dy = center.y - cy;
+  return dx * dx + dy * dy <= radius * radius;
+}
+
+}  // namespace lira

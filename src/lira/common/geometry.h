@@ -1,0 +1,103 @@
+// 2-D geometry primitives used throughout the library.
+//
+// All coordinates are in meters in a planar world frame; the monitored space
+// is an axis-aligned rectangle (usually [0, side) x [0, side)). Rect is
+// half-open on the max edges so that adjacent grid cells tile the space
+// without double-counting points on shared borders.
+
+#ifndef LIRA_COMMON_GEOMETRY_H_
+#define LIRA_COMMON_GEOMETRY_H_
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+#include <string>
+
+namespace lira {
+
+/// A point (or displacement) in the planar world frame, in meters.
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend Point operator+(Point a, Point b) { return {a.x + b.x, a.y + b.y}; }
+  friend Point operator-(Point a, Point b) { return {a.x - b.x, a.y - b.y}; }
+  friend Point operator*(Point a, double k) { return {a.x * k, a.y * k}; }
+  friend Point operator*(double k, Point a) { return a * k; }
+  friend bool operator==(Point a, Point b) { return a.x == b.x && a.y == b.y; }
+};
+
+/// A velocity in meters per second.
+using Vec2 = Point;
+
+/// Euclidean norm of a displacement.
+inline double Norm(Point p) { return std::hypot(p.x, p.y); }
+
+/// Euclidean distance between two points.
+inline double Distance(Point a, Point b) { return Norm(a - b); }
+
+/// Axis-aligned rectangle, half-open: contains (x, y) with
+/// min_x <= x < max_x and min_y <= y < max_y.
+struct Rect {
+  double min_x = 0.0;
+  double min_y = 0.0;
+  double max_x = 0.0;
+  double max_y = 0.0;
+
+  /// Builds the rectangle centered at `center` with the given side length.
+  static Rect CenteredAt(Point center, double side) {
+    return Rect{center.x - side / 2, center.y - side / 2, center.x + side / 2,
+                center.y + side / 2};
+  }
+
+  double width() const { return max_x - min_x; }
+  double height() const { return max_y - min_y; }
+  double Area() const { return std::max(0.0, width()) * std::max(0.0, height()); }
+  Point Center() const { return {(min_x + max_x) / 2, (min_y + max_y) / 2}; }
+
+  bool Contains(Point p) const {
+    return p.x >= min_x && p.x < max_x && p.y >= min_y && p.y < max_y;
+  }
+
+  bool Intersects(const Rect& o) const {
+    return min_x < o.max_x && o.min_x < max_x && min_y < o.max_y &&
+           o.min_y < max_y;
+  }
+
+  /// Closed-interval intersection: true when the rectangles share at least
+  /// a boundary point. Use for conservative pruning where degenerate
+  /// (zero-area) rectangles must still count as overlapping.
+  bool IntersectsClosed(const Rect& o) const {
+    return min_x <= o.max_x && o.min_x <= max_x && min_y <= o.max_y &&
+           o.min_y <= max_y;
+  }
+
+  /// The (possibly empty) intersection rectangle.
+  Rect Intersection(const Rect& o) const {
+    return Rect{std::max(min_x, o.min_x), std::max(min_y, o.min_y),
+                std::min(max_x, o.max_x), std::min(max_y, o.max_y)};
+  }
+
+  /// Clamps a point into the rectangle (points exactly on the max edge are
+  /// nudged just inside so that Contains() holds).
+  Point Clamp(Point p) const;
+
+  friend bool operator==(const Rect& a, const Rect& b) {
+    return a.min_x == b.min_x && a.min_y == b.min_y && a.max_x == b.max_x &&
+           a.max_y == b.max_y;
+  }
+};
+
+std::ostream& operator<<(std::ostream& os, Point p);
+std::ostream& operator<<(std::ostream& os, const Rect& r);
+
+/// Fraction of `inner`'s area that lies inside `outer`; 0 if `inner` is
+/// degenerate. Used for the paper's fractional query counting (Section 3.1).
+double OverlapFraction(const Rect& inner, const Rect& outer);
+
+/// True if the disc (center, radius) intersects the rectangle.
+bool DiscIntersectsRect(Point center, double radius, const Rect& rect);
+
+}  // namespace lira
+
+#endif  // LIRA_COMMON_GEOMETRY_H_

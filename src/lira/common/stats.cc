@@ -1,0 +1,99 @@
+#include "lira/common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "lira/common/check.h"
+
+namespace lira {
+
+void RunningStat::Add(double x) {
+  if (count_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStat::Merge(const RunningStat& other) {
+  if (other.count_ == 0) {
+    return;
+  }
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(count_);
+  const double nb = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double n = na + nb;
+  mean_ += delta * nb / n;
+  m2_ += other.m2_ + delta * delta * na * nb / n;
+  count_ += other.count_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+void RunningStat::Reset() { *this = RunningStat(); }
+
+double RunningStat::Variance() const {
+  if (count_ < 2) {
+    return 0.0;
+  }
+  return m2_ / static_cast<double>(count_);
+}
+
+double RunningStat::StdDev() const { return std::sqrt(Variance()); }
+
+double RunningStat::CoefficientOfVariation() const {
+  const double m = mean();
+  if (m == 0.0) {
+    return 0.0;
+  }
+  return StdDev() / m;
+}
+
+Histogram::Histogram(double lo, double hi, size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {
+  LIRA_CHECK(lo < hi);
+  LIRA_CHECK(bins >= 1);
+  bin_width_ = (hi - lo) / static_cast<double>(bins);
+}
+
+void Histogram::Add(double x) {
+  double idx = (x - lo_) / bin_width_;
+  auto bin = static_cast<int64_t>(std::floor(idx));
+  bin = std::clamp<int64_t>(bin, 0, static_cast<int64_t>(counts_.size()) - 1);
+  ++counts_[static_cast<size_t>(bin)];
+  ++total_;
+}
+
+double Histogram::BinCenter(size_t bin) const {
+  LIRA_DCHECK(bin < counts_.size());
+  return lo_ + (static_cast<double>(bin) + 0.5) * bin_width_;
+}
+
+double Histogram::Quantile(double q) const {
+  if (total_ == 0) {
+    return 0.0;
+  }
+  q = std::clamp(q, 0.0, 1.0);
+  const auto target = static_cast<int64_t>(
+      std::ceil(q * static_cast<double>(total_)));
+  int64_t seen = 0;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    seen += counts_[i];
+    if (seen >= target) {
+      return BinCenter(i);
+    }
+  }
+  return BinCenter(counts_.size() - 1);
+}
+
+}  // namespace lira

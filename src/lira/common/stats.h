@@ -1,0 +1,66 @@
+// Small statistics helpers: running moments and fixed-bin histograms.
+
+#ifndef LIRA_COMMON_STATS_H_
+#define LIRA_COMMON_STATS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace lira {
+
+/// Numerically stable running mean / variance (Welford). Add values one at a
+/// time; query moments at any point.
+class RunningStat {
+ public:
+  void Add(double x);
+  /// Merges another accumulator into this one.
+  void Merge(const RunningStat& other);
+  void Reset();
+
+  int64_t count() const { return count_; }
+  double mean() const { return count_ > 0 ? mean_ : 0.0; }
+  /// Population variance (divides by n); 0 when fewer than 2 samples.
+  double Variance() const;
+  double StdDev() const;
+  /// Coefficient of variation StdDev()/mean(); 0 when the mean is 0.
+  double CoefficientOfVariation() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+  double sum() const { return mean_ * static_cast<double>(count_); }
+
+ private:
+  int64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Fixed-width-bin histogram over [lo, hi); out-of-range samples clamp into
+/// the first/last bin. Supports approximate quantiles.
+class Histogram {
+ public:
+  /// Requires lo < hi and bins >= 1.
+  Histogram(double lo, double hi, size_t bins);
+
+  void Add(double x);
+  int64_t TotalCount() const { return total_; }
+  int64_t BinCount(size_t bin) const { return counts_[bin]; }
+  size_t NumBins() const { return counts_.size(); }
+  /// Midpoint value of the given bin.
+  double BinCenter(size_t bin) const;
+  /// Approximate q-quantile (q in [0,1]); 0 if empty.
+  double Quantile(double q) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double bin_width_;
+  int64_t total_ = 0;
+  std::vector<int64_t> counts_;
+};
+
+}  // namespace lira
+
+#endif  // LIRA_COMMON_STATS_H_

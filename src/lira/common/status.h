@@ -1,0 +1,131 @@
+// Error handling without exceptions: lira::Status and lira::StatusOr<T>.
+//
+// Library code reports recoverable failures by returning Status (or
+// StatusOr<T> when a value is produced). Exceptions are not used anywhere in
+// the library. The design follows absl::Status in miniature: a small fixed
+// set of canonical codes plus a human-readable message.
+
+#ifndef LIRA_COMMON_STATUS_H_
+#define LIRA_COMMON_STATUS_H_
+
+#include <optional>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "lira/common/check.h"
+
+namespace lira {
+
+/// Canonical error codes. Keep this list short; it only needs to support the
+/// failure modes that actually occur in the library.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kFailedPrecondition = 2,
+  kNotFound = 3,
+  kOutOfRange = 4,
+  kResourceExhausted = 5,
+  kInternal = 6,
+};
+
+/// Returns a stable human-readable name for a code ("OK", "INVALID_ARGUMENT",
+/// ...).
+std::string_view StatusCodeToString(StatusCode code);
+
+/// Value-type result of an operation: either OK or a code plus message.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  /// Constructs a status with the given code and message. A kOk code with a
+  /// message is allowed but the message is ignored by ok().
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CODE>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+Status OkStatus();
+Status InvalidArgumentError(std::string message);
+Status FailedPreconditionError(std::string message);
+Status NotFoundError(std::string message);
+Status OutOfRangeError(std::string message);
+Status ResourceExhaustedError(std::string message);
+Status InternalError(std::string message);
+
+/// Either a value of type T or a non-OK Status. Accessing the value of a
+/// non-OK StatusOr is a programmer error (LIRA_CHECK).
+template <typename T>
+class StatusOr {
+ public:
+  /// Implicit construction from a value (mirrors absl::StatusOr).
+  StatusOr(T value) : status_(OkStatus()), value_(std::move(value)) {}
+  /// Implicit construction from a non-OK status.
+  StatusOr(Status status) : status_(std::move(status)) {
+    LIRA_CHECK(!status_.ok());
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    LIRA_CHECK(ok());
+    return *value_;
+  }
+  T& value() & {
+    LIRA_CHECK(ok());
+    return *value_;
+  }
+  T&& value() && {
+    LIRA_CHECK(ok());
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  T&& operator*() && { return std::move(*this).value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace lira
+
+/// Propagates a non-OK status to the caller; use inside functions returning
+/// Status.
+#define LIRA_RETURN_IF_ERROR(expr)        \
+  do {                                    \
+    ::lira::Status lira_status_ = (expr); \
+    if (!lira_status_.ok()) {             \
+      return lira_status_;                \
+    }                                     \
+  } while (false)
+
+#endif  // LIRA_COMMON_STATUS_H_

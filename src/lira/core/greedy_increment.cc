@@ -1,0 +1,209 @@
+#include "lira/core/greedy_increment.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "lira/common/check.h"
+
+namespace lira {
+namespace {
+
+// Guards divisions by m_i for query-free regions: their update gain is
+// effectively infinite, ordered among themselves by n_i * s_i * r.
+constexpr double kQueryEpsilon = 1e-12;
+
+}  // namespace
+
+StatusOr<GreedyIncrementResult> RunGreedyIncrement(
+    const std::vector<RegionStats>& regions, const UpdateReductionFunction& f,
+    const GreedyIncrementConfig& config) {
+  if (regions.empty()) {
+    return InvalidArgumentError("no regions");
+  }
+  if (config.z < 0.0 || config.z > 1.0) {
+    return InvalidArgumentError("throttle fraction z must be in [0, 1]");
+  }
+  if (config.c_delta <= 0.0) {
+    return InvalidArgumentError("c_delta must be positive");
+  }
+  if (config.fairness_threshold < 0.0) {
+    return InvalidArgumentError("fairness_threshold must be >= 0");
+  }
+
+  const double d_min = f.delta_min();
+  const double d_max = f.delta_max();
+  const size_t l = regions.size();
+  const double delta_tol = 1e-9 * (d_max - d_min);
+
+  GreedyIncrementResult result;
+  result.deltas.assign(l, d_min);
+
+  // Budget bookkeeping. U = sum_i w_i f(Delta_i) with
+  // w_i = n_i * s_i / s_hat (or n_i without the speed factor); in both cases
+  // the initial expenditure is n and the budget z * n.
+  double n_total = 0.0;
+  double speed_dot = 0.0;
+  for (const RegionStats& r : regions) {
+    LIRA_CHECK(r.n >= 0.0 && r.m >= 0.0 && r.s >= 0.0);
+    n_total += r.n;
+    speed_dot += r.n * r.s;
+  }
+  result.budget = config.z * n_total;
+  if (n_total <= 0.0) {
+    // No nodes: no updates, budget trivially met at maximum accuracy.
+    result.expenditure = 0.0;
+    result.budget_met = true;
+    result.inaccuracy = 0.0;
+    for (const RegionStats& r : regions) {
+      result.inaccuracy += r.m * d_min;
+    }
+    return result;
+  }
+  const double s_hat = speed_dot / n_total;
+
+  std::vector<double> weight(l);
+  for (size_t i = 0; i < l; ++i) {
+    if (config.use_speed_factor && s_hat > 0.0) {
+      weight[i] = regions[i].n * regions[i].s / s_hat;
+    } else {
+      weight[i] = regions[i].n;
+    }
+  }
+
+  double expenditure = 0.0;
+  for (size_t i = 0; i < l; ++i) {
+    expenditure += weight[i];  // f(d_min) == 1
+  }
+  const double budget_tol = 1e-9 * std::max(1.0, expenditure);
+
+  auto gain_of = [&](size_t i) {
+    return weight[i] * f.Rate(result.deltas[i]) /
+           std::max(regions[i].m, kQueryEpsilon);
+  };
+  // Next PWL knot strictly above delta (knots anchored at d_min).
+  auto next_knot = [&](double delta) {
+    const double k =
+        std::floor((delta - d_min) / config.c_delta + 1e-9) + 1.0;
+    return std::min(d_max, d_min + k * config.c_delta);
+  };
+
+  using HeapEntry = std::pair<double, size_t>;  // (gain, region)
+  std::priority_queue<HeapEntry> heap;
+  for (size_t i = 0; i < l; ++i) {
+    heap.emplace(gain_of(i), i);
+  }
+  std::multiset<double> delta_set(result.deltas.begin(), result.deltas.end());
+  std::vector<size_t> blocked;
+
+  auto unblock_below = [&](double current_min) {
+    // Moves fairness-blocked regions whose headroom reopened back into the
+    // heap (paper Algorithm 2, lines 20-24).
+    size_t kept = 0;
+    for (size_t idx = 0; idx < blocked.size(); ++idx) {
+      const size_t j = blocked[idx];
+      if (result.deltas[j] - current_min <
+          config.fairness_threshold - delta_tol) {
+        heap.emplace(gain_of(j), j);
+      } else {
+        blocked[kept++] = j;
+      }
+    }
+    blocked.resize(kept);
+  };
+
+  while (expenditure > result.budget + budget_tol) {
+    if (heap.empty()) {
+      if (blocked.empty()) {
+        break;  // every throttler at delta_max; budget unreachable
+      }
+      // Degenerate fairness corner: all active regions blocked. Advance the
+      // minimal group together so the fairness window can slide up.
+      const double floor_old = *delta_set.begin();
+      if (floor_old >= d_max - delta_tol) {
+        break;
+      }
+      const double floor_cap = next_knot(floor_old);
+      double group_rate = 0.0;
+      for (size_t j : blocked) {
+        if (result.deltas[j] <= floor_old + delta_tol) {
+          group_rate += weight[j] * f.Rate(result.deltas[j]);
+        }
+      }
+      double step = floor_cap - floor_old;
+      if (group_rate > 0.0) {
+        step = std::min(step, (expenditure - result.budget) / group_rate);
+      }
+      const double floor_new = floor_old + std::max(step, delta_tol);
+      for (size_t j : blocked) {
+        double& dj = result.deltas[j];
+        if (dj <= floor_old + delta_tol) {
+          const double nd = std::min(floor_new, d_max);
+          expenditure -= weight[j] * (f.Eval(dj) - f.Eval(nd));
+          delta_set.erase(delta_set.find(dj));
+          delta_set.insert(nd);
+          dj = nd;
+          ++result.steps;
+        }
+      }
+      unblock_below(*delta_set.begin());
+      continue;
+    }
+
+    const auto [gain, i] = heap.top();
+    heap.pop();
+    (void)gain;
+    double& delta_i = result.deltas[i];
+    if (delta_i >= d_max - delta_tol) {
+      continue;
+    }
+    const double min_before = *delta_set.begin();
+    const double fairness_cap =
+        std::isinf(config.fairness_threshold)
+            ? d_max
+            : std::min(d_max, min_before + config.fairness_threshold);
+    double cap = std::min(next_knot(delta_i), fairness_cap);
+    if (cap <= delta_i + delta_tol) {
+      // Exactly at the fairness limit: park on the blocked list.
+      blocked.push_back(i);
+      continue;
+    }
+    double step = cap - delta_i;
+    const double rate = weight[i] * f.Rate(delta_i);
+    if (rate > 0.0) {
+      step = std::min(step, (expenditure - result.budget) / rate);
+    }
+    const double new_delta = std::min(delta_i + step, d_max);
+    expenditure -= weight[i] * (f.Eval(delta_i) - f.Eval(new_delta));
+    delta_set.erase(delta_set.find(delta_i));
+    delta_set.insert(new_delta);
+    delta_i = new_delta;
+    ++result.steps;
+
+    const double min_after = *delta_set.begin();
+    if (new_delta < d_max - delta_tol) {
+      if (!std::isinf(config.fairness_threshold) &&
+          new_delta - min_after >= config.fairness_threshold - delta_tol) {
+        blocked.push_back(i);
+      } else {
+        heap.emplace(gain_of(i), i);
+      }
+    }
+    if (min_after > min_before + delta_tol) {
+      unblock_below(min_after);
+    }
+  }
+
+  result.expenditure = expenditure;
+  result.budget_met = expenditure <= result.budget + budget_tol;
+  result.inaccuracy = 0.0;
+  for (size_t i = 0; i < l; ++i) {
+    result.inaccuracy += regions[i].m * result.deltas[i];
+  }
+  return result;
+}
+
+}  // namespace lira

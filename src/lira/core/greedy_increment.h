@@ -1,0 +1,70 @@
+// GREEDYINCREMENT (paper Section 3.3, Algorithm 2): sets the update
+// throttlers Delta_i of a fixed set of shedding regions.
+//
+// Starting from Delta_i = delta_min for all regions, the algorithm
+// repeatedly increments the throttler with the highest *update gain*
+//
+//     S_i = (n_i / m_i) * s_i * r(Delta_i),
+//
+// by one increment c_delta (aligned to the knots of the piece-wise linear
+// f), until the update budget
+//
+//     sum_i n_i * (s_i / s_hat) * f(Delta_i)  <=  z * n * f(delta_min)
+//
+// is met or every throttler is at delta_max. The fairness threshold
+// Delta_fair bounds |Delta_i - Delta_j| via the paper's blocked list. For a
+// PWL f with segments of width c_delta the result is optimal (Theorem 3.1).
+//
+// Degenerate corner handled beyond the paper's pseudo code: when every
+// active throttler is fairness-blocked (always the case for Delta_fair = 0),
+// the minimal throttlers are advanced together, which reproduces the
+// paper's claim that Delta_fair = 0 reduces to the uniform-Delta scheme.
+
+#ifndef LIRA_CORE_GREEDY_INCREMENT_H_
+#define LIRA_CORE_GREEDY_INCREMENT_H_
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "lira/common/status.h"
+#include "lira/core/region_stats.h"
+#include "lira/motion/update_reduction.h"
+
+namespace lira {
+
+struct GreedyIncrementConfig {
+  /// Throttle fraction z in [0, 1].
+  double z = 0.5;
+  /// Increment c_delta (meters). Should equal the PWL segment width for the
+  /// optimality guarantee.
+  double c_delta = 1.0;
+  /// Fairness threshold Delta_fair >= 0; infinity disables the constraint.
+  double fairness_threshold = std::numeric_limits<double>::infinity();
+  /// Whether the budget uses the speed factor s_i / s_hat (Section 3.1.2).
+  bool use_speed_factor = true;
+};
+
+struct GreedyIncrementResult {
+  /// Update throttler per region, in [f.delta_min(), f.delta_max()].
+  std::vector<double> deltas;
+  /// Final weighted update expenditure U = sum w_i f(Delta_i).
+  double expenditure = 0.0;
+  /// The budget U_max = z * n.
+  double budget = 0.0;
+  /// False when the budget could not be met even at Delta_i = delta_max.
+  bool budget_met = false;
+  /// Objective value InAcc = sum m_i * Delta_i.
+  double inaccuracy = 0.0;
+  /// Number of greedy steps taken.
+  int64_t steps = 0;
+};
+
+/// Runs the optimizer. Fails on invalid configuration or empty input.
+StatusOr<GreedyIncrementResult> RunGreedyIncrement(
+    const std::vector<RegionStats>& regions, const UpdateReductionFunction& f,
+    const GreedyIncrementConfig& config);
+
+}  // namespace lira
+
+#endif  // LIRA_CORE_GREEDY_INCREMENT_H_

@@ -1,0 +1,130 @@
+#include "lira/core/grid_reduce.h"
+
+#include <array>
+#include <cmath>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "lira/core/region_solver.h"
+
+namespace lira {
+namespace {
+
+struct HeapEntry {
+  double gain = 0.0;
+  QuadNodeRef node;
+
+  friend bool operator<(const HeapEntry& a, const HeapEntry& b) {
+    return a.gain < b.gain;
+  }
+};
+
+SheddingRegion MakeRegion(const QuadHierarchy& tree, const QuadNodeRef& ref) {
+  SheddingRegion region;
+  region.area = tree.RegionOf(ref);
+  region.stats = tree.Stats(ref);
+  region.delta = 0.0;
+  return region;
+}
+
+}  // namespace
+
+StatusOr<std::vector<SheddingRegion>> GridReduce(
+    const QuadHierarchy& tree, const UpdateReductionFunction& f,
+    const GridReduceConfig& config) {
+  if (config.l < 1) {
+    return InvalidArgumentError("l must be >= 1");
+  }
+  if (config.l % 3 != 1) {
+    return InvalidArgumentError("l mod 3 must be 1 (each split adds 3)");
+  }
+  if (config.z < 0.0 || config.z > 1.0) {
+    return InvalidArgumentError("z must be in [0, 1]");
+  }
+
+  auto gain_of = [&](const QuadNodeRef& ref) -> StatusOr<double> {
+    std::array<RegionStats, 4> children;
+    const auto child_refs = tree.Children(ref);
+    for (int i = 0; i < 4; ++i) {
+      children[i] = tree.Stats(child_refs[i]);
+    }
+    return AccuracyGain(tree.Stats(ref), children, config.z, f,
+                        config.greedy);
+  };
+
+  std::priority_queue<HeapEntry> heap;
+  std::vector<QuadNodeRef> leaves_done;
+
+  if (tree.IsLeaf(tree.root())) {
+    leaves_done.push_back(tree.root());
+  } else {
+    auto gain = gain_of(tree.root());
+    if (!gain.ok()) {
+      return gain.status();
+    }
+    heap.push({*gain, tree.root()});
+  }
+
+  while (static_cast<int32_t>(heap.size() + leaves_done.size()) < config.l &&
+         !heap.empty()) {
+    const QuadNodeRef node = heap.top().node;
+    heap.pop();
+    if (tree.IsLeaf(node)) {
+      leaves_done.push_back(node);
+      continue;
+    }
+    for (const QuadNodeRef& child : tree.Children(node)) {
+      if (tree.IsLeaf(child)) {
+        // Leaf children enter the heap with zero gain (they cannot be split
+        // further); they surface only after all positive-gain regions.
+        heap.push({0.0, child});
+      } else {
+        auto gain = gain_of(child);
+        if (!gain.ok()) {
+          return gain.status();
+        }
+        heap.push({*gain, child});
+      }
+    }
+  }
+
+  std::vector<SheddingRegion> regions;
+  regions.reserve(heap.size() + leaves_done.size());
+  for (const QuadNodeRef& ref : leaves_done) {
+    regions.push_back(MakeRegion(tree, ref));
+  }
+  while (!heap.empty()) {
+    regions.push_back(MakeRegion(tree, heap.top().node));
+    heap.pop();
+  }
+  return regions;
+}
+
+StatusOr<std::vector<SheddingRegion>> EvenPartition(const StatisticsGrid& grid,
+                                                    int32_t l) {
+  if (l < 1) {
+    return InvalidArgumentError("l must be >= 1");
+  }
+  const auto side =
+      std::max<int32_t>(1, static_cast<int32_t>(std::floor(
+                              std::sqrt(static_cast<double>(l)))));
+  const Rect& world = grid.world();
+  const double w = world.width() / side;
+  const double h = world.height() / side;
+  std::vector<SheddingRegion> regions;
+  regions.reserve(static_cast<size_t>(side) * side);
+  for (int32_t iy = 0; iy < side; ++iy) {
+    for (int32_t ix = 0; ix < side; ++ix) {
+      SheddingRegion region;
+      region.area = Rect{world.min_x + ix * w, world.min_y + iy * h,
+                         world.min_x + (ix + 1) * w,
+                         world.min_y + (iy + 1) * h};
+      region.stats = grid.AggregateRect(region.area);
+      regions.push_back(region);
+    }
+  }
+  return regions;
+}
+
+}  // namespace lira

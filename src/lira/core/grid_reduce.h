@@ -1,0 +1,48 @@
+// GRIDREDUCE Stage II (paper Section 3.2.3, Algorithm 1): drills down the
+// quad-tree hierarchy, always splitting the explored region with the
+// greatest accuracy gain, until l shedding regions are obtained. Also
+// provides the even "l-partitioning" used by the Lira-Grid baseline.
+
+#ifndef LIRA_CORE_GRID_REDUCE_H_
+#define LIRA_CORE_GRID_REDUCE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "lira/common/status.h"
+#include "lira/core/greedy_increment.h"
+#include "lira/core/quad_hierarchy.h"
+#include "lira/core/shedding_plan.h"
+#include "lira/core/statistics_grid.h"
+#include "lira/motion/update_reduction.h"
+
+namespace lira {
+
+struct GridReduceConfig {
+  /// Number of shedding regions; must satisfy l mod 3 == 1 (each drill-down
+  /// replaces 1 region by 4) and 1 <= l <= alpha^2.
+  int32_t l = 250;
+  /// Throttle fraction used when computing accuracy gains.
+  double z = 0.5;
+  /// Increment / speed-factor settings for the gain sub-problems (the
+  /// fairness threshold is ignored here; it applies only to the final
+  /// throttler assignment).
+  GreedyIncrementConfig greedy;
+};
+
+/// Runs the drill-down and returns l shedding regions (areas + statistics;
+/// throttlers unset). Regions tile the hierarchy's world exactly. Returns
+/// fewer than l regions only if l exceeds the number of leaves.
+StatusOr<std::vector<SheddingRegion>> GridReduce(
+    const QuadHierarchy& tree, const UpdateReductionFunction& f,
+    const GridReduceConfig& config);
+
+/// The paper's l-partitioning baseline: an even grid with floor(sqrt(l))
+/// cells per side (the largest even grid not exceeding l regions), with
+/// statistics aggregated from `grid`.
+StatusOr<std::vector<SheddingRegion>> EvenPartition(
+    const StatisticsGrid& grid, int32_t l);
+
+}  // namespace lira
+
+#endif  // LIRA_CORE_GRID_REDUCE_H_

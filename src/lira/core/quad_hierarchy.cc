@@ -1,0 +1,86 @@
+#include "lira/core/quad_hierarchy.h"
+
+#include <cmath>
+
+#include "lira/common/check.h"
+
+namespace lira {
+
+QuadHierarchy::QuadHierarchy(Rect world, int32_t num_levels)
+    : world_(world), num_levels_(num_levels) {
+  level_offset_.resize(num_levels_ + 1);
+  size_t offset = 0;
+  for (int32_t level = 0; level < num_levels_; ++level) {
+    level_offset_[level] = offset;
+    const size_t side = size_t{1} << level;
+    offset += side * side;
+  }
+  level_offset_[num_levels_] = offset;
+  stats_.resize(offset);
+}
+
+QuadHierarchy QuadHierarchy::Build(const StatisticsGrid& grid) {
+  const int32_t alpha = grid.alpha();
+  const auto levels =
+      static_cast<int32_t>(std::lround(std::log2(alpha))) + 1;
+  QuadHierarchy tree(grid.world(), levels);
+
+  // Leaves: statistics-grid cells.
+  const int32_t leaf = tree.leaf_level();
+  for (int32_t iy = 0; iy < alpha; ++iy) {
+    for (int32_t ix = 0; ix < alpha; ++ix) {
+      tree.stats_[tree.FlatIndex({leaf, ix, iy})] = grid.CellStats(ix, iy);
+    }
+  }
+  // Bottom-up aggregation (equivalent to the paper's post-order traversal).
+  for (int32_t level = leaf - 1; level >= 0; --level) {
+    const int32_t side = 1 << level;
+    for (int32_t iy = 0; iy < side; ++iy) {
+      for (int32_t ix = 0; ix < side; ++ix) {
+        RegionStats agg;
+        for (const QuadNodeRef& child : tree.Children({level, ix, iy})) {
+          agg = agg + tree.stats_[tree.FlatIndex(child)];
+        }
+        tree.stats_[tree.FlatIndex({level, ix, iy})] = agg;
+      }
+    }
+  }
+  return tree;
+}
+
+std::array<QuadNodeRef, 4> QuadHierarchy::Children(
+    const QuadNodeRef& ref) const {
+  LIRA_DCHECK(!IsLeaf(ref));
+  const int32_t level = ref.level + 1;
+  const int32_t bx = ref.ix * 2;
+  const int32_t by = ref.iy * 2;
+  return {QuadNodeRef{level, bx, by}, QuadNodeRef{level, bx + 1, by},
+          QuadNodeRef{level, bx, by + 1}, QuadNodeRef{level, bx + 1, by + 1}};
+}
+
+const RegionStats& QuadHierarchy::Stats(const QuadNodeRef& ref) const {
+  return stats_[FlatIndex(ref)];
+}
+
+Rect QuadHierarchy::RegionOf(const QuadNodeRef& ref) const {
+  const int32_t side = 1 << ref.level;
+  const double w = world_.width() / side;
+  const double h = world_.height() / side;
+  return Rect{world_.min_x + ref.ix * w, world_.min_y + ref.iy * h,
+              world_.min_x + (ref.ix + 1) * w, world_.min_y + (ref.iy + 1) * h};
+}
+
+int64_t QuadHierarchy::TotalNodes() const {
+  return static_cast<int64_t>(level_offset_[num_levels_]);
+}
+
+size_t QuadHierarchy::FlatIndex(const QuadNodeRef& ref) const {
+  LIRA_DCHECK(ref.level >= 0 && ref.level < num_levels_);
+  const int32_t side = 1 << ref.level;
+  LIRA_DCHECK(ref.ix >= 0 && ref.ix < side && ref.iy >= 0 && ref.iy < side);
+  return level_offset_[ref.level] +
+         static_cast<size_t>(ref.iy) * static_cast<size_t>(side) +
+         static_cast<size_t>(ref.ix);
+}
+
+}  // namespace lira

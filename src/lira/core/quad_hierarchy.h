@@ -1,0 +1,72 @@
+// Stage I of GRIDREDUCE (paper Section 3.2.2): a complete quad-tree built
+// over the statistics grid with node/query/speed statistics aggregated
+// bottom-up. Each tree level is a uniform partitioning of the space; the
+// leaves are the statistics-grid cells.
+
+#ifndef LIRA_CORE_QUAD_HIERARCHY_H_
+#define LIRA_CORE_QUAD_HIERARCHY_H_
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "lira/common/geometry.h"
+#include "lira/common/status.h"
+#include "lira/core/region_stats.h"
+#include "lira/core/statistics_grid.h"
+
+namespace lira {
+
+/// Identifies a quad-tree node: level 0 is the root (the whole space);
+/// level k has 2^k x 2^k nodes indexed by (ix, iy).
+struct QuadNodeRef {
+  int32_t level = 0;
+  int32_t ix = 0;
+  int32_t iy = 0;
+
+  friend bool operator==(const QuadNodeRef& a, const QuadNodeRef& b) {
+    return a.level == b.level && a.ix == b.ix && a.iy == b.iy;
+  }
+};
+
+/// The complete quad-tree. Building takes O(alpha^2) time and space
+/// (paper's Stage I bound).
+class QuadHierarchy {
+ public:
+  /// Aggregates the given grid; alpha must be a power of two (enforced by
+  /// StatisticsGrid).
+  static QuadHierarchy Build(const StatisticsGrid& grid);
+
+  /// Number of levels (log2(alpha) + 1).
+  int32_t num_levels() const { return num_levels_; }
+  /// Leaf level index (num_levels - 1).
+  int32_t leaf_level() const { return num_levels_ - 1; }
+
+  QuadNodeRef root() const { return QuadNodeRef{0, 0, 0}; }
+  bool IsLeaf(const QuadNodeRef& ref) const {
+    return ref.level == leaf_level();
+  }
+  /// The four children of a non-leaf node.
+  std::array<QuadNodeRef, 4> Children(const QuadNodeRef& ref) const;
+
+  const RegionStats& Stats(const QuadNodeRef& ref) const;
+  /// Geographic extent of the node's quadrant.
+  Rect RegionOf(const QuadNodeRef& ref) const;
+
+  /// Total number of tree nodes, alpha^2 + (alpha^2 - 1) / 3.
+  int64_t TotalNodes() const;
+
+ private:
+  QuadHierarchy(Rect world, int32_t num_levels);
+
+  size_t FlatIndex(const QuadNodeRef& ref) const;
+
+  Rect world_;
+  int32_t num_levels_;
+  std::vector<size_t> level_offset_;
+  std::vector<RegionStats> stats_;
+};
+
+}  // namespace lira
+
+#endif  // LIRA_CORE_QUAD_HIERARCHY_H_

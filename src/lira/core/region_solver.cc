@@ -1,0 +1,48 @@
+#include "lira/core/region_solver.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace lira {
+
+double SolveSingleRegionInaccuracy(const RegionStats& region, double z,
+                                   const UpdateReductionFunction& f) {
+  if (region.n <= 0.0) {
+    // No nodes, no updates: maximal accuracy is free.
+    return region.m * f.delta_min();
+  }
+  // Smallest Delta with f(Delta) <= z; delta_max when z is unreachable.
+  return region.m * f.InverseEval(z);
+}
+
+StatusOr<double> SolvePartitionedInaccuracy(
+    const std::array<RegionStats, 4>& children, double z,
+    const UpdateReductionFunction& f, const GreedyIncrementConfig& config) {
+  GreedyIncrementConfig child_config = config;
+  child_config.z = z;
+  // The accuracy gain compares unconstrained optima; the fairness threshold
+  // applies to the final throttler assignment, not to the drill-down
+  // heuristic.
+  child_config.fairness_threshold =
+      std::numeric_limits<double>::infinity();
+  const std::vector<RegionStats> regions(children.begin(), children.end());
+  auto result = RunGreedyIncrement(regions, f, child_config);
+  if (!result.ok()) {
+    return result.status();
+  }
+  return result->inaccuracy;
+}
+
+StatusOr<double> AccuracyGain(const RegionStats& parent,
+                              const std::array<RegionStats, 4>& children,
+                              double z, const UpdateReductionFunction& f,
+                              const GreedyIncrementConfig& config) {
+  const double whole = SolveSingleRegionInaccuracy(parent, z, f);
+  auto split = SolvePartitionedInaccuracy(children, z, f, config);
+  if (!split.ok()) {
+    return split.status();
+  }
+  return std::max(0.0, whole - *split);
+}
+
+}  // namespace lira

@@ -1,0 +1,44 @@
+// The per-node optimization problems behind GRIDREDUCE's accuracy gain
+// (paper Section 3.2.3, CALCERRGAIN):
+//
+//   E[t]   = min_Delta  m[t] * Delta      s.t. f(Delta) <= z * f(delta_min)
+//   E_p[t] = min_{Delta_i} sum_i m[t_i] * Delta_i
+//            s.t. sum_i n[t_i] * (s_i / s_hat) * f(Delta_i)
+//                 <= z * n[t] * f(delta_min)
+//
+// E has the closed form m * f^{-1}(z); E_p is GREEDYINCREMENT on the four
+// children. The accuracy gain is V[t] = E[t] - E_p[t].
+
+#ifndef LIRA_CORE_REGION_SOLVER_H_
+#define LIRA_CORE_REGION_SOLVER_H_
+
+#include <array>
+
+#include "lira/common/status.h"
+#include "lira/core/greedy_increment.h"
+#include "lira/core/region_stats.h"
+#include "lira/motion/update_reduction.h"
+
+namespace lira {
+
+/// E[t]: minimal inaccuracy of a single shedding region under throttle
+/// fraction z. When z cannot be met even at delta_max, returns
+/// m * delta_max (the paper's all-maxed fallback).
+double SolveSingleRegionInaccuracy(const RegionStats& region, double z,
+                                   const UpdateReductionFunction& f);
+
+/// E_p[t]: minimal inaccuracy when the region is split into the four given
+/// sub-regions sharing the parent's budget.
+StatusOr<double> SolvePartitionedInaccuracy(
+    const std::array<RegionStats, 4>& children, double z,
+    const UpdateReductionFunction& f, const GreedyIncrementConfig& config);
+
+/// V[t] = max(0, E[t] - E_p[t]).
+StatusOr<double> AccuracyGain(const RegionStats& parent,
+                              const std::array<RegionStats, 4>& children,
+                              double z, const UpdateReductionFunction& f,
+                              const GreedyIncrementConfig& config);
+
+}  // namespace lira
+
+#endif  // LIRA_CORE_REGION_SOLVER_H_

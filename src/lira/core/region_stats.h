@@ -1,0 +1,30 @@
+// Aggregate statistics of a geographic region, the inputs to LIRA's
+// optimization: number of mobile nodes n, (fractional) number of queries m,
+// and mean node speed s (paper Section 3.1).
+
+#ifndef LIRA_CORE_REGION_STATS_H_
+#define LIRA_CORE_REGION_STATS_H_
+
+namespace lira {
+
+struct RegionStats {
+  /// Number of mobile nodes in the region (n_i).
+  double n = 0.0;
+  /// Fractional number of queries overlapping the region (m_i).
+  double m = 0.0;
+  /// Mean speed of the nodes in the region, m/s (s_i); 0 when n == 0.
+  double s = 0.0;
+
+  friend RegionStats operator+(const RegionStats& a, const RegionStats& b) {
+    RegionStats out;
+    out.n = a.n + b.n;
+    out.m = a.m + b.m;
+    const double total = out.n;
+    out.s = total > 0.0 ? (a.s * a.n + b.s * b.n) / total : 0.0;
+    return out;
+  }
+};
+
+}  // namespace lira
+
+#endif  // LIRA_CORE_REGION_STATS_H_

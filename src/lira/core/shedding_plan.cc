@@ -1,0 +1,134 @@
+#include "lira/core/shedding_plan.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "lira/common/check.h"
+
+namespace lira {
+
+SheddingPlan::SheddingPlan(const Rect& world,
+                           std::vector<SheddingRegion> regions,
+                           int32_t locator_cells)
+    : world_(world),
+      regions_(std::move(regions)),
+      locator_cells_(locator_cells),
+      cell_w_(world.width() / locator_cells),
+      cell_h_(world.height() / locator_cells),
+      locator_(static_cast<size_t>(locator_cells) * locator_cells) {
+  for (int32_t r = 0; r < NumRegions(); ++r) {
+    const Rect& area = regions_[r].area;
+    auto cx0 = static_cast<int32_t>((area.min_x - world_.min_x) / cell_w_);
+    auto cy0 = static_cast<int32_t>((area.min_y - world_.min_y) / cell_h_);
+    auto cx1 = static_cast<int32_t>(
+        std::ceil((area.max_x - world_.min_x) / cell_w_) - 1);
+    auto cy1 = static_cast<int32_t>(
+        std::ceil((area.max_y - world_.min_y) / cell_h_) - 1);
+    cx0 = std::clamp(cx0, 0, locator_cells_ - 1);
+    cy0 = std::clamp(cy0, 0, locator_cells_ - 1);
+    cx1 = std::clamp(cx1, cx0, locator_cells_ - 1);
+    cy1 = std::clamp(cy1, cy0, locator_cells_ - 1);
+    for (int32_t cy = cy0; cy <= cy1; ++cy) {
+      for (int32_t cx = cx0; cx <= cx1; ++cx) {
+        locator_[static_cast<size_t>(cy) * locator_cells_ + cx].push_back(r);
+      }
+    }
+  }
+}
+
+SheddingPlan SheddingPlan::MakeUniform(const Rect& world, double delta) {
+  SheddingRegion region;
+  region.area = world;
+  region.delta = delta;
+  auto plan = Create(world, {region}, /*locator_cells=*/1);
+  LIRA_CHECK(plan.ok());
+  return *std::move(plan);
+}
+
+StatusOr<SheddingPlan> SheddingPlan::Create(
+    const Rect& world, std::vector<SheddingRegion> regions,
+    int32_t locator_cells) {
+  if (world.width() <= 0.0 || world.height() <= 0.0) {
+    return InvalidArgumentError("world must be non-degenerate");
+  }
+  if (regions.empty()) {
+    return InvalidArgumentError("a plan needs at least one region");
+  }
+  if (locator_cells < 1) {
+    return InvalidArgumentError("locator_cells must be >= 1");
+  }
+  double total_area = 0.0;
+  for (const SheddingRegion& r : regions) {
+    if (r.area.Area() <= 0.0) {
+      return InvalidArgumentError("degenerate shedding region");
+    }
+    total_area += r.area.Area();
+  }
+  // Cheap tiling sanity check (full disjointness is guaranteed by the
+  // construction paths and verified in tests).
+  if (total_area > world.Area() * 1.001 ||
+      total_area < world.Area() * 0.999) {
+    return InvalidArgumentError("regions do not tile the world");
+  }
+  return SheddingPlan(world, std::move(regions), locator_cells);
+}
+
+int32_t SheddingPlan::RegionIndexAt(Point p) const {
+  p = world_.Clamp(p);
+  const auto cx = std::clamp(
+      static_cast<int32_t>((p.x - world_.min_x) / cell_w_), 0,
+      locator_cells_ - 1);
+  const auto cy = std::clamp(
+      static_cast<int32_t>((p.y - world_.min_y) / cell_h_), 0,
+      locator_cells_ - 1);
+  const auto& candidates =
+      locator_[static_cast<size_t>(cy) * locator_cells_ + cx];
+  LIRA_DCHECK(!candidates.empty());
+  for (int32_t r : candidates) {
+    if (regions_[r].area.Contains(p)) {
+      return r;
+    }
+  }
+  // Float-boundary fallback: the closest candidate by center distance.
+  int32_t best = candidates.front();
+  double best_dist = Distance(regions_[best].area.Center(), p);
+  for (int32_t r : candidates) {
+    const double d = Distance(regions_[r].area.Center(), p);
+    if (d < best_dist) {
+      best = r;
+      best_dist = d;
+    }
+  }
+  return best;
+}
+
+double SheddingPlan::DeltaAt(Point p) const {
+  return regions_[RegionIndexAt(p)].delta;
+}
+
+double SheddingPlan::Inaccuracy() const {
+  double total = 0.0;
+  for (const SheddingRegion& r : regions_) {
+    total += r.stats.m * r.delta;
+  }
+  return total;
+}
+
+double SheddingPlan::MinDelta() const {
+  double out = regions_.front().delta;
+  for (const SheddingRegion& r : regions_) {
+    out = std::min(out, r.delta);
+  }
+  return out;
+}
+
+double SheddingPlan::MaxDelta() const {
+  double out = regions_.front().delta;
+  for (const SheddingRegion& r : regions_) {
+    out = std::max(out, r.delta);
+  }
+  return out;
+}
+
+}  // namespace lira

@@ -1,0 +1,72 @@
+// A shedding plan: the partitioning of the space into shedding regions plus
+// the update throttler (inaccuracy threshold) of each region. This is what
+// the server disseminates through base stations and what each mobile node
+// consults locally to pick its dead-reckoning threshold.
+
+#ifndef LIRA_CORE_SHEDDING_PLAN_H_
+#define LIRA_CORE_SHEDDING_PLAN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "lira/common/geometry.h"
+#include "lira/common/status.h"
+#include "lira/core/region_stats.h"
+
+namespace lira {
+
+/// One shedding region A_i with its statistics and throttler Delta_i.
+struct SheddingRegion {
+  Rect area;
+  RegionStats stats;
+  double delta = 0.0;  ///< update throttler, meters
+};
+
+/// Immutable plan with point -> throttler lookup. Lookup uses a small
+/// locator grid (the paper's mobile nodes employ a tiny 5x5 grid index for
+/// the same purpose, Section 4.3.2).
+class SheddingPlan {
+ public:
+  /// A single region covering the whole world with one threshold (used by
+  /// the Random Drop and Uniform-Delta baselines).
+  static SheddingPlan MakeUniform(const Rect& world, double delta);
+
+  /// Builds a plan from regions that must tile `world` (disjoint,
+  /// covering); this is guaranteed by construction for GRIDREDUCE quadrants
+  /// and for even partitionings. `locator_cells` sets the lookup-grid
+  /// resolution.
+  static StatusOr<SheddingPlan> Create(const Rect& world,
+                                       std::vector<SheddingRegion> regions,
+                                       int32_t locator_cells = 32);
+
+  int32_t NumRegions() const { return static_cast<int32_t>(regions_.size()); }
+  const std::vector<SheddingRegion>& regions() const { return regions_; }
+  const Rect& world() const { return world_; }
+
+  /// Index of the region containing `p` (points outside the world are
+  /// clamped in).
+  int32_t RegionIndexAt(Point p) const;
+  /// Throttler of the region containing `p`.
+  double DeltaAt(Point p) const;
+
+  /// Objective value InAcc = sum m_i * Delta_i (paper Section 3.1).
+  double Inaccuracy() const;
+  double MinDelta() const;
+  double MaxDelta() const;
+
+ private:
+  SheddingPlan(const Rect& world, std::vector<SheddingRegion> regions,
+               int32_t locator_cells);
+
+  Rect world_;
+  std::vector<SheddingRegion> regions_;
+  int32_t locator_cells_;
+  double cell_w_;
+  double cell_h_;
+  /// Region indices intersecting each locator cell.
+  std::vector<std::vector<int32_t>> locator_;
+};
+
+}  // namespace lira
+
+#endif  // LIRA_CORE_SHEDDING_PLAN_H_

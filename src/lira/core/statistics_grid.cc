@@ -1,0 +1,198 @@
+#include "lira/core/statistics_grid.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "lira/common/check.h"
+
+namespace lira {
+namespace {
+
+bool IsPowerOfTwo(int32_t v) { return v > 0 && (v & (v - 1)) == 0; }
+
+}  // namespace
+
+StatisticsGrid::StatisticsGrid(const Rect& world, int32_t alpha)
+    : world_(world),
+      alpha_(alpha),
+      cell_w_(world.width() / alpha),
+      cell_h_(world.height() / alpha),
+      node_count_(static_cast<size_t>(alpha) * alpha, 0.0),
+      speed_sum_(static_cast<size_t>(alpha) * alpha, 0.0),
+      query_count_(static_cast<size_t>(alpha) * alpha, 0.0) {}
+
+StatusOr<StatisticsGrid> StatisticsGrid::Create(const Rect& world,
+                                                int32_t alpha) {
+  if (world.width() <= 0.0 || world.height() <= 0.0) {
+    return InvalidArgumentError("world rectangle must be non-degenerate");
+  }
+  if (!IsPowerOfTwo(alpha)) {
+    return InvalidArgumentError("alpha must be a positive power of two");
+  }
+  return StatisticsGrid(world, alpha);
+}
+
+int32_t StatisticsGrid::RecommendedAlpha(int32_t l, double x) {
+  LIRA_CHECK(l >= 1);
+  LIRA_CHECK(x > 0.0);
+  const double target = x * std::sqrt(static_cast<double>(l));
+  const auto exponent = static_cast<int32_t>(std::floor(std::log2(target)));
+  return 1 << std::max(exponent, 0);
+}
+
+Rect StatisticsGrid::CellRect(int32_t ix, int32_t iy) const {
+  LIRA_DCHECK(ix >= 0 && ix < alpha_ && iy >= 0 && iy < alpha_);
+  return Rect{world_.min_x + ix * cell_w_, world_.min_y + iy * cell_h_,
+              world_.min_x + (ix + 1) * cell_w_,
+              world_.min_y + (iy + 1) * cell_h_};
+}
+
+void StatisticsGrid::ClearNodes() {
+  std::fill(node_count_.begin(), node_count_.end(), 0.0);
+  std::fill(speed_sum_.begin(), speed_sum_.end(), 0.0);
+}
+
+void StatisticsGrid::ClearQueries() {
+  std::fill(query_count_.begin(), query_count_.end(), 0.0);
+}
+
+void StatisticsGrid::LocateCell(Point p, int32_t* ix, int32_t* iy) const {
+  p = world_.Clamp(p);
+  *ix = std::clamp(static_cast<int32_t>((p.x - world_.min_x) / cell_w_), 0,
+                   alpha_ - 1);
+  *iy = std::clamp(static_cast<int32_t>((p.y - world_.min_y) / cell_h_), 0,
+                   alpha_ - 1);
+}
+
+void StatisticsGrid::AddNode(Point position, double speed) {
+  int32_t ix;
+  int32_t iy;
+  LocateCell(position, &ix, &iy);
+  const size_t idx = CellIndex(ix, iy);
+  node_count_[idx] += 1.0;
+  speed_sum_[idx] += speed;
+}
+
+void StatisticsGrid::RemoveNode(Point position, double speed) {
+  int32_t ix;
+  int32_t iy;
+  LocateCell(position, &ix, &iy);
+  const size_t idx = CellIndex(ix, iy);
+  node_count_[idx] = std::max(0.0, node_count_[idx] - 1.0);
+  speed_sum_[idx] = std::max(0.0, speed_sum_[idx] - speed);
+}
+
+void StatisticsGrid::AddQueries(const QueryRegistry& registry,
+                                double margin) {
+  LIRA_CHECK(margin >= 0.0);
+  for (const RangeQuery& original : registry.queries()) {
+    RangeQuery q = original;
+    q.range.min_x -= margin;
+    q.range.min_y -= margin;
+    q.range.max_x += margin;
+    q.range.max_y += margin;
+    const Rect clipped = q.range.Intersection(world_);
+    if (clipped.Area() <= 0.0 || q.range.Area() <= 0.0) {
+      continue;
+    }
+    auto cx0 = static_cast<int32_t>((clipped.min_x - world_.min_x) / cell_w_);
+    auto cy0 = static_cast<int32_t>((clipped.min_y - world_.min_y) / cell_h_);
+    auto cx1 = static_cast<int32_t>((clipped.max_x - world_.min_x) / cell_w_);
+    auto cy1 = static_cast<int32_t>((clipped.max_y - world_.min_y) / cell_h_);
+    cx0 = std::clamp(cx0, 0, alpha_ - 1);
+    cy0 = std::clamp(cy0, 0, alpha_ - 1);
+    cx1 = std::clamp(cx1, 0, alpha_ - 1);
+    cy1 = std::clamp(cy1, 0, alpha_ - 1);
+    const double inv_area = 1.0 / q.range.Area();
+    for (int32_t iy = cy0; iy <= cy1; ++iy) {
+      for (int32_t ix = cx0; ix <= cx1; ++ix) {
+        const double overlap = CellRect(ix, iy).Intersection(q.range).Area();
+        if (overlap > 0.0) {
+          query_count_[CellIndex(ix, iy)] += overlap * inv_area;
+        }
+      }
+    }
+  }
+}
+
+double StatisticsGrid::NodeCount(int32_t ix, int32_t iy) const {
+  return node_count_[CellIndex(ix, iy)];
+}
+
+double StatisticsGrid::QueryCount(int32_t ix, int32_t iy) const {
+  return query_count_[CellIndex(ix, iy)];
+}
+
+double StatisticsGrid::MeanSpeed(int32_t ix, int32_t iy) const {
+  const size_t idx = CellIndex(ix, iy);
+  return node_count_[idx] > 0.0 ? speed_sum_[idx] / node_count_[idx] : 0.0;
+}
+
+RegionStats StatisticsGrid::CellStats(int32_t ix, int32_t iy) const {
+  RegionStats stats;
+  stats.n = NodeCount(ix, iy);
+  stats.m = QueryCount(ix, iy);
+  stats.s = MeanSpeed(ix, iy);
+  return stats;
+}
+
+RegionStats StatisticsGrid::AggregateRect(const Rect& rect) const {
+  RegionStats stats;
+  const Rect clipped = rect.Intersection(world_);
+  if (clipped.Area() <= 0.0) {
+    return stats;
+  }
+  auto cx0 = static_cast<int32_t>((clipped.min_x - world_.min_x) / cell_w_);
+  auto cy0 = static_cast<int32_t>((clipped.min_y - world_.min_y) / cell_h_);
+  auto cx1 = static_cast<int32_t>((clipped.max_x - world_.min_x) / cell_w_);
+  auto cy1 = static_cast<int32_t>((clipped.max_y - world_.min_y) / cell_h_);
+  cx0 = std::clamp(cx0, 0, alpha_ - 1);
+  cy0 = std::clamp(cy0, 0, alpha_ - 1);
+  cx1 = std::clamp(cx1, 0, alpha_ - 1);
+  cy1 = std::clamp(cy1, 0, alpha_ - 1);
+  double speed_sum = 0.0;
+  const double cell_area = cell_w_ * cell_h_;
+  for (int32_t iy = cy0; iy <= cy1; ++iy) {
+    for (int32_t ix = cx0; ix <= cx1; ++ix) {
+      const double fraction =
+          CellRect(ix, iy).Intersection(rect).Area() / cell_area;
+      if (fraction <= 0.0) {
+        continue;
+      }
+      const size_t idx = CellIndex(ix, iy);
+      stats.n += node_count_[idx] * fraction;
+      stats.m += query_count_[idx] * fraction;
+      speed_sum += speed_sum_[idx] * fraction;
+    }
+  }
+  stats.s = stats.n > 0.0 ? speed_sum / stats.n : 0.0;
+  return stats;
+}
+
+double StatisticsGrid::TotalNodes() const {
+  double total = 0.0;
+  for (double v : node_count_) {
+    total += v;
+  }
+  return total;
+}
+
+double StatisticsGrid::TotalQueries() const {
+  double total = 0.0;
+  for (double v : query_count_) {
+    total += v;
+  }
+  return total;
+}
+
+double StatisticsGrid::OverallMeanSpeed() const {
+  double nodes = 0.0;
+  double speed = 0.0;
+  for (size_t i = 0; i < node_count_.size(); ++i) {
+    nodes += node_count_[i];
+    speed += speed_sum_[i];
+  }
+  return nodes > 0.0 ? speed / nodes : 0.0;
+}
+
+}  // namespace lira

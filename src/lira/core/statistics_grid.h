@@ -1,0 +1,97 @@
+// The statistics grid (paper Section 3.2.1): an alpha x alpha evenly spaced
+// grid over the monitored space storing, per cell, the number of mobile
+// nodes n_{i,j}, the fractional number of queries m_{i,j}, and the average
+// node speed s_{i,j}. It is the only data structure the LIRA load shedder
+// maintains.
+
+#ifndef LIRA_CORE_STATISTICS_GRID_H_
+#define LIRA_CORE_STATISTICS_GRID_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "lira/common/geometry.h"
+#include "lira/common/status.h"
+#include "lira/cq/query_registry.h"
+#include "lira/core/region_stats.h"
+
+namespace lira {
+
+/// Per-cell node / query / speed statistics. Node statistics can be rebuilt
+/// from scratch (the grid-index-piggyback mode of the paper) or maintained
+/// incrementally per position update (constant time per update).
+class StatisticsGrid {
+ public:
+  /// `alpha` is the number of cells per side; the paper requires a power of
+  /// two so a complete quad-tree can be built on top.
+  static StatusOr<StatisticsGrid> Create(const Rect& world, int32_t alpha);
+
+  /// Paper Section 3.2.5: alpha = 2^floor(log2(x * sqrt(l))), default
+  /// x = 10 ("around 100 times difference in area").
+  static int32_t RecommendedAlpha(int32_t l, double x = 10.0);
+
+  int32_t alpha() const { return alpha_; }
+  const Rect& world() const { return world_; }
+  /// Geographic extent of cell (ix, iy); cells tile the world exactly.
+  Rect CellRect(int32_t ix, int32_t iy) const;
+
+  /// Clears node statistics (n and s); query statistics are kept.
+  void ClearNodes();
+  /// Clears query statistics (m).
+  void ClearQueries();
+
+  /// Adds one node observation at `position` moving at `speed` m/s.
+  void AddNode(Point position, double speed);
+  /// Removes a previously added node observation (incremental maintenance).
+  void RemoveNode(Point position, double speed);
+
+  /// Adds the registry's queries with fractional counting: each query adds
+  /// area(q ∩ cell) / area(q) to every overlapped cell's m.
+  ///
+  /// `margin` (meters) expands every query rectangle on all sides before
+  /// counting. A mobile node within Delta of a query border can wrongly
+  /// enter/leave the result, so regions within the attainable inaccuracy of
+  /// a query border should not be treated as query-free; a margin of about
+  /// the maximum throttler keeps the optimizer from pressing high-Delta
+  /// regions flush against query boundaries.
+  void AddQueries(const QueryRegistry& registry, double margin = 0.0);
+
+  /// Per-cell accessors.
+  double NodeCount(int32_t ix, int32_t iy) const;
+  double QueryCount(int32_t ix, int32_t iy) const;
+  double MeanSpeed(int32_t ix, int32_t iy) const;
+  RegionStats CellStats(int32_t ix, int32_t iy) const;
+
+  /// Aggregated statistics of an arbitrary rectangle. Cells partially
+  /// covered contribute proportionally to the covered area fraction (their
+  /// contents are assumed uniformly spread). Used by the even
+  /// l-partitioning baseline and by tests.
+  RegionStats AggregateRect(const Rect& rect) const;
+
+  /// Totals over the whole grid.
+  double TotalNodes() const;
+  double TotalQueries() const;
+  /// Node-weighted mean speed over the grid (the paper's s-hat).
+  double OverallMeanSpeed() const;
+
+ private:
+  StatisticsGrid(const Rect& world, int32_t alpha);
+
+  size_t CellIndex(int32_t ix, int32_t iy) const {
+    return static_cast<size_t>(iy) * alpha_ + ix;
+  }
+  /// Cell containing a (clamped) point.
+  void LocateCell(Point p, int32_t* ix, int32_t* iy) const;
+
+  Rect world_;
+  int32_t alpha_;
+  double cell_w_;
+  double cell_h_;
+  std::vector<double> node_count_;
+  std::vector<double> speed_sum_;
+  std::vector<double> query_count_;
+};
+
+}  // namespace lira
+
+#endif  // LIRA_CORE_STATISTICS_GRID_H_

@@ -1,0 +1,58 @@
+// THROTLOOP (paper Section 3.4): adaptive control of the throttle fraction
+// z from the observed utilization of the position-update input queue.
+//
+// With a bounded queue of size B and an M/M/1 argument, the target
+// utilization keeping the mean queue length within the buffer is
+// rho* = 1 - 1/B. Periodically:
+//
+//     u = rho / (1 - 1/B),   z <- min(1, z / u)
+//
+// so overload (u > 1) shrinks z and slack (u < 1) grows it back towards 1.
+
+#ifndef LIRA_CORE_THROT_LOOP_H_
+#define LIRA_CORE_THROT_LOOP_H_
+
+#include <cstdint>
+
+#include "lira/common/status.h"
+
+namespace lira {
+
+struct ThrotLoopConfig {
+  /// Maximum input-queue size B (messages).
+  int64_t queue_capacity = 500;
+  /// Floor on z; keeps the controller out of the degenerate z = 0 fixpoint
+  /// under measurement noise.
+  double min_z = 0.01;
+};
+
+/// The throttle-fraction controller. Not thread-safe.
+class ThrotLoop {
+ public:
+  /// Fails when queue_capacity < 2 or min_z outside (0, 1].
+  static StatusOr<ThrotLoop> Create(const ThrotLoopConfig& config);
+
+  /// Current throttle fraction (starts at 1).
+  double z() const { return z_; }
+
+  /// Target utilization rho* = 1 - 1/B.
+  double TargetUtilization() const;
+
+  /// One periodic adaptation step given the arrival rate lambda and service
+  /// rate mu observed over the last period (both in updates/second). A zero
+  /// arrival rate resets z towards 1. Returns the new z.
+  double Update(double lambda, double mu);
+
+  int64_t steps() const { return steps_; }
+
+ private:
+  explicit ThrotLoop(const ThrotLoopConfig& config) : config_(config) {}
+
+  ThrotLoopConfig config_;
+  double z_ = 1.0;
+  int64_t steps_ = 0;
+};
+
+}  // namespace lira
+
+#endif  // LIRA_CORE_THROT_LOOP_H_

@@ -1,0 +1,71 @@
+#include "lira/cq/evaluator.h"
+
+#include <algorithm>
+
+#include "lira/common/check.h"
+
+namespace lira {
+
+std::vector<NodeId> SortedRangeQuery(const GridIndex& index,
+                                     const Rect& range) {
+  std::vector<NodeId> members = index.RangeQuery(range);
+  std::sort(members.begin(), members.end());
+  return members;
+}
+
+QueryAccuracy CompareQuery(const GridIndex& truth_index,
+                           const GridIndex& believed_index,
+                           const Rect& range) {
+  const std::vector<NodeId> truth = SortedRangeQuery(truth_index, range);
+  const std::vector<NodeId> believed = SortedRangeQuery(believed_index, range);
+
+  QueryAccuracy acc;
+  acc.truth_size = static_cast<int32_t>(truth.size());
+  acc.believed_size = static_cast<int32_t>(believed.size());
+
+  // Symmetric difference size via merge.
+  size_t i = 0;
+  size_t j = 0;
+  int32_t sym_diff = 0;
+  while (i < truth.size() && j < believed.size()) {
+    if (truth[i] == believed[j]) {
+      ++i;
+      ++j;
+    } else if (truth[i] < believed[j]) {
+      ++sym_diff;
+      ++i;
+    } else {
+      ++sym_diff;
+      ++j;
+    }
+  }
+  sym_diff += static_cast<int32_t>((truth.size() - i) + (believed.size() - j));
+  acc.containment_error =
+      static_cast<double>(sym_diff) /
+      static_cast<double>(std::max<int32_t>(1, acc.truth_size));
+
+  // Position error over the believed result set.
+  if (!believed.empty()) {
+    double total = 0.0;
+    for (NodeId id : believed) {
+      LIRA_DCHECK(truth_index.Contains(id));
+      total += Distance(believed_index.PositionOf(id),
+                        truth_index.PositionOf(id));
+    }
+    acc.position_error = total / static_cast<double>(believed.size());
+  }
+  return acc;
+}
+
+std::vector<QueryAccuracy> CompareAllQueries(const GridIndex& truth_index,
+                                             const GridIndex& believed_index,
+                                             const QueryRegistry& registry) {
+  std::vector<QueryAccuracy> out;
+  out.reserve(registry.size());
+  for (const RangeQuery& q : registry.queries()) {
+    out.push_back(CompareQuery(truth_index, believed_index, q.range));
+  }
+  return out;
+}
+
+}  // namespace lira

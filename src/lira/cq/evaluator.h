@@ -1,0 +1,43 @@
+// Query evaluation and per-query accuracy comparison (paper Section 4.1.1).
+
+#ifndef LIRA_CQ_EVALUATOR_H_
+#define LIRA_CQ_EVALUATOR_H_
+
+#include <vector>
+
+#include "lira/cq/query_registry.h"
+#include "lira/index/grid_index.h"
+
+namespace lira {
+
+/// Accuracy of one query result at one instant, comparing the server's
+/// believed result R(q) against the ground truth R*(q).
+struct QueryAccuracy {
+  /// (|R* \ R| + |R \ R*|) / max(1, |R*|)  -- the containment error.
+  double containment_error = 0.0;
+  /// Mean |p(o) - p*(o)| over o in R(q) (0 when R(q) is empty) -- the
+  /// position error, in meters.
+  double position_error = 0.0;
+  int32_t truth_size = 0;
+  int32_t believed_size = 0;
+};
+
+/// Members of `range` in `index`, sorted by id (for set comparison).
+std::vector<NodeId> SortedRangeQuery(const GridIndex& index,
+                                     const Rect& range);
+
+/// Compares one query's result between the ground-truth index and the
+/// believed (dead-reckoned) index. `truth_index` must contain every node
+/// that appears in `believed_index`.
+QueryAccuracy CompareQuery(const GridIndex& truth_index,
+                           const GridIndex& believed_index, const Rect& range);
+
+/// Evaluates every query in the registry; result[i] is the accuracy of
+/// query i.
+std::vector<QueryAccuracy> CompareAllQueries(const GridIndex& truth_index,
+                                             const GridIndex& believed_index,
+                                             const QueryRegistry& registry);
+
+}  // namespace lira
+
+#endif  // LIRA_CQ_EVALUATOR_H_

@@ -1,0 +1,25 @@
+// Continual range queries.
+
+#ifndef LIRA_CQ_QUERY_H_
+#define LIRA_CQ_QUERY_H_
+
+#include <cstdint>
+
+#include "lira/common/geometry.h"
+
+namespace lira {
+
+/// Identifies a continual query.
+using QueryId = int32_t;
+
+/// A continual range query: report the set of mobile nodes inside `range`.
+/// The experiments use static ranges (the paper's range CQs); nothing in the
+/// load shedder depends on ranges being static.
+struct RangeQuery {
+  QueryId id = -1;
+  Rect range;
+};
+
+}  // namespace lira
+
+#endif  // LIRA_CQ_QUERY_H_

@@ -1,0 +1,28 @@
+#include "lira/cq/query_registry.h"
+
+#include "lira/common/check.h"
+
+namespace lira {
+
+QueryId QueryRegistry::Add(const Rect& range) {
+  RangeQuery query;
+  query.id = static_cast<QueryId>(queries_.size());
+  query.range = range;
+  queries_.push_back(query);
+  return query.id;
+}
+
+const RangeQuery& QueryRegistry::Get(QueryId id) const {
+  LIRA_DCHECK(id >= 0 && id < size());
+  return queries_[id];
+}
+
+double QueryRegistry::FractionalCount(const Rect& rect) const {
+  double total = 0.0;
+  for (const RangeQuery& q : queries_) {
+    total += OverlapFraction(q.range, rect);
+  }
+  return total;
+}
+
+}  // namespace lira

@@ -1,0 +1,37 @@
+// The set of continual queries installed at the server.
+
+#ifndef LIRA_CQ_QUERY_REGISTRY_H_
+#define LIRA_CQ_QUERY_REGISTRY_H_
+
+#include <vector>
+
+#include "lira/common/geometry.h"
+#include "lira/cq/query.h"
+
+namespace lira {
+
+/// Holds the installed continual queries. Query ids are dense indices into
+/// the registration order.
+class QueryRegistry {
+ public:
+  QueryRegistry() = default;
+
+  /// Registers a query with the given range; returns its id.
+  QueryId Add(const Rect& range);
+
+  int32_t size() const { return static_cast<int32_t>(queries_.size()); }
+  const RangeQuery& Get(QueryId id) const;
+  const std::vector<RangeQuery>& queries() const { return queries_; }
+
+  /// Fractional number of queries overlapping `rect`: each query counts by
+  /// the fraction of its own area inside `rect` (paper Section 3.1: "queries
+  /// partially intersecting the shedding region are fractionally counted").
+  double FractionalCount(const Rect& rect) const;
+
+ private:
+  std::vector<RangeQuery> queries_;
+};
+
+}  // namespace lira
+
+#endif  // LIRA_CQ_QUERY_REGISTRY_H_

@@ -1,0 +1,93 @@
+#include "lira/cq/workload.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "lira/common/rng.h"
+
+namespace lira {
+
+std::string_view QueryDistributionName(QueryDistribution d) {
+  switch (d) {
+    case QueryDistribution::kProportional:
+      return "Proportional";
+    case QueryDistribution::kInverse:
+      return "Inverse";
+    case QueryDistribution::kRandom:
+      return "Random";
+  }
+  return "Unknown";
+}
+
+StatusOr<QueryRegistry> GenerateQueries(
+    const QueryWorkloadConfig& config, const Rect& world,
+    const std::vector<Point>& node_positions) {
+  if (config.num_queries < 0) {
+    return InvalidArgumentError("num_queries must be non-negative");
+  }
+  if (config.side_length <= 0.0) {
+    return InvalidArgumentError("side_length must be positive");
+  }
+  if (config.density_cells < 1) {
+    return InvalidArgumentError("density_cells must be >= 1");
+  }
+  if (world.width() <= 0.0 || world.height() <= 0.0) {
+    return InvalidArgumentError("world must be non-degenerate");
+  }
+  if (config.side_length > std::min(world.width(), world.height())) {
+    return InvalidArgumentError("side_length exceeds the world size");
+  }
+
+  const int32_t g = config.density_cells;
+  const double cell_w = world.width() / g;
+  const double cell_h = world.height() / g;
+  std::vector<double> counts(static_cast<size_t>(g) * g, 0.0);
+  for (Point p : node_positions) {
+    p = world.Clamp(p);
+    const auto cx = std::clamp(
+        static_cast<int32_t>((p.x - world.min_x) / cell_w), 0, g - 1);
+    const auto cy = std::clamp(
+        static_cast<int32_t>((p.y - world.min_y) / cell_h), 0, g - 1);
+    counts[static_cast<size_t>(cy) * g + cx] += 1.0;
+  }
+
+  std::vector<double> weights(counts.size(), 1.0);
+  switch (config.distribution) {
+    case QueryDistribution::kProportional:
+      // Dense cells attract queries; empty cells keep a tiny weight so the
+      // sampler never degenerates.
+      for (size_t i = 0; i < counts.size(); ++i) {
+        weights[i] = counts[i] + 0.05;
+      }
+      break;
+    case QueryDistribution::kInverse:
+      for (size_t i = 0; i < counts.size(); ++i) {
+        weights[i] = 1.0 / (counts[i] + 1.0);
+      }
+      break;
+    case QueryDistribution::kRandom:
+      break;  // uniform
+  }
+
+  Rng rng(config.seed);
+  QueryRegistry registry;
+  for (int32_t q = 0; q < config.num_queries; ++q) {
+    const size_t cell = rng.WeightedIndex(weights);
+    const auto cy = static_cast<int32_t>(cell) / g;
+    const auto cx = static_cast<int32_t>(cell) % g;
+    Point center{world.min_x + (cx + rng.Uniform01()) * cell_w,
+                 world.min_y + (cy + rng.Uniform01()) * cell_h};
+    const double side =
+        rng.Uniform(config.side_length / 2.0, config.side_length);
+    // Keep the query fully inside the world by clamping its center.
+    center.x = std::clamp(center.x, world.min_x + side / 2,
+                          world.max_x - side / 2);
+    center.y = std::clamp(center.y, world.min_y + side / 2,
+                          world.max_y - side / 2);
+    registry.Add(Rect::CenteredAt(center, side));
+  }
+  return registry;
+}
+
+}  // namespace lira

@@ -1,0 +1,47 @@
+// Query workload generation (paper Section 4.2).
+//
+// Range-CQ side lengths are drawn uniformly from [w/2, w] where w is the
+// side-length parameter. Query *locations* follow one of three distributions
+// relative to the mobile-node distribution: Proportional, Inverse, Random.
+
+#ifndef LIRA_CQ_WORKLOAD_H_
+#define LIRA_CQ_WORKLOAD_H_
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "lira/common/geometry.h"
+#include "lira/common/status.h"
+#include "lira/cq/query_registry.h"
+
+namespace lira {
+
+enum class QueryDistribution {
+  kProportional = 0,  ///< query density follows node density
+  kInverse = 1,       ///< query density follows the inverse of node density
+  kRandom = 2,        ///< uniform over the world
+};
+
+std::string_view QueryDistributionName(QueryDistribution d);
+
+struct QueryWorkloadConfig {
+  int32_t num_queries = 40;
+  /// Side-length parameter w; sides are ~ U[w/2, w] (meters).
+  double side_length = 1000.0;
+  QueryDistribution distribution = QueryDistribution::kProportional;
+  /// Resolution of the density grid used to bias query placement.
+  int32_t density_cells = 32;
+  uint64_t seed = 23;
+};
+
+/// Generates `config.num_queries` range queries inside `world`, biased by
+/// the node density estimated from `node_positions`. Query rectangles are
+/// always fully inside the world.
+StatusOr<QueryRegistry> GenerateQueries(
+    const QueryWorkloadConfig& config, const Rect& world,
+    const std::vector<Point>& node_positions);
+
+}  // namespace lira
+
+#endif  // LIRA_CQ_WORKLOAD_H_

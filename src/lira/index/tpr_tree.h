@@ -1,0 +1,142 @@
+// A TPR-tree: time-parameterized R-tree over moving points (Saltenis,
+// Jensen, Leutenegger, Lopez, SIGMOD 2000 -- the paper's reference [15]).
+//
+// The paper positions LIRA as complementary to update-efficient moving-
+// object indexes "such as the TPR-tree"; this implementation lets the CQ
+// server answer range queries directly from the motion models it tracks,
+// without rebuilding a snapshot index per evaluation.
+//
+// Entries are linear motion models. A node's bounding box is time-
+// parameterized: a rectangle at the node's reference time plus velocity
+// bounds per side, so the box at time t is
+//
+//   [min_x + min_vx * (t - t_ref),  max_x + max_vx * (t - t_ref)] x (same in y)
+//
+// which conservatively contains every child for all t >= t_ref. Queries at
+// time t expand boxes to t and prune as in an R-tree. Updates are
+// delete + reinsert, located through a direct id -> leaf map. Subtree
+// choice and node splits minimize the box area at a configurable horizon
+// midpoint, the standard TPR-tree heuristic.
+
+#ifndef LIRA_INDEX_TPR_TREE_H_
+#define LIRA_INDEX_TPR_TREE_H_
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "lira/common/geometry.h"
+#include "lira/common/status.h"
+#include "lira/mobility/position.h"
+#include "lira/motion/linear_model.h"
+
+namespace lira {
+
+struct TprTreeOptions {
+  /// Maximum entries per node (fan-out). Minimum is max_entries / 2.
+  int32_t max_entries = 16;
+  /// Lookahead horizon H (seconds): structure decisions minimize the
+  /// time-parameterized area at t_ref + horizon / 2.
+  double horizon = 60.0;
+};
+
+/// Time-parameterized bounding rectangle.
+struct Tpbr {
+  double t_ref = 0.0;
+  double min_x = 0.0, min_y = 0.0, max_x = 0.0, max_y = 0.0;
+  double min_vx = 0.0, min_vy = 0.0, max_vx = 0.0, max_vy = 0.0;
+
+  /// Box extrapolated to time t (valid for t >= t_ref; earlier times are
+  /// clamped to the reference box, keeping the bound conservative for the
+  /// tree's use where t_ref <= all query times of interest).
+  Rect AtTime(double t) const;
+
+  /// The TPBR of a single motion model.
+  static Tpbr ForModel(const LinearMotionModel& model);
+
+  /// Smallest TPBR covering both inputs, anchored at max(t_ref) (valid for
+  /// all t >= max(t_ref); queries in this library never look at earlier
+  /// times).
+  static Tpbr Union(const Tpbr& a, const Tpbr& b);
+
+  /// Re-anchors the TPBR to a later reference time.
+  Tpbr RebasedTo(double t) const;
+
+  /// Area of AtTime(t).
+  double AreaAt(double t) const;
+};
+
+/// Moving-object index over linear motion models.
+class TprTree {
+ public:
+  static StatusOr<TprTree> Create(const TprTreeOptions& options = {});
+  TprTree(TprTree&&) = default;
+  TprTree& operator=(TprTree&&) = default;
+
+  /// Inserts or replaces the motion model of `id`.
+  void Update(NodeId id, const LinearMotionModel& model);
+
+  /// Removes `id` if present; returns whether it was present.
+  bool Remove(NodeId id);
+
+  bool Contains(NodeId id) const { return leaf_of_.contains(id); }
+  int32_t size() const { return static_cast<int32_t>(leaf_of_.size()); }
+
+  /// Ids whose predicted position at time `t` lies inside `range`.
+  /// Requires t >= every indexed model's t0 for exact results (earlier
+  /// times still return a superset-free answer because each candidate is
+  /// verified against its exact model).
+  std::vector<NodeId> QueryAt(const Rect& range, double t) const;
+
+  /// The exact current model of an indexed object.
+  StatusOr<LinearMotionModel> ModelOf(NodeId id) const;
+
+  /// Structural invariants: parent boxes contain children at reference and
+  /// horizon times, entry counts within bounds, id map consistent. For
+  /// tests.
+  Status CheckInvariants() const;
+
+  /// Tree height (1 = root is a leaf); for tests and diagnostics.
+  int32_t Height() const;
+
+ private:
+  struct Node;
+  struct Entry {
+    Tpbr box;
+    // Exactly one of the two below is meaningful: child for internal nodes,
+    // (id, model) for leaves.
+    std::unique_ptr<Node> child;
+    NodeId id = kInvalidNode;
+    LinearMotionModel model;
+  };
+  struct Node {
+    bool leaf = true;
+    Node* parent = nullptr;
+    std::vector<Entry> entries;
+  };
+
+  explicit TprTree(const TprTreeOptions& options) : options_(options) {}
+
+  int32_t MinEntries() const { return options_.max_entries / 2; }
+  double HorizonMid(double t_ref) const {
+    return t_ref + options_.horizon / 2.0;
+  }
+
+  Node* ChooseLeaf(const Tpbr& box);
+  void InsertEntry(Node* node, Entry entry);
+  void SplitNode(Node* node);
+  void AdjustUpwards(Node* node);
+  Tpbr NodeBox(const Node* node) const;
+  void CondenseAfterRemove(Node* leaf);
+  void ReinsertSubtree(Node* node);
+  Status CheckNode(const Node* node, const Node* expected_parent) const;
+
+  TprTreeOptions options_;
+  std::unique_ptr<Node> root_;
+  std::unordered_map<NodeId, Node*> leaf_of_;
+};
+
+}  // namespace lira
+
+#endif  // LIRA_INDEX_TPR_TREE_H_

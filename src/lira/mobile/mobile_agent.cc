@@ -1,0 +1,167 @@
+#include "lira/mobile/mobile_agent.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "lira/common/check.h"
+
+namespace lira {
+
+StatusOr<BaseStationNetwork> BaseStationNetwork::Create(
+    std::vector<BaseStation> stations) {
+  if (stations.empty()) {
+    return InvalidArgumentError("need at least one base station");
+  }
+  for (const BaseStation& station : stations) {
+    if (station.radius <= 0.0) {
+      return InvalidArgumentError("station radius must be positive");
+    }
+  }
+  return BaseStationNetwork(std::move(stations));
+}
+
+Status BaseStationNetwork::PublishPlan(const SheddingPlan& plan) {
+  for (size_t s = 0; s < stations_.size(); ++s) {
+    auto payload = EncodePlanSubset(plan, stations_[s]);
+    if (!payload.ok()) {
+      return payload.status();
+    }
+    payloads_[s] = *std::move(payload);
+    ++total_broadcasts_;
+    total_broadcast_bytes_ += static_cast<int64_t>(payloads_[s].size());
+  }
+  ++epoch_;
+  return OkStatus();
+}
+
+int32_t BaseStationNetwork::StationForPosition(Point p) const {
+  return StationForPoint(stations_, p);
+}
+
+const std::vector<uint8_t>& BaseStationNetwork::PayloadFor(
+    int32_t station) const {
+  LIRA_DCHECK(station >= 0 &&
+              station < static_cast<int32_t>(payloads_.size()));
+  return payloads_[station];
+}
+
+void BaseStationNetwork::RecordHandoff(int32_t station) {
+  ++total_handoffs_;
+  total_handoff_bytes_ += static_cast<int64_t>(payloads_[station].size());
+}
+
+MobileAgent::MobileAgent(NodeId id, double fallback_delta)
+    : id_(id), fallback_delta_(fallback_delta) {
+  LIRA_CHECK(fallback_delta > 0.0);
+}
+
+Status MobileAgent::Install(const std::vector<uint8_t>& payload,
+                            const BaseStation& station) {
+  auto regions = DecodeRegions(payload);
+  if (!regions.ok()) {
+    return regions.status();
+  }
+  regions_ = *std::move(regions);
+  // Local 5x5 locator over the station's coverage bounding square.
+  locator_frame_ = Rect{station.center.x - station.radius,
+                        station.center.y - station.radius,
+                        station.center.x + station.radius,
+                        station.center.y + station.radius};
+  for (auto& cell : locator_) {
+    cell.clear();
+  }
+  const double cell_w = locator_frame_.width() / kLocatorSide;
+  const double cell_h = locator_frame_.height() / kLocatorSide;
+  for (int32_t r = 0; r < static_cast<int32_t>(regions_.size()); ++r) {
+    const Rect& area = regions_[r].area;
+    auto cx0 = static_cast<int32_t>(
+        std::floor((area.min_x - locator_frame_.min_x) / cell_w));
+    auto cy0 = static_cast<int32_t>(
+        std::floor((area.min_y - locator_frame_.min_y) / cell_h));
+    auto cx1 = static_cast<int32_t>(
+        std::ceil((area.max_x - locator_frame_.min_x) / cell_w) - 1);
+    auto cy1 = static_cast<int32_t>(
+        std::ceil((area.max_y - locator_frame_.min_y) / cell_h) - 1);
+    cx0 = std::clamp(cx0, 0, kLocatorSide - 1);
+    cy0 = std::clamp(cy0, 0, kLocatorSide - 1);
+    cx1 = std::clamp(cx1, cx0, kLocatorSide - 1);
+    cy1 = std::clamp(cy1, cy0, kLocatorSide - 1);
+    for (int32_t cy = cy0; cy <= cy1; ++cy) {
+      for (int32_t cx = cx0; cx <= cx1; ++cx) {
+        locator_[cy * kLocatorSide + cx].push_back(r);
+      }
+    }
+  }
+  return OkStatus();
+}
+
+double MobileAgent::DeltaAt(Point p) const {
+  if (regions_.empty()) {
+    return fallback_delta_;
+  }
+  const double cell_w = locator_frame_.width() / kLocatorSide;
+  const double cell_h = locator_frame_.height() / kLocatorSide;
+  const auto cx = std::clamp(
+      static_cast<int32_t>((p.x - locator_frame_.min_x) / cell_w), 0,
+      kLocatorSide - 1);
+  const auto cy = std::clamp(
+      static_cast<int32_t>((p.y - locator_frame_.min_y) / cell_h), 0,
+      kLocatorSide - 1);
+  const auto& candidates = locator_[cy * kLocatorSide + cx];
+  for (int32_t r : candidates) {
+    if (regions_[r].area.Contains(p)) {
+      return regions_[r].delta;
+    }
+  }
+  // Coverage-edge fallback: nearest region center among all installed
+  // regions (the node is about to hand off anyway).
+  double best_dist = 0.0;
+  const BroadcastRegion* best = nullptr;
+  for (const BroadcastRegion& region : regions_) {
+    const double d = Distance(region.area.Center(), p);
+    if (best == nullptr || d < best_dist) {
+      best = &region;
+      best_dist = d;
+    }
+  }
+  return best != nullptr ? best->delta : fallback_delta_;
+}
+
+StatusOr<std::optional<ModelUpdate>> MobileAgent::Observe(
+    const PositionSample& sample, BaseStationNetwork& network) {
+  LIRA_DCHECK(sample.node_id == id_);
+  const int32_t station = network.StationForPosition(sample.position);
+  if (station != station_) {
+    // Hand-off: the new station unicasts its current subset (Section 2.2).
+    LIRA_RETURN_IF_ERROR(
+        Install(network.PayloadFor(station), network.station(station)));
+    if (station_ >= 0) {
+      network.RecordHandoff(station);
+      ++handoffs_;
+    }
+    station_ = station;
+    installed_epoch_ = network.epoch();
+  } else if (installed_epoch_ != network.epoch()) {
+    // The station broadcast a refreshed subset since we last listened.
+    LIRA_RETURN_IF_ERROR(
+        Install(network.PayloadFor(station), network.station(station)));
+    installed_epoch_ = network.epoch();
+  }
+
+  const double delta = DeltaAt(sample.position);
+  bool send = !has_model_;
+  if (!send) {
+    send = Distance(last_sent_.PredictAt(sample.time), sample.position) >
+           delta;
+  }
+  if (!send) {
+    return std::optional<ModelUpdate>();
+  }
+  last_sent_ = LinearMotionModel::FromSample(sample);
+  has_model_ = true;
+  ++updates_sent_;
+  return std::optional<ModelUpdate>(ModelUpdate{id_, last_sent_});
+}
+
+}  // namespace lira

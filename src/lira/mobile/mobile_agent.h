@@ -1,0 +1,119 @@
+// The mobile-node runtime (paper Section 2.2, third layer) and the
+// base-station dissemination runtime (second layer).
+//
+// Each mobile node stores the subset of shedding regions and update
+// throttlers covering its current base station's area, locates its region
+// locally with a tiny 5x5 grid index (Section 4.3.2), and switches subsets
+// on hand-off. The BaseStationNetwork re-encodes per-station payloads when
+// the server publishes a new plan and accounts for every broadcast and
+// hand-off message.
+
+#ifndef LIRA_MOBILE_MOBILE_AGENT_H_
+#define LIRA_MOBILE_MOBILE_AGENT_H_
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "lira/basestation/base_station.h"
+#include "lira/basestation/plan_codec.h"
+#include "lira/common/status.h"
+#include "lira/core/shedding_plan.h"
+#include "lira/mobility/position.h"
+#include "lira/motion/linear_model.h"
+
+namespace lira {
+
+/// Server-to-node dissemination runtime: per-station encoded payloads,
+/// versioned by a plan epoch, with message accounting.
+class BaseStationNetwork {
+ public:
+  /// Requires a non-empty station list.
+  static StatusOr<BaseStationNetwork> Create(
+      std::vector<BaseStation> stations);
+
+  /// Publishes a new plan: re-encodes every station's subset and bumps the
+  /// epoch (every station broadcasts once).
+  Status PublishPlan(const SheddingPlan& plan);
+
+  int64_t epoch() const { return epoch_; }
+  int32_t num_stations() const {
+    return static_cast<int32_t>(stations_.size());
+  }
+  const BaseStation& station(int32_t id) const { return stations_[id]; }
+  /// The covering (or nearest) station for a position.
+  int32_t StationForPosition(Point p) const;
+  /// Encoded payload of a station for the current epoch.
+  const std::vector<uint8_t>& PayloadFor(int32_t station) const;
+
+  /// Called by agents on hand-off (unicast of the new subset).
+  void RecordHandoff(int32_t station);
+
+  // Message accounting.
+  int64_t total_broadcasts() const { return total_broadcasts_; }
+  int64_t total_broadcast_bytes() const { return total_broadcast_bytes_; }
+  int64_t total_handoffs() const { return total_handoffs_; }
+  int64_t total_handoff_bytes() const { return total_handoff_bytes_; }
+
+ private:
+  explicit BaseStationNetwork(std::vector<BaseStation> stations)
+      : stations_(std::move(stations)), payloads_(stations_.size()) {}
+
+  std::vector<BaseStation> stations_;
+  std::vector<std::vector<uint8_t>> payloads_;
+  int64_t epoch_ = 0;
+  int64_t total_broadcasts_ = 0;
+  int64_t total_broadcast_bytes_ = 0;
+  int64_t total_handoffs_ = 0;
+  int64_t total_handoff_bytes_ = 0;
+};
+
+/// One mobile node: installed region subset, local 5x5 locator, dead
+/// reckoning against the regional throttler.
+class MobileAgent {
+ public:
+  /// `fallback_delta` is used before the first broadcast arrives (the ideal
+  /// resolution delta_min, so un-provisioned nodes are maximally accurate).
+  MobileAgent(NodeId id, double fallback_delta);
+
+  /// Observes the node's true state: syncs with the network (hand-off or
+  /// refreshed broadcast), picks the local throttler, and returns the
+  /// position update to transmit, if any.
+  StatusOr<std::optional<ModelUpdate>> Observe(const PositionSample& sample,
+                                               BaseStationNetwork& network);
+
+  /// Throttler for a position under the installed subset (fallback when no
+  /// region matches).
+  double DeltaAt(Point p) const;
+
+  NodeId id() const { return id_; }
+  int32_t current_station() const { return station_; }
+  int32_t regions_known() const {
+    return static_cast<int32_t>(regions_.size());
+  }
+  int64_t handoffs() const { return handoffs_; }
+  int64_t updates_sent() const { return updates_sent_; }
+
+ private:
+  static constexpr int32_t kLocatorSide = 5;  // paper: "tiny 5x5 grid index"
+
+  Status Install(const std::vector<uint8_t>& payload,
+                 const BaseStation& station);
+
+  NodeId id_;
+  double fallback_delta_;
+  int32_t station_ = -1;
+  int64_t installed_epoch_ = -1;
+  std::vector<BroadcastRegion> regions_;
+  Rect locator_frame_;
+  std::array<std::vector<int32_t>, kLocatorSide * kLocatorSide> locator_;
+  bool has_model_ = false;
+  LinearMotionModel last_sent_;
+  int64_t handoffs_ = 0;
+  int64_t updates_sent_ = 0;
+};
+
+}  // namespace lira
+
+#endif  // LIRA_MOBILE_MOBILE_AGENT_H_

@@ -1,0 +1,27 @@
+// Basic mobility types shared by the trace generator and the motion layer.
+
+#ifndef LIRA_MOBILITY_POSITION_H_
+#define LIRA_MOBILITY_POSITION_H_
+
+#include <cstdint>
+
+#include "lira/common/geometry.h"
+
+namespace lira {
+
+/// Identifies a mobile node. Ids are dense: 0 .. num_nodes-1.
+using NodeId = int32_t;
+
+inline constexpr NodeId kInvalidNode = -1;
+
+/// One observation of a mobile node's true kinematic state.
+struct PositionSample {
+  NodeId node_id = kInvalidNode;
+  double time = 0.0;  ///< seconds since simulation start
+  Point position;     ///< meters
+  Vec2 velocity;      ///< m/s
+};
+
+}  // namespace lira
+
+#endif  // LIRA_MOBILITY_POSITION_H_

@@ -1,0 +1,136 @@
+#include "lira/mobility/vehicle.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "lira/common/check.h"
+
+namespace lira {
+
+Vehicle::Vehicle(const RoadNetwork& network, SegmentId segment,
+                 IntersectionId origin, double offset,
+                 const VehicleDynamics& dynamics, Rng rng)
+    : segment_(segment),
+      origin_(origin),
+      offset_(offset),
+      dynamics_(dynamics),
+      rng_(rng) {
+  LIRA_CHECK(segment >= 0 && segment < network.NumSegments());
+  const RoadSegment& seg = network.Segment(segment);
+  LIRA_CHECK(origin == seg.from || origin == seg.to);
+  offset_ = std::clamp(offset, 0.0, seg.length);
+  DrawTargetSpeed(network);
+  speed_ = target_speed_;
+}
+
+void Vehicle::DrawTargetSpeed(const RoadNetwork& network) {
+  const RoadSegment& seg = network.Segment(segment_);
+  const double limit = seg.speed_limit;
+  const double target = rng_.Normal(dynamics_.target_mean_fraction * limit,
+                                    dynamics_.target_sd_fraction * limit);
+  target_speed_ = std::clamp(target, dynamics_.min_fraction * limit,
+                             dynamics_.max_fraction * limit);
+}
+
+void Vehicle::AssignRoute(std::deque<SegmentId> route) {
+  route_ = std::move(route);
+}
+
+SegmentId Vehicle::ChooseNextSegment(const RoadNetwork& network,
+                                     IntersectionId at_node) {
+  if (!route_.empty()) {
+    const SegmentId next = route_.front();
+    const RoadSegment& seg = network.Segment(next);
+    if (seg.from == at_node || seg.to == at_node) {
+      route_.pop_front();
+      return next;
+    }
+    route_.clear();  // stale route (shouldn't happen); random walk instead
+  }
+  const std::vector<SegmentId>& incident = network.IncidentSegments(at_node);
+  LIRA_CHECK(!incident.empty());
+  // Prefer not to U-turn; fall back to the incoming segment at dead ends.
+  static thread_local std::vector<double> weights;
+  static thread_local std::vector<SegmentId> candidates;
+  weights.clear();
+  candidates.clear();
+  for (SegmentId seg_id : incident) {
+    if (seg_id == segment_) {
+      continue;
+    }
+    candidates.push_back(seg_id);
+    weights.push_back(network.Segment(seg_id).volume);
+  }
+  if (candidates.empty()) {
+    return segment_;  // dead end: turn around
+  }
+  double total = 0.0;
+  for (double w : weights) {
+    total += w;
+  }
+  if (total <= 0.0) {
+    return candidates[rng_.UniformInt(candidates.size())];
+  }
+  return candidates[rng_.WeightedIndex(weights)];
+}
+
+void Vehicle::EnterSegment(const RoadNetwork& network, SegmentId segment,
+                           IntersectionId origin) {
+  segment_ = segment;
+  origin_ = origin;
+  offset_ = 0.0;
+  DrawTargetSpeed(network);
+}
+
+void Vehicle::Advance(const RoadNetwork& network, double dt) {
+  LIRA_DCHECK(dt > 0.0);
+  // Speed process: mean reversion + noise, occasional re-target.
+  if (rng_.Bernoulli(dynamics_.retarget_rate * dt)) {
+    DrawTargetSpeed(network);
+  }
+  {
+    const RoadSegment& seg = network.Segment(segment_);
+    const double limit = seg.speed_limit;
+    speed_ += dynamics_.reversion_rate * (target_speed_ - speed_) * dt +
+              rng_.Normal(0.0, dynamics_.speed_noise) * std::sqrt(dt);
+    speed_ = std::clamp(speed_, dynamics_.min_fraction * limit,
+                        dynamics_.max_fraction * limit);
+  }
+
+  double remaining = speed_ * dt;
+  // Cross at most a bounded number of intersections per tick; with sane dt
+  // this loop runs once or twice.
+  for (int hop = 0; hop < 64 && remaining > 0.0; ++hop) {
+    const RoadSegment& seg = network.Segment(segment_);
+    const double to_end = seg.length - offset_;
+    if (remaining < to_end) {
+      offset_ += remaining;
+      remaining = 0.0;
+      break;
+    }
+    remaining -= to_end;
+    const IntersectionId node = network.OtherEnd(segment_, origin_);
+    const SegmentId next = ChooseNextSegment(network, node);
+    EnterSegment(network, next, node);
+    // Re-clamp speed for the new segment's limit.
+    const RoadSegment& new_seg = network.Segment(segment_);
+    speed_ = std::clamp(speed_, dynamics_.min_fraction * new_seg.speed_limit,
+                        dynamics_.max_fraction * new_seg.speed_limit);
+  }
+}
+
+Point Vehicle::Position(const RoadNetwork& network) const {
+  // offset_ is measured from origin_; PointOnSegment measures from
+  // segment.from.
+  const RoadSegment& seg = network.Segment(segment_);
+  const double from_offset =
+      (origin_ == seg.from) ? offset_ : seg.length - offset_;
+  return network.PointOnSegment(segment_, from_offset);
+}
+
+Vec2 Vehicle::Velocity(const RoadNetwork& network) const {
+  return network.SegmentDirection(segment_, origin_) * speed_;
+}
+
+}  // namespace lira

@@ -1,0 +1,92 @@
+// A single vehicle moving along the road network.
+//
+// Vehicles perform a volume-weighted random walk: at each intersection the
+// next segment is chosen with probability proportional to its traffic
+// volume (U-turns only at dead ends). Speed follows a mean-reverting noisy
+// process around a per-segment target, so true motion deviates smoothly from
+// any linear prediction -- the deviation process dead reckoning reacts to.
+
+#ifndef LIRA_MOBILITY_VEHICLE_H_
+#define LIRA_MOBILITY_VEHICLE_H_
+
+#include <deque>
+
+#include "lira/common/geometry.h"
+#include "lira/common/rng.h"
+#include "lira/roadnet/road_network.h"
+
+namespace lira {
+
+/// Tuning knobs of the vehicle speed process.
+struct VehicleDynamics {
+  /// Target speed is drawn as N(mean_fraction, sd_fraction) * speed_limit.
+  double target_mean_fraction = 0.85;
+  double target_sd_fraction = 0.12;
+  /// Mean-reversion rate towards the target speed (1/s).
+  double reversion_rate = 0.25;
+  /// Per-sqrt-second speed noise, m/s.
+  double speed_noise = 0.6;
+  /// Probability per second of re-drawing the target speed (traffic events).
+  double retarget_rate = 0.02;
+  /// Lower bound on speed as a fraction of the limit.
+  double min_fraction = 0.15;
+  /// Upper bound on speed as a fraction of the limit.
+  double max_fraction = 1.05;
+};
+
+/// Mutable state of one vehicle. Owned and advanced by TrafficModel.
+class Vehicle {
+ public:
+  /// Places the vehicle on `segment`, `offset` meters from the `origin`
+  /// endpoint, with a freshly drawn target speed.
+  Vehicle(const RoadNetwork& network, SegmentId segment, IntersectionId origin,
+          double offset, const VehicleDynamics& dynamics, Rng rng);
+
+  /// Advances the vehicle by dt seconds (crossing intersections as needed).
+  void Advance(const RoadNetwork& network, double dt);
+
+  /// Assigns a route: at each upcoming intersection the vehicle follows the
+  /// queued segments instead of random-walking; when the queue drains (or a
+  /// queued segment is not incident to the junction reached) it falls back
+  /// to the volume-weighted random walk. Used by the trip-based traffic
+  /// model.
+  void AssignRoute(std::deque<SegmentId> route);
+
+  /// Remaining queued route segments.
+  size_t RouteLength() const { return route_.size(); }
+
+  /// The intersection the vehicle is currently driving towards.
+  IntersectionId HeadingNode(const RoadNetwork& network) const {
+    return network.OtherEnd(segment_, origin_);
+  }
+
+  /// Current position in the world frame.
+  Point Position(const RoadNetwork& network) const;
+
+  /// Current velocity vector (m/s).
+  Vec2 Velocity(const RoadNetwork& network) const;
+
+  double speed() const { return speed_; }
+  SegmentId segment() const { return segment_; }
+  IntersectionId origin() const { return origin_; }
+
+ private:
+  void EnterSegment(const RoadNetwork& network, SegmentId segment,
+                    IntersectionId origin);
+  void DrawTargetSpeed(const RoadNetwork& network);
+  SegmentId ChooseNextSegment(const RoadNetwork& network,
+                              IntersectionId at_node);
+
+  SegmentId segment_;
+  std::deque<SegmentId> route_;
+  IntersectionId origin_;  ///< endpoint the vehicle entered the segment from
+  double offset_ = 0.0;    ///< meters travelled from origin_ along segment_
+  double speed_ = 0.0;
+  double target_speed_ = 0.0;
+  VehicleDynamics dynamics_;
+  Rng rng_;
+};
+
+}  // namespace lira
+
+#endif  // LIRA_MOBILITY_VEHICLE_H_

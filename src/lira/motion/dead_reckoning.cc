@@ -1,0 +1,80 @@
+#include "lira/motion/dead_reckoning.h"
+
+#include <utility>
+
+#include "lira/common/check.h"
+
+namespace lira {
+
+DeadReckoningEncoder::DeadReckoningEncoder(int32_t num_nodes)
+    : models_(num_nodes), has_model_(num_nodes, 0) {
+  LIRA_CHECK(num_nodes >= 0);
+}
+
+std::optional<ModelUpdate> DeadReckoningEncoder::Observe(
+    const PositionSample& sample, double delta) {
+  const NodeId id = sample.node_id;
+  LIRA_DCHECK(id >= 0 && id < num_nodes());
+  bool send = false;
+  if (!has_model_[id]) {
+    send = true;
+  } else {
+    const Point predicted = models_[id].PredictAt(sample.time);
+    send = Distance(predicted, sample.position) > delta;
+  }
+  if (!send) {
+    return std::nullopt;
+  }
+  models_[id] = LinearMotionModel::FromSample(sample);
+  has_model_[id] = 1;
+  ++updates_emitted_;
+  return ModelUpdate{id, models_[id]};
+}
+
+std::optional<LinearMotionModel> DeadReckoningEncoder::ModelOf(
+    NodeId id) const {
+  if (id < 0 || id >= num_nodes() || !has_model_[id]) {
+    return std::nullopt;
+  }
+  return models_[id];
+}
+
+PositionTracker::PositionTracker(int32_t num_nodes)
+    : models_(num_nodes), has_model_(num_nodes, 0) {
+  LIRA_CHECK(num_nodes >= 0);
+}
+
+void PositionTracker::Apply(const ModelUpdate& update) {
+  LIRA_DCHECK(update.node_id >= 0 && update.node_id < num_nodes());
+  models_[update.node_id] = update.model;
+  has_model_[update.node_id] = 1;
+  ++updates_applied_;
+}
+
+std::optional<Point> PositionTracker::PredictAt(NodeId id, double t) const {
+  if (!HasModel(id)) {
+    return std::nullopt;
+  }
+  return models_[id].PredictAt(t);
+}
+
+double PositionTracker::BelievedSpeed(NodeId id) const {
+  if (!HasModel(id)) {
+    return 0.0;
+  }
+  return Norm(models_[id].velocity);
+}
+
+std::vector<std::pair<NodeId, Point>> PositionTracker::PredictAllAt(
+    double t) const {
+  std::vector<std::pair<NodeId, Point>> out;
+  out.reserve(models_.size());
+  for (NodeId id = 0; id < num_nodes(); ++id) {
+    if (has_model_[id]) {
+      out.emplace_back(id, models_[id].PredictAt(t));
+    }
+  }
+  return out;
+}
+
+}  // namespace lira

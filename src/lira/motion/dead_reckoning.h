@@ -1,0 +1,80 @@
+// Node-side dead-reckoning encoder and server-side position tracker.
+
+#ifndef LIRA_MOTION_DEAD_RECKONING_H_
+#define LIRA_MOTION_DEAD_RECKONING_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "lira/common/geometry.h"
+#include "lira/mobility/position.h"
+#include "lira/motion/linear_model.h"
+
+namespace lira {
+
+/// Node-side encoder: holds each node's last *sent* model and emits a new
+/// ModelUpdate whenever the true position deviates from it by more than the
+/// node's current inaccuracy threshold delta.
+///
+/// The encoder updates its reference model when it sends, regardless of
+/// whether the server later drops the message -- mobile nodes get no
+/// feedback about server-side drops, which is exactly why random dropping is
+/// so harmful (Section 1).
+class DeadReckoningEncoder {
+ public:
+  /// `num_nodes` nodes with ids 0..num_nodes-1, none having reported yet.
+  explicit DeadReckoningEncoder(int32_t num_nodes);
+
+  /// Observes the true state of a node; returns the update to transmit, if
+  /// any. The first observation of a node always produces an update.
+  std::optional<ModelUpdate> Observe(const PositionSample& sample,
+                                     double delta);
+
+  /// Number of updates emitted so far.
+  int64_t updates_emitted() const { return updates_emitted_; }
+
+  int32_t num_nodes() const { return static_cast<int32_t>(models_.size()); }
+
+  /// The node's current reference model (the last one sent); nullopt before
+  /// the first report.
+  std::optional<LinearMotionModel> ModelOf(NodeId id) const;
+
+ private:
+  std::vector<LinearMotionModel> models_;
+  std::vector<char> has_model_;
+  int64_t updates_emitted_ = 0;
+};
+
+/// Server-side tracker: the server's belief about node positions, built from
+/// the ModelUpdates that survived the network and the input queue.
+class PositionTracker {
+ public:
+  explicit PositionTracker(int32_t num_nodes);
+
+  void Apply(const ModelUpdate& update);
+
+  /// Believed position of a node at time t; nullopt if never reported.
+  std::optional<Point> PredictAt(NodeId id, double t) const;
+
+  /// Believed speed of a node (from the last model); 0 if never reported.
+  double BelievedSpeed(NodeId id) const;
+
+  bool HasModel(NodeId id) const {
+    return id >= 0 && id < num_nodes() && has_model_[id] != 0;
+  }
+  int32_t num_nodes() const { return static_cast<int32_t>(models_.size()); }
+  int64_t updates_applied() const { return updates_applied_; }
+
+  /// Believed positions of all reported nodes at time t, as (id, position).
+  std::vector<std::pair<NodeId, Point>> PredictAllAt(double t) const;
+
+ private:
+  std::vector<LinearMotionModel> models_;
+  std::vector<char> has_model_;
+  int64_t updates_applied_ = 0;
+};
+
+}  // namespace lira
+
+#endif  // LIRA_MOTION_DEAD_RECKONING_H_

@@ -1,0 +1,42 @@
+// Piece-wise linear motion modeling (dead reckoning), per paper Section 2.1.
+//
+// A mobile node reports (position, velocity, time); both the node and the
+// server extrapolate linearly from the last report. A new report is sent
+// only when the true position deviates from the extrapolation by more than
+// the node's current inaccuracy threshold.
+
+#ifndef LIRA_MOTION_LINEAR_MODEL_H_
+#define LIRA_MOTION_LINEAR_MODEL_H_
+
+#include "lira/common/geometry.h"
+#include "lira/mobility/position.h"
+
+namespace lira {
+
+/// The parameters of a linear motion model: position `origin` and velocity
+/// `velocity` at time `t0`.
+struct LinearMotionModel {
+  Point origin;
+  Vec2 velocity;
+  double t0 = 0.0;
+
+  /// Extrapolated position at time t (t >= t0 expected but not required).
+  Point PredictAt(double t) const { return origin + velocity * (t - t0); }
+
+  /// Builds a model from an observed kinematic sample.
+  static LinearMotionModel FromSample(const PositionSample& s) {
+    return LinearMotionModel{s.position, s.velocity, s.time};
+  }
+};
+
+/// A position update message: the new motion-model parameters for one node.
+/// This is what travels from a mobile node through the base station to the
+/// CQ server.
+struct ModelUpdate {
+  NodeId node_id = kInvalidNode;
+  LinearMotionModel model;
+};
+
+}  // namespace lira
+
+#endif  // LIRA_MOTION_LINEAR_MODEL_H_

@@ -1,0 +1,102 @@
+// Second-order (acceleration-aware) dead reckoning.
+//
+// The paper adopts linear motion modeling "without loss of generality" and
+// notes that "more advanced models also exist [2]; however, for the purpose
+// of this paper the particular motion model used is not of importance".
+// This module backs that claim: an alternative encoder/tracker pair whose
+// prediction is quadratic,
+//
+//     p(t) = origin + v * dt + 0.5 * a * dt^2,
+//
+// with the acceleration estimated at the node from consecutive velocity
+// observations (exponentially smoothed). Everything above the motion model
+// -- the update-reduction calibration, GREEDYINCREMENT, GRIDREDUCE -- works
+// unchanged; bench_ext_motion_models compares the update expenditure of the
+// two models at equal thresholds.
+
+#ifndef LIRA_MOTION_SECOND_ORDER_H_
+#define LIRA_MOTION_SECOND_ORDER_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "lira/common/geometry.h"
+#include "lira/common/status.h"
+#include "lira/mobility/position.h"
+#include "lira/mobility/trace.h"
+
+namespace lira {
+
+/// Quadratic motion model: position, velocity and acceleration at t0.
+struct SecondOrderModel {
+  Point origin;
+  Vec2 velocity;
+  Vec2 acceleration;
+  double t0 = 0.0;
+
+  Point PredictAt(double t) const {
+    const double dt = t - t0;
+    return origin + velocity * dt + acceleration * (0.5 * dt * dt);
+  }
+};
+
+/// A second-order position update message.
+struct SecondOrderUpdate {
+  NodeId node_id = kInvalidNode;
+  SecondOrderModel model;
+};
+
+/// Node-side encoder with per-node acceleration estimation.
+class SecondOrderEncoder {
+ public:
+  /// `accel_smoothing` in (0, 1]: EMA weight of the newest dv/dt sample.
+  explicit SecondOrderEncoder(int32_t num_nodes,
+                              double accel_smoothing = 0.3);
+
+  /// Observes a node's true state; emits an update when the quadratic
+  /// prediction deviates from the true position by more than `delta`.
+  std::optional<SecondOrderUpdate> Observe(const PositionSample& sample,
+                                           double delta);
+
+  int64_t updates_emitted() const { return updates_emitted_; }
+  int32_t num_nodes() const { return static_cast<int32_t>(models_.size()); }
+
+ private:
+  struct NodeState {
+    bool has_model = false;
+    SecondOrderModel model;
+    bool has_prev = false;
+    Vec2 prev_velocity;
+    double prev_time = 0.0;
+    Vec2 accel_estimate;
+  };
+
+  double accel_smoothing_;
+  std::vector<NodeState> models_;
+  int64_t updates_emitted_ = 0;
+};
+
+/// Server-side belief over second-order models.
+class SecondOrderTracker {
+ public:
+  explicit SecondOrderTracker(int32_t num_nodes);
+
+  void Apply(const SecondOrderUpdate& update);
+  std::optional<Point> PredictAt(NodeId id, double t) const;
+  int32_t num_nodes() const { return static_cast<int32_t>(models_.size()); }
+
+ private:
+  std::vector<SecondOrderModel> models_;
+  std::vector<char> has_model_;
+};
+
+/// Update rate (updates/second, whole population) of second-order dead
+/// reckoning on a trace at threshold `delta` -- the second-order analogue
+/// of MeasureUpdateRate.
+StatusOr<double> MeasureSecondOrderUpdateRate(const Trace& trace,
+                                              double delta);
+
+}  // namespace lira
+
+#endif  // LIRA_MOTION_SECOND_ORDER_H_

@@ -1,0 +1,241 @@
+#include "lira/motion/update_reduction.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+#include <vector>
+
+#include "lira/motion/dead_reckoning.h"
+
+namespace lira {
+
+PiecewiseLinearReduction::PiecewiseLinearReduction(double delta_min,
+                                                   double delta_max,
+                                                   std::vector<double> knots)
+    : delta_min_(delta_min),
+      delta_max_(delta_max),
+      segment_width_((delta_max - delta_min) /
+                     static_cast<double>(knots.size() - 1)),
+      knots_(std::move(knots)) {}
+
+StatusOr<PiecewiseLinearReduction> PiecewiseLinearReduction::FromKnots(
+    double delta_min, double delta_max, std::vector<double> knot_values) {
+  if (!(delta_min < delta_max) || delta_min <= 0.0) {
+    return InvalidArgumentError("require 0 < delta_min < delta_max");
+  }
+  if (knot_values.size() < 2) {
+    return InvalidArgumentError("need at least 2 knot values");
+  }
+  if (knot_values[0] <= 0.0) {
+    return InvalidArgumentError("first knot value must be positive");
+  }
+  // Normalize to f(delta_min) = 1 and enforce monotone non-increase (the
+  // measured curve can wiggle slightly due to sampling noise).
+  const double first = knot_values[0];
+  for (double& v : knot_values) {
+    v = std::max(0.0, v / first);
+  }
+  for (size_t i = 1; i < knot_values.size(); ++i) {
+    knot_values[i] = std::min(knot_values[i], knot_values[i - 1]);
+  }
+  return PiecewiseLinearReduction(delta_min, delta_max,
+                                  std::move(knot_values));
+}
+
+StatusOr<PiecewiseLinearReduction> PiecewiseLinearReduction::SampleFunction(
+    double delta_min, double delta_max, int32_t kappa,
+    const std::function<double(double)>& f) {
+  if (kappa < 1) {
+    return InvalidArgumentError("kappa must be >= 1");
+  }
+  std::vector<double> values(kappa + 1);
+  for (int32_t i = 0; i <= kappa; ++i) {
+    const double d = delta_min + (delta_max - delta_min) * i / kappa;
+    values[i] = f(d);
+  }
+  return FromKnots(delta_min, delta_max, std::move(values));
+}
+
+double PiecewiseLinearReduction::Eval(double delta) const {
+  delta = std::clamp(delta, delta_min_, delta_max_);
+  const double pos = (delta - delta_min_) / segment_width_;
+  const auto seg = std::min<int64_t>(static_cast<int64_t>(pos),
+                                     static_cast<int64_t>(knots_.size()) - 2);
+  const double frac = pos - static_cast<double>(seg);
+  return knots_[seg] + (knots_[seg + 1] - knots_[seg]) * frac;
+}
+
+double PiecewiseLinearReduction::Rate(double delta) const {
+  delta = std::clamp(delta, delta_min_, delta_max_);
+  const double pos = (delta - delta_min_) / segment_width_;
+  const auto seg = std::min<int64_t>(static_cast<int64_t>(pos),
+                                     static_cast<int64_t>(knots_.size()) - 2);
+  return (knots_[seg] - knots_[seg + 1]) / segment_width_;
+}
+
+double PiecewiseLinearReduction::InverseEval(double target) const {
+  if (target >= knots_.front()) {
+    return delta_min_;
+  }
+  if (target < knots_.back()) {
+    return delta_max_;
+  }
+  for (size_t i = 1; i < knots_.size(); ++i) {
+    if (knots_[i] <= target) {
+      const double lo = knots_[i - 1];
+      const double hi = knots_[i];
+      const double frac = (lo - hi) > 0.0 ? (lo - target) / (lo - hi) : 1.0;
+      return delta_min_ + segment_width_ * (static_cast<double>(i - 1) + frac);
+    }
+  }
+  return delta_max_;
+}
+
+StatusOr<AnalyticReduction> AnalyticReduction::Create(double delta_min,
+                                                      double delta_max,
+                                                      double power_weight,
+                                                      double gamma) {
+  if (!(0.0 < delta_min && delta_min < delta_max)) {
+    return InvalidArgumentError("require 0 < delta_min < delta_max");
+  }
+  if (power_weight < 0.0 || power_weight > 1.0) {
+    return InvalidArgumentError("power_weight must be in [0, 1]");
+  }
+  if (gamma <= 0.0) {
+    return InvalidArgumentError("gamma must be positive");
+  }
+  return AnalyticReduction(delta_min, delta_max, power_weight, gamma);
+}
+
+double AnalyticReduction::Eval(double delta) const {
+  delta = std::clamp(delta, delta_min_, delta_max_);
+  const double power = std::pow(delta_min_ / delta, gamma_);
+  const double linear = (delta_max_ - delta) / (delta_max_ - delta_min_);
+  return w_ * power + (1.0 - w_) * linear;
+}
+
+double AnalyticReduction::Rate(double delta) const {
+  delta = std::clamp(delta, delta_min_, delta_max_);
+  const double power_rate =
+      gamma_ * std::pow(delta_min_, gamma_) / std::pow(delta, gamma_ + 1.0);
+  const double linear_rate = 1.0 / (delta_max_ - delta_min_);
+  return w_ * power_rate + (1.0 - w_) * linear_rate;
+}
+
+double AnalyticReduction::InverseEval(double target) const {
+  if (target >= 1.0) {
+    return delta_min_;
+  }
+  if (Eval(delta_max_) > target) {
+    return delta_max_;
+  }
+  double lo = delta_min_;
+  double hi = delta_max_;
+  for (int iter = 0; iter < 64; ++iter) {
+    const double mid = (lo + hi) / 2;
+    if (Eval(mid) <= target) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  return hi;
+}
+
+StatusOr<std::vector<std::pair<double, double>>> MeasureReductionProbes(
+    const Trace& trace, const CalibrationConfig& config) {
+  if (!(0.0 < config.delta_min && config.delta_min < config.delta_max)) {
+    return InvalidArgumentError("require 0 < delta_min < delta_max");
+  }
+  if (config.num_probes < 2) {
+    return InvalidArgumentError("need at least 2 probe thresholds");
+  }
+  if (trace.num_frames() < 2) {
+    return FailedPreconditionError("trace too short to calibrate");
+  }
+  std::vector<std::pair<double, double>> probes;
+  probes.reserve(config.num_probes);
+  const double ratio = config.delta_max / config.delta_min;
+  double base_count = 0.0;
+  for (int32_t p = 0; p < config.num_probes; ++p) {
+    const double delta =
+        config.delta_min *
+        std::pow(ratio, static_cast<double>(p) / (config.num_probes - 1));
+    DeadReckoningEncoder encoder(trace.num_nodes());
+    // Frame 0 initializes every node's reference model; not counted.
+    for (NodeId id = 0; id < trace.num_nodes(); ++id) {
+      encoder.Observe(trace.Sample(0, id), delta);
+    }
+    const int64_t initial = encoder.updates_emitted();
+    for (int32_t f = 1; f < trace.num_frames(); ++f) {
+      for (NodeId id = 0; id < trace.num_nodes(); ++id) {
+        encoder.Observe(trace.Sample(f, id), delta);
+      }
+    }
+    const auto count =
+        static_cast<double>(encoder.updates_emitted() - initial);
+    if (p == 0) {
+      base_count = count;
+      if (base_count <= 0.0) {
+        return FailedPreconditionError(
+            "no updates emitted at delta_min; trace is degenerate");
+      }
+    }
+    probes.emplace_back(delta, count / base_count);
+  }
+  return probes;
+}
+
+StatusOr<double> MeasureUpdateRate(const Trace& trace, double delta) {
+  if (delta <= 0.0) {
+    return InvalidArgumentError("delta must be positive");
+  }
+  if (trace.num_frames() < 2) {
+    return FailedPreconditionError("trace too short");
+  }
+  DeadReckoningEncoder encoder(trace.num_nodes());
+  for (NodeId id = 0; id < trace.num_nodes(); ++id) {
+    encoder.Observe(trace.Sample(0, id), delta);
+  }
+  const int64_t initial = encoder.updates_emitted();
+  for (int32_t f = 1; f < trace.num_frames(); ++f) {
+    for (NodeId id = 0; id < trace.num_nodes(); ++id) {
+      encoder.Observe(trace.Sample(f, id), delta);
+    }
+  }
+  const double seconds = (trace.num_frames() - 1) * trace.dt();
+  return static_cast<double>(encoder.updates_emitted() - initial) / seconds;
+}
+
+StatusOr<PiecewiseLinearReduction> CalibrateReduction(
+    const Trace& trace, const CalibrationConfig& config) {
+  auto probes = MeasureReductionProbes(trace, config);
+  if (!probes.ok()) {
+    return probes.status();
+  }
+  if (config.kappa < 1) {
+    return InvalidArgumentError("kappa must be >= 1");
+  }
+  // Linear interpolation of the probe curve onto the PWL knot grid.
+  const auto& pts = *probes;
+  auto interp = [&pts](double d) {
+    if (d <= pts.front().first) {
+      return pts.front().second;
+    }
+    if (d >= pts.back().first) {
+      return pts.back().second;
+    }
+    for (size_t i = 1; i < pts.size(); ++i) {
+      if (d <= pts[i].first) {
+        const double t =
+            (d - pts[i - 1].first) / (pts[i].first - pts[i - 1].first);
+        return pts[i - 1].second + t * (pts[i].second - pts[i - 1].second);
+      }
+    }
+    return pts.back().second;
+  };
+  return PiecewiseLinearReduction::SampleFunction(
+      config.delta_min, config.delta_max, config.kappa, interp);
+}
+
+}  // namespace lira

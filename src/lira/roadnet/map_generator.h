@@ -1,0 +1,65 @@
+// Deterministic synthetic road-map generator.
+//
+// Substitutes for the paper's USGS Chamblee, GA map (~200 km^2, "a rich
+// mixture of expressways, arterial roads, and collector roads"). The
+// generated map is a hierarchical line network:
+//
+//   * an arterial grid spanning the whole world (jittered spacing),
+//   * a few expressways crossing the world,
+//   * several "towns": clusters of dense collector streets filling one or
+//     more arterial grid cells.
+//
+// Towns concentrate road volume, so vehicle density is strongly
+// heterogeneous -- the property LIRA's region-aware shedding exploits.
+
+#ifndef LIRA_ROADNET_MAP_GENERATOR_H_
+#define LIRA_ROADNET_MAP_GENERATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "lira/common/geometry.h"
+#include "lira/common/status.h"
+#include "lira/roadnet/road_network.h"
+
+namespace lira {
+
+/// Parameters of the synthetic map. Defaults produce a ~196 km^2 region
+/// comparable to the paper's setup.
+struct MapGeneratorConfig {
+  /// Side length of the (square) world, meters.
+  double world_side = 14000.0;
+  /// Number of arterial grid cells per side (arterial lines at the cell
+  /// boundaries, jittered in the interior).
+  int32_t arterial_cells = 8;
+  /// Number of expressways in each direction (vertical / horizontal).
+  int32_t expressways_per_direction = 2;
+  /// Number of town clusters.
+  int32_t num_towns = 5;
+  /// Max town footprint in arterial cells per side (towns are w x h cells
+  /// with w, h in [1, max_town_cells]).
+  int32_t max_town_cells = 2;
+  /// Collector street spacing inside towns, meters.
+  double collector_spacing = 250.0;
+  /// Seed for all random choices.
+  uint64_t seed = 7;
+};
+
+/// The generated map: the network plus metadata useful to workloads and
+/// tests.
+struct GeneratedMap {
+  RoadNetwork network;
+  /// The monitored space (the square [0, world_side)^2).
+  Rect world;
+  /// Town footprints (axis-aligned, snapped to arterial lines).
+  std::vector<Rect> towns;
+};
+
+/// Generates the map. Returns an error when the configuration is
+/// inconsistent (e.g. non-positive sizes). The same config always yields the
+/// same map.
+StatusOr<GeneratedMap> GenerateMap(const MapGeneratorConfig& config);
+
+}  // namespace lira
+
+#endif  // LIRA_ROADNET_MAP_GENERATOR_H_

@@ -1,0 +1,71 @@
+// Road classification used by the synthetic map generator and the traffic
+// model.
+//
+// The paper's trace is generated from a USGS map of the Chamblee, GA region,
+// which "covers a rich mixture of expressways, arterial roads, and collector
+// roads", combined with real traffic-volume data. We reproduce the same
+// three-class mixture synthetically; per-class speed limits and volume
+// weights below are typical urban values and can be overridden per segment.
+
+#ifndef LIRA_ROADNET_ROAD_CLASS_H_
+#define LIRA_ROADNET_ROAD_CLASS_H_
+
+#include <string_view>
+
+namespace lira {
+
+enum class RoadClass {
+  kExpressway = 0,
+  kArterial = 1,
+  kCollector = 2,
+};
+
+inline constexpr int kNumRoadClasses = 3;
+
+/// Stable display name ("expressway", ...).
+constexpr std::string_view RoadClassName(RoadClass cls) {
+  switch (cls) {
+    case RoadClass::kExpressway:
+      return "expressway";
+    case RoadClass::kArterial:
+      return "arterial";
+    case RoadClass::kCollector:
+      return "collector";
+  }
+  return "unknown";
+}
+
+/// Default speed limit in m/s (expressway ~105 km/h, arterial ~60 km/h,
+/// collector ~40 km/h).
+constexpr double DefaultSpeedLimit(RoadClass cls) {
+  switch (cls) {
+    case RoadClass::kExpressway:
+      return 29.0;
+    case RoadClass::kArterial:
+      return 16.5;
+    case RoadClass::kCollector:
+      return 11.0;
+  }
+  return 11.0;
+}
+
+/// Default traffic volume per meter of road (relative units). This stands in
+/// for the traffic-volume data the paper takes from [6]: collectors inside
+/// towns carry dense local traffic, so per-meter volume is highest there,
+/// which concentrates mobile nodes in town regions exactly as a real city
+/// map does.
+constexpr double DefaultVolumePerMeter(RoadClass cls) {
+  switch (cls) {
+    case RoadClass::kExpressway:
+      return 3.0;
+    case RoadClass::kArterial:
+      return 1.5;
+    case RoadClass::kCollector:
+      return 6.0;
+  }
+  return 1.0;
+}
+
+}  // namespace lira
+
+#endif  // LIRA_ROADNET_ROAD_CLASS_H_

@@ -1,0 +1,31 @@
+// Dijkstra shortest paths over a RoadNetwork, by travel time.
+
+#ifndef LIRA_ROADNET_SHORTEST_PATH_H_
+#define LIRA_ROADNET_SHORTEST_PATH_H_
+
+#include <vector>
+
+#include "lira/common/status.h"
+#include "lira/roadnet/road_network.h"
+
+namespace lira {
+
+/// A route: the segment ids to traverse in order. The route starts at
+/// `origin` and follows each segment to its other end.
+struct Route {
+  IntersectionId origin = kInvalidIntersection;
+  std::vector<SegmentId> segments;
+};
+
+/// Computes the minimum-travel-time route from `from` to `to` (cost of a
+/// segment = length / speed_limit). Returns NotFoundError when `to` is
+/// unreachable. A route from a node to itself is empty.
+StatusOr<Route> ShortestRoute(const RoadNetwork& network, IntersectionId from,
+                              IntersectionId to);
+
+/// Travel time in seconds of a route over the network.
+double RouteTravelTime(const RoadNetwork& network, const Route& route);
+
+}  // namespace lira
+
+#endif  // LIRA_ROADNET_SHORTEST_PATH_H_

@@ -1,0 +1,215 @@
+#include "lira/server/cq_server.h"
+
+#include <chrono>
+#include <cmath>
+#include <utility>
+
+namespace lira {
+
+CqServer::CqServer(const CqServerConfig& config,
+                   const LoadSheddingPolicy* policy,
+                   const UpdateReductionFunction* reduction,
+                   const QueryRegistry* queries, StatisticsGrid stats,
+                   UpdateQueue queue, ThrotLoop throt_loop, SheddingPlan plan,
+                   TprTree index)
+    : config_(config),
+      policy_(policy),
+      reduction_(reduction),
+      queries_(queries),
+      stats_(std::move(stats)),
+      queue_(std::move(queue)),
+      throt_loop_(std::move(throt_loop)),
+      tracker_(config.num_nodes),
+      index_(std::move(index)),
+      history_(config.record_history
+                   ? std::optional<HistoryStore>(
+                         HistoryStore(config.num_nodes))
+                   : std::nullopt),
+      plan_(std::move(plan)),
+      z_(config.auto_throttle ? 1.0 : config.fixed_z),
+      next_adaptation_(config.adaptation_period),
+      stats_rng_(config.seed ^ 0x57a75ULL) {}
+
+StatusOr<CqServer> CqServer::Create(const CqServerConfig& config,
+                                    const LoadSheddingPolicy* policy,
+                                    const UpdateReductionFunction* reduction,
+                                    const QueryRegistry* queries) {
+  if (policy == nullptr || reduction == nullptr || queries == nullptr) {
+    return InvalidArgumentError("policy/reduction/queries must be non-null");
+  }
+  if (config.num_nodes <= 0) {
+    return InvalidArgumentError("num_nodes must be positive");
+  }
+  if (config.service_rate <= 0.0) {
+    return InvalidArgumentError("service_rate must be positive");
+  }
+  if (config.adaptation_period <= 0.0) {
+    return InvalidArgumentError("adaptation_period must be positive");
+  }
+  if (!config.auto_throttle && (config.fixed_z < 0.0 || config.fixed_z > 1.0)) {
+    return InvalidArgumentError("fixed_z must be in [0, 1]");
+  }
+  if (config.stats_sample_fraction <= 0.0 ||
+      config.stats_sample_fraction > 1.0) {
+    return InvalidArgumentError("stats_sample_fraction must be in (0, 1]");
+  }
+  auto stats = StatisticsGrid::Create(config.world, config.alpha);
+  if (!stats.ok()) {
+    return stats.status();
+  }
+  const double margin = config.query_margin >= 0.0
+                            ? config.query_margin
+                            : reduction->delta_max();
+  stats->AddQueries(*queries, margin);
+  auto queue = UpdateQueue::Create(config.queue_capacity, config.seed);
+  if (!queue.ok()) {
+    return queue.status();
+  }
+  ThrotLoopConfig throttle_config;
+  throttle_config.queue_capacity =
+      static_cast<int64_t>(config.queue_capacity);
+  auto throt_loop = ThrotLoop::Create(throttle_config);
+  if (!throt_loop.ok()) {
+    return throt_loop.status();
+  }
+  auto index = TprTree::Create();
+  if (!index.ok()) {
+    return index.status();
+  }
+  // Until the first adaptation every node runs at maximum accuracy.
+  SheddingPlan initial_plan =
+      SheddingPlan::MakeUniform(config.world, reduction->delta_min());
+  return CqServer(config, policy, reduction, queries, *std::move(stats),
+                  *std::move(queue), *std::move(throt_loop),
+                  std::move(initial_plan), *std::move(index));
+}
+
+void CqServer::Receive(std::vector<ModelUpdate> updates) {
+  queue_.OfferAll(std::move(updates));
+}
+
+Status CqServer::Tick(double dt) {
+  if (dt <= 0.0) {
+    return InvalidArgumentError("dt must be positive");
+  }
+  time_ += dt;
+  service_credit_ += config_.service_rate * dt;
+  const auto serve = static_cast<int64_t>(std::floor(service_credit_));
+  service_credit_ -= static_cast<double>(serve);
+  for (const ModelUpdate& update : queue_.Drain(serve)) {
+    tracker_.Apply(update);
+    if (config_.maintain_index) {
+      index_.Update(update.node_id, update.model);
+    }
+    if (history_.has_value()) {
+      history_->Record(update);
+    }
+  }
+  if (time_ + 1e-9 >= next_adaptation_) {
+    LIRA_RETURN_IF_ERROR(Adapt());
+    next_adaptation_ += config_.adaptation_period;
+  }
+  return OkStatus();
+}
+
+void CqServer::RebuildNodeStatistics() {
+  stats_.ClearNodes();
+  const double fraction = config_.stats_sample_fraction;
+  const double weight = 1.0 / fraction;
+  for (NodeId id = 0; id < tracker_.num_nodes(); ++id) {
+    if (fraction < 1.0 && !stats_rng_.Bernoulli(fraction)) {
+      continue;
+    }
+    const auto position = tracker_.PredictAt(id, time_);
+    if (!position.has_value()) {
+      continue;
+    }
+    const Point where = config_.world.Clamp(*position);
+    const double speed = tracker_.BelievedSpeed(id);
+    // Unbiased scaling: each sampled node stands for 1/fraction nodes.
+    for (double mass = weight; mass > 1e-9; mass -= 1.0) {
+      // AddNode has unit mass; add floor(weight) copies plus a Bernoulli
+      // remainder so expectations match exactly.
+      if (mass >= 1.0 || stats_rng_.Bernoulli(mass)) {
+        stats_.AddNode(where, speed);
+      }
+    }
+  }
+}
+
+void CqServer::RebuildQueryStatistics() {
+  stats_.ClearQueries();
+  const double margin = config_.query_margin >= 0.0
+                            ? config_.query_margin
+                            : reduction_->delta_max();
+  stats_.AddQueries(*queries_, margin);
+}
+
+Status CqServer::InstallQueries(const QueryRegistry* queries) {
+  if (queries == nullptr) {
+    return InvalidArgumentError("queries must be non-null");
+  }
+  queries_ = queries;
+  return OkStatus();
+}
+
+StatusOr<std::vector<NodeId>> CqServer::AnswerQuery(QueryId query) const {
+  if (query < 0 || query >= queries_->size()) {
+    return InvalidArgumentError("unknown query id");
+  }
+  return AnswerRange(queries_->Get(query).range, time_);
+}
+
+StatusOr<std::vector<NodeId>> CqServer::AnswerRange(const Rect& range,
+                                                    double t) const {
+  if (!config_.maintain_index) {
+    return FailedPreconditionError("server index maintenance is disabled");
+  }
+  if (t + 1e-9 < time_) {
+    return InvalidArgumentError(
+        "snapshot time is in the past; use the history store for "
+        "historical queries");
+  }
+  return index_.QueryAt(range, t);
+}
+
+StatusOr<std::vector<NodeId>> CqServer::AnswerHistoricalRange(
+    const Rect& range, double t) const {
+  if (!history_.has_value()) {
+    return FailedPreconditionError("history recording is disabled");
+  }
+  if (t > time_ + 1e-9) {
+    return InvalidArgumentError("historical time is in the future");
+  }
+  return history_->RangeAt(range, t);
+}
+
+Status CqServer::Adapt() {
+  if (config_.auto_throttle) {
+    const double lambda = static_cast<double>(queue_.window_arrivals()) /
+                          config_.adaptation_period;
+    z_ = throt_loop_.Update(lambda, config_.service_rate);
+    queue_.ResetWindow();
+  } else {
+    z_ = config_.fixed_z;
+  }
+  RebuildNodeStatistics();
+  RebuildQueryStatistics();
+  PolicyContext ctx;
+  ctx.stats = &stats_;
+  ctx.reduction = reduction_;
+  ctx.z = z_;
+  const auto start = std::chrono::steady_clock::now();
+  auto plan = policy_->BuildPlan(ctx);
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  if (!plan.ok()) {
+    return plan.status();
+  }
+  plan_ = *std::move(plan);
+  plan_build_seconds_ +=
+      std::chrono::duration<double>(elapsed).count();
+  ++plan_builds_;
+  return OkStatus();
+}
+
+}  // namespace lira

@@ -1,0 +1,159 @@
+// The mobile CQ server (paper Section 2.2, first layer).
+//
+// The server owns the bounded update queue, services it at a fixed rate,
+// applies surviving updates to its position tracker, maintains the
+// statistics grid from its *believed* (dead-reckoned) node states, and
+// periodically re-runs the load-shedding pipeline:
+//
+//   THROTLOOP (z)  ->  policy (GRIDREDUCE + GREEDYINCREMENT for LIRA)
+//                  ->  new SheddingPlan, disseminated to the nodes.
+
+#ifndef LIRA_SERVER_CQ_SERVER_H_
+#define LIRA_SERVER_CQ_SERVER_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "lira/common/geometry.h"
+#include "lira/common/rng.h"
+#include "lira/common/status.h"
+#include "lira/core/policy.h"
+#include "lira/core/shedding_plan.h"
+#include "lira/core/statistics_grid.h"
+#include "lira/core/throt_loop.h"
+#include "lira/cq/query_registry.h"
+#include "lira/index/tpr_tree.h"
+#include "lira/motion/dead_reckoning.h"
+#include "lira/motion/update_reduction.h"
+#include "lira/server/history_store.h"
+#include "lira/server/update_queue.h"
+
+namespace lira {
+
+struct CqServerConfig {
+  int32_t num_nodes = 0;
+  Rect world;
+  /// Statistics-grid resolution (power of two).
+  int32_t alpha = 128;
+  /// Input queue capacity B.
+  size_t queue_capacity = 500;
+  /// Service rate mu, updates/second.
+  double service_rate = 1000.0;
+  /// Seconds between adaptation steps (plan rebuilds).
+  double adaptation_period = 30.0;
+  /// When true, z comes from THROTLOOP; otherwise fixed_z is used.
+  bool auto_throttle = false;
+  double fixed_z = 0.5;
+  /// Margin (meters) added around query rectangles when counting them into
+  /// the statistics grid; negative means "use the reduction function's
+  /// delta_max" (see StatisticsGrid::AddQueries).
+  double query_margin = -1.0;
+  /// When true the server maintains a TPR-tree over the tracked motion
+  /// models and can answer range queries incrementally (AnswerQuery);
+  /// turning it off saves the index-maintenance cost for deployments that
+  /// evaluate queries elsewhere.
+  bool maintain_index = true;
+  /// When true the server retains every applied motion model in a
+  /// HistoryStore, enabling historical snapshot queries (the capability the
+  /// paper's fairness threshold protects, Section 3.1.1).
+  bool record_history = false;
+  /// Fraction of tracked nodes fed into the statistics grid at each
+  /// adaptation (paper Section 3.2.1: "the statistics can easily be
+  /// approximated using sampling"); counts are scaled by the inverse so the
+  /// optimizer sees unbiased totals. 1.0 = exact maintenance.
+  double stats_sample_fraction = 1.0;
+  uint64_t seed = 1234;
+};
+
+/// Single-threaded discrete-time CQ server.
+class CqServer {
+ public:
+  /// `policy`, `reduction` and `queries` must outlive the server. The
+  /// registry may gain queries while the server runs (InstallQueries); the
+  /// statistics grid refreshes its query counts at every adaptation.
+  static StatusOr<CqServer> Create(const CqServerConfig& config,
+                                   const LoadSheddingPolicy* policy,
+                                   const UpdateReductionFunction* reduction,
+                                   const QueryRegistry* queries);
+
+  /// Points the server at a (possibly different) query registry -- the CQ
+  /// workload changed. Takes effect at the next adaptation step (or an
+  /// explicit Adapt()). The registry must outlive the server.
+  Status InstallQueries(const QueryRegistry* queries);
+
+  /// Enqueues a batch of arriving position updates (drops when full).
+  void Receive(std::vector<ModelUpdate> updates);
+
+  /// Advances the server clock by dt seconds: services the queue and runs
+  /// the adaptation step when the period elapses.
+  Status Tick(double dt);
+
+  /// Forces an adaptation step immediately (also used internally).
+  Status Adapt();
+
+  /// Answers an installed continual query from the TPR-tree at the server's
+  /// current time. Requires maintain_index.
+  StatusOr<std::vector<NodeId>> AnswerQuery(QueryId query) const;
+
+  /// Answers an ad-hoc snapshot range query at time t >= now. Requires
+  /// maintain_index.
+  StatusOr<std::vector<NodeId>> AnswerRange(const Rect& range,
+                                            double t) const;
+
+  /// Answers a historical snapshot range query at a past time t. Requires
+  /// record_history.
+  StatusOr<std::vector<NodeId>> AnswerHistoricalRange(const Rect& range,
+                                                      double t) const;
+
+  /// The history store, or nullptr when record_history is off.
+  const HistoryStore* history() const {
+    return history_.has_value() ? &*history_ : nullptr;
+  }
+
+  double time() const { return time_; }
+  double z() const { return z_; }
+  const SheddingPlan& plan() const { return plan_; }
+  const PositionTracker& tracker() const { return tracker_; }
+  const UpdateQueue& queue() const { return queue_; }
+  const StatisticsGrid& stats() const { return stats_; }
+
+  /// Cumulative time spent building plans (seconds) and number of builds,
+  /// for the server-side-cost experiments.
+  double total_plan_build_seconds() const { return plan_build_seconds_; }
+  int64_t plan_builds() const { return plan_builds_; }
+  int64_t updates_applied() const { return tracker_.updates_applied(); }
+
+ private:
+  CqServer(const CqServerConfig& config, const LoadSheddingPolicy* policy,
+           const UpdateReductionFunction* reduction,
+           const QueryRegistry* queries, StatisticsGrid stats,
+           UpdateQueue queue, ThrotLoop throt_loop, SheddingPlan plan,
+           TprTree index);
+
+  void RebuildNodeStatistics();
+  void RebuildQueryStatistics();
+
+  CqServerConfig config_;
+  const LoadSheddingPolicy* policy_;
+  const UpdateReductionFunction* reduction_;
+  const QueryRegistry* queries_;
+  StatisticsGrid stats_;
+  UpdateQueue queue_;
+  ThrotLoop throt_loop_;
+  PositionTracker tracker_;
+  TprTree index_;
+  std::optional<HistoryStore> history_;
+  SheddingPlan plan_;
+  double time_ = 0.0;
+  double z_;
+  double service_credit_ = 0.0;
+  double next_adaptation_;
+  Rng stats_rng_;
+  double plan_build_seconds_ = 0.0;
+  int64_t plan_builds_ = 0;
+};
+
+}  // namespace lira
+
+#endif  // LIRA_SERVER_CQ_SERVER_H_

@@ -1,0 +1,83 @@
+#include "lira/sim/experiment.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include "lira/common/check.h"
+
+namespace lira {
+
+WorldConfig DefaultWorldConfig(int32_t num_nodes) {
+  WorldConfig config;
+  config.map = MapGeneratorConfig{};  // 14 km x 14 km, 5 towns
+  config.num_nodes = num_nodes;
+  config.trace_frames = 600;
+  config.dt = 1.0;
+  config.query_node_ratio = 0.01;
+  config.query_side_length = 1000.0;
+  config.query_distribution = QueryDistribution::kProportional;
+  config.calibration = CalibrationConfig{};  // [5, 100] m, kappa = 95
+  config.seed = 42;
+  return config;
+}
+
+SimulationConfig DefaultSimulationConfig() {
+  SimulationConfig config;
+  config.z = 0.5;
+  config.queue_capacity = 500;
+  config.adaptation_period = 30.0;
+  config.alpha = 128;
+  config.warmup_frames = 150;
+  config.sample_every = 5;
+  config.index_cells = 64;
+  config.seed = 99;
+  return config;
+}
+
+LiraConfig DefaultLiraConfig() {
+  LiraConfig config;
+  config.l = 250;
+  config.c_delta = 1.0;
+  config.fairness_threshold = 50.0;
+  config.use_speed_factor = true;
+  config.locator_cells = 32;
+  return config;
+}
+
+TablePrinter::TablePrinter(std::vector<std::string> headers, int width)
+    : headers_(std::move(headers)), width_(width) {
+  LIRA_CHECK(!headers_.empty());
+}
+
+void TablePrinter::PrintHeader() const {
+  std::ostringstream line;
+  for (const std::string& h : headers_) {
+    line << h;
+    for (int pad = static_cast<int>(h.size()); pad < width_; ++pad) {
+      line << ' ';
+    }
+  }
+  std::printf("%s\n", line.str().c_str());
+  std::string rule(headers_.size() * static_cast<size_t>(width_), '-');
+  std::printf("%s\n", rule.c_str());
+}
+
+void TablePrinter::PrintRow(const std::vector<std::string>& cells) const {
+  std::ostringstream line;
+  for (const std::string& c : cells) {
+    line << c;
+    for (int pad = static_cast<int>(c.size()); pad < width_; ++pad) {
+      line << ' ';
+    }
+  }
+  std::printf("%s\n", line.str().c_str());
+  std::fflush(stdout);
+}
+
+std::string TablePrinter::Num(double value, int precision) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*g", precision, value);
+  return buffer;
+}
+
+}  // namespace lira

@@ -1,0 +1,48 @@
+// Small experiment-harness helpers shared by the bench binaries: fixed-width
+// table printing and default world/simulation configurations scaled to
+// laptop-friendly sizes while keeping the paper's parameter ratios
+// (Table 2).
+
+#ifndef LIRA_SIM_EXPERIMENT_H_
+#define LIRA_SIM_EXPERIMENT_H_
+
+#include <string>
+#include <vector>
+
+#include "lira/sim/simulation.h"
+#include "lira/sim/world.h"
+
+namespace lira {
+
+/// Default experimental world: ~196 km^2 synthetic Chamblee-like map,
+/// n nodes, m/n = 0.01, w = 1000 m, Proportional queries, 10-minute trace
+/// at 1 Hz, f calibrated with kappa = 95 over [5, 100] m.
+WorldConfig DefaultWorldConfig(int32_t num_nodes = 3000);
+
+/// Default simulation settings: z = 0.5, B = 500, 30 s adaptation period,
+/// 2.5-minute warmup, samples every 5 s.
+SimulationConfig DefaultSimulationConfig();
+
+/// Default LIRA parameters (paper Table 2): l = 250, alpha = 128,
+/// c_delta = 1 m, fairness 50 m, speed factor on.
+LiraConfig DefaultLiraConfig();
+
+/// Fixed-width table printing for bench output.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers, int width = 14);
+
+  void PrintHeader() const;
+  void PrintRow(const std::vector<std::string>& cells) const;
+
+  /// Formats a double with the given precision.
+  static std::string Num(double value, int precision = 4);
+
+ private:
+  std::vector<std::string> headers_;
+  int width_;
+};
+
+}  // namespace lira
+
+#endif  // LIRA_SIM_EXPERIMENT_H_

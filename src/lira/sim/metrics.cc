@@ -1,0 +1,44 @@
+#include "lira/sim/metrics.h"
+
+#include "lira/common/check.h"
+
+namespace lira {
+
+ErrorMetricsAccumulator::ErrorMetricsAccumulator(int32_t num_queries)
+    : containment_per_query_(num_queries), position_per_query_(num_queries) {
+  LIRA_CHECK(num_queries >= 0);
+}
+
+void ErrorMetricsAccumulator::AddSample(
+    const std::vector<QueryAccuracy>& accuracies) {
+  LIRA_CHECK(accuracies.size() == containment_per_query_.size());
+  for (size_t q = 0; q < accuracies.size(); ++q) {
+    containment_per_query_[q].Add(accuracies[q].containment_error);
+    position_per_query_[q].Add(accuracies[q].position_error);
+  }
+  ++num_samples_;
+}
+
+ErrorMetrics ErrorMetricsAccumulator::Compute() const {
+  ErrorMetrics out;
+  out.num_samples = num_samples_;
+  out.num_queries = static_cast<int32_t>(containment_per_query_.size());
+  if (num_samples_ == 0 || containment_per_query_.empty()) {
+    return out;
+  }
+  // Across-query statistics of per-query time-averaged errors.
+  RunningStat containment;
+  RunningStat position;
+  for (size_t q = 0; q < containment_per_query_.size(); ++q) {
+    containment.Add(containment_per_query_[q].mean());
+    position.Add(position_per_query_[q].mean());
+  }
+  out.mean_containment_error = containment.mean();
+  out.mean_position_error = position.mean();
+  out.containment_error_stddev = containment.StdDev();
+  out.containment_error_cov = containment.CoefficientOfVariation();
+  out.position_error_stddev = position.StdDev();
+  return out;
+}
+
+}  // namespace lira

@@ -1,0 +1,53 @@
+// Accuracy metric accumulation (paper Section 4.1.1):
+//
+//   E^C_rr -- mean containment error
+//   E^P_rr -- mean position error (meters)
+//   D^C_ev -- standard deviation of per-query containment error
+//   C^C_ov -- coefficient of variation D^C_ev / E^C_rr
+//
+// Per-query errors are first averaged over time samples; the deviation
+// metrics are then taken across queries, measuring fairness between
+// queries.
+
+#ifndef LIRA_SIM_METRICS_H_
+#define LIRA_SIM_METRICS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "lira/common/stats.h"
+#include "lira/cq/evaluator.h"
+
+namespace lira {
+
+struct ErrorMetrics {
+  double mean_containment_error = 0.0;   ///< E^C_rr
+  double mean_position_error = 0.0;      ///< E^P_rr, meters
+  double containment_error_stddev = 0.0; ///< D^C_ev
+  double containment_error_cov = 0.0;    ///< C^C_ov
+  double position_error_stddev = 0.0;    ///< D^P_ev (extension, Sec. 4.1.1)
+  int64_t num_samples = 0;               ///< time samples accumulated
+  int32_t num_queries = 0;
+};
+
+/// Accumulates per-sample query accuracies and reduces them to the paper's
+/// metrics.
+class ErrorMetricsAccumulator {
+ public:
+  explicit ErrorMetricsAccumulator(int32_t num_queries);
+
+  /// Adds one time sample; `accuracies` must have one entry per query, in
+  /// query order.
+  void AddSample(const std::vector<QueryAccuracy>& accuracies);
+
+  ErrorMetrics Compute() const;
+
+ private:
+  std::vector<RunningStat> containment_per_query_;
+  std::vector<RunningStat> position_per_query_;
+  int64_t num_samples_ = 0;
+};
+
+}  // namespace lira
+
+#endif  // LIRA_SIM_METRICS_H_

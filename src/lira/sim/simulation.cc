@@ -1,0 +1,217 @@
+#include "lira/sim/simulation.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "lira/common/rng.h"
+#include "lira/common/stats.h"
+#include "lira/index/grid_index.h"
+#include "lira/motion/dead_reckoning.h"
+#include "lira/server/cq_server.h"
+#include "lira/server/history_store.h"
+
+namespace lira {
+
+StatusOr<SimulationResult> RunSimulation(const World& world,
+                                         const LoadSheddingPolicy& policy,
+                                         const SimulationConfig& config) {
+  const Trace& trace = world.trace;
+  if (config.warmup_frames < 0 ||
+      config.warmup_frames >= trace.num_frames()) {
+    return InvalidArgumentError("warmup_frames out of range");
+  }
+  if (config.sample_every < 1) {
+    return InvalidArgumentError("sample_every must be >= 1");
+  }
+
+  CqServerConfig server_config;
+  server_config.num_nodes = world.num_nodes();
+  server_config.world = world.world_rect();
+  server_config.alpha = config.alpha;
+  server_config.queue_capacity = config.queue_capacity;
+  if (config.service_rate_override > 0.0) {
+    server_config.service_rate = config.service_rate_override;
+  } else if (policy.SheddingAtServer()) {
+    // The update budget is the server capacity: Random Drop receives the
+    // full load and the queue rejects what exceeds z times it.
+    server_config.service_rate = std::max(
+        1.0, config.capacity_headroom * config.z * world.full_update_rate);
+  } else {
+    // Source-actuated policies cut the load at the encoders; provision the
+    // service stage so queueing delay does not confound the threshold-
+    // induced accuracy loss (the paper's fixed-z experiments do the same).
+    server_config.service_rate = std::max(1.0, 4.0 * world.full_update_rate);
+  }
+  server_config.adaptation_period = config.adaptation_period;
+  server_config.auto_throttle = config.auto_throttle;
+  server_config.fixed_z = config.z;
+  server_config.record_history = config.evaluate_history;
+  server_config.stats_sample_fraction = config.stats_sample_fraction;
+  // The harness evaluates queries through its own snapshot indexes; skip
+  // the server's incremental TPR maintenance.
+  server_config.maintain_index = false;
+  server_config.seed = config.seed;
+
+  auto server = CqServer::Create(server_config, &policy, &world.reduction,
+                                 &world.queries);
+  if (!server.ok()) {
+    return server.status();
+  }
+
+  DeadReckoningEncoder encoder(world.num_nodes());
+  // The paper's reference system: every node dead-reckons at delta_min and
+  // every update is processed (R*(q) and p*(o) are defined "under
+  // Delta_i = delta_min for all i", Section 4.1.1) -- errors measure the
+  // degradation caused by load shedding, not by dead reckoning itself.
+  DeadReckoningEncoder reference_encoder(world.num_nodes());
+  PositionTracker reference_tracker(world.num_nodes());
+  HistoryStore reference_history(config.evaluate_history ? world.num_nodes()
+                                                         : 0);
+  ErrorMetricsAccumulator metrics(world.queries.size());
+
+  auto truth_index =
+      GridIndex::Create(world.world_rect(), config.index_cells,
+                        world.num_nodes());
+  if (!truth_index.ok()) {
+    return truth_index.status();
+  }
+  auto believed_index =
+      GridIndex::Create(world.world_rect(), config.index_cells,
+                        world.num_nodes());
+  if (!believed_index.ok()) {
+    return believed_index.status();
+  }
+
+  int64_t measured_updates = 0;
+  int64_t measured_frames = 0;
+
+  for (int32_t frame = 0; frame < trace.num_frames(); ++frame) {
+    const double t = trace.TimeOf(frame);
+    const SheddingPlan& plan = server->plan();
+
+    // Node side: every node checks its deviation against the throttler of
+    // its current shedding region and transmits when it exceeds it.
+    std::vector<ModelUpdate> batch;
+    for (NodeId id = 0; id < world.num_nodes(); ++id) {
+      const PositionSample sample = trace.Sample(frame, id);
+      const double delta = plan.DeltaAt(sample.position);
+      auto update = encoder.Observe(sample, delta);
+      if (update.has_value()) {
+        batch.push_back(*update);
+      }
+      auto reference_update =
+          reference_encoder.Observe(sample, world.reduction.delta_min());
+      if (reference_update.has_value()) {
+        reference_tracker.Apply(*reference_update);
+        if (config.evaluate_history) {
+          reference_history.Record(*reference_update);
+        }
+      }
+    }
+    if (frame >= config.warmup_frames) {
+      measured_updates += static_cast<int64_t>(batch.size());
+      ++measured_frames;
+    }
+    server->Receive(std::move(batch));
+    LIRA_RETURN_IF_ERROR(server->Tick(trace.dt()));
+
+    // Accuracy sampling.
+    if (frame >= config.warmup_frames &&
+        (frame - config.warmup_frames) % config.sample_every == 0) {
+      const PositionTracker& tracker = server->tracker();
+      for (NodeId id = 0; id < world.num_nodes(); ++id) {
+        const auto reference = reference_tracker.PredictAt(id, t);
+        truth_index->Update(id, reference.value_or(trace.Position(frame, id)));
+        const auto believed = tracker.PredictAt(id, t);
+        if (believed.has_value()) {
+          believed_index->Update(id, *believed);
+        } else {
+          believed_index->Remove(id);
+        }
+      }
+      metrics.AddSample(
+          CompareAllQueries(*truth_index, *believed_index, world.queries));
+    }
+  }
+
+  SimulationResult result;
+  result.metrics = metrics.Compute();
+  result.final_z = server->z();
+  result.updates_sent = encoder.updates_emitted();
+  result.updates_dropped = server->queue().total_dropped();
+  result.updates_applied = server->updates_applied();
+  result.plan_builds = server->plan_builds();
+  result.mean_plan_build_seconds =
+      server->plan_builds() > 0
+          ? server->total_plan_build_seconds() / server->plan_builds()
+          : 0.0;
+  result.final_plan_regions = server->plan().NumRegions();
+  result.final_plan_min_delta = server->plan().MinDelta();
+  result.final_plan_max_delta = server->plan().MaxDelta();
+  if (config.evaluate_history && server->history() != nullptr &&
+      config.history_probes > 0) {
+    // Random historical snapshot probes over the measured window.
+    Rng rng(config.seed ^ 0x5eedULL);
+    const Rect world_rect = world.world_rect();
+    const double t_lo = trace.TimeOf(config.warmup_frames);
+    const double t_hi = trace.TimeOf(trace.num_frames() - 1);
+    RunningStat containment;
+    RunningStat position;
+    const HistoryStore& history = *server->history();
+    for (int32_t probe = 0; probe < config.history_probes; ++probe) {
+      const double t = rng.Uniform(t_lo, t_hi);
+      const double side = rng.Uniform(500.0, 1500.0);
+      const Point center{
+          rng.Uniform(world_rect.min_x + side / 2,
+                      world_rect.max_x - side / 2),
+          rng.Uniform(world_rect.min_y + side / 2,
+                      world_rect.max_y - side / 2)};
+      const Rect range = Rect::CenteredAt(center, side);
+      std::vector<NodeId> got = history.RangeAt(range, t);
+      std::vector<NodeId> want = reference_history.RangeAt(range, t);
+      std::sort(got.begin(), got.end());
+      std::sort(want.begin(), want.end());
+      int32_t sym_diff = 0;
+      size_t i = 0;
+      size_t j = 0;
+      while (i < got.size() && j < want.size()) {
+        if (got[i] == want[j]) {
+          ++i;
+          ++j;
+        } else if (got[i] < want[j]) {
+          ++sym_diff;
+          ++i;
+        } else {
+          ++sym_diff;
+          ++j;
+        }
+      }
+      sym_diff += static_cast<int32_t>((got.size() - i) + (want.size() - j));
+      containment.Add(static_cast<double>(sym_diff) /
+                      std::max<size_t>(1, want.size()));
+      // Position error over a node sample at the probed time.
+      for (int32_t k = 0; k < 20; ++k) {
+        const auto id = static_cast<NodeId>(
+            rng.UniformInt(static_cast<uint64_t>(world.num_nodes())));
+        const auto believed = history.PositionAt(id, t);
+        const auto reference = reference_history.PositionAt(id, t);
+        if (believed.has_value() && reference.has_value()) {
+          position.Add(Distance(*believed, *reference));
+        }
+      }
+    }
+    result.historical_containment_error = containment.mean();
+    result.historical_position_error = position.mean();
+    result.history_bytes = history.ApproxBytes();
+  }
+  if (measured_frames > 0 && world.full_update_rate > 0.0) {
+    const double measured_rate =
+        static_cast<double>(measured_updates) /
+        (static_cast<double>(measured_frames) * trace.dt());
+    result.measured_update_fraction = measured_rate / world.full_update_rate;
+  }
+  return result;
+}
+
+}  // namespace lira

@@ -1,0 +1,94 @@
+// End-to-end simulation: replays a recorded trace through the node-side
+// dead-reckoning encoders (thresholds taken from the server's current
+// shedding plan), the server's bounded queue and service loop, and samples
+// query accuracy against ground truth.
+
+#ifndef LIRA_SIM_SIMULATION_H_
+#define LIRA_SIM_SIMULATION_H_
+
+#include <cstdint>
+
+#include "lira/common/status.h"
+#include "lira/core/policy.h"
+#include "lira/sim/metrics.h"
+#include "lira/sim/world.h"
+
+namespace lira {
+
+struct SimulationConfig {
+  /// Throttle fraction (ignored when auto_throttle is set).
+  double z = 0.5;
+  bool auto_throttle = false;
+  /// For policies that shed at the server (Random Drop), the service rate is
+  /// headroom * z * full_update_rate: the budget z *is* the server capacity.
+  /// Source-actuated policies shed at the encoders instead, so their service
+  /// rate is amply provisioned (the paper's fixed-z experiments likewise
+  /// charge them only for the accuracy lost to the thresholds).
+  double capacity_headroom = 1.0;
+  /// Explicit service rate (updates/s); overrides the formula above for all
+  /// policies when positive (used by the THROTLOOP experiments).
+  double service_rate_override = 0.0;
+  size_t queue_capacity = 500;
+  double adaptation_period = 30.0;
+  /// Statistics-grid resolution alpha (power of two).
+  int32_t alpha = 128;
+  /// Frames to skip before measuring (>= one adaptation period so the first
+  /// real plan is active and transients have decayed).
+  int32_t warmup_frames = 120;
+  /// Take an accuracy sample every this many frames.
+  int32_t sample_every = 5;
+  /// Spatial-index resolution for query evaluation.
+  int32_t index_cells = 64;
+  /// When true, the server records trajectory history and the run is
+  /// followed by an historical-accuracy evaluation: random snapshot range
+  /// queries at uniformly random past times/locations, compared against the
+  /// reference (delta_min) system's history. This measures tracking quality
+  /// *everywhere*, the capability the fairness threshold protects
+  /// (Section 3.1.1).
+  bool evaluate_history = false;
+  /// Number of random historical snapshot queries when evaluate_history.
+  int32_t history_probes = 200;
+  /// Fraction of nodes fed into the statistics grid per adaptation
+  /// (CqServerConfig::stats_sample_fraction).
+  double stats_sample_fraction = 1.0;
+  uint64_t seed = 99;
+};
+
+struct SimulationResult {
+  ErrorMetrics metrics;
+  /// Throttle fraction in force at the end of the run.
+  double final_z = 0.0;
+  /// Updates emitted by the nodes / dropped at the queue / applied by the
+  /// server over the whole run.
+  int64_t updates_sent = 0;
+  int64_t updates_dropped = 0;
+  int64_t updates_applied = 0;
+  /// Mean time per plan rebuild, seconds.
+  double mean_plan_build_seconds = 0.0;
+  int64_t plan_builds = 0;
+  /// Regions in the last plan.
+  int32_t final_plan_regions = 0;
+  /// Min/max throttler of the last plan (meters).
+  double final_plan_min_delta = 0.0;
+  double final_plan_max_delta = 0.0;
+  /// Update rate observed over the measured window, relative to the full
+  /// rate at delta_min (an empirical check of the budget constraint).
+  double measured_update_fraction = 0.0;
+  /// Historical snapshot-query accuracy (when evaluate_history): mean
+  /// containment error of RangeAt answers and mean position error over all
+  /// tracked nodes at the probed times, against the reference system.
+  double historical_containment_error = 0.0;
+  double historical_position_error = 0.0;
+  /// Memory held by the server's history store, bytes.
+  int64_t history_bytes = 0;
+};
+
+/// Runs one policy over the world's full trace. The world outlives the call;
+/// the same world can be reused across policies and configurations.
+StatusOr<SimulationResult> RunSimulation(const World& world,
+                                         const LoadSheddingPolicy& policy,
+                                         const SimulationConfig& config);
+
+}  // namespace lira
+
+#endif  // LIRA_SIM_SIMULATION_H_

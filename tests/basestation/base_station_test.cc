@@ -1,0 +1,136 @@
+#include "lira/basestation/base_station.h"
+
+#include <gtest/gtest.h>
+
+#include "lira/common/rng.h"
+#include "lira/common/stats.h"
+
+namespace lira {
+namespace {
+
+constexpr Rect kWorld{0.0, 0.0, 10000.0, 10000.0};
+
+TEST(UniformPlacementTest, CoversEveryPoint) {
+  auto stations = UniformPlacement(kWorld, 2000.0);
+  ASSERT_TRUE(stations.ok());
+  EXPECT_GT(stations->size(), 0u);
+  Rng rng(3);
+  for (int i = 0; i < 500; ++i) {
+    const Point p{rng.Uniform(0.0, 10000.0), rng.Uniform(0.0, 10000.0)};
+    bool covered = false;
+    for (const BaseStation& s : *stations) {
+      if (Distance(s.center, p) <= s.radius) {
+        covered = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(covered) << "uncovered point " << p.x << "," << p.y;
+  }
+}
+
+TEST(UniformPlacementTest, SmallerRadiusMeansMoreStations) {
+  auto coarse = UniformPlacement(kWorld, 5000.0);
+  auto fine = UniformPlacement(kWorld, 1000.0);
+  ASSERT_TRUE(coarse.ok());
+  ASSERT_TRUE(fine.ok());
+  EXPECT_GT(fine->size(), coarse->size());
+}
+
+TEST(UniformPlacementTest, Validation) {
+  EXPECT_FALSE(UniformPlacement(kWorld, 0.0).ok());
+  EXPECT_FALSE(UniformPlacement(Rect{0, 0, 0, 1}, 100.0).ok());
+}
+
+class DensityPlacementTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto grid = StatisticsGrid::Create(kWorld, 32);
+    ASSERT_TRUE(grid.ok());
+    Rng rng(17);
+    // Urban corner: 2000 nodes in 2 km x 2 km; rural: 100 spread out.
+    for (int i = 0; i < 2000; ++i) {
+      grid->AddNode({rng.Uniform(0.0, 2000.0), rng.Uniform(0.0, 2000.0)},
+                    10.0);
+    }
+    for (int i = 0; i < 100; ++i) {
+      grid->AddNode({rng.Uniform(2000.0, 10000.0),
+                     rng.Uniform(2000.0, 10000.0)},
+                    20.0);
+    }
+    stats_.emplace(*std::move(grid));
+  }
+
+  std::optional<StatisticsGrid> stats_;
+};
+
+TEST_F(DensityPlacementTest, CoversAllCells) {
+  DensityPlacementConfig config;
+  auto stations = DensityAwarePlacement(*stats_, config);
+  ASSERT_TRUE(stations.ok());
+  ASSERT_GT(stations->size(), 1u);
+  // Every statistics cell center is inside some disc (the algorithm's
+  // termination criterion).
+  for (int32_t iy = 0; iy < stats_->alpha(); ++iy) {
+    for (int32_t ix = 0; ix < stats_->alpha(); ++ix) {
+      const Point c = stats_->CellRect(ix, iy).Center();
+      bool covered = false;
+      for (const BaseStation& s : *stations) {
+        if (Distance(s.center, c) <= s.radius) {
+          covered = true;
+          break;
+        }
+      }
+      EXPECT_TRUE(covered);
+    }
+  }
+}
+
+TEST_F(DensityPlacementTest, UrbanCellsAreSmallerThanRural) {
+  DensityPlacementConfig config;
+  auto stations = DensityAwarePlacement(*stats_, config);
+  ASSERT_TRUE(stations.ok());
+  const Rect urban{0.0, 0.0, 2000.0, 2000.0};
+  RunningStat urban_radius;
+  RunningStat rural_radius;
+  for (const BaseStation& s : *stations) {
+    (urban.Contains(s.center) ? urban_radius : rural_radius).Add(s.radius);
+  }
+  ASSERT_GT(urban_radius.count(), 0);
+  ASSERT_GT(rural_radius.count(), 0);
+  EXPECT_LT(urban_radius.mean(), rural_radius.mean());
+}
+
+TEST_F(DensityPlacementTest, RadiiRespectBounds) {
+  DensityPlacementConfig config;
+  config.min_radius = 700.0;
+  config.max_radius = 3000.0;
+  auto stations = DensityAwarePlacement(*stats_, config);
+  ASSERT_TRUE(stations.ok());
+  for (const BaseStation& s : *stations) {
+    EXPECT_GE(s.radius, 700.0);
+    EXPECT_LE(s.radius, 3000.0);
+  }
+}
+
+TEST_F(DensityPlacementTest, Validation) {
+  DensityPlacementConfig config;
+  config.target_nodes_per_station = 0.0;
+  EXPECT_FALSE(DensityAwarePlacement(*stats_, config).ok());
+  config = DensityPlacementConfig{};
+  config.max_radius = config.min_radius / 2;
+  EXPECT_FALSE(DensityAwarePlacement(*stats_, config).ok());
+}
+
+TEST(StationForPointTest, PrefersNearestCoveringStation) {
+  const std::vector<BaseStation> stations = {
+      {{0.0, 0.0}, 100.0}, {{150.0, 0.0}, 100.0}, {{1000.0, 0.0}, 10.0}};
+  EXPECT_EQ(StationForPoint(stations, {10.0, 0.0}), 0);
+  EXPECT_EQ(StationForPoint(stations, {140.0, 0.0}), 1);
+  // Covered by both 0 and 1: nearest center wins.
+  EXPECT_EQ(StationForPoint(stations, {80.0, 0.0}), 1);
+  // Uncovered: nearest overall.
+  EXPECT_EQ(StationForPoint(stations, {500.0, 0.0}), 1);
+}
+
+}  // namespace
+}  // namespace lira

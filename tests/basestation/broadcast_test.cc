@@ -1,0 +1,86 @@
+#include "lira/basestation/broadcast.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace lira {
+namespace {
+
+constexpr Rect kWorld{0.0, 0.0, 100.0, 100.0};
+
+SheddingPlan QuadrantPlan() {
+  std::vector<SheddingRegion> regions;
+  for (int iy = 0; iy < 2; ++iy) {
+    for (int ix = 0; ix < 2; ++ix) {
+      SheddingRegion r;
+      r.area = Rect{ix * 50.0, iy * 50.0, (ix + 1) * 50.0, (iy + 1) * 50.0};
+      r.delta = 5.0;
+      regions.push_back(r);
+    }
+  }
+  auto plan = SheddingPlan::Create(kWorld, regions, 4);
+  EXPECT_TRUE(plan.ok());
+  return *std::move(plan);
+}
+
+TEST(BroadcastTest, RegionsPerStationCountsIntersections) {
+  const SheddingPlan plan = QuadrantPlan();
+  const std::vector<BaseStation> stations = {
+      {{25.0, 25.0}, 10.0},   // inside one quadrant
+      {{50.0, 50.0}, 10.0},   // touches all four
+      {{25.0, 50.0}, 5.0}};   // straddles two
+  const auto counts = RegionsPerStation(plan, stations);
+  ASSERT_EQ(counts.size(), 3u);
+  EXPECT_EQ(counts[0], 1);
+  EXPECT_EQ(counts[1], 4);
+  EXPECT_EQ(counts[2], 2);
+}
+
+TEST(BroadcastTest, CostAggregation) {
+  const SheddingPlan plan = QuadrantPlan();
+  const std::vector<BaseStation> stations = {{{25.0, 25.0}, 10.0},
+                                             {{50.0, 50.0}, 10.0}};
+  const BroadcastCost cost = ComputeBroadcastCost(plan, stations);
+  EXPECT_EQ(cost.num_stations, 2);
+  EXPECT_DOUBLE_EQ(cost.mean_regions_per_station, 2.5);
+  EXPECT_DOUBLE_EQ(cost.max_regions_per_station, 4.0);
+  EXPECT_DOUBLE_EQ(cost.mean_payload_bytes, 2.5 * 16);
+}
+
+TEST(BroadcastTest, PayloadBytesMatchPaperFormula) {
+  // 41 regions -> 41 * (3+1) * 4 = 656 bytes (paper Section 4.3.2).
+  EXPECT_EQ(41 * kBytesPerRegion, 656);
+}
+
+TEST(BroadcastTest, EmptyStations) {
+  const SheddingPlan plan = QuadrantPlan();
+  const BroadcastCost cost = ComputeBroadcastCost(plan, {});
+  EXPECT_EQ(cost.num_stations, 0);
+  EXPECT_DOUBLE_EQ(cost.mean_regions_per_station, 0.0);
+}
+
+TEST(BroadcastTest, MeanRegionsPerNodeWeighsByNodeLocation) {
+  const SheddingPlan plan = QuadrantPlan();
+  const std::vector<BaseStation> stations = {
+      {{25.0, 25.0}, 20.0},  // sees 1 region
+      {{50.0, 50.0}, 20.0}};  // sees 4 regions
+  // Three nodes near station 0, one near station 1.
+  const std::vector<Point> nodes = {
+      {20.0, 20.0}, {25.0, 30.0}, {30.0, 25.0}, {50.0, 55.0}};
+  const double mean = MeanRegionsPerNode(plan, stations, nodes);
+  EXPECT_DOUBLE_EQ(mean, (1.0 + 1.0 + 1.0 + 4.0) / 4.0);
+  EXPECT_DOUBLE_EQ(MeanRegionsPerNode(plan, stations, {}), 0.0);
+}
+
+TEST(BroadcastTest, MoreRegionsWhenRadiusGrows) {
+  const SheddingPlan plan = QuadrantPlan();
+  const std::vector<BaseStation> small = {{{25.0, 25.0}, 5.0}};
+  const std::vector<BaseStation> large = {{{25.0, 25.0}, 60.0}};
+  EXPECT_LT(RegionsPerStation(plan, small)[0],
+            RegionsPerStation(plan, large)[0]);
+  EXPECT_EQ(RegionsPerStation(plan, large)[0], 4);
+}
+
+}  // namespace
+}  // namespace lira

@@ -1,0 +1,94 @@
+#include "lira/basestation/plan_codec.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace lira {
+namespace {
+
+constexpr Rect kWorld{0.0, 0.0, 1000.0, 1000.0};
+
+BroadcastRegion Region(double x, double y, double side, double delta) {
+  return BroadcastRegion{Rect{x, y, x + side, y + side}, delta};
+}
+
+TEST(PlanCodecTest, RoundTrip) {
+  const std::vector<BroadcastRegion> regions = {
+      Region(0, 0, 500, 5.0), Region(500, 0, 500, 12.5),
+      Region(0, 500, 250, 55.0)};
+  auto payload = EncodeRegions(regions);
+  ASSERT_TRUE(payload.ok());
+  EXPECT_EQ(payload->size(), 3u * 16u);  // 16 bytes per region (paper)
+  auto decoded = DecodeRegions(*payload);
+  ASSERT_TRUE(decoded.ok());
+  ASSERT_EQ(decoded->size(), 3u);
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_NEAR((*decoded)[i].area.min_x, regions[i].area.min_x, 1e-3);
+    EXPECT_NEAR((*decoded)[i].area.width(), regions[i].area.width(), 1e-3);
+    EXPECT_NEAR((*decoded)[i].delta, regions[i].delta, 1e-6);
+  }
+}
+
+TEST(PlanCodecTest, EmptyRoundTrip) {
+  auto payload = EncodeRegions({});
+  ASSERT_TRUE(payload.ok());
+  EXPECT_TRUE(payload->empty());
+  auto decoded = DecodeRegions(*payload);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded->empty());
+}
+
+TEST(PlanCodecTest, RejectsNonSquareRegions) {
+  const std::vector<BroadcastRegion> regions = {
+      {Rect{0, 0, 100, 200}, 5.0}};
+  EXPECT_FALSE(EncodeRegions(regions).ok());
+}
+
+TEST(PlanCodecTest, RejectsDegenerateRegions) {
+  const std::vector<BroadcastRegion> regions = {{Rect{0, 0, 0, 0}, 5.0}};
+  EXPECT_FALSE(EncodeRegions(regions).ok());
+}
+
+TEST(PlanCodecTest, RejectsMalformedPayloads) {
+  EXPECT_FALSE(DecodeRegions(std::vector<uint8_t>(15, 0)).ok());
+  // 16 zero bytes decode to side = 0 -> malformed record.
+  EXPECT_FALSE(DecodeRegions(std::vector<uint8_t>(16, 0)).ok());
+}
+
+TEST(PlanCodecTest, PlanSubsetSelectsIntersectingRegions) {
+  std::vector<SheddingRegion> regions;
+  for (int iy = 0; iy < 2; ++iy) {
+    for (int ix = 0; ix < 2; ++ix) {
+      SheddingRegion r;
+      r.area = Rect{ix * 500.0, iy * 500.0, (ix + 1) * 500.0,
+                    (iy + 1) * 500.0};
+      r.delta = 5.0 + ix + 2 * iy;
+      regions.push_back(r);
+    }
+  }
+  auto plan = SheddingPlan::Create(kWorld, regions, 4);
+  ASSERT_TRUE(plan.ok());
+  const BaseStation corner{{100.0, 100.0}, 50.0};
+  EXPECT_EQ(PlanSubsetFor(*plan, corner).size(), 1u);
+  const BaseStation center{{500.0, 500.0}, 50.0};
+  EXPECT_EQ(PlanSubsetFor(*plan, center).size(), 4u);
+  auto payload = EncodePlanSubset(*plan, corner);
+  ASSERT_TRUE(payload.ok());
+  EXPECT_EQ(payload->size(), 16u);
+}
+
+TEST(PlanCodecTest, PaperPayloadArithmetic) {
+  // 41 regions -> 656 bytes <= 1472-byte UDP payload (paper).
+  std::vector<BroadcastRegion> regions;
+  for (int i = 0; i < 41; ++i) {
+    regions.push_back(Region(i * 10.0, 0.0, 10.0, 5.0));
+  }
+  auto payload = EncodeRegions(regions);
+  ASSERT_TRUE(payload.ok());
+  EXPECT_EQ(payload->size(), 656u);
+  EXPECT_LE(payload->size(), 1472u);
+}
+
+}  // namespace
+}  // namespace lira

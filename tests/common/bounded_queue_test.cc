@@ -1,0 +1,72 @@
+#include "lira/common/bounded_queue.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace lira {
+namespace {
+
+TEST(BoundedQueueTest, FifoOrder) {
+  BoundedQueue<int> q(8);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_TRUE(q.TryPush(i));
+  }
+  for (int i = 0; i < 5; ++i) {
+    auto v = q.TryPop();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, i);
+  }
+  EXPECT_FALSE(q.TryPop().has_value());
+}
+
+TEST(BoundedQueueTest, DropsWhenFull) {
+  BoundedQueue<int> q(2);
+  EXPECT_TRUE(q.TryPush(1));
+  EXPECT_TRUE(q.TryPush(2));
+  EXPECT_FALSE(q.TryPush(3));
+  EXPECT_EQ(q.dropped(), 1);
+  EXPECT_EQ(q.accepted(), 2);
+  EXPECT_EQ(q.size(), 2u);
+}
+
+TEST(BoundedQueueTest, SpaceReopensAfterPop) {
+  BoundedQueue<int> q(1);
+  EXPECT_TRUE(q.TryPush(1));
+  EXPECT_FALSE(q.TryPush(2));
+  EXPECT_EQ(*q.TryPop(), 1);
+  EXPECT_TRUE(q.TryPush(3));
+  EXPECT_EQ(*q.TryPop(), 3);
+}
+
+TEST(BoundedQueueTest, CountersAccumulateAndReset) {
+  BoundedQueue<int> q(1);
+  q.TryPush(1);
+  q.TryPush(2);
+  q.TryPush(3);
+  EXPECT_EQ(q.accepted(), 1);
+  EXPECT_EQ(q.dropped(), 2);
+  q.ResetCounters();
+  EXPECT_EQ(q.accepted(), 0);
+  EXPECT_EQ(q.dropped(), 0);
+  EXPECT_EQ(q.size(), 1u);  // contents unaffected
+}
+
+TEST(BoundedQueueTest, MoveOnlyFriendlyTypes) {
+  BoundedQueue<std::string> q(4);
+  EXPECT_TRUE(q.TryPush(std::string(100, 'x')));
+  auto v = q.TryPop();
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->size(), 100u);
+}
+
+TEST(BoundedQueueTest, EmptyAndCapacity) {
+  BoundedQueue<int> q(3);
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.capacity(), 3u);
+  q.TryPush(1);
+  EXPECT_FALSE(q.empty());
+}
+
+}  // namespace
+}  // namespace lira

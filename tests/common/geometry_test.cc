@@ -1,0 +1,116 @@
+#include "lira/common/geometry.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace lira {
+namespace {
+
+TEST(PointTest, Arithmetic) {
+  const Point a{1.0, 2.0};
+  const Point b{3.0, -1.0};
+  EXPECT_EQ((a + b), (Point{4.0, 1.0}));
+  EXPECT_EQ((a - b), (Point{-2.0, 3.0}));
+  EXPECT_EQ((a * 2.0), (Point{2.0, 4.0}));
+  EXPECT_EQ((2.0 * a), (Point{2.0, 4.0}));
+}
+
+TEST(PointTest, NormAndDistance) {
+  EXPECT_DOUBLE_EQ(Norm(Point{3.0, 4.0}), 5.0);
+  EXPECT_DOUBLE_EQ(Distance(Point{1.0, 1.0}, Point{4.0, 5.0}), 5.0);
+  EXPECT_DOUBLE_EQ(Norm(Point{0.0, 0.0}), 0.0);
+}
+
+TEST(RectTest, BasicProperties) {
+  const Rect r{0.0, 0.0, 4.0, 2.0};
+  EXPECT_DOUBLE_EQ(r.width(), 4.0);
+  EXPECT_DOUBLE_EQ(r.height(), 2.0);
+  EXPECT_DOUBLE_EQ(r.Area(), 8.0);
+  EXPECT_EQ(r.Center(), (Point{2.0, 1.0}));
+}
+
+TEST(RectTest, CenteredAt) {
+  const Rect r = Rect::CenteredAt({5.0, 5.0}, 2.0);
+  EXPECT_EQ(r, (Rect{4.0, 4.0, 6.0, 6.0}));
+}
+
+TEST(RectTest, ContainsIsHalfOpen) {
+  const Rect r{0.0, 0.0, 10.0, 10.0};
+  EXPECT_TRUE(r.Contains({0.0, 0.0}));
+  EXPECT_TRUE(r.Contains({9.999, 9.999}));
+  EXPECT_FALSE(r.Contains({10.0, 5.0}));
+  EXPECT_FALSE(r.Contains({5.0, 10.0}));
+  EXPECT_FALSE(r.Contains({-0.001, 5.0}));
+}
+
+TEST(RectTest, AdjacentRectsTileWithoutOverlap) {
+  const Rect left{0.0, 0.0, 5.0, 10.0};
+  const Rect right{5.0, 0.0, 10.0, 10.0};
+  const Point boundary{5.0, 3.0};
+  EXPECT_FALSE(left.Contains(boundary));
+  EXPECT_TRUE(right.Contains(boundary));
+}
+
+TEST(RectTest, Intersects) {
+  const Rect a{0.0, 0.0, 5.0, 5.0};
+  EXPECT_TRUE(a.Intersects(Rect{4.0, 4.0, 6.0, 6.0}));
+  EXPECT_FALSE(a.Intersects(Rect{5.0, 0.0, 6.0, 5.0}));  // touching edge
+  EXPECT_FALSE(a.Intersects(Rect{7.0, 7.0, 8.0, 8.0}));
+}
+
+TEST(RectTest, IntersectionArea) {
+  const Rect a{0.0, 0.0, 5.0, 5.0};
+  const Rect b{3.0, 3.0, 10.0, 10.0};
+  EXPECT_DOUBLE_EQ(a.Intersection(b).Area(), 4.0);
+  const Rect disjoint{6.0, 6.0, 7.0, 7.0};
+  EXPECT_DOUBLE_EQ(a.Intersection(disjoint).Area(), 0.0);
+}
+
+TEST(RectTest, ClampPullsPointsInside) {
+  const Rect r{0.0, 0.0, 10.0, 10.0};
+  EXPECT_TRUE(r.Contains(r.Clamp({-5.0, 20.0})));
+  EXPECT_TRUE(r.Contains(r.Clamp({10.0, 10.0})));
+  const Point inside{3.0, 4.0};
+  EXPECT_EQ(r.Clamp(inside), inside);
+}
+
+TEST(OverlapFractionTest, FullPartialAndNoOverlap) {
+  const Rect inner{0.0, 0.0, 2.0, 2.0};
+  EXPECT_DOUBLE_EQ(OverlapFraction(inner, Rect{-1.0, -1.0, 5.0, 5.0}), 1.0);
+  EXPECT_DOUBLE_EQ(OverlapFraction(inner, Rect{1.0, 0.0, 5.0, 5.0}), 0.5);
+  EXPECT_DOUBLE_EQ(OverlapFraction(inner, Rect{3.0, 3.0, 5.0, 5.0}), 0.0);
+}
+
+TEST(OverlapFractionTest, DegenerateInnerIsZero) {
+  const Rect degenerate{1.0, 1.0, 1.0, 5.0};
+  EXPECT_DOUBLE_EQ(OverlapFraction(degenerate, Rect{0.0, 0.0, 9.0, 9.0}), 0.0);
+}
+
+TEST(OverlapFractionTest, FractionsOverTilingSumToOne) {
+  // A query overlapping a 2x2 tiling: the per-tile fractions must sum to 1.
+  const Rect query{2.0, 3.0, 8.0, 9.0};
+  const Rect tiles[] = {{0.0, 0.0, 5.0, 5.0},
+                        {5.0, 0.0, 10.0, 5.0},
+                        {0.0, 5.0, 5.0, 10.0},
+                        {5.0, 5.0, 10.0, 10.0}};
+  double total = 0.0;
+  for (const Rect& tile : tiles) {
+    total += OverlapFraction(query, tile);
+  }
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(DiscIntersectsRectTest, CenterInsideAndOutside) {
+  const Rect r{0.0, 0.0, 10.0, 10.0};
+  EXPECT_TRUE(DiscIntersectsRect({5.0, 5.0}, 0.1, r));
+  EXPECT_TRUE(DiscIntersectsRect({-1.0, 5.0}, 1.5, r));
+  EXPECT_FALSE(DiscIntersectsRect({-2.0, 5.0}, 1.5, r));
+  // Corner case: the disc must reach the corner, not just the bounding box.
+  const double diag = std::sqrt(2.0);
+  EXPECT_FALSE(DiscIntersectsRect({-1.0, -1.0}, diag - 0.01, r));
+  EXPECT_TRUE(DiscIntersectsRect({-1.0, -1.0}, diag + 0.01, r));
+}
+
+}  // namespace
+}  // namespace lira

@@ -1,0 +1,125 @@
+#include "lira/common/stats.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace lira {
+namespace {
+
+TEST(RunningStatTest, EmptyIsZero) {
+  const RunningStat s;
+  EXPECT_EQ(s.count(), 0);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.Variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.StdDev(), 0.0);
+}
+
+TEST(RunningStatTest, KnownMoments) {
+  RunningStat s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    s.Add(x);
+  }
+  EXPECT_EQ(s.count(), 8);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.Variance(), 4.0, 1e-12);  // classic textbook example
+  EXPECT_NEAR(s.StdDev(), 2.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStatTest, CoefficientOfVariation) {
+  RunningStat s;
+  s.Add(1.0);
+  s.Add(3.0);
+  // mean 2, population stddev 1 -> cov 0.5
+  EXPECT_NEAR(s.CoefficientOfVariation(), 0.5, 1e-12);
+}
+
+TEST(RunningStatTest, CoefficientOfVariationZeroMean) {
+  RunningStat s;
+  s.Add(-1.0);
+  s.Add(1.0);
+  EXPECT_DOUBLE_EQ(s.CoefficientOfVariation(), 0.0);
+}
+
+TEST(RunningStatTest, MergeEqualsCombinedStream) {
+  RunningStat merged;
+  RunningStat a;
+  RunningStat b;
+  for (int i = 0; i < 50; ++i) {
+    const double x = std::sin(i * 0.7) * 10 + i;
+    merged.Add(x);
+    (i % 2 == 0 ? a : b).Add(x);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), merged.count());
+  EXPECT_NEAR(a.mean(), merged.mean(), 1e-9);
+  EXPECT_NEAR(a.Variance(), merged.Variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), merged.min());
+  EXPECT_DOUBLE_EQ(a.max(), merged.max());
+}
+
+TEST(RunningStatTest, MergeWithEmpty) {
+  RunningStat a;
+  a.Add(4.0);
+  RunningStat empty;
+  a.Merge(empty);
+  EXPECT_EQ(a.count(), 1);
+  empty.Merge(a);
+  EXPECT_EQ(empty.count(), 1);
+  EXPECT_DOUBLE_EQ(empty.mean(), 4.0);
+}
+
+TEST(RunningStatTest, Reset) {
+  RunningStat s;
+  s.Add(1.0);
+  s.Reset();
+  EXPECT_EQ(s.count(), 0);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+}
+
+TEST(HistogramTest, BinAssignment) {
+  Histogram h(0.0, 10.0, 10);
+  h.Add(0.5);   // bin 0
+  h.Add(9.5);   // bin 9
+  h.Add(5.0);   // bin 5
+  EXPECT_EQ(h.TotalCount(), 3);
+  EXPECT_EQ(h.BinCount(0), 1);
+  EXPECT_EQ(h.BinCount(9), 1);
+  EXPECT_EQ(h.BinCount(5), 1);
+}
+
+TEST(HistogramTest, OutOfRangeClampsToEdges) {
+  Histogram h(0.0, 10.0, 10);
+  h.Add(-5.0);
+  h.Add(42.0);
+  EXPECT_EQ(h.BinCount(0), 1);
+  EXPECT_EQ(h.BinCount(9), 1);
+}
+
+TEST(HistogramTest, BinCenter) {
+  Histogram h(0.0, 10.0, 10);
+  EXPECT_DOUBLE_EQ(h.BinCenter(0), 0.5);
+  EXPECT_DOUBLE_EQ(h.BinCenter(9), 9.5);
+}
+
+TEST(HistogramTest, QuantileOnUniformData) {
+  Histogram h(0.0, 100.0, 100);
+  for (int i = 0; i < 100; ++i) {
+    h.Add(i + 0.5);
+  }
+  EXPECT_NEAR(h.Quantile(0.5), 50.0, 1.0);
+  EXPECT_NEAR(h.Quantile(0.9), 90.0, 1.0);
+  EXPECT_NEAR(h.Quantile(0.0), 0.5, 1.0);
+  EXPECT_NEAR(h.Quantile(1.0), 99.5, 1.0);
+}
+
+TEST(HistogramTest, QuantileEmptyIsZero) {
+  Histogram h(0.0, 1.0, 4);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 0.0);
+}
+
+}  // namespace
+}  // namespace lira

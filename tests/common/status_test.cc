@@ -1,0 +1,97 @@
+#include "lira/common/status.h"
+
+#include <sstream>
+#include <string>
+#include <utility>
+
+#include <gtest/gtest.h>
+
+namespace lira {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  const Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  const Status s = InvalidArgumentError("bad delta");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad delta");
+  EXPECT_EQ(s.ToString(), "INVALID_ARGUMENT: bad delta");
+}
+
+TEST(StatusTest, AllFactoriesProduceMatchingCodes) {
+  EXPECT_EQ(FailedPreconditionError("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(NotFoundError("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(OutOfRangeError("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(ResourceExhaustedError("x").code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_EQ(InternalError("x").code(), StatusCode::kInternal);
+}
+
+TEST(StatusTest, Equality) {
+  EXPECT_EQ(OkStatus(), Status());
+  EXPECT_EQ(NotFoundError("a"), NotFoundError("a"));
+  EXPECT_FALSE(NotFoundError("a") == NotFoundError("b"));
+  EXPECT_FALSE(NotFoundError("a") == InternalError("a"));
+}
+
+TEST(StatusTest, StreamOperator) {
+  std::ostringstream os;
+  os << OutOfRangeError("index 7");
+  EXPECT_EQ(os.str(), "OUT_OF_RANGE: index 7");
+}
+
+TEST(StatusCodeToStringTest, CoversAllCodes) {
+  EXPECT_EQ(StatusCodeToString(StatusCode::kOk), "OK");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kInvalidArgument),
+            "INVALID_ARGUMENT");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kInternal), "INTERNAL");
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> value = 42;
+  ASSERT_TRUE(value.ok());
+  EXPECT_EQ(value.value(), 42);
+  EXPECT_EQ(*value, 42);
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> error = NotFoundError("missing");
+  EXPECT_FALSE(error.ok());
+  EXPECT_EQ(error.status().code(), StatusCode::kNotFound);
+}
+
+TEST(StatusOrTest, MoveOutValue) {
+  StatusOr<std::string> value = std::string("hello");
+  const std::string moved = *std::move(value);
+  EXPECT_EQ(moved, "hello");
+}
+
+TEST(StatusOrTest, ArrowOperator) {
+  StatusOr<std::string> value = std::string("hello");
+  EXPECT_EQ(value->size(), 5u);
+}
+
+TEST(StatusOrTest, DeathOnAccessingError) {
+  StatusOr<int> error = InternalError("boom");
+  EXPECT_DEATH({ (void)error.value(); }, "LIRA_CHECK");
+}
+
+Status Passthrough(const Status& s) {
+  LIRA_RETURN_IF_ERROR(s);
+  return InternalError("should not reach on error input");
+}
+
+TEST(ReturnIfErrorTest, PropagatesError) {
+  EXPECT_EQ(Passthrough(NotFoundError("gone")).code(), StatusCode::kNotFound);
+  EXPECT_EQ(Passthrough(OkStatus()).code(), StatusCode::kInternal);
+}
+
+}  // namespace
+}  // namespace lira

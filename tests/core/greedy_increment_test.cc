@@ -1,0 +1,500 @@
+#include "lira/core/greedy_increment.h"
+
+#include <cmath>
+#include <limits>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "lira/common/rng.h"
+#include "lira/motion/update_reduction.h"
+
+namespace lira {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+PiecewiseLinearReduction MakePwl(double d_min = 5.0, double d_max = 100.0,
+                                 int32_t kappa = 95) {
+  auto analytic = AnalyticReduction::Create(d_min, d_max, 0.7, 1.0);
+  EXPECT_TRUE(analytic.ok());
+  auto pwl = PiecewiseLinearReduction::SampleFunction(
+      d_min, d_max, kappa, [&](double d) { return analytic->Eval(d); });
+  EXPECT_TRUE(pwl.ok());
+  return *std::move(pwl);
+}
+
+RegionStats MakeRegion(double n, double m, double s = 10.0) {
+  RegionStats r;
+  r.n = n;
+  r.m = m;
+  r.s = s;
+  return r;
+}
+
+// Weighted update expenditure sum n_i * (s_i / s_hat) * f(delta_i).
+double Expenditure(const std::vector<RegionStats>& regions,
+                   const std::vector<double>& deltas,
+                   const UpdateReductionFunction& f, bool use_speed) {
+  double n_total = 0.0;
+  double dot = 0.0;
+  for (const RegionStats& r : regions) {
+    n_total += r.n;
+    dot += r.n * r.s;
+  }
+  const double s_hat = n_total > 0.0 ? dot / n_total : 0.0;
+  double u = 0.0;
+  for (size_t i = 0; i < regions.size(); ++i) {
+    const double w = (use_speed && s_hat > 0.0)
+                         ? regions[i].n * regions[i].s / s_hat
+                         : regions[i].n;
+    u += w * f.Eval(deltas[i]);
+  }
+  return u;
+}
+
+TEST(GreedyIncrementTest, ValidationErrors) {
+  const PiecewiseLinearReduction f = MakePwl();
+  GreedyIncrementConfig config;
+  EXPECT_FALSE(RunGreedyIncrement({}, f, config).ok());
+  config.z = 1.5;
+  EXPECT_FALSE(RunGreedyIncrement({MakeRegion(1, 1)}, f, config).ok());
+  config = GreedyIncrementConfig{};
+  config.c_delta = 0.0;
+  EXPECT_FALSE(RunGreedyIncrement({MakeRegion(1, 1)}, f, config).ok());
+  config = GreedyIncrementConfig{};
+  config.fairness_threshold = -1.0;
+  EXPECT_FALSE(RunGreedyIncrement({MakeRegion(1, 1)}, f, config).ok());
+}
+
+TEST(GreedyIncrementTest, FullBudgetKeepsMaximumAccuracy) {
+  const PiecewiseLinearReduction f = MakePwl();
+  GreedyIncrementConfig config;
+  config.z = 1.0;
+  config.fairness_threshold = kInf;
+  auto result = RunGreedyIncrement(
+      {MakeRegion(100, 2), MakeRegion(50, 1)}, f, config);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->budget_met);
+  for (double d : result->deltas) {
+    EXPECT_DOUBLE_EQ(d, 5.0);
+  }
+}
+
+TEST(GreedyIncrementTest, ZeroBudgetMaxesEverything) {
+  const PiecewiseLinearReduction f = MakePwl();
+  GreedyIncrementConfig config;
+  config.z = 0.0;  // f never reaches 0 -> infeasible
+  config.fairness_threshold = kInf;
+  auto result = RunGreedyIncrement(
+      {MakeRegion(100, 2), MakeRegion(50, 1)}, f, config);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->budget_met);
+  for (double d : result->deltas) {
+    EXPECT_DOUBLE_EQ(d, 100.0);
+  }
+}
+
+TEST(GreedyIncrementTest, NoNodesIsTriviallyFeasible) {
+  const PiecewiseLinearReduction f = MakePwl();
+  GreedyIncrementConfig config;
+  config.z = 0.3;
+  auto result =
+      RunGreedyIncrement({MakeRegion(0, 5), MakeRegion(0, 0)}, f, config);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->budget_met);
+  EXPECT_DOUBLE_EQ(result->deltas[0], 5.0);
+  EXPECT_DOUBLE_EQ(result->deltas[1], 5.0);
+}
+
+TEST(GreedyIncrementTest, SingleRegionMatchesInverse) {
+  // One region: the optimal delta is exactly f^{-1}(z).
+  const PiecewiseLinearReduction f = MakePwl();
+  for (double z : {0.9, 0.7, 0.5, 0.3}) {
+    GreedyIncrementConfig config;
+    config.z = z;
+    config.fairness_threshold = kInf;
+    auto result = RunGreedyIncrement({MakeRegion(1000, 3)}, f, config);
+    ASSERT_TRUE(result.ok());
+    EXPECT_TRUE(result->budget_met);
+    EXPECT_NEAR(result->deltas[0], f.InverseEval(z), 1e-6) << "z=" << z;
+  }
+}
+
+TEST(GreedyIncrementTest, QueryFreeRegionsShedFirst) {
+  const PiecewiseLinearReduction f = MakePwl();
+  GreedyIncrementConfig config;
+  config.z = 0.75;
+  config.fairness_threshold = kInf;
+  // Region 1 has no queries: it should absorb the shedding; region 0 keeps
+  // maximum accuracy.
+  auto result = RunGreedyIncrement(
+      {MakeRegion(500, 10), MakeRegion(500, 0)}, f, config);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->budget_met);
+  EXPECT_DOUBLE_EQ(result->deltas[0], 5.0);
+  EXPECT_GT(result->deltas[1], 5.0);
+}
+
+TEST(GreedyIncrementTest, HighGainRegionShedsMore) {
+  const PiecewiseLinearReduction f = MakePwl();
+  GreedyIncrementConfig config;
+  config.z = 0.6;
+  config.fairness_threshold = kInf;
+  // Same node counts; region 0 serves 10x the queries.
+  auto result = RunGreedyIncrement(
+      {MakeRegion(500, 10), MakeRegion(500, 1)}, f, config);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->budget_met);
+  EXPECT_LT(result->deltas[0], result->deltas[1]);
+}
+
+TEST(GreedyIncrementTest, FasterRegionIsMoreAttractive) {
+  const PiecewiseLinearReduction f = MakePwl();
+  GreedyIncrementConfig config;
+  config.z = 0.6;
+  config.fairness_threshold = kInf;
+  config.use_speed_factor = true;
+  // Identical except speed: the fast region generates more updates per node
+  // so shedding there has higher update gain.
+  auto result = RunGreedyIncrement(
+      {MakeRegion(500, 2, /*s=*/5.0), MakeRegion(500, 2, /*s=*/25.0)}, f,
+      config);
+  ASSERT_TRUE(result.ok());
+  EXPECT_LE(result->deltas[0], result->deltas[1]);
+}
+
+TEST(GreedyIncrementTest, BudgetConstraintHolds) {
+  const PiecewiseLinearReduction f = MakePwl();
+  Rng rng(17);
+  for (int trial = 0; trial < 50; ++trial) {
+    const int l = 1 + static_cast<int>(rng.UniformInt(12));
+    std::vector<RegionStats> regions;
+    for (int i = 0; i < l; ++i) {
+      regions.push_back(MakeRegion(rng.Uniform(0.0, 500.0),
+                                   rng.Uniform(0.0, 5.0),
+                                   rng.Uniform(2.0, 30.0)));
+    }
+    GreedyIncrementConfig config;
+    config.z = rng.Uniform(0.05, 1.0);
+    config.fairness_threshold = kInf;
+    auto result = RunGreedyIncrement(regions, f, config);
+    ASSERT_TRUE(result.ok());
+    double n_total = 0.0;
+    for (const RegionStats& r : regions) {
+      n_total += r.n;
+    }
+    const double u =
+        Expenditure(regions, result->deltas, f, config.use_speed_factor);
+    EXPECT_NEAR(u, result->expenditure, 1e-6 * std::max(1.0, n_total));
+    if (result->budget_met) {
+      EXPECT_LE(u, config.z * n_total + 1e-6 * std::max(1.0, n_total));
+    } else {
+      for (double d : result->deltas) {
+        EXPECT_DOUBLE_EQ(d, 100.0);
+      }
+    }
+    for (double d : result->deltas) {
+      EXPECT_GE(d, 5.0 - 1e-9);
+      EXPECT_LE(d, 100.0 + 1e-9);
+    }
+  }
+}
+
+TEST(GreedyIncrementTest, DoesNotOvershootBudgetSubstantially) {
+  // The last step is budget-limited: the final expenditure should land on
+  // the budget, not far below it (no wasted accuracy).
+  const PiecewiseLinearReduction f = MakePwl();
+  GreedyIncrementConfig config;
+  config.z = 0.5;
+  config.fairness_threshold = kInf;
+  auto result = RunGreedyIncrement(
+      {MakeRegion(300, 1), MakeRegion(200, 2), MakeRegion(100, 0.5)}, f,
+      config);
+  ASSERT_TRUE(result.ok());
+  ASSERT_TRUE(result->budget_met);
+  EXPECT_NEAR(result->expenditure, result->budget, 1e-6 * result->budget);
+}
+
+TEST(GreedyIncrementTest, FairnessConstraintHolds) {
+  const PiecewiseLinearReduction f = MakePwl();
+  Rng rng(23);
+  for (double fairness : {0.0, 5.0, 20.0, 50.0, 95.0}) {
+    for (int trial = 0; trial < 10; ++trial) {
+      const int l = 2 + static_cast<int>(rng.UniformInt(8));
+      std::vector<RegionStats> regions;
+      for (int i = 0; i < l; ++i) {
+        regions.push_back(MakeRegion(rng.Uniform(1.0, 300.0),
+                                     rng.Uniform(0.0, 3.0),
+                                     rng.Uniform(5.0, 25.0)));
+      }
+      GreedyIncrementConfig config;
+      config.z = rng.Uniform(0.1, 0.95);
+      config.fairness_threshold = fairness;
+      auto result = RunGreedyIncrement(regions, f, config);
+      ASSERT_TRUE(result.ok());
+      double min_d = result->deltas[0];
+      double max_d = result->deltas[0];
+      for (double d : result->deltas) {
+        min_d = std::min(min_d, d);
+        max_d = std::max(max_d, d);
+      }
+      EXPECT_LE(max_d - min_d, fairness + 1e-6)
+          << "fairness=" << fairness << " trial=" << trial;
+    }
+  }
+}
+
+TEST(GreedyIncrementTest, ZeroFairnessReducesToUniformDelta) {
+  const PiecewiseLinearReduction f = MakePwl();
+  GreedyIncrementConfig config;
+  config.z = 0.5;
+  config.fairness_threshold = 0.0;
+  auto result = RunGreedyIncrement(
+      {MakeRegion(300, 1, 10.0), MakeRegion(100, 4, 10.0),
+       MakeRegion(50, 0, 10.0)},
+      f, config);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->budget_met);
+  // All deltas equal, and equal to the uniform solution f^{-1}(z).
+  EXPECT_NEAR(result->deltas[0], result->deltas[1], 1e-9);
+  EXPECT_NEAR(result->deltas[1], result->deltas[2], 1e-9);
+  EXPECT_NEAR(result->deltas[0], f.InverseEval(config.z), 0.5);
+}
+
+TEST(GreedyIncrementTest, LooseningFairnessNeverHurtsObjective) {
+  const PiecewiseLinearReduction f = MakePwl();
+  const std::vector<RegionStats> regions = {
+      MakeRegion(400, 1), MakeRegion(100, 5), MakeRegion(200, 0),
+      MakeRegion(50, 2)};
+  double previous = kInf;
+  for (double fairness : {0.0, 10.0, 25.0, 50.0, 95.0}) {
+    GreedyIncrementConfig config;
+    config.z = 0.5;
+    config.fairness_threshold = fairness;
+    auto result = RunGreedyIncrement(regions, f, config);
+    ASSERT_TRUE(result.ok());
+    EXPECT_LE(result->inaccuracy, previous + 1e-6) << "fairness=" << fairness;
+    previous = result->inaccuracy;
+  }
+}
+
+// Brute-force optimality check on small instances against exhaustive
+// enumeration over the PWL knot grid (Theorem 3.1).
+class OptimalityTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(OptimalityTest, MatchesBruteForceOnKnotGrid) {
+  // Coarse PWL (few knots) so exhaustive search stays tractable.
+  const double d_min = 5.0;
+  const double d_max = 45.0;
+  const int32_t kappa = 8;  // knots every 5 m
+  auto analytic = AnalyticReduction::Create(d_min, d_max, 0.7, 1.0);
+  ASSERT_TRUE(analytic.ok());
+  auto pwl = PiecewiseLinearReduction::SampleFunction(
+      d_min, d_max, kappa, [&](double d) { return analytic->Eval(d); });
+  ASSERT_TRUE(pwl.ok());
+
+  Rng rng(1000 + GetParam());
+  const int l = 3;
+  std::vector<RegionStats> regions;
+  for (int i = 0; i < l; ++i) {
+    regions.push_back(MakeRegion(rng.Uniform(10.0, 300.0),
+                                 rng.Uniform(0.1, 5.0),
+                                 rng.Uniform(5.0, 25.0)));
+  }
+  GreedyIncrementConfig config;
+  config.z = rng.Uniform(0.2, 0.9);
+  config.c_delta = pwl->segment_width();
+  config.fairness_threshold = kInf;
+  auto result = RunGreedyIncrement(regions, *pwl, config);
+  ASSERT_TRUE(result.ok());
+
+  double n_total = 0.0;
+  for (const RegionStats& r : regions) {
+    n_total += r.n;
+  }
+  const double budget = config.z * n_total;
+  const double tol = 1e-9 * std::max(1.0, n_total);
+
+  // Exhaustive search over all knot combinations.
+  double best = kInf;
+  std::vector<double> assignment(l, d_min);
+  const int knots = kappa + 1;
+  for (int a = 0; a < knots; ++a) {
+    for (int b = 0; b < knots; ++b) {
+      for (int c = 0; c < knots; ++c) {
+        const std::vector<double> deltas = {
+            d_min + a * pwl->segment_width(),
+            d_min + b * pwl->segment_width(),
+            d_min + c * pwl->segment_width()};
+        if (Expenditure(regions, deltas, *pwl, true) > budget + tol) {
+          continue;
+        }
+        double inacc = 0.0;
+        for (int i = 0; i < l; ++i) {
+          inacc += regions[i].m * deltas[i];
+        }
+        best = std::min(best, inacc);
+      }
+    }
+  }
+  if (best == kInf) {
+    // Infeasible even on the grid: greedy must have maxed everything.
+    EXPECT_FALSE(result->budget_met);
+    return;
+  }
+  ASSERT_TRUE(result->budget_met);
+  // The greedy solution may use off-knot values on its final (budget-
+  // limited) step, which can only improve on the knot-grid optimum.
+  EXPECT_LE(result->inaccuracy, best + 1e-6)
+      << "z=" << config.z << " brute=" << best
+      << " greedy=" << result->inaccuracy;
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomInstances, OptimalityTest,
+                         ::testing::Range(0, 25));
+
+// Parameterized invariant sweep across (z, fairness) combinations.
+class InvariantSweepTest
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(InvariantSweepTest, DomainBudgetAndFairnessInvariants) {
+  const auto [z, fairness] = GetParam();
+  const PiecewiseLinearReduction f = MakePwl();
+  Rng rng(static_cast<uint64_t>(z * 1000) ^
+          static_cast<uint64_t>(fairness * 77));
+  std::vector<RegionStats> regions;
+  const int l = 13;
+  for (int i = 0; i < l; ++i) {
+    regions.push_back(MakeRegion(rng.Uniform(0.0, 400.0),
+                                 rng.Uniform(0.0, 4.0),
+                                 rng.Uniform(3.0, 28.0)));
+  }
+  GreedyIncrementConfig config;
+  config.z = z;
+  config.fairness_threshold = fairness;
+  auto result = RunGreedyIncrement(regions, f, config);
+  ASSERT_TRUE(result.ok());
+  double min_d = kInf;
+  double max_d = -kInf;
+  for (double d : result->deltas) {
+    EXPECT_GE(d, 5.0 - 1e-9);
+    EXPECT_LE(d, 100.0 + 1e-9);
+    min_d = std::min(min_d, d);
+    max_d = std::max(max_d, d);
+  }
+  EXPECT_LE(max_d - min_d, fairness + 1e-6);
+  double n_total = 0.0;
+  for (const RegionStats& r : regions) {
+    n_total += r.n;
+  }
+  if (result->budget_met) {
+    EXPECT_LE(Expenditure(regions, result->deltas, f, true),
+              z * n_total + 1e-6 * std::max(1.0, n_total));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, InvariantSweepTest,
+    ::testing::Combine(::testing::Values(0.1, 0.25, 0.5, 0.75, 0.9),
+                       ::testing::Values(0.0, 10.0, 50.0, 95.0)));
+
+TEST(GreedyIncrementTest, StepCountIsBoundedByTheoreticalWorstCase) {
+  // At most kappa steps per throttler plus fairness-blocking bookkeeping:
+  // the paper's O(kappa * l) greedy steps.
+  const PiecewiseLinearReduction f = MakePwl();
+  Rng rng(71);
+  for (int trial = 0; trial < 10; ++trial) {
+    const int l = 5 + static_cast<int>(rng.UniformInt(20));
+    std::vector<RegionStats> regions;
+    for (int i = 0; i < l; ++i) {
+      regions.push_back(MakeRegion(rng.Uniform(0.0, 300.0),
+                                   rng.Uniform(0.0, 3.0),
+                                   rng.Uniform(4.0, 25.0)));
+    }
+    GreedyIncrementConfig config;
+    config.z = rng.Uniform(0.05, 0.95);
+    config.fairness_threshold = rng.Bernoulli(0.5) ? 50.0 : kInf;
+    auto result = RunGreedyIncrement(regions, f, config);
+    ASSERT_TRUE(result.ok());
+    EXPECT_LE(result->steps, static_cast<int64_t>(l) * (95 + 2));
+  }
+}
+
+TEST(GreedyIncrementTest, DeltasAlignToKnotsExceptBudgetAndFairnessEdges) {
+  // Every throttler should sit on a c_delta knot, except (a) the single
+  // final budget-limited step and (b) throttlers parked at a fairness
+  // limit (min + fairness, where min itself is knot-aligned).
+  const PiecewiseLinearReduction f = MakePwl();
+  GreedyIncrementConfig config;
+  config.z = 0.45;
+  config.fairness_threshold = 37.5;  // deliberately off-knot
+  auto result = RunGreedyIncrement(
+      {MakeRegion(400, 1), MakeRegion(250, 2), MakeRegion(150, 0),
+       MakeRegion(100, 0.2), MakeRegion(50, 3)},
+      f, config);
+  ASSERT_TRUE(result.ok());
+  double min_d = 1e18;
+  for (double d : result->deltas) {
+    min_d = std::min(min_d, d);
+  }
+  int off_knot = 0;
+  for (double d : result->deltas) {
+    const double frac = (d - 5.0) / 1.0;
+    const bool on_knot = std::abs(frac - std::round(frac)) < 1e-6;
+    const bool at_fairness_limit =
+        std::abs(d - (min_d + config.fairness_threshold)) < 1e-6;
+    if (!on_knot && !at_fairness_limit) {
+      ++off_knot;
+    }
+  }
+  EXPECT_LE(off_knot, 1);  // only the final budget-limited step
+}
+
+TEST(GreedyIncrementTest, BudgetMetFlagMatchesReality) {
+  const PiecewiseLinearReduction f = MakePwl();
+  GreedyIncrementConfig config;
+  config.fairness_threshold = kInf;
+  const std::vector<RegionStats> regions = {MakeRegion(500, 1),
+                                            MakeRegion(300, 2)};
+  // Feasible budget.
+  config.z = 0.5;
+  auto feasible = RunGreedyIncrement(regions, f, config);
+  ASSERT_TRUE(feasible.ok());
+  EXPECT_TRUE(feasible->budget_met);
+  // The analytic f floors at f(100) = 0.035: z below that is infeasible.
+  config.z = 0.01;
+  auto infeasible = RunGreedyIncrement(regions, f, config);
+  ASSERT_TRUE(infeasible.ok());
+  EXPECT_FALSE(infeasible->budget_met);
+  EXPECT_GT(infeasible->expenditure, infeasible->budget);
+}
+
+TEST(GreedyIncrementTest, SpeedFactorOffIgnoresSpeeds) {
+  const PiecewiseLinearReduction f = MakePwl();
+  GreedyIncrementConfig config;
+  config.z = 0.6;
+  config.fairness_threshold = kInf;
+  config.use_speed_factor = false;
+  // With the speed factor off, two regions differing only in speed are
+  // symmetric and get equal deltas.
+  auto result = RunGreedyIncrement(
+      {MakeRegion(500, 2, 5.0), MakeRegion(500, 2, 25.0)}, f, config);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->deltas[0], result->deltas[1], 1.0 + 1e-9);
+}
+
+TEST(GreedyIncrementTest, AllStationaryNodesFallBackToCountWeights) {
+  const PiecewiseLinearReduction f = MakePwl();
+  GreedyIncrementConfig config;
+  config.z = 0.5;
+  config.fairness_threshold = kInf;
+  auto result = RunGreedyIncrement(
+      {MakeRegion(300, 1, 0.0), MakeRegion(100, 1, 0.0)}, f, config);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->budget_met);
+}
+
+}  // namespace
+}  // namespace lira

@@ -1,0 +1,244 @@
+#include "lira/core/grid_reduce.h"
+
+#include <algorithm>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "lira/common/rng.h"
+
+namespace lira {
+namespace {
+
+constexpr Rect kWorld{0.0, 0.0, 3200.0, 3200.0};
+
+PiecewiseLinearReduction MakePwl() {
+  auto analytic = AnalyticReduction::Create(5.0, 100.0, 0.7, 1.0);
+  EXPECT_TRUE(analytic.ok());
+  auto pwl = PiecewiseLinearReduction::SampleFunction(
+      5.0, 100.0, 95, [&](double d) { return analytic->Eval(d); });
+  EXPECT_TRUE(pwl.ok());
+  return *std::move(pwl);
+}
+
+// Nodes clustered in one corner town; queries in the opposite corner.
+StatisticsGrid SkewedGrid(int32_t alpha = 16) {
+  auto grid = StatisticsGrid::Create(kWorld, alpha);
+  EXPECT_TRUE(grid.ok());
+  Rng rng(55);
+  for (int i = 0; i < 800; ++i) {
+    grid->AddNode({rng.Uniform(0.0, 800.0), rng.Uniform(0.0, 800.0)},
+                  rng.Uniform(5.0, 15.0));
+  }
+  for (int i = 0; i < 100; ++i) {
+    grid->AddNode({rng.Uniform(0.0, 3200.0), rng.Uniform(0.0, 3200.0)},
+                  rng.Uniform(10.0, 25.0));
+  }
+  QueryRegistry registry;
+  for (int i = 0; i < 8; ++i) {
+    registry.Add(Rect::CenteredAt(
+        {rng.Uniform(2400.0, 3000.0), rng.Uniform(2400.0, 3000.0)}, 300.0));
+  }
+  grid->AddQueries(registry);
+  return *std::move(grid);
+}
+
+void ExpectTilesWorld(const std::vector<SheddingRegion>& regions) {
+  double area = 0.0;
+  for (const SheddingRegion& r : regions) {
+    area += r.area.Area();
+  }
+  EXPECT_NEAR(area, kWorld.Area(), kWorld.Area() * 1e-9);
+  for (size_t i = 0; i < regions.size(); ++i) {
+    for (size_t j = i + 1; j < regions.size(); ++j) {
+      EXPECT_FALSE(regions[i].area.Intersects(regions[j].area))
+          << "regions " << i << " and " << j << " overlap";
+    }
+  }
+}
+
+TEST(GridReduceTest, ProducesExactlyLRegions) {
+  const PiecewiseLinearReduction f = MakePwl();
+  const QuadHierarchy tree = QuadHierarchy::Build(SkewedGrid());
+  for (int32_t l : {1, 4, 13, 40, 100}) {
+    GridReduceConfig config;
+    config.l = l;
+    config.z = 0.5;
+    auto regions = GridReduce(tree, f, config);
+    ASSERT_TRUE(regions.ok()) << "l=" << l;
+    EXPECT_EQ(static_cast<int32_t>(regions->size()), l);
+  }
+}
+
+TEST(GridReduceTest, RegionsTileTheWorldDisjointly) {
+  const PiecewiseLinearReduction f = MakePwl();
+  const QuadHierarchy tree = QuadHierarchy::Build(SkewedGrid());
+  GridReduceConfig config;
+  config.l = 40;
+  auto regions = GridReduce(tree, f, config);
+  ASSERT_TRUE(regions.ok());
+  ExpectTilesWorld(*regions);
+}
+
+TEST(GridReduceTest, StatsAreConsistentWithAreas) {
+  const StatisticsGrid grid = SkewedGrid();
+  const PiecewiseLinearReduction f = MakePwl();
+  const QuadHierarchy tree = QuadHierarchy::Build(grid);
+  GridReduceConfig config;
+  config.l = 22;
+  auto regions = GridReduce(tree, f, config);
+  ASSERT_TRUE(regions.ok());
+  double n_total = 0.0;
+  double m_total = 0.0;
+  for (const SheddingRegion& r : *regions) {
+    n_total += r.stats.n;
+    m_total += r.stats.m;
+    const RegionStats direct = grid.AggregateRect(r.area);
+    EXPECT_NEAR(r.stats.n, direct.n, 1e-6);
+    EXPECT_NEAR(r.stats.m, direct.m, 1e-6);
+  }
+  EXPECT_NEAR(n_total, grid.TotalNodes(), 1e-6);
+  EXPECT_NEAR(m_total, grid.TotalQueries(), 1e-6);
+}
+
+TEST(GridReduceTest, DrillsDownWhereItMatters) {
+  // The node-dense corner (lots of updates, no queries) and the query
+  // corner should be partitioned more finely than the empty middle.
+  const PiecewiseLinearReduction f = MakePwl();
+  const QuadHierarchy tree = QuadHierarchy::Build(SkewedGrid());
+  GridReduceConfig config;
+  config.l = 40;
+  auto regions = GridReduce(tree, f, config);
+  ASSERT_TRUE(regions.ok());
+  double min_area = kWorld.Area();
+  double max_area = 0.0;
+  for (const SheddingRegion& r : *regions) {
+    min_area = std::min(min_area, r.area.Area());
+    max_area = std::max(max_area, r.area.Area());
+  }
+  // Non-uniform partitioning: at least a factor 16 (two levels) spread.
+  EXPECT_GE(max_area / min_area, 16.0);
+}
+
+TEST(GridReduceTest, LOneIsTheWholeWorld) {
+  const PiecewiseLinearReduction f = MakePwl();
+  const QuadHierarchy tree = QuadHierarchy::Build(SkewedGrid());
+  GridReduceConfig config;
+  config.l = 1;
+  auto regions = GridReduce(tree, f, config);
+  ASSERT_TRUE(regions.ok());
+  ASSERT_EQ(regions->size(), 1u);
+  EXPECT_EQ((*regions)[0].area, kWorld);
+}
+
+TEST(GridReduceTest, CapsAtLeafCount) {
+  const PiecewiseLinearReduction f = MakePwl();
+  // 4x4 grid -> at most 16 leaf regions.
+  const QuadHierarchy tree = QuadHierarchy::Build(SkewedGrid(4));
+  GridReduceConfig config;
+  config.l = 22;  // 22 mod 3 == 1 but > 16
+  auto regions = GridReduce(tree, f, config);
+  ASSERT_TRUE(regions.ok());
+  EXPECT_EQ(regions->size(), 16u);
+}
+
+TEST(GridReduceTest, DeterministicPartitioning) {
+  const PiecewiseLinearReduction f = MakePwl();
+  const StatisticsGrid grid = SkewedGrid();
+  const QuadHierarchy tree_a = QuadHierarchy::Build(grid);
+  const QuadHierarchy tree_b = QuadHierarchy::Build(grid);
+  GridReduceConfig config;
+  config.l = 40;
+  auto a = GridReduce(tree_a, f, config);
+  auto b = GridReduce(tree_b, f, config);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a->size(), b->size());
+  // Same multiset of areas (heap pop order of equal gains may permute).
+  auto key = [](const SheddingRegion& r) {
+    return std::make_tuple(r.area.min_x, r.area.min_y, r.area.max_x);
+  };
+  std::vector<std::tuple<double, double, double>> ka, kb;
+  for (const auto& r : *a) ka.push_back(key(r));
+  for (const auto& r : *b) kb.push_back(key(r));
+  std::sort(ka.begin(), ka.end());
+  std::sort(kb.begin(), kb.end());
+  EXPECT_EQ(ka, kb);
+}
+
+TEST(GridReduceTest, MoreRegionsNeverIncreasePlannedInaccuracy) {
+  // Drill-down refines the partition; with throttlers re-optimized, the
+  // planned objective should be (weakly) improving in l on this workload.
+  const PiecewiseLinearReduction f = MakePwl();
+  const StatisticsGrid grid = SkewedGrid();
+  const QuadHierarchy tree = QuadHierarchy::Build(grid);
+  double previous = 1e300;
+  for (int32_t l : {1, 4, 13, 40, 100}) {
+    GridReduceConfig config;
+    config.l = l;
+    auto regions = GridReduce(tree, f, config);
+    ASSERT_TRUE(regions.ok());
+    std::vector<RegionStats> stats;
+    for (const auto& r : *regions) stats.push_back(r.stats);
+    GreedyIncrementConfig greedy;
+    greedy.z = 0.5;
+    auto result = RunGreedyIncrement(stats, f, greedy);
+    ASSERT_TRUE(result.ok());
+    EXPECT_LE(result->inaccuracy, previous * 1.001 + 1e-9) << "l=" << l;
+    previous = result->inaccuracy;
+  }
+}
+
+TEST(GridReduceTest, ValidatesArguments) {
+  const PiecewiseLinearReduction f = MakePwl();
+  const QuadHierarchy tree = QuadHierarchy::Build(SkewedGrid());
+  GridReduceConfig config;
+  config.l = 0;
+  EXPECT_FALSE(GridReduce(tree, f, config).ok());
+  config.l = 12;  // 12 mod 3 == 0
+  EXPECT_FALSE(GridReduce(tree, f, config).ok());
+  config.l = 13;
+  config.z = 1.5;
+  EXPECT_FALSE(GridReduce(tree, f, config).ok());
+}
+
+TEST(EvenPartitionTest, ProducesFloorSqrtGrid) {
+  const StatisticsGrid grid = SkewedGrid();
+  for (int32_t l : {1, 4, 10, 16, 250}) {
+    auto regions = EvenPartition(grid, l);
+    ASSERT_TRUE(regions.ok());
+    const auto side = static_cast<int32_t>(
+        std::floor(std::sqrt(static_cast<double>(l))));
+    EXPECT_EQ(static_cast<int32_t>(regions->size()), side * side);
+    ExpectTilesWorld(*regions);
+  }
+  EXPECT_FALSE(EvenPartition(grid, 0).ok());
+}
+
+TEST(EvenPartitionTest, StatsSumToTotals) {
+  const StatisticsGrid grid = SkewedGrid();
+  auto regions = EvenPartition(grid, 250);
+  ASSERT_TRUE(regions.ok());
+  double n = 0.0;
+  double m = 0.0;
+  for (const SheddingRegion& r : *regions) {
+    n += r.stats.n;
+    m += r.stats.m;
+  }
+  EXPECT_NEAR(n, grid.TotalNodes(), 1e-6);
+  EXPECT_NEAR(m, grid.TotalQueries(), 1e-6);
+}
+
+TEST(EvenPartitionTest, AllRegionsEqualSize) {
+  const StatisticsGrid grid = SkewedGrid();
+  auto regions = EvenPartition(grid, 49);
+  ASSERT_TRUE(regions.ok());
+  const double expected = kWorld.Area() / 49.0;
+  for (const SheddingRegion& r : *regions) {
+    EXPECT_NEAR(r.area.Area(), expected, 1e-6);
+  }
+}
+
+}  // namespace
+}  // namespace lira

@@ -1,0 +1,152 @@
+// Property tests tying GRIDREDUCE, GREEDYINCREMENT and SheddingPlan
+// together: for random worlds and parameter combinations, the produced plan
+// must tile the space, respect the throttler domain / fairness / budget,
+// and agree with brute-force point lookup.
+
+#include <algorithm>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "lira/common/rng.h"
+#include "lira/core/policy.h"
+
+namespace lira {
+namespace {
+
+constexpr Rect kWorld{0.0, 0.0, 8000.0, 8000.0};
+
+PiecewiseLinearReduction MakePwl() {
+  auto analytic = AnalyticReduction::Create(5.0, 100.0, 0.7, 1.0);
+  EXPECT_TRUE(analytic.ok());
+  auto pwl = PiecewiseLinearReduction::SampleFunction(
+      5.0, 100.0, 95, [&](double d) { return analytic->Eval(d); });
+  EXPECT_TRUE(pwl.ok());
+  return *std::move(pwl);
+}
+
+StatisticsGrid RandomWorldStats(uint64_t seed) {
+  auto grid = StatisticsGrid::Create(kWorld, 64);
+  EXPECT_TRUE(grid.ok());
+  Rng rng(seed);
+  // 1-3 towns plus background noise.
+  const int towns = 1 + static_cast<int>(rng.UniformInt(3));
+  for (int t = 0; t < towns; ++t) {
+    const Point center{rng.Uniform(1000.0, 7000.0),
+                       rng.Uniform(1000.0, 7000.0)};
+    const int population = 200 + static_cast<int>(rng.UniformInt(600));
+    for (int i = 0; i < population; ++i) {
+      grid->AddNode({center.x + rng.Normal(0.0, 400.0),
+                     center.y + rng.Normal(0.0, 400.0)},
+                    rng.Uniform(4.0, 15.0));
+    }
+  }
+  for (int i = 0; i < 200; ++i) {
+    grid->AddNode({rng.Uniform(0.0, 8000.0), rng.Uniform(0.0, 8000.0)},
+                  rng.Uniform(15.0, 29.0));
+  }
+  QueryRegistry queries;
+  const int num_queries = 3 + static_cast<int>(rng.UniformInt(15));
+  for (int q = 0; q < num_queries; ++q) {
+    const double side = rng.Uniform(300.0, 1200.0);
+    queries.Add(Rect::CenteredAt({rng.Uniform(side / 2, 8000.0 - side / 2),
+                                  rng.Uniform(side / 2, 8000.0 - side / 2)},
+                                 side));
+  }
+  grid->AddQueries(queries, 100.0);
+  return *std::move(grid);
+}
+
+class PlanPropertyTest
+    : public ::testing::TestWithParam<std::tuple<int32_t, double, uint64_t>> {
+};
+
+TEST_P(PlanPropertyTest, PlanInvariants) {
+  const auto [l, z, seed] = GetParam();
+  const PiecewiseLinearReduction f = MakePwl();
+  const StatisticsGrid stats = RandomWorldStats(seed);
+
+  LiraConfig config;
+  config.l = l;
+  config.fairness_threshold = 50.0;
+  const LiraPolicy policy(config);
+  PolicyContext ctx;
+  ctx.stats = &stats;
+  ctx.reduction = &f;
+  ctx.z = z;
+  auto plan = policy.BuildPlan(ctx);
+  ASSERT_TRUE(plan.ok());
+
+  // 1. Exactly l regions tiling the world without overlap.
+  ASSERT_EQ(plan->NumRegions(), l);
+  double area = 0.0;
+  for (const SheddingRegion& region : plan->regions()) {
+    area += region.area.Area();
+  }
+  EXPECT_NEAR(area, kWorld.Area(), kWorld.Area() * 1e-9);
+  for (int i = 0; i < plan->NumRegions(); ++i) {
+    for (int j = i + 1; j < plan->NumRegions(); ++j) {
+      ASSERT_FALSE(
+          plan->regions()[i].area.Intersects(plan->regions()[j].area));
+    }
+  }
+
+  // 2. Throttler domain and fairness.
+  double min_d = 1e18;
+  double max_d = 0.0;
+  for (const SheddingRegion& region : plan->regions()) {
+    EXPECT_GE(region.delta, 5.0 - 1e-9);
+    EXPECT_LE(region.delta, 100.0 + 1e-9);
+    min_d = std::min(min_d, region.delta);
+    max_d = std::max(max_d, region.delta);
+  }
+  EXPECT_LE(max_d - min_d, 50.0 + 1e-6);
+  EXPECT_DOUBLE_EQ(plan->MinDelta(), min_d);
+  EXPECT_DOUBLE_EQ(plan->MaxDelta(), max_d);
+
+  // 3. Budget: weighted expenditure <= z * n (unless everything is maxed).
+  double n_total = 0.0;
+  double speed_dot = 0.0;
+  for (const SheddingRegion& region : plan->regions()) {
+    n_total += region.stats.n;
+    speed_dot += region.stats.n * region.stats.s;
+  }
+  const double s_hat = n_total > 0.0 ? speed_dot / n_total : 0.0;
+  double expenditure = 0.0;
+  for (const SheddingRegion& region : plan->regions()) {
+    const double w = s_hat > 0.0
+                         ? region.stats.n * region.stats.s / s_hat
+                         : region.stats.n;
+    expenditure += w * f.Eval(region.delta);
+  }
+  const bool all_maxed = min_d >= 100.0 - 1e-9;
+  if (!all_maxed) {
+    EXPECT_LE(expenditure, z * n_total + 1e-6 * std::max(1.0, n_total));
+  }
+
+  // 4. Point lookup agrees with brute force.
+  Rng rng(seed ^ 0xabcdef);
+  for (int trial = 0; trial < 100; ++trial) {
+    const Point p{rng.Uniform(0.0, 8000.0), rng.Uniform(0.0, 8000.0)};
+    const int32_t idx = plan->RegionIndexAt(p);
+    ASSERT_TRUE(plan->regions()[idx].area.Contains(p));
+    int32_t brute = -1;
+    for (int32_t r = 0; r < plan->NumRegions(); ++r) {
+      if (plan->regions()[r].area.Contains(p)) {
+        brute = r;
+        break;
+      }
+    }
+    EXPECT_EQ(idx, brute);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PlanPropertyTest,
+    ::testing::Combine(::testing::Values(1, 4, 40, 250),
+                       ::testing::Values(0.25, 0.5, 0.9),
+                       ::testing::Values(11u, 22u, 33u)));
+
+}  // namespace
+}  // namespace lira

@@ -1,0 +1,112 @@
+#include "lira/core/quad_hierarchy.h"
+
+#include <gtest/gtest.h>
+
+#include "lira/common/rng.h"
+
+namespace lira {
+namespace {
+
+constexpr Rect kWorld{0.0, 0.0, 1600.0, 1600.0};
+
+StatisticsGrid PopulatedGrid(int32_t alpha, int nodes = 300) {
+  auto grid = StatisticsGrid::Create(kWorld, alpha);
+  EXPECT_TRUE(grid.ok());
+  Rng rng(31);
+  for (int i = 0; i < nodes; ++i) {
+    grid->AddNode({rng.Uniform(0.0, 1600.0), rng.Uniform(0.0, 1600.0)},
+                  rng.Uniform(5.0, 25.0));
+  }
+  QueryRegistry registry;
+  for (int i = 0; i < 10; ++i) {
+    const double side = rng.Uniform(100.0, 400.0);
+    registry.Add(Rect::CenteredAt({rng.Uniform(side / 2, 1600.0 - side / 2),
+                                   rng.Uniform(side / 2, 1600.0 - side / 2)},
+                                  side));
+  }
+  grid->AddQueries(registry);
+  return *std::move(grid);
+}
+
+TEST(QuadHierarchyTest, LevelCountMatchesAlpha) {
+  const QuadHierarchy tree = QuadHierarchy::Build(PopulatedGrid(16));
+  EXPECT_EQ(tree.num_levels(), 5);  // log2(16) + 1
+  EXPECT_EQ(tree.leaf_level(), 4);
+  EXPECT_FALSE(tree.IsLeaf(tree.root()));
+  // alpha^2 + (alpha^2 - 1)/3 = 256 + 85 = 341.
+  EXPECT_EQ(tree.TotalNodes(), 341);
+}
+
+TEST(QuadHierarchyTest, SingleCellGridIsRootOnly) {
+  const QuadHierarchy tree = QuadHierarchy::Build(PopulatedGrid(1));
+  EXPECT_EQ(tree.num_levels(), 1);
+  EXPECT_TRUE(tree.IsLeaf(tree.root()));
+  EXPECT_EQ(tree.TotalNodes(), 1);
+}
+
+TEST(QuadHierarchyTest, RootAggregatesEverything) {
+  const StatisticsGrid grid = PopulatedGrid(8);
+  const QuadHierarchy tree = QuadHierarchy::Build(grid);
+  const RegionStats& root = tree.Stats(tree.root());
+  EXPECT_NEAR(root.n, grid.TotalNodes(), 1e-9);
+  EXPECT_NEAR(root.m, grid.TotalQueries(), 1e-9);
+  EXPECT_NEAR(root.s, grid.OverallMeanSpeed(), 1e-9);
+}
+
+TEST(QuadHierarchyTest, ParentEqualsSumOfChildrenEverywhere) {
+  const QuadHierarchy tree = QuadHierarchy::Build(PopulatedGrid(16));
+  for (int32_t level = 0; level < tree.leaf_level(); ++level) {
+    const int32_t side = 1 << level;
+    for (int32_t iy = 0; iy < side; ++iy) {
+      for (int32_t ix = 0; ix < side; ++ix) {
+        const QuadNodeRef ref{level, ix, iy};
+        RegionStats sum;
+        for (const QuadNodeRef& child : tree.Children(ref)) {
+          sum = sum + tree.Stats(child);
+        }
+        const RegionStats& parent = tree.Stats(ref);
+        EXPECT_NEAR(parent.n, sum.n, 1e-9);
+        EXPECT_NEAR(parent.m, sum.m, 1e-9);
+        EXPECT_NEAR(parent.s, sum.s, 1e-9);
+      }
+    }
+  }
+}
+
+TEST(QuadHierarchyTest, LeavesMatchGridCells) {
+  const StatisticsGrid grid = PopulatedGrid(8);
+  const QuadHierarchy tree = QuadHierarchy::Build(grid);
+  for (int32_t iy = 0; iy < 8; ++iy) {
+    for (int32_t ix = 0; ix < 8; ++ix) {
+      const QuadNodeRef leaf{tree.leaf_level(), ix, iy};
+      EXPECT_TRUE(tree.IsLeaf(leaf));
+      EXPECT_NEAR(tree.Stats(leaf).n, grid.NodeCount(ix, iy), 1e-12);
+      EXPECT_NEAR(tree.Stats(leaf).m, grid.QueryCount(ix, iy), 1e-12);
+      EXPECT_EQ(tree.RegionOf(leaf), grid.CellRect(ix, iy));
+    }
+  }
+}
+
+TEST(QuadHierarchyTest, ChildrenQuadrantsTileParentRegion) {
+  const QuadHierarchy tree = QuadHierarchy::Build(PopulatedGrid(8));
+  const QuadNodeRef parent{1, 1, 0};
+  const Rect parent_rect = tree.RegionOf(parent);
+  double child_area = 0.0;
+  for (const QuadNodeRef& child : tree.Children(parent)) {
+    const Rect r = tree.RegionOf(child);
+    child_area += r.Area();
+    EXPECT_GE(r.min_x, parent_rect.min_x - 1e-9);
+    EXPECT_LE(r.max_x, parent_rect.max_x + 1e-9);
+    EXPECT_GE(r.min_y, parent_rect.min_y - 1e-9);
+    EXPECT_LE(r.max_y, parent_rect.max_y + 1e-9);
+  }
+  EXPECT_NEAR(child_area, parent_rect.Area(), 1e-6);
+}
+
+TEST(QuadHierarchyTest, RootRegionIsWorld) {
+  const QuadHierarchy tree = QuadHierarchy::Build(PopulatedGrid(4));
+  EXPECT_EQ(tree.RegionOf(tree.root()), kWorld);
+}
+
+}  // namespace
+}  // namespace lira

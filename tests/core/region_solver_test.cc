@@ -1,0 +1,120 @@
+#include "lira/core/region_solver.h"
+
+#include <array>
+
+#include <gtest/gtest.h>
+
+namespace lira {
+namespace {
+
+PiecewiseLinearReduction MakePwl() {
+  auto analytic = AnalyticReduction::Create(5.0, 100.0, 0.7, 1.0);
+  EXPECT_TRUE(analytic.ok());
+  auto pwl = PiecewiseLinearReduction::SampleFunction(
+      5.0, 100.0, 95, [&](double d) { return analytic->Eval(d); });
+  EXPECT_TRUE(pwl.ok());
+  return *std::move(pwl);
+}
+
+RegionStats Make(double n, double m, double s = 10.0) {
+  RegionStats r;
+  r.n = n;
+  r.m = m;
+  r.s = s;
+  return r;
+}
+
+TEST(RegionSolverTest, SingleRegionClosedForm) {
+  const PiecewiseLinearReduction f = MakePwl();
+  const RegionStats region = Make(100, 4);
+  EXPECT_NEAR(SolveSingleRegionInaccuracy(region, 0.5, f),
+              4.0 * f.InverseEval(0.5), 1e-9);
+  EXPECT_NEAR(SolveSingleRegionInaccuracy(region, 1.0, f), 4.0 * 5.0, 1e-9);
+  // Unreachable budget: delta_max fallback.
+  EXPECT_NEAR(SolveSingleRegionInaccuracy(region, 0.0, f), 4.0 * 100.0, 1e-9);
+}
+
+TEST(RegionSolverTest, NoNodesMeansFreeAccuracy) {
+  const PiecewiseLinearReduction f = MakePwl();
+  EXPECT_NEAR(SolveSingleRegionInaccuracy(Make(0, 3), 0.1, f), 3.0 * 5.0,
+              1e-9);
+}
+
+TEST(RegionSolverTest, PartitionedNeverWorseThanWhole) {
+  const PiecewiseLinearReduction f = MakePwl();
+  GreedyIncrementConfig config;
+  config.z = 0.5;
+  for (int trial = 0; trial < 4; ++trial) {
+    const std::array<RegionStats, 4> children = {
+        Make(200.0 + trial * 50, 0.5), Make(100, 3), Make(50, 0),
+        Make(25, 1.5)};
+    RegionStats parent;
+    for (const RegionStats& c : children) {
+      parent = parent + c;
+    }
+    const double whole = SolveSingleRegionInaccuracy(parent, config.z, f);
+    auto split = SolvePartitionedInaccuracy(children, config.z, f, config);
+    ASSERT_TRUE(split.ok());
+    EXPECT_LE(*split, whole + 1e-6);
+    auto gain = AccuracyGain(parent, children, config.z, f, config);
+    ASSERT_TRUE(gain.ok());
+    EXPECT_NEAR(*gain, whole - *split, 1e-9);
+    EXPECT_GE(*gain, 0.0);
+  }
+}
+
+TEST(RegionSolverTest, HomogeneousChildrenHaveNearZeroGain) {
+  const PiecewiseLinearReduction f = MakePwl();
+  GreedyIncrementConfig config;
+  config.z = 0.5;
+  const std::array<RegionStats, 4> children = {Make(100, 1), Make(100, 1),
+                                               Make(100, 1), Make(100, 1)};
+  RegionStats parent;
+  for (const RegionStats& c : children) {
+    parent = parent + c;
+  }
+  auto gain = AccuracyGain(parent, children, config.z, f, config);
+  ASSERT_TRUE(gain.ok());
+  // Identical children: splitting cannot beat the single-region optimum by
+  // more than one increment of discretization slack.
+  EXPECT_LT(*gain, parent.m * config.c_delta + 1e-6);
+}
+
+TEST(RegionSolverTest, HeterogeneousChildrenHavePositiveGain) {
+  const PiecewiseLinearReduction f = MakePwl();
+  GreedyIncrementConfig config;
+  config.z = 0.5;
+  // All queries in one child, all nodes in another: the paper's ideal
+  // shedding setup.
+  const std::array<RegionStats, 4> children = {Make(10, 4), Make(400, 0),
+                                               Make(10, 0), Make(10, 0)};
+  RegionStats parent;
+  for (const RegionStats& c : children) {
+    parent = parent + c;
+  }
+  auto gain = AccuracyGain(parent, children, config.z, f, config);
+  ASSERT_TRUE(gain.ok());
+  EXPECT_GT(*gain, 1.0);
+}
+
+TEST(RegionSolverTest, GainGrowsWithHeterogeneity) {
+  const PiecewiseLinearReduction f = MakePwl();
+  GreedyIncrementConfig config;
+  config.z = 0.5;
+  auto gain_for = [&](double skew) {
+    const std::array<RegionStats, 4> children = {
+        Make(100 - skew, 2 + skew / 50), Make(100 + skew, 2 - skew / 50),
+        Make(100, 2), Make(100, 2)};
+    RegionStats parent;
+    for (const RegionStats& c : children) {
+      parent = parent + c;
+    }
+    auto gain = AccuracyGain(parent, children, config.z, f, config);
+    EXPECT_TRUE(gain.ok());
+    return *gain;
+  };
+  EXPECT_LE(gain_for(0.0), gain_for(90.0) + 1e-9);
+}
+
+}  // namespace
+}  // namespace lira

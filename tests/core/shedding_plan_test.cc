@@ -1,0 +1,111 @@
+#include "lira/core/shedding_plan.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "lira/common/rng.h"
+
+namespace lira {
+namespace {
+
+constexpr Rect kWorld{0.0, 0.0, 100.0, 100.0};
+
+SheddingRegion Region(const Rect& area, double delta, double m = 0.0) {
+  SheddingRegion r;
+  r.area = area;
+  r.delta = delta;
+  r.stats.m = m;
+  return r;
+}
+
+TEST(SheddingPlanTest, UniformPlan) {
+  const SheddingPlan plan = SheddingPlan::MakeUniform(kWorld, 7.5);
+  EXPECT_EQ(plan.NumRegions(), 1);
+  EXPECT_DOUBLE_EQ(plan.DeltaAt({50.0, 50.0}), 7.5);
+  EXPECT_DOUBLE_EQ(plan.DeltaAt({-10.0, 500.0}), 7.5);  // clamped
+  EXPECT_DOUBLE_EQ(plan.MinDelta(), 7.5);
+  EXPECT_DOUBLE_EQ(plan.MaxDelta(), 7.5);
+}
+
+TEST(SheddingPlanTest, QuadrantLookup) {
+  std::vector<SheddingRegion> regions = {
+      Region(Rect{0, 0, 50, 50}, 5.0), Region(Rect{50, 0, 100, 50}, 10.0),
+      Region(Rect{0, 50, 50, 100}, 20.0),
+      Region(Rect{50, 50, 100, 100}, 40.0)};
+  auto plan = SheddingPlan::Create(kWorld, regions, 8);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_DOUBLE_EQ(plan->DeltaAt({10.0, 10.0}), 5.0);
+  EXPECT_DOUBLE_EQ(plan->DeltaAt({90.0, 10.0}), 10.0);
+  EXPECT_DOUBLE_EQ(plan->DeltaAt({10.0, 90.0}), 20.0);
+  EXPECT_DOUBLE_EQ(plan->DeltaAt({90.0, 90.0}), 40.0);
+  // Boundary points belong to the half-open side.
+  EXPECT_DOUBLE_EQ(plan->DeltaAt({50.0, 10.0}), 10.0);
+  EXPECT_DOUBLE_EQ(plan->DeltaAt({10.0, 50.0}), 20.0);
+  EXPECT_DOUBLE_EQ(plan->MinDelta(), 5.0);
+  EXPECT_DOUBLE_EQ(plan->MaxDelta(), 40.0);
+}
+
+TEST(SheddingPlanTest, RegionIndexMatchesContainingRegion) {
+  std::vector<SheddingRegion> regions = {
+      Region(Rect{0, 0, 50, 100}, 5.0), Region(Rect{50, 0, 100, 100}, 9.0)};
+  auto plan = SheddingPlan::Create(kWorld, regions, 4);
+  ASSERT_TRUE(plan.ok());
+  Rng rng(3);
+  for (int i = 0; i < 200; ++i) {
+    const Point p{rng.Uniform(0.0, 100.0), rng.Uniform(0.0, 100.0)};
+    const int32_t idx = plan->RegionIndexAt(p);
+    EXPECT_TRUE(plan->regions()[idx].area.Contains(p));
+  }
+}
+
+TEST(SheddingPlanTest, InaccuracyIsWeightedSum) {
+  std::vector<SheddingRegion> regions = {
+      Region(Rect{0, 0, 50, 100}, 10.0, /*m=*/2.0),
+      Region(Rect{50, 0, 100, 100}, 30.0, /*m=*/0.5)};
+  auto plan = SheddingPlan::Create(kWorld, regions, 4);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_DOUBLE_EQ(plan->Inaccuracy(), 2.0 * 10.0 + 0.5 * 30.0);
+}
+
+TEST(SheddingPlanTest, CreateRejectsBadInputs) {
+  EXPECT_FALSE(SheddingPlan::Create(kWorld, {}, 4).ok());
+  EXPECT_FALSE(
+      SheddingPlan::Create(Rect{0, 0, 0, 0},
+                           {Region(Rect{0, 0, 1, 1}, 5.0)}, 4)
+          .ok());
+  // Degenerate region.
+  EXPECT_FALSE(
+      SheddingPlan::Create(kWorld, {Region(Rect{0, 0, 0, 100}, 5.0)}, 4)
+          .ok());
+  // Regions that do not tile the world (half missing).
+  EXPECT_FALSE(
+      SheddingPlan::Create(kWorld, {Region(Rect{0, 0, 50, 100}, 5.0)}, 4)
+          .ok());
+  // Bad locator resolution.
+  EXPECT_FALSE(
+      SheddingPlan::Create(kWorld, {Region(kWorld, 5.0)}, 0).ok());
+}
+
+TEST(SheddingPlanTest, FineLocatorAgreesWithCoarse) {
+  std::vector<SheddingRegion> regions;
+  for (int iy = 0; iy < 4; ++iy) {
+    for (int ix = 0; ix < 4; ++ix) {
+      regions.push_back(Region(
+          Rect{ix * 25.0, iy * 25.0, (ix + 1) * 25.0, (iy + 1) * 25.0},
+          5.0 + iy * 4 + ix));
+    }
+  }
+  auto coarse = SheddingPlan::Create(kWorld, regions, 2);
+  auto fine = SheddingPlan::Create(kWorld, regions, 64);
+  ASSERT_TRUE(coarse.ok());
+  ASSERT_TRUE(fine.ok());
+  Rng rng(8);
+  for (int i = 0; i < 300; ++i) {
+    const Point p{rng.Uniform(0.0, 100.0), rng.Uniform(0.0, 100.0)};
+    EXPECT_DOUBLE_EQ(coarse->DeltaAt(p), fine->DeltaAt(p));
+  }
+}
+
+}  // namespace
+}  // namespace lira

@@ -1,0 +1,214 @@
+#include "lira/core/statistics_grid.h"
+
+#include <gtest/gtest.h>
+
+#include "lira/common/rng.h"
+
+namespace lira {
+namespace {
+
+constexpr Rect kWorld{0.0, 0.0, 800.0, 800.0};
+
+StatisticsGrid MakeGrid(int32_t alpha = 8) {
+  auto grid = StatisticsGrid::Create(kWorld, alpha);
+  EXPECT_TRUE(grid.ok());
+  return *std::move(grid);
+}
+
+TEST(StatisticsGridTest, CreateRequiresPowerOfTwoAlpha) {
+  EXPECT_TRUE(StatisticsGrid::Create(kWorld, 1).ok());
+  EXPECT_TRUE(StatisticsGrid::Create(kWorld, 128).ok());
+  EXPECT_FALSE(StatisticsGrid::Create(kWorld, 0).ok());
+  EXPECT_FALSE(StatisticsGrid::Create(kWorld, 3).ok());
+  EXPECT_FALSE(StatisticsGrid::Create(kWorld, -8).ok());
+  EXPECT_FALSE(StatisticsGrid::Create(Rect{0, 0, 0, 1}, 8).ok());
+}
+
+TEST(StatisticsGridTest, RecommendedAlphaFormula) {
+  // alpha = 2^floor(log2(10 * sqrt(l))).
+  EXPECT_EQ(StatisticsGrid::RecommendedAlpha(250), 128);
+  EXPECT_EQ(StatisticsGrid::RecommendedAlpha(4000), 512);  // paper Sec 4.3.2
+  EXPECT_EQ(StatisticsGrid::RecommendedAlpha(1), 8);
+  EXPECT_EQ(StatisticsGrid::RecommendedAlpha(100), 64);
+}
+
+TEST(StatisticsGridTest, CellRectsTileTheWorld) {
+  StatisticsGrid grid = MakeGrid(4);
+  double total = 0.0;
+  for (int32_t iy = 0; iy < 4; ++iy) {
+    for (int32_t ix = 0; ix < 4; ++ix) {
+      total += grid.CellRect(ix, iy).Area();
+    }
+  }
+  EXPECT_NEAR(total, kWorld.Area(), 1e-6);
+  EXPECT_EQ(grid.CellRect(0, 0), (Rect{0, 0, 200, 200}));
+  EXPECT_EQ(grid.CellRect(3, 3), (Rect{600, 600, 800, 800}));
+}
+
+TEST(StatisticsGridTest, AddNodeAccumulatesCountAndSpeed) {
+  StatisticsGrid grid = MakeGrid();
+  grid.AddNode({50.0, 50.0}, 10.0);
+  grid.AddNode({60.0, 60.0}, 20.0);  // same 100 m cell
+  EXPECT_DOUBLE_EQ(grid.NodeCount(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(grid.MeanSpeed(0, 0), 15.0);
+  EXPECT_DOUBLE_EQ(grid.NodeCount(1, 1), 0.0);
+  EXPECT_DOUBLE_EQ(grid.MeanSpeed(1, 1), 0.0);
+  EXPECT_DOUBLE_EQ(grid.TotalNodes(), 2.0);
+}
+
+TEST(StatisticsGridTest, RemoveNodeIsInverseOfAdd) {
+  StatisticsGrid grid = MakeGrid();
+  grid.AddNode({50.0, 50.0}, 10.0);
+  grid.AddNode({50.0, 50.0}, 30.0);
+  grid.RemoveNode({50.0, 50.0}, 10.0);
+  EXPECT_DOUBLE_EQ(grid.NodeCount(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(grid.MeanSpeed(0, 0), 30.0);
+  grid.RemoveNode({50.0, 50.0}, 30.0);
+  EXPECT_DOUBLE_EQ(grid.NodeCount(0, 0), 0.0);
+  // Extra removals clamp at zero rather than going negative.
+  grid.RemoveNode({50.0, 50.0}, 5.0);
+  EXPECT_DOUBLE_EQ(grid.NodeCount(0, 0), 0.0);
+}
+
+TEST(StatisticsGridTest, OutOfWorldNodesClampIntoEdgeCells) {
+  StatisticsGrid grid = MakeGrid();
+  grid.AddNode({-50.0, 900.0}, 5.0);
+  EXPECT_DOUBLE_EQ(grid.NodeCount(0, 7), 1.0);
+}
+
+TEST(StatisticsGridTest, FractionalQueryCounting) {
+  StatisticsGrid grid = MakeGrid(4);  // 200 m cells
+  QueryRegistry registry;
+  // A 200x200 query exactly covering cell (1,1).
+  registry.Add(Rect{200, 200, 400, 400});
+  // A 200x200 query straddling cells (0,0),(1,0),(0,1),(1,1) equally.
+  registry.Add(Rect{100, 100, 300, 300});
+  grid.AddQueries(registry);
+  EXPECT_NEAR(grid.QueryCount(1, 1), 1.0 + 0.25, 1e-12);
+  EXPECT_NEAR(grid.QueryCount(0, 0), 0.25, 1e-12);
+  EXPECT_NEAR(grid.QueryCount(1, 0), 0.25, 1e-12);
+  EXPECT_NEAR(grid.QueryCount(0, 1), 0.25, 1e-12);
+  EXPECT_NEAR(grid.TotalQueries(), 2.0, 1e-12);
+}
+
+TEST(StatisticsGridTest, QueryMarginExpandsFootprint) {
+  StatisticsGrid grid = MakeGrid(4);  // 200 m cells
+  QueryRegistry registry;
+  registry.Add(Rect{250, 250, 350, 350});  // strictly inside cell (1,1)
+  grid.AddQueries(registry, /*margin=*/0.0);
+  EXPECT_NEAR(grid.QueryCount(1, 1), 1.0, 1e-12);
+  EXPECT_NEAR(grid.QueryCount(0, 0), 0.0, 1e-12);
+  grid.ClearQueries();
+  // A 100 m margin turns it into a 300x300 rect spanning [150, 450):
+  // corners now reach the diagonal neighbors.
+  grid.AddQueries(registry, /*margin=*/100.0);
+  EXPECT_GT(grid.QueryCount(0, 0), 0.0);
+  EXPECT_GT(grid.QueryCount(1, 0), 0.0);
+  EXPECT_GT(grid.QueryCount(1, 1), 0.0);
+  // Fractions still sum to one query.
+  EXPECT_NEAR(grid.TotalQueries(), 1.0, 1e-9);
+}
+
+TEST(StatisticsGridTest, TotalQueriesEqualsRegistrySizeForInsideQueries) {
+  StatisticsGrid grid = MakeGrid(16);
+  QueryRegistry registry;
+  Rng rng(9);
+  for (int i = 0; i < 40; ++i) {
+    const double side = rng.Uniform(30.0, 150.0);
+    const Point center{rng.Uniform(side / 2, 800.0 - side / 2),
+                       rng.Uniform(side / 2, 800.0 - side / 2)};
+    registry.Add(Rect::CenteredAt(center, side));
+  }
+  grid.AddQueries(registry);
+  EXPECT_NEAR(grid.TotalQueries(), 40.0, 1e-9);
+}
+
+TEST(StatisticsGridTest, ClearSeparatesNodesAndQueries) {
+  StatisticsGrid grid = MakeGrid();
+  QueryRegistry registry;
+  registry.Add(Rect{0, 0, 100, 100});
+  grid.AddQueries(registry);
+  grid.AddNode({50, 50}, 5.0);
+  grid.ClearNodes();
+  EXPECT_DOUBLE_EQ(grid.TotalNodes(), 0.0);
+  EXPECT_NEAR(grid.TotalQueries(), 1.0, 1e-12);
+  grid.ClearQueries();
+  EXPECT_DOUBLE_EQ(grid.TotalQueries(), 0.0);
+}
+
+TEST(StatisticsGridTest, OverallMeanSpeedIsNodeWeighted) {
+  StatisticsGrid grid = MakeGrid();
+  grid.AddNode({50, 50}, 10.0);
+  grid.AddNode({50, 50}, 10.0);
+  grid.AddNode({50, 50}, 10.0);
+  grid.AddNode({750, 750}, 30.0);
+  EXPECT_DOUBLE_EQ(grid.OverallMeanSpeed(), 15.0);
+  StatisticsGrid empty = MakeGrid();
+  EXPECT_DOUBLE_EQ(empty.OverallMeanSpeed(), 0.0);
+}
+
+TEST(StatisticsGridTest, AggregateRectWholeWorldMatchesTotals) {
+  StatisticsGrid grid = MakeGrid(8);
+  Rng rng(4);
+  for (int i = 0; i < 200; ++i) {
+    grid.AddNode({rng.Uniform(0.0, 800.0), rng.Uniform(0.0, 800.0)},
+                 rng.Uniform(5.0, 20.0));
+  }
+  QueryRegistry registry;
+  registry.Add(Rect{100, 100, 300, 250});
+  grid.AddQueries(registry);
+  const RegionStats stats = grid.AggregateRect(kWorld);
+  EXPECT_NEAR(stats.n, 200.0, 1e-9);
+  EXPECT_NEAR(stats.m, 1.0, 1e-9);
+  EXPECT_NEAR(stats.s, grid.OverallMeanSpeed(), 1e-9);
+}
+
+TEST(StatisticsGridTest, AggregateRectPartialCellsAreFractional) {
+  StatisticsGrid grid = MakeGrid(4);  // 200 m cells
+  grid.AddNode({100.0, 100.0}, 10.0);  // cell (0,0)
+  // Rect covering the left half of cell (0,0): half of the cell's area ->
+  // half a node under the uniform-spread assumption.
+  const RegionStats stats = grid.AggregateRect(Rect{0, 0, 100, 200});
+  EXPECT_NEAR(stats.n, 0.5, 1e-12);
+  EXPECT_NEAR(stats.s, 10.0, 1e-12);
+}
+
+TEST(StatisticsGridTest, AggregateDisjointPartsSumToWhole) {
+  StatisticsGrid grid = MakeGrid(8);
+  Rng rng(12);
+  for (int i = 0; i < 150; ++i) {
+    grid.AddNode({rng.Uniform(0.0, 800.0), rng.Uniform(0.0, 800.0)}, 7.0);
+  }
+  const RegionStats left = grid.AggregateRect(Rect{0, 0, 333.0, 800.0});
+  const RegionStats right = grid.AggregateRect(Rect{333.0, 0, 800.0, 800.0});
+  EXPECT_NEAR(left.n + right.n, 150.0, 1e-9);
+}
+
+TEST(StatisticsGridTest, CellStatsBundlesAccessors) {
+  StatisticsGrid grid = MakeGrid();
+  grid.AddNode({150.0, 50.0}, 12.0);
+  const RegionStats stats = grid.CellStats(1, 0);
+  EXPECT_DOUBLE_EQ(stats.n, 1.0);
+  EXPECT_DOUBLE_EQ(stats.s, 12.0);
+  EXPECT_DOUBLE_EQ(stats.m, 0.0);
+}
+
+TEST(RegionStatsTest, AdditionMergesSpeedByNodeWeight) {
+  RegionStats a;
+  a.n = 3;
+  a.m = 1;
+  a.s = 10;
+  RegionStats b;
+  b.n = 1;
+  b.m = 0.5;
+  b.s = 30;
+  const RegionStats sum = a + b;
+  EXPECT_DOUBLE_EQ(sum.n, 4.0);
+  EXPECT_DOUBLE_EQ(sum.m, 1.5);
+  EXPECT_DOUBLE_EQ(sum.s, 15.0);
+  const RegionStats zero = RegionStats{} + RegionStats{};
+  EXPECT_DOUBLE_EQ(zero.s, 0.0);
+}
+
+}  // namespace
+}  // namespace lira

@@ -1,0 +1,108 @@
+#include "lira/cq/evaluator.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace lira {
+namespace {
+
+constexpr Rect kWorld{0.0, 0.0, 100.0, 100.0};
+
+GridIndex MakeIndex() {
+  auto index = GridIndex::Create(kWorld, 8, 10);
+  EXPECT_TRUE(index.ok());
+  return *std::move(index);
+}
+
+TEST(EvaluatorTest, SortedRangeQueryIsSorted) {
+  GridIndex index = MakeIndex();
+  index.Update(7, {10.0, 10.0});
+  index.Update(2, {11.0, 11.0});
+  index.Update(5, {12.0, 12.0});
+  const auto members = SortedRangeQuery(index, Rect{0, 0, 20, 20});
+  EXPECT_EQ(members, (std::vector<NodeId>{2, 5, 7}));
+}
+
+TEST(EvaluatorTest, PerfectAgreementHasZeroErrors) {
+  GridIndex truth = MakeIndex();
+  GridIndex believed = MakeIndex();
+  for (NodeId id = 0; id < 5; ++id) {
+    const Point p{10.0 + id, 10.0};
+    truth.Update(id, p);
+    believed.Update(id, p);
+  }
+  const QueryAccuracy acc = CompareQuery(truth, believed, Rect{0, 0, 50, 50});
+  EXPECT_DOUBLE_EQ(acc.containment_error, 0.0);
+  EXPECT_DOUBLE_EQ(acc.position_error, 0.0);
+  EXPECT_EQ(acc.truth_size, 5);
+  EXPECT_EQ(acc.believed_size, 5);
+}
+
+TEST(EvaluatorTest, MissingAndExtraBothCount) {
+  GridIndex truth = MakeIndex();
+  GridIndex believed = MakeIndex();
+  // Truth: nodes 0, 1 inside. Believed: node 1 inside (0 believed outside)
+  // plus node 2 wrongly inside.
+  truth.Update(0, {10.0, 10.0});
+  truth.Update(1, {12.0, 10.0});
+  truth.Update(2, {90.0, 90.0});
+  believed.Update(0, {80.0, 80.0});  // missing from result
+  believed.Update(1, {12.0, 10.0});
+  believed.Update(2, {15.0, 10.0});  // extra in result
+  const QueryAccuracy acc = CompareQuery(truth, believed, Rect{0, 0, 30, 30});
+  // (1 missing + 1 extra) / |R*| = 2 / 2 = 1.
+  EXPECT_DOUBLE_EQ(acc.containment_error, 1.0);
+  EXPECT_EQ(acc.truth_size, 2);
+  EXPECT_EQ(acc.believed_size, 2);
+}
+
+TEST(EvaluatorTest, EmptyTruthUsesDenominatorOne) {
+  GridIndex truth = MakeIndex();
+  GridIndex believed = MakeIndex();
+  truth.Update(0, {90.0, 90.0});
+  believed.Update(0, {10.0, 10.0});  // believed inside, actually outside
+  const QueryAccuracy acc = CompareQuery(truth, believed, Rect{0, 0, 30, 30});
+  EXPECT_EQ(acc.truth_size, 0);
+  EXPECT_DOUBLE_EQ(acc.containment_error, 1.0);  // 1 extra / max(1, 0)
+}
+
+TEST(EvaluatorTest, PositionErrorAveragesOverBelievedResult) {
+  GridIndex truth = MakeIndex();
+  GridIndex believed = MakeIndex();
+  truth.Update(0, {10.0, 10.0});
+  truth.Update(1, {20.0, 10.0});
+  believed.Update(0, {13.0, 14.0});  // 5 m off
+  believed.Update(1, {20.0, 13.0});  // 3 m off
+  const QueryAccuracy acc = CompareQuery(truth, believed, Rect{0, 0, 50, 50});
+  EXPECT_DOUBLE_EQ(acc.position_error, 4.0);
+  EXPECT_DOUBLE_EQ(acc.containment_error, 0.0);
+}
+
+TEST(EvaluatorTest, EmptyBelievedResultHasZeroPositionError) {
+  GridIndex truth = MakeIndex();
+  GridIndex believed = MakeIndex();
+  truth.Update(0, {10.0, 10.0});
+  const QueryAccuracy acc = CompareQuery(truth, believed, Rect{0, 0, 50, 50});
+  EXPECT_DOUBLE_EQ(acc.position_error, 0.0);
+  EXPECT_DOUBLE_EQ(acc.containment_error, 1.0);  // node missing
+}
+
+TEST(EvaluatorTest, CompareAllQueriesOrdersResults) {
+  GridIndex truth = MakeIndex();
+  GridIndex believed = MakeIndex();
+  truth.Update(0, {10.0, 10.0});
+  believed.Update(0, {10.0, 10.0});
+  QueryRegistry registry;
+  registry.Add(Rect{0, 0, 20, 20});    // node inside, exact
+  registry.Add(Rect{50, 50, 70, 70});  // empty everywhere
+  const auto all = CompareAllQueries(truth, believed, registry);
+  ASSERT_EQ(all.size(), 2u);
+  EXPECT_DOUBLE_EQ(all[0].containment_error, 0.0);
+  EXPECT_EQ(all[0].truth_size, 1);
+  EXPECT_EQ(all[1].truth_size, 0);
+  EXPECT_DOUBLE_EQ(all[1].containment_error, 0.0);
+}
+
+}  // namespace
+}  // namespace lira

@@ -1,0 +1,64 @@
+#include "lira/cq/query_registry.h"
+
+#include <gtest/gtest.h>
+
+namespace lira {
+namespace {
+
+TEST(QueryRegistryTest, AddAssignsDenseIds) {
+  QueryRegistry registry;
+  EXPECT_EQ(registry.size(), 0);
+  const QueryId a = registry.Add(Rect{0, 0, 10, 10});
+  const QueryId b = registry.Add(Rect{5, 5, 15, 15});
+  EXPECT_EQ(a, 0);
+  EXPECT_EQ(b, 1);
+  EXPECT_EQ(registry.size(), 2);
+  EXPECT_EQ(registry.Get(1).range, (Rect{5, 5, 15, 15}));
+  EXPECT_EQ(registry.queries()[0].id, 0);
+}
+
+TEST(QueryRegistryTest, FractionalCountFullyInside) {
+  QueryRegistry registry;
+  registry.Add(Rect{2, 2, 4, 4});
+  EXPECT_DOUBLE_EQ(registry.FractionalCount(Rect{0, 0, 10, 10}), 1.0);
+}
+
+TEST(QueryRegistryTest, FractionalCountPartial) {
+  QueryRegistry registry;
+  registry.Add(Rect{0, 0, 4, 4});  // area 16
+  // Right half inside: 8 / 16 = 0.5.
+  EXPECT_DOUBLE_EQ(registry.FractionalCount(Rect{2, 0, 10, 10}), 0.5);
+}
+
+TEST(QueryRegistryTest, FractionalCountSumsOverQueries) {
+  QueryRegistry registry;
+  registry.Add(Rect{0, 0, 2, 2});
+  registry.Add(Rect{1, 1, 3, 3});
+  registry.Add(Rect{100, 100, 102, 102});  // disjoint
+  const double count = registry.FractionalCount(Rect{0, 0, 3, 3});
+  EXPECT_DOUBLE_EQ(count, 2.0);
+}
+
+TEST(QueryRegistryTest, FractionalCountOverTilingSumsToRegistrySize) {
+  QueryRegistry registry;
+  registry.Add(Rect{10, 10, 30, 30});
+  registry.Add(Rect{45, 5, 75, 35});
+  registry.Add(Rect{0, 60, 40, 95});
+  // 4x4 tiling of [0,100)^2.
+  double total = 0.0;
+  for (int iy = 0; iy < 4; ++iy) {
+    for (int ix = 0; ix < 4; ++ix) {
+      total += registry.FractionalCount(
+          Rect{ix * 25.0, iy * 25.0, (ix + 1) * 25.0, (iy + 1) * 25.0});
+    }
+  }
+  EXPECT_NEAR(total, 3.0, 1e-12);
+}
+
+TEST(QueryRegistryTest, FractionalCountEmptyRegistry) {
+  QueryRegistry registry;
+  EXPECT_DOUBLE_EQ(registry.FractionalCount(Rect{0, 0, 10, 10}), 0.0);
+}
+
+}  // namespace
+}  // namespace lira

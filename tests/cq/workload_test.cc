@@ -1,0 +1,157 @@
+#include "lira/cq/workload.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "lira/common/rng.h"
+
+namespace lira {
+namespace {
+
+constexpr Rect kWorld{0.0, 0.0, 10000.0, 10000.0};
+
+// Nodes clustered in the lower-left 2 km x 2 km corner.
+std::vector<Point> ClusteredNodes(int count = 2000) {
+  Rng rng(3);
+  std::vector<Point> nodes;
+  nodes.reserve(count);
+  for (int i = 0; i < count; ++i) {
+    nodes.push_back({rng.Uniform(0.0, 2000.0), rng.Uniform(0.0, 2000.0)});
+  }
+  return nodes;
+}
+
+int CountInCorner(const QueryRegistry& registry) {
+  const Rect corner{0.0, 0.0, 2500.0, 2500.0};
+  int inside = 0;
+  for (const RangeQuery& q : registry.queries()) {
+    if (corner.Contains(q.range.Center())) {
+      ++inside;
+    }
+  }
+  return inside;
+}
+
+TEST(WorkloadTest, GeneratesRequestedCount) {
+  QueryWorkloadConfig config;
+  config.num_queries = 37;
+  auto registry = GenerateQueries(config, kWorld, ClusteredNodes());
+  ASSERT_TRUE(registry.ok());
+  EXPECT_EQ(registry->size(), 37);
+}
+
+TEST(WorkloadTest, SideLengthsWithinHalfWToW) {
+  QueryWorkloadConfig config;
+  config.num_queries = 200;
+  config.side_length = 1000.0;
+  auto registry = GenerateQueries(config, kWorld, ClusteredNodes());
+  ASSERT_TRUE(registry.ok());
+  for (const RangeQuery& q : registry->queries()) {
+    EXPECT_GE(q.range.width(), 500.0 - 1e-9);
+    EXPECT_LE(q.range.width(), 1000.0 + 1e-9);
+    EXPECT_NEAR(q.range.width(), q.range.height(), 1e-9);  // squares
+  }
+}
+
+TEST(WorkloadTest, QueriesFullyInsideWorld) {
+  QueryWorkloadConfig config;
+  config.num_queries = 300;
+  config.side_length = 3000.0;  // large queries stress the clamping
+  auto registry = GenerateQueries(config, kWorld, ClusteredNodes());
+  ASSERT_TRUE(registry.ok());
+  for (const RangeQuery& q : registry->queries()) {
+    EXPECT_GE(q.range.min_x, kWorld.min_x - 1e-9);
+    EXPECT_GE(q.range.min_y, kWorld.min_y - 1e-9);
+    EXPECT_LE(q.range.max_x, kWorld.max_x + 1e-9);
+    EXPECT_LE(q.range.max_y, kWorld.max_y + 1e-9);
+  }
+}
+
+TEST(WorkloadTest, ProportionalFollowsNodeDensity) {
+  QueryWorkloadConfig config;
+  config.num_queries = 200;
+  config.distribution = QueryDistribution::kProportional;
+  auto registry = GenerateQueries(config, kWorld, ClusteredNodes());
+  ASSERT_TRUE(registry.ok());
+  // Nearly all queries land in the populated corner (its area share is
+  // ~6%).
+  EXPECT_GT(CountInCorner(*registry), 150);
+}
+
+TEST(WorkloadTest, InverseAvoidsNodeDensity) {
+  QueryWorkloadConfig config;
+  config.num_queries = 200;
+  config.distribution = QueryDistribution::kInverse;
+  auto registry = GenerateQueries(config, kWorld, ClusteredNodes());
+  ASSERT_TRUE(registry.ok());
+  EXPECT_LT(CountInCorner(*registry), 40);
+}
+
+TEST(WorkloadTest, RandomIsRoughlyUniform) {
+  QueryWorkloadConfig config;
+  config.num_queries = 400;
+  config.distribution = QueryDistribution::kRandom;
+  auto registry = GenerateQueries(config, kWorld, ClusteredNodes());
+  ASSERT_TRUE(registry.ok());
+  // The 6.25%-area corner should hold roughly its share.
+  const int corner = CountInCorner(*registry);
+  EXPECT_GT(corner, 5);
+  EXPECT_LT(corner, 80);
+}
+
+TEST(WorkloadTest, DeterministicPerSeed) {
+  QueryWorkloadConfig config;
+  config.num_queries = 50;
+  const auto nodes = ClusteredNodes();
+  auto a = GenerateQueries(config, kWorld, nodes);
+  auto b = GenerateQueries(config, kWorld, nodes);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(a->Get(i).range, b->Get(i).range);
+  }
+  config.seed = 999;
+  auto c = GenerateQueries(config, kWorld, nodes);
+  ASSERT_TRUE(c.ok());
+  bool differs = false;
+  for (int i = 0; i < 50 && !differs; ++i) {
+    differs = !(a->Get(i).range == c->Get(i).range);
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(WorkloadTest, WorksWithNoNodes) {
+  QueryWorkloadConfig config;
+  config.num_queries = 10;
+  auto registry = GenerateQueries(config, kWorld, {});
+  ASSERT_TRUE(registry.ok());
+  EXPECT_EQ(registry->size(), 10);
+}
+
+TEST(WorkloadTest, RejectsBadConfigs) {
+  QueryWorkloadConfig config;
+  config.num_queries = -1;
+  EXPECT_FALSE(GenerateQueries(config, kWorld, {}).ok());
+  config = QueryWorkloadConfig{};
+  config.side_length = 0.0;
+  EXPECT_FALSE(GenerateQueries(config, kWorld, {}).ok());
+  config = QueryWorkloadConfig{};
+  config.side_length = 20000.0;  // larger than the world
+  EXPECT_FALSE(GenerateQueries(config, kWorld, {}).ok());
+  config = QueryWorkloadConfig{};
+  config.density_cells = 0;
+  EXPECT_FALSE(GenerateQueries(config, kWorld, {}).ok());
+  EXPECT_FALSE(
+      GenerateQueries(QueryWorkloadConfig{}, Rect{0, 0, 0, 0}, {}).ok());
+}
+
+TEST(WorkloadTest, DistributionNames) {
+  EXPECT_EQ(QueryDistributionName(QueryDistribution::kProportional),
+            "Proportional");
+  EXPECT_EQ(QueryDistributionName(QueryDistribution::kInverse), "Inverse");
+  EXPECT_EQ(QueryDistributionName(QueryDistribution::kRandom), "Random");
+}
+
+}  // namespace
+}  // namespace lira

@@ -1,0 +1,118 @@
+#include "lira/index/grid_index.h"
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "lira/common/rng.h"
+
+namespace lira {
+namespace {
+
+GridIndex MakeIndex(int32_t cells = 8, int32_t nodes = 100) {
+  auto index = GridIndex::Create(Rect{0.0, 0.0, 100.0, 100.0}, cells, nodes);
+  EXPECT_TRUE(index.ok());
+  return *std::move(index);
+}
+
+TEST(GridIndexTest, CreateValidation) {
+  EXPECT_FALSE(GridIndex::Create(Rect{0, 0, 0, 10}, 4, 10).ok());
+  EXPECT_FALSE(GridIndex::Create(Rect{0, 0, 10, 10}, 0, 10).ok());
+  EXPECT_FALSE(GridIndex::Create(Rect{0, 0, 10, 10}, 4, -1).ok());
+  EXPECT_TRUE(GridIndex::Create(Rect{0, 0, 10, 10}, 4, 0).ok());
+}
+
+TEST(GridIndexTest, InsertLookupRemove) {
+  GridIndex index = MakeIndex();
+  EXPECT_FALSE(index.Contains(3));
+  index.Update(3, {10.0, 20.0});
+  EXPECT_TRUE(index.Contains(3));
+  EXPECT_EQ(index.PositionOf(3), (Point{10.0, 20.0}));
+  EXPECT_EQ(index.size(), 1);
+  index.Remove(3);
+  EXPECT_FALSE(index.Contains(3));
+  EXPECT_EQ(index.size(), 0);
+  index.Remove(3);  // idempotent
+  EXPECT_EQ(index.size(), 0);
+}
+
+TEST(GridIndexTest, UpdateMovesAcrossCells) {
+  GridIndex index = MakeIndex();
+  index.Update(1, {5.0, 5.0});
+  index.Update(1, {95.0, 95.0});
+  EXPECT_EQ(index.size(), 1);
+  EXPECT_TRUE(index.RangeQuery(Rect{90.0, 90.0, 100.0, 100.0}) ==
+              std::vector<NodeId>{1});
+  EXPECT_TRUE(index.RangeQuery(Rect{0.0, 0.0, 10.0, 10.0}).empty());
+}
+
+TEST(GridIndexTest, RangeQueryExactBoundaries) {
+  GridIndex index = MakeIndex();
+  index.Update(0, {50.0, 50.0});
+  // Half-open semantics: max edge excluded, min edge included.
+  EXPECT_EQ(index.RangeCount(Rect{50.0, 50.0, 60.0, 60.0}), 1);
+  EXPECT_EQ(index.RangeCount(Rect{40.0, 40.0, 50.0, 50.0}), 0);
+}
+
+TEST(GridIndexTest, OutOfWorldPositionsAreClamped) {
+  GridIndex index = MakeIndex();
+  index.Update(0, {-10.0, 500.0});
+  EXPECT_TRUE(index.Contains(0));
+  // Clamped into the world: findable with a whole-world query.
+  EXPECT_EQ(index.RangeCount(Rect{0.0, 0.0, 100.0, 100.0}), 1);
+}
+
+TEST(GridIndexTest, RangeQueryAgainstBruteForce) {
+  GridIndex index = MakeIndex(/*cells=*/16, /*nodes=*/500);
+  Rng rng(77);
+  std::vector<Point> positions(500);
+  for (NodeId id = 0; id < 500; ++id) {
+    positions[id] = {rng.Uniform(0.0, 100.0), rng.Uniform(0.0, 100.0)};
+    index.Update(id, positions[id]);
+  }
+  for (int trial = 0; trial < 50; ++trial) {
+    const double x0 = rng.Uniform(0.0, 90.0);
+    const double y0 = rng.Uniform(0.0, 90.0);
+    const Rect range{x0, y0, x0 + rng.Uniform(1.0, 30.0),
+                     y0 + rng.Uniform(1.0, 30.0)};
+    std::vector<NodeId> expected;
+    for (NodeId id = 0; id < 500; ++id) {
+      if (range.Contains(positions[id])) {
+        expected.push_back(id);
+      }
+    }
+    std::vector<NodeId> actual = index.RangeQuery(range);
+    std::sort(actual.begin(), actual.end());
+    EXPECT_EQ(actual, expected) << "trial " << trial;
+    EXPECT_EQ(index.RangeCount(range),
+              static_cast<int32_t>(expected.size()));
+  }
+}
+
+TEST(GridIndexTest, QueryOutsideWorldIsEmpty) {
+  GridIndex index = MakeIndex();
+  index.Update(0, {50.0, 50.0});
+  EXPECT_TRUE(index.RangeQuery(Rect{200.0, 200.0, 300.0, 300.0}).empty());
+  EXPECT_EQ(index.RangeCount(Rect{200.0, 200.0, 300.0, 300.0}), 0);
+}
+
+TEST(GridIndexTest, QueryPartiallyOutsideWorldIsClipped) {
+  GridIndex index = MakeIndex();
+  index.Update(0, {1.0, 1.0});
+  EXPECT_EQ(index.RangeCount(Rect{-50.0, -50.0, 5.0, 5.0}), 1);
+}
+
+TEST(GridIndexTest, ManyUpdatesKeepConsistentSize) {
+  GridIndex index = MakeIndex(8, 50);
+  Rng rng(5);
+  for (int step = 0; step < 2000; ++step) {
+    const auto id = static_cast<NodeId>(rng.UniformInt(50));
+    index.Update(id, {rng.Uniform(0.0, 100.0), rng.Uniform(0.0, 100.0)});
+  }
+  EXPECT_LE(index.size(), 50);
+  EXPECT_EQ(index.RangeCount(Rect{0.0, 0.0, 100.0, 100.0}), index.size());
+}
+
+}  // namespace
+}  // namespace lira

@@ -1,0 +1,154 @@
+// End-to-end checks of the paper's qualitative claims that are not already
+// covered by sim/simulation_test.cc: convergence of all threshold schemes
+// at small z, near-zero LIRA error at large z, fairness degradation to the
+// uniform scheme, and the closed THROTLOOP + LIRA loop.
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "lira/sim/experiment.h"
+#include "lira/sim/simulation.h"
+
+namespace lira {
+namespace {
+
+class PaperClaimsTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    WorldConfig config = DefaultWorldConfig(/*num_nodes=*/1200);
+    config.trace_frames = 360;
+    auto world = BuildWorld(config);
+    ASSERT_TRUE(world.ok());
+    world_ = new World(*std::move(world));
+  }
+  static void TearDownTestSuite() {
+    delete world_;
+    world_ = nullptr;
+  }
+
+  static SimulationConfig FastConfig() {
+    SimulationConfig config = DefaultSimulationConfig();
+    config.warmup_frames = 120;
+    config.alpha = 64;
+    return config;
+  }
+
+  static LiraConfig SmallLira() {
+    LiraConfig config = DefaultLiraConfig();
+    config.l = 100;
+    return config;
+  }
+
+  static World* world_;
+};
+
+World* PaperClaimsTest::world_ = nullptr;
+
+TEST_F(PaperClaimsTest, ThresholdSchemesConvergeBelowFloorZ) {
+  // Below z = f(delta_max) the budget is infeasible and every threshold-
+  // based scheme collapses to Delta_i = delta_max: identical errors
+  // ("the relative errors approach 1", Section 4.3.1).
+  const double floor_z = world_->reduction.Eval(world_->reduction.delta_max());
+  const double z = std::max(0.05, floor_z - 0.05);
+  SimulationConfig config = FastConfig();
+  config.z = z;
+  const UniformDeltaPolicy uniform;
+  const LiraPolicy lira(SmallLira());
+  auto r_uniform = RunSimulation(*world_, uniform, config);
+  auto r_lira = RunSimulation(*world_, lira, config);
+  ASSERT_TRUE(r_uniform.ok());
+  ASSERT_TRUE(r_lira.ok());
+  EXPECT_DOUBLE_EQ(r_lira->final_plan_min_delta,
+                   world_->reduction.delta_max());
+  EXPECT_NEAR(r_lira->metrics.mean_containment_error,
+              r_uniform->metrics.mean_containment_error,
+              0.3 * r_uniform->metrics.mean_containment_error + 1e-6);
+}
+
+TEST_F(PaperClaimsTest, LiraErrorNearZeroCloseToFullBudget) {
+  // "LIRA cuts the required fraction of position updates from the regions
+  // that do not contain any queries" -> near-zero error at z close to 1.
+  SimulationConfig config = FastConfig();
+  config.z = 0.92;
+  const LiraPolicy lira(SmallLira());
+  const UniformDeltaPolicy uniform;
+  auto r_lira = RunSimulation(*world_, lira, config);
+  auto r_uniform = RunSimulation(*world_, uniform, config);
+  ASSERT_TRUE(r_lira.ok());
+  ASSERT_TRUE(r_uniform.ok());
+  EXPECT_LT(r_lira->metrics.mean_containment_error, 0.005);
+  EXPECT_LT(r_lira->metrics.mean_containment_error,
+            r_uniform->metrics.mean_containment_error + 1e-9);
+}
+
+TEST_F(PaperClaimsTest, ZeroFairnessBehavesLikeUniformDelta) {
+  // Delta_fair = 0 is the uniform-Delta scenario (Section 3.1.1).
+  SimulationConfig config = FastConfig();
+  config.z = 0.5;
+  LiraConfig lira_config = SmallLira();
+  lira_config.fairness_threshold = 0.0;
+  const LiraPolicy pinned(lira_config);
+  const UniformDeltaPolicy uniform;
+  auto r_pinned = RunSimulation(*world_, pinned, config);
+  auto r_uniform = RunSimulation(*world_, uniform, config);
+  ASSERT_TRUE(r_pinned.ok());
+  ASSERT_TRUE(r_uniform.ok());
+  // All throttlers equal...
+  EXPECT_NEAR(r_pinned->final_plan_min_delta, r_pinned->final_plan_max_delta,
+              1e-6);
+  // ... and the error is comparable to the Uniform-Delta baseline (not to
+  // full LIRA).
+  EXPECT_NEAR(r_pinned->metrics.mean_position_error,
+              r_uniform->metrics.mean_position_error,
+              0.5 * r_uniform->metrics.mean_position_error);
+}
+
+TEST_F(PaperClaimsTest, WiderFairnessNeverHurtsMuch) {
+  SimulationConfig config = FastConfig();
+  config.z = 0.5;
+  double previous = -1.0;
+  for (double fairness : {10.0, 95.0}) {
+    LiraConfig lira_config = SmallLira();
+    lira_config.fairness_threshold = fairness;
+    const LiraPolicy lira(lira_config);
+    auto result = RunSimulation(*world_, lira, config);
+    ASSERT_TRUE(result.ok());
+    if (previous >= 0.0) {
+      EXPECT_LE(result->metrics.mean_position_error, previous * 1.2 + 0.05);
+    }
+    previous = result->metrics.mean_position_error;
+  }
+}
+
+TEST_F(PaperClaimsTest, ClosedLoopThrotLoopWithRandomDrop) {
+  // Random Drop + auto throttle: the controller still converges (z tracks
+  // capacity) even though the policy ignores z when building plans.
+  SimulationConfig config = FastConfig();
+  config.auto_throttle = true;
+  config.service_rate_override = 0.5 * world_->full_update_rate;
+  const RandomDropPolicy random_drop;
+  auto result = RunSimulation(*world_, random_drop, config);
+  ASSERT_TRUE(result.ok());
+  // Arrivals stay at the full rate (sources never throttle), so the
+  // controller pushes z to its floor -- and the queue keeps dropping.
+  EXPECT_LT(result->final_z, 0.2);
+  EXPECT_GT(result->updates_dropped, 0);
+}
+
+TEST_F(PaperClaimsTest, ServerSideCostIsLightweight) {
+  // "the configuration of LIRA takes around 40 msecs" on 2007 hardware; on
+  // anything modern a full adaptation at (l=250, alpha=128) must be far
+  // below one second -- we assert a generous 100 ms.
+  SimulationConfig config = FastConfig();
+  config.alpha = 128;
+  config.z = 0.5;
+  const LiraPolicy lira(DefaultLiraConfig());
+  auto result = RunSimulation(*world_, lira, config);
+  ASSERT_TRUE(result.ok());
+  ASSERT_GT(result->plan_builds, 0);
+  EXPECT_LT(result->mean_plan_build_seconds, 0.1);
+}
+
+}  // namespace
+}  // namespace lira

@@ -1,0 +1,182 @@
+#include "lira/mobile/mobile_agent.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "lira/common/rng.h"
+
+namespace lira {
+namespace {
+
+constexpr Rect kWorld{0.0, 0.0, 1000.0, 1000.0};
+
+SheddingPlan QuadrantPlan() {
+  std::vector<SheddingRegion> regions;
+  double deltas[] = {5.0, 15.0, 30.0, 55.0};
+  int i = 0;
+  for (int iy = 0; iy < 2; ++iy) {
+    for (int ix = 0; ix < 2; ++ix) {
+      SheddingRegion r;
+      r.area = Rect{ix * 500.0, iy * 500.0, (ix + 1) * 500.0,
+                    (iy + 1) * 500.0};
+      r.delta = deltas[i++];
+      regions.push_back(r);
+    }
+  }
+  auto plan = SheddingPlan::Create(kWorld, regions, 4);
+  EXPECT_TRUE(plan.ok());
+  return *std::move(plan);
+}
+
+std::vector<BaseStation> TwoStations() {
+  // Two stations splitting the world left/right, generously overlapping.
+  return {{{250.0, 500.0}, 600.0}, {{750.0, 500.0}, 600.0}};
+}
+
+PositionSample Sample(NodeId id, double t, Point p, Vec2 v = {0, 0}) {
+  PositionSample s;
+  s.node_id = id;
+  s.time = t;
+  s.position = p;
+  s.velocity = v;
+  return s;
+}
+
+TEST(BaseStationNetworkTest, CreateValidation) {
+  EXPECT_FALSE(BaseStationNetwork::Create({}).ok());
+  EXPECT_FALSE(
+      BaseStationNetwork::Create({{{0.0, 0.0}, 0.0}}).ok());
+  EXPECT_TRUE(BaseStationNetwork::Create(TwoStations()).ok());
+}
+
+TEST(BaseStationNetworkTest, PublishEncodesSubsetsAndCountsMessages) {
+  auto network = BaseStationNetwork::Create(TwoStations());
+  ASSERT_TRUE(network.ok());
+  EXPECT_EQ(network->epoch(), 0);
+  ASSERT_TRUE(network->PublishPlan(QuadrantPlan()).ok());
+  EXPECT_EQ(network->epoch(), 1);
+  EXPECT_EQ(network->total_broadcasts(), 2);
+  // Each 600 m-radius station sees all 4 quadrants of the 1 km world.
+  EXPECT_EQ(network->PayloadFor(0).size(), 4u * 16u);
+  EXPECT_EQ(network->total_broadcast_bytes(), 2 * 4 * 16);
+  ASSERT_TRUE(network->PublishPlan(QuadrantPlan()).ok());
+  EXPECT_EQ(network->epoch(), 2);
+  EXPECT_EQ(network->total_broadcasts(), 4);
+}
+
+TEST(MobileAgentTest, UsesFallbackBeforeFirstBroadcast) {
+  auto network = BaseStationNetwork::Create(TwoStations());
+  ASSERT_TRUE(network.ok());
+  MobileAgent agent(0, /*fallback_delta=*/5.0);
+  // No plan published: payloads are empty, agent falls back to delta_min.
+  auto update = agent.Observe(Sample(0, 0.0, {100, 100}), *network);
+  ASSERT_TRUE(update.ok());
+  ASSERT_TRUE(update->has_value());  // first observation always reports
+  EXPECT_DOUBLE_EQ(agent.DeltaAt({100, 100}), 5.0);
+}
+
+TEST(MobileAgentTest, AgentDeltaMatchesPlanEverywhere) {
+  const SheddingPlan plan = QuadrantPlan();
+  auto network = BaseStationNetwork::Create(TwoStations());
+  ASSERT_TRUE(network.ok());
+  ASSERT_TRUE(network->PublishPlan(plan).ok());
+  MobileAgent agent(0, 5.0);
+  Rng rng(17);
+  double t = 0.0;
+  for (int i = 0; i < 500; ++i) {
+    const Point p{rng.Uniform(0.0, 1000.0), rng.Uniform(0.0, 1000.0)};
+    auto update = agent.Observe(Sample(0, t, p), *network);
+    ASSERT_TRUE(update.ok());
+    EXPECT_DOUBLE_EQ(agent.DeltaAt(p), plan.DeltaAt(p))
+        << "at " << p.x << "," << p.y;
+    t += 1.0;
+  }
+}
+
+TEST(MobileAgentTest, HandoffInstallsNewSubsetAndCounts) {
+  const SheddingPlan plan = QuadrantPlan();
+  // Non-overlapping small stations so the subsets differ.
+  std::vector<BaseStation> stations = {{{250.0, 250.0}, 200.0},
+                                       {{750.0, 750.0}, 200.0}};
+  auto network = BaseStationNetwork::Create(stations);
+  ASSERT_TRUE(network.ok());
+  ASSERT_TRUE(network->PublishPlan(plan).ok());
+  MobileAgent agent(0, 5.0);
+  ASSERT_TRUE(agent.Observe(Sample(0, 0.0, {250, 250}), *network).ok());
+  EXPECT_EQ(agent.current_station(), 0);
+  EXPECT_EQ(agent.handoffs(), 0);
+  ASSERT_TRUE(agent.Observe(Sample(0, 1.0, {750, 750}), *network).ok());
+  EXPECT_EQ(agent.current_station(), 1);
+  EXPECT_EQ(agent.handoffs(), 1);
+  EXPECT_EQ(network->total_handoffs(), 1);
+  EXPECT_GT(network->total_handoff_bytes(), 0);
+}
+
+TEST(MobileAgentTest, RefreshesOnNewEpochWithoutHandoff) {
+  const SheddingPlan plan = QuadrantPlan();
+  auto network = BaseStationNetwork::Create(TwoStations());
+  ASSERT_TRUE(network.ok());
+  ASSERT_TRUE(network->PublishPlan(plan).ok());
+  MobileAgent agent(0, 5.0);
+  ASSERT_TRUE(agent.Observe(Sample(0, 0.0, {100, 100}), *network).ok());
+  const int32_t regions_before = agent.regions_known();
+  EXPECT_GT(regions_before, 0);
+
+  // Publish a coarser plan; the agent picks it up on its next observation.
+  const SheddingPlan uniform = SheddingPlan::MakeUniform(kWorld, 42.0);
+  ASSERT_TRUE(network->PublishPlan(uniform).ok());
+  ASSERT_TRUE(agent.Observe(Sample(0, 1.0, {100, 100}), *network).ok());
+  EXPECT_EQ(agent.regions_known(), 1);
+  EXPECT_DOUBLE_EQ(agent.DeltaAt({100, 100}), 42.0);
+  EXPECT_EQ(agent.handoffs(), 0);
+}
+
+TEST(MobileAgentTest, DeadReckonsAgainstRegionalThreshold) {
+  const SheddingPlan plan = QuadrantPlan();  // lower-left delta = 5
+  auto network = BaseStationNetwork::Create(TwoStations());
+  ASSERT_TRUE(network.ok());
+  ASSERT_TRUE(network->PublishPlan(plan).ok());
+  MobileAgent agent(0, 5.0);
+  // Report claims eastward motion, node actually stands still.
+  auto first =
+      agent.Observe(Sample(0, 0.0, {100, 100}, {1, 0}), *network);
+  ASSERT_TRUE(first.ok());
+  EXPECT_TRUE(first->has_value());
+  // Deviation after 4 s = 4 m < 5 m -> silent.
+  auto second = agent.Observe(Sample(0, 4.0, {100, 100}, {1, 0}), *network);
+  ASSERT_TRUE(second.ok());
+  EXPECT_FALSE(second->has_value());
+  // Deviation after 6 s = 6 m > 5 m -> report.
+  auto third = agent.Observe(Sample(0, 6.0, {100, 100}, {1, 0}), *network);
+  ASSERT_TRUE(third.ok());
+  EXPECT_TRUE(third->has_value());
+  EXPECT_EQ(agent.updates_sent(), 2);
+}
+
+TEST(MobileAgentTest, HighDeltaQuadrantSendsFewerUpdates) {
+  const SheddingPlan plan = QuadrantPlan();
+  auto network = BaseStationNetwork::Create(TwoStations());
+  ASSERT_TRUE(network.ok());
+  ASSERT_TRUE(network->PublishPlan(plan).ok());
+  auto run = [&](Point base) {
+    MobileAgent agent(0, 5.0);
+    Rng rng(9);
+    int64_t sent = 0;
+    for (int t = 0; t < 300; ++t) {
+      // Random walk around the base point with stationary claimed velocity.
+      const Point p{base.x + rng.Normal(0.0, 12.0),
+                    base.y + rng.Normal(0.0, 12.0)};
+      auto update = agent.Observe(Sample(0, t, p), *network);
+      EXPECT_TRUE(update.ok());
+      sent += update->has_value() ? 1 : 0;
+    }
+    return sent;
+  };
+  const int64_t low_delta_sent = run({100, 100});    // delta = 5 quadrant
+  const int64_t high_delta_sent = run({900, 900});   // delta = 55 quadrant
+  EXPECT_GT(low_delta_sent, 2 * high_delta_sent);
+}
+
+}  // namespace
+}  // namespace lira

@@ -1,0 +1,166 @@
+#include "lira/motion/dead_reckoning.h"
+
+#include <cmath>
+#include <optional>
+
+#include <gtest/gtest.h>
+
+#include "lira/motion/linear_model.h"
+
+namespace lira {
+namespace {
+
+PositionSample MakeSample(NodeId id, double t, Point p, Vec2 v) {
+  PositionSample s;
+  s.node_id = id;
+  s.time = t;
+  s.position = p;
+  s.velocity = v;
+  return s;
+}
+
+TEST(LinearMotionModelTest, PredictsLinearly) {
+  const LinearMotionModel model{{10.0, 20.0}, {2.0, -1.0}, 5.0};
+  EXPECT_EQ(model.PredictAt(5.0), (Point{10.0, 20.0}));
+  EXPECT_EQ(model.PredictAt(8.0), (Point{16.0, 17.0}));
+  EXPECT_EQ(model.PredictAt(4.0), (Point{8.0, 21.0}));  // backwards too
+}
+
+TEST(LinearMotionModelTest, FromSample) {
+  const auto model = LinearMotionModel::FromSample(
+      MakeSample(3, 7.0, {1.0, 2.0}, {0.5, 0.5}));
+  EXPECT_EQ(model.origin, (Point{1.0, 2.0}));
+  EXPECT_EQ(model.velocity, (Vec2{0.5, 0.5}));
+  EXPECT_DOUBLE_EQ(model.t0, 7.0);
+}
+
+TEST(DeadReckoningEncoderTest, FirstObservationAlwaysEmits) {
+  DeadReckoningEncoder encoder(2);
+  auto update = encoder.Observe(MakeSample(0, 0.0, {0.0, 0.0}, {1.0, 0.0}),
+                                /*delta=*/10.0);
+  ASSERT_TRUE(update.has_value());
+  EXPECT_EQ(update->node_id, 0);
+  EXPECT_EQ(encoder.updates_emitted(), 1);
+}
+
+TEST(DeadReckoningEncoderTest, PerfectlyLinearMotionNeverReEmits) {
+  DeadReckoningEncoder encoder(1);
+  encoder.Observe(MakeSample(0, 0.0, {0.0, 0.0}, {2.0, 1.0}), 5.0);
+  for (int t = 1; t <= 100; ++t) {
+    auto update = encoder.Observe(
+        MakeSample(0, t, {2.0 * t, 1.0 * t}, {2.0, 1.0}), 5.0);
+    EXPECT_FALSE(update.has_value()) << "at t=" << t;
+  }
+  EXPECT_EQ(encoder.updates_emitted(), 1);
+}
+
+TEST(DeadReckoningEncoderTest, EmitsWhenDeviationExceedsDelta) {
+  DeadReckoningEncoder encoder(1);
+  encoder.Observe(MakeSample(0, 0.0, {0.0, 0.0}, {1.0, 0.0}), 5.0);
+  // Node actually stands still: predicted drifts away at 1 m/s.
+  EXPECT_FALSE(
+      encoder.Observe(MakeSample(0, 4.0, {0.0, 0.0}, {1.0, 0.0})
+                      , 5.0).has_value());
+  EXPECT_FALSE(
+      encoder.Observe(MakeSample(0, 5.0, {0.0, 0.0}, {1.0, 0.0}), 5.0)
+          .has_value());  // deviation == delta, not > delta
+  auto update =
+      encoder.Observe(MakeSample(0, 5.5, {0.0, 0.0}, {1.0, 0.0}), 5.0);
+  ASSERT_TRUE(update.has_value());
+  EXPECT_EQ(update->model.origin, (Point{0.0, 0.0}));
+  EXPECT_DOUBLE_EQ(update->model.t0, 5.5);
+}
+
+TEST(DeadReckoningEncoderTest, SmallerDeltaMeansMoreUpdates) {
+  // Sinusoidal wobble around linear motion.
+  auto run = [](double delta) {
+    DeadReckoningEncoder encoder(1);
+    for (int t = 0; t <= 500; ++t) {
+      const double wobble = 8.0 * std::sin(t * 0.15);
+      encoder.Observe(
+          MakeSample(0, t, {10.0 * t + wobble, wobble}, {10.0, 0.0}), delta);
+    }
+    return encoder.updates_emitted();
+  };
+  const int64_t at_2 = run(2.0);
+  const int64_t at_6 = run(6.0);
+  const int64_t at_20 = run(20.0);
+  EXPECT_GT(at_2, at_6);
+  EXPECT_GT(at_6, at_20);
+  EXPECT_EQ(run(1e9), 1);  // only the initial report
+}
+
+TEST(DeadReckoningEncoderTest, ModelOfTracksLastSent) {
+  DeadReckoningEncoder encoder(2);
+  EXPECT_FALSE(encoder.ModelOf(0).has_value());
+  encoder.Observe(MakeSample(0, 0.0, {1.0, 1.0}, {0.0, 0.0}), 5.0);
+  auto model = encoder.ModelOf(0);
+  ASSERT_TRUE(model.has_value());
+  EXPECT_EQ(model->origin, (Point{1.0, 1.0}));
+  EXPECT_FALSE(encoder.ModelOf(1).has_value());
+  EXPECT_FALSE(encoder.ModelOf(99).has_value());
+}
+
+TEST(DeadReckoningEncoderTest, PerNodeThresholdsAreIndependent) {
+  DeadReckoningEncoder encoder(2);
+  encoder.Observe(MakeSample(0, 0.0, {0.0, 0.0}, {0.0, 0.0}), 1.0);
+  encoder.Observe(MakeSample(1, 0.0, {0.0, 0.0}, {0.0, 0.0}), 100.0);
+  // Both nodes move 10 m: only node 0 (delta=1) re-reports.
+  auto u0 = encoder.Observe(MakeSample(0, 1.0, {10.0, 0.0}, {0.0, 0.0}), 1.0);
+  auto u1 =
+      encoder.Observe(MakeSample(1, 1.0, {10.0, 0.0}, {0.0, 0.0}), 100.0);
+  EXPECT_TRUE(u0.has_value());
+  EXPECT_FALSE(u1.has_value());
+}
+
+TEST(PositionTrackerTest, ApplyAndPredict) {
+  PositionTracker tracker(3);
+  EXPECT_FALSE(tracker.HasModel(0));
+  EXPECT_FALSE(tracker.PredictAt(0, 1.0).has_value());
+  ModelUpdate update;
+  update.node_id = 0;
+  update.model = {{0.0, 0.0}, {3.0, 4.0}, 10.0};
+  tracker.Apply(update);
+  EXPECT_TRUE(tracker.HasModel(0));
+  const auto p = tracker.PredictAt(0, 12.0);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(*p, (Point{6.0, 8.0}));
+  EXPECT_DOUBLE_EQ(tracker.BelievedSpeed(0), 5.0);
+  EXPECT_DOUBLE_EQ(tracker.BelievedSpeed(1), 0.0);
+  EXPECT_EQ(tracker.updates_applied(), 1);
+}
+
+TEST(PositionTrackerTest, PredictAllSkipsUnreported) {
+  PositionTracker tracker(3);
+  ModelUpdate update;
+  update.node_id = 2;
+  update.model = {{1.0, 1.0}, {0.0, 0.0}, 0.0};
+  tracker.Apply(update);
+  const auto all = tracker.PredictAllAt(5.0);
+  ASSERT_EQ(all.size(), 1u);
+  EXPECT_EQ(all[0].first, 2);
+  EXPECT_EQ(all[0].second, (Point{1.0, 1.0}));
+}
+
+TEST(EncoderTrackerLoopTest, ServerErrorBoundedByDeltaWithoutDrops) {
+  // If every emitted update reaches the tracker, the believed position at
+  // each observation time deviates from truth by at most delta.
+  const double delta = 7.0;
+  DeadReckoningEncoder encoder(1);
+  PositionTracker tracker(1);
+  for (int t = 0; t <= 400; ++t) {
+    const Point truth{5.0 * t + 6.0 * std::sin(t * 0.2),
+                      3.0 * std::cos(t * 0.1)};
+    const PositionSample s = MakeSample(0, t, truth, {5.0, 0.0});
+    auto update = encoder.Observe(s, delta);
+    if (update.has_value()) {
+      tracker.Apply(*update);
+    }
+    const auto believed = tracker.PredictAt(0, t);
+    ASSERT_TRUE(believed.has_value());
+    EXPECT_LE(Distance(*believed, truth), delta + 1e-9) << "t=" << t;
+  }
+}
+
+}  // namespace
+}  // namespace lira

@@ -1,0 +1,201 @@
+#include "lira/motion/update_reduction.h"
+
+#include <cmath>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "lira/mobility/traffic_model.h"
+#include "lira/roadnet/map_generator.h"
+
+namespace lira {
+namespace {
+
+TEST(PiecewiseLinearReductionTest, FromKnotsNormalizesAndInterpolates) {
+  auto f = PiecewiseLinearReduction::FromKnots(5.0, 25.0,
+                                               {2.0, 1.0, 0.5, 0.25, 0.125});
+  ASSERT_TRUE(f.ok());
+  EXPECT_EQ(f->kappa(), 4);
+  EXPECT_DOUBLE_EQ(f->segment_width(), 5.0);
+  EXPECT_DOUBLE_EQ(f->Eval(5.0), 1.0);      // normalized to first knot
+  EXPECT_DOUBLE_EQ(f->Eval(10.0), 0.5);
+  EXPECT_DOUBLE_EQ(f->Eval(7.5), 0.75);     // interpolation
+  EXPECT_DOUBLE_EQ(f->Eval(25.0), 0.0625);
+}
+
+TEST(PiecewiseLinearReductionTest, ClampsOutsideDomain) {
+  auto f = PiecewiseLinearReduction::FromKnots(5.0, 15.0, {1.0, 0.5, 0.25});
+  ASSERT_TRUE(f.ok());
+  EXPECT_DOUBLE_EQ(f->Eval(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(f->Eval(100.0), 0.25);
+}
+
+TEST(PiecewiseLinearReductionTest, EnforcesMonotoneNonIncrease) {
+  auto f =
+      PiecewiseLinearReduction::FromKnots(1.0, 4.0, {1.0, 0.6, 0.8, 0.5});
+  ASSERT_TRUE(f.ok());
+  // The wiggle at knot 2 is clamped down to 0.6.
+  EXPECT_DOUBLE_EQ(f->Eval(3.0), 0.6);
+  for (double d = 1.0; d < 4.0; d += 0.1) {
+    EXPECT_GE(f->Eval(d), f->Eval(d + 0.1) - 1e-12);
+  }
+}
+
+TEST(PiecewiseLinearReductionTest, RateIsRightSegmentSlope) {
+  auto f = PiecewiseLinearReduction::FromKnots(5.0, 15.0, {1.0, 0.4, 0.4});
+  ASSERT_TRUE(f.ok());
+  EXPECT_DOUBLE_EQ(f->Rate(5.0), 0.12);   // (1.0-0.4)/5
+  EXPECT_DOUBLE_EQ(f->Rate(7.0), 0.12);
+  EXPECT_DOUBLE_EQ(f->Rate(10.0), 0.0);   // flat second segment
+  EXPECT_DOUBLE_EQ(f->Rate(15.0), 0.0);
+}
+
+TEST(PiecewiseLinearReductionTest, InverseEvalFindsSmallestDelta) {
+  auto f = PiecewiseLinearReduction::FromKnots(5.0, 25.0,
+                                               {1.0, 0.5, 0.25, 0.2, 0.1});
+  ASSERT_TRUE(f.ok());
+  EXPECT_DOUBLE_EQ(f->InverseEval(1.0), 5.0);
+  EXPECT_DOUBLE_EQ(f->InverseEval(2.0), 5.0);    // target above f(delta_min)
+  EXPECT_DOUBLE_EQ(f->InverseEval(0.5), 10.0);
+  EXPECT_NEAR(f->InverseEval(0.75), 7.5, 1e-9);
+  EXPECT_DOUBLE_EQ(f->InverseEval(0.05), 25.0);  // unreachable -> delta_max
+  // Round-trip property: f(f^-1(y)) <= y for reachable y.
+  for (double y : {0.9, 0.7, 0.45, 0.22, 0.15, 0.1}) {
+    EXPECT_LE(f->Eval(f->InverseEval(y)), y + 1e-9);
+  }
+}
+
+TEST(PiecewiseLinearReductionTest, RejectsBadInputs) {
+  EXPECT_FALSE(PiecewiseLinearReduction::FromKnots(5.0, 5.0, {1.0, 0.5}).ok());
+  EXPECT_FALSE(PiecewiseLinearReduction::FromKnots(0.0, 10.0, {1.0, 0.5}).ok());
+  EXPECT_FALSE(PiecewiseLinearReduction::FromKnots(5.0, 10.0, {1.0}).ok());
+  EXPECT_FALSE(
+      PiecewiseLinearReduction::FromKnots(5.0, 10.0, {0.0, 0.0}).ok());
+}
+
+TEST(PiecewiseLinearReductionTest, SampleFunctionMatchesSource) {
+  auto analytic = AnalyticReduction::Create(5.0, 100.0);
+  ASSERT_TRUE(analytic.ok());
+  auto pwl = PiecewiseLinearReduction::SampleFunction(
+      5.0, 100.0, 95, [&](double d) { return analytic->Eval(d); });
+  ASSERT_TRUE(pwl.ok());
+  for (double d = 5.0; d <= 100.0; d += 2.5) {
+    EXPECT_NEAR(pwl->Eval(d), analytic->Eval(d), 0.01) << "delta=" << d;
+  }
+}
+
+TEST(AnalyticReductionTest, ShapeMatchesFigure1) {
+  auto f = AnalyticReduction::Create(5.0, 100.0, 0.7, 1.0);
+  ASSERT_TRUE(f.ok());
+  EXPECT_DOUBLE_EQ(f->Eval(5.0), 1.0);
+  EXPECT_LT(f->Eval(100.0), 0.05);
+  // Convex early drop: the first 15 m cut more than the next 80 m.
+  EXPECT_GT(f->Eval(5.0) - f->Eval(20.0), f->Eval(20.0) - f->Eval(100.0));
+  // Non-increasing everywhere.
+  for (double d = 5.0; d < 100.0; d += 1.0) {
+    EXPECT_GE(f->Eval(d), f->Eval(d + 1.0));
+  }
+}
+
+TEST(AnalyticReductionTest, RateMatchesNumericalDerivative) {
+  auto f = AnalyticReduction::Create(5.0, 100.0, 0.6, 1.2);
+  ASSERT_TRUE(f.ok());
+  for (double d : {6.0, 10.0, 30.0, 70.0, 95.0}) {
+    const double h = 1e-5;
+    const double numeric = (f->Eval(d - h) - f->Eval(d + h)) / (2 * h);
+    EXPECT_NEAR(f->Rate(d), numeric, 1e-5) << "delta=" << d;
+  }
+}
+
+TEST(AnalyticReductionTest, InverseEvalRoundTrip) {
+  auto f = AnalyticReduction::Create(5.0, 100.0);
+  ASSERT_TRUE(f.ok());
+  for (double z : {0.9, 0.5, 0.25, 0.1}) {
+    const double d = f->InverseEval(z);
+    EXPECT_NEAR(f->Eval(d), z, 1e-6);
+  }
+  EXPECT_DOUBLE_EQ(f->InverseEval(1.5), 5.0);
+  EXPECT_DOUBLE_EQ(f->InverseEval(0.0), 100.0);
+}
+
+TEST(AnalyticReductionTest, RejectsBadParameters) {
+  EXPECT_FALSE(AnalyticReduction::Create(0.0, 100.0).ok());
+  EXPECT_FALSE(AnalyticReduction::Create(10.0, 5.0).ok());
+  EXPECT_FALSE(AnalyticReduction::Create(5.0, 100.0, 1.5).ok());
+  EXPECT_FALSE(AnalyticReduction::Create(5.0, 100.0, 0.5, 0.0).ok());
+}
+
+class CalibrationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    MapGeneratorConfig map_config;
+    map_config.world_side = 6000.0;
+    map_config.arterial_cells = 4;
+    map_config.num_towns = 2;
+    auto map = GenerateMap(map_config);
+    ASSERT_TRUE(map.ok());
+    TrafficModelConfig traffic;
+    traffic.num_vehicles = 400;
+    auto model = TrafficModel::Create(map->network, traffic);
+    ASSERT_TRUE(model.ok());
+    auto trace = Trace::Record(*model, 240, 1.0);
+    ASSERT_TRUE(trace.ok());
+    trace_.emplace(*std::move(trace));
+  }
+
+  std::optional<Trace> trace_;
+};
+
+TEST_F(CalibrationTest, ProbesAreNormalizedAndDecreasing) {
+  CalibrationConfig config;
+  config.num_probes = 8;
+  auto probes = MeasureReductionProbes(*trace_, config);
+  ASSERT_TRUE(probes.ok());
+  ASSERT_EQ(probes->size(), 8u);
+  EXPECT_DOUBLE_EQ(probes->front().second, 1.0);
+  EXPECT_DOUBLE_EQ(probes->front().first, 5.0);
+  EXPECT_NEAR(probes->back().first, 100.0, 1e-9);
+  // The measured curve decreases substantially across the domain.
+  EXPECT_LT(probes->back().second, 0.5);
+  for (size_t i = 1; i < probes->size(); ++i) {
+    EXPECT_LE((*probes)[i].second, (*probes)[i - 1].second + 0.05);
+  }
+}
+
+TEST_F(CalibrationTest, CalibratedPwlIsValidReductionFunction) {
+  CalibrationConfig config;
+  auto f = CalibrateReduction(*trace_, config);
+  ASSERT_TRUE(f.ok());
+  EXPECT_EQ(f->kappa(), 95);
+  EXPECT_DOUBLE_EQ(f->Eval(5.0), 1.0);
+  for (double d = 5.0; d < 100.0; d += 1.0) {
+    EXPECT_GE(f->Eval(d), f->Eval(d + 1.0) - 1e-12);
+    EXPECT_GE(f->Rate(d), 0.0);
+  }
+}
+
+TEST_F(CalibrationTest, MeasureUpdateRatePositiveAndDecreasing) {
+  auto rate_min = MeasureUpdateRate(*trace_, 5.0);
+  auto rate_max = MeasureUpdateRate(*trace_, 100.0);
+  ASSERT_TRUE(rate_min.ok());
+  ASSERT_TRUE(rate_max.ok());
+  EXPECT_GT(*rate_min, 0.0);
+  EXPECT_LT(*rate_max, *rate_min);
+}
+
+TEST_F(CalibrationTest, RejectsBadConfigs) {
+  CalibrationConfig config;
+  config.num_probes = 1;
+  EXPECT_FALSE(MeasureReductionProbes(*trace_, config).ok());
+  config = CalibrationConfig{};
+  config.kappa = 0;
+  EXPECT_FALSE(CalibrateReduction(*trace_, config).ok());
+  config = CalibrationConfig{};
+  config.delta_min = -1.0;
+  EXPECT_FALSE(MeasureReductionProbes(*trace_, config).ok());
+  EXPECT_FALSE(MeasureUpdateRate(*trace_, 0.0).ok());
+}
+
+}  // namespace
+}  // namespace lira

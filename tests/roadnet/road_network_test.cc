@@ -1,0 +1,125 @@
+#include "lira/roadnet/road_network.h"
+
+#include <gtest/gtest.h>
+
+namespace lira {
+namespace {
+
+RoadNetwork MakeTriangle() {
+  RoadNetwork net;
+  const IntersectionId a = net.AddIntersection({0.0, 0.0});
+  const IntersectionId b = net.AddIntersection({100.0, 0.0});
+  const IntersectionId c = net.AddIntersection({0.0, 100.0});
+  EXPECT_TRUE(net.AddSegment(a, b, RoadClass::kArterial).ok());
+  EXPECT_TRUE(net.AddSegment(b, c, RoadClass::kCollector).ok());
+  EXPECT_TRUE(net.AddSegment(c, a, RoadClass::kExpressway).ok());
+  return net;
+}
+
+TEST(RoadNetworkTest, AddAndQuery) {
+  RoadNetwork net = MakeTriangle();
+  EXPECT_EQ(net.NumIntersections(), 3);
+  EXPECT_EQ(net.NumSegments(), 3);
+  EXPECT_EQ(net.IntersectionPosition(1), (Point{100.0, 0.0}));
+  const RoadSegment& seg = net.Segment(0);
+  EXPECT_DOUBLE_EQ(seg.length, 100.0);
+  EXPECT_EQ(seg.road_class, RoadClass::kArterial);
+  EXPECT_DOUBLE_EQ(seg.speed_limit, DefaultSpeedLimit(RoadClass::kArterial));
+  EXPECT_DOUBLE_EQ(seg.volume,
+                   DefaultVolumePerMeter(RoadClass::kArterial) * 100.0);
+}
+
+TEST(RoadNetworkTest, ExplicitSpeedAndVolumeOverrides) {
+  RoadNetwork net;
+  const IntersectionId a = net.AddIntersection({0.0, 0.0});
+  const IntersectionId b = net.AddIntersection({50.0, 0.0});
+  auto seg = net.AddSegment(a, b, RoadClass::kCollector, 20.0, 4.0);
+  ASSERT_TRUE(seg.ok());
+  EXPECT_DOUBLE_EQ(net.Segment(*seg).speed_limit, 20.0);
+  EXPECT_DOUBLE_EQ(net.Segment(*seg).volume, 200.0);
+}
+
+TEST(RoadNetworkTest, RejectsBadSegments) {
+  RoadNetwork net;
+  const IntersectionId a = net.AddIntersection({0.0, 0.0});
+  const IntersectionId b = net.AddIntersection({0.0, 0.0});  // same position
+  EXPECT_FALSE(net.AddSegment(a, a, RoadClass::kArterial).ok());
+  EXPECT_FALSE(net.AddSegment(a, 99, RoadClass::kArterial).ok());
+  EXPECT_FALSE(net.AddSegment(-1, a, RoadClass::kArterial).ok());
+  // Zero-length (coincident endpoints).
+  EXPECT_FALSE(net.AddSegment(a, b, RoadClass::kArterial).ok());
+}
+
+TEST(RoadNetworkTest, IncidenceAndOtherEnd) {
+  RoadNetwork net = MakeTriangle();
+  EXPECT_EQ(net.IncidentSegments(0).size(), 2u);
+  EXPECT_EQ(net.OtherEnd(0, 0), 1);
+  EXPECT_EQ(net.OtherEnd(0, 1), 0);
+}
+
+TEST(RoadNetworkTest, PointOnSegmentInterpolatesAndClamps) {
+  RoadNetwork net = MakeTriangle();
+  EXPECT_EQ(net.PointOnSegment(0, 0.0), (Point{0.0, 0.0}));
+  EXPECT_EQ(net.PointOnSegment(0, 50.0), (Point{50.0, 0.0}));
+  EXPECT_EQ(net.PointOnSegment(0, 100.0), (Point{100.0, 0.0}));
+  EXPECT_EQ(net.PointOnSegment(0, 1000.0), (Point{100.0, 0.0}));  // clamped
+}
+
+TEST(RoadNetworkTest, SegmentDirectionIsUnitAndSigned) {
+  RoadNetwork net = MakeTriangle();
+  const Vec2 forward = net.SegmentDirection(0, 0);
+  EXPECT_NEAR(forward.x, 1.0, 1e-12);
+  EXPECT_NEAR(forward.y, 0.0, 1e-12);
+  const Vec2 backward = net.SegmentDirection(0, 1);
+  EXPECT_NEAR(backward.x, -1.0, 1e-12);
+  EXPECT_NEAR(Norm(net.SegmentDirection(1, 1)), 1.0, 1e-12);
+}
+
+TEST(RoadNetworkTest, BoundingBox) {
+  RoadNetwork net = MakeTriangle();
+  const Rect box = net.BoundingBox();
+  EXPECT_DOUBLE_EQ(box.min_x, 0.0);
+  EXPECT_DOUBLE_EQ(box.max_x, 100.0);
+  EXPECT_DOUBLE_EQ(box.max_y, 100.0);
+  EXPECT_EQ(RoadNetwork().BoundingBox(), Rect{});
+}
+
+TEST(RoadNetworkTest, ConnectedComponents) {
+  RoadNetwork net = MakeTriangle();
+  EXPECT_EQ(net.ConnectedComponents(), 1);
+  EXPECT_TRUE(net.Validate().ok());
+  // Add an isolated pair.
+  const IntersectionId d = net.AddIntersection({500.0, 500.0});
+  const IntersectionId e = net.AddIntersection({600.0, 500.0});
+  ASSERT_TRUE(net.AddSegment(d, e, RoadClass::kCollector).ok());
+  EXPECT_EQ(net.ConnectedComponents(), 2);
+  EXPECT_FALSE(net.Validate().ok());
+}
+
+TEST(RoadNetworkTest, ValidateRejectsEmpty) {
+  RoadNetwork net;
+  EXPECT_FALSE(net.Validate().ok());
+}
+
+TEST(RoadNetworkTest, TotalVolumeSums) {
+  RoadNetwork net = MakeTriangle();
+  double expected = 0.0;
+  for (SegmentId s = 0; s < net.NumSegments(); ++s) {
+    expected += net.Segment(s).volume;
+  }
+  EXPECT_DOUBLE_EQ(net.TotalVolume(), expected);
+  EXPECT_GT(expected, 0.0);
+}
+
+TEST(RoadClassTest, NamesAndDefaults) {
+  EXPECT_EQ(RoadClassName(RoadClass::kExpressway), "expressway");
+  EXPECT_EQ(RoadClassName(RoadClass::kArterial), "arterial");
+  EXPECT_EQ(RoadClassName(RoadClass::kCollector), "collector");
+  EXPECT_GT(DefaultSpeedLimit(RoadClass::kExpressway),
+            DefaultSpeedLimit(RoadClass::kArterial));
+  EXPECT_GT(DefaultSpeedLimit(RoadClass::kArterial),
+            DefaultSpeedLimit(RoadClass::kCollector));
+}
+
+}  // namespace
+}  // namespace lira

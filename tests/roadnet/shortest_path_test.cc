@@ -1,0 +1,111 @@
+#include "lira/roadnet/shortest_path.h"
+
+#include <gtest/gtest.h>
+
+#include "lira/roadnet/map_generator.h"
+
+namespace lira {
+namespace {
+
+// A 1-D chain 0 -- 1 -- 2 -- 3 with one slow shortcut 0 -- 3.
+RoadNetwork MakeChainWithShortcut() {
+  RoadNetwork net;
+  for (int i = 0; i < 4; ++i) {
+    net.AddIntersection({i * 100.0, 0.0});
+  }
+  const IntersectionId detour = net.AddIntersection({150.0, 400.0});
+  // Chain on fast arterials (16.5 m/s): 300 m -> ~18 s.
+  EXPECT_TRUE(net.AddSegment(0, 1, RoadClass::kArterial).ok());
+  EXPECT_TRUE(net.AddSegment(1, 2, RoadClass::kArterial).ok());
+  EXPECT_TRUE(net.AddSegment(2, 3, RoadClass::kArterial).ok());
+  // Geometric detour via a far-away node on slow collectors.
+  EXPECT_TRUE(net.AddSegment(0, detour, RoadClass::kCollector).ok());
+  EXPECT_TRUE(net.AddSegment(detour, 3, RoadClass::kCollector).ok());
+  return net;
+}
+
+TEST(ShortestPathTest, FindsTimeOptimalRoute) {
+  RoadNetwork net = MakeChainWithShortcut();
+  auto route = ShortestRoute(net, 0, 3);
+  ASSERT_TRUE(route.ok());
+  EXPECT_EQ(route->origin, 0);
+  ASSERT_EQ(route->segments.size(), 3u);
+  EXPECT_EQ(route->segments[0], 0);
+  EXPECT_EQ(route->segments[1], 1);
+  EXPECT_EQ(route->segments[2], 2);
+  EXPECT_NEAR(RouteTravelTime(net, *route),
+              300.0 / DefaultSpeedLimit(RoadClass::kArterial), 1e-9);
+}
+
+TEST(ShortestPathTest, SelfRouteIsEmpty) {
+  RoadNetwork net = MakeChainWithShortcut();
+  auto route = ShortestRoute(net, 2, 2);
+  ASSERT_TRUE(route.ok());
+  EXPECT_TRUE(route->segments.empty());
+  EXPECT_DOUBLE_EQ(RouteTravelTime(net, *route), 0.0);
+}
+
+TEST(ShortestPathTest, UnreachableDestination) {
+  RoadNetwork net = MakeChainWithShortcut();
+  const IntersectionId island_a = net.AddIntersection({9000.0, 9000.0});
+  const IntersectionId island_b = net.AddIntersection({9100.0, 9000.0});
+  ASSERT_TRUE(net.AddSegment(island_a, island_b, RoadClass::kCollector).ok());
+  auto route = ShortestRoute(net, 0, island_a);
+  EXPECT_FALSE(route.ok());
+  EXPECT_EQ(route.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ShortestPathTest, RejectsOutOfRangeEndpoints) {
+  RoadNetwork net = MakeChainWithShortcut();
+  EXPECT_FALSE(ShortestRoute(net, -1, 0).ok());
+  EXPECT_FALSE(ShortestRoute(net, 0, 999).ok());
+}
+
+TEST(ShortestPathTest, PrefersFastExpresswayOverShortCollector) {
+  RoadNetwork net;
+  const IntersectionId a = net.AddIntersection({0.0, 0.0});
+  const IntersectionId b = net.AddIntersection({1000.0, 0.0});
+  const IntersectionId via = net.AddIntersection({500.0, 200.0});
+  // Direct but slow: 1000 m at 11 m/s = 90.9 s.
+  ASSERT_TRUE(net.AddSegment(a, b, RoadClass::kCollector).ok());
+  // Longer but fast: ~1077 m at 29 m/s = 37.1 s.
+  ASSERT_TRUE(net.AddSegment(a, via, RoadClass::kExpressway).ok());
+  ASSERT_TRUE(net.AddSegment(via, b, RoadClass::kExpressway).ok());
+  auto route = ShortestRoute(net, a, b);
+  ASSERT_TRUE(route.ok());
+  EXPECT_EQ(route->segments.size(), 2u);
+}
+
+TEST(ShortestPathTest, WorksOnGeneratedMap) {
+  auto map = GenerateMap(MapGeneratorConfig{});
+  ASSERT_TRUE(map.ok());
+  const RoadNetwork& net = map->network;
+  // Connected network: every sampled pair must be routable.
+  const IntersectionId last = net.NumIntersections() - 1;
+  for (IntersectionId from : {0, last / 2, last}) {
+    auto route = ShortestRoute(net, from, last);
+    ASSERT_TRUE(route.ok());
+    if (from != last) {
+      EXPECT_FALSE(route->segments.empty());
+      EXPECT_GT(RouteTravelTime(net, *route), 0.0);
+    }
+  }
+}
+
+TEST(ShortestPathTest, RouteSegmentsFormAConnectedWalk) {
+  auto map = GenerateMap(MapGeneratorConfig{});
+  ASSERT_TRUE(map.ok());
+  const RoadNetwork& net = map->network;
+  auto route = ShortestRoute(net, 0, net.NumIntersections() - 1);
+  ASSERT_TRUE(route.ok());
+  IntersectionId at = route->origin;
+  for (SegmentId seg : route->segments) {
+    const RoadSegment& s = net.Segment(seg);
+    ASSERT_TRUE(s.from == at || s.to == at);
+    at = net.OtherEnd(seg, at);
+  }
+  EXPECT_EQ(at, net.NumIntersections() - 1);
+}
+
+}  // namespace
+}  // namespace lira

@@ -1,0 +1,320 @@
+#include "lira/server/cq_server.h"
+
+#include <algorithm>
+#include <optional>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace lira {
+namespace {
+
+constexpr Rect kWorld{0.0, 0.0, 1600.0, 1600.0};
+
+class CqServerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto analytic = AnalyticReduction::Create(5.0, 100.0, 0.7, 1.0);
+    ASSERT_TRUE(analytic.ok());
+    auto pwl = PiecewiseLinearReduction::SampleFunction(
+        5.0, 100.0, 95, [&](double d) { return analytic->Eval(d); });
+    ASSERT_TRUE(pwl.ok());
+    reduction_.emplace(*std::move(pwl));
+    queries_.Add(Rect{100, 100, 500, 500});
+    queries_.Add(Rect{900, 900, 1300, 1300});
+  }
+
+  CqServerConfig BaseConfig() {
+    CqServerConfig config;
+    config.num_nodes = 50;
+    config.world = kWorld;
+    config.alpha = 16;
+    config.queue_capacity = 100;
+    config.service_rate = 1000.0;
+    config.adaptation_period = 10.0;
+    config.fixed_z = 0.5;
+    return config;
+  }
+
+  ModelUpdate UpdateFor(NodeId id, Point p, Vec2 v, double t) {
+    ModelUpdate u;
+    u.node_id = id;
+    u.model = LinearMotionModel{p, v, t};
+    return u;
+  }
+
+  std::optional<PiecewiseLinearReduction> reduction_;
+  QueryRegistry queries_;
+  UniformDeltaPolicy uniform_policy_;
+};
+
+TEST_F(CqServerTest, CreateValidation) {
+  auto config = BaseConfig();
+  EXPECT_TRUE(
+      CqServer::Create(config, &uniform_policy_, &*reduction_, &queries_)
+          .ok());
+  EXPECT_FALSE(
+      CqServer::Create(config, nullptr, &*reduction_, &queries_).ok());
+  config.num_nodes = 0;
+  EXPECT_FALSE(
+      CqServer::Create(config, &uniform_policy_, &*reduction_, &queries_)
+          .ok());
+  config = BaseConfig();
+  config.service_rate = 0.0;
+  EXPECT_FALSE(
+      CqServer::Create(config, &uniform_policy_, &*reduction_, &queries_)
+          .ok());
+  config = BaseConfig();
+  config.fixed_z = 1.4;
+  EXPECT_FALSE(
+      CqServer::Create(config, &uniform_policy_, &*reduction_, &queries_)
+          .ok());
+}
+
+TEST_F(CqServerTest, InitialPlanIsMaximumAccuracy) {
+  auto server = CqServer::Create(BaseConfig(), &uniform_policy_, &*reduction_,
+                                 &queries_);
+  ASSERT_TRUE(server.ok());
+  EXPECT_EQ(server->plan().NumRegions(), 1);
+  EXPECT_DOUBLE_EQ(server->plan().MaxDelta(), 5.0);
+  EXPECT_EQ(server->plan_builds(), 0);
+}
+
+TEST_F(CqServerTest, TickServicesQueueAndAppliesUpdates) {
+  auto server = CqServer::Create(BaseConfig(), &uniform_policy_, &*reduction_,
+                                 &queries_);
+  ASSERT_TRUE(server.ok());
+  std::vector<ModelUpdate> batch;
+  for (NodeId id = 0; id < 10; ++id) {
+    batch.push_back(UpdateFor(id, {100.0 + id, 200.0}, {1.0, 0.0}, 0.0));
+  }
+  server->Receive(std::move(batch));
+  ASSERT_TRUE(server->Tick(1.0).ok());
+  EXPECT_EQ(server->updates_applied(), 10);
+  const auto p = server->tracker().PredictAt(3, 2.0);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(*p, (Point{105.0, 200.0}));
+}
+
+TEST_F(CqServerTest, ServiceRateLimitsThroughput) {
+  auto config = BaseConfig();
+  config.service_rate = 3.0;  // 3 updates per second
+  auto server =
+      CqServer::Create(config, &uniform_policy_, &*reduction_, &queries_);
+  ASSERT_TRUE(server.ok());
+  std::vector<ModelUpdate> batch;
+  for (NodeId id = 0; id < 30; ++id) {
+    batch.push_back(UpdateFor(id, {10.0, 10.0}, {0.0, 0.0}, 0.0));
+  }
+  server->Receive(std::move(batch));
+  ASSERT_TRUE(server->Tick(1.0).ok());
+  EXPECT_EQ(server->updates_applied(), 3);
+  ASSERT_TRUE(server->Tick(1.0).ok());
+  EXPECT_EQ(server->updates_applied(), 6);
+}
+
+TEST_F(CqServerTest, QueueOverflowDrops) {
+  auto config = BaseConfig();
+  config.queue_capacity = 5;
+  config.service_rate = 1.0;
+  auto server =
+      CqServer::Create(config, &uniform_policy_, &*reduction_, &queries_);
+  ASSERT_TRUE(server.ok());
+  std::vector<ModelUpdate> batch;
+  for (NodeId id = 0; id < 20; ++id) {
+    batch.push_back(UpdateFor(id, {10.0, 10.0}, {0.0, 0.0}, 0.0));
+  }
+  server->Receive(std::move(batch));
+  EXPECT_EQ(server->queue().total_dropped(), 15);
+}
+
+TEST_F(CqServerTest, AdaptationFiresOnPeriod) {
+  auto config = BaseConfig();
+  config.adaptation_period = 5.0;
+  auto server =
+      CqServer::Create(config, &uniform_policy_, &*reduction_, &queries_);
+  ASSERT_TRUE(server.ok());
+  for (int t = 0; t < 11; ++t) {
+    server->Receive({UpdateFor(0, {10.0, 10.0}, {0.0, 0.0}, t)});
+    ASSERT_TRUE(server->Tick(1.0).ok());
+  }
+  EXPECT_EQ(server->plan_builds(), 2);  // at t = 5 and t = 10
+  // After adaptation the Uniform-Delta policy sets f^{-1}(z).
+  EXPECT_NEAR(server->plan().MaxDelta(), reduction_->InverseEval(0.5), 1e-9);
+  EXPECT_DOUBLE_EQ(server->z(), 0.5);
+}
+
+TEST_F(CqServerTest, StatisticsBuiltFromBelievedState) {
+  auto server = CqServer::Create(BaseConfig(), &uniform_policy_, &*reduction_,
+                                 &queries_);
+  ASSERT_TRUE(server.ok());
+  // Nodes in the lower-left corner.
+  std::vector<ModelUpdate> batch;
+  for (NodeId id = 0; id < 20; ++id) {
+    batch.push_back(
+        UpdateFor(id, {50.0 + id * 2, 50.0}, {5.0, 0.0}, 0.0));
+  }
+  server->Receive(std::move(batch));
+  ASSERT_TRUE(server->Tick(1.0).ok());
+  ASSERT_TRUE(server->Adapt().ok());
+  EXPECT_NEAR(server->stats().TotalNodes(), 20.0, 1e-9);
+  EXPECT_NEAR(server->stats().TotalQueries(), 2.0, 1e-6);
+  EXPECT_NEAR(server->stats().OverallMeanSpeed(), 5.0, 1e-9);
+}
+
+TEST_F(CqServerTest, AutoThrottleReactsToOverload) {
+  auto config = BaseConfig();
+  config.auto_throttle = true;
+  config.service_rate = 10.0;
+  config.adaptation_period = 5.0;
+  auto server =
+      CqServer::Create(config, &uniform_policy_, &*reduction_, &queries_);
+  ASSERT_TRUE(server.ok());
+  EXPECT_DOUBLE_EQ(server->z(), 1.0);
+  // 20 arrivals/s against mu = 10/s for 5 seconds.
+  for (int t = 0; t < 5; ++t) {
+    std::vector<ModelUpdate> batch;
+    for (int k = 0; k < 20; ++k) {
+      batch.push_back(UpdateFor(k, {10.0, 10.0}, {0.0, 0.0}, t));
+    }
+    server->Receive(std::move(batch));
+    ASSERT_TRUE(server->Tick(1.0).ok());
+  }
+  EXPECT_LT(server->z(), 0.6);
+  EXPECT_GT(server->z(), 0.3);
+}
+
+TEST_F(CqServerTest, RejectsNonPositiveDt) {
+  auto server = CqServer::Create(BaseConfig(), &uniform_policy_, &*reduction_,
+                                 &queries_);
+  ASSERT_TRUE(server.ok());
+  EXPECT_FALSE(server->Tick(0.0).ok());
+  EXPECT_FALSE(server->Tick(-1.0).ok());
+}
+
+TEST_F(CqServerTest, AnswerQueryMatchesTrackerBruteForce) {
+  auto server = CqServer::Create(BaseConfig(), &uniform_policy_, &*reduction_,
+                                 &queries_);
+  ASSERT_TRUE(server.ok());
+  std::vector<ModelUpdate> batch;
+  for (NodeId id = 0; id < 30; ++id) {
+    batch.push_back(UpdateFor(id, {50.0 + id * 40.0, 200.0 + id * 30.0},
+                              {3.0, -1.0}, 0.0));
+  }
+  server->Receive(std::move(batch));
+  ASSERT_TRUE(server->Tick(1.0).ok());
+  for (QueryId q = 0; q < queries_.size(); ++q) {
+    auto got = server->AnswerQuery(q);
+    ASSERT_TRUE(got.ok());
+    std::sort(got->begin(), got->end());
+    std::vector<NodeId> want;
+    for (NodeId id = 0; id < server->tracker().num_nodes(); ++id) {
+      const auto p = server->tracker().PredictAt(id, server->time());
+      if (p.has_value() && queries_.Get(q).range.Contains(*p)) {
+        want.push_back(id);
+      }
+    }
+    EXPECT_EQ(*got, want) << "query " << q;
+  }
+  EXPECT_FALSE(server->AnswerQuery(-1).ok());
+  EXPECT_FALSE(server->AnswerQuery(queries_.size()).ok());
+}
+
+TEST_F(CqServerTest, AnswerRangeValidation) {
+  auto config = BaseConfig();
+  config.maintain_index = false;
+  auto no_index = CqServer::Create(config, &uniform_policy_, &*reduction_,
+                                   &queries_);
+  ASSERT_TRUE(no_index.ok());
+  EXPECT_FALSE(no_index->AnswerRange(Rect{0, 0, 100, 100}, 0.0).ok());
+
+  auto server = CqServer::Create(BaseConfig(), &uniform_policy_, &*reduction_,
+                                 &queries_);
+  ASSERT_TRUE(server.ok());
+  ASSERT_TRUE(server->Tick(5.0).ok());
+  EXPECT_FALSE(server->AnswerRange(Rect{0, 0, 100, 100}, 1.0).ok());
+  EXPECT_TRUE(server->AnswerRange(Rect{0, 0, 100, 100}, 5.0).ok());
+  EXPECT_TRUE(server->AnswerRange(Rect{0, 0, 100, 100}, 9.0).ok());
+}
+
+TEST_F(CqServerTest, HistoricalRangeAnswers) {
+  auto config = BaseConfig();
+  config.record_history = true;
+  auto server =
+      CqServer::Create(config, &uniform_policy_, &*reduction_, &queries_);
+  ASSERT_TRUE(server.ok());
+  ASSERT_NE(server->history(), nullptr);
+  server->Receive({UpdateFor(0, {150.0, 150.0}, {100.0, 0.0}, 0.0)});
+  ASSERT_TRUE(server->Tick(1.0).ok());
+  server->Receive({UpdateFor(0, {950.0, 150.0}, {0.0, 0.0}, 8.0)});
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(server->Tick(1.0).ok());
+  }
+  // At t=1 node 0 was at (250, 150): inside the first query.
+  auto past = server->AnswerHistoricalRange(queries_.Get(0).range, 1.0);
+  ASSERT_TRUE(past.ok());
+  EXPECT_EQ(past->size(), 1u);
+  // At t=9 the newer model places it at (950, 150): outside.
+  auto later = server->AnswerHistoricalRange(queries_.Get(0).range, 9.0);
+  ASSERT_TRUE(later.ok());
+  EXPECT_TRUE(later->empty());
+  // Future time rejected; disabled history rejected.
+  EXPECT_FALSE(
+      server->AnswerHistoricalRange(queries_.Get(0).range, 1e9).ok());
+  auto plain = CqServer::Create(BaseConfig(), &uniform_policy_, &*reduction_,
+                                &queries_);
+  ASSERT_TRUE(plain.ok());
+  EXPECT_EQ(plain->history(), nullptr);
+  EXPECT_FALSE(
+      plain->AnswerHistoricalRange(queries_.Get(0).range, 0.0).ok());
+}
+
+TEST_F(CqServerTest, InstallQueriesTakesEffectAtAdaptation) {
+  auto server = CqServer::Create(BaseConfig(), &uniform_policy_, &*reduction_,
+                                 &queries_);
+  ASSERT_TRUE(server.ok());
+  ASSERT_TRUE(server->Adapt().ok());
+  EXPECT_NEAR(server->stats().TotalQueries(), 2.0, 1e-6);
+  QueryRegistry bigger;
+  bigger.Add(Rect{100, 100, 300, 300});
+  bigger.Add(Rect{400, 400, 600, 600});
+  bigger.Add(Rect{900, 900, 1100, 1100});
+  ASSERT_TRUE(server->InstallQueries(&bigger).ok());
+  ASSERT_TRUE(server->Adapt().ok());
+  EXPECT_NEAR(server->stats().TotalQueries(), 3.0, 1e-2);
+  EXPECT_FALSE(server->InstallQueries(nullptr).ok());
+}
+
+TEST_F(CqServerTest, SampledStatisticsApproximateTotals) {
+  auto config = BaseConfig();
+  config.num_nodes = 400;
+  config.queue_capacity = 1000;  // admit the whole batch
+  config.stats_sample_fraction = 0.25;
+  auto server =
+      CqServer::Create(config, &uniform_policy_, &*reduction_, &queries_);
+  ASSERT_TRUE(server.ok());
+  std::vector<ModelUpdate> batch;
+  for (NodeId id = 0; id < 400; ++id) {
+    batch.push_back(UpdateFor(id, {10.0 + (id % 20) * 70.0,
+                                   10.0 + (id / 20) * 70.0},
+                              {1.0, 1.0}, 0.0));
+  }
+  server->Receive(std::move(batch));
+  ASSERT_TRUE(server->Tick(1.0).ok());
+  ASSERT_TRUE(server->Adapt().ok());
+  // Unbiased: expected total 400, sampling noise ~ sqrt(100)*4 = 40.
+  EXPECT_NEAR(server->stats().TotalNodes(), 400.0, 120.0);
+  EXPECT_GT(server->stats().TotalNodes(), 100.0);
+
+  config.stats_sample_fraction = 0.0;
+  EXPECT_FALSE(
+      CqServer::Create(config, &uniform_policy_, &*reduction_, &queries_)
+          .ok());
+  config.stats_sample_fraction = 1.5;
+  EXPECT_FALSE(
+      CqServer::Create(config, &uniform_policy_, &*reduction_, &queries_)
+          .ok());
+}
+
+}  // namespace
+}  // namespace lira

@@ -1,0 +1,84 @@
+#include "lira/server/history_store.h"
+
+#include <gtest/gtest.h>
+
+namespace lira {
+namespace {
+
+ModelUpdate Update(NodeId id, Point p, Vec2 v, double t0) {
+  return ModelUpdate{id, LinearMotionModel{p, v, t0}};
+}
+
+TEST(HistoryStoreTest, EmptyStore) {
+  HistoryStore store(3);
+  EXPECT_EQ(store.num_nodes(), 3);
+  EXPECT_EQ(store.total_records(), 0);
+  EXPECT_FALSE(store.PositionAt(0, 10.0).has_value());
+  EXPECT_TRUE(store.RangeAt(Rect{0, 0, 100, 100}, 5.0).empty());
+}
+
+TEST(HistoryStoreTest, ReconstructsPiecewiseLinearPast) {
+  HistoryStore store(1);
+  store.Record(Update(0, {0, 0}, {10, 0}, 0.0));   // east at 10 m/s
+  store.Record(Update(0, {100, 0}, {0, 10}, 10.0)); // then north
+  // Within the first segment.
+  auto p = store.PositionAt(0, 4.0);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(*p, (Point{40, 0}));
+  // Exactly at the switch.
+  EXPECT_EQ(*store.PositionAt(0, 10.0), (Point{100, 0}));
+  // Within the second segment.
+  EXPECT_EQ(*store.PositionAt(0, 13.0), (Point{100, 30}));
+  // Before the first report.
+  EXPECT_FALSE(store.PositionAt(0, -1.0).has_value());
+}
+
+TEST(HistoryStoreTest, RangeAtFindsPastMembers) {
+  HistoryStore store(3);
+  store.Record(Update(0, {10, 10}, {0, 0}, 0.0));
+  store.Record(Update(1, {500, 500}, {0, 0}, 0.0));
+  store.Record(Update(2, {20, 10}, {100, 0}, 0.0));  // races away east
+  // At t=0: nodes 0 and 2 in the corner.
+  EXPECT_EQ(store.RangeAt(Rect{0, 0, 100, 100}, 0.0).size(), 2u);
+  // At t=5: node 2 has left (x=520).
+  const auto members = store.RangeAt(Rect{0, 0, 100, 100}, 5.0);
+  ASSERT_EQ(members.size(), 1u);
+  EXPECT_EQ(members[0], 0);
+}
+
+TEST(HistoryStoreTest, OutOfOrderRecordsAreSorted) {
+  HistoryStore store(1);
+  store.Record(Update(0, {100, 0}, {0, 0}, 10.0));
+  store.Record(Update(0, {0, 0}, {10, 0}, 0.0));  // late arrival, earlier t0
+  EXPECT_EQ(store.total_records(), 2);
+  EXPECT_EQ(*store.PositionAt(0, 5.0), (Point{50, 0}));
+  EXPECT_EQ(*store.PositionAt(0, 12.0), (Point{100, 0}));
+}
+
+TEST(HistoryStoreTest, DuplicateTimestampReplaces) {
+  HistoryStore store(1);
+  store.Record(Update(0, {1, 1}, {0, 0}, 5.0));
+  store.Record(Update(0, {2, 2}, {0, 0}, 5.0));
+  EXPECT_EQ(store.total_records(), 1);
+  EXPECT_EQ(*store.PositionAt(0, 6.0), (Point{2, 2}));
+}
+
+TEST(HistoryStoreTest, PerNodeAccounting) {
+  HistoryStore store(2);
+  store.Record(Update(0, {0, 0}, {0, 0}, 0.0));
+  store.Record(Update(0, {1, 0}, {0, 0}, 1.0));
+  store.Record(Update(1, {0, 0}, {0, 0}, 0.5));
+  EXPECT_EQ(store.RecordsFor(0), 2);
+  EXPECT_EQ(store.RecordsFor(1), 1);
+  EXPECT_EQ(store.total_records(), 3);
+  EXPECT_GT(store.ApproxBytes(), 0);
+}
+
+TEST(HistoryStoreTest, OutOfRangeNodeIsNull) {
+  HistoryStore store(1);
+  EXPECT_FALSE(store.PositionAt(5, 0.0).has_value());
+  EXPECT_FALSE(store.PositionAt(-1, 0.0).has_value());
+}
+
+}  // namespace
+}  // namespace lira

@@ -1,0 +1,53 @@
+#include "lira/sim/experiment.h"
+
+#include <gtest/gtest.h>
+
+namespace lira {
+namespace {
+
+TEST(DefaultConfigTest, WorldConfigMatchesPaperTable2Ratios) {
+  const WorldConfig config = DefaultWorldConfig(3000);
+  EXPECT_EQ(config.num_nodes, 3000);
+  EXPECT_DOUBLE_EQ(config.query_node_ratio, 0.01);     // m/n
+  EXPECT_DOUBLE_EQ(config.query_side_length, 1000.0);  // w
+  EXPECT_EQ(config.query_distribution, QueryDistribution::kProportional);
+  EXPECT_DOUBLE_EQ(config.calibration.delta_min, 5.0);
+  EXPECT_DOUBLE_EQ(config.calibration.delta_max, 100.0);
+  EXPECT_EQ(config.calibration.kappa, 95);  // c_delta = 1 m
+  // ~196 km^2 vs the paper's ~200 km^2.
+  EXPECT_NEAR(config.map.world_side * config.map.world_side, 196e6, 1e-3);
+}
+
+TEST(DefaultConfigTest, LiraConfigMatchesPaperTable2) {
+  const LiraConfig config = DefaultLiraConfig();
+  EXPECT_EQ(config.l, 250);
+  EXPECT_DOUBLE_EQ(config.c_delta, 1.0);
+  EXPECT_DOUBLE_EQ(config.fairness_threshold, 50.0);
+  EXPECT_TRUE(config.use_speed_factor);
+}
+
+TEST(DefaultConfigTest, SimulationConfigIsSane) {
+  const SimulationConfig config = DefaultSimulationConfig();
+  EXPECT_DOUBLE_EQ(config.z, 0.5);
+  EXPECT_EQ(config.queue_capacity, 500u);  // B
+  EXPECT_EQ(config.alpha, 128);
+  EXPECT_GT(config.warmup_frames, 0);
+  EXPECT_GE(config.adaptation_period, 1.0);
+}
+
+TEST(TablePrinterTest, NumFormatsCompactly) {
+  EXPECT_EQ(TablePrinter::Num(1.0), "1");
+  EXPECT_EQ(TablePrinter::Num(0.5), "0.5");
+  EXPECT_EQ(TablePrinter::Num(1234.5678, 6), "1234.57");
+  EXPECT_EQ(TablePrinter::Num(0.000125, 3), "0.000125");
+}
+
+TEST(TablePrinterTest, PrintsWithoutCrashing) {
+  TablePrinter table({"a", "b"}, 6);
+  table.PrintHeader();
+  table.PrintRow({"x", "y"});
+  table.PrintRow({"longer-than-width", "z"});
+}
+
+}  // namespace
+}  // namespace lira

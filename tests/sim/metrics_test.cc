@@ -1,0 +1,72 @@
+#include "lira/sim/metrics.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace lira {
+namespace {
+
+QueryAccuracy Acc(double containment, double position) {
+  QueryAccuracy a;
+  a.containment_error = containment;
+  a.position_error = position;
+  return a;
+}
+
+TEST(ErrorMetricsTest, EmptyAccumulator) {
+  ErrorMetricsAccumulator acc(3);
+  const ErrorMetrics m = acc.Compute();
+  EXPECT_EQ(m.num_samples, 0);
+  EXPECT_EQ(m.num_queries, 3);
+  EXPECT_DOUBLE_EQ(m.mean_containment_error, 0.0);
+}
+
+TEST(ErrorMetricsTest, SingleSampleMeans) {
+  ErrorMetricsAccumulator acc(2);
+  acc.AddSample({Acc(0.2, 4.0), Acc(0.4, 8.0)});
+  const ErrorMetrics m = acc.Compute();
+  EXPECT_EQ(m.num_samples, 1);
+  EXPECT_NEAR(m.mean_containment_error, 0.3, 1e-12);
+  EXPECT_NEAR(m.mean_position_error, 6.0, 1e-12);
+  // Across queries: stddev of {0.2, 0.4} = 0.1 (population).
+  EXPECT_NEAR(m.containment_error_stddev, 0.1, 1e-12);
+  EXPECT_NEAR(m.containment_error_cov, 0.1 / 0.3, 1e-12);
+  EXPECT_NEAR(m.position_error_stddev, 2.0, 1e-12);
+}
+
+TEST(ErrorMetricsTest, TimeAveragingPerQueryBeforeCrossQueryStats) {
+  ErrorMetricsAccumulator acc(2);
+  // Query 0 averages to 0.2; query 1 averages to 0.6.
+  acc.AddSample({Acc(0.1, 0.0), Acc(0.5, 0.0)});
+  acc.AddSample({Acc(0.3, 0.0), Acc(0.7, 0.0)});
+  const ErrorMetrics m = acc.Compute();
+  EXPECT_EQ(m.num_samples, 2);
+  EXPECT_NEAR(m.mean_containment_error, 0.4, 1e-12);
+  EXPECT_NEAR(m.containment_error_stddev, 0.2, 1e-12);
+}
+
+TEST(ErrorMetricsTest, UniformErrorsHaveZeroDeviation) {
+  ErrorMetricsAccumulator acc(3);
+  acc.AddSample({Acc(0.25, 1.0), Acc(0.25, 1.0), Acc(0.25, 1.0)});
+  const ErrorMetrics m = acc.Compute();
+  EXPECT_NEAR(m.containment_error_stddev, 0.0, 1e-12);
+  EXPECT_NEAR(m.containment_error_cov, 0.0, 1e-12);
+}
+
+TEST(ErrorMetricsTest, ZeroQueries) {
+  ErrorMetricsAccumulator acc(0);
+  acc.AddSample({});
+  const ErrorMetrics m = acc.Compute();
+  EXPECT_EQ(m.num_queries, 0);
+  EXPECT_DOUBLE_EQ(m.mean_containment_error, 0.0);
+}
+
+TEST(ErrorMetricsTest, MismatchedSampleSizeDies) {
+  ErrorMetricsAccumulator acc(2);
+  EXPECT_DEATH(acc.AddSample({Acc(0.1, 0.0)}), "LIRA_CHECK");
+}
+
+}  // namespace
+}  // namespace lira
