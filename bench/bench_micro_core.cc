@@ -1,7 +1,8 @@
 // Micro-benchmarks (google-benchmark) of the hot paths: GREEDYINCREMENT,
 // GRIDREDUCE (incl. quad-tree build), statistics-grid maintenance, grid-
-// index updates/queries, and dead-reckoning encoding. These back the
-// "lightweight by design" claim with per-operation numbers.
+// index updates/queries, dead-reckoning encoding, and the telemetry
+// instruments. These back the "lightweight by design" claim with
+// per-operation numbers.
 
 #include <benchmark/benchmark.h>
 
@@ -15,6 +16,7 @@
 #include "lira/index/grid_index.h"
 #include "lira/motion/dead_reckoning.h"
 #include "lira/motion/update_reduction.h"
+#include "lira/telemetry/telemetry.h"
 
 namespace lira {
 namespace {
@@ -153,6 +155,46 @@ void BM_DeadReckoningObserve(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_DeadReckoningObserve);
+
+void BM_TelemetryCounterIncrement(benchmark::State& state) {
+  telemetry::MetricRegistry registry;
+  telemetry::Counter* counter = registry.GetCounter("lira.queue.arrivals");
+  for (auto _ : state) {
+    counter->Increment();
+    benchmark::DoNotOptimize(*counter);
+  }
+}
+BENCHMARK(BM_TelemetryCounterIncrement);
+
+void BM_TelemetryHistogramAdd(benchmark::State& state) {
+  telemetry::Histogram histogram(0.0, 0.1, 1000);
+  Rng rng(31);
+  for (auto _ : state) {
+    histogram.Add(rng.Uniform(0.0, 0.1));
+    benchmark::DoNotOptimize(histogram);
+  }
+}
+BENCHMARK(BM_TelemetryHistogramAdd);
+
+void BM_TelemetryScopedTimerNullSink(benchmark::State& state) {
+  // The telemetry-disabled cost: a null sink must make spans (near) free.
+  for (auto _ : state) {
+    telemetry::ScopedTimer timer(nullptr, "lira.adapt.total_seconds", 0.0);
+    benchmark::DoNotOptimize(timer);
+  }
+}
+BENCHMARK(BM_TelemetryScopedTimerNullSink);
+
+void BM_TelemetryScopedTimerLiveSink(benchmark::State& state) {
+  telemetry::TelemetrySink sink;  // metrics-only, no event stream
+  double t = 0.0;
+  for (auto _ : state) {
+    telemetry::ScopedTimer timer(&sink, "lira.adapt.total_seconds",
+                                 (t += 1.0));
+    benchmark::DoNotOptimize(timer);
+  }
+}
+BENCHMARK(BM_TelemetryScopedTimerLiveSink);
 
 }  // namespace
 }  // namespace lira

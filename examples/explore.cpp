@@ -6,18 +6,25 @@
 //           [--distribution Proportional|Inverse|Random]
 //           [--mobility walk|trips] [--auto-throttle]
 //           [--capacity-fraction 0.5] [--history] [--seed 42]
+//           [--telemetry out.jsonl] [--telemetry-stride 10]
 //
 // Example: explore --policy Lira --z 0.4 --l 100 --fairness 25 --history
+//
+// --telemetry streams the run's timeline (z trajectory, queue depth/drops,
+// per-stage plan-build spans, adaptation events) to the given file as JSONL
+// (or CSV when the path ends in .csv) and prints a metrics digest.
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 
 #include "lira/core/policy.h"
 #include "lira/sim/experiment.h"
 #include "lira/sim/simulation.h"
 #include "lira/sim/world.h"
+#include "lira/telemetry/telemetry.h"
 
 namespace {
 
@@ -27,7 +34,7 @@ namespace {
       "usage: %s [--policy NAME] [--z Z] [--l L] [--fairness D]\n"
       "          [--nodes N] [--distribution NAME] [--mobility walk|trips]\n"
       "          [--auto-throttle] [--capacity-fraction C] [--history]\n"
-      "          [--seed S]\n",
+      "          [--seed S] [--telemetry PATH] [--telemetry-stride K]\n",
       argv0);
   std::exit(2);
 }
@@ -46,6 +53,8 @@ int main(int argc, char** argv) {
   double capacity_fraction = 0.0;
   bool history = false;
   uint64_t seed = 42;
+  std::string telemetry_path;
+  int32_t telemetry_stride = 10;
 
   for (int i = 1; i < argc; ++i) {
     auto next = [&](const char* flag) -> const char* {
@@ -93,6 +102,10 @@ int main(int argc, char** argv) {
       history = true;
     } else if (!std::strcmp(argv[i], "--seed")) {
       seed = std::strtoull(next("--seed"), nullptr, 10);
+    } else if (!std::strcmp(argv[i], "--telemetry")) {
+      telemetry_path = next("--telemetry");
+    } else if (!std::strcmp(argv[i], "--telemetry-stride")) {
+      telemetry_stride = std::atoi(next("--telemetry-stride"));
     } else {
       std::fprintf(stderr, "unknown flag %s\n", argv[i]);
       Usage(argv[0]);
@@ -123,6 +136,27 @@ int main(int argc, char** argv) {
   if (capacity_fraction > 0.0) {
     sim.service_rate_override = capacity_fraction * world->full_update_rate;
   }
+
+  std::unique_ptr<telemetry::FileEventSink> telemetry_file;
+  std::unique_ptr<telemetry::TelemetrySink> telemetry_sink;
+  if (!telemetry_path.empty()) {
+    const bool csv = telemetry_path.size() >= 4 &&
+                     telemetry_path.compare(telemetry_path.size() - 4, 4,
+                                            ".csv") == 0;
+    auto file = telemetry::FileEventSink::Open(
+        telemetry_path,
+        csv ? telemetry::EventFormat::kCsv : telemetry::EventFormat::kJsonl);
+    if (!file.ok()) {
+      std::fprintf(stderr, "%s\n", file.status().ToString().c_str());
+      return 1;
+    }
+    telemetry_file = *std::move(file);
+    telemetry_sink =
+        std::make_unique<telemetry::TelemetrySink>(telemetry_file.get());
+    sim.telemetry = telemetry_sink.get();
+    sim.telemetry_stride = telemetry_stride;
+  }
+
   auto result = RunSimulation(*world, **policy, sim);
   if (!result.ok()) {
     std::fprintf(stderr, "RunSimulation: %s\n",
@@ -162,6 +196,32 @@ int main(int argc, char** argv) {
                 result->historical_containment_error,
                 result->historical_position_error,
                 result->history_bytes / 1e6);
+  }
+  if (telemetry_sink != nullptr) {
+    const telemetry::MetricRegistry& metrics = telemetry_sink->metrics();
+    const telemetry::Histogram* build =
+        metrics.FindHistogram("lira.adapt.plan_build_seconds");
+    const telemetry::Histogram* stats =
+        metrics.FindHistogram("lira.adapt.stats_rebuild_seconds");
+    const telemetry::Counter* arrivals =
+        metrics.FindCounter("lira.queue.arrivals");
+    const telemetry::Counter* dropped =
+        metrics.FindCounter("lira.queue.dropped");
+    std::printf("telemetry: %lld events -> %s\n",
+                static_cast<long long>(telemetry_sink->events_emitted()),
+                telemetry_path.c_str());
+    if (build != nullptr && stats != nullptr) {
+      std::printf(
+          "           plan-build p50=%.2f p95=%.2f p99=%.2f ms  "
+          "stats-rebuild p50=%.2f ms\n",
+          build->P50() * 1e3, build->P95() * 1e3, build->P99() * 1e3,
+          stats->P50() * 1e3);
+    }
+    std::printf("           queue arrivals=%lld dropped=%lld\n",
+                static_cast<long long>(
+                    arrivals != nullptr ? arrivals->value() : 0),
+                static_cast<long long>(
+                    dropped != nullptr ? dropped->value() : 0));
   }
   return 0;
 }

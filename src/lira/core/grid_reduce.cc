@@ -68,11 +68,19 @@ StatusOr<std::vector<SheddingRegion>> GridReduce(
 
   while (static_cast<int32_t>(heap.size() + leaves_done.size()) < config.l &&
          !heap.empty()) {
-    const QuadNodeRef node = heap.top().node;
+    const HeapEntry top = heap.top();
+    const QuadNodeRef node = top.node;
     heap.pop();
     if (tree.IsLeaf(node)) {
       leaves_done.push_back(node);
       continue;
+    }
+    if (config.telemetry != nullptr) {
+      config.telemetry->Count("lira.gridreduce.drilldowns", config.now);
+      config.telemetry->Emit(
+          telemetry::EventKind::kRegionSplit, "lira.gridreduce.split",
+          config.now, top.gain,
+          static_cast<double>(heap.size() + leaves_done.size() + 1));
     }
     for (const QuadNodeRef& child : tree.Children(node)) {
       if (tree.IsLeaf(child)) {

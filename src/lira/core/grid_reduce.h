@@ -15,6 +15,7 @@
 #include "lira/core/shedding_plan.h"
 #include "lira/core/statistics_grid.h"
 #include "lira/motion/update_reduction.h"
+#include "lira/telemetry/telemetry.h"
 
 namespace lira {
 
@@ -28,6 +29,12 @@ struct GridReduceConfig {
   /// fairness threshold is ignored here; it applies only to the final
   /// throttler assignment).
   GreedyIncrementConfig greedy;
+  /// Optional instrumentation: each drill-down emits a kRegionSplit event
+  /// (value = accuracy gain of the split region) and bumps the
+  /// `lira.gridreduce.drilldowns` counter.
+  telemetry::TelemetrySink* telemetry = nullptr;
+  /// Timestamp attached to telemetry records.
+  double now = 0.0;
 };
 
 /// Runs the drill-down and returns l shedding regions (areas + statistics;

@@ -36,9 +36,18 @@ StatusOr<SheddingPlan> FinishPlan(const PolicyContext& ctx,
   greedy.c_delta = config.c_delta;
   greedy.fairness_threshold = config.fairness_threshold;
   greedy.use_speed_factor = config.use_speed_factor;
+  telemetry::ScopedTimer timer(ctx.telemetry,
+                               "lira.adapt.greedy_increment_seconds", ctx.now);
   auto result = RunGreedyIncrement(stats, *ctx.reduction, greedy);
+  timer.Stop();
   if (!result.ok()) {
     return result.status();
+  }
+  if (ctx.telemetry != nullptr) {
+    ctx.telemetry->SampleGauge("lira.greedy.steps", ctx.now,
+                               static_cast<double>(result->steps));
+    ctx.telemetry->SampleGauge("lira.greedy.budget_met", ctx.now,
+                               result->budget_met ? 1.0 : 0.0);
   }
   for (size_t i = 0; i < regions.size(); ++i) {
     regions[i].delta = result->deltas[i];
@@ -81,7 +90,12 @@ StatusOr<SheddingPlan> LiraPolicy::BuildPlan(const PolicyContext& ctx) const {
   reduce.z = ctx.z;
   reduce.greedy.c_delta = config_.c_delta;
   reduce.greedy.use_speed_factor = config_.use_speed_factor;
+  reduce.telemetry = ctx.telemetry;
+  reduce.now = ctx.now;
+  telemetry::ScopedTimer timer(ctx.telemetry, "lira.adapt.grid_reduce_seconds",
+                               ctx.now);
   auto regions = GridReduce(tree, *ctx.reduction, reduce);
+  timer.Stop();
   if (!regions.ok()) {
     return regions.status();
   }

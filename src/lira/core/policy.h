@@ -22,6 +22,7 @@
 #include "lira/core/shedding_plan.h"
 #include "lira/core/statistics_grid.h"
 #include "lira/motion/update_reduction.h"
+#include "lira/telemetry/telemetry.h"
 
 namespace lira {
 
@@ -32,6 +33,11 @@ struct PolicyContext {
   const UpdateReductionFunction* reduction = nullptr;
   /// Throttle fraction for the upcoming period.
   double z = 1.0;
+  /// Optional instrumentation: per-stage plan-build spans and GRIDREDUCE
+  /// drill-down events are recorded here, stamped with `now`.
+  telemetry::TelemetrySink* telemetry = nullptr;
+  /// Server time attached to telemetry records.
+  double now = 0.0;
 };
 
 /// Interface of a load-shedding policy.

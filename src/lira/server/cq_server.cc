@@ -28,7 +28,16 @@ CqServer::CqServer(const CqServerConfig& config,
       plan_(std::move(plan)),
       z_(config.auto_throttle ? 1.0 : config.fixed_z),
       next_adaptation_(config.adaptation_period),
-      stats_rng_(config.seed ^ 0x57a75ULL) {}
+      stats_rng_(config.seed ^ 0x57a75ULL) {
+  if (config_.telemetry != nullptr) {
+    telemetry::MetricRegistry& metrics = config_.telemetry->metrics();
+    queue_instruments_.arrivals = metrics.GetCounter("lira.queue.arrivals");
+    queue_instruments_.dropped = metrics.GetCounter("lira.queue.dropped");
+    queue_instruments_.depth = metrics.GetGauge("lira.queue.depth");
+    queue_instruments_.high_watermark =
+        metrics.GetGauge("lira.queue.high_watermark");
+  }
+}
 
 StatusOr<CqServer> CqServer::Create(const CqServerConfig& config,
                                     const LoadSheddingPolicy* policy,
@@ -85,7 +94,25 @@ StatusOr<CqServer> CqServer::Create(const CqServerConfig& config,
 }
 
 void CqServer::Receive(std::vector<ModelUpdate> updates) {
-  queue_.OfferAll(std::move(updates));
+  const auto arrived = static_cast<int64_t>(updates.size());
+  const int64_t dropped = queue_.OfferAll(std::move(updates));
+  if (config_.telemetry != nullptr) {
+    UpdateQueueTelemetry(arrived, dropped);
+  }
+}
+
+void CqServer::UpdateQueueTelemetry(int64_t arrived, int64_t dropped) {
+  queue_instruments_.arrivals->Increment(arrived);
+  queue_instruments_.depth->Set(static_cast<double>(queue_.size()));
+  queue_instruments_.high_watermark->Set(
+      static_cast<double>(queue_.high_watermark()));
+  if (dropped > 0) {
+    queue_instruments_.dropped->Increment(dropped);
+    config_.telemetry->Emit(telemetry::EventKind::kQueueOverflow,
+                            "lira.queue.dropped", time_,
+                            static_cast<double>(dropped),
+                            static_cast<double>(queue_.size()));
+  }
 }
 
 Status CqServer::Tick(double dt) {
@@ -185,20 +212,44 @@ StatusOr<std::vector<NodeId>> CqServer::AnswerHistoricalRange(
 }
 
 Status CqServer::Adapt() {
+  telemetry::TelemetrySink* t = config_.telemetry;
+  telemetry::ScopedTimer adapt_timer(t, "lira.adapt.total_seconds", time_);
   if (config_.auto_throttle) {
     const double lambda = static_cast<double>(queue_.window_arrivals()) /
                           config_.adaptation_period;
+    const double previous_z = z_;
     z_ = throt_loop_.Update(lambda, config_.service_rate);
+    if (t != nullptr) {
+      t->SampleGauge("lira.throtloop.lambda", time_, lambda);
+      t->SampleGauge("lira.throtloop.utilization", time_,
+                     lambda / config_.service_rate);
+      t->SampleGauge("lira.throtloop.z", time_, z_);
+      t->SampleGauge("lira.queue.window_dropped", time_,
+                     static_cast<double>(queue_.window_dropped()));
+      if (z_ != previous_z) {
+        t->Emit(telemetry::EventKind::kZChanged, "lira.throtloop.z", time_,
+                z_, lambda);
+      }
+    }
     queue_.ResetWindow();
   } else {
     z_ = config_.fixed_z;
+    if (t != nullptr) {
+      t->SampleGauge("lira.throtloop.z", time_, z_);
+    }
   }
-  RebuildNodeStatistics();
-  RebuildQueryStatistics();
+  {
+    telemetry::ScopedTimer stats_timer(t, "lira.adapt.stats_rebuild_seconds",
+                                       time_);
+    RebuildNodeStatistics();
+    RebuildQueryStatistics();
+  }
   PolicyContext ctx;
   ctx.stats = &stats_;
   ctx.reduction = reduction_;
   ctx.z = z_;
+  ctx.telemetry = t;
+  ctx.now = time_;
   const auto start = std::chrono::steady_clock::now();
   auto plan = policy_->BuildPlan(ctx);
   const auto elapsed = std::chrono::steady_clock::now() - start;
@@ -206,9 +257,18 @@ Status CqServer::Adapt() {
     return plan.status();
   }
   plan_ = *std::move(plan);
-  plan_build_seconds_ +=
-      std::chrono::duration<double>(elapsed).count();
+  const double build_seconds = std::chrono::duration<double>(elapsed).count();
+  plan_build_seconds_ += build_seconds;
   ++plan_builds_;
+  if (t != nullptr) {
+    t->RecordSpan("lira.adapt.plan_build_seconds", time_, build_seconds);
+    t->SampleGauge("lira.plan.regions", time_,
+                   static_cast<double>(plan_.NumRegions()));
+    t->SampleGauge("lira.plan.min_delta", time_, plan_.MinDelta());
+    t->SampleGauge("lira.plan.max_delta", time_, plan_.MaxDelta());
+    t->Emit(telemetry::EventKind::kPlanRebuilt, "lira.plan.rebuilt", time_,
+            static_cast<double>(plan_.NumRegions()), build_seconds);
+  }
   return OkStatus();
 }
 

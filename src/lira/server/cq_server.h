@@ -28,6 +28,7 @@
 #include "lira/motion/update_reduction.h"
 #include "lira/server/history_store.h"
 #include "lira/server/update_queue.h"
+#include "lira/telemetry/telemetry.h"
 
 namespace lira {
 
@@ -63,6 +64,12 @@ struct CqServerConfig {
   /// approximated using sampling"); counts are scaled by the inverse so the
   /// optimizer sees unbiased totals. 1.0 = exact maintenance.
   double stats_sample_fraction = 1.0;
+  /// Optional telemetry (not owned; must outlive the server). When set, the
+  /// server maintains `lira.queue.*` instruments on every Receive and
+  /// records the adaptation loop -- z trajectory, per-stage plan-build
+  /// spans, plan shape gauges, typed events (DESIGN.md "Telemetry").
+  /// nullptr disables all instrumentation at the cost of a pointer test.
+  telemetry::TelemetrySink* telemetry = nullptr;
   uint64_t seed = 1234;
 };
 
@@ -133,6 +140,16 @@ class CqServer {
 
   void RebuildNodeStatistics();
   void RebuildQueryStatistics();
+  void UpdateQueueTelemetry(int64_t arrived, int64_t dropped);
+
+  /// Queue instruments resolved once at construction (registry lookups are
+  /// map accesses; Receive runs every tick).
+  struct QueueInstruments {
+    telemetry::Counter* arrivals = nullptr;
+    telemetry::Counter* dropped = nullptr;
+    telemetry::Gauge* depth = nullptr;
+    telemetry::Gauge* high_watermark = nullptr;
+  };
 
   CqServerConfig config_;
   const LoadSheddingPolicy* policy_;
@@ -152,6 +169,7 @@ class CqServer {
   Rng stats_rng_;
   double plan_build_seconds_ = 0.0;
   int64_t plan_builds_ = 0;
+  QueueInstruments queue_instruments_;
 };
 
 }  // namespace lira

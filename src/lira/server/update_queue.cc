@@ -1,5 +1,6 @@
 #include "lira/server/update_queue.h"
 
+#include <algorithm>
 #include <utility>
 
 namespace lira {
@@ -24,7 +25,10 @@ int64_t UpdateQueue::OfferAll(std::vector<ModelUpdate> updates) {
   }
   total_arrivals_ += static_cast<int64_t>(updates.size());
   window_arrivals_ += static_cast<int64_t>(updates.size());
-  return queue_.dropped() - dropped_before;
+  const int64_t dropped = queue_.dropped() - dropped_before;
+  window_dropped_ += dropped;
+  high_watermark_ = std::max(high_watermark_, queue_.size());
+  return dropped;
 }
 
 std::vector<ModelUpdate> UpdateQueue::Drain(int64_t max_count) {
@@ -44,6 +48,7 @@ std::vector<ModelUpdate> UpdateQueue::Drain(int64_t max_count) {
 void UpdateQueue::ResetWindow() {
   window_arrivals_ = 0;
   window_served_ = 0;
+  window_dropped_ = 0;
 }
 
 }  // namespace lira

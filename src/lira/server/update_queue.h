@@ -31,15 +31,19 @@ class UpdateQueue {
 
   size_t size() const { return queue_.size(); }
   size_t capacity() const { return queue_.capacity(); }
+  /// Largest queue depth ever observed (after admitting each batch).
+  size_t high_watermark() const { return high_watermark_; }
 
   int64_t total_arrivals() const { return total_arrivals_; }
   int64_t total_dropped() const { return queue_.dropped(); }
   int64_t total_served() const { return total_served_; }
 
-  /// Windowed counters for THROTLOOP's lambda measurement.
+  /// Windowed counters for THROTLOOP's lambda measurement and per-window
+  /// loss diagnostics.
   void ResetWindow();
   int64_t window_arrivals() const { return window_arrivals_; }
   int64_t window_served() const { return window_served_; }
+  int64_t window_dropped() const { return window_dropped_; }
 
  private:
   UpdateQueue(size_t capacity, uint64_t seed)
@@ -51,6 +55,8 @@ class UpdateQueue {
   int64_t total_served_ = 0;
   int64_t window_arrivals_ = 0;
   int64_t window_served_ = 0;
+  int64_t window_dropped_ = 0;
+  size_t high_watermark_ = 0;
 };
 
 }  // namespace lira

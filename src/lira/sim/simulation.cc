@@ -24,6 +24,9 @@ StatusOr<SimulationResult> RunSimulation(const World& world,
   if (config.sample_every < 1) {
     return InvalidArgumentError("sample_every must be >= 1");
   }
+  if (config.telemetry_stride < 1) {
+    return InvalidArgumentError("telemetry_stride must be >= 1");
+  }
 
   CqServerConfig server_config;
   server_config.num_nodes = world.num_nodes();
@@ -51,6 +54,7 @@ StatusOr<SimulationResult> RunSimulation(const World& world,
   // The harness evaluates queries through its own snapshot indexes; skip
   // the server's incremental TPR maintenance.
   server_config.maintain_index = false;
+  server_config.telemetry = config.telemetry;
   server_config.seed = config.seed;
 
   auto server = CqServer::Create(server_config, &policy, &world.reduction,
@@ -115,6 +119,19 @@ StatusOr<SimulationResult> RunSimulation(const World& world,
     }
     server->Receive(std::move(batch));
     LIRA_RETURN_IF_ERROR(server->Tick(trace.dt()));
+
+    // Telemetry sampling: the z / queue-depth trajectory plus cumulative
+    // queue counters, decimated by the stride to bound overhead.
+    if (config.telemetry != nullptr && frame % config.telemetry_stride == 0) {
+      telemetry::TelemetrySink& sink = *config.telemetry;
+      sink.SampleGauge("lira.throtloop.z", t, server->z());
+      sink.SampleGauge("lira.queue.depth", t,
+                       static_cast<double>(server->queue().size()));
+      sink.Emit(telemetry::EventKind::kCounter, "lira.queue.arrivals", t,
+                static_cast<double>(server->queue().total_arrivals()));
+      sink.Emit(telemetry::EventKind::kCounter, "lira.queue.dropped", t,
+                static_cast<double>(server->queue().total_dropped()));
+    }
 
     // Accuracy sampling.
     if (frame >= config.warmup_frames &&
@@ -210,6 +227,11 @@ StatusOr<SimulationResult> RunSimulation(const World& world,
         static_cast<double>(measured_updates) /
         (static_cast<double>(measured_frames) * trace.dt());
     result.measured_update_fraction = measured_rate / world.full_update_rate;
+  }
+  if (config.telemetry != nullptr) {
+    // Final snapshot of every registered metric, then flush the stream.
+    LIRA_RETURN_IF_ERROR(config.telemetry->FlushMetrics(
+        trace.TimeOf(trace.num_frames() - 1)));
   }
   return result;
 }

@@ -12,6 +12,7 @@
 #include "lira/core/policy.h"
 #include "lira/sim/metrics.h"
 #include "lira/sim/world.h"
+#include "lira/telemetry/telemetry.h"
 
 namespace lira {
 
@@ -51,6 +52,15 @@ struct SimulationConfig {
   /// Fraction of nodes fed into the statistics grid per adaptation
   /// (CqServerConfig::stats_sample_fraction).
   double stats_sample_fraction = 1.0;
+  /// Optional telemetry (not owned; must outlive the call). The run samples
+  /// z / queue gauges every `telemetry_stride` frames, the server records
+  /// the adaptation loop, and a final metric snapshot is flushed at the end
+  /// of the run. nullptr (the default) disables all instrumentation; the
+  /// frame loop then pays only a pointer test.
+  telemetry::TelemetrySink* telemetry = nullptr;
+  /// Frames between telemetry samples. The default keeps the instrumented
+  /// overhead well under 2% of the frame loop.
+  int32_t telemetry_stride = 10;
   uint64_t seed = 99;
 };
 

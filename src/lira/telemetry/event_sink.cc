@@ -1,0 +1,245 @@
+#include "lira/telemetry/event_sink.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <utility>
+
+namespace lira::telemetry {
+namespace {
+
+/// Shortest decimal that round-trips the double (%.17g is exact; trim via
+/// a precision ladder so common values stay readable).
+std::string FormatDouble(double x) {
+  char buf[32];
+  for (int precision : {6, 12, 17}) {
+    std::snprintf(buf, sizeof(buf), "%.*g", precision, x);
+    if (std::strtod(buf, nullptr) == x) {
+      break;
+    }
+  }
+  return buf;
+}
+
+void AppendJsonString(const std::string& s, std::string* out) {
+  out->push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out->append("\\\"");
+        break;
+      case '\\':
+        out->append("\\\\");
+        break;
+      case '\n':
+        out->append("\\n");
+        break;
+      default:
+        out->push_back(c);
+    }
+  }
+  out->push_back('"');
+}
+
+/// Returns the raw text of `"key":<value>` in `line`, or an error. String
+/// values include their quotes.
+StatusOr<std::string_view> RawField(std::string_view line,
+                                    std::string_view key) {
+  std::string needle;
+  needle.reserve(key.size() + 3);
+  needle.push_back('"');
+  needle.append(key);
+  needle.append("\":");
+  const size_t at = line.find(needle);
+  if (at == std::string_view::npos) {
+    return InvalidArgumentError("missing field: " + std::string(key));
+  }
+  size_t begin = at + needle.size();
+  size_t end;
+  if (begin < line.size() && line[begin] == '"') {
+    end = begin + 1;
+    while (end < line.size() && line[end] != '"') {
+      end += line[end] == '\\' ? 2 : 1;
+    }
+    if (end >= line.size()) {
+      return InvalidArgumentError("unterminated string field: " +
+                                  std::string(key));
+    }
+    ++end;  // include closing quote
+  } else {
+    end = line.find_first_of(",}", begin);
+    if (end == std::string_view::npos) {
+      return InvalidArgumentError("unterminated field: " + std::string(key));
+    }
+  }
+  return line.substr(begin, end - begin);
+}
+
+StatusOr<double> NumberField(std::string_view line, std::string_view key) {
+  auto raw = RawField(line, key);
+  if (!raw.ok()) {
+    return raw.status();
+  }
+  return std::strtod(std::string(*raw).c_str(), nullptr);
+}
+
+StatusOr<std::string> StringField(std::string_view line,
+                                  std::string_view key) {
+  auto raw = RawField(line, key);
+  if (!raw.ok()) {
+    return raw.status();
+  }
+  if (raw->size() < 2 || raw->front() != '"' || raw->back() != '"') {
+    return InvalidArgumentError("field is not a string: " + std::string(key));
+  }
+  std::string out;
+  for (size_t i = 1; i + 1 < raw->size(); ++i) {
+    char c = (*raw)[i];
+    if (c == '\\' && i + 2 < raw->size()) {
+      c = (*raw)[++i];
+      if (c == 'n') {
+        c = '\n';
+      }
+    }
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string_view EventKindName(EventKind kind) {
+  switch (kind) {
+    case EventKind::kCounter:
+      return "counter";
+    case EventKind::kGauge:
+      return "gauge";
+    case EventKind::kSpan:
+      return "span";
+    case EventKind::kPlanRebuilt:
+      return "plan_rebuilt";
+    case EventKind::kZChanged:
+      return "z_changed";
+    case EventKind::kQueueOverflow:
+      return "queue_overflow";
+    case EventKind::kRegionSplit:
+      return "region_split";
+  }
+  return "unknown";
+}
+
+StatusOr<EventKind> EventKindFromName(std::string_view name) {
+  for (const EventKind kind :
+       {EventKind::kCounter, EventKind::kGauge, EventKind::kSpan,
+        EventKind::kPlanRebuilt, EventKind::kZChanged,
+        EventKind::kQueueOverflow, EventKind::kRegionSplit}) {
+    if (EventKindName(kind) == name) {
+      return kind;
+    }
+  }
+  return InvalidArgumentError("unknown event kind: " + std::string(name));
+}
+
+std::string FormatJsonl(const Event& event) {
+  std::string out = "{\"t\":" + FormatDouble(event.time) + ",\"kind\":\"";
+  out += EventKindName(event.kind);
+  out += "\",\"name\":";
+  AppendJsonString(event.name, &out);
+  out += ",\"value\":" + FormatDouble(event.value);
+  out += ",\"extra\":" + FormatDouble(event.extra) + "}";
+  return out;
+}
+
+std::string FormatCsv(const Event& event) {
+  // Names are dotted identifiers (no commas/quotes), so no CSV quoting.
+  std::string out = FormatDouble(event.time);
+  out += ',';
+  out += EventKindName(event.kind);
+  out += ',';
+  out += event.name;
+  out += ',';
+  out += FormatDouble(event.value);
+  out += ',';
+  out += FormatDouble(event.extra);
+  return out;
+}
+
+StatusOr<Event> ParseJsonl(std::string_view line) {
+  Event event;
+  auto time = NumberField(line, "t");
+  if (!time.ok()) {
+    return time.status();
+  }
+  event.time = *time;
+  auto kind_name = StringField(line, "kind");
+  if (!kind_name.ok()) {
+    return kind_name.status();
+  }
+  auto kind = EventKindFromName(*kind_name);
+  if (!kind.ok()) {
+    return kind.status();
+  }
+  event.kind = *kind;
+  auto name = StringField(line, "name");
+  if (!name.ok()) {
+    return name.status();
+  }
+  event.name = *std::move(name);
+  auto value = NumberField(line, "value");
+  if (!value.ok()) {
+    return value.status();
+  }
+  event.value = *value;
+  auto extra = NumberField(line, "extra");
+  if (!extra.ok()) {
+    return extra.status();
+  }
+  event.extra = *extra;
+  return event;
+}
+
+std::vector<Event> MemoryEventSink::Select(EventKind kind,
+                                           std::string_view name) const {
+  std::vector<Event> out;
+  for (const Event& event : events_) {
+    if (event.kind == kind && (name.empty() || event.name == name)) {
+      out.push_back(event);
+    }
+  }
+  return out;
+}
+
+void StreamEventSink::Record(const Event& event) {
+  if (format_ == EventFormat::kCsv && records_ == 0) {
+    *out_ << kCsvHeader << '\n';
+  }
+  *out_ << (format_ == EventFormat::kJsonl ? FormatJsonl(event)
+                                           : FormatCsv(event))
+        << '\n';
+  ++records_;
+}
+
+Status StreamEventSink::Flush() {
+  out_->flush();
+  if (!out_->good()) {
+    return InternalError("telemetry stream write failed");
+  }
+  return OkStatus();
+}
+
+FileEventSink::FileEventSink(std::ofstream file, EventFormat format)
+    : file_(std::move(file)),
+      stream_(std::make_unique<StreamEventSink>(&file_, format)) {}
+
+StatusOr<std::unique_ptr<FileEventSink>> FileEventSink::Open(
+    const std::string& path, EventFormat format) {
+  std::ofstream file(path, std::ios::out | std::ios::trunc);
+  if (!file.is_open()) {
+    return InvalidArgumentError("cannot open telemetry file: " + path);
+  }
+  return std::unique_ptr<FileEventSink>(
+      new FileEventSink(std::move(file), format));
+}
+
+Status FileEventSink::Flush() { return stream_->Flush(); }
+
+}  // namespace lira::telemetry

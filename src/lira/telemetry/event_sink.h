@@ -1,0 +1,123 @@
+// Telemetry event layer: typed, timestamped records of what the adaptation
+// machinery did (plan rebuilt, z changed, queue overflow, region split)
+// plus generic gauge/counter samples and timer spans. Events flow into an
+// EventSink; the provided sinks keep them in memory (tests, demos) or
+// serialize them as JSONL / CSV lines (offline analysis).
+//
+// The record is deliberately flat -- time, kind, name, value, extra -- so
+// serialization needs no JSON library and a run export stays greppable.
+
+#ifndef LIRA_TELEMETRY_EVENT_SINK_H_
+#define LIRA_TELEMETRY_EVENT_SINK_H_
+
+#include <fstream>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lira/common/status.h"
+
+namespace lira::telemetry {
+
+enum class EventKind {
+  /// Generic instrument samples.
+  kCounter,
+  kGauge,
+  /// A timed section; value is the wall-clock duration in seconds.
+  kSpan,
+  /// Adaptation-loop events.
+  kPlanRebuilt,    ///< value = region count, extra = build seconds
+  kZChanged,       ///< value = new z, extra = measured lambda (upd/s)
+  kQueueOverflow,  ///< value = updates dropped, extra = queue depth
+  kRegionSplit,    ///< value = accuracy gain, extra = regions so far
+};
+
+std::string_view EventKindName(EventKind kind);
+StatusOr<EventKind> EventKindFromName(std::string_view name);
+
+struct Event {
+  /// Simulation/server time, seconds.
+  double time = 0.0;
+  EventKind kind = EventKind::kGauge;
+  /// Dotted metric/span name, `lira.<layer>.<metric>`.
+  std::string name;
+  double value = 0.0;
+  double extra = 0.0;
+};
+
+/// One JSON object per event (no trailing newline), e.g.
+///   {"t":30,"kind":"gauge","name":"lira.throtloop.z","value":0.5,"extra":0}
+std::string FormatJsonl(const Event& event);
+
+/// One CSV row matching kCsvHeader (no trailing newline).
+std::string FormatCsv(const Event& event);
+
+inline constexpr std::string_view kCsvHeader = "time,kind,name,value,extra";
+
+/// Parses a line produced by FormatJsonl (exactly our field set; not a
+/// general JSON parser). Round-trips with FormatJsonl.
+StatusOr<Event> ParseJsonl(std::string_view line);
+
+/// Receiver of telemetry events. Implementations are single-threaded.
+class EventSink {
+ public:
+  virtual ~EventSink() = default;
+  virtual void Record(const Event& event) = 0;
+  virtual Status Flush() { return OkStatus(); }
+};
+
+/// Buffers every event in memory; for tests and in-process consumers.
+class MemoryEventSink final : public EventSink {
+ public:
+  void Record(const Event& event) override { events_.push_back(event); }
+  const std::vector<Event>& events() const { return events_; }
+
+  /// Events with the given kind (and name, unless empty).
+  std::vector<Event> Select(EventKind kind, std::string_view name = {}) const;
+
+ private:
+  std::vector<Event> events_;
+};
+
+enum class EventFormat { kJsonl, kCsv };
+
+/// Serializes events to a caller-owned stream. CSV emits the header before
+/// the first row.
+class StreamEventSink final : public EventSink {
+ public:
+  /// `out` must outlive the sink.
+  StreamEventSink(std::ostream* out, EventFormat format)
+      : out_(out), format_(format) {}
+
+  void Record(const Event& event) override;
+  Status Flush() override;
+  int64_t records() const { return records_; }
+
+ private:
+  std::ostream* out_;
+  EventFormat format_;
+  int64_t records_ = 0;
+};
+
+/// StreamEventSink over a file it owns.
+class FileEventSink final : public EventSink {
+ public:
+  static StatusOr<std::unique_ptr<FileEventSink>> Open(
+      const std::string& path, EventFormat format);
+
+  void Record(const Event& event) override { stream_->Record(event); }
+  Status Flush() override;
+  int64_t records() const { return stream_->records(); }
+
+ private:
+  FileEventSink(std::ofstream file, EventFormat format);
+
+  std::ofstream file_;
+  std::unique_ptr<StreamEventSink> stream_;
+};
+
+}  // namespace lira::telemetry
+
+#endif  // LIRA_TELEMETRY_EVENT_SINK_H_

@@ -1,0 +1,138 @@
+#include "lira/telemetry/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "lira/common/check.h"
+
+namespace lira::telemetry {
+
+Histogram::Histogram(double lo, double hi, size_t buckets)
+    : lo_(lo), buckets_(buckets, 0) {
+  LIRA_CHECK(lo < hi);
+  LIRA_CHECK(buckets >= 1);
+  width_ = (hi - lo) / static_cast<double>(buckets);
+}
+
+void Histogram::Add(double x) {
+  auto bucket = static_cast<int64_t>(std::floor((x - lo_) / width_));
+  bucket =
+      std::clamp<int64_t>(bucket, 0, static_cast<int64_t>(buckets_.size()) - 1);
+  ++buckets_[static_cast<size_t>(bucket)];
+  ++count_;
+  sum_ += x;
+  if (count_ == 1) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+}
+
+double Histogram::Quantile(double q) const {
+  if (count_ == 0) {
+    return 0.0;
+  }
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(count_);
+  double seen = 0.0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    const auto in_bucket = static_cast<double>(buckets_[i]);
+    if (seen + in_bucket >= target && in_bucket > 0.0) {
+      // Rank `target` falls inside bucket i; interpolate within it.
+      const double frac = (target - seen) / in_bucket;
+      return lo_ + (static_cast<double>(i) + frac) * width_;
+    }
+    seen += in_bucket;
+  }
+  return lo_ + static_cast<double>(buckets_.size()) * width_;
+}
+
+std::string_view MetricKindName(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kCounter:
+      return "counter";
+    case MetricKind::kGauge:
+      return "gauge";
+    case MetricKind::kHistogram:
+      return "histogram";
+  }
+  return "unknown";
+}
+
+const MetricRegistry::Entry* MetricRegistry::Find(
+    std::string_view name) const {
+  const auto it = entries_.find(name);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+Counter* MetricRegistry::GetCounter(std::string_view name) {
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    Entry entry;
+    entry.kind = MetricKind::kCounter;
+    entry.counter = std::make_unique<Counter>();
+    it = entries_.emplace(std::string(name), std::move(entry)).first;
+  }
+  return it->second.kind == MetricKind::kCounter ? it->second.counter.get()
+                                                 : nullptr;
+}
+
+Gauge* MetricRegistry::GetGauge(std::string_view name) {
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    Entry entry;
+    entry.kind = MetricKind::kGauge;
+    entry.gauge = std::make_unique<Gauge>();
+    it = entries_.emplace(std::string(name), std::move(entry)).first;
+  }
+  return it->second.kind == MetricKind::kGauge ? it->second.gauge.get()
+                                               : nullptr;
+}
+
+Histogram* MetricRegistry::GetHistogram(std::string_view name, double lo,
+                                        double hi, size_t buckets) {
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    Entry entry;
+    entry.kind = MetricKind::kHistogram;
+    entry.histogram = std::make_unique<Histogram>(lo, hi, buckets);
+    it = entries_.emplace(std::string(name), std::move(entry)).first;
+  }
+  return it->second.kind == MetricKind::kHistogram
+             ? it->second.histogram.get()
+             : nullptr;
+}
+
+const Counter* MetricRegistry::FindCounter(std::string_view name) const {
+  const Entry* entry = Find(name);
+  return entry != nullptr && entry->kind == MetricKind::kCounter
+             ? entry->counter.get()
+             : nullptr;
+}
+
+const Gauge* MetricRegistry::FindGauge(std::string_view name) const {
+  const Entry* entry = Find(name);
+  return entry != nullptr && entry->kind == MetricKind::kGauge
+             ? entry->gauge.get()
+             : nullptr;
+}
+
+const Histogram* MetricRegistry::FindHistogram(std::string_view name) const {
+  const Entry* entry = Find(name);
+  return entry != nullptr && entry->kind == MetricKind::kHistogram
+             ? entry->histogram.get()
+             : nullptr;
+}
+
+std::vector<std::pair<std::string, MetricKind>> MetricRegistry::Names() const {
+  std::vector<std::pair<std::string, MetricKind>> out;
+  out.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) {
+    out.emplace_back(name, entry.kind);
+  }
+  return out;
+}
+
+}  // namespace lira::telemetry

@@ -1,0 +1,129 @@
+// Telemetry metrics layer: a zero-dependency registry of named numeric
+// instruments. Three instrument kinds cover the system's needs:
+//
+//   * Counter   -- monotone event count (arrivals, drops, drill-downs).
+//   * Gauge     -- last-written value (queue depth, z, plan region count).
+//   * Histogram -- fixed-bucket distribution with interpolated quantiles
+//                  (span durations; p50/p95/p99 queries).
+//
+// Instruments are owned by a MetricRegistry and addressed by dotted names
+// following the scheme `lira.<layer>.<metric>` (DESIGN.md "Telemetry").
+// Lookup is a map access; call sites on hot paths should resolve the
+// pointer once and cache it. Everything here is single-threaded, like the
+// rest of the simulator.
+
+#ifndef LIRA_TELEMETRY_METRICS_H_
+#define LIRA_TELEMETRY_METRICS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lira::telemetry {
+
+/// Monotone counter.
+class Counter {
+ public:
+  void Increment(int64_t n = 1) { value_ += n; }
+  int64_t value() const { return value_; }
+
+ private:
+  int64_t value_ = 0;
+};
+
+/// Last-value-wins sample.
+class Gauge {
+ public:
+  void Set(double v) { value_ = v; }
+  double value() const { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// Fixed-bucket histogram over [lo, hi); out-of-range samples clamp into
+/// the edge buckets. Quantiles interpolate linearly inside the bucket that
+/// contains the target rank, so with reasonably fine buckets p50/p95/p99
+/// are accurate to well under one bucket width. Exact min/max/mean are
+/// tracked alongside the buckets.
+class Histogram {
+ public:
+  /// Requires lo < hi and buckets >= 1 (checked).
+  Histogram(double lo, double hi, size_t buckets);
+
+  void Add(double x);
+
+  int64_t count() const { return count_; }
+  double min() const { return count_ > 0 ? min_ : 0.0; }
+  double max() const { return count_ > 0 ? max_ : 0.0; }
+  double mean() const {
+    return count_ > 0 ? sum_ / static_cast<double>(count_) : 0.0;
+  }
+
+  /// Interpolated q-quantile, q in [0, 1] (clamped); 0 when empty.
+  double Quantile(double q) const;
+  double P50() const { return Quantile(0.50); }
+  double P95() const { return Quantile(0.95); }
+  double P99() const { return Quantile(0.99); }
+
+  size_t NumBuckets() const { return buckets_.size(); }
+  int64_t BucketCount(size_t bucket) const { return buckets_[bucket]; }
+
+ private:
+  double lo_;
+  double width_;
+  std::vector<int64_t> buckets_;
+  int64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+enum class MetricKind { kCounter, kGauge, kHistogram };
+
+std::string_view MetricKindName(MetricKind kind);
+
+/// Owns instruments by name. Getters create on first use and return the
+/// existing instrument on later calls with the same name; a name collision
+/// across kinds (e.g. GetGauge on a name registered as a counter) returns
+/// nullptr rather than silently aliasing. Returned pointers stay valid for
+/// the registry's lifetime. For histograms the bucket layout is fixed by
+/// the first registration; later bounds are ignored.
+class MetricRegistry {
+ public:
+  Counter* GetCounter(std::string_view name);
+  Gauge* GetGauge(std::string_view name);
+  Histogram* GetHistogram(std::string_view name, double lo, double hi,
+                          size_t buckets);
+
+  /// Lookup without creation; nullptr when absent or of another kind.
+  const Counter* FindCounter(std::string_view name) const;
+  const Gauge* FindGauge(std::string_view name) const;
+  const Histogram* FindHistogram(std::string_view name) const;
+
+  size_t size() const { return entries_.size(); }
+
+  /// Registered (name, kind) pairs in sorted name order -- the stable
+  /// iteration order used by exporters.
+  std::vector<std::pair<std::string, MetricKind>> Names() const;
+
+ private:
+  struct Entry {
+    MetricKind kind;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  const Entry* Find(std::string_view name) const;
+
+  std::map<std::string, Entry, std::less<>> entries_;
+};
+
+}  // namespace lira::telemetry
+
+#endif  // LIRA_TELEMETRY_METRICS_H_

@@ -1,0 +1,86 @@
+#include "lira/telemetry/telemetry.h"
+
+namespace lira::telemetry {
+
+void TelemetrySink::Emit(EventKind kind, std::string_view name, double time,
+                         double value, double extra) {
+  if (events_ == nullptr) {
+    return;
+  }
+  Event event;
+  event.time = time;
+  event.kind = kind;
+  event.name = std::string(name);
+  event.value = value;
+  event.extra = extra;
+  Emit(event);
+}
+
+void TelemetrySink::SampleGauge(std::string_view name, double time,
+                                double value) {
+  if (Gauge* gauge = metrics_.GetGauge(name); gauge != nullptr) {
+    gauge->Set(value);
+  }
+  Emit(EventKind::kGauge, name, time, value);
+}
+
+void TelemetrySink::Count(std::string_view name, double time, int64_t n,
+                          bool emit_event) {
+  Counter* counter = metrics_.GetCounter(name);
+  if (counter == nullptr) {
+    return;
+  }
+  counter->Increment(n);
+  if (emit_event) {
+    Emit(EventKind::kCounter, name, time,
+         static_cast<double>(counter->value()), static_cast<double>(n));
+  }
+}
+
+void TelemetrySink::RecordSpan(std::string_view name, double time,
+                               double seconds) {
+  if (Histogram* hist = metrics_.GetHistogram(name, 0.0, 0.1, 1000);
+      hist != nullptr) {
+    hist->Add(seconds);
+  }
+  Emit(EventKind::kSpan, name, time, seconds);
+}
+
+Status TelemetrySink::FlushMetrics(double time) {
+  for (const auto& [name, kind] : metrics_.Names()) {
+    switch (kind) {
+      case MetricKind::kCounter:
+        Emit(EventKind::kCounter, name, time,
+             static_cast<double>(metrics_.FindCounter(name)->value()));
+        break;
+      case MetricKind::kGauge:
+        Emit(EventKind::kGauge, name, time,
+             metrics_.FindGauge(name)->value());
+        break;
+      case MetricKind::kHistogram: {
+        const Histogram* hist = metrics_.FindHistogram(name);
+        Emit(EventKind::kGauge, name + ".p50", time, hist->P50(),
+             static_cast<double>(hist->count()));
+        Emit(EventKind::kGauge, name + ".p95", time, hist->P95(),
+             static_cast<double>(hist->count()));
+        Emit(EventKind::kGauge, name + ".p99", time, hist->P99(),
+             static_cast<double>(hist->count()));
+        break;
+      }
+    }
+  }
+  return Flush();
+}
+
+double ScopedTimer::Stop() {
+  if (sink_ == nullptr || stopped_) {
+    return 0.0;
+  }
+  stopped_ = true;
+  const auto elapsed = std::chrono::steady_clock::now() - start_;
+  const double seconds = std::chrono::duration<double>(elapsed).count();
+  sink_->RecordSpan(name_, time_, seconds);
+  return seconds;
+}
+
+}  // namespace lira::telemetry

@@ -1,0 +1,104 @@
+// Telemetry facade: one handle combining the metric registry (aggregates)
+// with an optional event stream (timeline). Components take a nullable
+// `TelemetrySink*`; a null pointer means telemetry is off and every
+// instrumentation site reduces to a pointer test -- the simulator's hot
+// loops pay nothing when disabled (see bench_micro_core).
+//
+// Convenience recorders keep the two layers consistent: SampleGauge sets
+// the registry gauge *and* appends a timeline sample; RecordSpan feeds the
+// duration histogram *and* appends a span event.
+
+#ifndef LIRA_TELEMETRY_TELEMETRY_H_
+#define LIRA_TELEMETRY_TELEMETRY_H_
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "lira/common/status.h"
+#include "lira/telemetry/event_sink.h"
+#include "lira/telemetry/metrics.h"
+
+namespace lira::telemetry {
+
+class TelemetrySink {
+ public:
+  /// Metrics-only sink: aggregates are queryable, no timeline is kept.
+  TelemetrySink() = default;
+  /// Also streams events into `events` (not owned; must outlive the sink).
+  explicit TelemetrySink(EventSink* events) : events_(events) {}
+
+  MetricRegistry& metrics() { return metrics_; }
+  const MetricRegistry& metrics() const { return metrics_; }
+  EventSink* events() const { return events_; }
+  int64_t events_emitted() const { return events_emitted_; }
+
+  /// Appends to the event stream (no-op without one).
+  void Emit(const Event& event) {
+    if (events_ != nullptr) {
+      events_->Record(event);
+      ++events_emitted_;
+    }
+  }
+  void Emit(EventKind kind, std::string_view name, double time, double value,
+            double extra = 0.0);
+
+  /// Sets the gauge `name` and emits a kGauge sample.
+  void SampleGauge(std::string_view name, double time, double value);
+
+  /// Increments the counter `name`; with `emit_event` also emits a kCounter
+  /// event carrying the new cumulative total.
+  void Count(std::string_view name, double time, int64_t n = 1,
+             bool emit_event = false);
+
+  /// Adds `seconds` to the duration histogram `name` and emits a kSpan
+  /// event. The histogram spans [0, 100 ms) in 1000 buckets unless `name`
+  /// was registered earlier with different bounds.
+  void RecordSpan(std::string_view name, double time, double seconds);
+
+  /// Emits the current value of every registered metric as events at time
+  /// `time` (histograms as p50/p95/p99 gauges), then flushes the stream.
+  /// A final snapshot for run export.
+  Status FlushMetrics(double time);
+
+  Status Flush() { return events_ != nullptr ? events_->Flush() : OkStatus(); }
+
+ private:
+  MetricRegistry metrics_;
+  EventSink* events_ = nullptr;
+  int64_t events_emitted_ = 0;
+};
+
+/// RAII wall-clock timer recording into `sink` (nullable => no-op) on
+/// destruction or explicit Stop(). `time` is the simulation timestamp
+/// attached to the span event; the measured duration is host wall time.
+/// `name` is referenced, not copied -- it must outlive the timer (all
+/// instrumentation sites pass string literals).
+class ScopedTimer {
+ public:
+  ScopedTimer(TelemetrySink* sink, std::string_view name, double time)
+      : sink_(sink), name_(name), time_(time) {
+    if (sink_ != nullptr) {
+      start_ = std::chrono::steady_clock::now();
+    }
+  }
+  ~ScopedTimer() { Stop(); }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  /// Records the span once; returns the elapsed seconds (0 when disabled).
+  double Stop();
+
+ private:
+  TelemetrySink* sink_;
+  std::string_view name_;
+  double time_;
+  std::chrono::steady_clock::time_point start_;
+  bool stopped_ = false;
+};
+
+}  // namespace lira::telemetry
+
+#endif  // LIRA_TELEMETRY_TELEMETRY_H_

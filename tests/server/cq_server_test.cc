@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include "lira/telemetry/telemetry.h"
+
 namespace lira {
 namespace {
 
@@ -283,6 +285,106 @@ TEST_F(CqServerTest, InstallQueriesTakesEffectAtAdaptation) {
   ASSERT_TRUE(server->Adapt().ok());
   EXPECT_NEAR(server->stats().TotalQueries(), 3.0, 1e-2);
   EXPECT_FALSE(server->InstallQueries(nullptr).ok());
+}
+
+TEST_F(CqServerTest, TelemetryRecordsAdaptationLoop) {
+  using telemetry::EventKind;
+  telemetry::MemoryEventSink events;
+  telemetry::TelemetrySink sink(&events);
+  auto config = BaseConfig();
+  config.auto_throttle = true;
+  config.service_rate = 10.0;
+  config.adaptation_period = 5.0;
+  config.queue_capacity = 15;
+  config.telemetry = &sink;
+  // LIRA policy so GRIDREDUCE / GREEDYINCREMENT stages run: l = 13 means
+  // (13 - 1) / 3 = 4 drill-downs per plan build.
+  LiraConfig lira_config;
+  lira_config.l = 13;
+  LiraPolicy lira_policy(lira_config);
+  auto server =
+      CqServer::Create(config, &lira_policy, &*reduction_, &queries_);
+  ASSERT_TRUE(server.ok());
+  // 40 arrivals/s against mu = 10/s: sustained overload across two
+  // adaptations.
+  for (int t = 0; t < 11; ++t) {
+    std::vector<ModelUpdate> batch;
+    for (int k = 0; k < 40; ++k) {
+      batch.push_back(UpdateFor(k % config.num_nodes,
+                                {10.0 + k * 30.0, 10.0 + t * 100.0},
+                                {1.0, 0.0}, t));
+    }
+    server->Receive(std::move(batch));
+    ASSERT_TRUE(server->Tick(1.0).ok());
+  }
+  ASSERT_EQ(server->plan_builds(), 2);
+
+  // Queue instruments track the real queue.
+  const telemetry::MetricRegistry& metrics = sink.metrics();
+  EXPECT_EQ(metrics.FindCounter("lira.queue.arrivals")->value(),
+            server->queue().total_arrivals());
+  EXPECT_EQ(metrics.FindCounter("lira.queue.dropped")->value(),
+            server->queue().total_dropped());
+  EXPECT_GT(metrics.FindCounter("lira.queue.dropped")->value(), 0);
+  EXPECT_DOUBLE_EQ(metrics.FindGauge("lira.queue.high_watermark")->value(),
+                   static_cast<double>(server->queue().high_watermark()));
+
+  // THROTLOOP trajectory: z dropped below 1 and each change was recorded
+  // with the measured lambda.
+  const auto z_changes = events.Select(EventKind::kZChanged);
+  ASSERT_FALSE(z_changes.empty());
+  EXPECT_GT(z_changes[0].value, 0.0);
+  EXPECT_LT(z_changes[0].value, 1.0);
+  EXPECT_NEAR(z_changes[0].extra, 40.0, 1.0);  // lambda ~ 40 upd/s
+  EXPECT_DOUBLE_EQ(metrics.FindGauge("lira.throtloop.z")->value(),
+                   server->z());
+
+  // Overload produced queue-overflow events with plausible depths.
+  const auto overflows = events.Select(EventKind::kQueueOverflow);
+  ASSERT_FALSE(overflows.empty());
+  EXPECT_GT(overflows[0].value, 0.0);
+  EXPECT_LE(overflows[0].extra,
+            static_cast<double>(config.queue_capacity));
+
+  // One plan-rebuilt event per adaptation, carrying the region count.
+  const auto rebuilds = events.Select(EventKind::kPlanRebuilt);
+  ASSERT_EQ(rebuilds.size(), 2u);
+  EXPECT_DOUBLE_EQ(rebuilds[1].value,
+                   static_cast<double>(server->plan().NumRegions()));
+  EXPECT_GE(rebuilds[1].extra, 0.0);  // build seconds
+
+  // Per-stage spans fired per adaptation and sum to less than the total.
+  for (const char* span_name :
+       {"lira.adapt.total_seconds", "lira.adapt.stats_rebuild_seconds",
+        "lira.adapt.plan_build_seconds", "lira.adapt.grid_reduce_seconds",
+        "lira.adapt.greedy_increment_seconds"}) {
+    const auto spans = events.Select(EventKind::kSpan, span_name);
+    EXPECT_EQ(spans.size(), 2u) << span_name;
+    EXPECT_EQ(metrics.FindHistogram(span_name)->count(), 2) << span_name;
+  }
+  EXPECT_LE(metrics.FindHistogram("lira.adapt.grid_reduce_seconds")->max() +
+                metrics.FindHistogram("lira.adapt.greedy_increment_seconds")
+                    ->max(),
+            metrics.FindHistogram("lira.adapt.total_seconds")->max() * 2.0);
+
+  // GRIDREDUCE drill-down accounting: 4 splits per build, each split event
+  // carrying a finite gain.
+  EXPECT_EQ(metrics.FindCounter("lira.gridreduce.drilldowns")->value(), 8);
+  const auto splits = events.Select(EventKind::kRegionSplit);
+  ASSERT_EQ(splits.size(), 8u);
+  for (const auto& split : splits) {
+    EXPECT_GE(split.value, 0.0);
+  }
+  EXPECT_DOUBLE_EQ(metrics.FindGauge("lira.plan.regions")->value(), 13.0);
+}
+
+TEST_F(CqServerTest, NoTelemetryByDefault) {
+  auto server = CqServer::Create(BaseConfig(), &uniform_policy_, &*reduction_,
+                                 &queries_);
+  ASSERT_TRUE(server.ok());
+  server->Receive({UpdateFor(0, {10.0, 10.0}, {0.0, 0.0}, 0.0)});
+  ASSERT_TRUE(server->Tick(1.0).ok());
+  ASSERT_TRUE(server->Adapt().ok());  // runs clean with a null sink
 }
 
 TEST_F(CqServerTest, SampledStatisticsApproximateTotals) {

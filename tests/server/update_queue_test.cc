@@ -98,6 +98,41 @@ TEST(UpdateQueueTest, WindowCountersResetIndependently) {
   EXPECT_EQ(queue->total_arrivals(), 8);
 }
 
+TEST(UpdateQueueTest, WindowDroppedCountsPerWindowLoss) {
+  auto queue = UpdateQueue::Create(4, 7);
+  ASSERT_TRUE(queue.ok());
+  EXPECT_EQ(queue->window_dropped(), 0);
+  queue->OfferAll(Batch(10));  // 6 dropped
+  EXPECT_EQ(queue->window_dropped(), 6);
+  queue->Drain(100);
+  queue->OfferAll(Batch(6));  // 2 dropped
+  EXPECT_EQ(queue->window_dropped(), 8);
+  EXPECT_EQ(queue->total_dropped(), 8);
+  queue->ResetWindow();
+  EXPECT_EQ(queue->window_dropped(), 0);
+  EXPECT_EQ(queue->total_dropped(), 8);  // lifetime total unaffected
+  queue->Drain(100);
+  queue->OfferAll(Batch(5));  // 1 dropped in the new window
+  EXPECT_EQ(queue->window_dropped(), 1);
+  EXPECT_EQ(queue->total_dropped(), 9);
+}
+
+TEST(UpdateQueueTest, HighWatermarkTracksDeepestFill) {
+  auto queue = UpdateQueue::Create(10, 7);
+  ASSERT_TRUE(queue.ok());
+  EXPECT_EQ(queue->high_watermark(), 0u);
+  queue->OfferAll(Batch(3));
+  EXPECT_EQ(queue->high_watermark(), 3u);
+  queue->Drain(2);
+  queue->OfferAll(Batch(6));  // depth 7
+  EXPECT_EQ(queue->high_watermark(), 7u);
+  queue->Drain(100);
+  queue->OfferAll(Batch(1));
+  EXPECT_EQ(queue->high_watermark(), 7u);  // never decreases
+  queue->OfferAll(Batch(20));              // clamps at capacity
+  EXPECT_EQ(queue->high_watermark(), 10u);
+}
+
 TEST(UpdateQueueTest, FifoAcrossBatches) {
   auto queue = UpdateQueue::Create(100, 7);
   ASSERT_TRUE(queue.ok());

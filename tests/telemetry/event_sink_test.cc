@@ -1,0 +1,247 @@
+#include "lira/telemetry/event_sink.h"
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "lira/telemetry/telemetry.h"
+
+namespace lira::telemetry {
+namespace {
+
+Event MakeEvent(double time, EventKind kind, std::string name, double value,
+                double extra) {
+  Event e;
+  e.time = time;
+  e.kind = kind;
+  e.name = std::move(name);
+  e.value = value;
+  e.extra = extra;
+  return e;
+}
+
+TEST(EventKindTest, NamesRoundTrip) {
+  for (const EventKind kind :
+       {EventKind::kCounter, EventKind::kGauge, EventKind::kSpan,
+        EventKind::kPlanRebuilt, EventKind::kZChanged,
+        EventKind::kQueueOverflow, EventKind::kRegionSplit}) {
+    auto parsed = EventKindFromName(EventKindName(kind));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, kind);
+  }
+  EXPECT_FALSE(EventKindFromName("bogus").ok());
+}
+
+TEST(EventSinkTest, JsonlRoundTripsExactly) {
+  const std::vector<Event> events = {
+      MakeEvent(30.0, EventKind::kGauge, "lira.throtloop.z", 0.5, 0.0),
+      MakeEvent(0.123456789012345, EventKind::kSpan,
+                "lira.adapt.plan_build_seconds", 0.00123456789, -1.5),
+      MakeEvent(-7.25, EventKind::kQueueOverflow, "weird \"name\"\\with\n",
+                1e-300, 1e300),
+  };
+  for (const Event& event : events) {
+    const std::string line = FormatJsonl(event);
+    auto parsed = ParseJsonl(line);
+    ASSERT_TRUE(parsed.ok()) << line << ": " << parsed.status().ToString();
+    EXPECT_EQ(parsed->time, event.time) << line;
+    EXPECT_EQ(parsed->kind, event.kind) << line;
+    EXPECT_EQ(parsed->name, event.name) << line;
+    EXPECT_EQ(parsed->value, event.value) << line;
+    EXPECT_EQ(parsed->extra, event.extra) << line;
+  }
+}
+
+TEST(EventSinkTest, JsonlShapeIsStable) {
+  const Event event =
+      MakeEvent(30.0, EventKind::kZChanged, "lira.throtloop.z", 0.5, 120.0);
+  EXPECT_EQ(FormatJsonl(event),
+            "{\"t\":30,\"kind\":\"z_changed\",\"name\":\"lira.throtloop.z\","
+            "\"value\":0.5,\"extra\":120}");
+}
+
+TEST(EventSinkTest, ParseJsonlRejectsMalformedLines) {
+  EXPECT_FALSE(ParseJsonl("").ok());
+  EXPECT_FALSE(ParseJsonl("{}").ok());
+  EXPECT_FALSE(ParseJsonl("{\"t\":1,\"kind\":\"gauge\"}").ok());
+  EXPECT_FALSE(
+      ParseJsonl(
+          "{\"t\":1,\"kind\":\"nope\",\"name\":\"x\",\"value\":0,\"extra\":0}")
+          .ok());
+}
+
+TEST(EventSinkTest, CsvFormatMatchesHeader) {
+  const Event event =
+      MakeEvent(12.5, EventKind::kCounter, "lira.queue.dropped", 42.0, 3.0);
+  EXPECT_EQ(kCsvHeader, "time,kind,name,value,extra");
+  EXPECT_EQ(FormatCsv(event), "12.5,counter,lira.queue.dropped,42,3");
+}
+
+TEST(EventSinkTest, MemorySinkSelectsByKindAndName) {
+  MemoryEventSink sink;
+  sink.Record(MakeEvent(1.0, EventKind::kGauge, "a", 1.0, 0.0));
+  sink.Record(MakeEvent(2.0, EventKind::kGauge, "b", 2.0, 0.0));
+  sink.Record(MakeEvent(3.0, EventKind::kSpan, "a", 3.0, 0.0));
+  EXPECT_EQ(sink.events().size(), 3u);
+  EXPECT_EQ(sink.Select(EventKind::kGauge).size(), 2u);
+  ASSERT_EQ(sink.Select(EventKind::kGauge, "a").size(), 1u);
+  EXPECT_DOUBLE_EQ(sink.Select(EventKind::kGauge, "a")[0].value, 1.0);
+  EXPECT_TRUE(sink.Select(EventKind::kCounter).empty());
+}
+
+TEST(EventSinkTest, StreamSinkWritesJsonlLines) {
+  std::ostringstream out;
+  StreamEventSink sink(&out, EventFormat::kJsonl);
+  sink.Record(MakeEvent(1.0, EventKind::kGauge, "x", 1.5, 0.0));
+  sink.Record(MakeEvent(2.0, EventKind::kGauge, "x", 2.5, 0.0));
+  ASSERT_TRUE(sink.Flush().ok());
+  EXPECT_EQ(sink.records(), 2);
+  std::istringstream in(out.str());
+  std::string line;
+  int parsed_lines = 0;
+  while (std::getline(in, line)) {
+    auto parsed = ParseJsonl(line);
+    ASSERT_TRUE(parsed.ok()) << line;
+    ++parsed_lines;
+  }
+  EXPECT_EQ(parsed_lines, 2);
+}
+
+TEST(EventSinkTest, StreamSinkWritesCsvHeaderOnce) {
+  std::ostringstream out;
+  StreamEventSink sink(&out, EventFormat::kCsv);
+  sink.Record(MakeEvent(1.0, EventKind::kGauge, "x", 1.0, 0.0));
+  sink.Record(MakeEvent(2.0, EventKind::kGauge, "x", 2.0, 0.0));
+  EXPECT_EQ(out.str(),
+            "time,kind,name,value,extra\n1,gauge,x,1,0\n2,gauge,x,2,0\n");
+}
+
+TEST(EventSinkTest, FileSinkRoundTripsThroughDisk) {
+  const std::string path = ::testing::TempDir() + "/telemetry_events.jsonl";
+  auto sink = FileEventSink::Open(path, EventFormat::kJsonl);
+  ASSERT_TRUE(sink.ok());
+  (*sink)->Record(
+      MakeEvent(5.0, EventKind::kPlanRebuilt, "lira.plan.rebuilt", 250.0,
+                0.004));
+  ASSERT_TRUE((*sink)->Flush().ok());
+  EXPECT_EQ((*sink)->records(), 1);
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.is_open());
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  auto parsed = ParseJsonl(line);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->kind, EventKind::kPlanRebuilt);
+  EXPECT_EQ(parsed->name, "lira.plan.rebuilt");
+  EXPECT_DOUBLE_EQ(parsed->value, 250.0);
+  EXPECT_DOUBLE_EQ(parsed->extra, 0.004);
+}
+
+TEST(EventSinkTest, FileSinkRejectsUnwritablePath) {
+  EXPECT_FALSE(
+      FileEventSink::Open("/nonexistent-dir/x.jsonl", EventFormat::kJsonl)
+          .ok());
+}
+
+TEST(TelemetrySinkTest, SampleGaugeUpdatesRegistryAndEmits) {
+  MemoryEventSink events;
+  TelemetrySink sink(&events);
+  sink.SampleGauge("lira.throtloop.z", 30.0, 0.75);
+  sink.SampleGauge("lira.throtloop.z", 60.0, 0.5);
+  const Gauge* gauge = sink.metrics().FindGauge("lira.throtloop.z");
+  ASSERT_NE(gauge, nullptr);
+  EXPECT_DOUBLE_EQ(gauge->value(), 0.5);
+  const auto samples = events.Select(EventKind::kGauge, "lira.throtloop.z");
+  ASSERT_EQ(samples.size(), 2u);
+  EXPECT_DOUBLE_EQ(samples[0].value, 0.75);
+  EXPECT_DOUBLE_EQ(samples[1].value, 0.5);
+  EXPECT_EQ(sink.events_emitted(), 2);
+}
+
+TEST(TelemetrySinkTest, CountEmitsCumulativeTotalOnRequest) {
+  MemoryEventSink events;
+  TelemetrySink sink(&events);
+  sink.Count("lira.queue.arrivals", 1.0, 10);
+  sink.Count("lira.queue.arrivals", 2.0, 5, /*emit_event=*/true);
+  EXPECT_EQ(sink.metrics().FindCounter("lira.queue.arrivals")->value(), 15);
+  const auto counters = events.Select(EventKind::kCounter);
+  ASSERT_EQ(counters.size(), 1u);
+  EXPECT_DOUBLE_EQ(counters[0].value, 15.0);  // cumulative, not delta
+  EXPECT_DOUBLE_EQ(counters[0].extra, 5.0);
+}
+
+TEST(TelemetrySinkTest, MetricsOnlySinkKeepsAggregatesWithoutEvents) {
+  TelemetrySink sink;  // no event stream
+  sink.SampleGauge("g", 0.0, 1.0);
+  sink.Count("c", 0.0, 3, /*emit_event=*/true);
+  sink.RecordSpan("s", 0.0, 0.001);
+  EXPECT_EQ(sink.events_emitted(), 0);
+  EXPECT_DOUBLE_EQ(sink.metrics().FindGauge("g")->value(), 1.0);
+  EXPECT_EQ(sink.metrics().FindCounter("c")->value(), 3);
+  EXPECT_EQ(sink.metrics().FindHistogram("s")->count(), 1);
+  EXPECT_TRUE(sink.Flush().ok());
+  EXPECT_TRUE(sink.FlushMetrics(1.0).ok());
+}
+
+TEST(TelemetrySinkTest, ScopedTimerRecordsSpanAndHistogram) {
+  MemoryEventSink events;
+  TelemetrySink sink(&events);
+  {
+    ScopedTimer timer(&sink, "lira.adapt.total_seconds", 42.0);
+  }
+  const auto spans = events.Select(EventKind::kSpan,
+                                   "lira.adapt.total_seconds");
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_DOUBLE_EQ(spans[0].time, 42.0);
+  EXPECT_GE(spans[0].value, 0.0);
+  const Histogram* hist =
+      sink.metrics().FindHistogram("lira.adapt.total_seconds");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_EQ(hist->count(), 1);
+}
+
+TEST(TelemetrySinkTest, ScopedTimerStopIsIdempotent) {
+  MemoryEventSink events;
+  TelemetrySink sink(&events);
+  ScopedTimer timer(&sink, "s", 0.0);
+  timer.Stop();
+  timer.Stop();  // second stop and the destructor must not double-record
+  EXPECT_EQ(events.Select(EventKind::kSpan).size(), 1u);
+}
+
+TEST(TelemetrySinkTest, NullSinkTimerIsANoOp) {
+  ScopedTimer timer(nullptr, "s", 0.0);
+  EXPECT_DOUBLE_EQ(timer.Stop(), 0.0);
+}
+
+TEST(TelemetrySinkTest, FlushMetricsSnapshotsEveryInstrument) {
+  MemoryEventSink events;
+  TelemetrySink sink(&events);
+  sink.Count("lira.queue.arrivals", 0.0, 100);
+  sink.metrics().GetGauge("lira.queue.depth")->Set(7.0);
+  Histogram* hist =
+      sink.metrics().GetHistogram("lira.adapt.span", 0.0, 1.0, 100);
+  for (int i = 0; i < 100; ++i) {
+    hist->Add(0.5);
+  }
+  ASSERT_TRUE(sink.FlushMetrics(99.0).ok());
+  const auto counter_events = events.Select(EventKind::kCounter);
+  ASSERT_EQ(counter_events.size(), 1u);
+  EXPECT_DOUBLE_EQ(counter_events[0].value, 100.0);
+  EXPECT_DOUBLE_EQ(counter_events[0].time, 99.0);
+  // Gauge snapshot plus p50/p95/p99 of the histogram.
+  const auto gauges = events.Select(EventKind::kGauge);
+  ASSERT_EQ(gauges.size(), 4u);
+  ASSERT_EQ(events.Select(EventKind::kGauge, "lira.adapt.span.p50").size(),
+            1u);
+  EXPECT_NEAR(events.Select(EventKind::kGauge, "lira.adapt.span.p50")[0]
+                  .value,
+              0.5, 0.01);
+}
+
+}  // namespace
+}  // namespace lira::telemetry

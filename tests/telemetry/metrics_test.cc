@@ -1,0 +1,144 @@
+#include "lira/telemetry/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace lira::telemetry {
+namespace {
+
+TEST(CounterTest, IncrementsMonotonically) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0);
+  c.Increment();
+  c.Increment(41);
+  EXPECT_EQ(c.value(), 42);
+}
+
+TEST(GaugeTest, LastValueWins) {
+  Gauge g;
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+  g.Set(3.5);
+  g.Set(-1.25);
+  EXPECT_DOUBLE_EQ(g.value(), -1.25);
+}
+
+TEST(HistogramTest, EmptyHistogramIsZero) {
+  Histogram h(0.0, 10.0, 10);
+  EXPECT_EQ(h.count(), 0);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(h.min(), 0.0);
+  EXPECT_DOUBLE_EQ(h.max(), 0.0);
+}
+
+TEST(HistogramTest, QuantilesOfUniformDistribution) {
+  // 10000 evenly spread samples over [0, 1000): the q-quantile must land
+  // within one bucket width (10) of 1000q.
+  Histogram h(0.0, 1000.0, 100);
+  for (int i = 0; i < 10000; ++i) {
+    h.Add((i + 0.5) * 0.1);
+  }
+  EXPECT_EQ(h.count(), 10000);
+  EXPECT_NEAR(h.P50(), 500.0, 10.0);
+  EXPECT_NEAR(h.P95(), 950.0, 10.0);
+  EXPECT_NEAR(h.P99(), 990.0, 10.0);
+  EXPECT_NEAR(h.Quantile(0.25), 250.0, 10.0);
+  EXPECT_NEAR(h.mean(), 500.0, 1e-6);
+}
+
+TEST(HistogramTest, QuantilesOfPointMass) {
+  // All mass in one bucket: every quantile interpolates inside it.
+  Histogram h(0.0, 100.0, 100);
+  for (int i = 0; i < 1000; ++i) {
+    h.Add(42.5);
+  }
+  EXPECT_NEAR(h.P50(), 42.5, 1.0);
+  EXPECT_NEAR(h.P99(), 42.5, 1.0);
+  EXPECT_DOUBLE_EQ(h.min(), 42.5);
+  EXPECT_DOUBLE_EQ(h.max(), 42.5);
+}
+
+TEST(HistogramTest, QuantilesOfBimodalDistribution) {
+  // 90% at ~10, 10% at ~90: p50 in the low mode, p95/p99 in the high one.
+  Histogram h(0.0, 100.0, 100);
+  for (int i = 0; i < 900; ++i) {
+    h.Add(10.0);
+  }
+  for (int i = 0; i < 100; ++i) {
+    h.Add(90.0);
+  }
+  EXPECT_NEAR(h.P50(), 10.0, 1.0);
+  EXPECT_NEAR(h.P95(), 90.0, 1.0);
+  EXPECT_NEAR(h.P99(), 90.0, 1.0);
+}
+
+TEST(HistogramTest, OutOfRangeSamplesClampIntoEdgeBuckets) {
+  Histogram h(0.0, 10.0, 10);
+  h.Add(-5.0);
+  h.Add(100.0);
+  EXPECT_EQ(h.count(), 2);
+  EXPECT_EQ(h.BucketCount(0), 1);
+  EXPECT_EQ(h.BucketCount(9), 1);
+  // Exact extremes still tracked.
+  EXPECT_DOUBLE_EQ(h.min(), -5.0);
+  EXPECT_DOUBLE_EQ(h.max(), 100.0);
+}
+
+TEST(MetricRegistryTest, SameNameSameKindReturnsSameInstrument) {
+  MetricRegistry registry;
+  Counter* a = registry.GetCounter("lira.queue.arrivals");
+  ASSERT_NE(a, nullptr);
+  a->Increment(7);
+  Counter* b = registry.GetCounter("lira.queue.arrivals");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(b->value(), 7);
+  EXPECT_EQ(registry.size(), 1u);
+
+  Histogram* h1 = registry.GetHistogram("lira.adapt.span", 0.0, 1.0, 10);
+  // Later registrations with different bounds reuse the first layout.
+  Histogram* h2 = registry.GetHistogram("lira.adapt.span", 0.0, 99.0, 3);
+  EXPECT_EQ(h1, h2);
+  EXPECT_EQ(h1->NumBuckets(), 10u);
+}
+
+TEST(MetricRegistryTest, KindCollisionReturnsNull) {
+  MetricRegistry registry;
+  ASSERT_NE(registry.GetCounter("lira.x"), nullptr);
+  EXPECT_EQ(registry.GetGauge("lira.x"), nullptr);
+  EXPECT_EQ(registry.GetHistogram("lira.x", 0.0, 1.0, 10), nullptr);
+  // The original registration is untouched.
+  EXPECT_NE(registry.GetCounter("lira.x"), nullptr);
+  EXPECT_EQ(registry.size(), 1u);
+
+  ASSERT_NE(registry.GetGauge("lira.y"), nullptr);
+  EXPECT_EQ(registry.GetCounter("lira.y"), nullptr);
+}
+
+TEST(MetricRegistryTest, FindDoesNotCreate) {
+  MetricRegistry registry;
+  EXPECT_EQ(registry.FindCounter("absent"), nullptr);
+  EXPECT_EQ(registry.FindGauge("absent"), nullptr);
+  EXPECT_EQ(registry.FindHistogram("absent"), nullptr);
+  EXPECT_EQ(registry.size(), 0u);
+
+  registry.GetGauge("lira.z");
+  EXPECT_NE(registry.FindGauge("lira.z"), nullptr);
+  EXPECT_EQ(registry.FindCounter("lira.z"), nullptr);  // wrong kind
+}
+
+TEST(MetricRegistryTest, NamesAreSortedWithKinds) {
+  MetricRegistry registry;
+  registry.GetGauge("b.gauge");
+  registry.GetCounter("a.counter");
+  registry.GetHistogram("c.hist", 0.0, 1.0, 4);
+  const auto names = registry.Names();
+  ASSERT_EQ(names.size(), 3u);
+  EXPECT_EQ(names[0].first, "a.counter");
+  EXPECT_EQ(names[0].second, MetricKind::kCounter);
+  EXPECT_EQ(names[1].first, "b.gauge");
+  EXPECT_EQ(names[1].second, MetricKind::kGauge);
+  EXPECT_EQ(names[2].first, "c.hist");
+  EXPECT_EQ(names[2].second, MetricKind::kHistogram);
+}
+
+}  // namespace
+}  // namespace lira::telemetry
