@@ -14,7 +14,7 @@
 
 #include "bench/bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace lira;
   World world = bench::MustBuildWorld();
   bench::PrintWorldBanner(
@@ -28,18 +28,36 @@ int main() {
 
   const std::vector<double> zs = {0.3, 0.4, 0.5, 0.6, 0.75, 0.9};
 
+  // All (z, policy) settings are independent runs over the same world:
+  // sweep them concurrently (--threads N; deterministic either way).
+  const std::vector<const LoadSheddingPolicy*> policies = {
+      &random_drop, &uniform, &lira_grid, &lira};
+  std::vector<SimulationJob> jobs;
+  for (double z : zs) {
+    for (const LoadSheddingPolicy* policy : policies) {
+      SimulationJob job;
+      job.world = &world;
+      job.policy = policy;
+      job.config = DefaultSimulationConfig();
+      job.config.z = z;
+      jobs.push_back(job);
+    }
+  }
+  const std::vector<SimulationResult> results =
+      bench::MustRunAll(jobs, bench::ThreadsFromArgs(argc, argv));
+
   struct Row {
     double z;
     SimulationResult drop, uniform, grid, lira;
   };
   std::vector<Row> rows;
-  for (double z : zs) {
+  for (size_t i = 0; i < zs.size(); ++i) {
     Row row;
-    row.z = z;
-    row.drop = bench::MustRun(world, random_drop, z);
-    row.uniform = bench::MustRun(world, uniform, z);
-    row.grid = bench::MustRun(world, lira_grid, z);
-    row.lira = bench::MustRun(world, lira, z);
+    row.z = zs[i];
+    row.drop = results[4 * i];
+    row.uniform = results[4 * i + 1];
+    row.grid = results[4 * i + 2];
+    row.lira = results[4 * i + 3];
     rows.push_back(std::move(row));
   }
 

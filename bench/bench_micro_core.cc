@@ -1,12 +1,23 @@
 // Micro-benchmarks (google-benchmark) of the hot paths: GREEDYINCREMENT,
 // GRIDREDUCE (incl. quad-tree build), statistics-grid maintenance, grid-
-// index updates/queries, dead-reckoning encoding, and the telemetry
-// instruments. These back the "lightweight by design" claim with
-// per-operation numbers.
+// index updates/queries, dead-reckoning encoding, the parallel-for
+// dispatch, and the telemetry instruments. These back the "lightweight by
+// design" claim with per-operation numbers.
+//
+// Besides the console table, the run writes BENCH_micro.json (name ->
+// median real nanoseconds; the plain per-run time when --benchmark_repetitions
+// is not set) so CI can track the perf trajectory across PRs. Override the
+// path with --json PATH.
 
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <string>
 #include <vector>
+
+#include "lira/common/parallel.h"
 
 #include "lira/common/rng.h"
 #include "lira/core/greedy_increment.h"
@@ -196,7 +207,104 @@ void BM_TelemetryScopedTimerLiveSink(benchmark::State& state) {
 }
 BENCHMARK(BM_TelemetryScopedTimerLiveSink);
 
+void BM_ParallelForDispatch(benchmark::State& state) {
+  // Fork-join overhead of one ParallelFor over a node-loop-sized range;
+  // threads=1 measures the serial bypass (a bare function call).
+  ThreadPool pool(static_cast<int32_t>(state.range(0)));
+  std::vector<int64_t> sums(pool.num_threads());
+  for (auto _ : state) {
+    pool.ParallelFor(0, 4000, 256,
+                     [&](int32_t chunk, int64_t begin, int64_t end) {
+                       int64_t s = 0;
+                       for (int64_t i = begin; i < end; ++i) {
+                         s += i;
+                       }
+                       sums[chunk] = s;
+                     });
+    benchmark::DoNotOptimize(sums);
+  }
+  state.SetLabel("threads=" + std::to_string(state.range(0)));
+}
+BENCHMARK(BM_ParallelForDispatch)->Arg(1)->Arg(2)->Arg(4);
+
+/// Console output plus a flat name -> median-ns JSON export. With
+/// aggregate reporting (--benchmark_repetitions) the "median" aggregate
+/// wins; otherwise the single iteration run is recorded.
+class JsonExportReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    benchmark::ConsoleReporter::ReportRuns(runs);
+    for (const Run& run : runs) {
+      if (run.error_occurred) {
+        continue;
+      }
+      const std::string name = run.benchmark_name();
+      const bool is_median = run.run_type == Run::RT_Aggregate &&
+                             run.aggregate_name == "median";
+      if (run.run_type == Run::RT_Iteration &&
+          medians_.find(name) == medians_.end()) {
+        medians_[name] = run.GetAdjustedRealTime();
+      } else if (is_median) {
+        // Aggregate names carry a "_median" suffix; strip it so the key
+        // matches the plain benchmark name across configurations.
+        std::string base = name;
+        const std::string suffix = "_median";
+        if (base.size() > suffix.size() &&
+            base.compare(base.size() - suffix.size(), suffix.size(),
+                         suffix) == 0) {
+          base.resize(base.size() - suffix.size());
+        }
+        medians_[base] = run.GetAdjustedRealTime();
+      }
+    }
+  }
+
+  const std::map<std::string, double>& medians() const { return medians_; }
+
+ private:
+  std::map<std::string, double> medians_;
+};
+
 }  // namespace
 }  // namespace lira
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  std::string json_path = "BENCH_micro.json";
+  std::vector<char*> passthrough;
+  passthrough.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--json") && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      passthrough.push_back(argv[i]);
+    }
+  }
+  int filtered_argc = static_cast<int>(passthrough.size());
+  benchmark::Initialize(&filtered_argc, passthrough.data());
+  if (benchmark::ReportUnrecognizedArguments(filtered_argc,
+                                             passthrough.data())) {
+    return 1;
+  }
+  lira::JsonExportReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+
+  std::ofstream out(json_path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+    return 1;
+  }
+  out << "{\n";
+  bool first = true;
+  for (const auto& [name, ns] : reporter.medians()) {
+    if (!first) {
+      out << ",\n";
+    }
+    first = false;
+    out << "  \"" << name << "\": " << ns;
+  }
+  out << "\n}\n";
+  std::fprintf(stderr, "wrote %s (%zu benchmarks)\n", json_path.c_str(),
+               reporter.medians().size());
+  return 0;
+}

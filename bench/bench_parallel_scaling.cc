@@ -1,0 +1,131 @@
+// Parallel-scaling benchmark (DESIGN.md §7): wall-clock time of one
+// RunSimulation over a large world at increasing thread counts, verifying on
+// the way that every thread count produces a bitwise-identical result (the
+// determinism contract of the parallel engine).
+//
+//   bench_parallel_scaling [--nodes 4000] [--frames 3000]
+//                          [--threads-list 1,2,4,8] [--policy Lira]
+//
+// The acceptance target is >= 2.5x speedup at 8 threads over threads = 1 on
+// an 8-way host for the default 4k-node / 3k-frame configuration. Smaller
+// --nodes/--frames settings are for smoke runs, not for speedup numbers.
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+
+namespace {
+
+std::vector<int32_t> ParseThreadsList(const char* arg) {
+  std::vector<int32_t> out;
+  const char* p = arg;
+  while (*p != '\0') {
+    char* end = nullptr;
+    const long v = std::strtol(p, &end, 10);
+    if (end == p || v < 1) {
+      std::fprintf(stderr, "bad --threads-list entry in '%s'\n", arg);
+      std::exit(2);
+    }
+    out.push_back(static_cast<int32_t>(v));
+    p = (*end == ',') ? end + 1 : end;
+  }
+  return out;
+}
+
+bool SameResult(const lira::SimulationResult& a,
+                const lira::SimulationResult& b) {
+  return a.updates_sent == b.updates_sent &&
+         a.updates_dropped == b.updates_dropped &&
+         a.updates_applied == b.updates_applied && a.final_z == b.final_z &&
+         a.metrics.mean_containment_error ==
+             b.metrics.mean_containment_error &&
+         a.metrics.mean_position_error == b.metrics.mean_position_error &&
+         a.metrics.containment_error_stddev ==
+             b.metrics.containment_error_stddev &&
+         a.final_plan_regions == b.final_plan_regions &&
+         a.final_plan_min_delta == b.final_plan_min_delta &&
+         a.final_plan_max_delta == b.final_plan_max_delta &&
+         a.measured_update_fraction == b.measured_update_fraction;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace lira;
+  int32_t nodes = 4000;
+  int32_t frames = 3000;
+  std::string policy_name = "Lira";
+  std::vector<int32_t> thread_counts = {1, 2, 4, 8};
+  for (int i = 1; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--nodes") && i + 1 < argc) {
+      nodes = std::atoi(argv[++i]);
+    } else if (!std::strcmp(argv[i], "--frames") && i + 1 < argc) {
+      frames = std::atoi(argv[++i]);
+    } else if (!std::strcmp(argv[i], "--threads-list") && i + 1 < argc) {
+      thread_counts = ParseThreadsList(argv[++i]);
+    } else if (!std::strcmp(argv[i], "--policy") && i + 1 < argc) {
+      policy_name = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--nodes N] [--frames F]"
+                   " [--threads-list 1,2,4,8] [--policy NAME]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  World world = bench::MustBuildWorld(QueryDistribution::kProportional, 0.01,
+                                      1000.0, nodes, frames);
+  bench::PrintWorldBanner(world, "=== Parallel scaling: RunSimulation ===");
+  std::printf("host hardware concurrency: %d\n\n",
+              ThreadPool::DefaultThreads());
+
+  auto policy = MakePolicy(policy_name, DefaultLiraConfig());
+  if (!policy.ok()) {
+    std::fprintf(stderr, "%s\n", policy.status().ToString().c_str());
+    return 1;
+  }
+
+  TablePrinter table({"threads", "wall_s", "speedup", "identical"}, 12);
+  table.PrintHeader();
+  double serial_seconds = 0.0;
+  SimulationResult baseline;
+  bool all_identical = true;
+  for (size_t i = 0; i < thread_counts.size(); ++i) {
+    SimulationConfig config = DefaultSimulationConfig();
+    config.z = 0.5;
+    config.threads = thread_counts[i];
+    const auto start = std::chrono::steady_clock::now();
+    SimulationResult result =
+        bench::MustRun(world, **policy, config.z, config);
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+    bool identical = true;
+    if (i == 0) {
+      serial_seconds = seconds;
+      baseline = result;
+    } else {
+      identical = SameResult(baseline, result);
+      all_identical = all_identical && identical;
+    }
+    table.PrintRow({std::to_string(thread_counts[i]),
+                    TablePrinter::Num(seconds, 4),
+                    TablePrinter::Num(serial_seconds / seconds, 3),
+                    identical ? "yes" : "NO"});
+  }
+  if (!all_identical) {
+    std::fprintf(stderr,
+                 "\nFAIL: results differ across thread counts "
+                 "(determinism contract violated)\n");
+    return 1;
+  }
+  std::printf("\nall thread counts produced bitwise-identical results\n");
+  return 0;
+}

@@ -7,7 +7,10 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <vector>
 
+#include "lira/common/parallel.h"
 #include "lira/core/policy.h"
 #include "lira/sim/experiment.h"
 #include "lira/sim/simulation.h"
@@ -61,6 +64,40 @@ inline SimulationResult MustRun(const World& world,
 /// essentially zero near z = 1, which is exactly the paper's point).
 inline double Relative(double err, double base) {
   return err / (base > 1e-12 ? base : 1e-12);
+}
+
+/// Sweep-level parallelism: runs independent jobs concurrently via
+/// lira::RunAll (results in job order, bitwise identical to a serial
+/// sweep); exits on the first failed job. `threads` 0 = hardware
+/// concurrency.
+inline std::vector<SimulationResult> MustRunAll(
+    const std::vector<SimulationJob>& jobs, int32_t threads = 0) {
+  std::vector<StatusOr<SimulationResult>> results = RunAll(jobs, threads);
+  std::vector<SimulationResult> out;
+  out.reserve(results.size());
+  for (size_t j = 0; j < results.size(); ++j) {
+    if (!results[j].ok()) {
+      std::fprintf(stderr, "RunAll job %zu (%s, z=%.2f) failed: %s\n", j,
+                   jobs[j].policy != nullptr ? jobs[j].policy->name().data()
+                                             : "?",
+                   jobs[j].config.z,
+                   results[j].status().ToString().c_str());
+      std::exit(1);
+    }
+    out.push_back(*std::move(results[j]));
+  }
+  return out;
+}
+
+/// Parses `--threads N` from a bench binary's command line (0 = hardware
+/// concurrency, the default); every other flag is left for the caller.
+inline int32_t ThreadsFromArgs(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (!std::strcmp(argv[i], "--threads")) {
+      return static_cast<int32_t>(std::atoi(argv[i + 1]));
+    }
+  }
+  return 0;
 }
 
 inline void PrintWorldBanner(const World& world, const char* title) {

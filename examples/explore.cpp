@@ -7,6 +7,10 @@
 //           [--mobility walk|trips] [--auto-throttle]
 //           [--capacity-fraction 0.5] [--history] [--seed 42]
 //           [--telemetry out.jsonl] [--telemetry-stride 10]
+//           [--threads N]
+//
+// --threads sets the simulation engine's worker count (0 = hardware
+// concurrency, 1 = fully serial); results are identical for any value.
 //
 // Example: explore --policy Lira --z 0.4 --l 100 --fairness 25 --history
 //
@@ -34,7 +38,8 @@ namespace {
       "usage: %s [--policy NAME] [--z Z] [--l L] [--fairness D]\n"
       "          [--nodes N] [--distribution NAME] [--mobility walk|trips]\n"
       "          [--auto-throttle] [--capacity-fraction C] [--history]\n"
-      "          [--seed S] [--telemetry PATH] [--telemetry-stride K]\n",
+      "          [--seed S] [--telemetry PATH] [--telemetry-stride K]\n"
+      "          [--threads N]\n",
       argv0);
   std::exit(2);
 }
@@ -55,6 +60,7 @@ int main(int argc, char** argv) {
   uint64_t seed = 42;
   std::string telemetry_path;
   int32_t telemetry_stride = 10;
+  int32_t threads = 0;
 
   for (int i = 1; i < argc; ++i) {
     auto next = [&](const char* flag) -> const char* {
@@ -106,6 +112,8 @@ int main(int argc, char** argv) {
       telemetry_path = next("--telemetry");
     } else if (!std::strcmp(argv[i], "--telemetry-stride")) {
       telemetry_stride = std::atoi(next("--telemetry-stride"));
+    } else if (!std::strcmp(argv[i], "--threads")) {
+      threads = std::atoi(next("--threads"));
     } else {
       std::fprintf(stderr, "unknown flag %s\n", argv[i]);
       Usage(argv[0]);
@@ -133,6 +141,7 @@ int main(int argc, char** argv) {
   sim.z = z;
   sim.auto_throttle = auto_throttle;
   sim.evaluate_history = history;
+  sim.threads = threads;
   if (capacity_fraction > 0.0) {
     sim.service_rate_override = capacity_fraction * world->full_update_rate;
   }

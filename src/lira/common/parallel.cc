@@ -1,0 +1,120 @@
+#include "lira/common/parallel.h"
+
+#include <algorithm>
+
+#include "lira/common/check.h"
+
+namespace lira {
+
+int32_t ThreadPool::DefaultThreads() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int32_t>(hw) : 1;
+}
+
+ThreadPool::ThreadPool(int32_t num_threads)
+    : num_threads_(std::max<int32_t>(1, num_threads)) {
+  workers_.reserve(static_cast<size_t>(num_threads_) - 1);
+  for (int32_t w = 0; w < num_threads_ - 1; ++w) {
+    workers_.emplace_back([this, w] { WorkerLoop(w); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) {
+    worker.join();
+  }
+}
+
+void ThreadPool::RunChunk(const ChunkFn& fn, int32_t chunk, int64_t begin,
+                          int64_t end) {
+  try {
+    fn(chunk, begin, end);
+  } catch (...) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (first_error_ == nullptr) {
+      first_error_ = std::current_exception();
+    }
+  }
+}
+
+void ThreadPool::WorkerLoop(int32_t worker) {
+  int64_t seen = 0;
+  for (;;) {
+    const ChunkFn* fn = nullptr;
+    int64_t begin = 0;
+    int64_t end = 0;
+    const int32_t chunk = worker + 1;  // chunk 0 runs on the caller
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] { return stop_ || generation_ != seen; });
+      if (stop_) {
+        return;
+      }
+      seen = generation_;
+      if (chunk < static_cast<int32_t>(chunks_.size())) {
+        fn = fn_;
+        begin = chunks_[chunk].first;
+        end = chunks_[chunk].second;
+      }
+    }
+    if (fn != nullptr) {
+      RunChunk(*fn, chunk, begin, end);
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--outstanding_ == 0) {
+        done_cv_.notify_one();
+      }
+    }
+  }
+}
+
+void ThreadPool::ParallelFor(int64_t begin, int64_t end, int64_t grain,
+                             const ChunkFn& fn) {
+  if (begin >= end) {
+    return;
+  }
+  grain = std::max<int64_t>(1, grain);
+  const int64_t range = end - begin;
+  const int64_t max_chunks = (range + grain - 1) / grain;
+  const auto num_chunks = static_cast<int32_t>(
+      std::min<int64_t>(num_threads_, max_chunks));
+  if (num_chunks <= 1) {
+    // Single-thread / single-chunk bypass: no locking, no worker wakeups.
+    fn(0, begin, end);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    LIRA_CHECK(outstanding_ == 0);  // no concurrent / re-entrant dispatch
+    chunks_.resize(num_chunks);
+    for (int32_t c = 0; c < num_chunks; ++c) {
+      chunks_[c] = {begin + range * c / num_chunks,
+                    begin + range * (c + 1) / num_chunks};
+    }
+    fn_ = &fn;
+    first_error_ = nullptr;
+    outstanding_ = num_threads_ - 1;
+    ++generation_;
+  }
+  work_cv_.notify_all();
+  RunChunk(fn, 0, chunks_[0].first, chunks_[0].second);
+  std::exception_ptr error;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [&] { return outstanding_ == 0; });
+    fn_ = nullptr;
+    error = first_error_;
+    first_error_ = nullptr;
+  }
+  if (error != nullptr) {
+    std::rethrow_exception(error);
+  }
+}
+
+}  // namespace lira

@@ -1,0 +1,89 @@
+// Deterministic fork-join parallelism for the simulator (DESIGN.md §7).
+//
+// ThreadPool::ParallelFor statically partitions an index range into at most
+// num_threads() contiguous chunks and assigns chunk c to worker c -- no work
+// stealing, no dynamic scheduling. Because the chunks are contiguous and
+// ascending, concatenating per-chunk output buffers in chunk order
+// reproduces the serial iteration order exactly, so callers that keep one
+// scratch buffer per chunk and merge them in order get results that are
+// bitwise identical for ANY thread count, including 1 (which bypasses the
+// workers entirely and runs the body inline on the calling thread).
+
+#ifndef LIRA_COMMON_PARALLEL_H_
+#define LIRA_COMMON_PARALLEL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace lira {
+
+/// Fixed-size blocking thread pool. The pool spawns num_threads - 1 workers
+/// (the calling thread executes chunk 0), so ThreadPool(1) spawns nothing
+/// and every ParallelFor degenerates to a plain inline loop.
+///
+/// Thread-safety: ParallelFor may only be called from one thread at a time
+/// (the simulator's fork-join structure guarantees this); the chunk function
+/// runs concurrently on up to num_threads() threads and must only touch
+/// disjoint data per chunk or thread-safe shared state.
+class ThreadPool {
+ public:
+  /// Body of one chunk: fn(chunk, begin, end) iterates [begin, end).
+  /// `chunk` is in [0, num_threads()) and identifies the scratch slot.
+  using ChunkFn = std::function<void(int32_t chunk, int64_t begin,
+                                     int64_t end)>;
+
+  /// Hardware concurrency, at least 1 (the "default" of --threads 0).
+  static int32_t DefaultThreads();
+
+  /// `num_threads` is clamped to >= 1.
+  explicit ThreadPool(int32_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int32_t num_threads() const { return num_threads_; }
+
+  /// Blocking parallel loop over [begin, end). The range is split into at
+  /// most num_threads() contiguous ascending chunks of at least `grain`
+  /// indices each (the boundaries depend only on begin/end/grain/
+  /// num_threads()); chunk c runs on worker c and the call returns when all
+  /// chunks have finished. An empty range returns immediately without
+  /// invoking fn; a single chunk (grain >= range or num_threads() == 1)
+  /// runs fn inline on the calling thread without touching the workers.
+  /// The first exception thrown by fn is rethrown here after all chunks
+  /// have joined.
+  void ParallelFor(int64_t begin, int64_t end, int64_t grain,
+                   const ChunkFn& fn);
+
+ private:
+  void WorkerLoop(int32_t worker);
+  void RunChunk(const ChunkFn& fn, int32_t chunk, int64_t begin, int64_t end);
+
+  const int32_t num_threads_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  /// Bumped once per dispatch; workers run when they see a new generation.
+  int64_t generation_ = 0;
+  /// Workers that have not finished the current dispatch.
+  int32_t outstanding_ = 0;
+  bool stop_ = false;
+  const ChunkFn* fn_ = nullptr;
+  /// Chunk c (c >= 1; chunk 0 belongs to the caller) spans
+  /// [chunks_[c].first, chunks_[c].second).
+  std::vector<std::pair<int64_t, int64_t>> chunks_;
+  std::exception_ptr first_error_;
+};
+
+}  // namespace lira
+
+#endif  // LIRA_COMMON_PARALLEL_H_

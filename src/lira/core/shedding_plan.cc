@@ -75,6 +75,12 @@ StatusOr<SheddingPlan> SheddingPlan::Create(
 }
 
 int32_t SheddingPlan::RegionIndexAt(Point p) const {
+  // Uniform plans (Random Drop / Uniform-Delta baselines, and every run
+  // before the first adaptation) have exactly one region covering the
+  // world; skip the locator grid on this per-node hot call.
+  if (regions_.size() == 1) {
+    return 0;
+  }
   p = world_.Clamp(p);
   const auto cx = std::clamp(
       static_cast<int32_t>((p.x - world_.min_x) / cell_w_), 0,
@@ -104,6 +110,9 @@ int32_t SheddingPlan::RegionIndexAt(Point p) const {
 }
 
 double SheddingPlan::DeltaAt(Point p) const {
+  if (regions_.size() == 1) {
+    return regions_.front().delta;
+  }
   return regions_[RegionIndexAt(p)].delta;
 }
 

@@ -24,7 +24,9 @@ struct SheddingRegion {
 
 /// Immutable plan with point -> throttler lookup. Lookup uses a small
 /// locator grid (the paper's mobile nodes employ a tiny 5x5 grid index for
-/// the same purpose, Section 4.3.2).
+/// the same purpose, Section 4.3.2); single-region (uniform) plans skip the
+/// grid entirely. All const methods are safe to call concurrently from
+/// ThreadPool workers -- the plan is immutable after construction.
 class SheddingPlan {
  public:
   /// A single region covering the whole world with one threshold (used by

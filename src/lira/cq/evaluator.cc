@@ -8,16 +8,31 @@ namespace lira {
 
 std::vector<NodeId> SortedRangeQuery(const GridIndex& index,
                                      const Rect& range) {
-  std::vector<NodeId> members = index.RangeQuery(range);
-  std::sort(members.begin(), members.end());
+  std::vector<NodeId> members;
+  SortedRangeQuery(index, range, &members);
   return members;
+}
+
+void SortedRangeQuery(const GridIndex& index, const Rect& range,
+                      std::vector<NodeId>* out) {
+  index.RangeQuery(range, out);
+  std::sort(out->begin(), out->end());
 }
 
 QueryAccuracy CompareQuery(const GridIndex& truth_index,
                            const GridIndex& believed_index,
                            const Rect& range) {
-  const std::vector<NodeId> truth = SortedRangeQuery(truth_index, range);
-  const std::vector<NodeId> believed = SortedRangeQuery(believed_index, range);
+  QueryEvalScratch scratch;
+  return CompareQuery(truth_index, believed_index, range, &scratch);
+}
+
+QueryAccuracy CompareQuery(const GridIndex& truth_index,
+                           const GridIndex& believed_index, const Rect& range,
+                           QueryEvalScratch* scratch) {
+  SortedRangeQuery(truth_index, range, &scratch->truth);
+  SortedRangeQuery(believed_index, range, &scratch->believed);
+  const std::vector<NodeId>& truth = scratch->truth;
+  const std::vector<NodeId>& believed = scratch->believed;
 
   QueryAccuracy acc;
   acc.truth_size = static_cast<int32_t>(truth.size());
@@ -59,12 +74,29 @@ QueryAccuracy CompareQuery(const GridIndex& truth_index,
 
 std::vector<QueryAccuracy> CompareAllQueries(const GridIndex& truth_index,
                                              const GridIndex& believed_index,
-                                             const QueryRegistry& registry) {
-  std::vector<QueryAccuracy> out;
-  out.reserve(registry.size());
-  for (const RangeQuery& q : registry.queries()) {
-    out.push_back(CompareQuery(truth_index, believed_index, q.range));
+                                             const QueryRegistry& registry,
+                                             ThreadPool* pool) {
+  std::vector<QueryAccuracy> out(registry.size());
+  const std::vector<RangeQuery>& queries = registry.queries();
+  if (pool == nullptr || pool->num_threads() <= 1) {
+    QueryEvalScratch scratch;
+    for (size_t q = 0; q < queries.size(); ++q) {
+      out[q] = CompareQuery(truth_index, believed_index, queries[q].range,
+                            &scratch);
+    }
+    return out;
   }
+  std::vector<QueryEvalScratch> scratch(pool->num_threads());
+  pool->ParallelFor(
+      0, static_cast<int64_t>(queries.size()), /*grain=*/1,
+      [&](int32_t chunk, int64_t begin, int64_t end) {
+        for (int64_t q = begin; q < end; ++q) {
+          out[static_cast<size_t>(q)] =
+              CompareQuery(truth_index, believed_index,
+                           queries[static_cast<size_t>(q)].range,
+                           &scratch[chunk]);
+        }
+      });
   return out;
 }
 

@@ -1,10 +1,16 @@
 // Query evaluation and per-query accuracy comparison (paper Section 4.1.1).
+//
+// Everything here only reads the indexes, so evaluation is safe to run
+// concurrently over queries (CompareAllQueries takes an optional ThreadPool
+// and keeps one scratch buffer per worker; results land in per-query slots,
+// so the output is identical for any thread count).
 
 #ifndef LIRA_CQ_EVALUATOR_H_
 #define LIRA_CQ_EVALUATOR_H_
 
 #include <vector>
 
+#include "lira/common/parallel.h"
 #include "lira/cq/query_registry.h"
 #include "lira/index/grid_index.h"
 
@@ -22,9 +28,20 @@ struct QueryAccuracy {
   int32_t believed_size = 0;
 };
 
+/// Reusable result buffers for one evaluation stream (one per worker when
+/// evaluating in parallel); avoids reallocating two vectors per query.
+struct QueryEvalScratch {
+  std::vector<NodeId> truth;
+  std::vector<NodeId> believed;
+};
+
 /// Members of `range` in `index`, sorted by id (for set comparison).
 std::vector<NodeId> SortedRangeQuery(const GridIndex& index,
                                      const Rect& range);
+
+/// As above into a reused buffer (cleared first).
+void SortedRangeQuery(const GridIndex& index, const Rect& range,
+                      std::vector<NodeId>* out);
 
 /// Compares one query's result between the ground-truth index and the
 /// believed (dead-reckoned) index. `truth_index` must contain every node
@@ -32,11 +49,18 @@ std::vector<NodeId> SortedRangeQuery(const GridIndex& index,
 QueryAccuracy CompareQuery(const GridIndex& truth_index,
                            const GridIndex& believed_index, const Rect& range);
 
+/// As above with caller-owned scratch buffers (hot path).
+QueryAccuracy CompareQuery(const GridIndex& truth_index,
+                           const GridIndex& believed_index, const Rect& range,
+                           QueryEvalScratch* scratch);
+
 /// Evaluates every query in the registry; result[i] is the accuracy of
-/// query i.
+/// query i. With a non-null `pool` the queries are mapped over its workers
+/// (the indexes are only read); the result is identical either way.
 std::vector<QueryAccuracy> CompareAllQueries(const GridIndex& truth_index,
                                              const GridIndex& believed_index,
-                                             const QueryRegistry& registry);
+                                             const QueryRegistry& registry,
+                                             ThreadPool* pool = nullptr);
 
 }  // namespace lira
 

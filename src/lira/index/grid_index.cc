@@ -77,9 +77,15 @@ Point GridIndex::PositionOf(NodeId id) const {
 
 std::vector<NodeId> GridIndex::RangeQuery(const Rect& range) const {
   std::vector<NodeId> result;
+  RangeQuery(range, &result);
+  return result;
+}
+
+void GridIndex::RangeQuery(const Rect& range, std::vector<NodeId>* out) const {
+  out->clear();
   const Rect clipped = range.Intersection(world_);
   if (clipped.Area() <= 0.0) {
-    return result;
+    return;
   }
   auto cx0 = static_cast<int32_t>((clipped.min_x - world_.min_x) / cell_w_);
   auto cy0 = static_cast<int32_t>((clipped.min_y - world_.min_y) / cell_h_);
@@ -93,12 +99,11 @@ std::vector<NodeId> GridIndex::RangeQuery(const Rect& range) const {
     for (int32_t cx = cx0; cx <= cx1; ++cx) {
       for (NodeId id : cells_[cy * cells_per_side_ + cx]) {
         if (range.Contains(position_of_[id])) {
-          result.push_back(id);
+          out->push_back(id);
         }
       }
     }
   }
-  return result;
 }
 
 int32_t GridIndex::RangeCount(const Rect& range) const {

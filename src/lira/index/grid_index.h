@@ -43,6 +43,11 @@ class GridIndex {
   /// Ids of all nodes inside `range`, in unspecified order.
   std::vector<NodeId> RangeQuery(const Rect& range) const;
 
+  /// As above, but clears and fills `*out` instead of allocating a fresh
+  /// vector -- the per-sample, per-query evaluation loop reuses one buffer
+  /// across calls. Safe to call concurrently with other const methods.
+  void RangeQuery(const Rect& range, std::vector<NodeId>* out) const;
+
   /// Number of nodes inside `range` (no allocation).
   int32_t RangeCount(const Rect& range) const;
 

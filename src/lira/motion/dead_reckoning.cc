@@ -27,7 +27,7 @@ std::optional<ModelUpdate> DeadReckoningEncoder::Observe(
   }
   models_[id] = LinearMotionModel::FromSample(sample);
   has_model_[id] = 1;
-  ++updates_emitted_;
+  updates_emitted_.fetch_add(1, std::memory_order_relaxed);
   return ModelUpdate{id, models_[id]};
 }
 
@@ -48,7 +48,7 @@ void PositionTracker::Apply(const ModelUpdate& update) {
   LIRA_DCHECK(update.node_id >= 0 && update.node_id < num_nodes());
   models_[update.node_id] = update.model;
   has_model_[update.node_id] = 1;
-  ++updates_applied_;
+  updates_applied_.fetch_add(1, std::memory_order_relaxed);
 }
 
 std::optional<Point> PositionTracker::PredictAt(NodeId id, double t) const {

@@ -3,6 +3,7 @@
 #ifndef LIRA_MOTION_DEAD_RECKONING_H_
 #define LIRA_MOTION_DEAD_RECKONING_H_
 
+#include <atomic>
 #include <cstdint>
 #include <optional>
 #include <vector>
@@ -21,10 +22,19 @@ namespace lira {
 /// whether the server later drops the message -- mobile nodes get no
 /// feedback about server-side drops, which is exactly why random dropping is
 /// so harmful (Section 1).
+///
+/// Thread-safety: Observe may run concurrently for *disjoint* node ids
+/// (the simulator's ParallelFor partitions by id); the emitted-update
+/// counter is a relaxed atomic so the total stays exact.
 class DeadReckoningEncoder {
  public:
   /// `num_nodes` nodes with ids 0..num_nodes-1, none having reported yet.
   explicit DeadReckoningEncoder(int32_t num_nodes);
+
+  DeadReckoningEncoder(DeadReckoningEncoder&& other) noexcept
+      : models_(std::move(other.models_)),
+        has_model_(std::move(other.has_model_)),
+        updates_emitted_(other.updates_emitted_.load()) {}
 
   /// Observes the true state of a node; returns the update to transmit, if
   /// any. The first observation of a node always produces an update.
@@ -32,7 +42,7 @@ class DeadReckoningEncoder {
                                      double delta);
 
   /// Number of updates emitted so far.
-  int64_t updates_emitted() const { return updates_emitted_; }
+  int64_t updates_emitted() const { return updates_emitted_.load(); }
 
   int32_t num_nodes() const { return static_cast<int32_t>(models_.size()); }
 
@@ -43,14 +53,22 @@ class DeadReckoningEncoder {
  private:
   std::vector<LinearMotionModel> models_;
   std::vector<char> has_model_;
-  int64_t updates_emitted_ = 0;
+  std::atomic<int64_t> updates_emitted_{0};
 };
 
 /// Server-side tracker: the server's belief about node positions, built from
 /// the ModelUpdates that survived the network and the input queue.
+///
+/// Thread-safety: like the encoder, Apply is safe for concurrent disjoint
+/// node ids; the applied-update counter is a relaxed atomic.
 class PositionTracker {
  public:
   explicit PositionTracker(int32_t num_nodes);
+
+  PositionTracker(PositionTracker&& other) noexcept
+      : models_(std::move(other.models_)),
+        has_model_(std::move(other.has_model_)),
+        updates_applied_(other.updates_applied_.load()) {}
 
   void Apply(const ModelUpdate& update);
 
@@ -64,7 +82,7 @@ class PositionTracker {
     return id >= 0 && id < num_nodes() && has_model_[id] != 0;
   }
   int32_t num_nodes() const { return static_cast<int32_t>(models_.size()); }
-  int64_t updates_applied() const { return updates_applied_; }
+  int64_t updates_applied() const { return updates_applied_.load(); }
 
   /// Believed positions of all reported nodes at time t, as (id, position).
   std::vector<std::pair<NodeId, Point>> PredictAllAt(double t) const;
@@ -72,7 +90,7 @@ class PositionTracker {
  private:
   std::vector<LinearMotionModel> models_;
   std::vector<char> has_model_;
-  int64_t updates_applied_ = 0;
+  std::atomic<int64_t> updates_applied_{0};
 };
 
 }  // namespace lira

@@ -94,8 +94,12 @@ StatusOr<CqServer> CqServer::Create(const CqServerConfig& config,
 }
 
 void CqServer::Receive(std::vector<ModelUpdate> updates) {
-  const auto arrived = static_cast<int64_t>(updates.size());
-  const int64_t dropped = queue_.OfferAll(std::move(updates));
+  ReceiveBatch(&updates);
+}
+
+void CqServer::ReceiveBatch(std::vector<ModelUpdate>* updates) {
+  const auto arrived = static_cast<int64_t>(updates->size());
+  const int64_t dropped = queue_.OfferAll(updates);
   if (config_.telemetry != nullptr) {
     UpdateQueueTelemetry(arrived, dropped);
   }

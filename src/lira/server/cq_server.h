@@ -92,6 +92,11 @@ class CqServer {
   /// Enqueues a batch of arriving position updates (drops when full).
   void Receive(std::vector<ModelUpdate> updates);
 
+  /// As Receive, but consumes `*updates` in place (shuffled, elements moved
+  /// from) so the caller can clear and reuse the buffer's capacity across
+  /// ticks -- the simulator's frame loop calls this every frame.
+  void ReceiveBatch(std::vector<ModelUpdate>* updates);
+
   /// Advances the server clock by dt seconds: services the queue and runs
   /// the adaptation step when the period elapses.
   Status Tick(double dt);

@@ -17,7 +17,7 @@ void HistoryStore::Record(const ModelUpdate& update) {
                        update.model.velocity};
   if (records.empty() || records.back().t0 < record.t0) {
     records.push_back(record);
-    ++total_records_;
+    total_records_.fetch_add(1, std::memory_order_relaxed);
     return;
   }
   // Out-of-order or duplicate timestamp: keep the list sorted by t0.
@@ -28,7 +28,7 @@ void HistoryStore::Record(const ModelUpdate& update) {
     *it = record;
   } else {
     records.insert(it, record);
-    ++total_records_;
+    total_records_.fetch_add(1, std::memory_order_relaxed);
   }
 }
 
@@ -65,7 +65,7 @@ int64_t HistoryStore::RecordsFor(NodeId id) const {
 }
 
 int64_t HistoryStore::ApproxBytes() const {
-  return total_records_ * static_cast<int64_t>(sizeof(Record_)) +
+  return total_records() * static_cast<int64_t>(sizeof(Record_)) +
          static_cast<int64_t>(history_.size()) *
              static_cast<int64_t>(sizeof(std::vector<Record_>));
 }

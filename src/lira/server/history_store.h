@@ -15,6 +15,7 @@
 #ifndef LIRA_SERVER_HISTORY_STORE_H_
 #define LIRA_SERVER_HISTORY_STORE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <optional>
 #include <vector>
@@ -26,9 +27,17 @@
 namespace lira {
 
 /// Append-mostly per-node model history with point-in-time reconstruction.
+///
+/// Thread-safety: Record is safe for concurrent *disjoint* node ids (the
+/// per-node lists are independent; the total-record counter is a relaxed
+/// atomic). Queries must not run concurrently with records.
 class HistoryStore {
  public:
   explicit HistoryStore(int32_t num_nodes);
+
+  HistoryStore(HistoryStore&& other) noexcept
+      : history_(std::move(other.history_)),
+        total_records_(other.total_records_.load()) {}
 
   /// Records an applied update. Out-of-order records (older t0 than the
   /// node's latest) are inserted at their sorted position; a record with a
@@ -45,7 +54,7 @@ class HistoryStore {
   std::vector<NodeId> RangeAt(const Rect& range, double t) const;
 
   int32_t num_nodes() const { return static_cast<int32_t>(history_.size()); }
-  int64_t total_records() const { return total_records_; }
+  int64_t total_records() const { return total_records_.load(); }
   /// Records stored for one node.
   int64_t RecordsFor(NodeId id) const;
   /// Approximate memory footprint in bytes.
@@ -59,7 +68,7 @@ class HistoryStore {
   };
 
   std::vector<std::vector<Record_>> history_;
-  int64_t total_records_ = 0;
+  std::atomic<int64_t> total_records_{0};
 };
 
 }  // namespace lira

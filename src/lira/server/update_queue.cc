@@ -13,18 +13,22 @@ StatusOr<UpdateQueue> UpdateQueue::Create(size_t capacity, uint64_t seed) {
 }
 
 int64_t UpdateQueue::OfferAll(std::vector<ModelUpdate> updates) {
+  return OfferAll(&updates);
+}
+
+int64_t UpdateQueue::OfferAll(std::vector<ModelUpdate>* updates) {
   // Fisher-Yates shuffle so tail drops pick a uniform random subset of the
   // tick's arrivals.
-  for (size_t i = updates.size(); i > 1; --i) {
+  for (size_t i = updates->size(); i > 1; --i) {
     const size_t j = rng_.UniformInt(i);
-    std::swap(updates[i - 1], updates[j]);
+    std::swap((*updates)[i - 1], (*updates)[j]);
   }
   const int64_t dropped_before = queue_.dropped();
-  for (ModelUpdate& update : updates) {
+  for (ModelUpdate& update : *updates) {
     queue_.TryPush(std::move(update));
   }
-  total_arrivals_ += static_cast<int64_t>(updates.size());
-  window_arrivals_ += static_cast<int64_t>(updates.size());
+  total_arrivals_ += static_cast<int64_t>(updates->size());
+  window_arrivals_ += static_cast<int64_t>(updates->size());
   const int64_t dropped = queue_.dropped() - dropped_before;
   window_dropped_ += dropped;
   high_watermark_ = std::max(high_watermark_, queue_.size());

@@ -26,6 +26,11 @@ class UpdateQueue {
   /// many were dropped because the queue was full.
   int64_t OfferAll(std::vector<ModelUpdate> updates);
 
+  /// As above, but consumes the batch in place (it is shuffled and its
+  /// elements moved from; the caller clears and reuses the buffer, keeping
+  /// its capacity across ticks).
+  int64_t OfferAll(std::vector<ModelUpdate>* updates);
+
   /// Dequeues up to `max_count` updates in FIFO order.
   std::vector<ModelUpdate> Drain(int64_t max_count);
 

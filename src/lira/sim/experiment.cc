@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "lira/common/check.h"
+#include "lira/common/parallel.h"
 
 namespace lira {
 
@@ -42,6 +43,32 @@ LiraConfig DefaultLiraConfig() {
   config.use_speed_factor = true;
   config.locator_cells = 32;
   return config;
+}
+
+std::vector<StatusOr<SimulationResult>> RunAll(
+    const std::vector<SimulationJob>& jobs, int32_t threads) {
+  ThreadPool pool(threads > 0 ? threads : ThreadPool::DefaultThreads());
+  std::vector<StatusOr<SimulationResult>> results(
+      jobs.size(), InternalError("job did not run"));
+  pool.ParallelFor(
+      0, static_cast<int64_t>(jobs.size()), /*grain=*/1,
+      [&](int32_t /*chunk*/, int64_t begin, int64_t end) {
+        for (int64_t j = begin; j < end; ++j) {
+          const SimulationJob& job = jobs[static_cast<size_t>(j)];
+          if (job.world == nullptr || job.policy == nullptr) {
+            results[static_cast<size_t>(j)] =
+                InvalidArgumentError("job world/policy must be non-null");
+            continue;
+          }
+          SimulationConfig config = job.config;
+          if (pool.num_threads() > 1 && config.threads == 0) {
+            config.threads = 1;
+          }
+          results[static_cast<size_t>(j)] =
+              RunSimulation(*job.world, *job.policy, config);
+        }
+      });
+  return results;
 }
 
 TablePrinter::TablePrinter(std::vector<std::string> headers, int width)

@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "lira/core/policy.h"
 #include "lira/sim/simulation.h"
 #include "lira/sim/world.h"
 
@@ -26,6 +27,25 @@ SimulationConfig DefaultSimulationConfig();
 /// Default LIRA parameters (paper Table 2): l = 250, alpha = 128,
 /// c_delta = 1 m, fairness 50 m, speed factor on.
 LiraConfig DefaultLiraConfig();
+
+/// One (world, policy, config) run of a sweep. The world and policy are
+/// borrowed and may be shared across jobs (RunSimulation only reads them);
+/// each job that wants telemetry must carry its own sink.
+struct SimulationJob {
+  const World* world = nullptr;
+  const LoadSheddingPolicy* policy = nullptr;
+  SimulationConfig config;
+};
+
+/// Runs independent simulation jobs concurrently on `threads` workers
+/// (0 = hardware concurrency). Results arrive in job order regardless of
+/// scheduling, and each job is itself bitwise deterministic, so the output
+/// matches a serial sweep exactly. When the sweep runs on more than one
+/// worker, jobs that left `config.threads` at the 0 default are forced to
+/// run single-threaded internally so the two levels of parallelism do not
+/// multiply; an explicit per-job thread count is respected.
+std::vector<StatusOr<SimulationResult>> RunAll(
+    const std::vector<SimulationJob>& jobs, int32_t threads = 0);
 
 /// Fixed-width table printing for bench output.
 class TablePrinter {

@@ -4,8 +4,10 @@
 #include <utility>
 #include <vector>
 
+#include "lira/common/parallel.h"
 #include "lira/common/rng.h"
 #include "lira/common/stats.h"
+#include "lira/cq/evaluator.h"
 #include "lira/index/grid_index.h"
 #include "lira/motion/dead_reckoning.h"
 #include "lira/server/cq_server.h"
@@ -26,6 +28,9 @@ StatusOr<SimulationResult> RunSimulation(const World& world,
   }
   if (config.telemetry_stride < 1) {
     return InvalidArgumentError("telemetry_stride must be >= 1");
+  }
+  if (config.threads < 0) {
+    return InvalidArgumentError("threads must be >= 0");
   }
 
   CqServerConfig server_config;
@@ -90,34 +95,67 @@ StatusOr<SimulationResult> RunSimulation(const World& world,
   int64_t measured_updates = 0;
   int64_t measured_frames = 0;
 
+  // Parallel execution (DESIGN.md §7): the per-frame node loop and the
+  // accuracy-sampling pass are split over a deterministic fork-join pool.
+  // threads == 1 (or a 0 default on a single-core host) bypasses the pool.
+  ThreadPool pool(config.threads > 0 ? config.threads
+                                     : ThreadPool::DefaultThreads());
+  const int64_t num_nodes = world.num_nodes();
+  constexpr int64_t kNodeGrain = 256;
+  // Per-worker scratch, hoisted out of the frame loop and reused (clear
+  // keeps the capacity): emitted updates per chunk, merged into `batch` in
+  // chunk order == node order, so the server sees the exact serial batch.
+  std::vector<std::vector<ModelUpdate>> batch_scratch(pool.num_threads());
+  std::vector<ModelUpdate> batch;
+  // Two-phase accuracy sampling: workers write per-node slots (no shared
+  // mutation), then the index updates are applied serially in id order.
+  std::vector<Point> truth_positions(num_nodes);
+  std::vector<Point> believed_positions(num_nodes);
+  std::vector<char> believed_known(num_nodes, 0);
+  const double delta_min = world.reduction.delta_min();
+
   for (int32_t frame = 0; frame < trace.num_frames(); ++frame) {
     const double t = trace.TimeOf(frame);
     const SheddingPlan& plan = server->plan();
 
     // Node side: every node checks its deviation against the throttler of
-    // its current shedding region and transmits when it exceeds it.
-    std::vector<ModelUpdate> batch;
-    for (NodeId id = 0; id < world.num_nodes(); ++id) {
-      const PositionSample sample = trace.Sample(frame, id);
-      const double delta = plan.DeltaAt(sample.position);
-      auto update = encoder.Observe(sample, delta);
-      if (update.has_value()) {
-        batch.push_back(*update);
-      }
-      auto reference_update =
-          reference_encoder.Observe(sample, world.reduction.delta_min());
-      if (reference_update.has_value()) {
-        reference_tracker.Apply(*reference_update);
-        if (config.evaluate_history) {
-          reference_history.Record(*reference_update);
-        }
-      }
+    // its current shedding region and transmits when it exceeds it. Chunks
+    // own disjoint id ranges: encoder/tracker/history state is per-node,
+    // the plan is immutable, and counters are atomic.
+    for (std::vector<ModelUpdate>& chunk_out : batch_scratch) {
+      chunk_out.clear();
+    }
+    pool.ParallelFor(
+        0, num_nodes, kNodeGrain,
+        [&](int32_t chunk, int64_t chunk_begin, int64_t chunk_end) {
+          std::vector<ModelUpdate>& out = batch_scratch[chunk];
+          for (int64_t id = chunk_begin; id < chunk_end; ++id) {
+            const auto node = static_cast<NodeId>(id);
+            const PositionSample sample = trace.Sample(frame, node);
+            const double delta = plan.DeltaAt(sample.position);
+            auto update = encoder.Observe(sample, delta);
+            if (update.has_value()) {
+              out.push_back(*update);
+            }
+            auto reference_update = reference_encoder.Observe(sample,
+                                                              delta_min);
+            if (reference_update.has_value()) {
+              reference_tracker.Apply(*reference_update);
+              if (config.evaluate_history) {
+                reference_history.Record(*reference_update);
+              }
+            }
+          }
+        });
+    batch.clear();
+    for (const std::vector<ModelUpdate>& chunk_out : batch_scratch) {
+      batch.insert(batch.end(), chunk_out.begin(), chunk_out.end());
     }
     if (frame >= config.warmup_frames) {
       measured_updates += static_cast<int64_t>(batch.size());
       ++measured_frames;
     }
-    server->Receive(std::move(batch));
+    server->ReceiveBatch(&batch);
     LIRA_RETURN_IF_ERROR(server->Tick(trace.dt()));
 
     // Telemetry sampling: the z / queue-depth trajectory plus cumulative
@@ -133,22 +171,39 @@ StatusOr<SimulationResult> RunSimulation(const World& world,
                 static_cast<double>(server->queue().total_dropped()));
     }
 
-    // Accuracy sampling.
+    // Accuracy sampling: phase one predicts every node's reference and
+    // believed position into per-node slots (parallel, no shared writes),
+    // phase two applies them to the snapshot indexes serially in id order
+    // (the grid's cell buckets are shared), then the per-query comparison
+    // maps over the pool with read-only index access.
     if (frame >= config.warmup_frames &&
         (frame - config.warmup_frames) % config.sample_every == 0) {
       const PositionTracker& tracker = server->tracker();
+      pool.ParallelFor(
+          0, num_nodes, kNodeGrain,
+          [&](int32_t /*chunk*/, int64_t chunk_begin, int64_t chunk_end) {
+            for (int64_t id = chunk_begin; id < chunk_end; ++id) {
+              const auto node = static_cast<NodeId>(id);
+              const auto reference = reference_tracker.PredictAt(node, t);
+              truth_positions[id] =
+                  reference.value_or(trace.Position(frame, node));
+              const auto believed = tracker.PredictAt(node, t);
+              believed_known[id] = believed.has_value() ? 1 : 0;
+              if (believed.has_value()) {
+                believed_positions[id] = *believed;
+              }
+            }
+          });
       for (NodeId id = 0; id < world.num_nodes(); ++id) {
-        const auto reference = reference_tracker.PredictAt(id, t);
-        truth_index->Update(id, reference.value_or(trace.Position(frame, id)));
-        const auto believed = tracker.PredictAt(id, t);
-        if (believed.has_value()) {
-          believed_index->Update(id, *believed);
+        truth_index->Update(id, truth_positions[id]);
+        if (believed_known[id] != 0) {
+          believed_index->Update(id, believed_positions[id]);
         } else {
           believed_index->Remove(id);
         }
       }
-      metrics.AddSample(
-          CompareAllQueries(*truth_index, *believed_index, world.queries));
+      metrics.AddSample(CompareAllQueries(*truth_index, *believed_index,
+                                          world.queries, &pool));
     }
   }
 

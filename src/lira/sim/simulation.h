@@ -61,6 +61,12 @@ struct SimulationConfig {
   /// Frames between telemetry samples. The default keeps the instrumented
   /// overhead well under 2% of the frame loop.
   int32_t telemetry_stride = 10;
+  /// Worker threads for the per-frame node loop and the accuracy-sampling
+  /// pass (DESIGN.md §7). 0 means hardware concurrency; 1 runs fully
+  /// serial, bypassing the pool. The result is bitwise identical for every
+  /// thread count -- parallel output is merged in deterministic node/query
+  /// order -- so this knob trades wall-clock time only.
+  int32_t threads = 0;
   uint64_t seed = 99;
 };
 

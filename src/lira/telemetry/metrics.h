@@ -9,12 +9,18 @@
 // Instruments are owned by a MetricRegistry and addressed by dotted names
 // following the scheme `lira.<layer>.<metric>` (DESIGN.md "Telemetry").
 // Lookup is a map access; call sites on hot paths should resolve the
-// pointer once and cache it. Everything here is single-threaded, like the
-// rest of the simulator.
+// pointer once and cache it.
+//
+// Thread-safety: Counter and Gauge use relaxed atomics, so resolved
+// instrument pointers may be touched from ThreadPool workers (DESIGN.md §7).
+// Histogram, the registry itself (instrument creation/lookup), and the
+// event-stream layer remain single-threaded -- they are only used from the
+// serial adaptation loop and from per-run sinks.
 
 #ifndef LIRA_TELEMETRY_METRICS_H_
 #define LIRA_TELEMETRY_METRICS_H_
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <map>
@@ -25,24 +31,27 @@
 
 namespace lira::telemetry {
 
-/// Monotone counter.
+/// Monotone counter; increments are safe from concurrent threads.
 class Counter {
  public:
-  void Increment(int64_t n = 1) { value_ += n; }
-  int64_t value() const { return value_; }
+  void Increment(int64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
 
  private:
-  int64_t value_ = 0;
+  std::atomic<int64_t> value_{0};
 };
 
-/// Last-value-wins sample.
+/// Last-value-wins sample; sets are safe from concurrent threads (one of
+/// the racing values wins).
 class Gauge {
  public:
-  void Set(double v) { value_ = v; }
-  double value() const { return value_; }
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
 
  private:
-  double value_ = 0.0;
+  std::atomic<double> value_{0.0};
 };
 
 /// Fixed-bucket histogram over [lo, hi); out-of-range samples clamp into

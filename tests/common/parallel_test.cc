@@ -1,0 +1,147 @@
+#include "lira/common/parallel.h"
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace lira {
+namespace {
+
+TEST(ThreadPoolTest, DefaultThreadsAtLeastOne) {
+  EXPECT_GE(ThreadPool::DefaultThreads(), 1);
+}
+
+TEST(ThreadPoolTest, ClampsThreadCountToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 1);
+  ThreadPool negative(-3);
+  EXPECT_EQ(negative.num_threads(), 1);
+}
+
+TEST(ThreadPoolTest, EmptyRangeNeverInvokesBody) {
+  ThreadPool pool(4);
+  int calls = 0;
+  pool.ParallelFor(0, 0, 1, [&](int32_t, int64_t, int64_t) { ++calls; });
+  pool.ParallelFor(10, 10, 1, [&](int32_t, int64_t, int64_t) { ++calls; });
+  pool.ParallelFor(10, 5, 1, [&](int32_t, int64_t, int64_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ThreadPoolTest, GrainLargerThanRangeRunsSingleInlineChunk) {
+  ThreadPool pool(4);
+  const std::thread::id caller = std::this_thread::get_id();
+  int calls = 0;
+  pool.ParallelFor(3, 10, 100, [&](int32_t chunk, int64_t begin, int64_t end) {
+    ++calls;
+    EXPECT_EQ(chunk, 0);
+    EXPECT_EQ(begin, 3);
+    EXPECT_EQ(end, 10);
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ThreadPoolTest, SingleThreadPoolRunsInline) {
+  ThreadPool pool(1);
+  const std::thread::id caller = std::this_thread::get_id();
+  int64_t covered = 0;
+  pool.ParallelFor(0, 1000, 1, [&](int32_t chunk, int64_t begin, int64_t end) {
+    EXPECT_EQ(chunk, 0);
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    covered += end - begin;
+  });
+  EXPECT_EQ(covered, 1000);
+}
+
+// Chunks must be contiguous, ascending, and cover [begin, end) exactly, and
+// chunk ids must match the partition order -- that is the determinism
+// contract callers rely on when merging per-chunk scratch in chunk order.
+TEST(ThreadPoolTest, ChunksAreContiguousAscendingAndDisjoint) {
+  ThreadPool pool(4);
+  for (int64_t range : {1, 7, 64, 1000, 1001}) {
+    std::mutex mu;
+    std::vector<std::pair<int64_t, int64_t>> spans(pool.num_threads(),
+                                                   {-1, -1});
+    pool.ParallelFor(5, 5 + range, 1,
+                     [&](int32_t chunk, int64_t begin, int64_t end) {
+                       std::lock_guard<std::mutex> lock(mu);
+                       ASSERT_GE(chunk, 0);
+                       ASSERT_LT(chunk, pool.num_threads());
+                       ASSERT_EQ(spans[chunk].first, -1) << "chunk ran twice";
+                       spans[chunk] = {begin, end};
+                     });
+    int64_t expect_begin = 5;
+    for (const auto& span : spans) {
+      if (span.first == -1) continue;
+      EXPECT_EQ(span.first, expect_begin);
+      EXPECT_GT(span.second, span.first);
+      expect_begin = span.second;
+    }
+    EXPECT_EQ(expect_begin, 5 + range);
+  }
+}
+
+TEST(ThreadPoolTest, SumMatchesSerialForAnyThreadCount) {
+  constexpr int64_t kN = 4096;
+  std::vector<int64_t> values(kN);
+  std::iota(values.begin(), values.end(), 1);
+  const int64_t expected =
+      std::accumulate(values.begin(), values.end(), int64_t{0});
+  for (int32_t threads : {1, 2, 3, 8}) {
+    ThreadPool pool(threads);
+    std::vector<int64_t> partial(pool.num_threads(), 0);
+    pool.ParallelFor(0, kN, 64,
+                     [&](int32_t chunk, int64_t begin, int64_t end) {
+                       for (int64_t i = begin; i < end; ++i) {
+                         partial[chunk] += values[i];
+                       }
+                     });
+    EXPECT_EQ(std::accumulate(partial.begin(), partial.end(), int64_t{0}),
+              expected)
+        << "threads=" << threads;
+  }
+}
+
+TEST(ThreadPoolTest, ExceptionPropagatesFromInlineChunk) {
+  ThreadPool pool(1);
+  EXPECT_THROW(pool.ParallelFor(0, 10, 1,
+                                [](int32_t, int64_t, int64_t) {
+                                  throw std::runtime_error("inline failure");
+                                }),
+               std::runtime_error);
+}
+
+TEST(ThreadPoolTest, ExceptionPropagatesFromWorkerChunk) {
+  ThreadPool pool(4);
+  // Throw only from a non-zero chunk so the error must cross threads.
+  auto body = [](int32_t chunk, int64_t, int64_t) {
+    if (chunk > 0) throw std::runtime_error("worker failure");
+  };
+  EXPECT_THROW(pool.ParallelFor(0, 1000, 1, body), std::runtime_error);
+  // The pool must stay usable after an exception.
+  std::atomic<int64_t> covered{0};
+  pool.ParallelFor(0, 100, 1, [&](int32_t, int64_t begin, int64_t end) {
+    covered.fetch_add(end - begin, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(covered.load(), 100);
+}
+
+TEST(ThreadPoolTest, RepeatedDispatchesCoverRange) {
+  ThreadPool pool(3);
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<int64_t> covered{0};
+    pool.ParallelFor(0, 997, 10, [&](int32_t, int64_t begin, int64_t end) {
+      covered.fetch_add(end - begin, std::memory_order_relaxed);
+    });
+    ASSERT_EQ(covered.load(), 997) << "round " << round;
+  }
+}
+
+}  // namespace
+}  // namespace lira

@@ -104,5 +104,55 @@ TEST(EvaluatorTest, CompareAllQueriesOrdersResults) {
   EXPECT_DOUBLE_EQ(all[1].containment_error, 0.0);
 }
 
+TEST(EvaluatorTest, ScratchOverloadMatchesPlainCompare) {
+  GridIndex truth = MakeIndex();
+  GridIndex believed = MakeIndex();
+  truth.Update(0, {10.0, 10.0});
+  truth.Update(1, {12.0, 10.0});
+  believed.Update(0, {80.0, 80.0});
+  believed.Update(1, {12.0, 10.0});
+  const Rect range{0, 0, 30, 30};
+  QueryEvalScratch scratch;
+  scratch.truth = {42};  // stale contents must not leak into the result
+  const QueryAccuracy plain = CompareQuery(truth, believed, range);
+  const QueryAccuracy reused = CompareQuery(truth, believed, range, &scratch);
+  EXPECT_DOUBLE_EQ(reused.containment_error, plain.containment_error);
+  EXPECT_DOUBLE_EQ(reused.position_error, plain.position_error);
+  EXPECT_EQ(reused.truth_size, plain.truth_size);
+  EXPECT_EQ(reused.believed_size, plain.believed_size);
+}
+
+TEST(EvaluatorTest, ParallelCompareAllQueriesMatchesSerial) {
+  auto truth_or = GridIndex::Create(kWorld, 8, 200);
+  auto believed_or = GridIndex::Create(kWorld, 8, 200);
+  ASSERT_TRUE(truth_or.ok());
+  ASSERT_TRUE(believed_or.ok());
+  GridIndex truth = *std::move(truth_or);
+  GridIndex believed = *std::move(believed_or);
+  for (NodeId id = 0; id < 200; ++id) {
+    const double x = 0.5 * id;
+    truth.Update(id, {x, 50.0});
+    believed.Update(id, {x + (id % 7 == 0 ? 6.0 : 0.0), 50.0});
+  }
+  QueryRegistry registry;
+  for (int i = 0; i < 23; ++i) {
+    const double x0 = 4.0 * i;
+    registry.Add(Rect{x0, 40.0, x0 + 10.0, 60.0});
+  }
+  const auto serial = CompareAllQueries(truth, believed, registry);
+  ThreadPool pool(4);
+  const auto parallel = CompareAllQueries(truth, believed, registry, &pool);
+  ASSERT_EQ(parallel.size(), serial.size());
+  for (size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(parallel[i].containment_error, serial[i].containment_error)
+        << "query " << i;
+    EXPECT_EQ(parallel[i].position_error, serial[i].position_error)
+        << "query " << i;
+    EXPECT_EQ(parallel[i].truth_size, serial[i].truth_size) << "query " << i;
+    EXPECT_EQ(parallel[i].believed_size, serial[i].believed_size)
+        << "query " << i;
+  }
+}
+
 }  // namespace
 }  // namespace lira

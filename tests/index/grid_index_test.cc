@@ -90,6 +90,22 @@ TEST(GridIndexTest, RangeQueryAgainstBruteForce) {
   }
 }
 
+TEST(GridIndexTest, RangeQueryOutParamMatchesReturningOverload) {
+  GridIndex index = MakeIndex(/*cells=*/16, /*nodes=*/200);
+  Rng rng(31);
+  for (NodeId id = 0; id < 200; ++id) {
+    index.Update(id, {rng.Uniform(0.0, 100.0), rng.Uniform(0.0, 100.0)});
+  }
+  std::vector<NodeId> out = {999, 998};  // stale contents must be cleared
+  for (int trial = 0; trial < 20; ++trial) {
+    const double x0 = rng.Uniform(0.0, 80.0);
+    const double y0 = rng.Uniform(0.0, 80.0);
+    const Rect range{x0, y0, x0 + 20.0, y0 + 20.0};
+    index.RangeQuery(range, &out);
+    EXPECT_EQ(out, index.RangeQuery(range)) << "trial " << trial;
+  }
+}
+
 TEST(GridIndexTest, QueryOutsideWorldIsEmpty) {
   GridIndex index = MakeIndex();
   index.Update(0, {50.0, 50.0});

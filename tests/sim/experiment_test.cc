@@ -1,5 +1,7 @@
 #include "lira/sim/experiment.h"
 
+#include <vector>
+
 #include <gtest/gtest.h>
 
 namespace lira {
@@ -33,6 +35,76 @@ TEST(DefaultConfigTest, SimulationConfigIsSane) {
   EXPECT_EQ(config.alpha, 128);
   EXPECT_GT(config.warmup_frames, 0);
   EXPECT_GE(config.adaptation_period, 1.0);
+}
+
+TEST(RunAllTest, MatchesIndividualRunsAtAnySweepWidth) {
+  WorldConfig world_config = DefaultWorldConfig(/*num_nodes=*/300);
+  world_config.trace_frames = 240;
+  auto world = BuildWorld(world_config);
+  ASSERT_TRUE(world.ok());
+
+  const UniformDeltaPolicy uniform;
+  const RandomDropPolicy random_drop;
+  const std::vector<const LoadSheddingPolicy*> policies = {&uniform,
+                                                           &random_drop};
+  std::vector<SimulationJob> jobs;
+  for (double z : {0.4, 0.7}) {
+    for (const LoadSheddingPolicy* policy : policies) {
+      SimulationJob job;
+      job.world = &*world;
+      job.policy = policy;
+      job.config = DefaultSimulationConfig();
+      job.config.warmup_frames = 80;
+      job.config.z = z;
+      jobs.push_back(job);
+    }
+  }
+
+  const auto serial = RunAll(jobs, /*threads=*/1);
+  const auto parallel = RunAll(jobs, /*threads=*/4);
+  ASSERT_EQ(serial.size(), jobs.size());
+  ASSERT_EQ(parallel.size(), jobs.size());
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    ASSERT_TRUE(serial[i].ok()) << "job " << i;
+    ASSERT_TRUE(parallel[i].ok()) << "job " << i;
+    auto direct = RunSimulation(*jobs[i].world, *jobs[i].policy,
+                                jobs[i].config);
+    ASSERT_TRUE(direct.ok()) << "job " << i;
+    for (const SimulationResult* result :
+         {&*serial[i], &*parallel[i]}) {
+      EXPECT_EQ(result->updates_sent, direct->updates_sent) << "job " << i;
+      EXPECT_EQ(result->updates_dropped, direct->updates_dropped)
+          << "job " << i;
+      EXPECT_EQ(result->metrics.mean_containment_error,
+                direct->metrics.mean_containment_error)
+          << "job " << i;
+      EXPECT_EQ(result->metrics.mean_position_error,
+                direct->metrics.mean_position_error)
+          << "job " << i;
+    }
+  }
+}
+
+TEST(RunAllTest, ReportsPerJobValidationErrors) {
+  WorldConfig world_config = DefaultWorldConfig(/*num_nodes=*/100);
+  world_config.trace_frames = 60;
+  auto world = BuildWorld(world_config);
+  ASSERT_TRUE(world.ok());
+  const UniformDeltaPolicy uniform;
+
+  SimulationJob good;
+  good.world = &*world;
+  good.policy = &uniform;
+  good.config = DefaultSimulationConfig();
+  good.config.warmup_frames = 20;
+
+  SimulationJob bad = good;
+  bad.config.sample_every = 0;
+
+  const auto results = RunAll({good, bad}, /*threads=*/2);
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_TRUE(results[0].ok());
+  EXPECT_FALSE(results[1].ok());
 }
 
 TEST(TablePrinterTest, NumFormatsCompactly) {

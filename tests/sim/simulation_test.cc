@@ -172,5 +172,60 @@ TEST_F(SimulationTest, DeterministicRuns) {
   EXPECT_EQ(a->updates_dropped, b->updates_dropped);
 }
 
+// The parallel engine's determinism contract: every thread count produces a
+// result bitwise identical to the serial run (DESIGN.md §7).
+TEST_F(SimulationTest, IdenticalResultsForAnyThreadCount) {
+  const LiraPolicy lira(SmallLira());
+  SimulationConfig config = FastConfig();
+  config.z = 0.5;
+  config.auto_throttle = true;
+  config.service_rate_override = 0.6 * world_->full_update_rate;
+
+  config.threads = 1;
+  auto serial = RunSimulation(*world_, lira, config);
+  ASSERT_TRUE(serial.ok());
+
+  for (int32_t threads : {2, 8}) {
+    config.threads = threads;
+    auto parallel = RunSimulation(*world_, lira, config);
+    ASSERT_TRUE(parallel.ok()) << "threads=" << threads;
+    EXPECT_EQ(parallel->updates_sent, serial->updates_sent)
+        << "threads=" << threads;
+    EXPECT_EQ(parallel->updates_dropped, serial->updates_dropped)
+        << "threads=" << threads;
+    EXPECT_EQ(parallel->updates_applied, serial->updates_applied)
+        << "threads=" << threads;
+    EXPECT_EQ(parallel->final_z, serial->final_z) << "threads=" << threads;
+    EXPECT_EQ(parallel->metrics.mean_containment_error,
+              serial->metrics.mean_containment_error)
+        << "threads=" << threads;
+    EXPECT_EQ(parallel->metrics.mean_position_error,
+              serial->metrics.mean_position_error)
+        << "threads=" << threads;
+    EXPECT_EQ(parallel->metrics.containment_error_stddev,
+              serial->metrics.containment_error_stddev)
+        << "threads=" << threads;
+    EXPECT_EQ(parallel->metrics.containment_error_cov,
+              serial->metrics.containment_error_cov)
+        << "threads=" << threads;
+    EXPECT_EQ(parallel->measured_update_fraction,
+              serial->measured_update_fraction)
+        << "threads=" << threads;
+    EXPECT_EQ(parallel->final_plan_regions, serial->final_plan_regions)
+        << "threads=" << threads;
+    EXPECT_EQ(parallel->final_plan_min_delta, serial->final_plan_min_delta)
+        << "threads=" << threads;
+    EXPECT_EQ(parallel->final_plan_max_delta, serial->final_plan_max_delta)
+        << "threads=" << threads;
+  }
+}
+
+TEST_F(SimulationTest, RejectsNegativeThreads) {
+  UniformDeltaPolicy policy;
+  SimulationConfig config = FastConfig();
+  config.threads = -1;
+  EXPECT_FALSE(RunSimulation(*world_, policy, config).ok());
+}
+
 }  // namespace
 }  // namespace lira
