@@ -7,10 +7,13 @@
 //           [--mobility walk|trips] [--auto-throttle]
 //           [--capacity-fraction 0.5] [--history] [--seed 42]
 //           [--telemetry out.jsonl] [--telemetry-stride 10]
-//           [--threads N]
+//           [--threads N] [--incremental | --no-incremental]
 //
 // --threads sets the simulation engine's worker count (0 = hardware
 // concurrency, 1 = fully serial); results are identical for any value.
+// --no-incremental forces the original recompute-everything accuracy and
+// statistics paths (incremental is the default); results are bitwise
+// identical either way, only wall-clock time changes.
 //
 // Example: explore --policy Lira --z 0.4 --l 100 --fairness 25 --history
 //
@@ -39,7 +42,7 @@ namespace {
       "          [--nodes N] [--distribution NAME] [--mobility walk|trips]\n"
       "          [--auto-throttle] [--capacity-fraction C] [--history]\n"
       "          [--seed S] [--telemetry PATH] [--telemetry-stride K]\n"
-      "          [--threads N]\n",
+      "          [--threads N] [--incremental | --no-incremental]\n",
       argv0);
   std::exit(2);
 }
@@ -61,6 +64,7 @@ int main(int argc, char** argv) {
   std::string telemetry_path;
   int32_t telemetry_stride = 10;
   int32_t threads = 0;
+  bool incremental = true;
 
   for (int i = 1; i < argc; ++i) {
     auto next = [&](const char* flag) -> const char* {
@@ -114,6 +118,10 @@ int main(int argc, char** argv) {
       telemetry_stride = std::atoi(next("--telemetry-stride"));
     } else if (!std::strcmp(argv[i], "--threads")) {
       threads = std::atoi(next("--threads"));
+    } else if (!std::strcmp(argv[i], "--incremental")) {
+      incremental = true;
+    } else if (!std::strcmp(argv[i], "--no-incremental")) {
+      incremental = false;
     } else {
       std::fprintf(stderr, "unknown flag %s\n", argv[i]);
       Usage(argv[0]);
@@ -142,6 +150,7 @@ int main(int argc, char** argv) {
   sim.auto_throttle = auto_throttle;
   sim.evaluate_history = history;
   sim.threads = threads;
+  sim.incremental = incremental;
   if (capacity_fraction > 0.0) {
     sim.service_rate_override = capacity_fraction * world->full_update_rate;
   }

@@ -10,6 +10,13 @@ namespace {
 
 bool IsPowerOfTwo(int32_t v) { return v > 0 && (v & (v - 1)) == 0; }
 
+/// Speeds are accumulated in units of 2^-20 m/s (~1e-6 m/s resolution, far
+/// below any physically meaningful speed difference). Integer accumulation is
+/// associative and exactly reversible, so incremental add/remove leaves the
+/// grid bitwise identical to a from-scratch rebuild -- the property the
+/// delta-maintenance paths in CqServer rely on.
+constexpr double kSpeedScale = 1048576.0;  // 2^20
+
 }  // namespace
 
 StatisticsGrid::StatisticsGrid(const Rect& world, int32_t alpha)
@@ -17,8 +24,8 @@ StatisticsGrid::StatisticsGrid(const Rect& world, int32_t alpha)
       alpha_(alpha),
       cell_w_(world.width() / alpha),
       cell_h_(world.height() / alpha),
-      node_count_(static_cast<size_t>(alpha) * alpha, 0.0),
-      speed_sum_(static_cast<size_t>(alpha) * alpha, 0.0),
+      node_count_(static_cast<size_t>(alpha) * alpha, 0),
+      speed_sum_q_(static_cast<size_t>(alpha) * alpha, 0),
       query_count_(static_cast<size_t>(alpha) * alpha, 0.0) {}
 
 StatusOr<StatisticsGrid> StatisticsGrid::Create(const Rect& world,
@@ -47,13 +54,21 @@ Rect StatisticsGrid::CellRect(int32_t ix, int32_t iy) const {
               world_.min_y + (iy + 1) * cell_h_};
 }
 
+int64_t StatisticsGrid::QuantizeSpeed(double speed) {
+  return static_cast<int64_t>(std::llround(speed * kSpeedScale));
+}
+
 void StatisticsGrid::ClearNodes() {
-  std::fill(node_count_.begin(), node_count_.end(), 0.0);
-  std::fill(speed_sum_.begin(), speed_sum_.end(), 0.0);
+  std::fill(node_count_.begin(), node_count_.end(), int64_t{0});
+  std::fill(speed_sum_q_.begin(), speed_sum_q_.end(), int64_t{0});
+  total_node_count_ = 0;
+  total_speed_q_ = 0;
 }
 
 void StatisticsGrid::ClearQueries() {
   std::fill(query_count_.begin(), query_count_.end(), 0.0);
+  total_queries_ = 0.0;
+  total_queries_valid_ = true;
 }
 
 void StatisticsGrid::LocateCell(Point p, int32_t* ix, int32_t* iy) const {
@@ -64,22 +79,42 @@ void StatisticsGrid::LocateCell(Point p, int32_t* ix, int32_t* iy) const {
                    alpha_ - 1);
 }
 
-void StatisticsGrid::AddNode(Point position, double speed) {
+int32_t StatisticsGrid::CellIndexOf(Point p) const {
   int32_t ix;
   int32_t iy;
-  LocateCell(position, &ix, &iy);
-  const size_t idx = CellIndex(ix, iy);
-  node_count_[idx] += 1.0;
-  speed_sum_[idx] += speed;
+  LocateCell(p, &ix, &iy);
+  return static_cast<int32_t>(CellIndex(ix, iy));
+}
+
+void StatisticsGrid::AddNode(Point position, double speed) {
+  AddNodeAt(CellIndexOf(position), speed);
 }
 
 void StatisticsGrid::RemoveNode(Point position, double speed) {
-  int32_t ix;
-  int32_t iy;
-  LocateCell(position, &ix, &iy);
-  const size_t idx = CellIndex(ix, iy);
-  node_count_[idx] = std::max(0.0, node_count_[idx] - 1.0);
-  speed_sum_[idx] = std::max(0.0, speed_sum_[idx] - speed);
+  RemoveNodeAt(CellIndexOf(position), speed);
+}
+
+void StatisticsGrid::AddNodeAt(int32_t cell, double speed) {
+  LIRA_DCHECK(cell >= 0 &&
+              cell < static_cast<int32_t>(node_count_.size()));
+  node_count_[cell] += 1;
+  speed_sum_q_[cell] += QuantizeSpeed(speed);
+  total_node_count_ += 1;
+  total_speed_q_ += QuantizeSpeed(speed);
+}
+
+void StatisticsGrid::RemoveNodeAt(int32_t cell, double speed) {
+  LIRA_DCHECK(cell >= 0 &&
+              cell < static_cast<int32_t>(node_count_.size()));
+  // Unmatched removals clamp at zero; the totals subtract only what was
+  // actually applied so they always equal the per-cell sums.
+  const int64_t count_delta = std::min<int64_t>(1, node_count_[cell]);
+  const int64_t speed_delta =
+      std::min(QuantizeSpeed(speed), speed_sum_q_[cell]);
+  node_count_[cell] -= count_delta;
+  speed_sum_q_[cell] -= speed_delta;
+  total_node_count_ -= count_delta;
+  total_speed_q_ -= speed_delta;
 }
 
 void StatisticsGrid::AddQueries(const QueryRegistry& registry,
@@ -113,19 +148,26 @@ void StatisticsGrid::AddQueries(const QueryRegistry& registry,
       }
     }
   }
+  total_queries_valid_ = false;
 }
 
 double StatisticsGrid::NodeCount(int32_t ix, int32_t iy) const {
-  return node_count_[CellIndex(ix, iy)];
+  return static_cast<double>(node_count_[CellIndex(ix, iy)]);
 }
 
 double StatisticsGrid::QueryCount(int32_t ix, int32_t iy) const {
   return query_count_[CellIndex(ix, iy)];
 }
 
+double StatisticsGrid::SpeedSumAt(size_t idx) const {
+  return static_cast<double>(speed_sum_q_[idx]) / kSpeedScale;
+}
+
 double StatisticsGrid::MeanSpeed(int32_t ix, int32_t iy) const {
   const size_t idx = CellIndex(ix, iy);
-  return node_count_[idx] > 0.0 ? speed_sum_[idx] / node_count_[idx] : 0.0;
+  return node_count_[idx] > 0
+             ? SpeedSumAt(idx) / static_cast<double>(node_count_[idx])
+             : 0.0;
 }
 
 RegionStats StatisticsGrid::CellStats(int32_t ix, int32_t iy) const {
@@ -152,17 +194,39 @@ RegionStats StatisticsGrid::AggregateRect(const Rect& rect) const {
   cy1 = std::clamp(cy1, 0, alpha_ - 1);
   double speed_sum = 0.0;
   const double cell_area = cell_w_ * cell_h_;
+  // The cell/rect overlap is separable in x and y, so the per-column overlap
+  // widths are hoisted out of the row loop instead of intersecting a fresh
+  // CellRect per cell. ox * oy reproduces Intersection(...).Area() exactly.
+  constexpr int32_t kStackCols = 256;
+  const int32_t ncols = cx1 - cx0 + 1;
+  double ox_stack[kStackCols];
+  std::vector<double> ox_heap;
+  double* ox = ox_stack;
+  if (ncols > kStackCols) {
+    ox_heap.resize(ncols);
+    ox = ox_heap.data();
+  }
+  for (int32_t ix = cx0; ix <= cx1; ++ix) {
+    const double lo = std::max(world_.min_x + ix * cell_w_, rect.min_x);
+    const double hi = std::min(world_.min_x + (ix + 1) * cell_w_, rect.max_x);
+    ox[ix - cx0] = std::max(0.0, hi - lo);
+  }
   for (int32_t iy = cy0; iy <= cy1; ++iy) {
+    const double lo = std::max(world_.min_y + iy * cell_h_, rect.min_y);
+    const double hi = std::min(world_.min_y + (iy + 1) * cell_h_, rect.max_y);
+    const double oy = std::max(0.0, hi - lo);
+    if (oy <= 0.0) {
+      continue;
+    }
     for (int32_t ix = cx0; ix <= cx1; ++ix) {
-      const double fraction =
-          CellRect(ix, iy).Intersection(rect).Area() / cell_area;
+      const double fraction = ox[ix - cx0] * oy / cell_area;
       if (fraction <= 0.0) {
         continue;
       }
       const size_t idx = CellIndex(ix, iy);
-      stats.n += node_count_[idx] * fraction;
+      stats.n += static_cast<double>(node_count_[idx]) * fraction;
       stats.m += query_count_[idx] * fraction;
-      speed_sum += speed_sum_[idx] * fraction;
+      speed_sum += SpeedSumAt(idx) * fraction;
     }
   }
   stats.s = stats.n > 0.0 ? speed_sum / stats.n : 0.0;
@@ -170,29 +234,26 @@ RegionStats StatisticsGrid::AggregateRect(const Rect& rect) const {
 }
 
 double StatisticsGrid::TotalNodes() const {
-  double total = 0.0;
-  for (double v : node_count_) {
-    total += v;
-  }
-  return total;
+  return static_cast<double>(total_node_count_);
 }
 
 double StatisticsGrid::TotalQueries() const {
-  double total = 0.0;
-  for (double v : query_count_) {
-    total += v;
+  if (!total_queries_valid_) {
+    double total = 0.0;
+    for (double v : query_count_) {
+      total += v;
+    }
+    total_queries_ = total;
+    total_queries_valid_ = true;
   }
-  return total;
+  return total_queries_;
 }
 
 double StatisticsGrid::OverallMeanSpeed() const {
-  double nodes = 0.0;
-  double speed = 0.0;
-  for (size_t i = 0; i < node_count_.size(); ++i) {
-    nodes += node_count_[i];
-    speed += speed_sum_[i];
-  }
-  return nodes > 0.0 ? speed / nodes : 0.0;
+  return total_node_count_ > 0
+             ? (static_cast<double>(total_speed_q_) / kSpeedScale) /
+                   static_cast<double>(total_node_count_)
+             : 0.0;
 }
 
 }  // namespace lira

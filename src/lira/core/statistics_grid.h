@@ -3,6 +3,13 @@
 // nodes n_{i,j}, the fractional number of queries m_{i,j}, and the average
 // node speed s_{i,j}. It is the only data structure the LIRA load shedder
 // maintains.
+//
+// Node statistics are held in integer accumulators (counts, plus speeds in
+// 2^-20 m/s fixed point) so that incremental maintenance is *exact*: any
+// interleaving of AddNode/RemoveNode pairs leaves the grid bitwise identical
+// to a from-scratch rebuild of the same observations, which is what lets the
+// CQ server delta-maintain the grid across adaptations instead of clearing
+// and repopulating it (DESIGN.md section 8).
 
 #ifndef LIRA_CORE_STATISTICS_GRID_H_
 #define LIRA_CORE_STATISTICS_GRID_H_
@@ -35,6 +42,15 @@ class StatisticsGrid {
   /// Geographic extent of cell (ix, iy); cells tile the world exactly.
   Rect CellRect(int32_t ix, int32_t iy) const;
 
+  /// Flat index (iy * alpha + ix) of the cell containing the (clamped)
+  /// point -- the key used by AddNodeAt/RemoveNodeAt delta maintenance.
+  int32_t CellIndexOf(Point p) const;
+
+  /// Fixed-point representation of a speed as accumulated by the grid. Two
+  /// speeds with equal quantization contribute identically, so a maintainer
+  /// may skip the remove/add pair when QuantizeSpeed is unchanged.
+  static int64_t QuantizeSpeed(double speed);
+
   /// Clears node statistics (n and s); query statistics are kept.
   void ClearNodes();
   /// Clears query statistics (m).
@@ -44,6 +60,12 @@ class StatisticsGrid {
   void AddNode(Point position, double speed);
   /// Removes a previously added node observation (incremental maintenance).
   void RemoveNode(Point position, double speed);
+
+  /// As above with a precomputed flat cell index (from CellIndexOf) -- the
+  /// delta-maintenance hot path, which relocates only the observations that
+  /// actually changed cell or speed.
+  void AddNodeAt(int32_t cell, double speed);
+  void RemoveNodeAt(int32_t cell, double speed);
 
   /// Adds the registry's queries with fractional counting: each query adds
   /// area(q ∩ cell) / area(q) to every overlapped cell's m.
@@ -68,7 +90,8 @@ class StatisticsGrid {
   /// l-partitioning baseline and by tests.
   RegionStats AggregateRect(const Rect& rect) const;
 
-  /// Totals over the whole grid.
+  /// Totals over the whole grid. Node totals are running sums maintained by
+  /// Add/Remove (O(1)); the query total is cached lazily after AddQueries.
   double TotalNodes() const;
   double TotalQueries() const;
   /// Node-weighted mean speed over the grid (the paper's s-hat).
@@ -82,14 +105,22 @@ class StatisticsGrid {
   }
   /// Cell containing a (clamped) point.
   void LocateCell(Point p, int32_t* ix, int32_t* iy) const;
+  double SpeedSumAt(size_t idx) const;
 
   Rect world_;
   int32_t alpha_;
   double cell_w_;
   double cell_h_;
-  std::vector<double> node_count_;
-  std::vector<double> speed_sum_;
+  std::vector<int64_t> node_count_;
+  std::vector<int64_t> speed_sum_q_;  ///< fixed-point (QuantizeSpeed units)
   std::vector<double> query_count_;
+  int64_t total_node_count_ = 0;
+  int64_t total_speed_q_ = 0;
+  /// Lazy per-cell sum; recomputed on first TotalQueries() after a change.
+  /// Not safe against concurrent first reads (the grid is single-writer,
+  /// single-reader per server).
+  mutable double total_queries_ = 0.0;
+  mutable bool total_queries_valid_ = true;
 };
 
 }  // namespace lira

@@ -1,0 +1,474 @@
+#include "lira/cq/incremental_evaluator.h"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+#include "lira/common/check.h"
+
+namespace lira {
+namespace {
+
+constexpr int64_t kNodeGrain = 256;
+
+double L1(Point a, Point b) {
+  return std::abs(a.x - b.x) + std::abs(a.y - b.y);
+}
+
+}  // namespace
+
+IncrementalEvaluator::IncrementalEvaluator(const Rect& world,
+                                           int32_t num_nodes, EvalMode mode,
+                                           QueryIndex query_index)
+    : world_(world),
+      num_nodes_(num_nodes),
+      mode_(mode),
+      query_index_(std::move(query_index)),
+      node_distance_(num_nodes, 0.0) {
+  state_.assign(num_nodes, {NodeState{}, NodeState{}});
+}
+
+StatusOr<IncrementalEvaluator> IncrementalEvaluator::Create(
+    const Rect& world, int32_t cells_per_side, int32_t num_nodes,
+    const QueryRegistry& registry, EvalMode mode, double margin) {
+  if (num_nodes < 0) {
+    return InvalidArgumentError("num_nodes must be non-negative");
+  }
+  if (margin < 0.0 && cells_per_side >= 1) {
+    margin = std::min(world.width(), world.height()) /
+             static_cast<double>(cells_per_side) / 8.0;
+  }
+  auto query_index = QueryIndex::Create(world, cells_per_side, margin);
+  if (!query_index.ok()) {
+    return query_index.status();
+  }
+  IncrementalEvaluator evaluator(world, num_nodes, mode,
+                                 *std::move(query_index));
+  if (mode == EvalMode::kFullRescan) {
+    auto truth = GridIndex::Create(world, cells_per_side, num_nodes);
+    if (!truth.ok()) {
+      return truth.status();
+    }
+    auto believed = GridIndex::Create(world, cells_per_side, num_nodes);
+    if (!believed.ok()) {
+      return believed.status();
+    }
+    evaluator.truth_index_.emplace(*std::move(truth));
+    evaluator.believed_index_.emplace(*std::move(believed));
+  }
+  for (const RangeQuery& q : registry.queries()) {
+    evaluator.AddQuery(q.range);
+  }
+  return evaluator;
+}
+
+QueryId IncrementalEvaluator::AddQuery(const Rect& range) {
+  const auto id = static_cast<QueryId>(queries_.size());
+  queries_.push_back(range);
+  active_.push_back(1);
+  sym_diff_.push_back(0);
+  members_[kTruth].emplace_back();
+  members_[kBelieved].emplace_back();
+  if (mode_ == EvalMode::kFullRescan) {
+    return id;
+  }
+  query_index_.Insert(id, range);
+  // Seed the member sets from the stored positions (ascending ids, so the
+  // vectors come out sorted) and count the symmetric difference directly.
+  std::vector<NodeId>& truth = members_[kTruth][id];
+  std::vector<NodeId>& believed = members_[kBelieved][id];
+  int32_t sym = 0;
+  for (NodeId node = 0; node < num_nodes_; ++node) {
+    const NodeState& truth_state = state_[node][kTruth];
+    const NodeState& believed_state = state_[node][kBelieved];
+    const bool in_truth =
+        truth_state.present != 0 && range.Contains(truth_state.pos);
+    const bool in_believed =
+        believed_state.present != 0 && range.Contains(believed_state.pos);
+    if (in_truth) {
+      truth.push_back(node);
+    }
+    if (in_believed) {
+      believed.push_back(node);
+    }
+    if (in_truth != in_believed) {
+      ++sym;
+    }
+  }
+  sym_diff_[id] = sym;
+  // A new boundary can cut into existing clearance balls; force fresh walks.
+  for (std::array<NodeState, 2>& node_state : state_) {
+    node_state[kTruth].clearance = 0.0;
+    node_state[kBelieved].clearance = 0.0;
+  }
+  return id;
+}
+
+void IncrementalEvaluator::RemoveQuery(QueryId id) {
+  LIRA_CHECK(id >= 0 && id < num_queries());
+  if (active_[id] == 0) {
+    return;
+  }
+  active_[id] = 0;
+  if (mode_ == EvalMode::kIncremental) {
+    query_index_.Erase(id, queries_[id]);
+  }
+  // Removal only loosens clearance constraints, so stale (tighter)
+  // clearances stay sound and need no reset.
+  members_[kTruth][id].clear();
+  members_[kBelieved][id].clear();
+  sym_diff_[id] = 0;
+}
+
+namespace {
+
+/// L1 displacement from `p` below which membership in `range` provably
+/// cannot flip. Inside: the exit distance to the nearest range edge
+/// (displacements strictly below it keep p >= min (closed) and p < max
+/// (open) on both axes). Outside: the entry distance -- every violated axis
+/// gap must close, and the gaps are disjoint displacement components, so
+/// L1 >= gx + gy is needed. A gap of exactly 0 on a max edge (p.x == max_x,
+/// outside by half-openness) yields 0 and disables skipping -- conservative.
+double FlipDistance(const Rect& range, Point p, bool inside) {
+  if (inside) {
+    return std::min(std::min(p.x - range.min_x, range.max_x - p.x),
+                    std::min(p.y - range.min_y, range.max_y - p.y));
+  }
+  double gx = 0.0;
+  double gy = 0.0;
+  if (p.x < range.min_x) {
+    gx = range.min_x - p.x;
+  } else if (p.x >= range.max_x) {
+    gx = p.x - range.max_x;
+  }
+  if (p.y < range.min_y) {
+    gy = range.min_y - p.y;
+  } else if (p.y >= range.max_y) {
+    gy = p.y - range.max_y;
+  }
+  return gx + gy;
+}
+
+}  // namespace
+
+double IncrementalEvaluator::WalkCandidates(Family family, NodeId id,
+                                            bool old_present, Point old_pos,
+                                            bool new_present, Point new_pos,
+                                            WorkerScratch* ws) {
+  static const std::vector<QueryIndex::PartialEntry> kNoPartial;
+  static const std::vector<QueryId> kNoFull;
+  const int32_t co = old_present ? query_index_.CellIndexOf(old_pos) : -1;
+  const int32_t cn = new_present ? query_index_.CellIndexOf(new_pos) : -1;
+  // The new position's clearance is folded into the same pass that walks
+  // the candidate lists. Candidate completeness within the ball is
+  // certified two ways, and the looser one wins: staying inside the cell
+  // (distance to the cell boundary, minus the FP slack that absorbs the
+  // few-ulp floor-arithmetic disagreement), or staying within the index
+  // margin -- every query within L1 distance margin() of the cell is
+  // already in its lists, so a ball of that radius may leave the cell.
+  double clearance = 0.0;
+  if (cn >= 0) {
+    const Rect cr = query_index_.CellRectOf(cn);
+    clearance = std::max(
+        std::min(std::min(new_pos.x - cr.min_x, cr.max_x - new_pos.x),
+                 std::min(new_pos.y - cr.min_y, cr.max_y - new_pos.y)) -
+            query_index_.fp_slack(),
+        query_index_.margin());
+  }
+  if (co == cn) {
+    // Same cell: queries fully covering it stay members; only partials can
+    // flip.
+    for (const QueryIndex::PartialEntry& e : query_index_.Partial(co)) {
+      ++ws->touched;
+      const bool in_old = e.range.Contains(old_pos);
+      const bool in_new = e.range.Contains(new_pos);
+      if (in_old != in_new) {
+        ws->events.push_back(
+            MemberEvent{e.id, id, static_cast<uint8_t>(family), in_new});
+      }
+      clearance = std::min(clearance, FlipDistance(e.range, new_pos, in_new));
+    }
+    return std::max(clearance, 0.0);
+  }
+  const auto& partial_old = co >= 0 ? query_index_.Partial(co) : kNoPartial;
+  const auto& full_old = co >= 0 ? query_index_.Full(co) : kNoFull;
+  const auto& partial_new = cn >= 0 ? query_index_.Partial(cn) : kNoPartial;
+  const auto& full_new = cn >= 0 ? query_index_.Full(cn) : kNoFull;
+  // Four-way sorted merge over the union of candidate ids. A query absent
+  // from a cell's lists cannot contain any position assigned to that cell
+  // (QueryIndex coverage guarantee), so membership on that side is false.
+  size_t ipo = 0;
+  size_t ifo = 0;
+  size_t ipn = 0;
+  size_t ifn = 0;
+  while (true) {
+    QueryId q = std::numeric_limits<QueryId>::max();
+    if (ipo < partial_old.size()) {
+      q = std::min(q, partial_old[ipo].id);
+    }
+    if (ifo < full_old.size()) {
+      q = std::min(q, full_old[ifo]);
+    }
+    if (ipn < partial_new.size()) {
+      q = std::min(q, partial_new[ipn].id);
+    }
+    if (ifn < full_new.size()) {
+      q = std::min(q, full_new[ifn]);
+    }
+    if (q == std::numeric_limits<QueryId>::max()) {
+      break;
+    }
+    const bool covers_old = ifo < full_old.size() && full_old[ifo] == q;
+    if (covers_old) {
+      ++ifo;
+    }
+    const Rect* range_old = nullptr;
+    if (ipo < partial_old.size() && partial_old[ipo].id == q) {
+      range_old = &partial_old[ipo].range;
+      ++ipo;
+    }
+    const bool covers_new = ifn < full_new.size() && full_new[ifn] == q;
+    if (covers_new) {
+      ++ifn;
+    }
+    const Rect* range_new = nullptr;
+    if (ipn < partial_new.size() && partial_new[ipn].id == q) {
+      range_new = &partial_new[ipn].range;
+      ++ipn;
+    }
+    ++ws->touched;
+    bool in_partial_new = false;
+    if (range_new != nullptr) {
+      in_partial_new = range_new->Contains(new_pos);
+      // Only the new cell's partial entries bound the clearance: its full
+      // entries cannot flip while the node stays in the cell, and the
+      // cell-boundary term already guards the cell assignment.
+      clearance =
+          std::min(clearance, FlipDistance(*range_new, new_pos,
+                                           in_partial_new));
+    }
+    const bool in_old =
+        old_present &&
+        (covers_old || (range_old != nullptr && range_old->Contains(old_pos)));
+    const bool in_new = new_present && (covers_new || in_partial_new);
+    if (in_old != in_new) {
+      ws->events.push_back(
+          MemberEvent{q, id, static_cast<uint8_t>(family), in_new});
+    }
+  }
+  return cn >= 0 ? std::max(clearance, 0.0) : 0.0;
+}
+
+void IncrementalEvaluator::ProcessFamily(Family family, NodeId id,
+                                         bool new_present, Point new_pos,
+                                         WorkerScratch* ws) {
+  NodeState& state = state_[id][family];
+  const bool old_present = state.present != 0;
+  const Point old_pos = state.pos;
+  if (!old_present && !new_present) {
+    return;
+  }
+  if (old_present && new_present && state.clearance > 0.0 &&
+      L1(new_pos, state.ref) < state.clearance) {
+    // Still inside the ball certified by the last walk: same cell, no
+    // membership flips possible.
+    state.pos = new_pos;
+    return;
+  }
+  state.clearance = WalkCandidates(family, id, old_present, old_pos,
+                                   new_present, new_pos, ws);
+  state.present = new_present ? 1 : 0;
+  state.pos = new_pos;
+  state.ref = new_pos;
+}
+
+void IncrementalEvaluator::ProcessNode(
+    NodeId id, const std::vector<Point>& truth_positions,
+    const std::vector<Point>& believed_positions,
+    const std::vector<char>& believed_known, WorkerScratch* ws) {
+  const Point new_truth = world_.Clamp(truth_positions[id]);
+  const bool known = believed_known[id] != 0;
+  Point new_believed{};
+  if (known) {
+    new_believed = world_.Clamp(believed_positions[id]);
+    // Same expression, argument order, and clamping as CompareQuery's
+    // Distance(believed.PositionOf(id), truth.PositionOf(id)).
+    node_distance_[id] = Distance(new_believed, new_truth);
+  }
+  ProcessFamily(kTruth, id, /*new_present=*/true, new_truth, ws);
+  ProcessFamily(kBelieved, id, known, new_believed, ws);
+}
+
+void IncrementalEvaluator::ApplyEvents(
+    const std::vector<WorkerScratch>& scratch) {
+  size_t total = 0;
+  for (const WorkerScratch& ws : scratch) {
+    total += ws.events.size();
+    queries_touched_ += ws.touched;
+  }
+  deltas_applied_ += static_cast<int64_t>(total);
+  if (total == 0) {
+    return;
+  }
+  // Group events by (query, family) with a stable counting sort, then apply
+  // each bucket in one go: both member vectors of a query are loaded into
+  // cache exactly once instead of once per event. Any fixed application
+  // order yields the same final state -- member sets are sorted id sets, and
+  // the sym_diff update below maintains its invariant exactly at every step
+  // -- so regrouping preserves bitwise output; the sort must merely be
+  // deterministic, which counting sort over deterministic inputs is.
+  const size_t num_keys = queries_.size() * 2;
+  event_starts_.assign(num_keys + 1, 0);
+  for (const WorkerScratch& ws : scratch) {
+    for (const MemberEvent& ev : ws.events) {
+      ++event_starts_[static_cast<size_t>(ev.query) * 2 + ev.family + 1];
+    }
+  }
+  for (size_t k = 0; k < num_keys; ++k) {
+    event_starts_[k + 1] += event_starts_[k];
+  }
+  sorted_events_.resize(total);
+  // Scattering with event_starts_[key]++ leaves event_starts_[key] holding
+  // the END of bucket `key` (the classic in-place counting-sort shift).
+  for (const WorkerScratch& ws : scratch) {
+    for (const MemberEvent& ev : ws.events) {
+      const size_t key = static_cast<size_t>(ev.query) * 2 + ev.family;
+      sorted_events_[event_starts_[key]++] = ev;
+    }
+  }
+  for (size_t key = 0; key < num_keys; ++key) {
+    const uint32_t begin = key == 0 ? 0 : event_starts_[key - 1];
+    const uint32_t end = event_starts_[key];
+    if (begin == end) {
+      continue;
+    }
+    const auto query = static_cast<QueryId>(key / 2);
+    const auto family = static_cast<int>(key % 2);
+    std::vector<NodeId>& mine = members_[family][query];
+    const std::vector<NodeId>& other = members_[1 - family][query];
+    for (uint32_t i = begin; i < end; ++i) {
+      const MemberEvent& ev = sorted_events_[i];
+      const bool in_other =
+          std::binary_search(other.begin(), other.end(), ev.node);
+      const auto it = std::lower_bound(mine.begin(), mine.end(), ev.node);
+      if (ev.add) {
+        LIRA_DCHECK(it == mine.end() || *it != ev.node);
+        mine.insert(it, ev.node);
+        sym_diff_[query] += in_other ? -1 : 1;
+      } else {
+        LIRA_DCHECK(it != mine.end() && *it == ev.node);
+        mine.erase(it);
+        sym_diff_[query] += in_other ? 1 : -1;
+      }
+      LIRA_DCHECK(sym_diff_[query] >= 0);
+    }
+  }
+}
+
+void IncrementalEvaluator::ApplySample(
+    const std::vector<Point>& truth_positions,
+    const std::vector<Point>& believed_positions,
+    const std::vector<char>& believed_known, ThreadPool* pool) {
+  LIRA_CHECK(static_cast<int32_t>(truth_positions.size()) == num_nodes_);
+  LIRA_CHECK(static_cast<int32_t>(believed_positions.size()) == num_nodes_);
+  LIRA_CHECK(static_cast<int32_t>(believed_known.size()) == num_nodes_);
+  if (mode_ == EvalMode::kFullRescan) {
+    // The original serial snapshot maintenance, verbatim.
+    for (NodeId id = 0; id < num_nodes_; ++id) {
+      truth_index_->Update(id, truth_positions[id]);
+      if (believed_known[id] != 0) {
+        believed_index_->Update(id, believed_positions[id]);
+      } else {
+        believed_index_->Remove(id);
+      }
+    }
+    return;
+  }
+  if (pool == nullptr || pool->num_threads() <= 1) {
+    std::vector<WorkerScratch> scratch(1);
+    for (NodeId id = 0; id < num_nodes_; ++id) {
+      ProcessNode(id, truth_positions, believed_positions, believed_known,
+                  &scratch[0]);
+    }
+    ApplyEvents(scratch);
+    return;
+  }
+  // Parallel phase: per-node slots and per-worker buffers only. Chunks are
+  // contiguous ascending, so applying buffers in chunk order afterwards
+  // replays the events in ascending node order for any thread count.
+  std::vector<WorkerScratch> scratch(pool->num_threads());
+  pool->ParallelFor(0, num_nodes_, kNodeGrain,
+                    [&](int32_t chunk, int64_t begin, int64_t end) {
+                      for (int64_t id = begin; id < end; ++id) {
+                        ProcessNode(static_cast<NodeId>(id), truth_positions,
+                                    believed_positions, believed_known,
+                                    &scratch[chunk]);
+                      }
+                    });
+  ApplyEvents(scratch);
+}
+
+std::vector<QueryAccuracy> IncrementalEvaluator::Evaluate(ThreadPool* pool) {
+  std::vector<QueryAccuracy> out(queries_.size());
+  if (mode_ == EvalMode::kFullRescan) {
+    const auto eval_one = [&](QueryId q, QueryEvalScratch* scratch) {
+      if (active_[q] != 0) {
+        out[q] = CompareQuery(*truth_index_, *believed_index_, queries_[q],
+                              scratch);
+      }
+    };
+    if (pool == nullptr || pool->num_threads() <= 1) {
+      QueryEvalScratch scratch;
+      for (QueryId q = 0; q < num_queries(); ++q) {
+        eval_one(q, &scratch);
+      }
+      return out;
+    }
+    std::vector<QueryEvalScratch> scratch(pool->num_threads());
+    pool->ParallelFor(0, num_queries(), /*grain=*/1,
+                      [&](int32_t chunk, int64_t begin, int64_t end) {
+                        for (int64_t q = begin; q < end; ++q) {
+                          eval_one(static_cast<QueryId>(q), &scratch[chunk]);
+                        }
+                      });
+    return out;
+  }
+  const auto eval_one = [&](QueryId q) {
+    if (active_[q] == 0) {
+      return;
+    }
+    const std::vector<NodeId>& truth = members_[kTruth][q];
+    const std::vector<NodeId>& believed = members_[kBelieved][q];
+    QueryAccuracy acc;
+    acc.truth_size = static_cast<int32_t>(truth.size());
+    acc.believed_size = static_cast<int32_t>(believed.size());
+    acc.containment_error =
+        static_cast<double>(sym_diff_[q]) /
+        static_cast<double>(std::max<int32_t>(1, acc.truth_size));
+    if (!believed.empty()) {
+      // Ascending-id summation of the identical per-node distance terms
+      // reproduces CompareQuery's partial sums exactly.
+      double total = 0.0;
+      for (NodeId id : believed) {
+        total += node_distance_[id];
+      }
+      acc.position_error = total / static_cast<double>(believed.size());
+    }
+    out[q] = acc;
+  };
+  if (pool == nullptr || pool->num_threads() <= 1) {
+    for (QueryId q = 0; q < num_queries(); ++q) {
+      eval_one(q);
+    }
+    return out;
+  }
+  pool->ParallelFor(0, num_queries(), /*grain=*/1,
+                    [&](int32_t /*chunk*/, int64_t begin, int64_t end) {
+                      for (int64_t q = begin; q < end; ++q) {
+                        eval_one(static_cast<QueryId>(q));
+                      }
+                    });
+  return out;
+}
+
+}  // namespace lira

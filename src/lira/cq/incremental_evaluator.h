@@ -1,0 +1,192 @@
+// Incremental continual-query evaluation (ISSUE 3 tentpole).
+//
+// CompareAllQueries re-executes every registered range query on each
+// accuracy sample: O(Q * avg_result) work even when almost nothing moved.
+// IncrementalEvaluator instead maintains each query's member sets (truth and
+// believed) across samples: a node's position update consults only the
+// query lists of its old and new grid cells (QueryIndex), emits membership
+// deltas for the handful of queries whose boundary it crossed, and the
+// per-sample cost drops to O(moved_nodes * queries_per_cell).
+//
+// Determinism contract (DESIGN.md sections 7 and 8): the evaluator's output
+// is bitwise identical to the from-scratch CompareAllQueries path at any
+// thread count. ApplySample's parallel phase writes only per-node slots and
+// per-worker delta buffers; because ParallelFor chunks are contiguous and
+// ascending, concatenating the buffers in chunk order reproduces the serial
+// event stream, which is then regrouped by (query, family) with a stable
+// counting sort and applied serially. Membership deltas are integers, the
+// symmetric difference is maintained as an integer counter (its update rule
+// keeps the invariant exact at every step, so the final counts are
+// independent of application order), and the per-query position error sums
+// identical per-node distance terms in the same ascending-id order as
+// CompareQuery -- so no floating-point reassociation can occur.
+//
+// kFullRescan keeps the original two-GridIndex + CompareQuery path alive
+// behind the same interface for verification and benchmarking.
+
+#ifndef LIRA_CQ_INCREMENTAL_EVALUATOR_H_
+#define LIRA_CQ_INCREMENTAL_EVALUATOR_H_
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "lira/common/geometry.h"
+#include "lira/common/parallel.h"
+#include "lira/common/status.h"
+#include "lira/cq/evaluator.h"
+#include "lira/cq/query_index.h"
+#include "lira/cq/query_registry.h"
+#include "lira/index/grid_index.h"
+
+namespace lira {
+
+/// Evaluation strategy; both produce bitwise-identical QueryAccuracy.
+enum class EvalMode {
+  /// Delta-maintained member sets via the QueryIndex (the fast path).
+  kIncremental,
+  /// Rebuild member sets per sample with two GridIndexes + CompareQuery
+  /// (the original path, kept for verification).
+  kFullRescan,
+};
+
+/// Maintains per-query truth/believed member sets across accuracy samples.
+/// One instance per simulation run; call ApplySample with the full per-node
+/// position snapshot each sample, then Evaluate for the per-query accuracy.
+class IncrementalEvaluator {
+ public:
+  /// `cells_per_side` controls the QueryIndex granularity (use the same
+  /// value as the snapshot GridIndexes it replaces). `margin` expands query
+  /// ranges in the cell->query index: correctness never requires it, but it
+  /// lets clearance balls cross cell boundaries (a node hugging a cell edge
+  /// with no query nearby would otherwise re-walk every sample). The
+  /// default (any negative value) picks cell_size / 8, a good trade between
+  /// list length and skip rate; 0 disables the headroom.
+  static StatusOr<IncrementalEvaluator> Create(
+      const Rect& world, int32_t cells_per_side, int32_t num_nodes,
+      const QueryRegistry& registry, EvalMode mode = EvalMode::kIncremental,
+      double margin = -1.0);
+
+  /// Ingests one accuracy sample: per-node truth position, believed
+  /// position, and whether the server believes it knows the node at all
+  /// (same triple the simulation loop produced for the snapshot indexes).
+  /// With a pool, nodes are processed in deterministic contiguous chunks;
+  /// per-worker delta buffers are concatenated in chunk (= node) order and
+  /// applied grouped by query.
+  void ApplySample(const std::vector<Point>& truth_positions,
+                   const std::vector<Point>& believed_positions,
+                   const std::vector<char>& believed_known,
+                   ThreadPool* pool = nullptr);
+
+  /// Per-query accuracy of the current sample; slot q corresponds to query
+  /// id q (removed queries report a default-constructed QueryAccuracy).
+  /// Bitwise identical to CompareAllQueries over the same positions.
+  std::vector<QueryAccuracy> Evaluate(ThreadPool* pool = nullptr);
+
+  /// Registers a new query mid-run; returns its dense id (registration
+  /// order, matching QueryRegistry semantics). Member sets are initialized
+  /// from the currently stored positions.
+  QueryId AddQuery(const Rect& range);
+
+  /// Unregisters a query mid-run; its Evaluate slot reports defaults.
+  void RemoveQuery(QueryId id);
+
+  int32_t num_queries() const { return static_cast<int32_t>(queries_.size()); }
+  int32_t num_nodes() const { return num_nodes_; }
+  EvalMode mode() const { return mode_; }
+
+  /// Cumulative membership deltas applied (incremental mode only).
+  int64_t deltas_applied() const { return deltas_applied_; }
+  /// Cumulative candidate (node, query) pairs examined during delta walks
+  /// (incremental mode only).
+  int64_t queries_touched() const { return queries_touched_; }
+
+ private:
+  /// Index into the per-family state arrays.
+  enum Family : int { kTruth = 0, kBelieved = 1 };
+
+  /// One membership flip, produced by the parallel walk and applied
+  /// serially in node order.
+  struct MemberEvent {
+    QueryId query;
+    NodeId node;
+    uint8_t family;
+    bool add;
+  };
+
+  /// Per-worker output of the parallel phase.
+  struct WorkerScratch {
+    std::vector<MemberEvent> events;
+    int64_t touched = 0;
+  };
+
+  IncrementalEvaluator(const Rect& world, int32_t num_nodes, EvalMode mode,
+                       QueryIndex query_index);
+
+  /// Per-node per-family state, packed so the hot skip test touches one
+  /// cache line: authoritative clamped position, the reference point of the
+  /// last candidate walk, and the L1 clearance ball that walk certified
+  /// (largest displacement from `ref` that provably flips no membership and
+  /// keeps the cell assignment; 0 disables skipping).
+  struct NodeState {
+    Point pos;
+    Point ref;
+    double clearance = 0.0;
+    uint8_t present = 0;
+  };
+
+  void ProcessNode(NodeId id, const std::vector<Point>& truth_positions,
+                   const std::vector<Point>& believed_positions,
+                   const std::vector<char>& believed_known,
+                   WorkerScratch* ws);
+  void ProcessFamily(Family family, NodeId id, bool new_present,
+                     Point new_pos, WorkerScratch* ws);
+  /// Emits membership-flip events for the move old -> new and returns the
+  /// clearance of `new_pos` in its cell (computed inside the same pass over
+  /// the cell's candidate lists; 0.0 when !new_present).
+  double WalkCandidates(Family family, NodeId id, bool old_present,
+                        Point old_pos, bool new_present, Point new_pos,
+                        WorkerScratch* ws);
+  void ApplyEvents(const std::vector<WorkerScratch>& scratch);
+
+  Rect world_;
+  int32_t num_nodes_;
+  EvalMode mode_;
+  QueryIndex query_index_;
+
+  /// Dense query state; ids are registration order.
+  std::vector<Rect> queries_;
+  std::vector<char> active_;
+  /// members_[family][q]: current member ids, ascending.
+  std::array<std::vector<std::vector<NodeId>>, 2> members_;
+  /// |truth(q) symmetric-difference believed(q)|, maintained exactly.
+  std::vector<int32_t> sym_diff_;
+
+  /// Per-node authoritative state (clamped positions), both families packed
+  /// into adjacent records (ProcessNode touches truth then believed, so one
+  /// node's state streams through consecutive cache lines); a node within
+  /// its clearance ball provably flipped no membership, so its walk is
+  /// skipped entirely.
+  std::vector<std::array<NodeState, 2>> state_;
+  /// Distance(believed, truth) per believed-known node, refreshed each
+  /// sample; summed per query in ascending id order by Evaluate.
+  std::vector<double> node_distance_;
+
+  /// ApplyEvents scratch, kept across samples to avoid reallocation:
+  /// counting-sort bucket boundaries ((query, family) keys) and the
+  /// regrouped event buffer.
+  std::vector<uint32_t> event_starts_;
+  std::vector<MemberEvent> sorted_events_;
+
+  /// kFullRescan state: the original snapshot indexes.
+  std::optional<GridIndex> truth_index_;
+  std::optional<GridIndex> believed_index_;
+
+  int64_t deltas_applied_ = 0;
+  int64_t queries_touched_ = 0;
+};
+
+}  // namespace lira
+
+#endif  // LIRA_CQ_INCREMENTAL_EVALUATOR_H_

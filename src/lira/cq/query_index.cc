@@ -1,0 +1,146 @@
+#include "lira/cq/query_index.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "lira/common/check.h"
+
+namespace lira {
+namespace {
+
+/// FP slack relative to the world diagonal scale: vastly larger than the
+/// few-ulp disagreement between floor cell assignment and cell geometry,
+/// vastly smaller than any meaningful query geometry.
+constexpr double kRelativeSlack = 1e-9;
+
+}  // namespace
+
+QueryIndex::QueryIndex(const Rect& world, int32_t cells_per_side,
+                       double margin)
+    : world_(world),
+      cells_per_side_(cells_per_side),
+      cell_w_(world.width() / cells_per_side),
+      cell_h_(world.height() / cells_per_side),
+      margin_(margin),
+      slack_(margin +
+             kRelativeSlack * std::max(world.width(), world.height())),
+      partial_(static_cast<size_t>(cells_per_side) * cells_per_side),
+      full_(static_cast<size_t>(cells_per_side) * cells_per_side) {}
+
+StatusOr<QueryIndex> QueryIndex::Create(const Rect& world,
+                                        int32_t cells_per_side,
+                                        double margin) {
+  if (world.width() <= 0.0 || world.height() <= 0.0) {
+    return InvalidArgumentError("world rectangle must be non-degenerate");
+  }
+  if (cells_per_side < 1) {
+    return InvalidArgumentError("cells_per_side must be >= 1");
+  }
+  if (margin < 0.0) {
+    return InvalidArgumentError("margin must be non-negative");
+  }
+  return QueryIndex(world, cells_per_side, margin);
+}
+
+int32_t QueryIndex::CellIndexOf(Point p) const {
+  p = world_.Clamp(p);
+  auto cx = static_cast<int32_t>((p.x - world_.min_x) / cell_w_);
+  auto cy = static_cast<int32_t>((p.y - world_.min_y) / cell_h_);
+  cx = std::clamp(cx, 0, cells_per_side_ - 1);
+  cy = std::clamp(cy, 0, cells_per_side_ - 1);
+  return cy * cells_per_side_ + cx;
+}
+
+Rect QueryIndex::CellRectOf(int32_t cell) const {
+  LIRA_DCHECK(cell >= 0 &&
+              cell < static_cast<int32_t>(partial_.size()));
+  const int32_t ix = cell % cells_per_side_;
+  const int32_t iy = cell / cells_per_side_;
+  return Rect{world_.min_x + ix * cell_w_, world_.min_y + iy * cell_h_,
+              world_.min_x + (ix + 1) * cell_w_,
+              world_.min_y + (iy + 1) * cell_h_};
+}
+
+bool QueryIndex::CellSpan(const Rect& range, int32_t* cx0, int32_t* cy0,
+                          int32_t* cx1, int32_t* cy1) const {
+  const Rect expanded{range.min_x - slack_, range.min_y - slack_,
+                      range.max_x + slack_, range.max_y + slack_};
+  if (!expanded.IntersectsClosed(world_)) {
+    return false;
+  }
+  *cx0 = std::clamp(
+      static_cast<int32_t>((expanded.min_x - world_.min_x) / cell_w_), 0,
+      cells_per_side_ - 1);
+  *cy0 = std::clamp(
+      static_cast<int32_t>((expanded.min_y - world_.min_y) / cell_h_), 0,
+      cells_per_side_ - 1);
+  *cx1 = std::clamp(
+      static_cast<int32_t>((expanded.max_x - world_.min_x) / cell_w_), 0,
+      cells_per_side_ - 1);
+  *cy1 = std::clamp(
+      static_cast<int32_t>((expanded.max_y - world_.min_y) / cell_h_), 0,
+      cells_per_side_ - 1);
+  return true;
+}
+
+void QueryIndex::Insert(QueryId id, const Rect& range) {
+  int32_t cx0;
+  int32_t cy0;
+  int32_t cx1;
+  int32_t cy1;
+  if (!CellSpan(range, &cx0, &cy0, &cx1, &cy1)) {
+    return;
+  }
+  for (int32_t cy = cy0; cy <= cy1; ++cy) {
+    for (int32_t cx = cx0; cx <= cx1; ++cx) {
+      const int32_t cell = cy * cells_per_side_ + cx;
+      const Rect cell_rect = CellRectOf(cell);
+      // Full coverage shrinks by the slack so that floor-arithmetic cell
+      // assignment can never place a non-member in a "full" cell.
+      const bool covers = range.min_x <= cell_rect.min_x - slack_ &&
+                          range.min_y <= cell_rect.min_y - slack_ &&
+                          range.max_x >= cell_rect.max_x + slack_ &&
+                          range.max_y >= cell_rect.max_y + slack_;
+      if (covers) {
+        auto& list = full_[cell];
+        list.insert(std::lower_bound(list.begin(), list.end(), id), id);
+      } else {
+        auto& list = partial_[cell];
+        const auto pos = std::lower_bound(
+            list.begin(), list.end(), id,
+            [](const PartialEntry& e, QueryId v) { return e.id < v; });
+        list.insert(pos, PartialEntry{id, range});
+      }
+    }
+  }
+}
+
+void QueryIndex::Erase(QueryId id, const Rect& range) {
+  int32_t cx0;
+  int32_t cy0;
+  int32_t cx1;
+  int32_t cy1;
+  if (!CellSpan(range, &cx0, &cy0, &cx1, &cy1)) {
+    return;
+  }
+  for (int32_t cy = cy0; cy <= cy1; ++cy) {
+    for (int32_t cx = cx0; cx <= cx1; ++cx) {
+      const int32_t cell = cy * cells_per_side_ + cx;
+      auto& full = full_[cell];
+      const auto fit = std::lower_bound(full.begin(), full.end(), id);
+      if (fit != full.end() && *fit == id) {
+        full.erase(fit);
+        continue;
+      }
+      auto& partial = partial_[cell];
+      const auto pit = std::lower_bound(
+          partial.begin(), partial.end(), id,
+          [](const PartialEntry& e, QueryId v) { return e.id < v; });
+      if (pit != partial.end() && pit->id == id) {
+        partial.erase(pit);
+      }
+    }
+  }
+}
+
+}  // namespace lira

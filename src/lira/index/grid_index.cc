@@ -15,6 +15,7 @@ GridIndex::GridIndex(const Rect& world, int32_t cells_per_side,
       cell_h_(world.height() / cells_per_side),
       cells_(static_cast<size_t>(cells_per_side) * cells_per_side),
       cell_of_(num_nodes, -1),
+      slot_of_(num_nodes, -1),
       position_of_(num_nodes) {}
 
 StatusOr<GridIndex> GridIndex::Create(const Rect& world,
@@ -41,6 +42,17 @@ int32_t GridIndex::CellIndexFor(Point p) const {
   return cy * cells_per_side_ + cx;
 }
 
+void GridIndex::RemoveFromBucket(NodeId id) {
+  auto& bucket = cells_[cell_of_[id]];
+  const int32_t slot = slot_of_[id];
+  LIRA_DCHECK(slot >= 0 && slot < static_cast<int32_t>(bucket.size()) &&
+              bucket[slot] == id);
+  const NodeId moved = bucket.back();
+  bucket[slot] = moved;
+  slot_of_[moved] = slot;
+  bucket.pop_back();
+}
+
 void GridIndex::Update(NodeId id, Point position) {
   LIRA_DCHECK(id >= 0 && id < num_nodes());
   position = world_.Clamp(position);
@@ -51,11 +63,11 @@ void GridIndex::Update(NodeId id, Point position) {
     return;
   }
   if (old_cell >= 0) {
-    auto& bucket = cells_[old_cell];
-    bucket.erase(std::find(bucket.begin(), bucket.end(), id));
+    RemoveFromBucket(id);
   } else {
     ++size_;
   }
+  slot_of_[id] = static_cast<int32_t>(cells_[new_cell].size());
   cells_[new_cell].push_back(id);
   cell_of_[id] = new_cell;
 }
@@ -64,9 +76,9 @@ void GridIndex::Remove(NodeId id) {
   if (!Contains(id)) {
     return;
   }
-  auto& bucket = cells_[cell_of_[id]];
-  bucket.erase(std::find(bucket.begin(), bucket.end(), id));
+  RemoveFromBucket(id);
   cell_of_[id] = -1;
+  slot_of_[id] = -1;
   --size_;
 }
 

@@ -40,7 +40,11 @@ class GridIndex {
   /// Current position of a node; requires Contains(id).
   Point PositionOf(NodeId id) const;
 
-  /// Ids of all nodes inside `range`, in unspecified order.
+  /// Ids of all nodes inside `range`, in unspecified order. Bucket order is
+  /// NOT insertion order: Update/Remove compact buckets with an O(1)
+  /// swap-remove, so a node's slot can change whenever any bucket mate
+  /// leaves. Callers that need a canonical order must sort (SortedRangeQuery
+  /// does).
   std::vector<NodeId> RangeQuery(const Rect& range) const;
 
   /// As above, but clears and fills `*out` instead of allocating a fresh
@@ -65,8 +69,12 @@ class GridIndex {
   int32_t cells_per_side_;
   double cell_w_;
   double cell_h_;
+  /// Swap-removes node `id` from its current bucket in O(1) via slot_of_.
+  void RemoveFromBucket(NodeId id);
+
   std::vector<std::vector<NodeId>> cells_;  ///< node ids per cell
   std::vector<int32_t> cell_of_;            ///< node -> cell (-1 = absent)
+  std::vector<int32_t> slot_of_;            ///< node -> index in its bucket
   std::vector<Point> position_of_;
   int32_t size_ = 0;
 };

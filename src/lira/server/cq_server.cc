@@ -28,7 +28,9 @@ CqServer::CqServer(const CqServerConfig& config,
       plan_(std::move(plan)),
       z_(config.auto_throttle ? 1.0 : config.fixed_z),
       next_adaptation_(config.adaptation_period),
-      stats_rng_(config.seed ^ 0x57a75ULL) {
+      stats_rng_(config.seed ^ 0x57a75ULL),
+      stats_cell_of_(config.num_nodes, -1),
+      stats_speed_of_(config.num_nodes, 0.0) {
   if (config_.telemetry != nullptr) {
     telemetry::MetricRegistry& metrics = config_.telemetry->metrics();
     queue_instruments_.arrivals = metrics.GetCounter("lira.queue.arrivals");
@@ -36,7 +38,13 @@ CqServer::CqServer(const CqServerConfig& config,
     queue_instruments_.depth = metrics.GetGauge("lira.queue.depth");
     queue_instruments_.high_watermark =
         metrics.GetGauge("lira.queue.high_watermark");
+    cells_dirtied_counter_ = metrics.GetCounter("lira.stats.cells_dirtied");
   }
+  // Create() already counted the registry into the grid with this margin.
+  query_stats_valid_ = true;
+  query_stats_size_ = queries_->size();
+  query_stats_margin_ = config_.query_margin >= 0.0 ? config_.query_margin
+                                                    : reduction_->delta_max();
 }
 
 StatusOr<CqServer> CqServer::Create(const CqServerConfig& config,
@@ -144,6 +152,47 @@ Status CqServer::Tick(double dt) {
 }
 
 void CqServer::RebuildNodeStatistics() {
+  if (IncrementalStatsEnabled()) {
+    // Delta maintenance: relocate only the contributions whose cell or
+    // quantized speed changed since the last adaptation. The grid's integer
+    // accumulators make the result bitwise identical to ClearNodes() + full
+    // repopulation, and at fraction 1.0 neither path draws from stats_rng_,
+    // so the two paths are interchangeable mid-run.
+    int64_t dirtied = 0;
+    for (NodeId id = 0; id < tracker_.num_nodes(); ++id) {
+      const auto position = tracker_.PredictAt(id, time_);
+      int32_t new_cell = -1;
+      double new_speed = 0.0;
+      if (position.has_value()) {
+        const Point where = config_.world.Clamp(*position);
+        new_cell = stats_.CellIndexOf(where);
+        new_speed = tracker_.BelievedSpeed(id);
+      }
+      const int32_t old_cell = stats_cell_of_[id];
+      if (old_cell == new_cell &&
+          (new_cell < 0 ||
+           StatisticsGrid::QuantizeSpeed(stats_speed_of_[id]) ==
+               StatisticsGrid::QuantizeSpeed(new_speed))) {
+        continue;
+      }
+      if (old_cell >= 0) {
+        stats_.RemoveNodeAt(old_cell, stats_speed_of_[id]);
+        ++dirtied;
+      }
+      if (new_cell >= 0) {
+        stats_.AddNodeAt(new_cell, new_speed);
+        if (new_cell != old_cell) {
+          ++dirtied;
+        }
+      }
+      stats_cell_of_[id] = new_cell;
+      stats_speed_of_[id] = new_speed;
+    }
+    if (cells_dirtied_counter_ != nullptr) {
+      cells_dirtied_counter_->Increment(dirtied);
+    }
+    return;
+  }
   stats_.ClearNodes();
   const double fraction = config_.stats_sample_fraction;
   const double weight = 1.0 / fraction;
@@ -169,11 +218,18 @@ void CqServer::RebuildNodeStatistics() {
 }
 
 void CqServer::RebuildQueryStatistics() {
-  stats_.ClearQueries();
   const double margin = config_.query_margin >= 0.0
                             ? config_.query_margin
                             : reduction_->delta_max();
+  if (query_stats_valid_ && query_stats_size_ == queries_->size() &&
+      query_stats_margin_ == margin) {
+    return;  // counts already in the grid are current
+  }
+  stats_.ClearQueries();
   stats_.AddQueries(*queries_, margin);
+  query_stats_valid_ = true;
+  query_stats_size_ = queries_->size();
+  query_stats_margin_ = margin;
 }
 
 Status CqServer::InstallQueries(const QueryRegistry* queries) {
@@ -181,6 +237,7 @@ Status CqServer::InstallQueries(const QueryRegistry* queries) {
     return InvalidArgumentError("queries must be non-null");
   }
   queries_ = queries;
+  query_stats_valid_ = false;
   return OkStatus();
 }
 

@@ -64,6 +64,13 @@ struct CqServerConfig {
   /// approximated using sampling"); counts are scaled by the inverse so the
   /// optimizer sees unbiased totals. 1.0 = exact maintenance.
   double stats_sample_fraction = 1.0;
+  /// When true (and stats_sample_fraction == 1.0) the statistics grid is
+  /// delta-maintained across adaptations: each node's previous contribution
+  /// is relocated only when its cell or quantized speed changed, instead of
+  /// ClearNodes() + full repopulation. Bitwise identical to the rebuild
+  /// (integer grid accumulators; neither path consumes stats RNG at
+  /// fraction 1.0). Sampled statistics fall back to the rebuild.
+  bool incremental_stats = true;
   /// Optional telemetry (not owned; must outlive the server). When set, the
   /// server maintains `lira.queue.*` instruments on every Receive and
   /// records the adaptation loop -- z trajectory, per-stage plan-build
@@ -156,6 +163,11 @@ class CqServer {
     telemetry::Gauge* high_watermark = nullptr;
   };
 
+  /// True when the delta-maintenance fast path owns the node statistics.
+  bool IncrementalStatsEnabled() const {
+    return config_.incremental_stats && config_.stats_sample_fraction == 1.0;
+  }
+
   CqServerConfig config_;
   const LoadSheddingPolicy* policy_;
   const UpdateReductionFunction* reduction_;
@@ -175,6 +187,17 @@ class CqServer {
   double plan_build_seconds_ = 0.0;
   int64_t plan_builds_ = 0;
   QueueInstruments queue_instruments_;
+  /// Delta-maintenance state: each node's last contribution to the grid
+  /// (flat cell index, -1 = none, and the speed it was added with).
+  std::vector<int32_t> stats_cell_of_;
+  std::vector<double> stats_speed_of_;
+  /// Query-count refresh skip: (registry size, margin) of the counts
+  /// currently in the grid. The registry is append-only, so the size
+  /// captures content changes; InstallQueries invalidates explicitly.
+  bool query_stats_valid_ = false;
+  int32_t query_stats_size_ = -1;
+  double query_stats_margin_ = -1.0;
+  telemetry::Counter* cells_dirtied_counter_ = nullptr;
 };
 
 }  // namespace lira

@@ -7,8 +7,7 @@
 #include "lira/common/parallel.h"
 #include "lira/common/rng.h"
 #include "lira/common/stats.h"
-#include "lira/cq/evaluator.h"
-#include "lira/index/grid_index.h"
+#include "lira/cq/incremental_evaluator.h"
 #include "lira/motion/dead_reckoning.h"
 #include "lira/server/cq_server.h"
 #include "lira/server/history_store.h"
@@ -56,6 +55,7 @@ StatusOr<SimulationResult> RunSimulation(const World& world,
   server_config.fixed_z = config.z;
   server_config.record_history = config.evaluate_history;
   server_config.stats_sample_fraction = config.stats_sample_fraction;
+  server_config.incremental_stats = config.incremental;
   // The harness evaluates queries through its own snapshot indexes; skip
   // the server's incremental TPR maintenance.
   server_config.maintain_index = false;
@@ -79,17 +79,16 @@ StatusOr<SimulationResult> RunSimulation(const World& world,
                                                          : 0);
   ErrorMetricsAccumulator metrics(world.queries.size());
 
-  auto truth_index =
-      GridIndex::Create(world.world_rect(), config.index_cells,
-                        world.num_nodes());
-  if (!truth_index.ok()) {
-    return truth_index.status();
-  }
-  auto believed_index =
-      GridIndex::Create(world.world_rect(), config.index_cells,
-                        world.num_nodes());
-  if (!believed_index.ok()) {
-    return believed_index.status();
+  // Accuracy sampling goes through the IncrementalEvaluator: in the default
+  // incremental mode it maintains per-query member sets as deltas and skips
+  // unmoved nodes; kFullRescan reproduces the original GridIndex +
+  // CompareAllQueries pass verbatim. Both produce bitwise-identical output.
+  auto evaluator = IncrementalEvaluator::Create(
+      world.world_rect(), config.index_cells, world.num_nodes(),
+      world.queries,
+      config.incremental ? EvalMode::kIncremental : EvalMode::kFullRescan);
+  if (!evaluator.ok()) {
+    return evaluator.status();
   }
 
   int64_t measured_updates = 0;
@@ -113,6 +112,9 @@ StatusOr<SimulationResult> RunSimulation(const World& world,
   std::vector<Point> believed_positions(num_nodes);
   std::vector<char> believed_known(num_nodes, 0);
   const double delta_min = world.reduction.delta_min();
+  // Cumulative evaluator counters already forwarded to telemetry.
+  int64_t deltas_emitted = 0;
+  int64_t touched_emitted = 0;
 
   for (int32_t frame = 0; frame < trace.num_frames(); ++frame) {
     const double t = trace.TimeOf(frame);
@@ -194,16 +196,18 @@ StatusOr<SimulationResult> RunSimulation(const World& world,
               }
             }
           });
-      for (NodeId id = 0; id < world.num_nodes(); ++id) {
-        truth_index->Update(id, truth_positions[id]);
-        if (believed_known[id] != 0) {
-          believed_index->Update(id, believed_positions[id]);
-        } else {
-          believed_index->Remove(id);
-        }
+      evaluator->ApplySample(truth_positions, believed_positions,
+                             believed_known, &pool);
+      metrics.AddSample(evaluator->Evaluate(&pool));
+      if (config.telemetry != nullptr) {
+        telemetry::TelemetrySink& sink = *config.telemetry;
+        sink.Count("lira.cq.delta_applied", t,
+                   evaluator->deltas_applied() - deltas_emitted);
+        sink.Count("lira.cq.queries_touched", t,
+                   evaluator->queries_touched() - touched_emitted);
+        deltas_emitted = evaluator->deltas_applied();
+        touched_emitted = evaluator->queries_touched();
       }
-      metrics.AddSample(CompareAllQueries(*truth_index, *believed_index,
-                                          world.queries, &pool));
     }
   }
 

@@ -40,6 +40,14 @@ struct SimulationConfig {
   int32_t sample_every = 5;
   /// Spatial-index resolution for query evaluation.
   int32_t index_cells = 64;
+  /// When true (the default) accuracy sampling and server statistics are
+  /// delta-maintained: the IncrementalEvaluator walks only queries whose
+  /// membership can have changed since the last sample, and the server
+  /// relocates per-node statistics contributions instead of rebuilding the
+  /// grid. Bitwise identical to the full-rescan path (asserted in
+  /// sim/simulation_test); false forces the original recompute-everything
+  /// paths, kept for verification and benchmarking.
+  bool incremental = true;
   /// When true, the server records trajectory history and the run is
   /// followed by an historical-accuracy evaluation: random snapshot range
   /// queries at uniformly random past times/locations, compared against the

@@ -193,6 +193,99 @@ TEST(StatisticsGridTest, CellStatsBundlesAccessors) {
   EXPECT_DOUBLE_EQ(stats.m, 0.0);
 }
 
+TEST(StatisticsGridTest, AddNodeAtMatchesAddNode) {
+  StatisticsGrid by_point = MakeGrid();
+  StatisticsGrid by_cell = MakeGrid();
+  Rng rng(99);
+  for (int i = 0; i < 200; ++i) {
+    const Point p{rng.Uniform(0.0, 800.0), rng.Uniform(0.0, 800.0)};
+    const double speed = rng.Uniform(0.0, 40.0);
+    by_point.AddNode(p, speed);
+    by_cell.AddNodeAt(by_cell.CellIndexOf(p), speed);
+  }
+  for (int32_t iy = 0; iy < 8; ++iy) {
+    for (int32_t ix = 0; ix < 8; ++ix) {
+      EXPECT_EQ(by_point.NodeCount(ix, iy), by_cell.NodeCount(ix, iy));
+      EXPECT_EQ(by_point.MeanSpeed(ix, iy), by_cell.MeanSpeed(ix, iy));
+    }
+  }
+  EXPECT_EQ(by_point.TotalNodes(), by_cell.TotalNodes());
+  EXPECT_EQ(by_point.OverallMeanSpeed(), by_cell.OverallMeanSpeed());
+}
+
+// The delta-maintenance contract: after any interleaving of adds, removes,
+// and node relocations, the grid is bitwise identical to a from-scratch
+// rebuild of the surviving observations. Integer accumulators make this
+// exact, not approximate.
+TEST(StatisticsGridTest, IncrementalMaintenanceIsBitwiseEqualToRebuild) {
+  constexpr int32_t kNodes = 150;
+  StatisticsGrid live = MakeGrid();
+  Rng rng(314);
+  std::vector<bool> present(kNodes, false);
+  std::vector<Point> positions(kNodes);
+  std::vector<double> speeds(kNodes, 0.0);
+  for (int step = 0; step < 3000; ++step) {
+    const auto id = static_cast<int32_t>(rng.UniformInt(kNodes));
+    if (present[id]) {
+      live.RemoveNode(positions[id], speeds[id]);
+      present[id] = false;
+    }
+    if (rng.Uniform(0.0, 1.0) < 0.85) {
+      positions[id] = {rng.Uniform(0.0, 800.0), rng.Uniform(0.0, 800.0)};
+      speeds[id] = rng.Uniform(0.0, 40.0);
+      live.AddNode(positions[id], speeds[id]);
+      present[id] = true;
+    }
+  }
+  StatisticsGrid rebuilt = MakeGrid();
+  for (int32_t id = 0; id < kNodes; ++id) {
+    if (present[id]) {
+      rebuilt.AddNode(positions[id], speeds[id]);
+    }
+  }
+  for (int32_t iy = 0; iy < 8; ++iy) {
+    for (int32_t ix = 0; ix < 8; ++ix) {
+      ASSERT_EQ(live.NodeCount(ix, iy), rebuilt.NodeCount(ix, iy));
+      ASSERT_EQ(live.MeanSpeed(ix, iy), rebuilt.MeanSpeed(ix, iy));
+    }
+  }
+  EXPECT_EQ(live.TotalNodes(), rebuilt.TotalNodes());
+  EXPECT_EQ(live.OverallMeanSpeed(), rebuilt.OverallMeanSpeed());
+}
+
+TEST(StatisticsGridTest, TotalsStayConsistentWithCellSums) {
+  StatisticsGrid grid = MakeGrid();
+  grid.AddNode({10.0, 10.0}, 5.0);
+  grid.AddNode({700.0, 700.0}, 15.0);
+  // Unmatched removal clamps at zero without corrupting the running totals.
+  grid.RemoveNode({400.0, 400.0}, 99.0);
+  double cell_nodes = 0.0;
+  double cell_speed_dot = 0.0;
+  for (int32_t iy = 0; iy < 8; ++iy) {
+    for (int32_t ix = 0; ix < 8; ++ix) {
+      cell_nodes += grid.NodeCount(ix, iy);
+      cell_speed_dot += grid.MeanSpeed(ix, iy) * grid.NodeCount(ix, iy);
+    }
+  }
+  EXPECT_EQ(grid.TotalNodes(), cell_nodes);
+  EXPECT_NEAR(grid.OverallMeanSpeed(), cell_speed_dot / cell_nodes, 1e-12);
+
+  QueryRegistry registry;
+  registry.Add(Rect{0.0, 0.0, 400.0, 400.0});
+  registry.Add(Rect{100.0, 100.0, 300.0, 500.0});
+  grid.AddQueries(registry);
+  double cell_queries = 0.0;
+  for (int32_t iy = 0; iy < 8; ++iy) {
+    for (int32_t ix = 0; ix < 8; ++ix) {
+      cell_queries += grid.QueryCount(ix, iy);
+    }
+  }
+  EXPECT_EQ(grid.TotalQueries(), cell_queries);  // cached lazily
+  EXPECT_EQ(grid.TotalQueries(), cell_queries);  // cache hit agrees
+  grid.ClearQueries();
+  EXPECT_EQ(grid.TotalQueries(), 0.0);
+}
+
 TEST(RegionStatsTest, AdditionMergesSpeedByNodeWeight) {
   RegionStats a;
   a.n = 3;

@@ -1,0 +1,146 @@
+#include "lira/cq/query_index.h"
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "lira/common/rng.h"
+
+namespace lira {
+namespace {
+
+constexpr Rect kWorld{0.0, 0.0, 1000.0, 1000.0};
+
+QueryIndex MakeIndex(int32_t cells = 10, double margin = 0.0) {
+  auto index = QueryIndex::Create(kWorld, cells, margin);
+  EXPECT_TRUE(index.ok());
+  return *std::move(index);
+}
+
+/// All candidate query ids listed for `cell`, ascending.
+std::vector<QueryId> Candidates(const QueryIndex& index, int32_t cell) {
+  std::vector<QueryId> ids;
+  for (const QueryIndex::PartialEntry& e : index.Partial(cell)) {
+    ids.push_back(e.id);
+  }
+  for (QueryId id : index.Full(cell)) {
+    ids.push_back(id);
+  }
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+TEST(QueryIndexTest, CreateValidation) {
+  EXPECT_FALSE(QueryIndex::Create(Rect{0, 0, 0, 10}, 4).ok());
+  EXPECT_FALSE(QueryIndex::Create(kWorld, 0).ok());
+  EXPECT_FALSE(QueryIndex::Create(kWorld, 4, -1.0).ok());
+  EXPECT_TRUE(QueryIndex::Create(kWorld, 1).ok());
+}
+
+TEST(QueryIndexTest, InsertListsOverlappedCellsOnly) {
+  QueryIndex index = MakeIndex();
+  // Query inside cell (2,3) only.
+  index.Insert(0, Rect{210.0, 310.0, 290.0, 390.0});
+  const int32_t home = index.CellIndexOf({250.0, 350.0});
+  EXPECT_EQ(Candidates(index, home), std::vector<QueryId>{0});
+  EXPECT_TRUE(Candidates(index, index.CellIndexOf({50.0, 50.0})).empty());
+  EXPECT_TRUE(index.Full(home).empty());  // does not cover the cell
+}
+
+TEST(QueryIndexTest, FullCoverageClassification) {
+  QueryIndex index = MakeIndex();
+  // Covers cells (1..3, 1..3) fully, overlaps the surrounding ring
+  // partially.
+  index.Insert(7, Rect{50.0, 50.0, 450.0, 450.0});
+  const int32_t inner = index.CellIndexOf({250.0, 250.0});
+  EXPECT_EQ(index.Full(inner), std::vector<QueryId>{7});
+  EXPECT_TRUE(index.Partial(inner).empty());
+  const int32_t edge = index.CellIndexOf({25.0, 250.0});
+  EXPECT_TRUE(index.Full(edge).empty());
+  ASSERT_EQ(index.Partial(edge).size(), 1u);
+  EXPECT_EQ(index.Partial(edge)[0].id, 7);
+}
+
+TEST(QueryIndexTest, EraseIsInverseOfInsert) {
+  QueryIndex index = MakeIndex();
+  const Rect a{100.0, 100.0, 400.0, 400.0};
+  const Rect b{250.0, 250.0, 600.0, 600.0};
+  index.Insert(0, a);
+  index.Insert(1, b);
+  index.Erase(0, a);
+  for (int32_t cell = 0; cell < 100; ++cell) {
+    for (QueryId id : Candidates(index, cell)) {
+      EXPECT_EQ(id, 1) << "cell " << cell;
+    }
+  }
+  index.Erase(1, b);
+  for (int32_t cell = 0; cell < 100; ++cell) {
+    EXPECT_TRUE(Candidates(index, cell).empty()) << "cell " << cell;
+  }
+}
+
+TEST(QueryIndexTest, ListsStaySortedById) {
+  QueryIndex index = MakeIndex(4);
+  Rng rng(11);
+  // Insert in shuffled id order; lists must come out ascending.
+  const std::vector<QueryId> order = {5, 1, 9, 0, 3, 7, 2, 8, 4, 6};
+  for (QueryId id : order) {
+    index.Insert(id, Rect{0.0, 0.0, 1000.0, 1000.0});
+  }
+  for (int32_t cell = 0; cell < 16; ++cell) {
+    const auto& full = index.Full(cell);
+    EXPECT_TRUE(std::is_sorted(full.begin(), full.end())) << "cell " << cell;
+    const auto& partial = index.Partial(cell);
+    EXPECT_TRUE(std::is_sorted(
+        partial.begin(), partial.end(),
+        [](const QueryIndex::PartialEntry& x,
+           const QueryIndex::PartialEntry& y) { return x.id < y.id; }))
+        << "cell " << cell;
+  }
+}
+
+// The coverage guarantee the IncrementalEvaluator depends on: every query
+// containing a point appears in the lists of the point's assigned cell, and
+// "full" classification implies containment of every point in the cell.
+TEST(QueryIndexTest, CoverageGuaranteeAgainstBruteForce) {
+  QueryIndex index = MakeIndex(/*cells=*/16);
+  Rng rng(404);
+  std::vector<Rect> ranges;
+  for (QueryId id = 0; id < 60; ++id) {
+    const double x0 = rng.Uniform(-50.0, 950.0);
+    const double y0 = rng.Uniform(-50.0, 950.0);
+    const Rect range{x0, y0, x0 + rng.Uniform(5.0, 400.0),
+                     y0 + rng.Uniform(5.0, 400.0)};
+    ranges.push_back(range);
+    index.Insert(id, range);
+  }
+  for (int trial = 0; trial < 2000; ++trial) {
+    // Include exact cell-boundary coordinates in the probe distribution.
+    Point p{rng.Uniform(0.0, 1000.0), rng.Uniform(0.0, 1000.0)};
+    if (trial % 5 == 0) {
+      p.x = 62.5 * static_cast<double>(rng.UniformInt(17));
+      p.y = 62.5 * static_cast<double>(rng.UniformInt(17));
+    }
+    // Positions are clamped before any containment test in the evaluator.
+    p = kWorld.Clamp(p);
+    const int32_t cell = index.CellIndexOf(p);
+    const std::vector<QueryId> listed = Candidates(index, cell);
+    for (QueryId id = 0; id < 60; ++id) {
+      if (ranges[id].Contains(p)) {
+        EXPECT_TRUE(
+            std::binary_search(listed.begin(), listed.end(), id))
+            << "query " << id << " contains (" << p.x << ", " << p.y
+            << ") but is not listed for its cell";
+      }
+    }
+    for (QueryId id : index.Full(cell)) {
+      EXPECT_TRUE(ranges[id].Contains(p))
+          << "query " << id << " is full for cell " << cell
+          << " but does not contain (" << p.x << ", " << p.y << ")";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace lira

@@ -119,6 +119,53 @@ TEST(GridIndexTest, QueryPartiallyOutsideWorldIsClipped) {
   EXPECT_EQ(index.RangeCount(Rect{-50.0, -50.0, 5.0, 5.0}), 1);
 }
 
+// Swap-remove compaction must keep every bucket, slot, and position
+// consistent under arbitrary interleavings of Update/Remove. Compare the
+// index against a brute-force position map after a long random walk.
+TEST(GridIndexTest, RandomizedUpdateRemoveMatchesBruteForce) {
+  constexpr int32_t kNodes = 120;
+  GridIndex index = MakeIndex(/*cells=*/8, kNodes);
+  Rng rng(2024);
+  std::vector<bool> present(kNodes, false);
+  std::vector<Point> positions(kNodes);
+  for (int step = 0; step < 5000; ++step) {
+    const auto id = static_cast<NodeId>(rng.UniformInt(kNodes));
+    if (present[id] && rng.Uniform(0.0, 1.0) < 0.3) {
+      index.Remove(id);
+      present[id] = false;
+    } else {
+      const Point p{rng.Uniform(0.0, 100.0), rng.Uniform(0.0, 100.0)};
+      index.Update(id, p);
+      present[id] = true;
+      positions[id] = p;
+    }
+    if (step % 250 != 0) {
+      continue;
+    }
+    int32_t expected_size = 0;
+    for (NodeId n = 0; n < kNodes; ++n) {
+      ASSERT_EQ(index.Contains(n), present[n]) << "step " << step;
+      if (present[n]) {
+        ++expected_size;
+        ASSERT_EQ(index.PositionOf(n), positions[n]) << "step " << step;
+      }
+    }
+    ASSERT_EQ(index.size(), expected_size);
+    const double x0 = rng.Uniform(0.0, 70.0);
+    const double y0 = rng.Uniform(0.0, 70.0);
+    const Rect range{x0, y0, x0 + 30.0, y0 + 30.0};
+    std::vector<NodeId> expected;
+    for (NodeId n = 0; n < kNodes; ++n) {
+      if (present[n] && range.Contains(positions[n])) {
+        expected.push_back(n);
+      }
+    }
+    std::vector<NodeId> actual = index.RangeQuery(range);
+    std::sort(actual.begin(), actual.end());
+    ASSERT_EQ(actual, expected) << "step " << step;
+  }
+}
+
 TEST(GridIndexTest, ManyUpdatesKeepConsistentSize) {
   GridIndex index = MakeIndex(8, 50);
   Rng rng(5);

@@ -387,6 +387,53 @@ TEST_F(CqServerTest, NoTelemetryByDefault) {
   ASSERT_TRUE(server->Adapt().ok());  // runs clean with a null sink
 }
 
+TEST_F(CqServerTest, IncrementalStatisticsMatchRebuildBitwise) {
+  // Two servers fed identical update streams across several adaptations:
+  // the delta-maintained statistics grid must be bitwise equal to the
+  // ClearNodes() + repopulate path, cell by cell.
+  auto config = BaseConfig();
+  config.num_nodes = 120;
+  config.queue_capacity = 2000;
+  config.service_rate = 10000.0;
+  config.adaptation_period = 4.0;
+  auto incremental =
+      CqServer::Create(config, &uniform_policy_, &*reduction_, &queries_);
+  config.incremental_stats = false;
+  auto rebuild =
+      CqServer::Create(config, &uniform_policy_, &*reduction_, &queries_);
+  ASSERT_TRUE(incremental.ok() && rebuild.ok());
+  Rng rng(99);
+  for (int t = 0; t < 20; ++t) {
+    std::vector<ModelUpdate> batch;
+    for (NodeId id = 0; id < config.num_nodes; ++id) {
+      // Most nodes drift; some go silent each tick (stale predictions) and
+      // some jump across the world (cell changes).
+      if (rng.Uniform(0.0, 1.0) < 0.2) continue;
+      const Point p{rng.Uniform(-40.0, 1640.0), rng.Uniform(-40.0, 1640.0)};
+      const Vec2 v{rng.Uniform(-8.0, 8.0), rng.Uniform(-8.0, 8.0)};
+      batch.push_back(UpdateFor(id, p, v, t));
+    }
+    incremental->Receive(batch);
+    rebuild->Receive(std::move(batch));
+    ASSERT_TRUE(incremental->Tick(1.0).ok());
+    ASSERT_TRUE(rebuild->Tick(1.0).ok());
+    const StatisticsGrid& a = incremental->stats();
+    const StatisticsGrid& b = rebuild->stats();
+    ASSERT_EQ(a.TotalNodes(), b.TotalNodes()) << "t=" << t;
+    for (int32_t iy = 0; iy < config.alpha; ++iy) {
+      for (int32_t ix = 0; ix < config.alpha; ++ix) {
+        ASSERT_EQ(a.NodeCount(ix, iy), b.NodeCount(ix, iy))
+            << "t=" << t << " cell (" << ix << ", " << iy << ")";
+        ASSERT_EQ(a.MeanSpeed(ix, iy), b.MeanSpeed(ix, iy))
+            << "t=" << t << " cell (" << ix << ", " << iy << ")";
+      }
+    }
+    ASSERT_EQ(incremental->plan().MaxDelta(), rebuild->plan().MaxDelta())
+        << "t=" << t;
+  }
+  EXPECT_GT(incremental->plan_builds(), 2);
+}
+
 TEST_F(CqServerTest, SampledStatisticsApproximateTotals) {
   auto config = BaseConfig();
   config.num_nodes = 400;

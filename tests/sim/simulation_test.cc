@@ -220,6 +220,58 @@ TEST_F(SimulationTest, IdenticalResultsForAnyThreadCount) {
   }
 }
 
+// The incremental engine's equivalence contract: delta-maintained accuracy
+// sampling and server statistics produce a SimulationResult bitwise
+// identical to the recompute-everything paths, at any thread count
+// (DESIGN.md §8).
+TEST_F(SimulationTest, IncrementalModeMatchesFullRescanBitwise) {
+  const LiraPolicy lira(SmallLira());
+  SimulationConfig config = FastConfig();
+  config.z = 0.5;
+  config.auto_throttle = true;
+  config.service_rate_override = 0.6 * world_->full_update_rate;
+
+  config.incremental = false;
+  config.threads = 1;
+  auto rescan = RunSimulation(*world_, lira, config);
+  ASSERT_TRUE(rescan.ok());
+
+  for (int32_t threads : {1, 8}) {
+    config.incremental = true;
+    config.threads = threads;
+    auto incremental = RunSimulation(*world_, lira, config);
+    ASSERT_TRUE(incremental.ok()) << "threads=" << threads;
+    EXPECT_EQ(incremental->updates_sent, rescan->updates_sent)
+        << "threads=" << threads;
+    EXPECT_EQ(incremental->updates_dropped, rescan->updates_dropped)
+        << "threads=" << threads;
+    EXPECT_EQ(incremental->updates_applied, rescan->updates_applied)
+        << "threads=" << threads;
+    EXPECT_EQ(incremental->final_z, rescan->final_z)
+        << "threads=" << threads;
+    EXPECT_EQ(incremental->metrics.mean_containment_error,
+              rescan->metrics.mean_containment_error)
+        << "threads=" << threads;
+    EXPECT_EQ(incremental->metrics.mean_position_error,
+              rescan->metrics.mean_position_error)
+        << "threads=" << threads;
+    EXPECT_EQ(incremental->metrics.containment_error_stddev,
+              rescan->metrics.containment_error_stddev)
+        << "threads=" << threads;
+    EXPECT_EQ(incremental->metrics.containment_error_cov,
+              rescan->metrics.containment_error_cov)
+        << "threads=" << threads;
+    EXPECT_EQ(incremental->final_plan_regions, rescan->final_plan_regions)
+        << "threads=" << threads;
+    EXPECT_EQ(incremental->final_plan_min_delta,
+              rescan->final_plan_min_delta)
+        << "threads=" << threads;
+    EXPECT_EQ(incremental->final_plan_max_delta,
+              rescan->final_plan_max_delta)
+        << "threads=" << threads;
+  }
+}
+
 TEST_F(SimulationTest, RejectsNegativeThreads) {
   UniformDeltaPolicy policy;
   SimulationConfig config = FastConfig();
