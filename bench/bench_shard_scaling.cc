@@ -1,0 +1,253 @@
+// Shard-scaling benchmark (DESIGN.md §9): wall-clock cost of the
+// ServerCluster's two hot paths -- the per-tick ingest/track/stats loop and
+// the coordinator's merge + plan-build adaptation -- at increasing shard
+// counts, against one precomputed update stream.
+//
+//   bench_shard_scaling [--nodes 10000] [--ticks 200] [--adaptations 10]
+//                       [--shards-list 1,2,4,8] [--threads 0]
+//                       [--json BENCH_shard.json]
+//
+// Each shard count is a genuinely different system (per-shard queue
+// capacity ceil(B/S) and service rate mu/S), so rows are not bitwise
+// comparable across S; what the table shows is the cost of the routed
+// fan-out and of the integer-exact grid merge as S grows. The adaptation
+// period is set beyond the run so every Adapt() is explicit and timed.
+// On a single-core host expect flat-to-slightly-worse scaling: the rows
+// then measure the sharding overhead itself, which must stay small.
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "lira/common/rng.h"
+#include "lira/core/policy.h"
+#include "lira/cq/query_registry.h"
+#include "lira/motion/update_reduction.h"
+#include "lira/server/server_cluster.h"
+
+namespace lira {
+namespace {
+
+constexpr Rect kWorld{0.0, 0.0, 10000.0, 10000.0};
+constexpr double kTickSeconds = 0.1;
+
+std::vector<int32_t> ParseShardsList(const char* arg) {
+  std::vector<int32_t> out;
+  const char* p = arg;
+  while (*p != '\0') {
+    char* end = nullptr;
+    const long v = std::strtol(p, &end, 10);
+    if (end == p || v < 1) {
+      std::fprintf(stderr, "bad --shards-list entry in '%s'\n", arg);
+      std::exit(2);
+    }
+    out.push_back(static_cast<int32_t>(v));
+    p = (*end == ',') ? end + 1 : end;
+  }
+  return out;
+}
+
+/// One deterministic update stream shared by every shard count: each tick,
+/// roughly half the population reports a fresh linear model. Positions
+/// random-walk so updates keep crossing shard boundaries (handoffs are part
+/// of the cost being measured).
+std::vector<std::vector<ModelUpdate>> MakeBatches(int32_t nodes,
+                                                  int32_t ticks,
+                                                  uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Point> pos(nodes);
+  for (int32_t id = 0; id < nodes; ++id) {
+    pos[id] = {rng.Uniform(0.0, 10000.0), rng.Uniform(0.0, 10000.0)};
+  }
+  std::vector<std::vector<ModelUpdate>> batches(ticks);
+  for (int32_t t = 0; t < ticks; ++t) {
+    const double now = t * kTickSeconds;
+    for (int32_t id = 0; id < nodes; ++id) {
+      pos[id].x += rng.Uniform(-15.0, 15.0);
+      pos[id].y += rng.Uniform(-15.0, 15.0);
+      if (rng.Uniform(0.0, 1.0) > 0.5) continue;
+      ModelUpdate u;
+      u.node_id = id;
+      u.model = LinearMotionModel{
+          pos[id], {rng.Uniform(-15.0, 15.0), rng.Uniform(-15.0, 15.0)}, now};
+      batches[t].push_back(u);
+    }
+  }
+  return batches;
+}
+
+double Seconds(std::chrono::steady_clock::time_point a,
+               std::chrono::steady_clock::time_point b) {
+  return std::chrono::duration<double>(b - a).count();
+}
+
+}  // namespace
+}  // namespace lira
+
+int main(int argc, char** argv) {
+  using namespace lira;
+  int32_t nodes = 10000;
+  int32_t ticks = 200;
+  int32_t adaptations = 10;
+  int32_t threads = 0;
+  std::vector<int32_t> shard_counts = {1, 2, 4, 8};
+  std::string json_path = "BENCH_shard.json";
+  for (int i = 1; i < argc; ++i) {
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", argv[i]);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (!std::strcmp(argv[i], "--nodes")) {
+      nodes = std::atoi(next());
+    } else if (!std::strcmp(argv[i], "--ticks")) {
+      ticks = std::atoi(next());
+    } else if (!std::strcmp(argv[i], "--adaptations")) {
+      adaptations = std::atoi(next());
+    } else if (!std::strcmp(argv[i], "--threads")) {
+      threads = std::atoi(next());
+    } else if (!std::strcmp(argv[i], "--shards-list")) {
+      shard_counts = ParseShardsList(next());
+    } else if (!std::strcmp(argv[i], "--json")) {
+      json_path = next();
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--nodes N] [--ticks T] [--adaptations A]"
+                   " [--shards-list 1,2,4,8] [--threads N] [--json PATH]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  std::printf("generating %d ticks of updates for %d nodes\n", ticks, nodes);
+  const auto batches = MakeBatches(nodes, ticks, 42);
+  int64_t stream_updates = 0;
+  for (const auto& batch : batches) {
+    stream_updates += static_cast<int64_t>(batch.size());
+  }
+
+  LiraConfig lira_config;
+  lira_config.l = 100;
+  const LiraPolicy policy(lira_config);
+  auto analytic = AnalyticReduction::Create(5.0, 100.0, 0.7, 1.0);
+  if (!analytic.ok()) {
+    std::fprintf(stderr, "%s\n", analytic.status().ToString().c_str());
+    return 1;
+  }
+  auto reduction = PiecewiseLinearReduction::SampleFunction(
+      5.0, 100.0, 95, [&](double d) { return analytic->Eval(d); });
+  if (!reduction.ok()) {
+    std::fprintf(stderr, "%s\n", reduction.status().ToString().c_str());
+    return 1;
+  }
+  QueryRegistry queries;
+  Rng query_rng(7);
+  for (int q = 0; q < 50; ++q) {
+    const double side = query_rng.Uniform(400.0, 1500.0);
+    const double x0 = query_rng.Uniform(0.0, 10000.0 - side);
+    const double y0 = query_rng.Uniform(0.0, 10000.0 - side);
+    queries.Add(Rect{x0, y0, x0 + side, y0 + side});
+  }
+
+  std::printf("stream: %lld updates over %d ticks, %d queries\n\n",
+              static_cast<long long>(stream_updates), ticks,
+              queries.size());
+  std::printf("%-8s %12s %14s %14s %12s\n", "shards", "ingest_s",
+              "upd_per_s", "adapt_ms", "applied");
+
+  struct Row {
+    int32_t shards;
+    double ingest_seconds;
+    double ingest_rate;
+    double adapt_seconds_mean;
+    int64_t applied;
+    int64_t dropped;
+  };
+  std::vector<Row> rows;
+  std::vector<ModelUpdate> scratch;
+  for (int32_t shards : shard_counts) {
+    ServerClusterConfig config;
+    config.server.num_nodes = nodes;
+    config.server.world = kWorld;
+    config.server.alpha = 64;
+    config.server.queue_capacity = static_cast<size_t>(nodes);
+    // Keep the servers unsaturated: the rows time the pipeline work, not
+    // queue starvation.
+    config.server.service_rate = 20.0 * nodes;
+    // Never adapt inside Tick; every Adapt() below is explicit and timed.
+    config.server.adaptation_period = 1e9;
+    config.server.fixed_z = 0.5;
+    config.shards = shards;
+    config.threads = threads;
+    auto cluster =
+        ServerCluster::Create(config, &policy, &*reduction, &queries);
+    if (!cluster.ok()) {
+      std::fprintf(stderr, "ServerCluster::Create(S=%d): %s\n", shards,
+                   cluster.status().ToString().c_str());
+      return 1;
+    }
+
+    const auto t0 = std::chrono::steady_clock::now();
+    for (const auto& batch : batches) {
+      scratch = batch;  // ReceiveBatch consumes its input
+      (*cluster)->ReceiveBatch(&scratch);
+      if (auto s = (*cluster)->Tick(kTickSeconds); !s.ok()) {
+        std::fprintf(stderr, "Tick: %s\n", s.ToString().c_str());
+        return 1;
+      }
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+    for (int32_t a = 0; a < adaptations; ++a) {
+      if (auto s = (*cluster)->Adapt(); !s.ok()) {
+        std::fprintf(stderr, "Adapt: %s\n", s.ToString().c_str());
+        return 1;
+      }
+    }
+    const auto t2 = std::chrono::steady_clock::now();
+
+    Row row;
+    row.shards = shards;
+    row.ingest_seconds = Seconds(t0, t1);
+    row.ingest_rate =
+        static_cast<double>((*cluster)->updates_applied()) /
+        (row.ingest_seconds > 0.0 ? row.ingest_seconds : 1e-12);
+    row.adapt_seconds_mean =
+        Seconds(t1, t2) / (adaptations > 0 ? adaptations : 1);
+    row.applied = (*cluster)->updates_applied();
+    row.dropped = (*cluster)->queue_dropped();
+    rows.push_back(row);
+    std::printf("%-8d %12.3f %14.0f %14.2f %12lld\n", shards,
+                row.ingest_seconds, row.ingest_rate,
+                1e3 * row.adapt_seconds_mean,
+                static_cast<long long>(row.applied));
+  }
+
+  std::ofstream json(json_path);
+  if (!json) {
+    std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+    return 1;
+  }
+  json << "{\n  \"nodes\": " << nodes << ",\n  \"ticks\": " << ticks
+       << ",\n  \"stream_updates\": " << stream_updates
+       << ",\n  \"rows\": [\n";
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const Row& row = rows[i];
+    json << "    {\"shards\": " << row.shards
+         << ", \"ingest_seconds\": " << row.ingest_seconds
+         << ", \"ingest_updates_per_second\": " << row.ingest_rate
+         << ", \"adapt_seconds_mean\": " << row.adapt_seconds_mean
+         << ", \"updates_applied\": " << row.applied
+         << ", \"updates_dropped\": " << row.dropped << "}"
+         << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  json << "  ]\n}\n";
+  std::printf("\nwrote %s\n", json_path.c_str());
+  return 0;
+}

@@ -100,6 +100,18 @@ inline int32_t ThreadsFromArgs(int argc, char** argv) {
   return 0;
 }
 
+/// Parses `--shards N` from a bench binary's command line (0 = the
+/// monolithic CqServer, the default; N >= 1 runs the region-sharded
+/// ServerCluster); every other flag is left for the caller.
+inline int32_t ShardsFromArgs(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (!std::strcmp(argv[i], "--shards")) {
+      return static_cast<int32_t>(std::atoi(argv[i + 1]));
+    }
+  }
+  return 0;
+}
+
 inline void PrintWorldBanner(const World& world, const char* title) {
   std::printf("%s\n", title);
   std::printf(

@@ -7,10 +7,12 @@
 //           [--mobility walk|trips] [--auto-throttle]
 //           [--capacity-fraction 0.5] [--history] [--seed 42]
 //           [--telemetry out.jsonl] [--telemetry-stride 10]
-//           [--threads N] [--incremental | --no-incremental]
+//           [--threads N] [--shards S] [--incremental | --no-incremental]
 //
 // --threads sets the simulation engine's worker count (0 = hardware
 // concurrency, 1 = fully serial); results are identical for any value.
+// --shards S >= 1 runs the region-sharded ServerCluster instead of the
+// monolithic server (0, the default); S = 1 is bitwise identical to 0.
 // --no-incremental forces the original recompute-everything accuracy and
 // statistics paths (incremental is the default); results are bitwise
 // identical either way, only wall-clock time changes.
@@ -42,7 +44,8 @@ namespace {
       "          [--nodes N] [--distribution NAME] [--mobility walk|trips]\n"
       "          [--auto-throttle] [--capacity-fraction C] [--history]\n"
       "          [--seed S] [--telemetry PATH] [--telemetry-stride K]\n"
-      "          [--threads N] [--incremental | --no-incremental]\n",
+      "          [--threads N] [--shards S]\n"
+      "          [--incremental | --no-incremental]\n",
       argv0);
   std::exit(2);
 }
@@ -64,6 +67,7 @@ int main(int argc, char** argv) {
   std::string telemetry_path;
   int32_t telemetry_stride = 10;
   int32_t threads = 0;
+  int32_t shards = 0;
   bool incremental = true;
 
   for (int i = 1; i < argc; ++i) {
@@ -118,6 +122,8 @@ int main(int argc, char** argv) {
       telemetry_stride = std::atoi(next("--telemetry-stride"));
     } else if (!std::strcmp(argv[i], "--threads")) {
       threads = std::atoi(next("--threads"));
+    } else if (!std::strcmp(argv[i], "--shards")) {
+      shards = std::atoi(next("--shards"));
     } else if (!std::strcmp(argv[i], "--incremental")) {
       incremental = true;
     } else if (!std::strcmp(argv[i], "--no-incremental")) {
@@ -150,6 +156,7 @@ int main(int argc, char** argv) {
   sim.auto_throttle = auto_throttle;
   sim.evaluate_history = history;
   sim.threads = threads;
+  sim.shards = shards;
   sim.incremental = incremental;
   if (capacity_fraction > 0.0) {
     sim.service_rate_override = capacity_fraction * world->full_update_rate;

@@ -122,4 +122,95 @@ int32_t StationForPoint(const std::vector<BaseStation>& stations, Point p) {
   return best;
 }
 
+StationIndex::StationIndex(std::vector<BaseStation> stations)
+    : stations_(std::move(stations)) {
+  bounds_ = Rect{stations_[0].center.x - stations_[0].radius,
+                 stations_[0].center.y - stations_[0].radius,
+                 stations_[0].center.x + stations_[0].radius,
+                 stations_[0].center.y + stations_[0].radius};
+  for (const BaseStation& s : stations_) {
+    bounds_.min_x = std::min(bounds_.min_x, s.center.x - s.radius);
+    bounds_.min_y = std::min(bounds_.min_y, s.center.y - s.radius);
+    bounds_.max_x = std::max(bounds_.max_x, s.center.x + s.radius);
+    bounds_.max_y = std::max(bounds_.max_y, s.center.y + s.radius);
+  }
+  dim_ = std::clamp<int32_t>(
+      static_cast<int32_t>(
+          std::ceil(std::sqrt(static_cast<double>(stations_.size())))),
+      1, 128);
+  cell_w_ = bounds_.width() / dim_;
+  cell_h_ = bounds_.height() / dim_;
+  buckets_.resize(static_cast<size_t>(dim_) * dim_);
+  for (int32_t i = 0; i < static_cast<int32_t>(stations_.size()); ++i) {
+    const BaseStation& s = stations_[i];
+    const auto lo_x = std::clamp(
+        static_cast<int32_t>((s.center.x - s.radius - bounds_.min_x) /
+                             cell_w_),
+        0, dim_ - 1);
+    const auto hi_x = std::clamp(
+        static_cast<int32_t>((s.center.x + s.radius - bounds_.min_x) /
+                             cell_w_),
+        0, dim_ - 1);
+    const auto lo_y = std::clamp(
+        static_cast<int32_t>((s.center.y - s.radius - bounds_.min_y) /
+                             cell_h_),
+        0, dim_ - 1);
+    const auto hi_y = std::clamp(
+        static_cast<int32_t>((s.center.y + s.radius - bounds_.min_y) /
+                             cell_h_),
+        0, dim_ - 1);
+    for (int32_t iy = lo_y; iy <= hi_y; ++iy) {
+      for (int32_t ix = lo_x; ix <= hi_x; ++ix) {
+        const Rect cell{bounds_.min_x + ix * cell_w_,
+                        bounds_.min_y + iy * cell_h_,
+                        bounds_.min_x + (ix + 1) * cell_w_,
+                        bounds_.min_y + (iy + 1) * cell_h_};
+        if (DiscIntersectsRect(s.center, s.radius, cell)) {
+          buckets_[static_cast<size_t>(iy) * dim_ + ix].push_back(i);
+        }
+      }
+    }
+  }
+}
+
+StatusOr<StationIndex> StationIndex::Create(
+    std::vector<BaseStation> stations) {
+  if (stations.empty()) {
+    return InvalidArgumentError("need at least one base station");
+  }
+  for (const BaseStation& s : stations) {
+    if (s.radius <= 0.0) {
+      return InvalidArgumentError("station radius must be positive");
+    }
+  }
+  return StationIndex(std::move(stations));
+}
+
+int32_t StationIndex::Lookup(Point p) const {
+  if (bounds_.Contains(p)) {
+    // Any disc covering p intersects p's cell, so its station is in this
+    // bucket; scanning the bucket in ascending index order reproduces the
+    // reference scan's nearest-then-lowest-index winner exactly.
+    const auto ix = std::clamp(
+        static_cast<int32_t>((p.x - bounds_.min_x) / cell_w_), 0, dim_ - 1);
+    const auto iy = std::clamp(
+        static_cast<int32_t>((p.y - bounds_.min_y) / cell_h_), 0, dim_ - 1);
+    int32_t best = -1;
+    double best_dist = 0.0;
+    for (int32_t i : buckets_[static_cast<size_t>(iy) * dim_ + ix]) {
+      const double d = Distance(stations_[i].center, p);
+      if (d <= stations_[i].radius && (best < 0 || d < best_dist)) {
+        best = i;
+        best_dist = d;
+      }
+    }
+    if (best >= 0) {
+      return best;
+    }
+  }
+  // Outside every disc (or outside the bucketed bounds): the reference
+  // scan, whose fallback picks the nearest station.
+  return StationForPoint(stations_, p);
+}
+
 }  // namespace lira

@@ -45,8 +45,41 @@ StatusOr<std::vector<BaseStation>> DensityAwarePlacement(
     const StatisticsGrid& stats, const DensityPlacementConfig& config);
 
 /// Index of the covering station nearest to `p` (falls back to the nearest
-/// station when no disc covers p). Requires a non-empty vector.
+/// station when no disc covers p). Requires a non-empty vector. Linear scan
+/// over all stations; the reference implementation for StationIndex.
 int32_t StationForPoint(const std::vector<BaseStation>& stations, Point p);
+
+/// Grid-bucketed station lookup: every station is bucketed into the cells
+/// its coverage disc intersects, so a covering lookup scans only the
+/// stations near the point instead of the whole vector. Lookup(p) returns
+/// exactly StationForPoint(stations(), p) for every point (asserted in
+/// basestation/base_station_test); any point no disc covers -- or outside
+/// the bucketed bounds -- takes the reference linear scan.
+class StationIndex {
+ public:
+  /// Requires a non-empty vector; radii must be positive.
+  static StatusOr<StationIndex> Create(std::vector<BaseStation> stations);
+
+  /// Index of the covering station nearest to `p` (ties broken by lowest
+  /// station index, like the reference scan), or the nearest station when
+  /// no disc covers p.
+  int32_t Lookup(Point p) const;
+
+  const std::vector<BaseStation>& stations() const { return stations_; }
+  int32_t grid_dim() const { return dim_; }
+
+ private:
+  explicit StationIndex(std::vector<BaseStation> stations);
+
+  std::vector<BaseStation> stations_;
+  /// Bounding box of every coverage disc.
+  Rect bounds_;
+  int32_t dim_ = 1;
+  double cell_w_ = 0.0;
+  double cell_h_ = 0.0;
+  /// Per cell: indices (ascending) of stations whose disc intersects it.
+  std::vector<std::vector<int32_t>> buckets_;
+};
 
 }  // namespace lira
 

@@ -50,9 +50,13 @@ double MeanRegionsPerNode(const SheddingPlan& plan,
     return 0.0;
   }
   const std::vector<int32_t> counts = RegionsPerStation(plan, stations);
+  // One bucketed index amortized over the node loop; falls back to the
+  // reference scan for inputs the index rejects (non-positive radii).
+  const auto index = StationIndex::Create(stations);
   double total = 0.0;
   for (Point p : node_positions) {
-    total += counts[StationForPoint(stations, p)];
+    total += counts[index.ok() ? index->Lookup(p)
+                               : StationForPoint(stations, p)];
   }
   return total / static_cast<double>(node_positions.size());
 }

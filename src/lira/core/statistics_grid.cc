@@ -117,6 +117,27 @@ void StatisticsGrid::RemoveNodeAt(int32_t cell, double speed) {
   total_speed_q_ -= speed_delta;
 }
 
+Status StatisticsGrid::Merge(const StatisticsGrid& other) {
+  if (alpha_ != other.alpha_ || world_.min_x != other.world_.min_x ||
+      world_.min_y != other.world_.min_y ||
+      world_.max_x != other.world_.max_x ||
+      world_.max_y != other.world_.max_y) {
+    return InvalidArgumentError(
+        "cannot merge statistics grids with different worlds or resolutions");
+  }
+  for (size_t i = 0; i < node_count_.size(); ++i) {
+    node_count_[i] += other.node_count_[i];
+    speed_sum_q_[i] += other.speed_sum_q_[i];
+    if (other.query_count_[i] != 0.0) {
+      query_count_[i] += other.query_count_[i];
+    }
+  }
+  total_node_count_ += other.total_node_count_;
+  total_speed_q_ += other.total_speed_q_;
+  total_queries_valid_ = false;
+  return OkStatus();
+}
+
 void StatisticsGrid::AddQueries(const QueryRegistry& registry,
                                 double margin) {
   LIRA_CHECK(margin >= 0.0);

@@ -67,6 +67,16 @@ class StatisticsGrid {
   void AddNodeAt(int32_t cell, double speed);
   void RemoveNodeAt(int32_t cell, double speed);
 
+  /// Adds every accumulator of `other` into this grid (same world and
+  /// alpha required). Node statistics are integer accumulators, so merging
+  /// disjoint partitions of an observation set is bitwise identical to
+  /// populating one grid with all observations -- the property the
+  /// ServerCluster coordinator relies on when it combines per-shard grids.
+  /// Fractional query counts are added cell-wise as well; callers that need
+  /// bitwise-reproducible query statistics count queries into exactly one
+  /// of the merged grids (FP addition is not associative across orderings).
+  Status Merge(const StatisticsGrid& other);
+
   /// Adds the registry's queries with fractional counting: each query adds
   /// area(q ∩ cell) / area(q) to every overlapped cell's m.
   ///

@@ -10,20 +10,17 @@ namespace lira {
 
 StatusOr<BaseStationNetwork> BaseStationNetwork::Create(
     std::vector<BaseStation> stations) {
-  if (stations.empty()) {
-    return InvalidArgumentError("need at least one base station");
+  auto index = StationIndex::Create(std::move(stations));
+  if (!index.ok()) {
+    return index.status();
   }
-  for (const BaseStation& station : stations) {
-    if (station.radius <= 0.0) {
-      return InvalidArgumentError("station radius must be positive");
-    }
-  }
-  return BaseStationNetwork(std::move(stations));
+  return BaseStationNetwork(*std::move(index));
 }
 
 Status BaseStationNetwork::PublishPlan(const SheddingPlan& plan) {
-  for (size_t s = 0; s < stations_.size(); ++s) {
-    auto payload = EncodePlanSubset(plan, stations_[s]);
+  const std::vector<BaseStation>& stations = index_.stations();
+  for (size_t s = 0; s < stations.size(); ++s) {
+    auto payload = EncodePlanSubset(plan, stations[s]);
     if (!payload.ok()) {
       return payload.status();
     }
@@ -36,7 +33,7 @@ Status BaseStationNetwork::PublishPlan(const SheddingPlan& plan) {
 }
 
 int32_t BaseStationNetwork::StationForPosition(Point p) const {
-  return StationForPoint(stations_, p);
+  return index_.Lookup(p);
 }
 
 const std::vector<uint8_t>& BaseStationNetwork::PayloadFor(

@@ -39,10 +39,13 @@ class BaseStationNetwork {
 
   int64_t epoch() const { return epoch_; }
   int32_t num_stations() const {
-    return static_cast<int32_t>(stations_.size());
+    return static_cast<int32_t>(index_.stations().size());
   }
-  const BaseStation& station(int32_t id) const { return stations_[id]; }
-  /// The covering (or nearest) station for a position.
+  const BaseStation& station(int32_t id) const {
+    return index_.stations()[id];
+  }
+  /// The covering (or nearest) station for a position (grid-bucketed
+  /// StationIndex lookup; equivalent to the StationForPoint scan).
   int32_t StationForPosition(Point p) const;
   /// Encoded payload of a station for the current epoch.
   const std::vector<uint8_t>& PayloadFor(int32_t station) const;
@@ -57,10 +60,10 @@ class BaseStationNetwork {
   int64_t total_handoff_bytes() const { return total_handoff_bytes_; }
 
  private:
-  explicit BaseStationNetwork(std::vector<BaseStation> stations)
-      : stations_(std::move(stations)), payloads_(stations_.size()) {}
+  explicit BaseStationNetwork(StationIndex index)
+      : index_(std::move(index)), payloads_(index_.stations().size()) {}
 
-  std::vector<BaseStation> stations_;
+  StationIndex index_;
   std::vector<std::vector<uint8_t>> payloads_;
   int64_t epoch_ = 0;
   int64_t total_broadcasts_ = 0;

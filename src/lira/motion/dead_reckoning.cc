@@ -51,6 +51,11 @@ void PositionTracker::Apply(const ModelUpdate& update) {
   updates_applied_.fetch_add(1, std::memory_order_relaxed);
 }
 
+void PositionTracker::Forget(NodeId id) {
+  LIRA_DCHECK(id >= 0 && id < num_nodes());
+  has_model_[id] = 0;
+}
+
 std::optional<Point> PositionTracker::PredictAt(NodeId id, double t) const {
   if (!HasModel(id)) {
     return std::nullopt;

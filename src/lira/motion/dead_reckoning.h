@@ -72,6 +72,12 @@ class PositionTracker {
 
   void Apply(const ModelUpdate& update);
 
+  /// Drops the node's current model -- e.g. its ownership migrated to
+  /// another shard's tracker. PredictAt/BelievedSpeed behave as if the node
+  /// never reported until the next Apply; updates_applied() is unchanged
+  /// (it counts Apply calls, not live models).
+  void Forget(NodeId id);
+
   /// Believed position of a node at time t; nullopt if never reported.
   std::optional<Point> PredictAt(NodeId id, double t) const;
 

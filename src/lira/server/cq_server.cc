@@ -1,7 +1,5 @@
 #include "lira/server/cq_server.h"
 
-#include <chrono>
-#include <cmath>
 #include <utility>
 
 namespace lira {
@@ -9,42 +7,22 @@ namespace lira {
 CqServer::CqServer(const CqServerConfig& config,
                    const LoadSheddingPolicy* policy,
                    const UpdateReductionFunction* reduction,
-                   const QueryRegistry* queries, StatisticsGrid stats,
-                   UpdateQueue queue, ThrotLoop throt_loop, SheddingPlan plan,
-                   TprTree index)
+                   const QueryRegistry* queries, IngestStage ingest,
+                   TrackerStage tracker_stage, StatsStage stats_stage,
+                   OptimizerStage optimizer)
     : config_(config),
       policy_(policy),
       reduction_(reduction),
       queries_(queries),
-      stats_(std::move(stats)),
-      queue_(std::move(queue)),
-      throt_loop_(std::move(throt_loop)),
-      tracker_(config.num_nodes),
-      index_(std::move(index)),
-      history_(config.record_history
-                   ? std::optional<HistoryStore>(
-                         HistoryStore(config.num_nodes))
-                   : std::nullopt),
-      plan_(std::move(plan)),
-      z_(config.auto_throttle ? 1.0 : config.fixed_z),
-      next_adaptation_(config.adaptation_period),
-      stats_rng_(config.seed ^ 0x57a75ULL),
-      stats_cell_of_(config.num_nodes, -1),
-      stats_speed_of_(config.num_nodes, 0.0) {
-  if (config_.telemetry != nullptr) {
-    telemetry::MetricRegistry& metrics = config_.telemetry->metrics();
-    queue_instruments_.arrivals = metrics.GetCounter("lira.queue.arrivals");
-    queue_instruments_.dropped = metrics.GetCounter("lira.queue.dropped");
-    queue_instruments_.depth = metrics.GetGauge("lira.queue.depth");
-    queue_instruments_.high_watermark =
-        metrics.GetGauge("lira.queue.high_watermark");
-    cells_dirtied_counter_ = metrics.GetCounter("lira.stats.cells_dirtied");
-  }
-  // Create() already counted the registry into the grid with this margin.
-  query_stats_valid_ = true;
-  query_stats_size_ = queries_->size();
-  query_stats_margin_ = config_.query_margin >= 0.0 ? config_.query_margin
-                                                    : reduction_->delta_max();
+      ingest_(std::move(ingest)),
+      tracker_stage_(std::move(tracker_stage)),
+      stats_stage_(std::move(stats_stage)),
+      optimizer_(std::move(optimizer)),
+      next_adaptation_(config.adaptation_period) {}
+
+double CqServer::QueryMargin() const {
+  return config_.query_margin >= 0.0 ? config_.query_margin
+                                     : reduction_->delta_max();
 }
 
 StatusOr<CqServer> CqServer::Create(const CqServerConfig& config,
@@ -70,61 +48,61 @@ StatusOr<CqServer> CqServer::Create(const CqServerConfig& config,
       config.stats_sample_fraction > 1.0) {
     return InvalidArgumentError("stats_sample_fraction must be in (0, 1]");
   }
-  auto stats = StatisticsGrid::Create(config.world, config.alpha);
-  if (!stats.ok()) {
-    return stats.status();
+
+  StatsStageConfig stats_config;
+  stats_config.num_nodes = config.num_nodes;
+  stats_config.world = config.world;
+  stats_config.alpha = config.alpha;
+  stats_config.stats_sample_fraction = config.stats_sample_fraction;
+  stats_config.incremental_stats = config.incremental_stats;
+  stats_config.seed = config.seed ^ 0x57a75ULL;
+  stats_config.telemetry = config.telemetry;
+  auto stats_stage = StatsStage::Create(stats_config);
+  if (!stats_stage.ok()) {
+    return stats_stage.status();
   }
   const double margin = config.query_margin >= 0.0
                             ? config.query_margin
                             : reduction->delta_max();
-  stats->AddQueries(*queries, margin);
-  auto queue = UpdateQueue::Create(config.queue_capacity, config.seed);
-  if (!queue.ok()) {
-    return queue.status();
-  }
-  ThrotLoopConfig throttle_config;
-  throttle_config.queue_capacity =
-      static_cast<int64_t>(config.queue_capacity);
-  auto throt_loop = ThrotLoop::Create(throttle_config);
-  if (!throt_loop.ok()) {
-    return throt_loop.status();
-  }
-  auto index = TprTree::Create();
-  if (!index.ok()) {
-    return index.status();
-  }
-  // Until the first adaptation every node runs at maximum accuracy.
-  SheddingPlan initial_plan =
-      SheddingPlan::MakeUniform(config.world, reduction->delta_min());
-  return CqServer(config, policy, reduction, queries, *std::move(stats),
-                  *std::move(queue), *std::move(throt_loop),
-                  std::move(initial_plan), *std::move(index));
-}
+  stats_stage->RebuildQueries(*queries, margin);
 
-void CqServer::Receive(std::vector<ModelUpdate> updates) {
-  ReceiveBatch(&updates);
+  IngestStageConfig ingest_config;
+  ingest_config.queue_capacity = config.queue_capacity;
+  ingest_config.service_rate = config.service_rate;
+  ingest_config.seed = config.seed;
+  ingest_config.telemetry = config.telemetry;
+  auto ingest = IngestStage::Create(ingest_config);
+  if (!ingest.ok()) {
+    return ingest.status();
+  }
+
+  OptimizerStageConfig optimizer_config;
+  optimizer_config.queue_capacity =
+      static_cast<int64_t>(config.queue_capacity);
+  optimizer_config.service_rate = config.service_rate;
+  optimizer_config.adaptation_period = config.adaptation_period;
+  optimizer_config.auto_throttle = config.auto_throttle;
+  optimizer_config.fixed_z = config.fixed_z;
+  optimizer_config.telemetry = config.telemetry;
+  auto optimizer = OptimizerStage::Create(optimizer_config, config.world,
+                                          reduction->delta_min());
+  if (!optimizer.ok()) {
+    return optimizer.status();
+  }
+
+  auto tracker_stage = TrackerStage::Create(
+      config.num_nodes, config.maintain_index, config.record_history);
+  if (!tracker_stage.ok()) {
+    return tracker_stage.status();
+  }
+
+  return CqServer(config, policy, reduction, queries, *std::move(ingest),
+                  *std::move(tracker_stage), *std::move(stats_stage),
+                  *std::move(optimizer));
 }
 
 void CqServer::ReceiveBatch(std::vector<ModelUpdate>* updates) {
-  const auto arrived = static_cast<int64_t>(updates->size());
-  const int64_t dropped = queue_.OfferAll(updates);
-  if (config_.telemetry != nullptr) {
-    UpdateQueueTelemetry(arrived, dropped);
-  }
-}
-
-void CqServer::UpdateQueueTelemetry(int64_t arrived, int64_t dropped) {
-  queue_instruments_.arrivals->Increment(arrived);
-  queue_instruments_.depth->Set(static_cast<double>(queue_.size()));
-  queue_instruments_.high_watermark->Set(
-      static_cast<double>(queue_.high_watermark()));
-  if (dropped > 0) {
-    queue_instruments_.dropped->Increment(dropped);
-    config_.telemetry->Emit(telemetry::EventKind::kQueueOverflow,
-                            "lira.queue.dropped", time_,
-                            static_cast<double>(dropped),
-                            static_cast<double>(queue_.size()));
-  }
+  ingest_.Receive(updates, time_);
 }
 
 Status CqServer::Tick(double dt) {
@@ -132,17 +110,8 @@ Status CqServer::Tick(double dt) {
     return InvalidArgumentError("dt must be positive");
   }
   time_ += dt;
-  service_credit_ += config_.service_rate * dt;
-  const auto serve = static_cast<int64_t>(std::floor(service_credit_));
-  service_credit_ -= static_cast<double>(serve);
-  for (const ModelUpdate& update : queue_.Drain(serve)) {
-    tracker_.Apply(update);
-    if (config_.maintain_index) {
-      index_.Update(update.node_id, update.model);
-    }
-    if (history_.has_value()) {
-      history_->Record(update);
-    }
+  for (const ModelUpdate& update : ingest_.Service(dt)) {
+    tracker_stage_.Apply(update);
   }
   if (time_ + 1e-9 >= next_adaptation_) {
     LIRA_RETURN_IF_ERROR(Adapt());
@@ -151,93 +120,12 @@ Status CqServer::Tick(double dt) {
   return OkStatus();
 }
 
-void CqServer::RebuildNodeStatistics() {
-  if (IncrementalStatsEnabled()) {
-    // Delta maintenance: relocate only the contributions whose cell or
-    // quantized speed changed since the last adaptation. The grid's integer
-    // accumulators make the result bitwise identical to ClearNodes() + full
-    // repopulation, and at fraction 1.0 neither path draws from stats_rng_,
-    // so the two paths are interchangeable mid-run.
-    int64_t dirtied = 0;
-    for (NodeId id = 0; id < tracker_.num_nodes(); ++id) {
-      const auto position = tracker_.PredictAt(id, time_);
-      int32_t new_cell = -1;
-      double new_speed = 0.0;
-      if (position.has_value()) {
-        const Point where = config_.world.Clamp(*position);
-        new_cell = stats_.CellIndexOf(where);
-        new_speed = tracker_.BelievedSpeed(id);
-      }
-      const int32_t old_cell = stats_cell_of_[id];
-      if (old_cell == new_cell &&
-          (new_cell < 0 ||
-           StatisticsGrid::QuantizeSpeed(stats_speed_of_[id]) ==
-               StatisticsGrid::QuantizeSpeed(new_speed))) {
-        continue;
-      }
-      if (old_cell >= 0) {
-        stats_.RemoveNodeAt(old_cell, stats_speed_of_[id]);
-        ++dirtied;
-      }
-      if (new_cell >= 0) {
-        stats_.AddNodeAt(new_cell, new_speed);
-        if (new_cell != old_cell) {
-          ++dirtied;
-        }
-      }
-      stats_cell_of_[id] = new_cell;
-      stats_speed_of_[id] = new_speed;
-    }
-    if (cells_dirtied_counter_ != nullptr) {
-      cells_dirtied_counter_->Increment(dirtied);
-    }
-    return;
-  }
-  stats_.ClearNodes();
-  const double fraction = config_.stats_sample_fraction;
-  const double weight = 1.0 / fraction;
-  for (NodeId id = 0; id < tracker_.num_nodes(); ++id) {
-    if (fraction < 1.0 && !stats_rng_.Bernoulli(fraction)) {
-      continue;
-    }
-    const auto position = tracker_.PredictAt(id, time_);
-    if (!position.has_value()) {
-      continue;
-    }
-    const Point where = config_.world.Clamp(*position);
-    const double speed = tracker_.BelievedSpeed(id);
-    // Unbiased scaling: each sampled node stands for 1/fraction nodes.
-    for (double mass = weight; mass > 1e-9; mass -= 1.0) {
-      // AddNode has unit mass; add floor(weight) copies plus a Bernoulli
-      // remainder so expectations match exactly.
-      if (mass >= 1.0 || stats_rng_.Bernoulli(mass)) {
-        stats_.AddNode(where, speed);
-      }
-    }
-  }
-}
-
-void CqServer::RebuildQueryStatistics() {
-  const double margin = config_.query_margin >= 0.0
-                            ? config_.query_margin
-                            : reduction_->delta_max();
-  if (query_stats_valid_ && query_stats_size_ == queries_->size() &&
-      query_stats_margin_ == margin) {
-    return;  // counts already in the grid are current
-  }
-  stats_.ClearQueries();
-  stats_.AddQueries(*queries_, margin);
-  query_stats_valid_ = true;
-  query_stats_size_ = queries_->size();
-  query_stats_margin_ = margin;
-}
-
 Status CqServer::InstallQueries(const QueryRegistry* queries) {
   if (queries == nullptr) {
     return InvalidArgumentError("queries must be non-null");
   }
   queries_ = queries;
-  query_stats_valid_ = false;
+  stats_stage_.InvalidateQueryCache();
   return OkStatus();
 }
 
@@ -258,79 +146,55 @@ StatusOr<std::vector<NodeId>> CqServer::AnswerRange(const Rect& range,
         "snapshot time is in the past; use the history store for "
         "historical queries");
   }
-  return index_.QueryAt(range, t);
+  return tracker_stage_.RangeAt(range, t);
 }
 
 StatusOr<std::vector<NodeId>> CqServer::AnswerHistoricalRange(
     const Rect& range, double t) const {
-  if (!history_.has_value()) {
+  if (history() == nullptr) {
     return FailedPreconditionError("history recording is disabled");
   }
   if (t > time_ + 1e-9) {
     return InvalidArgumentError("historical time is in the future");
   }
-  return history_->RangeAt(range, t);
+  return history()->RangeAt(range, t);
+}
+
+std::vector<NodeId> CqServer::HistoricalRangeAt(const Rect& range,
+                                                double t) const {
+  const HistoryStore* store = history();
+  return store != nullptr ? store->RangeAt(range, t) : std::vector<NodeId>{};
+}
+
+std::optional<Point> CqServer::HistoricalPositionAt(NodeId id,
+                                                    double t) const {
+  const HistoryStore* store = history();
+  return store != nullptr ? store->PositionAt(id, t) : std::nullopt;
+}
+
+int64_t CqServer::history_bytes() const {
+  const HistoryStore* store = history();
+  return store != nullptr ? store->ApproxBytes() : 0;
 }
 
 Status CqServer::Adapt() {
   telemetry::TelemetrySink* t = config_.telemetry;
   telemetry::ScopedTimer adapt_timer(t, "lira.adapt.total_seconds", time_);
   if (config_.auto_throttle) {
-    const double lambda = static_cast<double>(queue_.window_arrivals()) /
-                          config_.adaptation_period;
-    const double previous_z = z_;
-    z_ = throt_loop_.Update(lambda, config_.service_rate);
-    if (t != nullptr) {
-      t->SampleGauge("lira.throtloop.lambda", time_, lambda);
-      t->SampleGauge("lira.throtloop.utilization", time_,
-                     lambda / config_.service_rate);
-      t->SampleGauge("lira.throtloop.z", time_, z_);
-      t->SampleGauge("lira.queue.window_dropped", time_,
-                     static_cast<double>(queue_.window_dropped()));
-      if (z_ != previous_z) {
-        t->Emit(telemetry::EventKind::kZChanged, "lira.throtloop.z", time_,
-                z_, lambda);
-      }
-    }
-    queue_.ResetWindow();
+    optimizer_.UpdateThrottle(ingest_.queue().window_arrivals(),
+                              ingest_.queue().window_dropped(), time_);
+    ingest_.ResetWindow();
   } else {
-    z_ = config_.fixed_z;
-    if (t != nullptr) {
-      t->SampleGauge("lira.throtloop.z", time_, z_);
-    }
+    optimizer_.FixedThrottle(time_);
   }
   {
     telemetry::ScopedTimer stats_timer(t, "lira.adapt.stats_rebuild_seconds",
                                        time_);
-    RebuildNodeStatistics();
-    RebuildQueryStatistics();
+    stats_stage_.RebuildNodes(tracker_stage_.tracker(), time_);
+    stats_stage_.RebuildQueries(*queries_, QueryMargin());
   }
-  PolicyContext ctx;
-  ctx.stats = &stats_;
-  ctx.reduction = reduction_;
-  ctx.z = z_;
-  ctx.telemetry = t;
-  ctx.now = time_;
-  const auto start = std::chrono::steady_clock::now();
-  auto plan = policy_->BuildPlan(ctx);
-  const auto elapsed = std::chrono::steady_clock::now() - start;
-  if (!plan.ok()) {
-    return plan.status();
-  }
-  plan_ = *std::move(plan);
-  const double build_seconds = std::chrono::duration<double>(elapsed).count();
-  plan_build_seconds_ += build_seconds;
-  ++plan_builds_;
-  if (t != nullptr) {
-    t->RecordSpan("lira.adapt.plan_build_seconds", time_, build_seconds);
-    t->SampleGauge("lira.plan.regions", time_,
-                   static_cast<double>(plan_.NumRegions()));
-    t->SampleGauge("lira.plan.min_delta", time_, plan_.MinDelta());
-    t->SampleGauge("lira.plan.max_delta", time_, plan_.MaxDelta());
-    t->Emit(telemetry::EventKind::kPlanRebuilt, "lira.plan.rebuilt", time_,
-            static_cast<double>(plan_.NumRegions()), build_seconds);
-  }
-  return OkStatus();
+  return optimizer_.BuildPlan(*policy_, stats_stage_.grid(), *reduction_,
+                              time_);
 }
 
 }  // namespace lira

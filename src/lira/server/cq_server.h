@@ -1,12 +1,19 @@
 // The mobile CQ server (paper Section 2.2, first layer).
 //
-// The server owns the bounded update queue, services it at a fixed rate,
-// applies surviving updates to its position tracker, maintains the
-// statistics grid from its *believed* (dead-reckoned) node states, and
-// periodically re-runs the load-shedding pipeline:
+// A thin facade over the four pipeline stages:
 //
-//   THROTLOOP (z)  ->  policy (GRIDREDUCE + GREEDYINCREMENT for LIRA)
-//                  ->  new SheddingPlan, disseminated to the nodes.
+//   IngestStage    bounded queue, drop accounting, service pacing
+//   TrackerStage   position tracker + TPR index + history
+//   StatsStage     incremental StatisticsGrid maintenance
+//   OptimizerStage THROTLOOP (z) -> policy (GRIDREDUCE + GREEDYINCREMENT
+//                  for LIRA) -> new SheddingPlan
+//
+// The facade owns the clock and the adaptation schedule and wires the
+// stages together exactly as the original monolithic server did; its
+// public API, metric names, and bitwise behavior are unchanged. The stages
+// are separately constructible and tested (tests/server/*_stage_test), and
+// ServerCluster composes S ingest/tracker/stats triples under one
+// coordinator-owned optimizer (server_cluster.h).
 
 #ifndef LIRA_SERVER_CQ_SERVER_H_
 #define LIRA_SERVER_CQ_SERVER_H_
@@ -16,17 +23,19 @@
 #include <vector>
 
 #include "lira/common/geometry.h"
-#include "lira/common/rng.h"
 #include "lira/common/status.h"
 #include "lira/core/policy.h"
 #include "lira/core/shedding_plan.h"
 #include "lira/core/statistics_grid.h"
-#include "lira/core/throt_loop.h"
 #include "lira/cq/query_registry.h"
-#include "lira/index/tpr_tree.h"
 #include "lira/motion/dead_reckoning.h"
 #include "lira/motion/update_reduction.h"
 #include "lira/server/history_store.h"
+#include "lira/server/ingest_stage.h"
+#include "lira/server/optimizer_stage.h"
+#include "lira/server/server_pipeline.h"
+#include "lira/server/stats_stage.h"
+#include "lira/server/tracker_stage.h"
 #include "lira/server/update_queue.h"
 #include "lira/telemetry/telemetry.h"
 
@@ -81,7 +90,7 @@ struct CqServerConfig {
 };
 
 /// Single-threaded discrete-time CQ server.
-class CqServer {
+class CqServer : public ServerPipeline {
  public:
   /// `policy`, `reduction` and `queries` must outlive the server. The
   /// registry may gain queries while the server runs (InstallQueries); the
@@ -94,22 +103,21 @@ class CqServer {
   /// Points the server at a (possibly different) query registry -- the CQ
   /// workload changed. Takes effect at the next adaptation step (or an
   /// explicit Adapt()). The registry must outlive the server.
-  Status InstallQueries(const QueryRegistry* queries);
+  Status InstallQueries(const QueryRegistry* queries) override;
 
-  /// Enqueues a batch of arriving position updates (drops when full).
-  void Receive(std::vector<ModelUpdate> updates);
-
-  /// As Receive, but consumes `*updates` in place (shuffled, elements moved
-  /// from) so the caller can clear and reuse the buffer's capacity across
-  /// ticks -- the simulator's frame loop calls this every frame.
-  void ReceiveBatch(std::vector<ModelUpdate>* updates);
+  /// Enqueues a batch of arriving position updates (drops when full),
+  /// consuming `*updates` in place (shuffled, elements moved from) so the
+  /// caller can clear and reuse the buffer's capacity across ticks -- the
+  /// simulator's frame loop calls this every frame. Receive (inherited)
+  /// takes an owned batch.
+  void ReceiveBatch(std::vector<ModelUpdate>* updates) override;
 
   /// Advances the server clock by dt seconds: services the queue and runs
   /// the adaptation step when the period elapses.
-  Status Tick(double dt);
+  Status Tick(double dt) override;
 
   /// Forces an adaptation step immediately (also used internally).
-  Status Adapt();
+  Status Adapt() override;
 
   /// Answers an installed continual query from the TPR-tree at the server's
   /// current time. Requires maintain_index.
@@ -126,78 +134,63 @@ class CqServer {
                                                       double t) const;
 
   /// The history store, or nullptr when record_history is off.
-  const HistoryStore* history() const {
-    return history_.has_value() ? &*history_ : nullptr;
-  }
+  const HistoryStore* history() const { return tracker_stage_.history(); }
 
-  double time() const { return time_; }
-  double z() const { return z_; }
-  const SheddingPlan& plan() const { return plan_; }
-  const PositionTracker& tracker() const { return tracker_; }
-  const UpdateQueue& queue() const { return queue_; }
-  const StatisticsGrid& stats() const { return stats_; }
+  double time() const override { return time_; }
+  double z() const override { return optimizer_.z(); }
+  const SheddingPlan& plan() const override { return optimizer_.plan(); }
+  const PositionTracker& tracker() const { return tracker_stage_.tracker(); }
+  const UpdateQueue& queue() const { return ingest_.queue(); }
+  const StatisticsGrid& stats() const { return stats_stage_.grid(); }
 
   /// Cumulative time spent building plans (seconds) and number of builds,
   /// for the server-side-cost experiments.
-  double total_plan_build_seconds() const { return plan_build_seconds_; }
-  int64_t plan_builds() const { return plan_builds_; }
-  int64_t updates_applied() const { return tracker_.updates_applied(); }
+  double total_plan_build_seconds() const override {
+    return optimizer_.total_plan_build_seconds();
+  }
+  int64_t plan_builds() const override { return optimizer_.plan_builds(); }
+  int64_t updates_applied() const override {
+    return tracker_stage_.updates_applied();
+  }
+
+  std::optional<Point> BelievedPositionAt(NodeId id,
+                                          double t) const override {
+    return tracker_stage_.tracker().PredictAt(id, t);
+  }
+  size_t queue_size() const override { return ingest_.queue().size(); }
+  int64_t queue_arrivals() const override {
+    return ingest_.queue().total_arrivals();
+  }
+  int64_t queue_dropped() const override {
+    return ingest_.queue().total_dropped();
+  }
+  bool records_history() const override { return history() != nullptr; }
+  std::vector<NodeId> HistoricalRangeAt(const Rect& range,
+                                        double t) const override;
+  std::optional<Point> HistoricalPositionAt(NodeId id,
+                                            double t) const override;
+  int64_t history_bytes() const override;
 
  private:
   CqServer(const CqServerConfig& config, const LoadSheddingPolicy* policy,
            const UpdateReductionFunction* reduction,
-           const QueryRegistry* queries, StatisticsGrid stats,
-           UpdateQueue queue, ThrotLoop throt_loop, SheddingPlan plan,
-           TprTree index);
+           const QueryRegistry* queries, IngestStage ingest,
+           TrackerStage tracker_stage, StatsStage stats_stage,
+           OptimizerStage optimizer);
 
-  void RebuildNodeStatistics();
-  void RebuildQueryStatistics();
-  void UpdateQueueTelemetry(int64_t arrived, int64_t dropped);
-
-  /// Queue instruments resolved once at construction (registry lookups are
-  /// map accesses; Receive runs every tick).
-  struct QueueInstruments {
-    telemetry::Counter* arrivals = nullptr;
-    telemetry::Counter* dropped = nullptr;
-    telemetry::Gauge* depth = nullptr;
-    telemetry::Gauge* high_watermark = nullptr;
-  };
-
-  /// True when the delta-maintenance fast path owns the node statistics.
-  bool IncrementalStatsEnabled() const {
-    return config_.incremental_stats && config_.stats_sample_fraction == 1.0;
-  }
+  /// Query margin in force: explicit config or the reduction's delta_max.
+  double QueryMargin() const;
 
   CqServerConfig config_;
   const LoadSheddingPolicy* policy_;
   const UpdateReductionFunction* reduction_;
   const QueryRegistry* queries_;
-  StatisticsGrid stats_;
-  UpdateQueue queue_;
-  ThrotLoop throt_loop_;
-  PositionTracker tracker_;
-  TprTree index_;
-  std::optional<HistoryStore> history_;
-  SheddingPlan plan_;
+  IngestStage ingest_;
+  TrackerStage tracker_stage_;
+  StatsStage stats_stage_;
+  OptimizerStage optimizer_;
   double time_ = 0.0;
-  double z_;
-  double service_credit_ = 0.0;
   double next_adaptation_;
-  Rng stats_rng_;
-  double plan_build_seconds_ = 0.0;
-  int64_t plan_builds_ = 0;
-  QueueInstruments queue_instruments_;
-  /// Delta-maintenance state: each node's last contribution to the grid
-  /// (flat cell index, -1 = none, and the speed it was added with).
-  std::vector<int32_t> stats_cell_of_;
-  std::vector<double> stats_speed_of_;
-  /// Query-count refresh skip: (registry size, margin) of the counts
-  /// currently in the grid. The registry is append-only, so the size
-  /// captures content changes; InstallQueries invalidates explicitly.
-  bool query_stats_valid_ = false;
-  int32_t query_stats_size_ = -1;
-  double query_stats_margin_ = -1.0;
-  telemetry::Counter* cells_dirtied_counter_ = nullptr;
 };
 
 }  // namespace lira

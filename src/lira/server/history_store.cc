@@ -48,6 +48,22 @@ std::optional<Point> HistoryStore::PositionAt(NodeId id, double t) const {
   return it->origin + it->velocity * (t - it->t0);
 }
 
+std::optional<double> HistoryStore::LastReportBefore(NodeId id,
+                                                     double t) const {
+  if (id < 0 || id >= num_nodes()) {
+    return std::nullopt;
+  }
+  const auto& records = history_[id];
+  auto it = std::upper_bound(
+      records.begin(), records.end(), t,
+      [](double time, const Record_& r) { return time < r.t0; });
+  if (it == records.begin()) {
+    return std::nullopt;
+  }
+  --it;
+  return it->t0;
+}
+
 std::vector<NodeId> HistoryStore::RangeAt(const Rect& range, double t) const {
   std::vector<NodeId> out;
   for (NodeId id = 0; id < num_nodes(); ++id) {

@@ -48,6 +48,12 @@ class HistoryStore {
   /// in force at t. nullopt when the node had not reported by t.
   std::optional<Point> PositionAt(NodeId id, double t) const;
 
+  /// Reference time t0 of the model in force at t (the node's latest record
+  /// with t0 <= t); nullopt when the node had not reported by t. Lets a
+  /// coordinator pick, among several partial stores, the one holding the
+  /// freshest model for a node (ServerCluster historical queries).
+  std::optional<double> LastReportBefore(NodeId id, double t) const;
+
   /// Ids of nodes whose reconstructed position at time t lies in `range`
   /// (historical snapshot query; linear in the number of nodes, with a
   /// binary search per node).

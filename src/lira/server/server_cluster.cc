@@ -1,0 +1,457 @@
+#include "lira/server/server_cluster.h"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+namespace lira {
+namespace {
+
+/// Shard k's random stream: golden-ratio mixing keeps streams disjoint
+/// while shard 0 keeps the un-mixed seed, so an S=1 cluster consumes
+/// exactly the random sequence a plain CqServer would.
+uint64_t ShardSeed(uint64_t seed, int32_t shard) {
+  return seed ^ (static_cast<uint64_t>(shard) * 0x9e3779b97f4a7c15ULL);
+}
+
+std::string ShardPrefix(int32_t shard) {
+  return "lira.shard." + std::to_string(shard);
+}
+
+}  // namespace
+
+ServerCluster::ServerCluster(const ServerClusterConfig& config,
+                             const LoadSheddingPolicy* policy,
+                             const UpdateReductionFunction* reduction,
+                             const QueryRegistry* queries, ShardMap shard_map,
+                             std::vector<Shard> shards,
+                             StatsStage merged_stats, OptimizerStage optimizer,
+                             int32_t pool_threads)
+    : config_(config),
+      policy_(policy),
+      reduction_(reduction),
+      queries_(queries),
+      shard_map_(std::move(shard_map)),
+      shards_(std::move(shards)),
+      merged_stats_(std::move(merged_stats)),
+      optimizer_(std::move(optimizer)),
+      pool_(pool_threads),
+      next_adaptation_(config.server.adaptation_period),
+      owner_of_(config.server.num_nodes, -1) {
+  if (config_.server.telemetry != nullptr) {
+    telemetry::MetricRegistry& metrics = config_.server.telemetry->metrics();
+    arrivals_counter_ = metrics.GetCounter("lira.queue.arrivals");
+    dropped_counter_ = metrics.GetCounter("lira.queue.dropped");
+    shard_nodes_gauges_.reserve(shards_.size());
+    for (int32_t k = 0; k < num_shards(); ++k) {
+      shard_nodes_gauges_.push_back(
+          metrics.GetGauge(ShardPrefix(k) + ".stats.nodes"));
+    }
+  }
+}
+
+double ServerCluster::QueryMargin() const {
+  return config_.server.query_margin >= 0.0 ? config_.server.query_margin
+                                            : reduction_->delta_max();
+}
+
+StatusOr<std::unique_ptr<ServerCluster>> ServerCluster::Create(
+    const ServerClusterConfig& config, const LoadSheddingPolicy* policy,
+    const UpdateReductionFunction* reduction, const QueryRegistry* queries) {
+  const CqServerConfig& server = config.server;
+  if (policy == nullptr || reduction == nullptr || queries == nullptr) {
+    return InvalidArgumentError("policy/reduction/queries must be non-null");
+  }
+  if (server.num_nodes <= 0) {
+    return InvalidArgumentError("num_nodes must be positive");
+  }
+  if (server.service_rate <= 0.0) {
+    return InvalidArgumentError("service_rate must be positive");
+  }
+  if (server.adaptation_period <= 0.0) {
+    return InvalidArgumentError("adaptation_period must be positive");
+  }
+  if (!server.auto_throttle &&
+      (server.fixed_z < 0.0 || server.fixed_z > 1.0)) {
+    return InvalidArgumentError("fixed_z must be in [0, 1]");
+  }
+  if (server.stats_sample_fraction <= 0.0 ||
+      server.stats_sample_fraction > 1.0) {
+    return InvalidArgumentError("stats_sample_fraction must be in (0, 1]");
+  }
+  if (config.threads < 0) {
+    return InvalidArgumentError("threads must be >= 0");
+  }
+  auto shard_map =
+      ShardMap::Create(server.world, server.alpha, config.shards);
+  if (!shard_map.ok()) {
+    return shard_map.status();
+  }
+
+  const int32_t num_shards = config.shards;
+  // Global resources split evenly: queue slots round up so S shard queues
+  // always cover the global capacity B; the service rate divides exactly
+  // (mu/S per shard, so S=1 keeps the service-credit float math bitwise).
+  const size_t shard_capacity =
+      (server.queue_capacity + static_cast<size_t>(num_shards) - 1) /
+      static_cast<size_t>(num_shards);
+  const double shard_rate = server.service_rate / num_shards;
+
+  std::vector<Shard> shards;
+  shards.reserve(num_shards);
+  for (int32_t k = 0; k < num_shards; ++k) {
+    const uint64_t seed = ShardSeed(server.seed, k);
+    const std::string prefix = ShardPrefix(k);
+
+    IngestStageConfig ingest_config;
+    ingest_config.queue_capacity = shard_capacity;
+    ingest_config.service_rate = shard_rate;
+    ingest_config.seed = seed;
+    ingest_config.metric_prefix = prefix;
+    // Shard Receive/rebuild sections run concurrently; EventSink
+    // implementations are single-threaded, so shards touch only atomic
+    // counters/gauges and the coordinator emits the (serial) events.
+    ingest_config.emit_events = false;
+    ingest_config.telemetry = server.telemetry;
+    auto ingest = IngestStage::Create(ingest_config);
+    if (!ingest.ok()) {
+      return ingest.status();
+    }
+
+    auto tracker = TrackerStage::Create(
+        server.num_nodes, server.maintain_index, server.record_history);
+    if (!tracker.ok()) {
+      return tracker.status();
+    }
+
+    StatsStageConfig stats_config;
+    stats_config.num_nodes = server.num_nodes;
+    stats_config.world = server.world;
+    stats_config.alpha = server.alpha;
+    stats_config.stats_sample_fraction = server.stats_sample_fraction;
+    stats_config.incremental_stats = server.incremental_stats;
+    stats_config.owned_only = true;
+    stats_config.seed = seed ^ 0x57a75ULL;
+    stats_config.metric_prefix = prefix;
+    stats_config.telemetry = server.telemetry;
+    auto stats = StatsStage::Create(stats_config);
+    if (!stats.ok()) {
+      return stats.status();
+    }
+
+    shards.push_back(Shard{*std::move(ingest), *std::move(tracker),
+                           *std::move(stats), {}, {}, 0});
+  }
+
+  // The coordinator's merged grid; its query-count cache plays the role
+  // the single server's grid cache does (counted once here, refreshed
+  // only when the registry or margin changes).
+  StatsStageConfig merged_config;
+  merged_config.num_nodes = server.num_nodes;
+  merged_config.world = server.world;
+  merged_config.alpha = server.alpha;
+  merged_config.stats_sample_fraction = server.stats_sample_fraction;
+  merged_config.incremental_stats = server.incremental_stats;
+  merged_config.seed = server.seed ^ 0x57a75ULL;
+  merged_config.telemetry = nullptr;  // shards own the rebuild instruments
+  auto merged = StatsStage::Create(merged_config);
+  if (!merged.ok()) {
+    return merged.status();
+  }
+  const double margin = server.query_margin >= 0.0 ? server.query_margin
+                                                   : reduction->delta_max();
+  merged->RebuildQueries(*queries, margin);
+
+  OptimizerStageConfig optimizer_config;
+  optimizer_config.queue_capacity =
+      static_cast<int64_t>(server.queue_capacity);
+  optimizer_config.service_rate = server.service_rate;
+  optimizer_config.adaptation_period = server.adaptation_period;
+  optimizer_config.auto_throttle = server.auto_throttle;
+  optimizer_config.fixed_z = server.fixed_z;
+  optimizer_config.telemetry = server.telemetry;
+  auto optimizer = OptimizerStage::Create(optimizer_config, server.world,
+                                          reduction->delta_min());
+  if (!optimizer.ok()) {
+    return optimizer.status();
+  }
+
+  const int32_t pool_threads = std::min(
+      config.threads > 0 ? config.threads : ThreadPool::DefaultThreads(),
+      num_shards);
+  return std::unique_ptr<ServerCluster>(new ServerCluster(
+      config, policy, reduction, queries, *std::move(shard_map),
+      std::move(shards), *std::move(merged), *std::move(optimizer),
+      pool_threads));
+}
+
+Status ServerCluster::InstallQueries(const QueryRegistry* queries) {
+  if (queries == nullptr) {
+    return InvalidArgumentError("queries must be non-null");
+  }
+  queries_ = queries;
+  merged_stats_.InvalidateQueryCache();
+  return OkStatus();
+}
+
+void ServerCluster::ReceiveBatch(std::vector<ModelUpdate>* updates) {
+  const auto arrived = static_cast<int64_t>(updates->size());
+  // Route serially in batch order (stable: each shard sees its updates in
+  // the order the batch carried them, exactly the sub-sequence a single
+  // server would have admitted them in), then admit per shard in parallel.
+  for (Shard& shard : shards_) {
+    shard.route.clear();
+  }
+  for (ModelUpdate& update : *updates) {
+    shards_[shard_map_.ShardFor(update.model.origin)].route.push_back(
+        std::move(update));
+  }
+  updates->clear();
+  pool_.ParallelFor(0, num_shards(), 1,
+                    [&](int32_t /*chunk*/, int64_t begin, int64_t end) {
+                      for (int64_t k = begin; k < end; ++k) {
+                        Shard& shard = shards_[k];
+                        shard.last_dropped =
+                            shard.ingest.Receive(&shard.route, time_);
+                      }
+                    });
+  if (config_.server.telemetry != nullptr) {
+    int64_t dropped = 0;
+    for (const Shard& shard : shards_) {
+      dropped += shard.last_dropped;
+    }
+    arrivals_counter_->Increment(arrived);
+    if (dropped > 0) {
+      dropped_counter_->Increment(dropped);
+      config_.server.telemetry->Emit(telemetry::EventKind::kQueueOverflow,
+                                     "lira.queue.dropped", time_,
+                                     static_cast<double>(dropped),
+                                     static_cast<double>(queue_size()));
+    }
+  }
+}
+
+Status ServerCluster::Tick(double dt) {
+  if (dt <= 0.0) {
+    return InvalidArgumentError("dt must be positive");
+  }
+  time_ += dt;
+  // Service + apply per shard in parallel: each shard touches only its own
+  // queue/tracker/history plus relaxed-atomic counters.
+  pool_.ParallelFor(0, num_shards(), 1,
+                    [&](int32_t /*chunk*/, int64_t begin, int64_t end) {
+                      for (int64_t k = begin; k < end; ++k) {
+                        Shard& shard = shards_[k];
+                        shard.applied.clear();
+                        for (const ModelUpdate& update :
+                             shard.ingest.Service(dt)) {
+                          shard.tracker.Apply(update);
+                          shard.applied.push_back(update.node_id);
+                        }
+                      }
+                    });
+  ProcessHandoffs();
+  if (time_ + 1e-9 >= next_adaptation_) {
+    LIRA_RETURN_IF_ERROR(Adapt());
+    next_adaptation_ += config_.server.adaptation_period;
+  }
+  return OkStatus();
+}
+
+void ServerCluster::ProcessHandoffs() {
+  // Serial, in shard order, so the outcome is independent of worker timing.
+  // A node applied by two shards in the same tick (it crossed a boundary
+  // between reports) ends up owned by the highest-indexed applier; its
+  // latest model at the loser is retracted, matching what a single server
+  // would keep only approximately -- the plan optimizer never sees a node
+  // twice, which is the invariant that matters.
+  for (int32_t k = 0; k < num_shards(); ++k) {
+    for (const NodeId id : shards_[k].applied) {
+      const int32_t previous = owner_of_[id];
+      if (previous >= 0 && previous != k) {
+        shards_[previous].stats.ForgetNode(id);
+        shards_[previous].tracker.Forget(id);
+      }
+      owner_of_[id] = k;
+      shards_[k].stats.NoteOwned(id);
+    }
+  }
+}
+
+Status ServerCluster::Adapt() {
+  telemetry::TelemetrySink* t = config_.server.telemetry;
+  telemetry::ScopedTimer adapt_timer(t, "lira.adapt.total_seconds", time_);
+  if (config_.server.auto_throttle) {
+    // THROTLOOP sees the *global* arrival window against the global
+    // service rate -- sharding must not change the control loop.
+    int64_t window_arrivals = 0;
+    int64_t window_dropped = 0;
+    for (Shard& shard : shards_) {
+      window_arrivals += shard.ingest.queue().window_arrivals();
+      window_dropped += shard.ingest.queue().window_dropped();
+    }
+    optimizer_.UpdateThrottle(window_arrivals, window_dropped, time_);
+    for (Shard& shard : shards_) {
+      shard.ingest.ResetWindow();
+    }
+  } else {
+    optimizer_.FixedThrottle(time_);
+  }
+  {
+    telemetry::ScopedTimer stats_timer(t, "lira.adapt.stats_rebuild_seconds",
+                                       time_);
+    // Per-shard rebuilds run in parallel (disjoint grids and trackers),
+    // then the coordinator merges in shard order: integer accumulators
+    // make the merged grid bitwise equal to a single grid fed the same
+    // observations, independent of thread count.
+    pool_.ParallelFor(0, num_shards(), 1,
+                      [&](int32_t /*chunk*/, int64_t begin, int64_t end) {
+                        for (int64_t k = begin; k < end; ++k) {
+                          shards_[k].stats.RebuildNodes(
+                              shards_[k].tracker.tracker(), time_);
+                        }
+                      });
+    merged_stats_.mutable_grid()->ClearNodes();
+    for (int32_t k = 0; k < num_shards(); ++k) {
+      LIRA_RETURN_IF_ERROR(
+          merged_stats_.mutable_grid()->Merge(shards_[k].stats.grid()));
+      if (t != nullptr) {
+        shard_nodes_gauges_[k]->Set(shards_[k].stats.grid().TotalNodes());
+      }
+    }
+    merged_stats_.RebuildQueries(*queries_, QueryMargin());
+  }
+  return optimizer_.BuildPlan(*policy_, merged_stats_.grid(), *reduction_,
+                              time_);
+}
+
+std::optional<Point> ServerCluster::BelievedPositionAt(NodeId id,
+                                                       double t) const {
+  if (id < 0 || id >= config_.server.num_nodes) {
+    return std::nullopt;
+  }
+  const int32_t owner = owner_of_[id];
+  if (owner < 0) {
+    return std::nullopt;
+  }
+  return shards_[owner].tracker.tracker().PredictAt(id, t);
+}
+
+size_t ServerCluster::queue_size() const {
+  size_t total = 0;
+  for (const Shard& shard : shards_) {
+    total += shard.ingest.queue().size();
+  }
+  return total;
+}
+
+int64_t ServerCluster::queue_arrivals() const {
+  int64_t total = 0;
+  for (const Shard& shard : shards_) {
+    total += shard.ingest.queue().total_arrivals();
+  }
+  return total;
+}
+
+int64_t ServerCluster::queue_dropped() const {
+  int64_t total = 0;
+  for (const Shard& shard : shards_) {
+    total += shard.ingest.queue().total_dropped();
+  }
+  return total;
+}
+
+int64_t ServerCluster::updates_applied() const {
+  int64_t total = 0;
+  for (const Shard& shard : shards_) {
+    total += shard.tracker.updates_applied();
+  }
+  return total;
+}
+
+StatusOr<std::vector<NodeId>> ServerCluster::AnswerRange(const Rect& range,
+                                                         double t) const {
+  if (!config_.server.maintain_index) {
+    return FailedPreconditionError("server index maintenance is disabled");
+  }
+  if (t + 1e-9 < time_) {
+    return InvalidArgumentError(
+        "snapshot time is in the past; use the history store for "
+        "historical queries");
+  }
+  std::vector<NodeId> out;
+  for (int32_t k = 0; k < num_shards(); ++k) {
+    auto ids = shards_[k].tracker.RangeAt(range, t);
+    if (!ids.ok()) {
+      return ids.status();
+    }
+    for (const NodeId id : *ids) {
+      if (owner_of_[id] == k) {
+        out.push_back(id);
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::optional<Point> ServerCluster::HistoricalPositionAt(NodeId id,
+                                                         double t) const {
+  if (!config_.server.record_history || id < 0 ||
+      id >= config_.server.num_nodes) {
+    return std::nullopt;
+  }
+  // The shard holding the freshest record at t has the model in force; a
+  // node's reports land at whichever shard its region mapped to at the
+  // time, so every visited shard holds a disjoint slice of its history.
+  int32_t best_shard = -1;
+  double best_t0 = 0.0;
+  for (int32_t k = 0; k < num_shards(); ++k) {
+    const auto t0 = shards_[k].tracker.history()->LastReportBefore(id, t);
+    if (t0.has_value() && (best_shard < 0 || *t0 > best_t0)) {
+      best_shard = k;
+      best_t0 = *t0;
+    }
+  }
+  if (best_shard < 0) {
+    return std::nullopt;
+  }
+  return shards_[best_shard].tracker.history()->PositionAt(id, t);
+}
+
+std::vector<NodeId> ServerCluster::HistoricalRangeAt(const Rect& range,
+                                                     double t) const {
+  std::vector<NodeId> out;
+  if (!config_.server.record_history) {
+    return out;
+  }
+  for (NodeId id = 0; id < config_.server.num_nodes; ++id) {
+    const auto position = HistoricalPositionAt(id, t);
+    if (position.has_value() && range.Contains(*position)) {
+      out.push_back(id);
+    }
+  }
+  return out;
+}
+
+StatusOr<std::vector<NodeId>> ServerCluster::AnswerHistoricalRange(
+    const Rect& range, double t) const {
+  if (!config_.server.record_history) {
+    return FailedPreconditionError("history recording is disabled");
+  }
+  if (t > time_ + 1e-9) {
+    return InvalidArgumentError("historical time is in the future");
+  }
+  return HistoricalRangeAt(range, t);
+}
+
+int64_t ServerCluster::history_bytes() const {
+  int64_t total = 0;
+  for (const Shard& shard : shards_) {
+    const HistoryStore* store = shard.tracker.history();
+    total += store != nullptr ? store->ApproxBytes() : 0;
+  }
+  return total;
+}
+
+}  // namespace lira

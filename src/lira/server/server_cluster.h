@@ -1,0 +1,183 @@
+// Region-sharded CQ server cluster (DESIGN.md §9).
+//
+// S shard pipelines -- each an IngestStage + TrackerStage + StatsStage
+// triple with its own bounded queue (capacity ceil(B/S)), service rate
+// mu/S, and seed stream -- fed by a spatial ShardMap that routes each update
+// by its model origin to the shard owning that statistics-grid column
+// strip. A coordinator owns the single OptimizerStage: at each adaptation
+// it merges the per-shard StatisticsGrids into one global grid
+// (StatisticsGrid::Merge, integer-exact) and builds ONE global SheddingPlan
+// under the global budget z * n * f(delta) and the fairness constraint, so
+// shard boundaries never fragment the optimizer's view.
+//
+// Node ownership follows the updates: when a shard applies an update for a
+// node previously owned elsewhere, the coordinator retracts the old
+// shard's tracker model and grid contribution (handoff, processed serially
+// in shard order every tick). Histories are retained at every shard a node
+// visited; historical reconstruction picks the shard holding the freshest
+// record at the probed time.
+//
+// Determinism contract: all cross-shard work (routing, handoff, merge,
+// throttle-window summation) is ordered by shard index, every shard's
+// random stream is a pure function of (config seed, shard index), and the
+// parallel sections touch only per-shard state plus atomic instruments.
+// Hence results are bitwise identical for any worker thread count, and an
+// S=1 cluster is bitwise identical to a plain CqServer with the same
+// config (asserted in tests/server/server_cluster_test and
+// sim/simulation_test).
+
+#ifndef LIRA_SERVER_SERVER_CLUSTER_H_
+#define LIRA_SERVER_SERVER_CLUSTER_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "lira/common/geometry.h"
+#include "lira/common/parallel.h"
+#include "lira/common/status.h"
+#include "lira/core/policy.h"
+#include "lira/core/shedding_plan.h"
+#include "lira/core/statistics_grid.h"
+#include "lira/cq/query_registry.h"
+#include "lira/mobility/position.h"
+#include "lira/motion/linear_model.h"
+#include "lira/motion/update_reduction.h"
+#include "lira/server/cq_server.h"
+#include "lira/server/ingest_stage.h"
+#include "lira/server/optimizer_stage.h"
+#include "lira/server/server_pipeline.h"
+#include "lira/server/shard_map.h"
+#include "lira/server/stats_stage.h"
+#include "lira/server/tracker_stage.h"
+#include "lira/telemetry/telemetry.h"
+
+namespace lira {
+
+struct ServerClusterConfig {
+  /// Global parameters; queue_capacity, service_rate and seed are divided /
+  /// mixed across shards (see server_cluster.cc). The telemetry sink, when
+  /// set, additionally gains per-shard `lira.shard.<k>.*` instruments.
+  CqServerConfig server;
+  /// Number of spatial shards S, in [1, alpha].
+  int32_t shards = 1;
+  /// Worker threads for the per-shard fan-out sections; 0 = min(hardware
+  /// concurrency, shards). Results are identical for any value.
+  int32_t threads = 0;
+};
+
+/// The cluster facade; drives S shard pipelines behind the same interface
+/// a single CqServer implements. Not movable (owns a ThreadPool).
+class ServerCluster : public ServerPipeline {
+ public:
+  static StatusOr<std::unique_ptr<ServerCluster>> Create(
+      const ServerClusterConfig& config, const LoadSheddingPolicy* policy,
+      const UpdateReductionFunction* reduction,
+      const QueryRegistry* queries);
+
+  ServerCluster(const ServerCluster&) = delete;
+  ServerCluster& operator=(const ServerCluster&) = delete;
+
+  Status InstallQueries(const QueryRegistry* queries) override;
+  void ReceiveBatch(std::vector<ModelUpdate>* updates) override;
+  Status Tick(double dt) override;
+  Status Adapt() override;
+
+  double time() const override { return time_; }
+  double z() const override { return optimizer_.z(); }
+  const SheddingPlan& plan() const override { return optimizer_.plan(); }
+  std::optional<Point> BelievedPositionAt(NodeId id,
+                                          double t) const override;
+  size_t queue_size() const override;
+  int64_t queue_arrivals() const override;
+  int64_t queue_dropped() const override;
+  int64_t updates_applied() const override;
+  int64_t plan_builds() const override { return optimizer_.plan_builds(); }
+  double total_plan_build_seconds() const override {
+    return optimizer_.total_plan_build_seconds();
+  }
+  bool records_history() const override {
+    return config_.server.record_history;
+  }
+  std::vector<NodeId> HistoricalRangeAt(const Rect& range,
+                                        double t) const override;
+  std::optional<Point> HistoricalPositionAt(NodeId id,
+                                            double t) const override;
+  int64_t history_bytes() const override;
+
+  /// Ad-hoc snapshot range query at t >= now, merged over the shard
+  /// TPR-trees (ids ascending). Requires maintain_index. A shard's index
+  /// may briefly retain a handed-off node; results are filtered by current
+  /// ownership so every id appears exactly once.
+  StatusOr<std::vector<NodeId>> AnswerRange(const Rect& range,
+                                            double t) const;
+
+  /// Historical snapshot range query at a past time t (Status-checked
+  /// variant of HistoricalRangeAt). Requires record_history.
+  StatusOr<std::vector<NodeId>> AnswerHistoricalRange(const Rect& range,
+                                                      double t) const;
+
+  int32_t num_shards() const {
+    return static_cast<int32_t>(shards_.size());
+  }
+  const ShardMap& shard_map() const { return shard_map_; }
+  /// The coordinator's merged grid (valid after an adaptation).
+  const StatisticsGrid& stats() const { return merged_stats_.grid(); }
+  /// One shard's own grid / queue, for tests and diagnostics.
+  const StatisticsGrid& shard_stats(int32_t shard) const {
+    return shards_[shard].stats.grid();
+  }
+  const UpdateQueue& shard_queue(int32_t shard) const {
+    return shards_[shard].ingest.queue();
+  }
+
+ private:
+  struct Shard {
+    IngestStage ingest;
+    TrackerStage tracker;
+    StatsStage stats;
+    /// Node ids applied this tick (handoff scratch, reused).
+    std::vector<NodeId> applied;
+    /// Batch routing scratch, reused across ticks.
+    std::vector<ModelUpdate> route;
+    /// Receive fan-out scratch: drops admitted this batch.
+    int64_t last_dropped = 0;
+  };
+
+  ServerCluster(const ServerClusterConfig& config,
+                const LoadSheddingPolicy* policy,
+                const UpdateReductionFunction* reduction,
+                const QueryRegistry* queries, ShardMap shard_map,
+                std::vector<Shard> shards, StatsStage merged_stats,
+                OptimizerStage optimizer, int32_t pool_threads);
+
+  double QueryMargin() const;
+  /// Serial post-tick pass: ownership transfers for this tick's applied
+  /// updates, in shard order.
+  void ProcessHandoffs();
+
+  ServerClusterConfig config_;
+  const LoadSheddingPolicy* policy_;
+  const UpdateReductionFunction* reduction_;
+  const QueryRegistry* queries_;
+  ShardMap shard_map_;
+  std::vector<Shard> shards_;
+  /// Coordinator-owned: the merged global grid (+ query-count cache).
+  StatsStage merged_stats_;
+  OptimizerStage optimizer_;
+  ThreadPool pool_;
+  double time_ = 0.0;
+  double next_adaptation_;
+  /// Current owning shard per node; -1 until the first applied update.
+  std::vector<int32_t> owner_of_;
+  /// Cluster-level instruments (sums over shards), resolved once.
+  telemetry::Counter* arrivals_counter_ = nullptr;
+  telemetry::Counter* dropped_counter_ = nullptr;
+  /// Per-shard node-count gauges, set after each adaptation's rebuild.
+  std::vector<telemetry::Gauge*> shard_nodes_gauges_;
+};
+
+}  // namespace lira
+
+#endif  // LIRA_SERVER_SERVER_CLUSTER_H_

@@ -1,0 +1,57 @@
+#include "lira/server/shard_map.h"
+
+#include <algorithm>
+
+namespace lira {
+namespace {
+
+bool IsPowerOfTwo(int32_t v) { return v > 0 && (v & (v - 1)) == 0; }
+
+}  // namespace
+
+ShardMap::ShardMap(const Rect& world, int32_t alpha, int32_t shards)
+    : world_(world),
+      alpha_(alpha),
+      cell_w_(world.width() / alpha),
+      shard_of_col_(alpha, 0),
+      col_begin_(shards + 1, 0) {
+  // Balanced contiguous strips: shard k owns columns
+  // [k * alpha / S, (k + 1) * alpha / S).
+  for (int32_t k = 0; k <= shards; ++k) {
+    col_begin_[k] = static_cast<int32_t>(
+        static_cast<int64_t>(k) * alpha / shards);
+  }
+  for (int32_t k = 0; k < shards; ++k) {
+    for (int32_t col = col_begin_[k]; col < col_begin_[k + 1]; ++col) {
+      shard_of_col_[col] = k;
+    }
+  }
+}
+
+StatusOr<ShardMap> ShardMap::Create(const Rect& world, int32_t alpha,
+                                    int32_t shards) {
+  if (world.width() <= 0.0 || world.height() <= 0.0) {
+    return InvalidArgumentError("world rectangle must be non-degenerate");
+  }
+  if (!IsPowerOfTwo(alpha)) {
+    return InvalidArgumentError("alpha must be a positive power of two");
+  }
+  if (shards < 1 || shards > alpha) {
+    return InvalidArgumentError("shards must be in [1, alpha]");
+  }
+  return ShardMap(world, alpha, shards);
+}
+
+int32_t ShardMap::ShardFor(Point p) const {
+  p = world_.Clamp(p);
+  const auto col = std::clamp(
+      static_cast<int32_t>((p.x - world_.min_x) / cell_w_), 0, alpha_ - 1);
+  return shard_of_col_[col];
+}
+
+Rect ShardMap::ShardRect(int32_t shard) const {
+  return Rect{world_.min_x + col_begin_[shard] * cell_w_, world_.min_y,
+              world_.min_x + col_begin_[shard + 1] * cell_w_, world_.max_y};
+}
+
+}  // namespace lira

@@ -1,0 +1,61 @@
+// Spatial shard routing for ServerCluster.
+//
+// The world is split into S vertical strips of whole statistics-grid
+// columns (alpha columns, balanced to within one column per shard), so a
+// shard's region is exactly a union of grid cells: per-shard StatisticsGrid
+// contributions never straddle a shard boundary cell, and the coordinator's
+// Merge reconstructs the global grid cell-for-cell. Routing a point is two
+// multiplies and a clamp -- the same column computation the grid itself
+// uses -- so the ingest fan-out adds O(1) per update.
+
+#ifndef LIRA_SERVER_SHARD_MAP_H_
+#define LIRA_SERVER_SHARD_MAP_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "lira/common/geometry.h"
+#include "lira/common/status.h"
+
+namespace lira {
+
+class ShardMap {
+ public:
+  /// `alpha` is the statistics-grid resolution (positive power of two);
+  /// `shards` must be in [1, alpha] so every shard owns at least one
+  /// column.
+  static StatusOr<ShardMap> Create(const Rect& world, int32_t alpha,
+                                   int32_t shards);
+
+  int32_t num_shards() const {
+    return static_cast<int32_t>(col_begin_.size()) - 1;
+  }
+  int32_t alpha() const { return alpha_; }
+  const Rect& world() const { return world_; }
+
+  /// Shard owning the grid column that contains p (clamped into the
+  /// world).
+  int32_t ShardFor(Point p) const;
+
+  /// Geographic extent of a shard: its contiguous column strip.
+  Rect ShardRect(int32_t shard) const;
+
+  /// Grid columns [first, last) owned by `shard`.
+  int32_t ColumnBegin(int32_t shard) const { return col_begin_[shard]; }
+  int32_t ColumnEnd(int32_t shard) const { return col_begin_[shard + 1]; }
+
+ private:
+  ShardMap(const Rect& world, int32_t alpha, int32_t shards);
+
+  Rect world_;
+  int32_t alpha_;
+  double cell_w_;
+  /// Column -> owning shard (size alpha).
+  std::vector<int32_t> shard_of_col_;
+  /// Shard k owns columns [col_begin_[k], col_begin_[k + 1]).
+  std::vector<int32_t> col_begin_;
+};
+
+}  // namespace lira
+
+#endif  // LIRA_SERVER_SHARD_MAP_H_

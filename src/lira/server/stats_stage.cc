@@ -1,0 +1,175 @@
+#include "lira/server/stats_stage.h"
+
+#include <utility>
+
+#include "lira/common/check.h"
+
+namespace lira {
+
+StatsStage::StatsStage(const StatsStageConfig& config, StatisticsGrid grid)
+    : world_(config.world),
+      stats_sample_fraction_(config.stats_sample_fraction),
+      incremental_stats_(config.incremental_stats),
+      owned_only_(config.owned_only),
+      grid_(std::move(grid)),
+      stats_rng_(config.seed),
+      stats_cell_of_(config.num_nodes, -1),
+      stats_speed_of_(config.num_nodes, 0.0),
+      owned_words_(config.owned_only
+                       ? (static_cast<size_t>(config.num_nodes) + 63) / 64
+                       : 0,
+                   0) {
+  if (config.telemetry != nullptr) {
+    cells_dirtied_counter_ = config.telemetry->metrics().GetCounter(
+        config.metric_prefix + ".stats.cells_dirtied");
+  }
+}
+
+StatusOr<StatsStage> StatsStage::Create(const StatsStageConfig& config) {
+  if (config.num_nodes <= 0) {
+    return InvalidArgumentError("num_nodes must be positive");
+  }
+  if (config.stats_sample_fraction <= 0.0 ||
+      config.stats_sample_fraction > 1.0) {
+    return InvalidArgumentError("stats_sample_fraction must be in (0, 1]");
+  }
+  auto grid = StatisticsGrid::Create(config.world, config.alpha);
+  if (!grid.ok()) {
+    return grid.status();
+  }
+  return StatsStage(config, *std::move(grid));
+}
+
+void StatsStage::NoteOwned(NodeId id) {
+  if (!owned_only_) {
+    return;
+  }
+  LIRA_DCHECK(id >= 0 &&
+              static_cast<size_t>(id) < stats_cell_of_.size());
+  owned_words_[static_cast<size_t>(id) / 64] |= uint64_t{1}
+                                                << (static_cast<size_t>(id) %
+                                                    64);
+}
+
+void StatsStage::ForgetNode(NodeId id) {
+  LIRA_DCHECK(id >= 0 &&
+              static_cast<size_t>(id) < stats_cell_of_.size());
+  if (stats_cell_of_[id] >= 0) {
+    grid_.RemoveNodeAt(stats_cell_of_[id], stats_speed_of_[id]);
+    stats_cell_of_[id] = -1;
+    stats_speed_of_[id] = 0.0;
+  }
+  if (owned_only_) {
+    owned_words_[static_cast<size_t>(id) / 64] &=
+        ~(uint64_t{1} << (static_cast<size_t>(id) % 64));
+  }
+}
+
+int64_t StatsStage::RelocateNode(const PositionTracker& tracker, NodeId id,
+                                 double now) {
+  const auto position = tracker.PredictAt(id, now);
+  int32_t new_cell = -1;
+  double new_speed = 0.0;
+  if (position.has_value()) {
+    const Point where = world_.Clamp(*position);
+    new_cell = grid_.CellIndexOf(where);
+    new_speed = tracker.BelievedSpeed(id);
+  }
+  const int32_t old_cell = stats_cell_of_[id];
+  if (old_cell == new_cell &&
+      (new_cell < 0 || StatisticsGrid::QuantizeSpeed(stats_speed_of_[id]) ==
+                           StatisticsGrid::QuantizeSpeed(new_speed))) {
+    return 0;
+  }
+  int64_t dirtied = 0;
+  if (old_cell >= 0) {
+    grid_.RemoveNodeAt(old_cell, stats_speed_of_[id]);
+    ++dirtied;
+  }
+  if (new_cell >= 0) {
+    grid_.AddNodeAt(new_cell, new_speed);
+    if (new_cell != old_cell) {
+      ++dirtied;
+    }
+  }
+  stats_cell_of_[id] = new_cell;
+  stats_speed_of_[id] = new_speed;
+  return dirtied;
+}
+
+void StatsStage::RebuildNodesIncremental(const PositionTracker& tracker,
+                                         double now) {
+  // Delta maintenance: relocate only the contributions whose cell or
+  // quantized speed changed since the last rebuild. The grid's integer
+  // accumulators make the result bitwise identical to ClearNodes() + full
+  // repopulation, and at fraction 1.0 neither path draws from stats_rng_,
+  // so the two paths are interchangeable mid-run.
+  int64_t dirtied = 0;
+  if (owned_only_) {
+    // Ascending set bits == ascending ids; unmarked ids are no-ops in the
+    // all-ids loop (no model, no previous contribution), so the two
+    // iteration orders produce the same accumulator sequence.
+    for (size_t w = 0; w < owned_words_.size(); ++w) {
+      uint64_t word = owned_words_[w];
+      while (word != 0) {
+        const int bit = __builtin_ctzll(word);
+        word &= word - 1;
+        dirtied += RelocateNode(
+            tracker, static_cast<NodeId>(w * 64 + static_cast<size_t>(bit)),
+            now);
+      }
+    }
+  } else {
+    for (NodeId id = 0; id < tracker.num_nodes(); ++id) {
+      dirtied += RelocateNode(tracker, id, now);
+    }
+  }
+  if (cells_dirtied_counter_ != nullptr) {
+    cells_dirtied_counter_->Increment(dirtied);
+  }
+}
+
+void StatsStage::RebuildNodes(const PositionTracker& tracker, double now) {
+  if (IncrementalEnabled()) {
+    RebuildNodesIncremental(tracker, now);
+    return;
+  }
+  grid_.ClearNodes();
+  const double fraction = stats_sample_fraction_;
+  const double weight = 1.0 / fraction;
+  // Every id draws from the RNG (sampled mode) whether or not it has a
+  // model, keeping the stream independent of ownership and report state.
+  for (NodeId id = 0; id < tracker.num_nodes(); ++id) {
+    if (fraction < 1.0 && !stats_rng_.Bernoulli(fraction)) {
+      continue;
+    }
+    const auto position = tracker.PredictAt(id, now);
+    if (!position.has_value()) {
+      continue;
+    }
+    const Point where = world_.Clamp(*position);
+    const double speed = tracker.BelievedSpeed(id);
+    // Unbiased scaling: each sampled node stands for 1/fraction nodes.
+    for (double mass = weight; mass > 1e-9; mass -= 1.0) {
+      // AddNode has unit mass; add floor(weight) copies plus a Bernoulli
+      // remainder so expectations match exactly.
+      if (mass >= 1.0 || stats_rng_.Bernoulli(mass)) {
+        grid_.AddNode(where, speed);
+      }
+    }
+  }
+}
+
+void StatsStage::RebuildQueries(const QueryRegistry& queries, double margin) {
+  if (query_stats_valid_ && query_stats_size_ == queries.size() &&
+      query_stats_margin_ == margin) {
+    return;  // counts already in the grid are current
+  }
+  grid_.ClearQueries();
+  grid_.AddQueries(queries, margin);
+  query_stats_valid_ = true;
+  query_stats_size_ = queries.size();
+  query_stats_margin_ = margin;
+}
+
+}  // namespace lira

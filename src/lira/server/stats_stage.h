@@ -1,0 +1,122 @@
+// Pipeline stage 3: statistics-grid maintenance.
+//
+// Owns the StatisticsGrid and everything needed to refresh it from the
+// tracker's believed node states at each adaptation: the delta-maintenance
+// state (last contribution per node), the sampling RNG, and the query-count
+// refresh cache. The rebuild paths are transplanted verbatim from the
+// original monolithic CqServer and keep its bitwise guarantees:
+//
+//  * incremental (fraction == 1.0): relocate only contributions whose cell
+//    or quantized speed changed -- bitwise identical to ClearNodes() + full
+//    repopulation (integer accumulators), no RNG consumed;
+//  * sampled (fraction < 1.0): ClearNodes() + Bernoulli-sampled
+//    repopulation with unbiased 1/fraction weighting. One RNG draw per
+//    node id, reported or not, so the stream is a function of (seed,
+//    rebuild ordinal) only.
+//
+// Cluster shards set `owned_only`: the incremental path then iterates just
+// the ids ever marked via NoteOwned. Unmarked ids contribute nothing in
+// either mode (no model -> no cell, no RNG in the incremental path), so an
+// S=1 shard stays bitwise identical to the all-ids server. The sampled
+// path always iterates every id to preserve that per-id RNG stream.
+
+#ifndef LIRA_SERVER_STATS_STAGE_H_
+#define LIRA_SERVER_STATS_STAGE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "lira/common/geometry.h"
+#include "lira/common/rng.h"
+#include "lira/common/status.h"
+#include "lira/core/statistics_grid.h"
+#include "lira/cq/query_registry.h"
+#include "lira/mobility/position.h"
+#include "lira/motion/dead_reckoning.h"
+#include "lira/telemetry/telemetry.h"
+
+namespace lira {
+
+struct StatsStageConfig {
+  int32_t num_nodes = 0;
+  Rect world;
+  /// Statistics-grid resolution (power of two).
+  int32_t alpha = 128;
+  /// Fraction of nodes fed into the grid per rebuild; 1.0 = exact.
+  double stats_sample_fraction = 1.0;
+  /// Delta-maintain across rebuilds when the fraction is 1.0.
+  bool incremental_stats = true;
+  /// Iterate only NoteOwned ids in the incremental path (cluster shards).
+  bool owned_only = false;
+  /// Final sampling-RNG seed; the caller pre-mixes (the facade server
+  /// passes `seed ^ 0x57a75`, shard k mixes its shard stream in first).
+  uint64_t seed = 1234;
+  /// Instrument namespace: "<metric_prefix>.stats.cells_dirtied".
+  std::string metric_prefix = "lira";
+  /// Optional telemetry (not owned; must outlive the stage).
+  telemetry::TelemetrySink* telemetry = nullptr;
+};
+
+/// Grid + rebuild machinery. Not thread-safe; distinct stages (cluster
+/// shards) are independent and may rebuild concurrently.
+class StatsStage {
+ public:
+  static StatusOr<StatsStage> Create(const StatsStageConfig& config);
+
+  /// Refreshes node statistics (n, s) from the tracker's believed state at
+  /// time `now`, by delta relocation or sampled repopulation per config.
+  void RebuildNodes(const PositionTracker& tracker, double now);
+
+  /// Refreshes query statistics (m) with `margin` meters added around each
+  /// query rectangle, skipping the pass when the (registry size, margin)
+  /// already counted is current. The registry is append-only, so its size
+  /// captures content changes; InvalidateQueryCache forces a recount.
+  void RebuildQueries(const QueryRegistry& queries, double margin);
+  void InvalidateQueryCache() { query_stats_valid_ = false; }
+
+  /// Marks a node as owned by this stage (owned_only iteration set).
+  void NoteOwned(NodeId id);
+  /// Retracts a node's grid contribution and ownership mark (cross-shard
+  /// handoff). The incremental path removes the contribution immediately;
+  /// the rebuild paths drop it at their next ClearNodes().
+  void ForgetNode(NodeId id);
+
+  const StatisticsGrid& grid() const { return grid_; }
+  /// The coordinator merges shard grids into its own through this.
+  StatisticsGrid* mutable_grid() { return &grid_; }
+
+  /// True when the delta-maintenance fast path owns the node statistics.
+  bool IncrementalEnabled() const {
+    return incremental_stats_ && stats_sample_fraction_ == 1.0;
+  }
+
+ private:
+  StatsStage(const StatsStageConfig& config, StatisticsGrid grid);
+
+  void RebuildNodesIncremental(const PositionTracker& tracker, double now);
+  /// One node's delta-relocation step; returns cells dirtied (0..2).
+  int64_t RelocateNode(const PositionTracker& tracker, NodeId id, double now);
+
+  Rect world_;
+  double stats_sample_fraction_;
+  bool incremental_stats_;
+  bool owned_only_;
+  StatisticsGrid grid_;
+  Rng stats_rng_;
+  /// Delta-maintenance state: each node's last contribution to the grid
+  /// (flat cell index, -1 = none, and the speed it was added with).
+  std::vector<int32_t> stats_cell_of_;
+  std::vector<double> stats_speed_of_;
+  /// Owned-id bitmap (64 ids per word), iterated in ascending id order.
+  std::vector<uint64_t> owned_words_;
+  /// Query-count refresh skip state.
+  bool query_stats_valid_ = false;
+  int32_t query_stats_size_ = -1;
+  double query_stats_margin_ = -1.0;
+  telemetry::Counter* cells_dirtied_counter_ = nullptr;
+};
+
+}  // namespace lira
+
+#endif  // LIRA_SERVER_STATS_STAGE_H_

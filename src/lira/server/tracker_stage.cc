@@ -1,0 +1,55 @@
+#include "lira/server/tracker_stage.h"
+
+#include <utility>
+
+namespace lira {
+
+TrackerStage::TrackerStage(int32_t num_nodes, bool maintain_index,
+                           bool record_history, TprTree index)
+    : tracker_(num_nodes),
+      index_(std::move(index)),
+      maintain_index_(maintain_index),
+      history_(record_history
+                   ? std::optional<HistoryStore>(HistoryStore(num_nodes))
+                   : std::nullopt) {}
+
+StatusOr<TrackerStage> TrackerStage::Create(int32_t num_nodes,
+                                            bool maintain_index,
+                                            bool record_history) {
+  if (num_nodes <= 0) {
+    return InvalidArgumentError("num_nodes must be positive");
+  }
+  auto index = TprTree::Create();
+  if (!index.ok()) {
+    return index.status();
+  }
+  return TrackerStage(num_nodes, maintain_index, record_history,
+                      *std::move(index));
+}
+
+void TrackerStage::Apply(const ModelUpdate& update) {
+  tracker_.Apply(update);
+  if (maintain_index_) {
+    index_.Update(update.node_id, update.model);
+  }
+  if (history_.has_value()) {
+    history_->Record(update);
+  }
+}
+
+void TrackerStage::Forget(NodeId id) {
+  tracker_.Forget(id);
+  if (maintain_index_) {
+    index_.Remove(id);
+  }
+}
+
+StatusOr<std::vector<NodeId>> TrackerStage::RangeAt(const Rect& range,
+                                                    double t) const {
+  if (!maintain_index_) {
+    return FailedPreconditionError("server index maintenance is disabled");
+  }
+  return index_.QueryAt(range, t);
+}
+
+}  // namespace lira

@@ -1,6 +1,8 @@
 #include "lira/sim/simulation.h"
 
 #include <algorithm>
+#include <memory>
+#include <optional>
 #include <utility>
 #include <vector>
 
@@ -11,6 +13,8 @@
 #include "lira/motion/dead_reckoning.h"
 #include "lira/server/cq_server.h"
 #include "lira/server/history_store.h"
+#include "lira/server/server_cluster.h"
+#include "lira/server/server_pipeline.h"
 
 namespace lira {
 
@@ -30,6 +34,9 @@ StatusOr<SimulationResult> RunSimulation(const World& world,
   }
   if (config.threads < 0) {
     return InvalidArgumentError("threads must be >= 0");
+  }
+  if (config.shards < 0) {
+    return InvalidArgumentError("shards must be >= 0");
   }
 
   CqServerConfig server_config;
@@ -62,10 +69,32 @@ StatusOr<SimulationResult> RunSimulation(const World& world,
   server_config.telemetry = config.telemetry;
   server_config.seed = config.seed;
 
-  auto server = CqServer::Create(server_config, &policy, &world.reduction,
-                                 &world.queries);
-  if (!server.ok()) {
-    return server.status();
+  // shards == 0 runs the single in-process server; S >= 1 runs the
+  // region-sharded cluster behind the same ServerPipeline interface
+  // (bitwise identical at S = 1, see sim/simulation_test).
+  std::optional<CqServer> single_server;
+  std::unique_ptr<ServerCluster> cluster;
+  ServerPipeline* server = nullptr;
+  if (config.shards == 0) {
+    auto created = CqServer::Create(server_config, &policy, &world.reduction,
+                                    &world.queries);
+    if (!created.ok()) {
+      return created.status();
+    }
+    single_server.emplace(*std::move(created));
+    server = &*single_server;
+  } else {
+    ServerClusterConfig cluster_config;
+    cluster_config.server = server_config;
+    cluster_config.shards = config.shards;
+    cluster_config.threads = config.threads;
+    auto created = ServerCluster::Create(cluster_config, &policy,
+                                         &world.reduction, &world.queries);
+    if (!created.ok()) {
+      return created.status();
+    }
+    cluster = *std::move(created);
+    server = cluster.get();
   }
 
   DeadReckoningEncoder encoder(world.num_nodes());
@@ -166,11 +195,11 @@ StatusOr<SimulationResult> RunSimulation(const World& world,
       telemetry::TelemetrySink& sink = *config.telemetry;
       sink.SampleGauge("lira.throtloop.z", t, server->z());
       sink.SampleGauge("lira.queue.depth", t,
-                       static_cast<double>(server->queue().size()));
+                       static_cast<double>(server->queue_size()));
       sink.Emit(telemetry::EventKind::kCounter, "lira.queue.arrivals", t,
-                static_cast<double>(server->queue().total_arrivals()));
+                static_cast<double>(server->queue_arrivals()));
       sink.Emit(telemetry::EventKind::kCounter, "lira.queue.dropped", t,
-                static_cast<double>(server->queue().total_dropped()));
+                static_cast<double>(server->queue_dropped()));
     }
 
     // Accuracy sampling: phase one predicts every node's reference and
@@ -180,7 +209,6 @@ StatusOr<SimulationResult> RunSimulation(const World& world,
     // maps over the pool with read-only index access.
     if (frame >= config.warmup_frames &&
         (frame - config.warmup_frames) % config.sample_every == 0) {
-      const PositionTracker& tracker = server->tracker();
       pool.ParallelFor(
           0, num_nodes, kNodeGrain,
           [&](int32_t /*chunk*/, int64_t chunk_begin, int64_t chunk_end) {
@@ -189,7 +217,7 @@ StatusOr<SimulationResult> RunSimulation(const World& world,
               const auto reference = reference_tracker.PredictAt(node, t);
               truth_positions[id] =
                   reference.value_or(trace.Position(frame, node));
-              const auto believed = tracker.PredictAt(node, t);
+              const auto believed = server->BelievedPositionAt(node, t);
               believed_known[id] = believed.has_value() ? 1 : 0;
               if (believed.has_value()) {
                 believed_positions[id] = *believed;
@@ -215,7 +243,7 @@ StatusOr<SimulationResult> RunSimulation(const World& world,
   result.metrics = metrics.Compute();
   result.final_z = server->z();
   result.updates_sent = encoder.updates_emitted();
-  result.updates_dropped = server->queue().total_dropped();
+  result.updates_dropped = server->queue_dropped();
   result.updates_applied = server->updates_applied();
   result.plan_builds = server->plan_builds();
   result.mean_plan_build_seconds =
@@ -225,7 +253,7 @@ StatusOr<SimulationResult> RunSimulation(const World& world,
   result.final_plan_regions = server->plan().NumRegions();
   result.final_plan_min_delta = server->plan().MinDelta();
   result.final_plan_max_delta = server->plan().MaxDelta();
-  if (config.evaluate_history && server->history() != nullptr &&
+  if (config.evaluate_history && server->records_history() &&
       config.history_probes > 0) {
     // Random historical snapshot probes over the measured window.
     Rng rng(config.seed ^ 0x5eedULL);
@@ -234,7 +262,6 @@ StatusOr<SimulationResult> RunSimulation(const World& world,
     const double t_hi = trace.TimeOf(trace.num_frames() - 1);
     RunningStat containment;
     RunningStat position;
-    const HistoryStore& history = *server->history();
     for (int32_t probe = 0; probe < config.history_probes; ++probe) {
       const double t = rng.Uniform(t_lo, t_hi);
       const double side = rng.Uniform(500.0, 1500.0);
@@ -244,7 +271,7 @@ StatusOr<SimulationResult> RunSimulation(const World& world,
           rng.Uniform(world_rect.min_y + side / 2,
                       world_rect.max_y - side / 2)};
       const Rect range = Rect::CenteredAt(center, side);
-      std::vector<NodeId> got = history.RangeAt(range, t);
+      std::vector<NodeId> got = server->HistoricalRangeAt(range, t);
       std::vector<NodeId> want = reference_history.RangeAt(range, t);
       std::sort(got.begin(), got.end());
       std::sort(want.begin(), want.end());
@@ -270,7 +297,7 @@ StatusOr<SimulationResult> RunSimulation(const World& world,
       for (int32_t k = 0; k < 20; ++k) {
         const auto id = static_cast<NodeId>(
             rng.UniformInt(static_cast<uint64_t>(world.num_nodes())));
-        const auto believed = history.PositionAt(id, t);
+        const auto believed = server->HistoricalPositionAt(id, t);
         const auto reference = reference_history.PositionAt(id, t);
         if (believed.has_value() && reference.has_value()) {
           position.Add(Distance(*believed, *reference));
@@ -279,7 +306,7 @@ StatusOr<SimulationResult> RunSimulation(const World& world,
     }
     result.historical_containment_error = containment.mean();
     result.historical_position_error = position.mean();
-    result.history_bytes = history.ApproxBytes();
+    result.history_bytes = server->history_bytes();
   }
   if (measured_frames > 0 && world.full_update_rate > 0.0) {
     const double measured_rate =

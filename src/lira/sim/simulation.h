@@ -75,6 +75,12 @@ struct SimulationConfig {
   /// thread count -- parallel output is merged in deterministic node/query
   /// order -- so this knob trades wall-clock time only.
   int32_t threads = 0;
+  /// Region shards on the server side (DESIGN.md §9). 0 (the default) runs
+  /// the single in-process CqServer; S >= 1 runs a ServerCluster with S
+  /// spatial shards whose worker pool is also bounded by `threads`. S = 1
+  /// is bitwise identical to the single server, and any S is bitwise
+  /// reproducible across thread counts (asserted in sim/simulation_test).
+  int32_t shards = 0;
   uint64_t seed = 99;
 };
 

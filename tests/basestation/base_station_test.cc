@@ -121,6 +121,60 @@ TEST_F(DensityPlacementTest, Validation) {
   EXPECT_FALSE(DensityAwarePlacement(*stats_, config).ok());
 }
 
+TEST(StationIndexTest, Validation) {
+  EXPECT_FALSE(StationIndex::Create({}).ok());
+  EXPECT_FALSE(StationIndex::Create({{{0.0, 0.0}, 0.0}}).ok());
+  EXPECT_TRUE(StationIndex::Create({{{0.0, 0.0}, 50.0}}).ok());
+}
+
+TEST(StationIndexTest, LookupMatchesLinearScanOnUniformPlacement) {
+  auto stations = UniformPlacement(kWorld, 1500.0);
+  ASSERT_TRUE(stations.ok());
+  auto index = StationIndex::Create(*stations);
+  ASSERT_TRUE(index.ok());
+  Rng rng(91);
+  for (int i = 0; i < 2000; ++i) {
+    // Points inside the world, on its border, and well outside it (where
+    // the index falls back to the reference scan).
+    const Point p{rng.Uniform(-3000.0, 13000.0),
+                  rng.Uniform(-3000.0, 13000.0)};
+    ASSERT_EQ(index->Lookup(p), StationForPoint(*stations, p))
+        << "point " << p.x << "," << p.y;
+  }
+}
+
+TEST(StationIndexTest, LookupMatchesLinearScanOnRandomStations) {
+  Rng rng(17);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<BaseStation> stations;
+    const int n = 1 + static_cast<int>(rng.UniformInt(60));
+    for (int i = 0; i < n; ++i) {
+      stations.push_back({{rng.Uniform(0.0, 10000.0),
+                           rng.Uniform(0.0, 10000.0)},
+                          rng.Uniform(100.0, 4000.0)});
+    }
+    auto index = StationIndex::Create(stations);
+    ASSERT_TRUE(index.ok());
+    for (int i = 0; i < 400; ++i) {
+      const Point p{rng.Uniform(-2000.0, 12000.0),
+                    rng.Uniform(-2000.0, 12000.0)};
+      ASSERT_EQ(index->Lookup(p), StationForPoint(stations, p))
+          << "trial " << trial << " point " << p.x << "," << p.y;
+    }
+  }
+}
+
+TEST(StationIndexTest, TieOnDistanceKeepsLowestIndex) {
+  // Two identical discs: the reference scan keeps the first (strict <), and
+  // the bucketed scan must agree.
+  const std::vector<BaseStation> stations = {{{100.0, 100.0}, 50.0},
+                                             {{100.0, 100.0}, 50.0}};
+  auto index = StationIndex::Create(stations);
+  ASSERT_TRUE(index.ok());
+  EXPECT_EQ(index->Lookup({100.0, 100.0}), 0);
+  EXPECT_EQ(StationForPoint(stations, {100.0, 100.0}), 0);
+}
+
 TEST(StationForPointTest, PrefersNearestCoveringStation) {
   const std::vector<BaseStation> stations = {
       {{0.0, 0.0}, 100.0}, {{150.0, 0.0}, 100.0}, {{1000.0, 0.0}, 10.0}};

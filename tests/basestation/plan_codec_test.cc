@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include "lira/common/rng.h"
+
 namespace lira {
 namespace {
 
@@ -76,6 +78,158 @@ TEST(PlanCodecTest, PlanSubsetSelectsIntersectingRegions) {
   auto payload = EncodePlanSubset(*plan, corner);
   ASSERT_TRUE(payload.ok());
   EXPECT_EQ(payload->size(), 16u);
+}
+
+// Builds a random quad-partition of a power-of-two world by repeatedly
+// splitting a random leaf into its four quadrants, up to `max_depth`. Every
+// coordinate is an integer multiple of the smallest cell side and every
+// delta a multiple of 0.25, so all values are exactly representable in the
+// codec's f32 wire format and the round trip must be lossless.
+std::vector<SheddingRegion> RandomQuadPartition(Rng& rng, const Rect& world,
+                                                int32_t target_regions,
+                                                int32_t max_depth) {
+  struct Leaf {
+    Rect area;
+    int32_t depth;
+  };
+  std::vector<Leaf> leaves = {{world, 0}};
+  while (static_cast<int32_t>(leaves.size()) < target_regions) {
+    std::vector<size_t> splittable;
+    for (size_t i = 0; i < leaves.size(); ++i) {
+      if (leaves[i].depth < max_depth) {
+        splittable.push_back(i);
+      }
+    }
+    if (splittable.empty()) {
+      break;
+    }
+    const Leaf leaf = leaves[splittable[rng.UniformInt(splittable.size())]];
+    // Remove the chosen leaf (identified by its rect) and add its quadrants.
+    for (size_t i = 0; i < leaves.size(); ++i) {
+      if (leaves[i].area == leaf.area) {
+        leaves.erase(leaves.begin() + static_cast<ptrdiff_t>(i));
+        break;
+      }
+    }
+    const double mid_x = (leaf.area.min_x + leaf.area.max_x) / 2;
+    const double mid_y = (leaf.area.min_y + leaf.area.max_y) / 2;
+    leaves.push_back({{leaf.area.min_x, leaf.area.min_y, mid_x, mid_y},
+                      leaf.depth + 1});
+    leaves.push_back({{mid_x, leaf.area.min_y, leaf.area.max_x, mid_y},
+                      leaf.depth + 1});
+    leaves.push_back({{leaf.area.min_x, mid_y, mid_x, leaf.area.max_y},
+                      leaf.depth + 1});
+    leaves.push_back({{mid_x, mid_y, leaf.area.max_x, leaf.area.max_y},
+                      leaf.depth + 1});
+  }
+  std::vector<SheddingRegion> regions;
+  regions.reserve(leaves.size());
+  for (const Leaf& leaf : leaves) {
+    SheddingRegion region;
+    region.area = leaf.area;
+    // Multiples of 0.25 in [5, 100]: exactly representable in f32.
+    region.delta = 5.0 + 0.25 * static_cast<double>(rng.UniformInt(381));
+    regions.push_back(region);
+  }
+  return regions;
+}
+
+double DeltaFromDecoded(const std::vector<BroadcastRegion>& regions,
+                        Point p) {
+  for (const BroadcastRegion& region : regions) {
+    if (region.area.Contains(p)) {
+      return region.delta;
+    }
+  }
+  return -1.0;
+}
+
+TEST(PlanCodecTest, RandomPlanRoundTripPreservesThrottlerDecisions) {
+  // The property the dissemination layer must uphold: for any valid plan
+  // whose geometry is f32-exact, a node working from the decoded payload
+  // picks bitwise the same throttler the server-side plan would.
+  const Rect world{0.0, 0.0, 1024.0, 1024.0};
+  Rng rng(2024);
+  for (int trial = 0; trial < 20; ++trial) {
+    const int32_t target = 1 + static_cast<int32_t>(rng.UniformInt(40));
+    auto regions = RandomQuadPartition(rng, world, target, 6);
+    auto plan = SheddingPlan::Create(world, regions);
+    ASSERT_TRUE(plan.ok()) << "trial " << trial;
+
+    std::vector<BroadcastRegion> broadcast;
+    for (const SheddingRegion& region : plan->regions()) {
+      broadcast.push_back({region.area, region.delta});
+    }
+    auto payload = EncodeRegions(broadcast);
+    ASSERT_TRUE(payload.ok()) << "trial " << trial;
+    auto decoded = DecodeRegions(*payload);
+    ASSERT_TRUE(decoded.ok()) << "trial " << trial;
+    ASSERT_EQ(decoded->size(), broadcast.size());
+
+    for (int probe = 0; probe < 200; ++probe) {
+      const Point p{rng.Uniform(world.min_x, world.max_x),
+                    rng.Uniform(world.min_y, world.max_y)};
+      const double from_decoded = DeltaFromDecoded(*decoded, p);
+      ASSERT_EQ(from_decoded, plan->DeltaAt(p))
+          << "trial " << trial << " p=" << p;
+    }
+  }
+}
+
+TEST(PlanCodecTest, SingleRegionAndMaxDepthRoundTrip) {
+  const Rect world{0.0, 0.0, 1024.0, 1024.0};
+  // Single region: the uniform plan every baseline policy starts from.
+  const SheddingPlan uniform = SheddingPlan::MakeUniform(world, 42.5);
+  std::vector<BroadcastRegion> one = {
+      {uniform.regions()[0].area, uniform.regions()[0].delta}};
+  auto payload = EncodeRegions(one);
+  ASSERT_TRUE(payload.ok());
+  auto decoded = DecodeRegions(*payload);
+  ASSERT_TRUE(decoded.ok());
+  ASSERT_EQ(decoded->size(), 1u);
+  EXPECT_EQ((*decoded)[0].area, world);
+  EXPECT_EQ((*decoded)[0].delta, 42.5);
+
+  // Maximum drill-down: a deep quad chain down to 1 m cells (1024 / 2^10)
+  // still encodes losslessly -- the smallest geometry GRIDREDUCE can emit.
+  Rng rng(77);
+  std::vector<SheddingRegion> regions;
+  Rect cursor = world;
+  for (int depth = 0; depth < 10; ++depth) {
+    const double mid_x = (cursor.min_x + cursor.max_x) / 2;
+    const double mid_y = (cursor.min_y + cursor.max_y) / 2;
+    // Keep the lower-left quadrant for further splitting; emit the rest.
+    SheddingRegion r1, r2, r3;
+    r1.area = Rect{mid_x, cursor.min_y, cursor.max_x, mid_y};
+    r2.area = Rect{cursor.min_x, mid_y, mid_x, cursor.max_y};
+    r3.area = Rect{mid_x, mid_y, cursor.max_x, cursor.max_y};
+    for (SheddingRegion* r : {&r1, &r2, &r3}) {
+      r->delta = 5.0 + 0.25 * static_cast<double>(rng.UniformInt(381));
+      regions.push_back(*r);
+    }
+    cursor = Rect{cursor.min_x, cursor.min_y, mid_x, mid_y};
+  }
+  SheddingRegion last;
+  last.area = cursor;
+  last.delta = 99.75;
+  regions.push_back(last);
+  auto plan = SheddingPlan::Create(world, regions);
+  ASSERT_TRUE(plan.ok());
+  std::vector<BroadcastRegion> broadcast;
+  for (const SheddingRegion& region : plan->regions()) {
+    broadcast.push_back({region.area, region.delta});
+  }
+  auto deep_payload = EncodeRegions(broadcast);
+  ASSERT_TRUE(deep_payload.ok());
+  auto deep_decoded = DecodeRegions(*deep_payload);
+  ASSERT_TRUE(deep_decoded.ok());
+  for (size_t i = 0; i < broadcast.size(); ++i) {
+    EXPECT_EQ((*deep_decoded)[i].area, broadcast[i].area) << "region " << i;
+    EXPECT_EQ((*deep_decoded)[i].delta, broadcast[i].delta) << "region " << i;
+  }
+  // The 1 m innermost cell's decision survives the round trip bit for bit.
+  EXPECT_EQ(DeltaFromDecoded(*deep_decoded, {0.5, 0.5}),
+            plan->DeltaAt({0.5, 0.5}));
 }
 
 TEST(PlanCodecTest, PaperPayloadArithmetic) {

@@ -286,6 +286,83 @@ TEST(StatisticsGridTest, TotalsStayConsistentWithCellSums) {
   EXPECT_EQ(grid.TotalQueries(), 0.0);
 }
 
+// The ServerCluster coordinator's contract: partition any observation set
+// across S grids arbitrarily, Merge them into one, and the result is
+// bitwise identical to a single grid populated with every observation.
+// Integer node/speed accumulators make this exact for any partition.
+TEST(StatisticsGridTest, MergeOfPartitionsIsBitwiseEqualToSingleGrid) {
+  Rng rng(271);
+  for (int32_t num_parts : {1, 2, 3, 5}) {
+    StatisticsGrid whole = MakeGrid(16);
+    std::vector<StatisticsGrid> parts;
+    for (int32_t k = 0; k < num_parts; ++k) {
+      parts.push_back(MakeGrid(16));
+    }
+    for (int i = 0; i < 500; ++i) {
+      const Point p{rng.Uniform(-40.0, 840.0), rng.Uniform(-40.0, 840.0)};
+      const double speed = rng.Uniform(0.0, 40.0);
+      whole.AddNode(p, speed);
+      // Arbitrary (not spatial) partition: merge must not care how the
+      // observations were split.
+      parts[rng.UniformInt(static_cast<uint64_t>(num_parts))].AddNode(p,
+                                                                      speed);
+    }
+    // Queries are counted into exactly one of the merged grids -- the
+    // coordinator's policy -- so the FP query sums see one addition order.
+    QueryRegistry registry;
+    registry.Add(Rect{100, 100, 300, 250});
+    registry.Add(Rect{420, 500, 700, 780});
+    whole.AddQueries(registry);
+    parts[0].AddQueries(registry);
+
+    StatisticsGrid merged = MakeGrid(16);
+    for (const StatisticsGrid& part : parts) {
+      ASSERT_TRUE(merged.Merge(part).ok());
+    }
+    for (int32_t iy = 0; iy < 16; ++iy) {
+      for (int32_t ix = 0; ix < 16; ++ix) {
+        ASSERT_EQ(merged.NodeCount(ix, iy), whole.NodeCount(ix, iy))
+            << "parts=" << num_parts << " cell (" << ix << ", " << iy << ")";
+        ASSERT_EQ(merged.MeanSpeed(ix, iy), whole.MeanSpeed(ix, iy))
+            << "parts=" << num_parts << " cell (" << ix << ", " << iy << ")";
+        ASSERT_EQ(merged.QueryCount(ix, iy), whole.QueryCount(ix, iy))
+            << "parts=" << num_parts << " cell (" << ix << ", " << iy << ")";
+      }
+    }
+    EXPECT_EQ(merged.TotalNodes(), whole.TotalNodes());
+    EXPECT_EQ(merged.OverallMeanSpeed(), whole.OverallMeanSpeed());
+    EXPECT_EQ(merged.TotalQueries(), whole.TotalQueries());
+  }
+}
+
+TEST(StatisticsGridTest, MergeIsRepeatableAfterClearNodes) {
+  // The coordinator clears and re-merges every adaptation; node statistics
+  // must not leak across rounds while query counts (owned by the
+  // coordinator grid itself, not the merged-in shard grids) survive.
+  StatisticsGrid coordinator = MakeGrid();
+  QueryRegistry registry;
+  registry.Add(Rect{0, 0, 200, 200});
+  coordinator.AddQueries(registry);
+  StatisticsGrid shard = MakeGrid();
+  shard.AddNode({50.0, 50.0}, 10.0);
+  for (int round = 0; round < 3; ++round) {
+    coordinator.ClearNodes();
+    ASSERT_TRUE(coordinator.Merge(shard).ok());
+    EXPECT_DOUBLE_EQ(coordinator.TotalNodes(), 1.0);
+    EXPECT_DOUBLE_EQ(coordinator.MeanSpeed(0, 0), 10.0);
+    EXPECT_NEAR(coordinator.TotalQueries(), 1.0, 1e-12);
+  }
+}
+
+TEST(StatisticsGridTest, MergeRejectsMismatchedGrids) {
+  StatisticsGrid grid = MakeGrid(8);
+  StatisticsGrid other_alpha = MakeGrid(16);
+  EXPECT_FALSE(grid.Merge(other_alpha).ok());
+  auto other_world = StatisticsGrid::Create(Rect{0, 0, 400, 800}, 8);
+  ASSERT_TRUE(other_world.ok());
+  EXPECT_FALSE(grid.Merge(*other_world).ok());
+}
+
 TEST(RegionStatsTest, AdditionMergesSpeedByNodeWeight) {
   RegionStats a;
   a.n = 3;

@@ -1,0 +1,127 @@
+#include "lira/server/optimizer_stage.h"
+
+#include <optional>
+
+#include <gtest/gtest.h>
+
+#include "lira/motion/update_reduction.h"
+#include "lira/telemetry/telemetry.h"
+
+namespace lira {
+namespace {
+
+constexpr Rect kWorld{0.0, 0.0, 1600.0, 1600.0};
+
+class OptimizerStageTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto analytic = AnalyticReduction::Create(5.0, 100.0, 0.7, 1.0);
+    ASSERT_TRUE(analytic.ok());
+    auto pwl = PiecewiseLinearReduction::SampleFunction(
+        5.0, 100.0, 95, [&](double d) { return analytic->Eval(d); });
+    ASSERT_TRUE(pwl.ok());
+    reduction_.emplace(*std::move(pwl));
+    auto stats = StatisticsGrid::Create(kWorld, 16);
+    ASSERT_TRUE(stats.ok());
+    stats_.emplace(*std::move(stats));
+    for (int i = 0; i < 50; ++i) {
+      stats_->AddNode({50.0 + 30.0 * i, 800.0}, 5.0);
+    }
+  }
+
+  OptimizerStageConfig BaseConfig() {
+    OptimizerStageConfig config;
+    config.queue_capacity = 100;
+    config.service_rate = 1000.0;
+    config.adaptation_period = 10.0;
+    config.fixed_z = 0.5;
+    return config;
+  }
+
+  std::optional<PiecewiseLinearReduction> reduction_;
+  std::optional<StatisticsGrid> stats_;
+  UniformDeltaPolicy uniform_policy_;
+};
+
+TEST_F(OptimizerStageTest, CreateValidation) {
+  EXPECT_TRUE(OptimizerStage::Create(BaseConfig(), kWorld, 5.0).ok());
+  auto config = BaseConfig();
+  config.service_rate = 0.0;
+  EXPECT_FALSE(OptimizerStage::Create(config, kWorld, 5.0).ok());
+  config = BaseConfig();
+  config.adaptation_period = 0.0;
+  EXPECT_FALSE(OptimizerStage::Create(config, kWorld, 5.0).ok());
+  config = BaseConfig();
+  config.fixed_z = 1.4;
+  EXPECT_FALSE(OptimizerStage::Create(config, kWorld, 5.0).ok());
+  // auto_throttle ignores fixed_z.
+  config.auto_throttle = true;
+  EXPECT_TRUE(OptimizerStage::Create(config, kWorld, 5.0).ok());
+}
+
+TEST_F(OptimizerStageTest, InitialPlanIsUniformAtInitialDelta) {
+  auto stage = OptimizerStage::Create(BaseConfig(), kWorld, 5.0);
+  ASSERT_TRUE(stage.ok());
+  EXPECT_EQ(stage->plan().NumRegions(), 1);
+  EXPECT_DOUBLE_EQ(stage->plan().MaxDelta(), 5.0);
+  EXPECT_EQ(stage->plan_builds(), 0);
+  EXPECT_DOUBLE_EQ(stage->z(), 0.5);  // fixed mode starts at fixed_z
+}
+
+TEST_F(OptimizerStageTest, AutoThrottleTracksOverload) {
+  auto config = BaseConfig();
+  config.auto_throttle = true;
+  config.service_rate = 10.0;
+  config.adaptation_period = 5.0;
+  auto stage = OptimizerStage::Create(config, kWorld, 5.0);
+  ASSERT_TRUE(stage.ok());
+  EXPECT_DOUBLE_EQ(stage->z(), 1.0);  // auto mode starts wide open
+  // 100 arrivals over a 5 s window = 20/s against mu = 10/s.
+  const double z = stage->UpdateThrottle(100, 40, 5.0);
+  EXPECT_DOUBLE_EQ(stage->z(), z);
+  EXPECT_LT(z, 0.6);
+  EXPECT_GT(z, 0.3);
+}
+
+TEST_F(OptimizerStageTest, FixedThrottleReassertsConfiguredZ) {
+  auto stage = OptimizerStage::Create(BaseConfig(), kWorld, 5.0);
+  ASSERT_TRUE(stage.ok());
+  EXPECT_DOUBLE_EQ(stage->FixedThrottle(1.0), 0.5);
+  EXPECT_DOUBLE_EQ(stage->z(), 0.5);
+}
+
+TEST_F(OptimizerStageTest, BuildPlanInstallsPolicyResult) {
+  auto stage = OptimizerStage::Create(BaseConfig(), kWorld, 5.0);
+  ASSERT_TRUE(stage.ok());
+  ASSERT_TRUE(
+      stage->BuildPlan(uniform_policy_, *stats_, *reduction_, 10.0).ok());
+  EXPECT_EQ(stage->plan_builds(), 1);
+  EXPECT_GE(stage->total_plan_build_seconds(), 0.0);
+  // Uniform-Delta at z = 0.5 sets f^{-1}(0.5) everywhere.
+  EXPECT_NEAR(stage->plan().MaxDelta(), reduction_->InverseEval(0.5), 1e-9);
+}
+
+TEST_F(OptimizerStageTest, TelemetryUsesConfiguredPrefix) {
+  telemetry::MemoryEventSink events;
+  telemetry::TelemetrySink sink(&events);
+  auto config = BaseConfig();
+  config.auto_throttle = true;
+  config.service_rate = 10.0;
+  config.adaptation_period = 5.0;
+  config.telemetry = &sink;
+  auto stage = OptimizerStage::Create(config, kWorld, 5.0);
+  ASSERT_TRUE(stage.ok());
+  stage->UpdateThrottle(100, 40, 5.0);
+  ASSERT_TRUE(
+      stage->BuildPlan(uniform_policy_, *stats_, *reduction_, 5.0).ok());
+  const telemetry::MetricRegistry& metrics = sink.metrics();
+  EXPECT_DOUBLE_EQ(metrics.FindGauge("lira.throtloop.z")->value(),
+                   stage->z());
+  EXPECT_DOUBLE_EQ(metrics.FindGauge("lira.throtloop.lambda")->value(), 20.0);
+  EXPECT_DOUBLE_EQ(metrics.FindGauge("lira.plan.regions")->value(), 1.0);
+  EXPECT_EQ(events.Select(telemetry::EventKind::kZChanged).size(), 1u);
+  EXPECT_EQ(events.Select(telemetry::EventKind::kPlanRebuilt).size(), 1u);
+}
+
+}  // namespace
+}  // namespace lira

@@ -1,0 +1,98 @@
+#include "lira/server/shard_map.h"
+
+#include <gtest/gtest.h>
+
+#include "lira/common/rng.h"
+
+namespace lira {
+namespace {
+
+constexpr Rect kWorld{0.0, 0.0, 1600.0, 1600.0};
+
+TEST(ShardMapTest, CreateValidation) {
+  EXPECT_TRUE(ShardMap::Create(kWorld, 16, 1).ok());
+  EXPECT_TRUE(ShardMap::Create(kWorld, 16, 16).ok());
+  EXPECT_FALSE(ShardMap::Create(Rect{0, 0, 0, 100}, 16, 2).ok());
+  EXPECT_FALSE(ShardMap::Create(kWorld, 12, 2).ok());  // not a power of two
+  EXPECT_FALSE(ShardMap::Create(kWorld, 0, 1).ok());
+  EXPECT_FALSE(ShardMap::Create(kWorld, 16, 0).ok());
+  EXPECT_FALSE(ShardMap::Create(kWorld, 16, 17).ok());  // > alpha
+}
+
+TEST(ShardMapTest, ColumnsPartitionedBalanced) {
+  for (int32_t shards : {1, 2, 3, 4, 7, 16}) {
+    auto map = ShardMap::Create(kWorld, 16, shards);
+    ASSERT_TRUE(map.ok());
+    EXPECT_EQ(map->num_shards(), shards);
+    EXPECT_EQ(map->ColumnBegin(0), 0);
+    EXPECT_EQ(map->ColumnEnd(shards - 1), 16);
+    for (int32_t k = 0; k < shards; ++k) {
+      const int32_t width = map->ColumnEnd(k) - map->ColumnBegin(k);
+      EXPECT_GE(width, 16 / shards) << "shards=" << shards << " k=" << k;
+      EXPECT_LE(width, 16 / shards + 1) << "shards=" << shards << " k=" << k;
+      if (k > 0) {
+        EXPECT_EQ(map->ColumnBegin(k), map->ColumnEnd(k - 1));
+      }
+    }
+  }
+}
+
+TEST(ShardMapTest, ShardForMatchesColumnOwnership) {
+  auto map = ShardMap::Create(kWorld, 16, 3);
+  ASSERT_TRUE(map.ok());
+  const double cell_w = kWorld.width() / 16;
+  for (int32_t col = 0; col < 16; ++col) {
+    const Point center{kWorld.min_x + (col + 0.5) * cell_w, 800.0};
+    const int32_t shard = map->ShardFor(center);
+    EXPECT_GE(shard, 0);
+    EXPECT_LT(shard, 3);
+    EXPECT_GE(col, map->ColumnBegin(shard));
+    EXPECT_LT(col, map->ColumnEnd(shard));
+  }
+}
+
+TEST(ShardMapTest, ShardRectsTileTheWorld) {
+  auto map = ShardMap::Create(kWorld, 16, 5);
+  ASSERT_TRUE(map.ok());
+  double x = kWorld.min_x;
+  for (int32_t k = 0; k < map->num_shards(); ++k) {
+    const Rect rect = map->ShardRect(k);
+    EXPECT_DOUBLE_EQ(rect.min_x, x);
+    EXPECT_DOUBLE_EQ(rect.min_y, kWorld.min_y);
+    EXPECT_DOUBLE_EQ(rect.max_y, kWorld.max_y);
+    EXPECT_GT(rect.max_x, rect.min_x);
+    x = rect.max_x;
+  }
+  EXPECT_DOUBLE_EQ(x, kWorld.max_x);
+}
+
+TEST(ShardMapTest, PointsRouteIntoOwningShardRect) {
+  auto map = ShardMap::Create(kWorld, 32, 4);
+  ASSERT_TRUE(map.ok());
+  Rng rng(7);
+  for (int i = 0; i < 2000; ++i) {
+    const Point p{rng.Uniform(kWorld.min_x, kWorld.max_x),
+                  rng.Uniform(kWorld.min_y, kWorld.max_y)};
+    const int32_t shard = map->ShardFor(p);
+    EXPECT_TRUE(map->ShardRect(shard).Contains(p)) << "p=" << p;
+  }
+  // Out-of-world points clamp to the boundary shards.
+  EXPECT_EQ(map->ShardFor({kWorld.min_x - 100.0, 0.0}), 0);
+  EXPECT_EQ(map->ShardFor({kWorld.max_x + 100.0, 0.0}),
+            map->num_shards() - 1);
+}
+
+TEST(ShardMapTest, SingleShardOwnsEverything) {
+  auto map = ShardMap::Create(kWorld, 16, 1);
+  ASSERT_TRUE(map.ok());
+  Rng rng(11);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(map->ShardFor({rng.Uniform(-500.0, 2100.0),
+                             rng.Uniform(-500.0, 2100.0)}),
+              0);
+  }
+  EXPECT_EQ(map->ShardRect(0), kWorld);
+}
+
+}  // namespace
+}  // namespace lira

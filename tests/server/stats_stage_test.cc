@@ -1,0 +1,185 @@
+#include "lira/server/stats_stage.h"
+
+#include <gtest/gtest.h>
+
+#include "lira/common/rng.h"
+#include "lira/telemetry/telemetry.h"
+
+namespace lira {
+namespace {
+
+constexpr Rect kWorld{0.0, 0.0, 1600.0, 1600.0};
+
+StatsStageConfig BaseConfig(int32_t num_nodes = 60) {
+  StatsStageConfig config;
+  config.num_nodes = num_nodes;
+  config.world = kWorld;
+  config.alpha = 16;
+  return config;
+}
+
+ModelUpdate UpdateFor(NodeId id, Point p, Vec2 v, double t) {
+  ModelUpdate u;
+  u.node_id = id;
+  u.model = LinearMotionModel{p, v, t};
+  return u;
+}
+
+TEST(StatsStageTest, CreateValidation) {
+  EXPECT_TRUE(StatsStage::Create(BaseConfig()).ok());
+  auto config = BaseConfig();
+  config.num_nodes = 0;
+  EXPECT_FALSE(StatsStage::Create(config).ok());
+  config = BaseConfig();
+  config.stats_sample_fraction = 0.0;
+  EXPECT_FALSE(StatsStage::Create(config).ok());
+  config = BaseConfig();
+  config.stats_sample_fraction = 1.5;
+  EXPECT_FALSE(StatsStage::Create(config).ok());
+  config = BaseConfig();
+  config.alpha = 12;  // not a power of two (grid validation)
+  EXPECT_FALSE(StatsStage::Create(config).ok());
+}
+
+TEST(StatsStageTest, IncrementalMatchesFullRescanBitwise) {
+  auto incremental = StatsStage::Create(BaseConfig());
+  auto config = BaseConfig();
+  config.incremental_stats = false;
+  auto rescan = StatsStage::Create(config);
+  ASSERT_TRUE(incremental.ok() && rescan.ok());
+  EXPECT_TRUE(incremental->IncrementalEnabled());
+  EXPECT_FALSE(rescan->IncrementalEnabled());
+
+  PositionTracker tracker(60);
+  Rng rng(31);
+  for (int t = 0; t < 12; ++t) {
+    for (NodeId id = 0; id < 60; ++id) {
+      if (rng.Uniform(0.0, 1.0) < 0.3) continue;  // some nodes go silent
+      tracker.Apply(UpdateFor(id,
+                              {rng.Uniform(-40.0, 1640.0),
+                               rng.Uniform(-40.0, 1640.0)},
+                              {rng.Uniform(-8.0, 8.0), rng.Uniform(-8.0, 8.0)},
+                              t));
+    }
+    incremental->RebuildNodes(tracker, t + 0.5);
+    rescan->RebuildNodes(tracker, t + 0.5);
+    for (int32_t iy = 0; iy < 16; ++iy) {
+      for (int32_t ix = 0; ix < 16; ++ix) {
+        ASSERT_EQ(incremental->grid().NodeCount(ix, iy),
+                  rescan->grid().NodeCount(ix, iy))
+            << "t=" << t << " cell (" << ix << ", " << iy << ")";
+        ASSERT_EQ(incremental->grid().MeanSpeed(ix, iy),
+                  rescan->grid().MeanSpeed(ix, iy))
+            << "t=" << t << " cell (" << ix << ", " << iy << ")";
+      }
+    }
+  }
+}
+
+TEST(StatsStageTest, OwnedOnlyIterationMatchesAllIdsWhenAllOwned) {
+  auto all_ids = StatsStage::Create(BaseConfig());
+  auto config = BaseConfig();
+  config.owned_only = true;
+  auto owned = StatsStage::Create(config);
+  ASSERT_TRUE(all_ids.ok() && owned.ok());
+
+  PositionTracker tracker(60);
+  for (NodeId id = 0; id < 60; ++id) {
+    tracker.Apply(UpdateFor(id, {26.0 * id, 26.0 * id}, {1.0, 0.0}, 0.0));
+    owned->NoteOwned(id);
+  }
+  all_ids->RebuildNodes(tracker, 1.0);
+  owned->RebuildNodes(tracker, 1.0);
+  for (int32_t iy = 0; iy < 16; ++iy) {
+    for (int32_t ix = 0; ix < 16; ++ix) {
+      ASSERT_EQ(all_ids->grid().NodeCount(ix, iy),
+                owned->grid().NodeCount(ix, iy));
+      ASSERT_EQ(all_ids->grid().MeanSpeed(ix, iy),
+                owned->grid().MeanSpeed(ix, iy));
+    }
+  }
+}
+
+TEST(StatsStageTest, OwnedOnlySkipsUnownedAndForgetRetracts) {
+  auto config = BaseConfig(10);
+  config.owned_only = true;
+  auto stage = StatsStage::Create(config);
+  ASSERT_TRUE(stage.ok());
+  PositionTracker tracker(10);
+  for (NodeId id = 0; id < 10; ++id) {
+    tracker.Apply(UpdateFor(id, {100.0 + 10.0 * id, 100.0}, {0.0, 0.0}, 0.0));
+  }
+  // Only ids 0..4 are owned by this stage.
+  for (NodeId id = 0; id < 5; ++id) {
+    stage->NoteOwned(id);
+  }
+  stage->RebuildNodes(tracker, 0.0);
+  EXPECT_DOUBLE_EQ(stage->grid().TotalNodes(), 5.0);
+
+  // Handoff: node 2 migrates away; its contribution disappears immediately.
+  stage->ForgetNode(2);
+  EXPECT_DOUBLE_EQ(stage->grid().TotalNodes(), 4.0);
+  // And it stays out of later rebuilds until re-owned.
+  stage->RebuildNodes(tracker, 1.0);
+  EXPECT_DOUBLE_EQ(stage->grid().TotalNodes(), 4.0);
+  stage->NoteOwned(2);
+  stage->RebuildNodes(tracker, 2.0);
+  EXPECT_DOUBLE_EQ(stage->grid().TotalNodes(), 5.0);
+}
+
+TEST(StatsStageTest, QueryRebuildCachesOnSizeAndMargin) {
+  auto stage = StatsStage::Create(BaseConfig());
+  ASSERT_TRUE(stage.ok());
+  QueryRegistry queries;
+  queries.Add(Rect{100, 100, 500, 500});
+  stage->RebuildQueries(queries, 0.0);
+  EXPECT_NEAR(stage->grid().TotalQueries(), 1.0, 1e-9);
+  // Same size + margin: the pass is skipped (counts unchanged, not doubled).
+  stage->RebuildQueries(queries, 0.0);
+  EXPECT_NEAR(stage->grid().TotalQueries(), 1.0, 1e-9);
+  // Registry grew: recounted.
+  queries.Add(Rect{900, 900, 1300, 1300});
+  stage->RebuildQueries(queries, 0.0);
+  EXPECT_NEAR(stage->grid().TotalQueries(), 2.0, 1e-9);
+  // Margin changed: recounted (margin expands rectangles, so the fractional
+  // total can change); a forced invalidation also recounts.
+  stage->RebuildQueries(queries, 50.0);
+  const double with_margin = stage->grid().TotalQueries();
+  stage->InvalidateQueryCache();
+  stage->RebuildQueries(queries, 50.0);
+  EXPECT_DOUBLE_EQ(stage->grid().TotalQueries(), with_margin);
+}
+
+TEST(StatsStageTest, SampledRebuildIsUnbiased) {
+  auto config = BaseConfig(400);
+  config.stats_sample_fraction = 0.25;
+  auto stage = StatsStage::Create(config);
+  ASSERT_TRUE(stage.ok());
+  EXPECT_FALSE(stage->IncrementalEnabled());
+  PositionTracker tracker(400);
+  for (NodeId id = 0; id < 400; ++id) {
+    tracker.Apply(UpdateFor(id, {4.0 * id, 4.0 * id}, {1.0, 1.0}, 0.0));
+  }
+  stage->RebuildNodes(tracker, 0.0);
+  EXPECT_NEAR(stage->grid().TotalNodes(), 400.0, 120.0);
+  EXPECT_GT(stage->grid().TotalNodes(), 100.0);
+}
+
+TEST(StatsStageTest, CellsDirtiedCounterUsesPrefix) {
+  telemetry::MemoryEventSink events;
+  telemetry::TelemetrySink sink(&events);
+  auto config = BaseConfig(4);
+  config.metric_prefix = "lira.shard.1";
+  config.telemetry = &sink;
+  auto stage = StatsStage::Create(config);
+  ASSERT_TRUE(stage.ok());
+  PositionTracker tracker(4);
+  tracker.Apply(UpdateFor(0, {100.0, 100.0}, {0.0, 0.0}, 0.0));
+  stage->RebuildNodes(tracker, 0.0);
+  EXPECT_GT(
+      sink.metrics().FindCounter("lira.shard.1.stats.cells_dirtied")->value(),
+      0);
+}
+
+}  // namespace
+}  // namespace lira

@@ -279,5 +279,90 @@ TEST_F(SimulationTest, RejectsNegativeThreads) {
   EXPECT_FALSE(RunSimulation(*world_, policy, config).ok());
 }
 
+TEST_F(SimulationTest, RejectsNegativeShards) {
+  UniformDeltaPolicy policy;
+  SimulationConfig config = FastConfig();
+  config.shards = -1;
+  EXPECT_FALSE(RunSimulation(*world_, policy, config).ok());
+}
+
+// The sharded server's end-to-end equivalence contract (DESIGN.md §9): a
+// one-shard ServerCluster is the staged pipeline wrapped in the cluster
+// coordinator, and the whole simulation must come out bitwise identical to
+// the monolithic CqServer path. mean_plan_build_seconds is wall-clock and
+// is the one field excluded from the comparison.
+TEST_F(SimulationTest, SingleShardClusterMatchesMonolithicServerBitwise) {
+  const LiraPolicy lira(SmallLira());
+  SimulationConfig config = FastConfig();
+  config.z = 0.5;
+  config.auto_throttle = true;
+  config.service_rate_override = 0.6 * world_->full_update_rate;
+
+  config.shards = 0;
+  auto mono = RunSimulation(*world_, lira, config);
+  ASSERT_TRUE(mono.ok());
+
+  config.shards = 1;
+  auto cluster = RunSimulation(*world_, lira, config);
+  ASSERT_TRUE(cluster.ok());
+  EXPECT_EQ(cluster->updates_sent, mono->updates_sent);
+  EXPECT_EQ(cluster->updates_dropped, mono->updates_dropped);
+  EXPECT_EQ(cluster->updates_applied, mono->updates_applied);
+  EXPECT_EQ(cluster->final_z, mono->final_z);
+  EXPECT_EQ(cluster->metrics.mean_containment_error,
+            mono->metrics.mean_containment_error);
+  EXPECT_EQ(cluster->metrics.mean_position_error,
+            mono->metrics.mean_position_error);
+  EXPECT_EQ(cluster->metrics.containment_error_stddev,
+            mono->metrics.containment_error_stddev);
+  EXPECT_EQ(cluster->metrics.containment_error_cov,
+            mono->metrics.containment_error_cov);
+  EXPECT_EQ(cluster->measured_update_fraction,
+            mono->measured_update_fraction);
+  EXPECT_EQ(cluster->final_plan_regions, mono->final_plan_regions);
+  EXPECT_EQ(cluster->final_plan_min_delta, mono->final_plan_min_delta);
+  EXPECT_EQ(cluster->final_plan_max_delta, mono->final_plan_max_delta);
+  EXPECT_EQ(cluster->plan_builds, mono->plan_builds);
+}
+
+// With S > 1 the run is a genuinely different (sharded) system, but it must
+// still be bitwise reproducible at any worker-pool width.
+TEST_F(SimulationTest, ShardedRunIsIndependentOfThreadCount) {
+  const LiraPolicy lira(SmallLira());
+  SimulationConfig config = FastConfig();
+  config.z = 0.5;
+  config.auto_throttle = true;
+  config.service_rate_override = 0.6 * world_->full_update_rate;
+  config.shards = 4;
+
+  config.threads = 1;
+  auto serial = RunSimulation(*world_, lira, config);
+  ASSERT_TRUE(serial.ok());
+  for (int32_t threads : {2, 8}) {
+    config.threads = threads;
+    auto parallel = RunSimulation(*world_, lira, config);
+    ASSERT_TRUE(parallel.ok()) << "threads=" << threads;
+    EXPECT_EQ(parallel->updates_sent, serial->updates_sent)
+        << "threads=" << threads;
+    EXPECT_EQ(parallel->updates_dropped, serial->updates_dropped)
+        << "threads=" << threads;
+    EXPECT_EQ(parallel->updates_applied, serial->updates_applied)
+        << "threads=" << threads;
+    EXPECT_EQ(parallel->final_z, serial->final_z) << "threads=" << threads;
+    EXPECT_EQ(parallel->metrics.mean_containment_error,
+              serial->metrics.mean_containment_error)
+        << "threads=" << threads;
+    EXPECT_EQ(parallel->metrics.mean_position_error,
+              serial->metrics.mean_position_error)
+        << "threads=" << threads;
+    EXPECT_EQ(parallel->final_plan_regions, serial->final_plan_regions)
+        << "threads=" << threads;
+    EXPECT_EQ(parallel->final_plan_min_delta, serial->final_plan_min_delta)
+        << "threads=" << threads;
+    EXPECT_EQ(parallel->final_plan_max_delta, serial->final_plan_max_delta)
+        << "threads=" << threads;
+  }
+}
+
 }  // namespace
 }  // namespace lira
