@@ -10,12 +10,20 @@
 //     approaches converge to Delta_i = delta_max, around z ~ 0.25 here).
 
 #include <cstdio>
+#include <cstring>
+#include <string>
 #include <vector>
 
 #include "bench/bench_util.h"
 
 int main(int argc, char** argv) {
   using namespace lira;
+  std::string json_path;  // empty = table-only run (the default)
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (!std::strcmp(argv[i], "--json")) {
+      json_path = argv[i + 1];
+    }
+  }
   World world = bench::MustBuildWorld();
   bench::PrintWorldBanner(
       world, "=== Figures 4-5: error vs throttle fraction (Proportional) ===");
@@ -121,6 +129,33 @@ int main(int argc, char** argv) {
                 TablePrinter::Num(row.uniform.measured_update_fraction, 3),
                 TablePrinter::Num(row.grid.measured_update_fraction, 3),
                 TablePrinter::Num(row.lira.measured_update_fraction, 3)});
+  }
+
+  if (!json_path.empty()) {
+    bench::BenchExport export_("bench_fig04_05_throttle_fraction");
+    export_.SetConfig("nodes", world.num_nodes());
+    export_.SetConfig("queries", world.queries.size());
+    for (const Row& row : rows) {
+      char zbuf[32];
+      std::snprintf(zbuf, sizeof(zbuf), "z%.2f.", row.z);
+      const std::string z(zbuf);
+      const auto policy_metrics = [&](const std::string& name,
+                                      const SimulationResult& r) {
+        export_.SetMetric(z + name + ".position_error",
+                          r.metrics.mean_position_error);
+        export_.SetMetric(z + name + ".containment_error",
+                          r.metrics.mean_containment_error);
+        export_.SetMetric(z + name + ".update_fraction",
+                          r.measured_update_fraction);
+      };
+      policy_metrics("drop", row.drop);
+      policy_metrics("uniform", row.uniform);
+      policy_metrics("grid", row.grid);
+      policy_metrics("lira", row.lira);
+    }
+    if (!export_.WriteJson(json_path)) {
+      return 1;
+    }
   }
   return 0;
 }

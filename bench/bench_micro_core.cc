@@ -4,10 +4,11 @@
 // dispatch, and the telemetry instruments. These back the "lightweight by
 // design" claim with per-operation numbers.
 //
-// Besides the console table, the run writes BENCH_micro.json (name ->
-// median real nanoseconds; the plain per-run time when --benchmark_repetitions
-// is not set) so CI can track the perf trajectory across PRs. Override the
-// path with --json PATH.
+// Besides the console table, the run writes BENCH_micro.json in the shared
+// bench_compare schema (metrics = name -> median real nanoseconds; the
+// plain per-run time when --benchmark_repetitions is not set) so CI can
+// gate the perf trajectory across PRs (tools/bench_compare against
+// bench/baselines/). Override the path with --json PATH.
 
 #include <benchmark/benchmark.h>
 
@@ -17,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "bench/bench_util.h"
 #include "lira/common/parallel.h"
 
 #include "lira/common/rng.h"
@@ -27,7 +29,9 @@
 #include "lira/index/grid_index.h"
 #include "lira/motion/dead_reckoning.h"
 #include "lira/motion/update_reduction.h"
+#include "lira/telemetry/flight_recorder.h"
 #include "lira/telemetry/telemetry.h"
+#include "lira/telemetry/trace.h"
 
 namespace lira {
 namespace {
@@ -207,6 +211,47 @@ void BM_TelemetryScopedTimerLiveSink(benchmark::State& state) {
 }
 BENCHMARK(BM_TelemetryScopedTimerLiveSink);
 
+void BM_TraceScopedSpanDisabled(benchmark::State& state) {
+  // The tracing-disabled cost on every instrumented stage: a null lane must
+  // reduce a ScopedSpan to a pointer test (~1 ns, same contract as the
+  // null telemetry sink).
+  for (auto _ : state) {
+    telemetry::ScopedSpan span(nullptr, nullptr, "ingest.service", 1, -1,
+                               0.0);
+    benchmark::DoNotOptimize(span);
+  }
+}
+BENCHMARK(BM_TraceScopedSpanDisabled);
+
+void BM_TraceScopedSpanLive(benchmark::State& state) {
+  telemetry::TraceRecorder recorder(2);
+  telemetry::TraceLane* lane =
+      recorder.lane(telemetry::TraceRecorder::kDriverLane);
+  int64_t tick = 0;
+  for (auto _ : state) {
+    // Bound the lane's memory across the (millions of) iterations.
+    if (lane->size() >= (1u << 20)) {
+      recorder.Clear();
+    }
+    telemetry::ScopedSpan span(&recorder, lane, "ingest.service", ++tick, -1,
+                               0.0);
+    benchmark::DoNotOptimize(span);
+  }
+}
+BENCHMARK(BM_TraceScopedSpanLive);
+
+void BM_FlightRecorderRecord(benchmark::State& state) {
+  telemetry::FlightRecorder recorder(256, "bench");
+  telemetry::FlightSample sample;
+  sample.shard = 0;
+  for (auto _ : state) {
+    ++sample.tick;
+    recorder.Record(sample);
+    benchmark::ClobberMemory();
+  }
+}
+BENCHMARK(BM_FlightRecorderRecord);
+
 void BM_ParallelForDispatch(benchmark::State& state) {
   // Fork-join overhead of one ParallelFor over a node-loop-sized range;
   // threads=1 measures the serial bypass (a bare function call).
@@ -289,22 +334,9 @@ int main(int argc, char** argv) {
   benchmark::RunSpecifiedBenchmarks(&reporter);
   benchmark::Shutdown();
 
-  std::ofstream out(json_path);
-  if (!out) {
-    std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
-    return 1;
-  }
-  out << "{\n";
-  bool first = true;
+  lira::bench::BenchExport export_("bench_micro_core");
   for (const auto& [name, ns] : reporter.medians()) {
-    if (!first) {
-      out << ",\n";
-    }
-    first = false;
-    out << "  \"" << name << "\": " << ns;
+    export_.SetMetric(name, ns);
   }
-  out << "\n}\n";
-  std::fprintf(stderr, "wrote %s (%zu benchmarks)\n", json_path.c_str(),
-               reporter.medians().size());
-  return 0;
+  return export_.WriteJson(json_path) ? 0 : 1;
 }

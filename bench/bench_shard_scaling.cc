@@ -20,10 +20,10 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <fstream>
 #include <string>
 #include <vector>
 
+#include "bench/bench_util.h"
 #include "lira/common/rng.h"
 #include "lira/core/policy.h"
 #include "lira/cq/query_registry.h"
@@ -229,25 +229,23 @@ int main(int argc, char** argv) {
                 static_cast<long long>(row.applied));
   }
 
-  std::ofstream json(json_path);
-  if (!json) {
-    std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
-    return 1;
+  // Shared bench_compare schema: the shard count rides in the metric key
+  // ("shards4.adapt_seconds_mean"), so the gate diffs each row per metric.
+  bench::BenchExport export_("bench_shard_scaling");
+  export_.SetConfig("nodes", nodes);
+  export_.SetConfig("ticks", ticks);
+  export_.SetConfig("adaptations", adaptations);
+  export_.SetConfig("threads", threads);
+  export_.SetConfig("stream_updates", static_cast<double>(stream_updates));
+  for (const Row& row : rows) {
+    const std::string prefix = "shards" + std::to_string(row.shards) + ".";
+    export_.SetMetric(prefix + "ingest_seconds", row.ingest_seconds);
+    export_.SetMetric(prefix + "ingest_updates_per_second", row.ingest_rate);
+    export_.SetMetric(prefix + "adapt_seconds_mean", row.adapt_seconds_mean);
+    export_.SetMetric(prefix + "updates_applied",
+                      static_cast<double>(row.applied));
+    export_.SetMetric(prefix + "updates_dropped",
+                      static_cast<double>(row.dropped));
   }
-  json << "{\n  \"nodes\": " << nodes << ",\n  \"ticks\": " << ticks
-       << ",\n  \"stream_updates\": " << stream_updates
-       << ",\n  \"rows\": [\n";
-  for (size_t i = 0; i < rows.size(); ++i) {
-    const Row& row = rows[i];
-    json << "    {\"shards\": " << row.shards
-         << ", \"ingest_seconds\": " << row.ingest_seconds
-         << ", \"ingest_updates_per_second\": " << row.ingest_rate
-         << ", \"adapt_seconds_mean\": " << row.adapt_seconds_mean
-         << ", \"updates_applied\": " << row.applied
-         << ", \"updates_dropped\": " << row.dropped << "}"
-         << (i + 1 < rows.size() ? "," : "") << "\n";
-  }
-  json << "  ]\n}\n";
-  std::printf("\nwrote %s\n", json_path.c_str());
-  return 0;
+  return export_.WriteJson(json_path) ? 0 : 1;
 }

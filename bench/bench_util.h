@@ -8,6 +8,10 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <map>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "lira/common/parallel.h"
@@ -17,6 +21,88 @@
 #include "lira/sim/world.h"
 
 namespace lira::bench {
+
+/// Best-effort `git describe` of the working tree, for provenance in the
+/// bench exports; "unknown" outside a repo or without git.
+inline std::string GitDescribe() {
+  std::string out = "unknown";
+  if (FILE* pipe = ::popen("git describe --always --dirty 2>/dev/null", "r");
+      pipe != nullptr) {
+    char buffer[128];
+    if (std::fgets(buffer, sizeof(buffer), pipe) != nullptr) {
+      std::string line(buffer);
+      while (!line.empty() && (line.back() == '\n' || line.back() == '\r')) {
+        line.pop_back();
+      }
+      if (!line.empty()) {
+        out = line;
+      }
+    }
+    ::pclose(pipe);
+  }
+  return out;
+}
+
+/// The shared BENCH_*.json schema consumed by tools/bench_compare:
+///   {"name":"bench_x","git":"<describe>","config":{...},"metrics":{...}}
+/// `config` holds the knobs that shaped the run (nodes, ticks, threads...),
+/// `metrics` the flat numeric results. Keys may contain dots; bench_compare
+/// flattens everything to dotted paths anyway.
+class BenchExport {
+ public:
+  explicit BenchExport(std::string name) : name_(std::move(name)) {}
+
+  void SetConfig(const std::string& key, double value) {
+    config_[key] = value;
+  }
+  void SetMetric(const std::string& key, double value) {
+    metrics_[key] = value;
+  }
+
+  /// Writes the export; returns false (with a stderr note) on IO failure.
+  bool WriteJson(const std::string& path) const {
+    std::ofstream out(path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      return false;
+    }
+    out << "{\n  \"name\": \"" << name_ << "\",\n  \"git\": \""
+        << GitDescribe() << "\",\n  \"config\": {";
+    WriteMap(out, config_);
+    out << "},\n  \"metrics\": {";
+    WriteMap(out, metrics_);
+    out << "}\n}\n";
+    out.flush();
+    if (!out) {
+      std::fprintf(stderr, "failed writing %s\n", path.c_str());
+      return false;
+    }
+    std::printf("wrote %s (%zu metrics)\n", path.c_str(), metrics_.size());
+    return true;
+  }
+
+ private:
+  static void WriteMap(std::ofstream& out,
+                       const std::map<std::string, double>& map) {
+    bool first = true;
+    for (const auto& [key, value] : map) {
+      if (!first) {
+        out << ",";
+      }
+      first = false;
+      char number[64];
+      std::snprintf(number, sizeof(number), "%.17g", value);
+      out << "\n    \"" << key << "\": " << number;
+    }
+    if (!map.empty()) {
+      out << "\n  ";
+    }
+  }
+
+  std::string name_;
+  std::map<std::string, double> config_;
+  std::map<std::string, double> metrics_;
+};
 
 /// Bench-scale defaults: the paper's parameter ratios (Table 2) on a
 /// laptop-sized population.

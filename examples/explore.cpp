@@ -7,6 +7,8 @@
 //           [--mobility walk|trips] [--auto-throttle]
 //           [--capacity-fraction 0.5] [--history] [--seed 42]
 //           [--telemetry out.jsonl] [--telemetry-stride 10]
+//           [--trace out.json] [--flight out.json]
+//           [--health out.jsonl] [--health-stride 60]
 //           [--threads N] [--shards S] [--incremental | --no-incremental]
 //
 // --threads sets the simulation engine's worker count (0 = hardware
@@ -22,6 +24,15 @@
 // --telemetry streams the run's timeline (z trajectory, queue depth/drops,
 // per-stage plan-build spans, adaptation events) to the given file as JSONL
 // (or CSV when the path ends in .csv) and prints a metrics digest.
+//
+// --trace records per-stage spans (ingest/tracker/stats/optimizer) and
+// writes the Chrome trace_event format -- load the file in chrome://tracing
+// or https://ui.perfetto.dev; a path ending in .jsonl writes one span per
+// line instead. --flight keeps a 256-tick flight-recorder ring and dumps it
+// as JSON at the end of the run (and on any LIRA_CHECK failure). --health
+// (sharded runs only) appends a cluster health snapshot every
+// --health-stride frames as JSONL, plus a final Prometheus text file at
+// PATH.prom.
 
 #include <cstdio>
 #include <cstdlib>
@@ -33,7 +44,9 @@
 #include "lira/sim/experiment.h"
 #include "lira/sim/simulation.h"
 #include "lira/sim/world.h"
+#include "lira/telemetry/flight_recorder.h"
 #include "lira/telemetry/telemetry.h"
+#include "lira/telemetry/trace.h"
 
 namespace {
 
@@ -44,6 +57,8 @@ namespace {
       "          [--nodes N] [--distribution NAME] [--mobility walk|trips]\n"
       "          [--auto-throttle] [--capacity-fraction C] [--history]\n"
       "          [--seed S] [--telemetry PATH] [--telemetry-stride K]\n"
+      "          [--trace PATH] [--flight PATH]\n"
+      "          [--health PATH] [--health-stride K]\n"
       "          [--threads N] [--shards S]\n"
       "          [--incremental | --no-incremental]\n",
       argv0);
@@ -66,6 +81,10 @@ int main(int argc, char** argv) {
   uint64_t seed = 42;
   std::string telemetry_path;
   int32_t telemetry_stride = 10;
+  std::string trace_path;
+  std::string flight_path;
+  std::string health_path;
+  int32_t health_stride = 60;
   int32_t threads = 0;
   int32_t shards = 0;
   bool incremental = true;
@@ -120,6 +139,14 @@ int main(int argc, char** argv) {
       telemetry_path = next("--telemetry");
     } else if (!std::strcmp(argv[i], "--telemetry-stride")) {
       telemetry_stride = std::atoi(next("--telemetry-stride"));
+    } else if (!std::strcmp(argv[i], "--trace")) {
+      trace_path = next("--trace");
+    } else if (!std::strcmp(argv[i], "--flight")) {
+      flight_path = next("--flight");
+    } else if (!std::strcmp(argv[i], "--health")) {
+      health_path = next("--health");
+    } else if (!std::strcmp(argv[i], "--health-stride")) {
+      health_stride = std::atoi(next("--health-stride"));
     } else if (!std::strcmp(argv[i], "--threads")) {
       threads = std::atoi(next("--threads"));
     } else if (!std::strcmp(argv[i], "--shards")) {
@@ -180,6 +207,31 @@ int main(int argc, char** argv) {
         std::make_unique<telemetry::TelemetrySink>(telemetry_file.get());
     sim.telemetry = telemetry_sink.get();
     sim.telemetry_stride = telemetry_stride;
+  }
+
+  std::unique_ptr<telemetry::TraceRecorder> trace;
+  if (!trace_path.empty()) {
+    // One lane per shard plus the driver lane; monolithic runs only use
+    // lane 0.
+    trace = std::make_unique<telemetry::TraceRecorder>(
+        (shards > 0 ? shards : 0) + 1);
+    sim.trace = trace.get();
+  }
+  std::unique_ptr<telemetry::FlightRecorder> flight;
+  if (!flight_path.empty()) {
+    flight = std::make_unique<telemetry::FlightRecorder>(
+        256, shards > 0 ? "cluster" : "server");
+    sim.flight_recorder = flight.get();
+    telemetry::FlightRecorder::InstallCrashDump(flight_path);
+  }
+  if (!health_path.empty()) {
+    if (shards < 1) {
+      std::fprintf(stderr,
+                   "--health requires a sharded run (--shards S >= 1)\n");
+      return 2;
+    }
+    sim.health_path = health_path;
+    sim.health_stride = health_stride;
   }
 
   auto result = RunSimulation(*world, **policy, sim);
@@ -247,6 +299,33 @@ int main(int argc, char** argv) {
                     arrivals != nullptr ? arrivals->value() : 0),
                 static_cast<long long>(
                     dropped != nullptr ? dropped->value() : 0));
+  }
+  if (trace != nullptr) {
+    const bool jsonl = trace_path.size() >= 6 &&
+                       trace_path.compare(trace_path.size() - 6, 6,
+                                          ".jsonl") == 0;
+    const Status written = jsonl ? trace->WriteJsonl(trace_path)
+                                 : trace->WriteChromeTrace(trace_path);
+    if (!written.ok()) {
+      std::fprintf(stderr, "%s\n", written.ToString().c_str());
+      return 1;
+    }
+    std::printf("trace:    %zu spans -> %s (%s)\n", trace->TotalSpans(),
+                trace_path.c_str(), jsonl ? "jsonl" : "chrome trace_event");
+  }
+  if (flight != nullptr) {
+    if (auto s = telemetry::FlightRecorder::DumpAllToFile(flight_path);
+        !s.ok()) {
+      std::fprintf(stderr, "%s\n", s.ToString().c_str());
+      return 1;
+    }
+    std::printf("flight:   %lld samples recorded, last %zu -> %s\n",
+                static_cast<long long>(flight->total_recorded()),
+                flight->size(), flight_path.c_str());
+  }
+  if (!health_path.empty()) {
+    std::printf("health:   snapshots every %d frames -> %s (+ %s.prom)\n",
+                health_stride, health_path.c_str(), health_path.c_str());
   }
   return 0;
 }

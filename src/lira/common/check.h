@@ -4,18 +4,41 @@
 // or invariant is violated; LIRA_DCHECK compiles out in NDEBUG builds. These
 // are for bugs, never for recoverable conditions -- recoverable failures are
 // reported through lira::Status (see lira/common/status.h).
+//
+// A failing check runs an optional failure hook before aborting; the
+// telemetry flight recorder installs one so a crash leaves a postmortem
+// dump of the last N ticks of system state (FlightRecorder::InstallCrashDump).
 
 #ifndef LIRA_COMMON_CHECK_H_
 #define LIRA_COMMON_CHECK_H_
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 
 namespace lira::internal_check {
 
+using CheckFailureHook = void (*)();
+
+inline std::atomic<CheckFailureHook>& FailureHook() {
+  static std::atomic<CheckFailureHook> hook{nullptr};
+  return hook;
+}
+
+/// Installs (or, with nullptr, clears) a hook run once when a LIRA_CHECK
+/// fails, after the message is printed and before abort(). The hook must be
+/// async-abort-minded: best-effort I/O only, no throwing.
+inline void SetCheckFailureHook(CheckFailureHook hook) {
+  FailureHook().store(hook, std::memory_order_release);
+}
+
 [[noreturn]] inline void CheckFailed(const char* file, int line,
                                      const char* expr) {
   std::fprintf(stderr, "LIRA_CHECK failed at %s:%d: %s\n", file, line, expr);
+  if (CheckFailureHook hook = FailureHook().load(std::memory_order_acquire);
+      hook != nullptr) {
+    hook();
+  }
   std::abort();
 }
 

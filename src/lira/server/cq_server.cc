@@ -102,6 +102,12 @@ StatusOr<CqServer> CqServer::Create(const CqServerConfig& config,
 }
 
 void CqServer::ReceiveBatch(std::vector<ModelUpdate>* updates) {
+  telemetry::TraceRecorder* tr = config_.trace;
+  telemetry::ScopedSpan span(
+      tr, tr != nullptr ? tr->lane(telemetry::TraceRecorder::kDriverLane)
+                        : nullptr,
+      "ingest.receive", tick_, -1, time_);
+  span.set_value(static_cast<double>(updates->size()));
   ingest_.Receive(updates, time_);
 }
 
@@ -110,14 +116,50 @@ Status CqServer::Tick(double dt) {
     return InvalidArgumentError("dt must be positive");
   }
   time_ += dt;
-  for (const ModelUpdate& update : ingest_.Service(dt)) {
-    tracker_stage_.Apply(update);
+  ++tick_;
+  telemetry::TraceRecorder* tr = config_.trace;
+  telemetry::TraceLane* lane =
+      tr != nullptr ? tr->lane(telemetry::TraceRecorder::kDriverLane)
+                    : nullptr;
+  {
+    telemetry::ScopedSpan service_span(tr, lane, "ingest.service", tick_, -1,
+                                       time_);
+    const std::vector<ModelUpdate> served = ingest_.Service(dt);
+    service_span.set_value(static_cast<double>(served.size()));
+    service_span.Stop();
+    telemetry::ScopedSpan apply_span(tr, lane, "tracker.apply", tick_, -1,
+                                     time_);
+    apply_span.set_value(static_cast<double>(served.size()));
+    for (const ModelUpdate& update : served) {
+      tracker_stage_.Apply(update);
+    }
   }
   if (time_ + 1e-9 >= next_adaptation_) {
     LIRA_RETURN_IF_ERROR(Adapt());
     next_adaptation_ += config_.adaptation_period;
   }
+  if (config_.flight_recorder != nullptr) {
+    RecordFlightSample();
+  }
   return OkStatus();
+}
+
+void CqServer::RecordFlightSample() {
+  telemetry::FlightSample sample;
+  sample.tick = tick_;
+  sample.time = time_;
+  sample.shard = -1;
+  sample.queue_depth = static_cast<int64_t>(ingest_.queue().size());
+  sample.queue_dropped = ingest_.queue().total_dropped();
+  sample.queue_arrivals = ingest_.queue().total_arrivals();
+  sample.z = optimizer_.z();
+  sample.lambda = optimizer_.last_lambda();
+  sample.utilization = optimizer_.last_utilization();
+  sample.nodes = static_cast<int64_t>(stats_stage_.grid().TotalNodes());
+  sample.plan_regions = static_cast<int32_t>(optimizer_.plan().NumRegions());
+  sample.plan_min_delta = optimizer_.plan().MinDelta();
+  sample.plan_max_delta = optimizer_.plan().MaxDelta();
+  config_.flight_recorder->Record(sample);
 }
 
 Status CqServer::InstallQueries(const QueryRegistry* queries) {
@@ -180,21 +222,44 @@ int64_t CqServer::history_bytes() const {
 Status CqServer::Adapt() {
   telemetry::TelemetrySink* t = config_.telemetry;
   telemetry::ScopedTimer adapt_timer(t, "lira.adapt.total_seconds", time_);
-  if (config_.auto_throttle) {
-    optimizer_.UpdateThrottle(ingest_.queue().window_arrivals(),
-                              ingest_.queue().window_dropped(), time_);
-    ingest_.ResetWindow();
-  } else {
-    optimizer_.FixedThrottle(time_);
+  telemetry::TraceRecorder* tr = config_.trace;
+  telemetry::TraceLane* lane =
+      tr != nullptr ? tr->lane(telemetry::TraceRecorder::kDriverLane)
+                    : nullptr;
+  {
+    telemetry::ScopedSpan throttle_span(tr, lane, "optimizer.throttle", tick_,
+                                        -1, time_);
+    if (config_.auto_throttle) {
+      optimizer_.UpdateThrottle(ingest_.queue().window_arrivals(),
+                                ingest_.queue().window_dropped(), time_);
+      ingest_.ResetWindow();
+    } else {
+      optimizer_.FixedThrottle(time_);
+    }
+    throttle_span.set_value(optimizer_.z());
   }
   {
     telemetry::ScopedTimer stats_timer(t, "lira.adapt.stats_rebuild_seconds",
                                        time_);
+    telemetry::ScopedSpan stats_span(tr, lane, "stats.rebuild", tick_, -1,
+                                     time_);
     stats_stage_.RebuildNodes(tracker_stage_.tracker(), time_);
     stats_stage_.RebuildQueries(*queries_, QueryMargin());
+    stats_span.set_value(stats_stage_.grid().TotalNodes());
   }
-  return optimizer_.BuildPlan(*policy_, stats_stage_.grid(), *reduction_,
-                              time_);
+  Status built;
+  {
+    telemetry::ScopedSpan plan_span(tr, lane, "optimizer.plan_build", tick_,
+                                    -1, time_);
+    built = optimizer_.BuildPlan(*policy_, stats_stage_.grid(), *reduction_,
+                                 time_);
+    plan_span.set_value(static_cast<double>(optimizer_.plan().NumRegions()));
+  }
+  // The plan is now visible to the encoders (the simulator reads it at the
+  // top of the next frame) -- mark the broadcast point.
+  telemetry::RecordInstant(tr, lane, "plan.broadcast", tick_, -1, time_,
+                           static_cast<double>(optimizer_.plan().NumRegions()));
+  return built;
 }
 
 }  // namespace lira

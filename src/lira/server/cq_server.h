@@ -37,7 +37,9 @@
 #include "lira/server/stats_stage.h"
 #include "lira/server/tracker_stage.h"
 #include "lira/server/update_queue.h"
+#include "lira/telemetry/flight_recorder.h"
 #include "lira/telemetry/telemetry.h"
+#include "lira/telemetry/trace.h"
 
 namespace lira {
 
@@ -86,6 +88,17 @@ struct CqServerConfig {
   /// spans, plan shape gauges, typed events (DESIGN.md "Telemetry").
   /// nullptr disables all instrumentation at the cost of a pointer test.
   telemetry::TelemetrySink* telemetry = nullptr;
+  /// Optional span tracer (not owned; must outlive the server). When set,
+  /// every tick and adaptation records per-stage wall-time spans stamped
+  /// with (tick, shard) -- the single server writes the driver lane; a
+  /// ServerCluster additionally writes shard k's spans into lane k+1
+  /// (DESIGN.md §10). nullptr costs one pointer test per stage.
+  telemetry::TraceRecorder* trace = nullptr;
+  /// Optional flight recorder (not owned; must outlive the server). When
+  /// set, every tick appends one FlightSample per pipeline (queue depth and
+  /// drops, z, lambda, utilization, node count, plan shape) to the ring, so
+  /// a crash or chaos event leaves a postmortem of the last N ticks.
+  telemetry::FlightRecorder* flight_recorder = nullptr;
   uint64_t seed = 1234;
 };
 
@@ -137,6 +150,8 @@ class CqServer : public ServerPipeline {
   const HistoryStore* history() const { return tracker_stage_.history(); }
 
   double time() const override { return time_; }
+  /// Ticks processed so far (the frame stamp on trace spans).
+  int64_t ticks() const { return tick_; }
   double z() const override { return optimizer_.z(); }
   const SheddingPlan& plan() const override { return optimizer_.plan(); }
   const PositionTracker& tracker() const { return tracker_stage_.tracker(); }
@@ -181,6 +196,9 @@ class CqServer : public ServerPipeline {
   /// Query margin in force: explicit config or the reduction's delta_max.
   double QueryMargin() const;
 
+  /// Appends one end-of-tick FlightSample (flight recorder configured).
+  void RecordFlightSample();
+
   CqServerConfig config_;
   const LoadSheddingPolicy* policy_;
   const UpdateReductionFunction* reduction_;
@@ -190,6 +208,7 @@ class CqServer : public ServerPipeline {
   StatsStage stats_stage_;
   OptimizerStage optimizer_;
   double time_ = 0.0;
+  int64_t tick_ = 0;
   double next_adaptation_;
 };
 

@@ -4,7 +4,7 @@
 // rate measurement for THROTLOOP) plus the fractional service credit that
 // converts a continuous service rate into whole updates per tick. The stage
 // also owns the `<prefix>.queue.*` instruments so shards of a ServerCluster
-// report under their own `lira.shard.<k>` namespace.
+// report under their own `lira.shard<k>` namespace.
 
 #ifndef LIRA_SERVER_INGEST_STAGE_H_
 #define LIRA_SERVER_INGEST_STAGE_H_
@@ -28,7 +28,7 @@ struct IngestStageConfig {
   /// Seed of the queue's admission shuffle.
   uint64_t seed = 1234;
   /// Instrument namespace: "<metric_prefix>.queue.*". The facade server
-  /// uses "lira"; cluster shard k uses "lira.shard.<k>".
+  /// uses "lira"; cluster shard k uses "lira.shard<k>".
   std::string metric_prefix = "lira";
   /// When false the stage never emits kQueueOverflow events, only counter /
   /// gauge updates. Cluster shards run Receive concurrently and EventSink

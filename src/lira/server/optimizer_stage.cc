@@ -56,6 +56,8 @@ double OptimizerStage::UpdateThrottle(int64_t window_arrivals,
       static_cast<double>(window_arrivals) / adaptation_period_;
   const double previous_z = z_;
   z_ = throt_loop_.Update(lambda, service_rate_);
+  last_lambda_ = lambda;
+  last_utilization_ = lambda / service_rate_;
   if (telemetry_ != nullptr) {
     telemetry_->SampleGauge(lambda_name_, now, lambda);
     telemetry_->SampleGauge(utilization_name_, now, lambda / service_rate_);

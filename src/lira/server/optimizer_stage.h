@@ -64,6 +64,12 @@ class OptimizerStage {
   const SheddingPlan& plan() const { return plan_; }
   bool auto_throttle() const { return auto_throttle_; }
 
+  /// Last measured arrival rate (upd/s) and utilization lambda/mu from
+  /// UpdateThrottle; 0 until the first THROTLOOP step. Feeds the flight
+  /// recorder's per-tick samples.
+  double last_lambda() const { return last_lambda_; }
+  double last_utilization() const { return last_utilization_; }
+
   /// Cumulative time spent building plans (seconds) and number of builds,
   /// for the server-side-cost experiments.
   double total_plan_build_seconds() const { return plan_build_seconds_; }
@@ -81,6 +87,8 @@ class OptimizerStage {
   ThrotLoop throt_loop_;
   SheddingPlan plan_;
   double z_;
+  double last_lambda_ = 0.0;
+  double last_utilization_ = 0.0;
   double plan_build_seconds_ = 0.0;
   int64_t plan_builds_ = 0;
   /// Owned storage for instrument names (Emit/SampleGauge take views that

@@ -14,8 +14,12 @@ uint64_t ShardSeed(uint64_t seed, int32_t shard) {
   return seed ^ (static_cast<uint64_t>(shard) * 0x9e3779b97f4a7c15ULL);
 }
 
+/// Shard instrument namespace. The id rides in the name segment
+/// ("lira.shard3.queue.depth") so the metric registry stays a flat
+/// string-keyed map; the Prometheus exporter re-extracts it as a proper
+/// `shard="3"` label (telemetry/exposition.h).
 std::string ShardPrefix(int32_t shard) {
-  return "lira.shard." + std::to_string(shard);
+  return "lira.shard" + std::to_string(shard);
 }
 
 }  // namespace
@@ -153,7 +157,11 @@ StatusOr<std::unique_ptr<ServerCluster>> ServerCluster::Create(
   merged_config.stats_sample_fraction = server.stats_sample_fraction;
   merged_config.incremental_stats = server.incremental_stats;
   merged_config.seed = server.seed ^ 0x57a75ULL;
-  merged_config.telemetry = nullptr;  // shards own the rebuild instruments
+  // The coordinator's own instruments live under `lira.coord.*`; the shard
+  // stages own the `lira.shard<k>.*` rebuild instruments, so the merged
+  // stage no longer has to run blind just to avoid name collisions.
+  merged_config.metric_prefix = "lira.coord";
+  merged_config.telemetry = server.telemetry;
   auto merged = StatsStage::Create(merged_config);
   if (!merged.ok()) {
     return merged.status();
@@ -196,25 +204,43 @@ Status ServerCluster::InstallQueries(const QueryRegistry* queries) {
 
 void ServerCluster::ReceiveBatch(std::vector<ModelUpdate>* updates) {
   const auto arrived = static_cast<int64_t>(updates->size());
+  telemetry::TraceRecorder* tr = config_.server.trace;
+  telemetry::TraceLane* driver_lane =
+      tr != nullptr ? tr->lane(telemetry::TraceRecorder::kDriverLane)
+                    : nullptr;
   // Route serially in batch order (stable: each shard sees its updates in
   // the order the batch carried them, exactly the sub-sequence a single
   // server would have admitted them in), then admit per shard in parallel.
-  for (Shard& shard : shards_) {
-    shard.route.clear();
+  {
+    telemetry::ScopedSpan route_span(tr, driver_lane, "ingest.route", tick_,
+                                     -1, time_);
+    route_span.set_value(static_cast<double>(arrived));
+    for (Shard& shard : shards_) {
+      shard.route.clear();
+    }
+    for (ModelUpdate& update : *updates) {
+      shards_[shard_map_.ShardFor(update.model.origin)].route.push_back(
+          std::move(update));
+    }
+    updates->clear();
   }
-  for (ModelUpdate& update : *updates) {
-    shards_[shard_map_.ShardFor(update.model.origin)].route.push_back(
-        std::move(update));
-  }
-  updates->clear();
-  pool_.ParallelFor(0, num_shards(), 1,
-                    [&](int32_t /*chunk*/, int64_t begin, int64_t end) {
-                      for (int64_t k = begin; k < end; ++k) {
-                        Shard& shard = shards_[k];
-                        shard.last_dropped =
-                            shard.ingest.Receive(&shard.route, time_);
-                      }
-                    });
+  // Each worker writes only its own shard's trace lane (grain 1 ==
+  // one shard per chunk), so lanes stay single-writer.
+  pool_.ParallelFor(
+      0, num_shards(), 1, [&](int32_t /*chunk*/, int64_t begin, int64_t end) {
+        for (int64_t k = begin; k < end; ++k) {
+          Shard& shard = shards_[k];
+          const auto shard_id = static_cast<int32_t>(k);
+          telemetry::ScopedSpan span(
+              tr,
+              tr != nullptr
+                  ? tr->lane(telemetry::TraceRecorder::LaneForShard(shard_id))
+                  : nullptr,
+              "ingest.receive", tick_, shard_id, time_);
+          span.set_value(static_cast<double>(shard.route.size()));
+          shard.last_dropped = shard.ingest.Receive(&shard.route, time_);
+        }
+      });
   if (config_.server.telemetry != nullptr) {
     int64_t dropped = 0;
     for (const Shard& shard : shards_) {
@@ -236,26 +262,83 @@ Status ServerCluster::Tick(double dt) {
     return InvalidArgumentError("dt must be positive");
   }
   time_ += dt;
+  ++tick_;
+  telemetry::TraceRecorder* tr = config_.server.trace;
   // Service + apply per shard in parallel: each shard touches only its own
-  // queue/tracker/history plus relaxed-atomic counters.
-  pool_.ParallelFor(0, num_shards(), 1,
-                    [&](int32_t /*chunk*/, int64_t begin, int64_t end) {
-                      for (int64_t k = begin; k < end; ++k) {
-                        Shard& shard = shards_[k];
-                        shard.applied.clear();
-                        for (const ModelUpdate& update :
-                             shard.ingest.Service(dt)) {
-                          shard.tracker.Apply(update);
-                          shard.applied.push_back(update.node_id);
-                        }
-                      }
-                    });
-  ProcessHandoffs();
+  // queue/tracker/history plus relaxed-atomic counters -- and its own
+  // trace lane (k + 1), so span recording needs no synchronization.
+  pool_.ParallelFor(
+      0, num_shards(), 1, [&](int32_t /*chunk*/, int64_t begin, int64_t end) {
+        for (int64_t k = begin; k < end; ++k) {
+          Shard& shard = shards_[k];
+          const auto shard_id = static_cast<int32_t>(k);
+          telemetry::TraceLane* lane =
+              tr != nullptr
+                  ? tr->lane(telemetry::TraceRecorder::LaneForShard(shard_id))
+                  : nullptr;
+          shard.applied.clear();
+          telemetry::ScopedSpan service_span(tr, lane, "ingest.service",
+                                             tick_, shard_id, time_);
+          const std::vector<ModelUpdate> served = shard.ingest.Service(dt);
+          service_span.set_value(static_cast<double>(served.size()));
+          service_span.Stop();
+          telemetry::ScopedSpan apply_span(tr, lane, "tracker.apply", tick_,
+                                           shard_id, time_);
+          apply_span.set_value(static_cast<double>(served.size()));
+          for (const ModelUpdate& update : served) {
+            shard.tracker.Apply(update);
+            shard.applied.push_back(update.node_id);
+          }
+        }
+      });
+  {
+    telemetry::ScopedSpan handoff_span(
+        tr,
+        tr != nullptr ? tr->lane(telemetry::TraceRecorder::kDriverLane)
+                      : nullptr,
+        "tracker.handoffs", tick_, -1, time_);
+    ProcessHandoffs();
+  }
   if (time_ + 1e-9 >= next_adaptation_) {
     LIRA_RETURN_IF_ERROR(Adapt());
     next_adaptation_ += config_.server.adaptation_period;
   }
+  if (config_.server.flight_recorder != nullptr) {
+    RecordFlightSamples();
+  }
   return OkStatus();
+}
+
+void ServerCluster::RecordFlightSamples() {
+  telemetry::FlightRecorder* recorder = config_.server.flight_recorder;
+  for (int32_t k = 0; k < num_shards(); ++k) {
+    const Shard& shard = shards_[k];
+    telemetry::FlightSample sample;
+    sample.tick = tick_;
+    sample.time = time_;
+    sample.shard = k;
+    sample.queue_depth = static_cast<int64_t>(shard.ingest.queue().size());
+    sample.queue_dropped = shard.ingest.queue().total_dropped();
+    sample.queue_arrivals = shard.ingest.queue().total_arrivals();
+    sample.z = optimizer_.z();
+    sample.nodes = static_cast<int64_t>(shard.stats.grid().TotalNodes());
+    recorder->Record(sample);
+  }
+  telemetry::FlightSample coord;
+  coord.tick = tick_;
+  coord.time = time_;
+  coord.shard = -1;
+  coord.queue_depth = static_cast<int64_t>(queue_size());
+  coord.queue_dropped = queue_dropped();
+  coord.queue_arrivals = queue_arrivals();
+  coord.z = optimizer_.z();
+  coord.lambda = optimizer_.last_lambda();
+  coord.utilization = optimizer_.last_utilization();
+  coord.nodes = static_cast<int64_t>(merged_stats_.grid().TotalNodes());
+  coord.plan_regions = static_cast<int32_t>(optimizer_.plan().NumRegions());
+  coord.plan_min_delta = optimizer_.plan().MinDelta();
+  coord.plan_max_delta = optimizer_.plan().MaxDelta();
+  recorder->Record(coord);
 }
 
 void ServerCluster::ProcessHandoffs() {
@@ -281,36 +364,57 @@ void ServerCluster::ProcessHandoffs() {
 Status ServerCluster::Adapt() {
   telemetry::TelemetrySink* t = config_.server.telemetry;
   telemetry::ScopedTimer adapt_timer(t, "lira.adapt.total_seconds", time_);
-  if (config_.server.auto_throttle) {
-    // THROTLOOP sees the *global* arrival window against the global
-    // service rate -- sharding must not change the control loop.
-    int64_t window_arrivals = 0;
-    int64_t window_dropped = 0;
-    for (Shard& shard : shards_) {
-      window_arrivals += shard.ingest.queue().window_arrivals();
-      window_dropped += shard.ingest.queue().window_dropped();
+  telemetry::TraceRecorder* tr = config_.server.trace;
+  telemetry::TraceLane* driver_lane =
+      tr != nullptr ? tr->lane(telemetry::TraceRecorder::kDriverLane)
+                    : nullptr;
+  {
+    telemetry::ScopedSpan throttle_span(tr, driver_lane, "optimizer.throttle",
+                                        tick_, -1, time_);
+    if (config_.server.auto_throttle) {
+      // THROTLOOP sees the *global* arrival window against the global
+      // service rate -- sharding must not change the control loop.
+      int64_t window_arrivals = 0;
+      int64_t window_dropped = 0;
+      for (Shard& shard : shards_) {
+        window_arrivals += shard.ingest.queue().window_arrivals();
+        window_dropped += shard.ingest.queue().window_dropped();
+      }
+      optimizer_.UpdateThrottle(window_arrivals, window_dropped, time_);
+      for (Shard& shard : shards_) {
+        shard.ingest.ResetWindow();
+      }
+    } else {
+      optimizer_.FixedThrottle(time_);
     }
-    optimizer_.UpdateThrottle(window_arrivals, window_dropped, time_);
-    for (Shard& shard : shards_) {
-      shard.ingest.ResetWindow();
-    }
-  } else {
-    optimizer_.FixedThrottle(time_);
+    throttle_span.set_value(optimizer_.z());
   }
   {
     telemetry::ScopedTimer stats_timer(t, "lira.adapt.stats_rebuild_seconds",
                                        time_);
-    // Per-shard rebuilds run in parallel (disjoint grids and trackers),
-    // then the coordinator merges in shard order: integer accumulators
-    // make the merged grid bitwise equal to a single grid fed the same
-    // observations, independent of thread count.
-    pool_.ParallelFor(0, num_shards(), 1,
-                      [&](int32_t /*chunk*/, int64_t begin, int64_t end) {
-                        for (int64_t k = begin; k < end; ++k) {
-                          shards_[k].stats.RebuildNodes(
-                              shards_[k].tracker.tracker(), time_);
-                        }
-                      });
+    // Per-shard rebuilds run in parallel (disjoint grids and trackers,
+    // disjoint trace lanes), then the coordinator merges in shard order:
+    // integer accumulators make the merged grid bitwise equal to a single
+    // grid fed the same observations, independent of thread count.
+    pool_.ParallelFor(
+        0, num_shards(), 1,
+        [&](int32_t /*chunk*/, int64_t begin, int64_t end) {
+          for (int64_t k = begin; k < end; ++k) {
+            const auto shard_id = static_cast<int32_t>(k);
+            telemetry::ScopedSpan span(
+                tr,
+                tr != nullptr
+                    ? tr->lane(
+                          telemetry::TraceRecorder::LaneForShard(shard_id))
+                    : nullptr,
+                "stats.rebuild", tick_, shard_id, time_);
+            shards_[k].stats.RebuildNodes(shards_[k].tracker.tracker(),
+                                          time_);
+            span.set_value(shards_[k].stats.grid().TotalNodes());
+          }
+        });
+    telemetry::ScopedSpan merge_span(tr, driver_lane, "stats.merge", tick_,
+                                     -1, time_);
     merged_stats_.mutable_grid()->ClearNodes();
     for (int32_t k = 0; k < num_shards(); ++k) {
       LIRA_RETURN_IF_ERROR(
@@ -320,9 +424,59 @@ Status ServerCluster::Adapt() {
       }
     }
     merged_stats_.RebuildQueries(*queries_, QueryMargin());
+    merge_span.set_value(merged_stats_.grid().TotalNodes());
   }
-  return optimizer_.BuildPlan(*policy_, merged_stats_.grid(), *reduction_,
-                              time_);
+  Status built;
+  {
+    telemetry::ScopedSpan plan_span(tr, driver_lane, "optimizer.plan_build",
+                                    tick_, -1, time_);
+    built = optimizer_.BuildPlan(*policy_, merged_stats_.grid(), *reduction_,
+                                 time_);
+    plan_span.set_value(static_cast<double>(optimizer_.plan().NumRegions()));
+  }
+  // The new plan is what every shard (and the encoders) sees from here on.
+  telemetry::RecordInstant(tr, driver_lane, "plan.broadcast", tick_, -1,
+                           time_,
+                           static_cast<double>(optimizer_.plan().NumRegions()));
+  return built;
+}
+
+ClusterHealth ServerCluster::HealthSnapshot() const {
+  ClusterHealth health;
+  health.time = time_;
+  health.tick = tick_;
+  health.num_shards = num_shards();
+  health.z = optimizer_.z();
+  // Ownership counts come from the live owner map (always current, unlike
+  // the per-shard grids which refresh only at adaptations).
+  std::vector<int64_t> owned(static_cast<size_t>(num_shards()), 0);
+  for (const int32_t owner : owner_of_) {
+    if (owner >= 0) {
+      ++owned[static_cast<size_t>(owner)];
+    }
+  }
+  health.shards.reserve(owned.size());
+  for (int32_t k = 0; k < num_shards(); ++k) {
+    ShardHealth shard;
+    shard.shard = k;
+    shard.nodes_owned = owned[static_cast<size_t>(k)];
+    shard.queue_depth =
+        static_cast<int64_t>(shards_[k].ingest.queue().size());
+    shard.queue_arrivals = shards_[k].ingest.queue().total_arrivals();
+    shard.queue_dropped = shards_[k].ingest.queue().total_dropped();
+    health.shards.push_back(shard);
+    health.total_nodes += shard.nodes_owned;
+    health.max_shard_nodes =
+        std::max(health.max_shard_nodes, shard.nodes_owned);
+  }
+  health.mean_shard_nodes =
+      static_cast<double>(health.total_nodes) / num_shards();
+  health.imbalance_ratio =
+      health.mean_shard_nodes > 0.0
+          ? static_cast<double>(health.max_shard_nodes) /
+                health.mean_shard_nodes
+          : 0.0;
+  return health;
 }
 
 std::optional<Point> ServerCluster::BelievedPositionAt(NodeId id,

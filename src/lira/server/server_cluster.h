@@ -44,6 +44,7 @@
 #include "lira/mobility/position.h"
 #include "lira/motion/linear_model.h"
 #include "lira/motion/update_reduction.h"
+#include "lira/server/cluster_health.h"
 #include "lira/server/cq_server.h"
 #include "lira/server/ingest_stage.h"
 #include "lira/server/optimizer_stage.h"
@@ -58,7 +59,12 @@ namespace lira {
 struct ServerClusterConfig {
   /// Global parameters; queue_capacity, service_rate and seed are divided /
   /// mixed across shards (see server_cluster.cc). The telemetry sink, when
-  /// set, additionally gains per-shard `lira.shard.<k>.*` instruments.
+  /// set, additionally gains per-shard `lira.shard<k>.*` instruments (the
+  /// shard id is a label dimension the Prometheus exporter folds back into
+  /// `{shard="k"}`, telemetry/exposition.h) and coordinator-owned
+  /// `lira.coord.*` instruments for the merged statistics stage. The trace
+  /// recorder, when set, needs shards + 1 lanes: shard k records its
+  /// parallel-section spans into lane k + 1 and the coordinator into lane 0.
   CqServerConfig server;
   /// Number of spatial shards S, in [1, alpha].
   int32_t shards = 1;
@@ -118,6 +124,15 @@ class ServerCluster : public ServerPipeline {
   StatusOr<std::vector<NodeId>> AnswerHistoricalRange(const Rect& range,
                                                       double t) const;
 
+  /// Point-in-time cluster health: per-shard occupancy / queue state plus
+  /// load-skew statistics (max/mean owned nodes and their imbalance ratio).
+  /// Serializable via WriteHealthJson / WriteHealthPrometheus
+  /// (cluster_health.h). O(num_nodes + shards); not for per-tick use.
+  ClusterHealth HealthSnapshot() const;
+
+  /// Ticks processed so far (the frame stamp on trace spans).
+  int64_t ticks() const { return tick_; }
+
   int32_t num_shards() const {
     return static_cast<int32_t>(shards_.size());
   }
@@ -156,6 +171,9 @@ class ServerCluster : public ServerPipeline {
   /// Serial post-tick pass: ownership transfers for this tick's applied
   /// updates, in shard order.
   void ProcessHandoffs();
+  /// Appends end-of-tick FlightSamples, serially in shard order (so ring
+  /// contents are deterministic), then one coordinator sample (shard -1).
+  void RecordFlightSamples();
 
   ServerClusterConfig config_;
   const LoadSheddingPolicy* policy_;
@@ -168,6 +186,7 @@ class ServerCluster : public ServerPipeline {
   OptimizerStage optimizer_;
   ThreadPool pool_;
   double time_ = 0.0;
+  int64_t tick_ = 0;
   double next_adaptation_;
   /// Current owning shard per node; -1 until the first applied update.
   std::vector<int32_t> owner_of_;

@@ -1,6 +1,7 @@
 #include "lira/sim/simulation.h"
 
 #include <algorithm>
+#include <fstream>
 #include <memory>
 #include <optional>
 #include <utility>
@@ -11,6 +12,7 @@
 #include "lira/common/stats.h"
 #include "lira/cq/incremental_evaluator.h"
 #include "lira/motion/dead_reckoning.h"
+#include "lira/server/cluster_health.h"
 #include "lira/server/cq_server.h"
 #include "lira/server/history_store.h"
 #include "lira/server/server_cluster.h"
@@ -37,6 +39,14 @@ StatusOr<SimulationResult> RunSimulation(const World& world,
   }
   if (config.shards < 0) {
     return InvalidArgumentError("shards must be >= 0");
+  }
+  if (config.health_stride < 1) {
+    return InvalidArgumentError("health_stride must be >= 1");
+  }
+  if (config.trace != nullptr &&
+      config.trace->num_lanes() < config.shards + 1) {
+    return InvalidArgumentError(
+        "trace recorder needs at least shards + 1 lanes");
   }
 
   CqServerConfig server_config;
@@ -67,6 +77,8 @@ StatusOr<SimulationResult> RunSimulation(const World& world,
   // the server's incremental TPR maintenance.
   server_config.maintain_index = false;
   server_config.telemetry = config.telemetry;
+  server_config.trace = config.trace;
+  server_config.flight_recorder = config.flight_recorder;
   server_config.seed = config.seed;
 
   // shards == 0 runs the single in-process server; S >= 1 runs the
@@ -95,6 +107,17 @@ StatusOr<SimulationResult> RunSimulation(const World& world,
     }
     cluster = *std::move(created);
     server = cluster.get();
+  }
+
+  // Periodic cluster health snapshots (JSONL; one ClusterHealth per line).
+  std::ofstream health_out;
+  const bool write_health = cluster != nullptr && !config.health_path.empty();
+  if (write_health) {
+    health_out.open(config.health_path);
+    if (!health_out) {
+      return InvalidArgumentError("cannot open health snapshot file: " +
+                                  config.health_path);
+    }
   }
 
   DeadReckoningEncoder encoder(world.num_nodes());
@@ -188,6 +211,11 @@ StatusOr<SimulationResult> RunSimulation(const World& world,
     }
     server->ReceiveBatch(&batch);
     LIRA_RETURN_IF_ERROR(server->Tick(trace.dt()));
+
+    if (write_health && frame % config.health_stride == 0) {
+      WriteHealthJson(cluster->HealthSnapshot(), health_out);
+      health_out << "\n";
+    }
 
     // Telemetry sampling: the z / queue-depth trajectory plus cumulative
     // queue counters, decimated by the stride to bound overhead.
@@ -313,6 +341,32 @@ StatusOr<SimulationResult> RunSimulation(const World& world,
         static_cast<double>(measured_updates) /
         (static_cast<double>(measured_frames) * trace.dt());
     result.measured_update_fraction = measured_rate / world.full_update_rate;
+  }
+  if (write_health) {
+    // Final snapshot, then the Prometheus rendering of it (plus the full
+    // metric registry when telemetry ran) at "<health_path>.prom".
+    const ClusterHealth final_health = cluster->HealthSnapshot();
+    WriteHealthJson(final_health, health_out);
+    health_out << "\n";
+    health_out.flush();
+    if (!health_out) {
+      return InternalError("failed writing health snapshot file: " +
+                           config.health_path);
+    }
+    std::ofstream prom_out(config.health_path + ".prom");
+    if (!prom_out) {
+      return InvalidArgumentError("cannot open health snapshot file: " +
+                                  config.health_path + ".prom");
+    }
+    WriteHealthPrometheus(
+        final_health,
+        config.telemetry != nullptr ? &config.telemetry->metrics() : nullptr,
+        prom_out);
+    prom_out.flush();
+    if (!prom_out) {
+      return InternalError("failed writing health snapshot file: " +
+                           config.health_path + ".prom");
+    }
   }
   if (config.telemetry != nullptr) {
     // Final snapshot of every registered metric, then flush the stream.

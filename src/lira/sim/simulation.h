@@ -7,12 +7,15 @@
 #define LIRA_SIM_SIMULATION_H_
 
 #include <cstdint>
+#include <string>
 
 #include "lira/common/status.h"
 #include "lira/core/policy.h"
 #include "lira/sim/metrics.h"
 #include "lira/sim/world.h"
+#include "lira/telemetry/flight_recorder.h"
 #include "lira/telemetry/telemetry.h"
+#include "lira/telemetry/trace.h"
 
 namespace lira {
 
@@ -69,6 +72,21 @@ struct SimulationConfig {
   /// Frames between telemetry samples. The default keeps the instrumented
   /// overhead well under 2% of the frame loop.
   int32_t telemetry_stride = 10;
+  /// Optional span tracer (not owned; must outlive the call). Forwarded to
+  /// the server: every tick and adaptation records per-stage wall-time
+  /// spans (DESIGN.md §10); with shards >= 1 the recorder needs shards + 1
+  /// lanes. nullptr disables tracing at a pointer test per stage.
+  telemetry::TraceRecorder* trace = nullptr;
+  /// Optional flight recorder (not owned; must outlive the call). The
+  /// server appends one sample per tick (per shard, for a cluster), so the
+  /// ring always holds the last N ticks of control state.
+  telemetry::FlightRecorder* flight_recorder = nullptr;
+  /// When non-empty and shards >= 1, a ClusterHealth snapshot is appended
+  /// to this file as one JSON line every `health_stride` frames, and the
+  /// final snapshot (plus the metric registry, when telemetry is set) is
+  /// written as Prometheus text to "<health_path>.prom".
+  std::string health_path;
+  int32_t health_stride = 60;
   /// Worker threads for the per-frame node loop and the accuracy-sampling
   /// pass (DESIGN.md §7). 0 means hardware concurrency; 1 runs fully
   /// serial, bypassing the pool. The result is bitwise identical for every

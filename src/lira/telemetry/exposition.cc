@@ -1,0 +1,199 @@
+#include "lira/telemetry/exposition.h"
+
+#include <cctype>
+#include <cstdio>
+#include <map>
+#include <utility>
+#include <vector>
+
+namespace lira::telemetry {
+namespace {
+
+void AppendDouble(std::string* out, double v) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", v);
+  out->append(buffer);
+}
+
+std::string Underscored(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    if (c == '.' || c == '-') {
+      c = '_';
+    }
+  }
+  return out;
+}
+
+std::string_view PrometheusType(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kCounter:
+      return "counter";
+    case MetricKind::kGauge:
+      return "gauge";
+    case MetricKind::kHistogram:
+      return "summary";
+  }
+  return "untyped";
+}
+
+void AppendSample(std::string* out, const std::string& family,
+                  const std::string& labels, double value) {
+  out->append(family);
+  if (!labels.empty()) {
+    out->push_back('{');
+    out->append(labels);
+    out->push_back('}');
+  }
+  out->push_back(' ');
+  AppendDouble(out, value);
+  out->push_back('\n');
+}
+
+/// Joins two rendered label fragments with a comma when both are present.
+std::string JoinLabels(const std::string& a, const std::string& b) {
+  if (a.empty()) {
+    return b;
+  }
+  if (b.empty()) {
+    return a;
+  }
+  return a + "," + b;
+}
+
+}  // namespace
+
+PrometheusSeries PrometheusSeriesFor(const std::string& name) {
+  // `lira.shard<k>.<rest>` -> family lira_<rest>, label shard="<k>".
+  constexpr std::string_view kShard = "lira.shard";
+  if (name.size() > kShard.size() && name.compare(0, kShard.size(), kShard) == 0) {
+    size_t i = kShard.size();
+    size_t digits_end = i;
+    while (digits_end < name.size() &&
+           std::isdigit(static_cast<unsigned char>(name[digits_end]))) {
+      ++digits_end;
+    }
+    if (digits_end > i && digits_end < name.size() && name[digits_end] == '.') {
+      return {"lira_" + Underscored(name.substr(digits_end + 1)),
+              "shard=\"" + name.substr(i, digits_end - i) + "\""};
+    }
+  }
+  // `lira.coord.<rest>` -> family lira_<rest>, label role="coord".
+  constexpr std::string_view kCoord = "lira.coord.";
+  if (name.size() > kCoord.size() &&
+      name.compare(0, kCoord.size(), kCoord) == 0) {
+    return {"lira_" + Underscored(name.substr(kCoord.size())),
+            "role=\"coord\""};
+  }
+  return {Underscored(name), ""};
+}
+
+void WritePrometheus(const MetricRegistry& metrics, std::ostream& out) {
+  // Group series by family so each family gets one # TYPE line; Names() is
+  // already name-sorted, and shard series of one family sort together under
+  // the map, numerically because shard counts stay in single-ordering range
+  // of the lexicographic key (ties broken by full instrument name).
+  struct Series {
+    std::string name;  // original instrument name
+    std::string labels;
+    MetricKind kind;
+  };
+  std::map<std::string, std::vector<Series>> families;
+  for (const auto& [name, kind] : metrics.Names()) {
+    PrometheusSeries series = PrometheusSeriesFor(name);
+    families[series.family].push_back({name, std::move(series.labels), kind});
+  }
+
+  std::string text;
+  for (const auto& [family, series_list] : families) {
+    text.append("# TYPE ");
+    text.append(family);
+    text.push_back(' ');
+    text.append(PrometheusType(series_list.front().kind));
+    text.push_back('\n');
+    for (const Series& series : series_list) {
+      switch (series.kind) {
+        case MetricKind::kCounter: {
+          const Counter* counter = metrics.FindCounter(series.name);
+          AppendSample(&text, family, series.labels,
+                       counter != nullptr
+                           ? static_cast<double>(counter->value())
+                           : 0.0);
+          break;
+        }
+        case MetricKind::kGauge: {
+          const Gauge* gauge = metrics.FindGauge(series.name);
+          AppendSample(&text, family, series.labels,
+                       gauge != nullptr ? gauge->value() : 0.0);
+          break;
+        }
+        case MetricKind::kHistogram: {
+          const Histogram* histogram = metrics.FindHistogram(series.name);
+          if (histogram == nullptr) {
+            break;
+          }
+          for (const auto& [q, label] :
+               {std::pair<double, const char*>{0.50, "quantile=\"0.5\""},
+                {0.95, "quantile=\"0.95\""},
+                {0.99, "quantile=\"0.99\""}}) {
+            AppendSample(&text, family, JoinLabels(series.labels, label),
+                         histogram->Quantile(q));
+          }
+          AppendSample(&text, family + "_sum", series.labels,
+                       histogram->mean() *
+                           static_cast<double>(histogram->count()));
+          AppendSample(&text, family + "_count", series.labels,
+                       static_cast<double>(histogram->count()));
+          break;
+        }
+      }
+    }
+  }
+  out << text;
+}
+
+void WriteMetricsJson(const MetricRegistry& metrics, std::ostream& out) {
+  std::string text = "{";
+  bool first = true;
+  for (const auto& [name, kind] : metrics.Names()) {
+    if (!first) {
+      text.push_back(',');
+    }
+    first = false;
+    text.append("\n\"");
+    text.append(name);
+    text.append("\":");
+    switch (kind) {
+      case MetricKind::kCounter: {
+        const Counter* counter = metrics.FindCounter(name);
+        text.append(std::to_string(counter != nullptr ? counter->value() : 0));
+        break;
+      }
+      case MetricKind::kGauge: {
+        const Gauge* gauge = metrics.FindGauge(name);
+        AppendDouble(&text, gauge != nullptr ? gauge->value() : 0.0);
+        break;
+      }
+      case MetricKind::kHistogram: {
+        const Histogram* histogram = metrics.FindHistogram(name);
+        text.append("{\"count\":");
+        text.append(
+            std::to_string(histogram != nullptr ? histogram->count() : 0));
+        text.append(",\"mean\":");
+        AppendDouble(&text, histogram != nullptr ? histogram->mean() : 0.0);
+        text.append(",\"p50\":");
+        AppendDouble(&text, histogram != nullptr ? histogram->P50() : 0.0);
+        text.append(",\"p95\":");
+        AppendDouble(&text, histogram != nullptr ? histogram->P95() : 0.0);
+        text.append(",\"p99\":");
+        AppendDouble(&text, histogram != nullptr ? histogram->P99() : 0.0);
+        text.push_back('}');
+        break;
+      }
+    }
+  }
+  text.append("\n}\n");
+  out << text;
+}
+
+}  // namespace lira::telemetry

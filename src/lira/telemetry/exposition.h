@@ -1,0 +1,49 @@
+// Telemetry exposition: serializes a MetricRegistry as Prometheus text
+// exposition format and as flat JSON, for the cluster health snapshots and
+// any scrape-style consumer (DESIGN.md §10).
+//
+// Shard-id label dimension: instrument names follow
+// `lira.shard<k>.<layer>.<metric>` for ServerCluster shard k (and
+// `lira.coord.<layer>.<metric>` for the coordinator's own instruments).
+// The Prometheus exporter folds that positional dimension back into a
+// proper label: `lira.shard3.queue.depth` becomes
+// `lira_queue_depth{shard="3"}`, so all shards share one metric family.
+// The JSON export keeps the flat dotted names (they are what the tests and
+// bench_compare consume).
+
+#ifndef LIRA_TELEMETRY_EXPOSITION_H_
+#define LIRA_TELEMETRY_EXPOSITION_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+
+#include "lira/telemetry/metrics.h"
+
+namespace lira::telemetry {
+
+/// Splits a dotted instrument name into its Prometheus family name and an
+/// optional label: "lira.shard3.queue.depth" -> ("lira_queue_depth",
+/// "shard=\"3\""), "lira.coord.stats.cells_dirtied" ->
+/// ("lira_stats_cells_dirtied", "role=\"coord\""), anything else ->
+/// (underscored name, ""). Exposed for tests.
+struct PrometheusSeries {
+  std::string family;
+  /// Rendered label list without braces ("shard=\"3\""), empty when none.
+  std::string labels;
+};
+PrometheusSeries PrometheusSeriesFor(const std::string& name);
+
+/// Prometheus text exposition of every registered instrument: counters and
+/// gauges as one sample per series, histograms as a summary (quantile
+/// series + _sum/_count). Families are emitted once with a # TYPE line,
+/// shard series grouped under their family.
+void WritePrometheus(const MetricRegistry& metrics, std::ostream& out);
+
+/// Flat JSON object keyed by the dotted instrument name; histograms expand
+/// to {"count","mean","p50","p95","p99"} sub-objects.
+void WriteMetricsJson(const MetricRegistry& metrics, std::ostream& out);
+
+}  // namespace lira::telemetry
+
+#endif  // LIRA_TELEMETRY_EXPOSITION_H_

@@ -1,0 +1,176 @@
+#include "lira/telemetry/flight_recorder.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+
+#include "lira/common/check.h"
+
+namespace lira::telemetry {
+namespace {
+
+/// Process-global registry of live recorders, for DumpAll and the crash
+/// hook. Guarded by its own mutex; registration happens at recorder
+/// construction (never on a hot path).
+struct Registry {
+  std::mutex mutex;
+  std::vector<const FlightRecorder*> recorders;
+  std::string crash_path;
+};
+
+Registry& GlobalRegistry() {
+  static Registry* registry = new Registry();
+  return *registry;
+}
+
+/// The LIRA_CHECK hook: best-effort, must not throw (the process is about
+/// to abort).
+void CrashDumpHook() {
+  Registry& registry = GlobalRegistry();
+  std::string path;
+  {
+    std::lock_guard<std::mutex> lock(registry.mutex);
+    path = registry.crash_path;
+  }
+  if (path.empty()) {
+    return;
+  }
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "flight recorder: cannot write crash dump to %s\n",
+                 path.c_str());
+    return;
+  }
+  FlightRecorder::DumpAll(out);
+  out.flush();
+  std::fprintf(stderr, "flight recorder: wrote crash dump to %s\n",
+               path.c_str());
+}
+
+void AppendSample(std::ostream& out, const FlightSample& s) {
+  char buffer[512];
+  std::snprintf(
+      buffer, sizeof(buffer),
+      "{\"tick\":%lld,\"time\":%.6f,\"shard\":%d,\"queue_depth\":%lld,"
+      "\"queue_dropped\":%lld,\"queue_arrivals\":%lld,\"z\":%.6f,"
+      "\"lambda\":%.6f,\"utilization\":%.6f,\"nodes\":%lld,"
+      "\"plan_regions\":%d,\"plan_min_delta\":%.6f,\"plan_max_delta\":%.6f}",
+      static_cast<long long>(s.tick), s.time, s.shard,
+      static_cast<long long>(s.queue_depth),
+      static_cast<long long>(s.queue_dropped),
+      static_cast<long long>(s.queue_arrivals), s.z, s.lambda, s.utilization,
+      static_cast<long long>(s.nodes), s.plan_regions, s.plan_min_delta,
+      s.plan_max_delta);
+  out << buffer;
+}
+
+}  // namespace
+
+FlightRecorder::FlightRecorder(size_t capacity, std::string label)
+    : capacity_(std::max<size_t>(1, capacity)), label_(std::move(label)) {
+  ring_.reserve(capacity_);
+  Registry& registry = GlobalRegistry();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  registry.recorders.push_back(this);
+}
+
+FlightRecorder::~FlightRecorder() {
+  Registry& registry = GlobalRegistry();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  auto& recorders = registry.recorders;
+  recorders.erase(std::remove(recorders.begin(), recorders.end(), this),
+                  recorders.end());
+}
+
+void FlightRecorder::Record(const FlightSample& sample) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (ring_.size() < capacity_) {
+    ring_.push_back(sample);
+  } else {
+    ring_[next_] = sample;
+  }
+  next_ = (next_ + 1) % capacity_;
+  ++total_;
+}
+
+std::vector<FlightSample> FlightRecorder::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<FlightSample> out;
+  out.reserve(ring_.size());
+  if (ring_.size() < capacity_) {
+    out = ring_;
+  } else {
+    // next_ points at the oldest sample once the ring has wrapped.
+    out.insert(out.end(), ring_.begin() + static_cast<ptrdiff_t>(next_),
+               ring_.end());
+    out.insert(out.end(), ring_.begin(),
+               ring_.begin() + static_cast<ptrdiff_t>(next_));
+  }
+  return out;
+}
+
+size_t FlightRecorder::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return ring_.size();
+}
+
+int64_t FlightRecorder::total_recorded() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return total_;
+}
+
+void FlightRecorder::DumpJson(std::ostream& out) const {
+  const std::vector<FlightSample> samples = Snapshot();
+  out << "{\"label\":\"" << label_ << "\",\"capacity\":" << capacity_
+      << ",\"total_recorded\":" << total_recorded() << ",\"samples\":[";
+  for (size_t i = 0; i < samples.size(); ++i) {
+    if (i > 0) {
+      out << ",";
+    }
+    out << "\n";
+    AppendSample(out, samples[i]);
+  }
+  out << "\n]}";
+}
+
+void FlightRecorder::DumpAll(std::ostream& out) {
+  Registry& registry = GlobalRegistry();
+  std::vector<const FlightRecorder*> recorders;
+  {
+    std::lock_guard<std::mutex> lock(registry.mutex);
+    recorders = registry.recorders;
+  }
+  out << "{\"recorders\":[";
+  for (size_t i = 0; i < recorders.size(); ++i) {
+    if (i > 0) {
+      out << ",";
+    }
+    out << "\n";
+    recorders[i]->DumpJson(out);
+  }
+  out << "\n]}\n";
+}
+
+Status FlightRecorder::DumpAllToFile(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    return InvalidArgumentError("cannot open flight dump file: " + path);
+  }
+  DumpAll(out);
+  out.flush();
+  if (!out) {
+    return InternalError("failed writing flight dump file: " + path);
+  }
+  return OkStatus();
+}
+
+void FlightRecorder::InstallCrashDump(const std::string& path) {
+  Registry& registry = GlobalRegistry();
+  {
+    std::lock_guard<std::mutex> lock(registry.mutex);
+    registry.crash_path = path;
+  }
+  internal_check::SetCheckFailureHook(path.empty() ? nullptr : CrashDumpHook);
+}
+
+}  // namespace lira::telemetry

@@ -1,0 +1,143 @@
+#include "lira/telemetry/trace.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+
+namespace lira::telemetry {
+namespace {
+
+/// Doubles in the trace exports are payload values; print them compactly
+/// the same way event_sink.cc does (shortest round-trip is overkill here).
+void AppendDouble(std::string* out, double v) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", v);
+  out->append(buffer);
+}
+
+}  // namespace
+
+size_t TraceRecorder::TotalSpans() const {
+  size_t total = 0;
+  for (const TraceLane& lane : lanes_) {
+    total += lane.size();
+  }
+  return total;
+}
+
+void TraceRecorder::Clear() {
+  for (TraceLane& lane : lanes_) {
+    lane.Clear();
+  }
+}
+
+std::vector<SpanRecord> TraceRecorder::MergedSpans() const {
+  struct Keyed {
+    int32_t lane;
+    SpanRecord span;
+  };
+  std::vector<Keyed> keyed;
+  keyed.reserve(TotalSpans());
+  for (size_t lane = 0; lane < lanes_.size(); ++lane) {
+    for (const SpanRecord& span : lanes_[lane].spans()) {
+      keyed.push_back({static_cast<int32_t>(lane), span});
+    }
+  }
+  std::sort(keyed.begin(), keyed.end(), [](const Keyed& a, const Keyed& b) {
+    if (a.span.tick != b.span.tick) {
+      return a.span.tick < b.span.tick;
+    }
+    if (a.lane != b.lane) {
+      return a.lane < b.lane;
+    }
+    return a.span.seq < b.span.seq;
+  });
+  std::vector<SpanRecord> out;
+  out.reserve(keyed.size());
+  for (const Keyed& k : keyed) {
+    out.push_back(k.span);
+  }
+  return out;
+}
+
+Status TraceRecorder::WriteJsonl(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) {
+    return InvalidArgumentError("cannot open trace file: " + path);
+  }
+  // Merged order; lane is recomputed from shard for readability (driver
+  // spans carry shard -1 and lane 0).
+  for (const SpanRecord& span : MergedSpans()) {
+    std::string line = "{\"tick\":";
+    line += std::to_string(span.tick);
+    line += ",\"lane\":";
+    line += std::to_string(LaneForShard(span.shard));
+    line += ",\"shard\":";
+    line += std::to_string(span.shard);
+    line += ",\"name\":\"";
+    line += span.name;
+    line += "\",\"t\":";
+    AppendDouble(&line, span.sim_time);
+    line += ",\"start_ns\":";
+    line += std::to_string(span.start_ns);
+    line += ",\"dur_ns\":";
+    line += std::to_string(span.duration_ns);
+    line += ",\"value\":";
+    AppendDouble(&line, span.value);
+    line += "}\n";
+    out << line;
+  }
+  out.flush();
+  if (!out) {
+    return InternalError("failed writing trace file: " + path);
+  }
+  return OkStatus();
+}
+
+Status TraceRecorder::WriteChromeTrace(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) {
+    return InvalidArgumentError("cannot open trace file: " + path);
+  }
+  out << "{\"traceEvents\":[\n";
+  bool first = true;
+  for (size_t lane = 0; lane < lanes_.size(); ++lane) {
+    if (lanes_[lane].size() == 0) {
+      continue;
+    }
+    // Track naming metadata: lane 0 is the driver/coordinator, lane k+1 is
+    // shard k. Chrome sorts tracks by tid, which matches the lane order.
+    if (!first) {
+      out << ",\n";
+    }
+    first = false;
+    out << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":" << lane
+        << ",\"args\":{\"name\":\""
+        << (lane == 0 ? std::string("driver")
+                      : "shard " + std::to_string(lane - 1))
+        << "\"}}";
+    for (const SpanRecord& span : lanes_[lane].spans()) {
+      char buffer[512];
+      // Complete events; instants (dur 0) still render as zero-width
+      // slices, which keeps one event shape for everything.
+      std::snprintf(buffer, sizeof(buffer),
+                    "{\"name\":\"%s\",\"cat\":\"lira\",\"ph\":\"X\","
+                    "\"pid\":1,\"tid\":%zu,\"ts\":%.3f,\"dur\":%.3f,"
+                    "\"args\":{\"tick\":%" PRId64
+                    ",\"shard\":%d,\"t\":%.6f,\"value\":%g}}",
+                    span.name, lane, span.start_ns / 1e3,
+                    span.duration_ns / 1e3, span.tick, span.shard,
+                    span.sim_time, span.value);
+      out << ",\n" << buffer;
+    }
+  }
+  out << "\n]}\n";
+  out.flush();
+  if (!out) {
+    return InternalError("failed writing trace file: " + path);
+  }
+  return OkStatus();
+}
+
+}  // namespace lira::telemetry

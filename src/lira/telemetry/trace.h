@@ -1,0 +1,203 @@
+// Telemetry tracing layer: per-stage wall-time spans stamped with the
+// server tick (frame) and shard that produced them, so a run answers
+// "where did this frame's time go" across the Ingest -> Tracker -> Stats ->
+// Optimizer -> plan-broadcast pipeline (DESIGN.md §10).
+//
+// Recording model: a TraceRecorder owns a fixed set of single-writer
+// *lanes*. Lane 0 is the serial driver/coordinator lane; a ServerCluster
+// maps shard k to lane k+1, so the parallel per-shard sections each append
+// to their own lane with no synchronization at all. Spans carry a per-lane
+// sequence number; MergedSpans() orders them by (tick, lane, seq), which
+// depends only on program order -- never on worker timing -- so the merged
+// stream is identical for any thread count (asserted in
+// tests/telemetry/trace_test).
+//
+// Cost contract: every instrumentation site takes a nullable lane and
+// reduces to a pointer test when tracing is off (~1 ns, see
+// BM_TraceScopedSpanDisabled in bench_micro_core). Span names must be
+// string literals (the record stores the pointer).
+//
+// Exports: one-span-per-line JSONL for grepping, and the Chrome
+// `trace_event` array format (load chrome://tracing or https://ui.perfetto.dev)
+// where lanes render as tracks and spans as nested slices.
+
+#ifndef LIRA_TELEMETRY_TRACE_H_
+#define LIRA_TELEMETRY_TRACE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "lira/common/status.h"
+
+namespace lira::telemetry {
+
+struct SpanRecord {
+  /// Span name, a string literal ("ingest.service", "stats.rebuild", ...).
+  const char* name = "";
+  /// Server tick (simulation frame) the span belongs to.
+  int64_t tick = 0;
+  /// Shard that did the work; -1 for the coordinator / single server.
+  int32_t shard = -1;
+  /// Simulation time (seconds) when the span was opened.
+  double sim_time = 0.0;
+  /// Wall-clock start relative to the recorder's epoch, nanoseconds.
+  int64_t start_ns = 0;
+  /// Wall-clock duration, nanoseconds (0 for instant events).
+  int64_t duration_ns = 0;
+  /// Per-lane append ordinal (assigned by the lane).
+  int64_t seq = 0;
+  /// Optional payload (plan regions, updates applied, ...).
+  double value = 0.0;
+};
+
+/// One single-writer span buffer. Lanes are owned by a TraceRecorder and
+/// must only be appended to from one thread at a time (the recorder's lane
+/// assignment guarantees this: serial driver -> lane 0, shard k -> lane
+/// k+1, and shards never share a lane).
+class TraceLane {
+ public:
+  void Record(const char* name, int64_t tick, int32_t shard, double sim_time,
+              int64_t start_ns, int64_t duration_ns, double value = 0.0) {
+    SpanRecord span;
+    span.name = name;
+    span.tick = tick;
+    span.shard = shard;
+    span.sim_time = sim_time;
+    span.start_ns = start_ns;
+    span.duration_ns = duration_ns;
+    span.seq = seq_++;
+    span.value = value;
+    spans_.push_back(span);
+  }
+
+  const std::vector<SpanRecord>& spans() const { return spans_; }
+  size_t size() const { return spans_.size(); }
+  void Clear() {
+    spans_.clear();
+    seq_ = 0;
+  }
+
+ private:
+  std::vector<SpanRecord> spans_;
+  int64_t seq_ = 0;
+};
+
+/// Owns the lanes and the wall-clock epoch. Lane count is fixed at
+/// construction so lane() never mutates shared state and is safe to call
+/// from workers; an out-of-range lane returns nullptr (spans are dropped
+/// rather than corrupting memory when a cluster outgrows the recorder).
+class TraceRecorder {
+ public:
+  /// Lane 0 drives/coordinates; shard k records into lane k + 1.
+  static constexpr int32_t kDriverLane = 0;
+  static int32_t LaneForShard(int32_t shard) { return shard + 1; }
+
+  /// `lanes` >= 1. A cluster with S shards needs S + 1 lanes.
+  explicit TraceRecorder(int32_t lanes = 17)
+      : lanes_(lanes > 0 ? static_cast<size_t>(lanes) : 1),
+        epoch_(std::chrono::steady_clock::now()) {}
+
+  TraceLane* lane(int32_t index) {
+    return index >= 0 && static_cast<size_t>(index) < lanes_.size()
+               ? &lanes_[index]
+               : nullptr;
+  }
+  const TraceLane* lane(int32_t index) const {
+    return index >= 0 && static_cast<size_t>(index) < lanes_.size()
+               ? &lanes_[index]
+               : nullptr;
+  }
+  int32_t num_lanes() const { return static_cast<int32_t>(lanes_.size()); }
+
+  /// Nanoseconds since the recorder's construction (span start stamps).
+  int64_t NowNs() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now() - epoch_)
+        .count();
+  }
+
+  size_t TotalSpans() const;
+  void Clear();
+
+  /// All lanes' spans ordered by (tick, lane, seq) -- program order, so the
+  /// result is bitwise-structurally identical for any worker thread count.
+  /// Wall-clock fields still vary run to run; comparisons should look at
+  /// (name, tick, shard, seq) only.
+  std::vector<SpanRecord> MergedSpans() const;
+
+  /// One JSON object per span (merged order), e.g.
+  ///   {"tick":3,"lane":1,"shard":0,"name":"ingest.service","t":1.5,
+  ///    "start_ns":12000,"dur_ns":800,"value":0}
+  Status WriteJsonl(const std::string& path) const;
+
+  /// Chrome trace_event format: {"traceEvents":[...]} with complete ("X")
+  /// events, tid = lane, ts/dur in microseconds. Loadable by
+  /// chrome://tracing and Perfetto.
+  Status WriteChromeTrace(const std::string& path) const;
+
+ private:
+  std::vector<TraceLane> lanes_;
+  std::chrono::steady_clock::time_point epoch_;
+};
+
+/// RAII span: opens on construction, records into `lane` on destruction (or
+/// explicit Stop()). A null lane or recorder makes every operation a
+/// pointer test. `name` must be a string literal.
+class ScopedSpan {
+ public:
+  ScopedSpan(TraceRecorder* recorder, TraceLane* lane, const char* name,
+             int64_t tick, int32_t shard, double sim_time)
+      : recorder_(lane != nullptr ? recorder : nullptr),
+        lane_(lane),
+        name_(name),
+        tick_(tick),
+        shard_(shard),
+        sim_time_(sim_time) {
+    if (recorder_ != nullptr) {
+      start_ns_ = recorder_->NowNs();
+    }
+  }
+  ~ScopedSpan() { Stop(); }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  /// Optional payload recorded with the span (e.g. updates applied).
+  void set_value(double value) { value_ = value; }
+
+  void Stop() {
+    if (recorder_ == nullptr || stopped_) {
+      return;
+    }
+    stopped_ = true;
+    lane_->Record(name_, tick_, shard_, sim_time_, start_ns_,
+                  recorder_->NowNs() - start_ns_, value_);
+  }
+
+ private:
+  TraceRecorder* recorder_;
+  TraceLane* lane_;
+  const char* name_;
+  int64_t tick_;
+  int32_t shard_;
+  double sim_time_;
+  int64_t start_ns_ = 0;
+  double value_ = 0.0;
+  bool stopped_ = false;
+};
+
+/// Zero-duration marker ("plan.broadcast") -- shows up as an instant slice.
+inline void RecordInstant(TraceRecorder* recorder, TraceLane* lane,
+                          const char* name, int64_t tick, int32_t shard,
+                          double sim_time, double value = 0.0) {
+  if (recorder == nullptr || lane == nullptr) {
+    return;
+  }
+  lane->Record(name, tick, shard, sim_time, recorder->NowNs(), 0, value);
+}
+
+}  // namespace lira::telemetry
+
+#endif  // LIRA_TELEMETRY_TRACE_H_

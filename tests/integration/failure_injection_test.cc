@@ -1,14 +1,20 @@
 // Failure injection: the server must degrade gracefully and recover from
 // overload bursts, silent nodes, and workload pathologies.
 
+#include <cstdio>
+#include <fstream>
 #include <optional>
+#include <sstream>
+#include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "lira/common/check.h"
 #include "lira/server/cq_server.h"
 #include "lira/sim/experiment.h"
 #include "lira/sim/world.h"
+#include "lira/telemetry/flight_recorder.h"
 
 namespace lira {
 namespace {
@@ -135,6 +141,78 @@ TEST_F(FailureInjectionTest, DuplicateAndOutOfOrderUpdatesAreAbsorbed) {
   const auto early = server->history()->PositionAt(0, 1.5);
   ASSERT_TRUE(early.has_value());
   EXPECT_EQ(*early, (Point{50, 50}));
+}
+
+TEST_F(FailureInjectionTest, FlightRecorderLeavesPostmortemOfBurst) {
+  telemetry::FlightRecorder flight(/*capacity=*/32, "burst-postmortem");
+  auto config = BaseConfig();
+  config.flight_recorder = &flight;
+  auto server =
+      CqServer::Create(config, &policy_, &*reduction_, &queries_);
+  ASSERT_TRUE(server.ok());
+  // Same overload burst as RecoversFromArrivalBurst: the ring should end
+  // up holding the ticks where the queue was shedding.
+  double t = 0.0;
+  for (int s = 0; s < 10; ++s) {
+    std::vector<ModelUpdate> burst;
+    for (int k = 0; k < 400; ++k) {
+      burst.push_back(UpdateFor(k % 100, {800.0, 800.0}, {1.0, 0.0}, t));
+    }
+    server->Receive(std::move(burst));
+    ASSERT_TRUE(server->Tick(1.0).ok());
+    t += 1.0;
+  }
+  EXPECT_EQ(flight.total_recorded(), 10);
+  const std::vector<telemetry::FlightSample> samples = flight.Snapshot();
+  ASSERT_EQ(samples.size(), 10u);
+  EXPECT_EQ(samples.back().tick, 10);
+  EXPECT_GT(samples.back().queue_dropped, 0);
+  EXPECT_LT(samples.back().z, 0.5);
+  // The postmortem dump is parseable-looking JSON naming the recorder.
+  const std::string path =
+      ::testing::TempDir() + "failure_injection_flight.json";
+  ASSERT_TRUE(telemetry::FlightRecorder::DumpAllToFile(path).ok());
+  std::ifstream in(path);
+  std::stringstream dump;
+  dump << in.rdbuf();
+  EXPECT_NE(dump.str().find("burst-postmortem"), std::string::npos);
+  EXPECT_NE(dump.str().find("\"queue_dropped\""), std::string::npos);
+  std::remove(path.c_str());
+}
+
+using FailureInjectionDeathTest = FailureInjectionTest;
+
+TEST_F(FailureInjectionDeathTest, CheckFailureWritesCrashDump) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  const std::string path =
+      ::testing::TempDir() + "failure_injection_crash_dump.json";
+  std::remove(path.c_str());
+  // The child process runs the chaos workload with the crash hook armed and
+  // then hits a LIRA_CHECK; the dump it writes survives the abort and is
+  // inspected by the parent.
+  ASSERT_DEATH(
+      {
+        telemetry::FlightRecorder flight(16, "crash-ring");
+        telemetry::FlightRecorder::InstallCrashDump(path);
+        auto config = BaseConfig();
+        config.flight_recorder = &flight;
+        auto server =
+            CqServer::Create(config, &policy_, &*reduction_, &queries_);
+        if (server.ok()) {
+          server->Receive({UpdateFor(0, {800.0, 800.0}, {1.0, 0.0}, 0.0)});
+          (void)server->Tick(1.0);
+          LIRA_CHECK(false && "injected failure");
+        }
+      },
+      "LIRA_CHECK failed");
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << "crash dump not written to " << path;
+  std::stringstream dump;
+  dump << in.rdbuf();
+  EXPECT_NE(dump.str().find("\"recorders\""), std::string::npos);
+  EXPECT_NE(dump.str().find("crash-ring"), std::string::npos);
+  EXPECT_NE(dump.str().find("\"tick\":1"), std::string::npos);
+  std::remove(path.c_str());
 }
 
 TEST_F(FailureInjectionTest, ExtremeWorkloadsDoNotStallSimulation) {

@@ -1,0 +1,175 @@
+#include "lira/server/cluster_health.h"
+
+#include <optional>
+#include <sstream>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "lira/server/server_cluster.h"
+#include "lira/telemetry/telemetry.h"
+#include "tools/bench_compare_lib.h"
+
+namespace lira {
+namespace {
+
+// 16 x 16 cells of 100 m: with 4 shards, shard k owns x in
+// [k*400, (k+1)*400).
+constexpr Rect kWorld{0.0, 0.0, 1600.0, 1600.0};
+
+class ClusterHealthTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto analytic = AnalyticReduction::Create(5.0, 100.0, 0.7, 1.0);
+    ASSERT_TRUE(analytic.ok());
+    auto pwl = PiecewiseLinearReduction::SampleFunction(
+        5.0, 100.0, 95, [&](double d) { return analytic->Eval(d); });
+    ASSERT_TRUE(pwl.ok());
+    reduction_.emplace(*std::move(pwl));
+    queries_.Add(Rect{100, 100, 500, 500});
+  }
+
+  std::unique_ptr<ServerCluster> MakeCluster(int32_t shards) {
+    ServerClusterConfig config;
+    config.server.num_nodes = 80;
+    config.server.world = kWorld;
+    config.server.alpha = 16;
+    config.server.queue_capacity = 256;
+    config.server.service_rate = 1000.0;
+    config.server.adaptation_period = 100.0;
+    config.server.fixed_z = 0.5;
+    config.shards = shards;
+    config.threads = 1;
+    auto cluster =
+        ServerCluster::Create(config, &policy_, &*reduction_, &queries_);
+    EXPECT_TRUE(cluster.ok()) << cluster.status().ToString();
+    return *std::move(cluster);
+  }
+
+  ModelUpdate UpdateFor(NodeId id, Point p, double t) {
+    ModelUpdate u;
+    u.node_id = id;
+    u.model = LinearMotionModel{p, {1.0, 0.0}, t};
+    return u;
+  }
+
+  std::optional<PiecewiseLinearReduction> reduction_;
+  QueryRegistry queries_;
+  UniformDeltaPolicy policy_;
+};
+
+TEST_F(ClusterHealthTest, EmptyClusterSnapshotIsBenign) {
+  auto cluster = MakeCluster(4);
+  const ClusterHealth health = cluster->HealthSnapshot();
+  EXPECT_EQ(health.num_shards, 4);
+  ASSERT_EQ(health.shards.size(), 4u);
+  EXPECT_EQ(health.total_nodes, 0);
+  EXPECT_EQ(health.max_shard_nodes, 0);
+  EXPECT_DOUBLE_EQ(health.mean_shard_nodes, 0.0);
+  EXPECT_DOUBLE_EQ(health.imbalance_ratio, 0.0);
+}
+
+TEST_F(ClusterHealthTest, SkewedWorkloadShowsImbalance) {
+  auto cluster = MakeCluster(4);
+  // Every node reports from shard 0's strip: maximal skew.
+  std::vector<ModelUpdate> batch;
+  for (NodeId id = 0; id < 40; ++id) {
+    batch.push_back(UpdateFor(id, {50.0 + 5.0 * id, 800.0}, 0.0));
+  }
+  cluster->ReceiveBatch(&batch);
+  ASSERT_TRUE(cluster->Tick(1.0).ok());
+
+  const ClusterHealth health = cluster->HealthSnapshot();
+  EXPECT_EQ(health.tick, 1);
+  EXPECT_EQ(health.total_nodes, 40);
+  EXPECT_EQ(health.max_shard_nodes, 40);
+  EXPECT_DOUBLE_EQ(health.mean_shard_nodes, 10.0);
+  // max/mean with one shard holding everything and 4 shards = 4.0.
+  EXPECT_DOUBLE_EQ(health.imbalance_ratio, 4.0);
+  ASSERT_EQ(health.shards.size(), 4u);
+  EXPECT_EQ(health.shards[0].nodes_owned, 40);
+  EXPECT_EQ(health.shards[1].nodes_owned, 0);
+  EXPECT_GT(health.shards[0].queue_arrivals, 0);
+}
+
+TEST_F(ClusterHealthTest, BalancedWorkloadIsNearOne) {
+  auto cluster = MakeCluster(4);
+  std::vector<ModelUpdate> batch;
+  for (NodeId id = 0; id < 40; ++id) {
+    // Node id -> shard id % 4 (strips are 400 m wide).
+    batch.push_back(
+        UpdateFor(id, {static_cast<double>(id % 4) * 400.0 + 200.0,
+                       800.0},
+                  0.0));
+  }
+  cluster->ReceiveBatch(&batch);
+  ASSERT_TRUE(cluster->Tick(1.0).ok());
+  const ClusterHealth health = cluster->HealthSnapshot();
+  EXPECT_EQ(health.total_nodes, 40);
+  EXPECT_DOUBLE_EQ(health.imbalance_ratio, 1.0);
+}
+
+TEST_F(ClusterHealthTest, JsonRoundTripsThroughFlattener) {
+  auto cluster = MakeCluster(4);
+  std::vector<ModelUpdate> batch;
+  for (NodeId id = 0; id < 40; ++id) {
+    batch.push_back(UpdateFor(id, {50.0 + 5.0 * id, 800.0}, 0.0));
+  }
+  cluster->ReceiveBatch(&batch);
+  ASSERT_TRUE(cluster->Tick(1.0).ok());
+  const ClusterHealth health = cluster->HealthSnapshot();
+
+  std::stringstream out;
+  WriteHealthJson(health, out);
+  const benchgate::FlatBench flat = benchgate::FlattenJson(out.str());
+  ASSERT_TRUE(flat.ok) << flat.error;
+  EXPECT_DOUBLE_EQ(flat.numbers.at("time"), health.time);
+  EXPECT_DOUBLE_EQ(flat.numbers.at("tick"),
+                   static_cast<double>(health.tick));
+  EXPECT_DOUBLE_EQ(flat.numbers.at("num_shards"), 4.0);
+  EXPECT_DOUBLE_EQ(flat.numbers.at("z"), health.z);
+  EXPECT_DOUBLE_EQ(flat.numbers.at("total_nodes"), 40.0);
+  EXPECT_DOUBLE_EQ(flat.numbers.at("max_shard_nodes"), 40.0);
+  EXPECT_DOUBLE_EQ(flat.numbers.at("mean_shard_nodes"), 10.0);
+  EXPECT_DOUBLE_EQ(flat.numbers.at("imbalance_ratio"), 4.0);
+  EXPECT_DOUBLE_EQ(flat.numbers.at("shards.0.shard"), 0.0);
+  EXPECT_DOUBLE_EQ(flat.numbers.at("shards.0.nodes_owned"), 40.0);
+  EXPECT_DOUBLE_EQ(flat.numbers.at("shards.3.nodes_owned"), 0.0);
+  EXPECT_TRUE(flat.numbers.count("shards.2.queue_depth"));
+  EXPECT_TRUE(flat.numbers.count("shards.2.queue_dropped"));
+}
+
+TEST_F(ClusterHealthTest, PrometheusExpositionHasClusterSeries) {
+  auto cluster = MakeCluster(2);
+  std::vector<ModelUpdate> batch;
+  for (NodeId id = 0; id < 20; ++id) {
+    batch.push_back(UpdateFor(id, {50.0 + 5.0 * id, 800.0}, 0.0));
+  }
+  cluster->ReceiveBatch(&batch);
+  ASSERT_TRUE(cluster->Tick(1.0).ok());
+
+  std::stringstream out;
+  WriteHealthPrometheus(cluster->HealthSnapshot(), /*metrics=*/nullptr, out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("# TYPE lira_cluster_imbalance_ratio gauge"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("lira_cluster_total_nodes 20"), std::string::npos);
+  EXPECT_NE(text.find("lira_cluster_shard_nodes_owned{shard=\"0\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("lira_cluster_shard_queue_depth{shard=\"1\"}"),
+            std::string::npos);
+
+  // With a registry attached, its instruments follow the cluster series.
+  telemetry::MetricRegistry metrics;
+  metrics.GetCounter("lira.shard0.queue.arrivals")->Increment(7);
+  std::stringstream with_metrics;
+  WriteHealthPrometheus(cluster->HealthSnapshot(), &metrics, with_metrics);
+  EXPECT_NE(
+      with_metrics.str().find("lira_queue_arrivals{shard=\"0\"} 7"),
+      std::string::npos)
+      << with_metrics.str();
+}
+
+}  // namespace
+}  // namespace lira

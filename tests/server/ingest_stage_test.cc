@@ -83,7 +83,7 @@ TEST(IngestStageTest, InstrumentsUseConfiguredPrefix) {
   telemetry::TelemetrySink sink(&events);
   IngestStageConfig config;
   config.queue_capacity = 4;
-  config.metric_prefix = "lira.shard.3";
+  config.metric_prefix = "lira.shard3";
   config.emit_events = false;
   config.telemetry = &sink;
   auto stage = IngestStage::Create(config);
@@ -91,9 +91,9 @@ TEST(IngestStageTest, InstrumentsUseConfiguredPrefix) {
   auto batch = Batch(0, 6, 1.0);
   stage->Receive(&batch, 1.0);
   const telemetry::MetricRegistry& metrics = sink.metrics();
-  EXPECT_EQ(metrics.FindCounter("lira.shard.3.queue.arrivals")->value(), 6);
-  EXPECT_EQ(metrics.FindCounter("lira.shard.3.queue.dropped")->value(), 2);
-  EXPECT_DOUBLE_EQ(metrics.FindGauge("lira.shard.3.queue.depth")->value(),
+  EXPECT_EQ(metrics.FindCounter("lira.shard3.queue.arrivals")->value(), 6);
+  EXPECT_EQ(metrics.FindCounter("lira.shard3.queue.dropped")->value(), 2);
+  EXPECT_DOUBLE_EQ(metrics.FindGauge("lira.shard3.queue.depth")->value(),
                    4.0);
   // emit_events = false: drops were counted but no overflow event fired.
   EXPECT_TRUE(events.Select(telemetry::EventKind::kQueueOverflow).empty());

@@ -347,13 +347,13 @@ TEST_F(ServerClusterTest, PerShardTelemetryAndSerialEvents) {
   EXPECT_EQ(metrics.FindCounter("lira.queue.dropped")->value(),
             cluster->queue_dropped());
   EXPECT_GT(cluster->queue_dropped(), 0);
-  EXPECT_EQ(metrics.FindCounter("lira.shard.0.queue.arrivals")->value() +
-                metrics.FindCounter("lira.shard.1.queue.arrivals")->value(),
+  EXPECT_EQ(metrics.FindCounter("lira.shard0.queue.arrivals")->value() +
+                metrics.FindCounter("lira.shard1.queue.arrivals")->value(),
             cluster->queue_arrivals());
   // Per-shard node gauges reflect the post-adaptation split.
   EXPECT_DOUBLE_EQ(
-      metrics.FindGauge("lira.shard.0.stats.nodes")->value() +
-          metrics.FindGauge("lira.shard.1.stats.nodes")->value(),
+      metrics.FindGauge("lira.shard0.stats.nodes")->value() +
+          metrics.FindGauge("lira.shard1.stats.nodes")->value(),
       cluster->stats().TotalNodes());
   // Overflow events come from the (serial) coordinator only.
   const auto overflows = events.Select(telemetry::EventKind::kQueueOverflow);

@@ -169,7 +169,7 @@ TEST(StatsStageTest, CellsDirtiedCounterUsesPrefix) {
   telemetry::MemoryEventSink events;
   telemetry::TelemetrySink sink(&events);
   auto config = BaseConfig(4);
-  config.metric_prefix = "lira.shard.1";
+  config.metric_prefix = "lira.shard1";
   config.telemetry = &sink;
   auto stage = StatsStage::Create(config);
   ASSERT_TRUE(stage.ok());
@@ -177,7 +177,7 @@ TEST(StatsStageTest, CellsDirtiedCounterUsesPrefix) {
   tracker.Apply(UpdateFor(0, {100.0, 100.0}, {0.0, 0.0}, 0.0));
   stage->RebuildNodes(tracker, 0.0);
   EXPECT_GT(
-      sink.metrics().FindCounter("lira.shard.1.stats.cells_dirtied")->value(),
+      sink.metrics().FindCounter("lira.shard1.stats.cells_dirtied")->value(),
       0);
 }
 

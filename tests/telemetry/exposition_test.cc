@@ -1,0 +1,99 @@
+#include "lira/telemetry/exposition.h"
+
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "lira/telemetry/metrics.h"
+
+namespace lira::telemetry {
+namespace {
+
+TEST(PrometheusSeriesForTest, ShardDimensionBecomesLabel) {
+  const PrometheusSeries s = PrometheusSeriesFor("lira.shard3.queue.depth");
+  EXPECT_EQ(s.family, "lira_queue_depth");
+  EXPECT_EQ(s.labels, "shard=\"3\"");
+  const PrometheusSeries multi =
+      PrometheusSeriesFor("lira.shard12.tracker.applied");
+  EXPECT_EQ(multi.family, "lira_tracker_applied");
+  EXPECT_EQ(multi.labels, "shard=\"12\"");
+}
+
+TEST(PrometheusSeriesForTest, CoordinatorBecomesRoleLabel) {
+  const PrometheusSeries s =
+      PrometheusSeriesFor("lira.coord.adapt.plan_build_seconds");
+  EXPECT_EQ(s.family, "lira_adapt_plan_build_seconds");
+  EXPECT_EQ(s.labels, "role=\"coord\"");
+}
+
+TEST(PrometheusSeriesForTest, PlainNamesPassThroughUnderscored) {
+  const PrometheusSeries s = PrometheusSeriesFor("lira.queue.depth");
+  EXPECT_EQ(s.family, "lira_queue_depth");
+  EXPECT_TRUE(s.labels.empty());
+  // "shard" without digits-then-dot is not the positional dimension.
+  const PrometheusSeries odd = PrometheusSeriesFor("lira.shardless.depth");
+  EXPECT_EQ(odd.family, "lira_shardless_depth");
+  EXPECT_TRUE(odd.labels.empty());
+}
+
+TEST(WritePrometheusTest, GroupsShardSeriesUnderOneFamily) {
+  MetricRegistry metrics;
+  metrics.GetCounter("lira.shard0.queue.dropped")->Increment(3);
+  metrics.GetCounter("lira.shard1.queue.dropped")->Increment(5);
+  metrics.GetGauge("lira.coord.adapt.z")->Set(0.75);
+  std::stringstream out;
+  WritePrometheus(metrics, out);
+  const std::string text = out.str();
+  // One TYPE line for the shared family, two labeled samples.
+  EXPECT_EQ(text.find("# TYPE lira_queue_dropped counter"),
+            text.rfind("# TYPE lira_queue_dropped counter"))
+      << text;
+  EXPECT_NE(text.find("lira_queue_dropped{shard=\"0\"} 3"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("lira_queue_dropped{shard=\"1\"} 5"),
+            std::string::npos);
+  EXPECT_NE(text.find("lira_adapt_z{role=\"coord\"} 0.75"),
+            std::string::npos);
+}
+
+TEST(WritePrometheusTest, HistogramRendersAsSummary) {
+  MetricRegistry metrics;
+  Histogram* h =
+      metrics.GetHistogram("lira.adapt.plan_build_seconds", 0.0, 1.0, 100);
+  for (int i = 0; i < 100; ++i) {
+    h->Add(0.25);
+  }
+  std::stringstream out;
+  WritePrometheus(metrics, out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("# TYPE lira_adapt_plan_build_seconds summary"),
+            std::string::npos);
+  EXPECT_NE(text.find("lira_adapt_plan_build_seconds{quantile=\"0.5\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("lira_adapt_plan_build_seconds_count 100"),
+            std::string::npos);
+  EXPECT_NE(text.find("lira_adapt_plan_build_seconds_sum 25"),
+            std::string::npos);
+}
+
+TEST(WriteMetricsJsonTest, FlatDottedNamesAndHistogramObjects) {
+  MetricRegistry metrics;
+  metrics.GetCounter("lira.shard0.queue.arrivals")->Increment(9);
+  metrics.GetGauge("lira.adapt.z")->Set(0.5);
+  Histogram* h = metrics.GetHistogram("lira.adapt.seconds", 0.0, 1.0, 10);
+  h->Add(0.1);
+  std::stringstream out;
+  WriteMetricsJson(metrics, out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("\"lira.shard0.queue.arrivals\":9"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("\"lira.adapt.z\":0.5"), std::string::npos);
+  EXPECT_NE(text.find("\"lira.adapt.seconds\":{\"count\":1"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace lira::telemetry

@@ -1,0 +1,146 @@
+#include "lira/telemetry/flight_recorder.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace lira::telemetry {
+namespace {
+
+FlightSample SampleForTick(int64_t tick, int32_t shard = 0) {
+  FlightSample s;
+  s.tick = tick;
+  s.time = 0.1 * static_cast<double>(tick);
+  s.shard = shard;
+  s.queue_depth = tick * 2;
+  s.z = 0.5;
+  return s;
+}
+
+TEST(FlightRecorderTest, RecordsUpToCapacity) {
+  FlightRecorder recorder(4, "test");
+  EXPECT_EQ(recorder.capacity(), 4u);
+  EXPECT_EQ(recorder.size(), 0u);
+  for (int64_t t = 0; t < 3; ++t) {
+    recorder.Record(SampleForTick(t));
+  }
+  EXPECT_EQ(recorder.size(), 3u);
+  EXPECT_EQ(recorder.total_recorded(), 3);
+  const std::vector<FlightSample> samples = recorder.Snapshot();
+  ASSERT_EQ(samples.size(), 3u);
+  EXPECT_EQ(samples.front().tick, 0);
+  EXPECT_EQ(samples.back().tick, 2);
+}
+
+TEST(FlightRecorderTest, RingWrapsOldestFirst) {
+  FlightRecorder recorder(4, "wrap");
+  for (int64_t t = 0; t < 10; ++t) {
+    recorder.Record(SampleForTick(t));
+  }
+  EXPECT_EQ(recorder.size(), 4u);
+  EXPECT_EQ(recorder.total_recorded(), 10);
+  const std::vector<FlightSample> samples = recorder.Snapshot();
+  ASSERT_EQ(samples.size(), 4u);
+  // Oldest-to-newest: the last 4 of the 10 recorded ticks.
+  for (size_t i = 0; i < samples.size(); ++i) {
+    EXPECT_EQ(samples[i].tick, 6 + static_cast<int64_t>(i));
+  }
+}
+
+TEST(FlightRecorderTest, CapacityClampsToOne) {
+  FlightRecorder recorder(0, "tiny");
+  EXPECT_EQ(recorder.capacity(), 1u);
+  recorder.Record(SampleForTick(1));
+  recorder.Record(SampleForTick(2));
+  const std::vector<FlightSample> samples = recorder.Snapshot();
+  ASSERT_EQ(samples.size(), 1u);
+  EXPECT_EQ(samples[0].tick, 2);
+}
+
+TEST(FlightRecorderTest, DumpJsonHasLabelAndSamples) {
+  FlightRecorder recorder(8, "shard0");
+  recorder.Record(SampleForTick(5, /*shard=*/2));
+  std::stringstream out;
+  recorder.DumpJson(out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("\"label\":\"shard0\""), std::string::npos) << text;
+  EXPECT_NE(text.find("\"capacity\":8"), std::string::npos) << text;
+  EXPECT_NE(text.find("\"total_recorded\":1"), std::string::npos) << text;
+  EXPECT_NE(text.find("\"tick\":5"), std::string::npos) << text;
+  EXPECT_NE(text.find("\"shard\":2"), std::string::npos) << text;
+}
+
+TEST(FlightRecorderTest, DumpAllSeesEveryLiveRecorder) {
+  FlightRecorder a(4, "alpha-ring");
+  FlightRecorder b(4, "beta-ring");
+  a.Record(SampleForTick(1));
+  b.Record(SampleForTick(2));
+  std::stringstream out;
+  FlightRecorder::DumpAll(out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("\"recorders\""), std::string::npos);
+  EXPECT_NE(text.find("alpha-ring"), std::string::npos);
+  EXPECT_NE(text.find("beta-ring"), std::string::npos);
+}
+
+TEST(FlightRecorderTest, DestructionUnregisters) {
+  {
+    FlightRecorder gone(4, "short-lived-ring");
+    gone.Record(SampleForTick(1));
+  }
+  std::stringstream out;
+  FlightRecorder::DumpAll(out);
+  EXPECT_EQ(out.str().find("short-lived-ring"), std::string::npos);
+}
+
+TEST(FlightRecorderTest, DumpAllToFile) {
+  FlightRecorder recorder(4, "file-ring");
+  recorder.Record(SampleForTick(3));
+  const std::string path = ::testing::TempDir() + "flight_dump_test.json";
+  ASSERT_TRUE(FlightRecorder::DumpAllToFile(path).ok());
+  std::ifstream in(path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  EXPECT_NE(ss.str().find("file-ring"), std::string::npos);
+  EXPECT_FALSE(
+      FlightRecorder::DumpAllToFile("/nonexistent-dir/flight.json").ok());
+  std::remove(path.c_str());
+}
+
+TEST(FlightRecorderTest, ConcurrentRecordIsSafe) {
+  // Sharded drivers record serially, but the recorder must stay safe for
+  // concurrent writers too (run under TSan in CI).
+  FlightRecorder recorder(64, "concurrent");
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 500;
+  std::vector<std::thread> threads;
+  for (int w = 0; w < kThreads; ++w) {
+    threads.emplace_back([&recorder, w] {
+      for (int i = 0; i < kPerThread; ++i) {
+        recorder.Record(SampleForTick(i, /*shard=*/w));
+      }
+    });
+  }
+  // Concurrent readers, too.
+  std::thread reader([&recorder] {
+    for (int i = 0; i < 100; ++i) {
+      (void)recorder.Snapshot();
+      std::stringstream out;
+      recorder.DumpJson(out);
+    }
+  });
+  for (std::thread& t : threads) {
+    t.join();
+  }
+  reader.join();
+  EXPECT_EQ(recorder.total_recorded(), kThreads * kPerThread);
+  EXPECT_EQ(recorder.size(), 64u);
+}
+
+}  // namespace
+}  // namespace lira::telemetry

@@ -1,0 +1,167 @@
+// Bench-regression gate: diffs two BENCH_*.json exports and fails (exit 1)
+// when any metric is worse than the baseline beyond the tolerance.
+//
+//   bench_compare CURRENT BASELINE [--tolerance 1.10]
+//                 [--metric-tolerance KEY=FACTOR]... [--report PATH]
+//
+// CURRENT is the freshly produced export, BASELINE the committed reference
+// (bench/baselines/). Exit codes: 0 = no regressions, 1 = regression(s),
+// 2 = usage/IO error. --report writes the full per-metric diff table
+// (markdown) for CI artifacts. Direction inference and the comparison
+// rules live in bench_compare_lib.h (unit-tested).
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "tools/bench_compare_lib.h"
+
+namespace {
+
+bool ReadFile(const std::string& path, std::string* out) {
+  std::ifstream in(path);
+  if (!in) {
+    return false;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  *out = buffer.str();
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace lira::benchgate;
+  std::string current_path;
+  std::string baseline_path;
+  std::string report_path;
+  CompareOptions options;
+  for (int i = 1; i < argc; ++i) {
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", argv[i]);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (!std::strcmp(argv[i], "--tolerance")) {
+      options.tolerance = std::atof(next());
+      if (options.tolerance < 1.0) {
+        std::fprintf(stderr, "--tolerance must be >= 1.0\n");
+        return 2;
+      }
+    } else if (!std::strcmp(argv[i], "--metric-tolerance")) {
+      const std::string spec = next();
+      const size_t eq = spec.rfind('=');
+      if (eq == std::string::npos || eq == 0) {
+        std::fprintf(stderr, "--metric-tolerance wants KEY=FACTOR, got %s\n",
+                     spec.c_str());
+        return 2;
+      }
+      options.metric_tolerance[spec.substr(0, eq)] =
+          std::atof(spec.c_str() + eq + 1);
+    } else if (!std::strcmp(argv[i], "--report")) {
+      report_path = next();
+    } else if (argv[i][0] == '-') {
+      std::fprintf(stderr,
+                   "usage: %s CURRENT BASELINE [--tolerance F]"
+                   " [--metric-tolerance KEY=F]... [--report PATH]\n",
+                   argv[0]);
+      return 2;
+    } else if (current_path.empty()) {
+      current_path = argv[i];
+    } else if (baseline_path.empty()) {
+      baseline_path = argv[i];
+    } else {
+      std::fprintf(stderr, "unexpected argument %s\n", argv[i]);
+      return 2;
+    }
+  }
+  if (current_path.empty() || baseline_path.empty()) {
+    std::fprintf(stderr, "usage: %s CURRENT BASELINE [options]\n", argv[0]);
+    return 2;
+  }
+
+  std::string current_text;
+  std::string baseline_text;
+  if (!ReadFile(current_path, &current_text)) {
+    std::fprintf(stderr, "cannot read %s\n", current_path.c_str());
+    return 2;
+  }
+  if (!ReadFile(baseline_path, &baseline_text)) {
+    std::fprintf(stderr, "cannot read %s\n", baseline_path.c_str());
+    return 2;
+  }
+  const FlatBench current = FlattenJson(current_text);
+  if (!current.ok) {
+    std::fprintf(stderr, "%s: %s\n", current_path.c_str(),
+                 current.error.c_str());
+    return 2;
+  }
+  const FlatBench baseline = FlattenJson(baseline_text);
+  if (!baseline.ok) {
+    std::fprintf(stderr, "%s: %s\n", baseline_path.c_str(),
+                 baseline.error.c_str());
+    return 2;
+  }
+
+  const CompareResult result = Compare(current, baseline, options);
+
+  std::string report;
+  report += "# bench_compare\n\n";
+  report += "current:  " + current_path + "\n";
+  report += "baseline: " + baseline_path + "\n";
+  {
+    char line[160];
+    std::snprintf(line, sizeof(line),
+                  "tolerance: %.3fx | regressed %lld, improved %lld, "
+                  "stable %lld, schema-drift %lld\n\n",
+                  options.tolerance,
+                  static_cast<long long>(result.regressions),
+                  static_cast<long long>(result.improvements),
+                  static_cast<long long>(result.stable),
+                  static_cast<long long>(result.missing));
+    report += line;
+  }
+  report += "| metric | baseline | current | ratio | verdict |\n";
+  report += "|---|---|---|---|---|\n";
+  for (const MetricDiff& diff : result.diffs) {
+    char line[512];
+    std::snprintf(line, sizeof(line), "| %s | %.6g | %.6g | %.3f%s | %s |\n",
+                  diff.key.c_str(), diff.baseline, diff.current, diff.ratio,
+                  diff.higher_is_better ? " (higher=better)" : "",
+                  VerdictName(diff.verdict));
+    report += line;
+  }
+
+  // Console: the summary line plus any non-stable rows.
+  std::printf("bench_compare: %s vs %s (tolerance %.3fx)\n",
+              current_path.c_str(), baseline_path.c_str(), options.tolerance);
+  for (const MetricDiff& diff : result.diffs) {
+    if (diff.verdict == Verdict::kStable) {
+      continue;
+    }
+    std::printf("  [%s] %s: %.6g -> %.6g (x%.3f)\n",
+                VerdictName(diff.verdict), diff.key.c_str(), diff.baseline,
+                diff.current, diff.ratio);
+  }
+  std::printf("regressed %lld, improved %lld, stable %lld, schema-drift "
+              "%lld\n",
+              static_cast<long long>(result.regressions),
+              static_cast<long long>(result.improvements),
+              static_cast<long long>(result.stable),
+              static_cast<long long>(result.missing));
+
+  if (!report_path.empty()) {
+    std::ofstream out(report_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", report_path.c_str());
+      return 2;
+    }
+    out << report;
+  }
+  return result.regressions > 0 ? 1 : 0;
+}
