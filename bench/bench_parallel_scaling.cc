@@ -5,11 +5,13 @@
 //
 //   bench_parallel_scaling [--nodes 4000] [--frames 3000]
 //                          [--threads-list 1,2,4,8] [--policy Lira]
+//                          [--json BENCH_x.json]
 //
 // The acceptance target is >= 2.5x speedup at 8 threads over threads = 1 on
 // an 8-way host for the default 4k-node / 3k-frame configuration. Smaller
 // --nodes/--frames settings are for smoke runs, not for speedup numbers.
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -60,6 +62,7 @@ int main(int argc, char** argv) {
   int32_t nodes = 4000;
   int32_t frames = 3000;
   std::string policy_name = "Lira";
+  std::string json_path;
   std::vector<int32_t> thread_counts = {1, 2, 4, 8};
   for (int i = 1; i < argc; ++i) {
     if (!std::strcmp(argv[i], "--nodes") && i + 1 < argc) {
@@ -70,10 +73,13 @@ int main(int argc, char** argv) {
       thread_counts = ParseThreadsList(argv[++i]);
     } else if (!std::strcmp(argv[i], "--policy") && i + 1 < argc) {
       policy_name = argv[++i];
+    } else if (!std::strcmp(argv[i], "--json") && i + 1 < argc) {
+      json_path = argv[++i];
     } else {
       std::fprintf(stderr,
                    "usage: %s [--nodes N] [--frames F]"
-                   " [--threads-list 1,2,4,8] [--policy NAME]\n",
+                   " [--threads-list 1,2,4,8] [--policy NAME]"
+                   " [--json PATH]\n",
                    argv[0]);
       return 2;
     }
@@ -96,10 +102,17 @@ int main(int argc, char** argv) {
   double serial_seconds = 0.0;
   SimulationResult baseline;
   bool all_identical = true;
+  bench::BenchExport export_out("bench_parallel_scaling");
+  export_out.SetConfig("nodes", nodes);
+  export_out.SetConfig("frames", frames);
+  export_out.SetConfig("queries", world.queries.size());
   for (size_t i = 0; i < thread_counts.size(); ++i) {
     SimulationConfig config = DefaultSimulationConfig();
     config.z = 0.5;
     config.threads = thread_counts[i];
+    // Short smoke runs (e.g. the 1M-node tier at a few dozen frames) would
+    // otherwise fail the warmup_frames < frames precondition.
+    config.warmup_frames = std::min(config.warmup_frames, frames / 2);
     const auto start = std::chrono::steady_clock::now();
     SimulationResult result =
         bench::MustRun(world, **policy, config.z, config);
@@ -119,6 +132,18 @@ int main(int argc, char** argv) {
                     TablePrinter::Num(seconds, 4),
                     TablePrinter::Num(serial_seconds / seconds, 3),
                     identical ? "yes" : "NO"});
+    const std::string prefix =
+        "threads" + std::to_string(thread_counts[i]) + ".";
+    export_out.SetMetric(prefix + "wall_seconds", seconds);
+    export_out.SetMetric(prefix + "frames_per_second",
+                         seconds > 0.0 ? frames / seconds : 0.0);
+    export_out.SetMetric(prefix + "identical", identical ? 1.0 : 0.0);
+  }
+  export_out.SetMetric("updates_applied",
+                       static_cast<double>(baseline.updates_applied));
+  export_out.SetMetric("peak_rss_bytes", bench::PeakRssBytes());
+  if (!json_path.empty() && !export_out.WriteJson(json_path)) {
+    return 1;
   }
   if (!all_identical) {
     std::fprintf(stderr,

@@ -5,6 +5,8 @@
 #ifndef LIRA_BENCH_BENCH_UTIL_H_
 #define LIRA_BENCH_BENCH_UTIL_H_
 
+#include <sys/resource.h>
+
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -41,6 +43,17 @@ inline std::string GitDescribe() {
     ::pclose(pipe);
   }
   return out;
+}
+
+/// Peak resident set size of this process in bytes (ru_maxrss is KiB on
+/// Linux), or 0 when unavailable. Process-wide: in a bench that builds
+/// several evaluators, the peak covers all of them.
+inline double PeakRssBytes() {
+  struct ::rusage usage {};
+  if (::getrusage(RUSAGE_SELF, &usage) != 0) {
+    return 0.0;
+  }
+  return static_cast<double>(usage.ru_maxrss) * 1024.0;
 }
 
 /// The shared BENCH_*.json schema consumed by tools/bench_compare:

@@ -1,0 +1,144 @@
+// Monotonic per-frame scratch arena (ISSUE 8).
+//
+// The hot loops need short-lived scratch buffers every tick (staged frame
+// columns, walk flags, flip distances). Allocating them from the general
+// heap each frame churns the allocator and scatters the buffers across the
+// address space; FrameArena instead bump-allocates from one contiguous
+// block and recycles the whole block with a single Reset() per frame, so
+// steady-state frames perform zero heap allocations and scratch stays warm
+// in cache.
+//
+// Lifetime rules (DESIGN.md §11): every span handed out by AllocSpan is
+// invalidated by Reset(); spans must never outlive the frame that allocated
+// them. The arena is single-owner and NOT thread-safe -- parallel stages
+// keep one arena per worker (ParallelFor chunk c always runs on worker c,
+// so a per-chunk arena is never touched by two threads).
+
+#ifndef LIRA_COMMON_ARENA_H_
+#define LIRA_COMMON_ARENA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <type_traits>
+#include <vector>
+
+namespace lira {
+
+/// Monotonic bump allocator with per-frame reuse. Overflowing the current
+/// block chains a new one (geometric growth); Reset() coalesces the chain
+/// into a single block sized to the high watermark, so an arena reaches a
+/// steady state where every frame is served from one allocation-free block.
+class FrameArena {
+ public:
+  /// `initial_bytes` sizes the first block; 0 defers allocation to first use.
+  explicit FrameArena(size_t initial_bytes = 0) {
+    if (initial_bytes > 0) {
+      blocks_.push_back(Block{std::make_unique<char[]>(initial_bytes), 0,
+                              initial_bytes});
+    }
+  }
+
+  FrameArena(FrameArena&&) noexcept = default;
+  FrameArena& operator=(FrameArena&&) noexcept = default;
+
+  /// A contiguous uninitialized span of `count` T, aligned to alignof(T).
+  /// T must be trivially destructible (the arena never runs destructors).
+  template <typename T>
+  T* AllocSpan(size_t count) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "FrameArena never runs destructors");
+    return static_cast<T*>(AllocBytes(count * sizeof(T), alignof(T)));
+  }
+
+  /// Recycles all allocations. Every outstanding span is invalidated. If
+  /// the frame overflowed into multiple blocks, they are coalesced into one
+  /// block covering the high watermark so the next frame stays allocation-
+  /// free.
+  void Reset() {
+    if (blocks_.size() > 1 || (!blocks_.empty() &&
+                               blocks_.back().capacity < high_watermark_)) {
+      blocks_.clear();
+      blocks_.push_back(Block{std::make_unique<char[]>(high_watermark_), 0,
+                              high_watermark_});
+    } else if (!blocks_.empty()) {
+      blocks_.back().used = 0;
+    }
+    frame_bytes_ = 0;
+  }
+
+  /// Bytes handed out since the last Reset (without alignment padding).
+  size_t frame_bytes() const { return frame_bytes_; }
+  /// Largest frame_bytes() (plus padding) ever reached; the steady-state
+  /// block size after the next Reset.
+  size_t high_watermark() const { return high_watermark_; }
+  /// Total bytes currently reserved from the heap.
+  size_t capacity_bytes() const {
+    size_t total = 0;
+    for (const Block& b : blocks_) {
+      total += b.capacity;
+    }
+    return total;
+  }
+
+ private:
+  struct Block {
+    std::unique_ptr<char[]> data;
+    size_t used = 0;
+    size_t capacity = 0;
+  };
+
+  void* AllocBytes(size_t bytes, size_t align) {
+    if (bytes == 0) {
+      bytes = 1;  // distinct non-null spans keep restrict reasoning simple
+    }
+    if (blocks_.empty() || !Fits(blocks_.back(), bytes, align)) {
+      Grow(bytes + align);
+    }
+    Block& b = blocks_.back();
+    const size_t aligned = AlignUp(b.used, align);
+    void* out = b.data.get() + aligned;
+    b.used = aligned + bytes;
+    frame_bytes_ += bytes;
+    // Track the watermark in padded terms so the coalesced block always
+    // fits a replay of the same allocation sequence.
+    size_t padded = 0;
+    for (const Block& blk : blocks_) {
+      padded += blk.used;
+    }
+    if (padded > high_watermark_) {
+      high_watermark_ = padded;
+    }
+    return out;
+  }
+
+  static size_t AlignUp(size_t v, size_t align) {
+    return (v + align - 1) & ~(align - 1);
+  }
+
+  static bool Fits(const Block& b, size_t bytes, size_t align) {
+    const size_t aligned = AlignUp(b.used, align);
+    return aligned <= b.capacity && bytes <= b.capacity - aligned;
+  }
+
+  void Grow(size_t min_bytes) {
+    size_t next = blocks_.empty() ? kMinBlockBytes : blocks_.back().capacity * 2;
+    if (next < min_bytes) {
+      next = min_bytes;
+    }
+    if (next < kMinBlockBytes) {
+      next = kMinBlockBytes;
+    }
+    blocks_.push_back(Block{std::make_unique<char[]>(next), 0, next});
+  }
+
+  static constexpr size_t kMinBlockBytes = 4096;
+
+  std::vector<Block> blocks_;
+  size_t frame_bytes_ = 0;
+  size_t high_watermark_ = 0;
+};
+
+}  // namespace lira
+
+#endif  // LIRA_COMMON_ARENA_H_

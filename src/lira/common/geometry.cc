@@ -8,15 +8,11 @@ namespace lira {
 
 Point Rect::Clamp(Point p) const {
   // Nudge points on (or beyond) the half-open max edge just inside, so the
-  // result always satisfies Contains(). The epsilon is relative to the
-  // rectangle size to stay robust for both meter- and kilometer-scale rects.
-  const double eps_x =
-      std::max(width(), 1.0) * std::numeric_limits<double>::epsilon() * 4;
-  const double eps_y =
-      std::max(height(), 1.0) * std::numeric_limits<double>::epsilon() * 4;
+  // result always satisfies Contains(). clamp_hi_x/y hold the nudged bounds
+  // (shared with the bulk ClampPoints kernel, which must match bit-for-bit).
   Point out;
-  out.x = std::min(std::max(p.x, min_x), max_x - eps_x);
-  out.y = std::min(std::max(p.y, min_y), max_y - eps_y);
+  out.x = std::min(std::max(p.x, min_x), clamp_hi_x());
+  out.y = std::min(std::max(p.y, min_y), clamp_hi_y());
   return out;
 }
 

@@ -10,6 +10,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <ostream>
 #include <string>
 
@@ -81,6 +82,19 @@ struct Rect {
   /// Clamps a point into the rectangle (points exactly on the max edge are
   /// nudged just inside so that Contains() holds).
   Point Clamp(Point p) const;
+
+  /// The effective upper bounds Clamp() clamps to: the half-open max edge
+  /// minus a nudge relative to the rectangle size (robust for meter- and
+  /// kilometer-scale rects alike). Exposed so bulk kernels (ClampPoints)
+  /// can precompute the identical bounds and reproduce Clamp bit-for-bit.
+  double clamp_hi_x() const {
+    return max_x -
+           std::max(width(), 1.0) * std::numeric_limits<double>::epsilon() * 4;
+  }
+  double clamp_hi_y() const {
+    return max_y -
+           std::max(height(), 1.0) * std::numeric_limits<double>::epsilon() * 4;
+  }
 
   friend bool operator==(const Rect& a, const Rect& b) {
     return a.min_x == b.min_x && a.min_y == b.min_y && a.max_x == b.max_x &&

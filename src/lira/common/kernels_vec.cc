@@ -1,0 +1,4 @@
+// Auto-vectorized kernel build (default codegen; see kernels.h).
+
+#define LIRA_KERNEL_NS vec
+#include "lira/common/kernels_impl.inc"

@@ -116,6 +116,17 @@ double SheddingPlan::DeltaAt(Point p) const {
   return regions_[RegionIndexAt(p)].delta;
 }
 
+void SheddingPlan::FillDeltas(int64_t n, const double* x, const double* y,
+                              double* out) const {
+  if (regions_.size() == 1) {
+    std::fill(out, out + n, regions_.front().delta);
+    return;
+  }
+  for (int64_t i = 0; i < n; ++i) {
+    out[i] = regions_[RegionIndexAt(Point{x[i], y[i]})].delta;
+  }
+}
+
 double SheddingPlan::Inaccuracy() const {
   double total = 0.0;
   for (const SheddingRegion& r : regions_) {

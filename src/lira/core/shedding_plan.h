@@ -50,6 +50,11 @@ class SheddingPlan {
   int32_t RegionIndexAt(Point p) const;
   /// Throttler of the region containing `p`.
   double DeltaAt(Point p) const;
+  /// Bulk DeltaAt over position columns: out[i] = DeltaAt({x[i], y[i]}).
+  /// Uniform single-region plans become one flat fill; multi-region plans
+  /// run the locator lookup per lane.
+  void FillDeltas(int64_t n, const double* x, const double* y,
+                  double* out) const;
 
   /// Objective value InAcc = sum m_i * Delta_i (paper Section 3.1).
   double Inaccuracy() const;

@@ -1,6 +1,7 @@
 #include "lira/cq/incremental_evaluator.h"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 #include <utility>
 
@@ -11,10 +12,6 @@ namespace {
 
 constexpr int64_t kNodeGrain = 256;
 
-double L1(Point a, Point b) {
-  return std::abs(a.x - b.x) + std::abs(a.y - b.y);
-}
-
 }  // namespace
 
 IncrementalEvaluator::IncrementalEvaluator(const Rect& world,
@@ -24,8 +21,11 @@ IncrementalEvaluator::IncrementalEvaluator(const Rect& world,
       num_nodes_(num_nodes),
       mode_(mode),
       query_index_(std::move(query_index)),
+      clamp_spec_{world.min_x, world.min_y, world.clamp_hi_x(),
+                  world.clamp_hi_y()},
       node_distance_(num_nodes, 0.0) {
-  state_.assign(num_nodes, {NodeState{}, NodeState{}});
+  cols_[kTruth].Resize(num_nodes);
+  cols_[kBelieved].Resize(num_nodes);
 }
 
 StatusOr<IncrementalEvaluator> IncrementalEvaluator::Create(
@@ -63,30 +63,35 @@ StatusOr<IncrementalEvaluator> IncrementalEvaluator::Create(
 }
 
 QueryId IncrementalEvaluator::AddQuery(const Rect& range) {
+  // MemberEvent packs the query id into 30 bits of its tag.
+  LIRA_CHECK(queries_.size() < (1u << 29));
   const auto id = static_cast<QueryId>(queries_.size());
   queries_.push_back(range);
   active_.push_back(1);
   sym_diff_.push_back(0);
-  members_[kTruth].emplace_back();
-  members_[kBelieved].emplace_back();
+  truth_size_.push_back(0);
+  believed_members_.emplace_back();
   if (mode_ == EvalMode::kFullRescan) {
     return id;
   }
   query_index_.Insert(id, range);
-  // Seed the member sets from the stored positions (ascending ids, so the
-  // vectors come out sorted) and count the symmetric difference directly.
-  std::vector<NodeId>& truth = members_[kTruth][id];
-  std::vector<NodeId>& believed = members_[kBelieved][id];
+  // Seed the member state from the stored positions (ascending ids, so the
+  // believed vector comes out sorted) and count the symmetric difference
+  // directly.
+  std::vector<NodeId>& believed = believed_members_[id];
+  const NodeColumns& tc = cols_[kTruth];
+  const NodeColumns& bc = cols_[kBelieved];
+  int32_t truth_count = 0;
   int32_t sym = 0;
   for (NodeId node = 0; node < num_nodes_; ++node) {
-    const NodeState& truth_state = state_[node][kTruth];
-    const NodeState& believed_state = state_[node][kBelieved];
     const bool in_truth =
-        truth_state.present != 0 && range.Contains(truth_state.pos);
+        tc.present[node] != 0 &&
+        range.Contains(Point{tc.pos_x[node], tc.pos_y[node]});
     const bool in_believed =
-        believed_state.present != 0 && range.Contains(believed_state.pos);
+        bc.present[node] != 0 &&
+        range.Contains(Point{bc.pos_x[node], bc.pos_y[node]});
     if (in_truth) {
-      truth.push_back(node);
+      ++truth_count;
     }
     if (in_believed) {
       believed.push_back(node);
@@ -95,11 +100,17 @@ QueryId IncrementalEvaluator::AddQuery(const Rect& range) {
       ++sym;
     }
   }
+  truth_size_[id] = truth_count;
   sym_diff_[id] = sym;
-  // A new boundary can cut into existing clearance balls; force fresh walks.
-  for (std::array<NodeState, 2>& node_state : state_) {
-    node_state[kTruth].clearance = 0.0;
-    node_state[kBelieved].clearance = 0.0;
+  // A new boundary can cut into existing clearance balls; force fresh
+  // walks. (The cached cells stay valid: they certify the cell assignment,
+  // which no query can change.) Before the first sample every clearance is
+  // still zero, so Create's bulk registration skips the two column fills.
+  if (sample_seen_) {
+    std::fill(cols_[kTruth].clearance.begin(), cols_[kTruth].clearance.end(),
+              0.0);
+    std::fill(cols_[kBelieved].clearance.begin(),
+              cols_[kBelieved].clearance.end(), 0.0);
   }
   return id;
 }
@@ -115,8 +126,8 @@ void IncrementalEvaluator::RemoveQuery(QueryId id) {
   }
   // Removal only loosens clearance constraints, so stale (tighter)
   // clearances stay sound and need no reset.
-  members_[kTruth][id].clear();
-  members_[kBelieved][id].clear();
+  truth_size_[id] = 0;
+  believed_members_[id].clear();
   sym_diff_[id] = 0;
 }
 
@@ -129,6 +140,8 @@ namespace {
 /// gap must close, and the gaps are disjoint displacement components, so
 /// L1 >= gx + gy is needed. A gap of exactly 0 on a max edge (p.x == max_x,
 /// outside by half-openness) yields 0 and disables skipping -- conservative.
+/// The RectWalkDistances kernel computes this identical arithmetic
+/// branchlessly for the same-cell walk.
 double FlipDistance(const Rect& range, Point p, bool inside) {
   if (inside) {
     return std::min(std::min(p.x - range.min_x, range.max_x - p.x),
@@ -151,14 +164,34 @@ double FlipDistance(const Rect& range, Point p, bool inside) {
 
 }  // namespace
 
+namespace {
+
+// Namespace scope (not function-local statics): the hot path must not pay
+// a thread-safe-initialization guard per call.
+const QueryIndex::CellPartials kNoPartial;
+const std::vector<QueryId> kNoFull;
+
+}  // namespace
+
 double IncrementalEvaluator::WalkCandidates(Family family, NodeId id,
                                             bool old_present, Point old_pos,
                                             bool new_present, Point new_pos,
+                                            int32_t new_cell,
                                             WorkerScratch* ws) {
-  static const std::vector<QueryIndex::PartialEntry> kNoPartial;
-  static const std::vector<QueryId> kNoFull;
-  const int32_t co = old_present ? query_index_.CellIndexOf(old_pos) : -1;
-  const int32_t cn = new_present ? query_index_.CellIndexOf(new_pos) : -1;
+  NodeColumns& cols = cols_[family];
+  // The cached cell (>= 0 only while the clearance ball provably kept the
+  // floor-arithmetic cell assignment) saves recomputing CellIndexOf for the
+  // old position; when it was invalidated -- the ball leaned on the index
+  // margin and could cross the cell boundary -- fall back to the floor
+  // arithmetic, exactly as if nothing were cached.
+  int32_t co = -1;
+  if (old_present) {
+    co = cols.cell[id];
+    if (co < 0) {
+      co = query_index_.CellIndexOf(old_pos);
+    }
+  }
+  const int32_t cn = new_cell;
   // The new position's clearance is folded into the same pass that walks
   // the candidate lists. Candidate completeness within the ball is
   // certified two ways, and the looser one wins: staying inside the cell
@@ -167,33 +200,72 @@ double IncrementalEvaluator::WalkCandidates(Family family, NodeId id,
   // margin -- every query within L1 distance margin() of the cell is
   // already in its lists, so a ball of that radius may leave the cell.
   double clearance = 0.0;
+  double cell_bound = 0.0;
   if (cn >= 0) {
     const Rect cr = query_index_.CellRectOf(cn);
-    clearance = std::max(
+    cell_bound =
         std::min(std::min(new_pos.x - cr.min_x, cr.max_x - new_pos.x),
                  std::min(new_pos.y - cr.min_y, cr.max_y - new_pos.y)) -
-            query_index_.fp_slack(),
-        query_index_.margin());
+        query_index_.fp_slack();
+    clearance = std::max(cell_bound, query_index_.margin());
   }
   if (co == cn) {
     // Same cell: queries fully covering it stay members; only partials can
-    // flip.
-    for (const QueryIndex::PartialEntry& e : query_index_.Partial(co)) {
-      ++ws->touched;
-      const bool in_old = e.range.Contains(old_pos);
-      const bool in_new = e.range.Contains(new_pos);
-      if (in_old != in_new) {
-        ws->events.push_back(
-            MemberEvent{e.id, id, static_cast<uint8_t>(family), in_new});
+    // flip. Stream the cell's rect columns through the kernel (into the
+    // per-chunk walk columns), then emit events and take the clearance min
+    // in list order -- identical evaluation order to the scalar loop. The
+    // kernel's sign encoding is exact: fabs recovers FlipDistance's bits,
+    // signbit the containment (kernels.h).
+    const QueryIndex::CellPartials& pl = query_index_.Partial(co);
+    const auto n = static_cast<int64_t>(pl.size());
+    if (n > 0) {
+      double* fo = ws->walk_old_side;
+      double* fn = ws->walk_new_flip;
+      kernels::RectWalkDistances(n, pl.min_x.data(), pl.min_y.data(),
+                                 pl.max_x.data(), pl.max_y.data(), old_pos.x,
+                                 old_pos.y, new_pos.x, new_pos.y, fo, fn);
+      ws->touched += n;
+      // Two min accumulators break the loop-carried min dependency chain
+      // (the loop's only serial constraint). A min over non-negative,
+      // NaN-free values selects the smallest element whatever the grouping
+      // -- fabs never yields -0.0 -- so the combined result is bitwise
+      // identical to the single-chain reduction.
+      double mn0 = clearance;
+      double mn1 = std::numeric_limits<double>::infinity();
+      int64_t i = 0;
+      for (; i + 1 < n; i += 2) {
+        const bool in_new0 = !std::signbit(fn[i]);
+        if (!std::signbit(fo[i]) != in_new0) {
+          ws->events.push_back(MakeEvent(pl.id[i], id, family, in_new0));
+        }
+        const bool in_new1 = !std::signbit(fn[i + 1]);
+        if (!std::signbit(fo[i + 1]) != in_new1) {
+          ws->events.push_back(MakeEvent(pl.id[i + 1], id, family, in_new1));
+        }
+        mn0 = std::min(mn0, std::fabs(fn[i]));
+        mn1 = std::min(mn1, std::fabs(fn[i + 1]));
       }
-      clearance = std::min(clearance, FlipDistance(e.range, new_pos, in_new));
+      if (i < n) {
+        const bool in_new = !std::signbit(fn[i]);
+        if (!std::signbit(fo[i]) != in_new) {
+          ws->events.push_back(MakeEvent(pl.id[i], id, family, in_new));
+        }
+        mn0 = std::min(mn0, std::fabs(fn[i]));
+      }
+      clearance = std::min(mn0, mn1);
     }
-    return std::max(clearance, 0.0);
+    const double out = std::max(clearance, 0.0);
+    cols.cell[id] = out <= cell_bound ? cn : -1;
+    return out;
   }
-  const auto& partial_old = co >= 0 ? query_index_.Partial(co) : kNoPartial;
-  const auto& full_old = co >= 0 ? query_index_.Full(co) : kNoFull;
-  const auto& partial_new = cn >= 0 ? query_index_.Partial(cn) : kNoPartial;
-  const auto& full_new = cn >= 0 ? query_index_.Full(cn) : kNoFull;
+  const QueryIndex::CellPartials& partial_old =
+      co >= 0 ? query_index_.Partial(co) : kNoPartial;
+  const std::vector<QueryId>& full_old =
+      co >= 0 ? query_index_.Full(co) : kNoFull;
+  const QueryIndex::CellPartials& partial_new =
+      cn >= 0 ? query_index_.Partial(cn) : kNoPartial;
+  const std::vector<QueryId>& full_new =
+      cn >= 0 ? query_index_.Full(cn) : kNoFull;
   // Four-way sorted merge over the union of candidate ids. A query absent
   // from a cell's lists cannot contain any position assigned to that cell
   // (QueryIndex coverage guarantee), so membership on that side is false.
@@ -204,13 +276,13 @@ double IncrementalEvaluator::WalkCandidates(Family family, NodeId id,
   while (true) {
     QueryId q = std::numeric_limits<QueryId>::max();
     if (ipo < partial_old.size()) {
-      q = std::min(q, partial_old[ipo].id);
+      q = std::min(q, partial_old.id[ipo]);
     }
     if (ifo < full_old.size()) {
       q = std::min(q, full_old[ifo]);
     }
     if (ipn < partial_new.size()) {
-      q = std::min(q, partial_new[ipn].id);
+      q = std::min(q, partial_new.id[ipn]);
     }
     if (ifn < full_new.size()) {
       q = std::min(q, full_new[ifn]);
@@ -222,81 +294,165 @@ double IncrementalEvaluator::WalkCandidates(Family family, NodeId id,
     if (covers_old) {
       ++ifo;
     }
-    const Rect* range_old = nullptr;
-    if (ipo < partial_old.size() && partial_old[ipo].id == q) {
-      range_old = &partial_old[ipo].range;
+    bool has_range_old = false;
+    size_t range_old = 0;
+    if (ipo < partial_old.size() && partial_old.id[ipo] == q) {
+      has_range_old = true;
+      range_old = ipo;
       ++ipo;
     }
     const bool covers_new = ifn < full_new.size() && full_new[ifn] == q;
     if (covers_new) {
       ++ifn;
     }
-    const Rect* range_new = nullptr;
-    if (ipn < partial_new.size() && partial_new[ipn].id == q) {
-      range_new = &partial_new[ipn].range;
+    bool has_range_new = false;
+    size_t range_new = 0;
+    if (ipn < partial_new.size() && partial_new.id[ipn] == q) {
+      has_range_new = true;
+      range_new = ipn;
       ++ipn;
     }
     ++ws->touched;
     bool in_partial_new = false;
-    if (range_new != nullptr) {
-      in_partial_new = range_new->Contains(new_pos);
+    if (has_range_new) {
+      const Rect r = partial_new.RectAt(range_new);
+      in_partial_new = r.Contains(new_pos);
       // Only the new cell's partial entries bound the clearance: its full
       // entries cannot flip while the node stays in the cell, and the
       // cell-boundary term already guards the cell assignment.
       clearance =
-          std::min(clearance, FlipDistance(*range_new, new_pos,
-                                           in_partial_new));
+          std::min(clearance, FlipDistance(r, new_pos, in_partial_new));
     }
     const bool in_old =
         old_present &&
-        (covers_old || (range_old != nullptr && range_old->Contains(old_pos)));
+        (covers_old || (has_range_old &&
+                        partial_old.RectAt(range_old).Contains(old_pos)));
     const bool in_new = new_present && (covers_new || in_partial_new);
     if (in_old != in_new) {
-      ws->events.push_back(
-          MemberEvent{q, id, static_cast<uint8_t>(family), in_new});
+      ws->events.push_back(MakeEvent(q, id, family, in_new));
     }
   }
-  return cn >= 0 ? std::max(clearance, 0.0) : 0.0;
+  const double out = cn >= 0 ? std::max(clearance, 0.0) : 0.0;
+  cols.cell[id] = (cn >= 0 && out <= cell_bound) ? cn : -1;
+  return out;
 }
 
-void IncrementalEvaluator::ProcessFamily(Family family, NodeId id,
-                                         bool new_present, Point new_pos,
-                                         WorkerScratch* ws) {
-  NodeState& state = state_[id][family];
-  const bool old_present = state.present != 0;
-  const Point old_pos = state.pos;
-  if (!old_present && !new_present) {
-    return;
-  }
-  if (old_present && new_present && state.clearance > 0.0 &&
-      L1(new_pos, state.ref) < state.clearance) {
-    // Still inside the ball certified by the last walk: same cell, no
-    // membership flips possible.
-    state.pos = new_pos;
-    return;
-  }
-  state.clearance = WalkCandidates(family, id, old_present, old_pos,
-                                   new_present, new_pos, ws);
-  state.present = new_present ? 1 : 0;
-  state.pos = new_pos;
-  state.ref = new_pos;
+void IncrementalEvaluator::WalkFamily(Family family, NodeId id,
+                                      bool new_present, Point new_pos,
+                                      int32_t new_cell, WorkerScratch* ws) {
+  NodeColumns& cols = cols_[family];
+  const bool old_present = cols.present[id] != 0;
+  const Point old_pos{cols.pos_x[id], cols.pos_y[id]};
+  cols.clearance[id] = WalkCandidates(family, id, old_present, old_pos,
+                                      new_present, new_pos, new_cell, ws);
+  cols.present[id] = new_present ? 1 : 0;
+  cols.pos_x[id] = new_pos.x;
+  cols.pos_y[id] = new_pos.y;
+  cols.ref_x[id] = new_pos.x;
+  cols.ref_y[id] = new_pos.y;
 }
 
-void IncrementalEvaluator::ProcessNode(
-    NodeId id, const std::vector<Point>& truth_positions,
-    const std::vector<Point>& believed_positions,
-    const std::vector<char>& believed_known, WorkerScratch* ws) {
-  const Point new_truth = world_.Clamp(truth_positions[id]);
-  const bool known = believed_known[id] != 0;
-  Point new_believed{};
-  if (known) {
-    new_believed = world_.Clamp(believed_positions[id]);
-    // Same expression, argument order, and clamping as CompareQuery's
-    // Distance(believed.PositionOf(id), truth.PositionOf(id)).
-    node_distance_[id] = Distance(new_believed, new_truth);
+void IncrementalEvaluator::ProcessChunk(
+    int64_t begin, int64_t end, const double* truth_x, const double* truth_y,
+    const double* believed_x, const double* believed_y,
+    const uint8_t* believed_known, WorkerScratch* ws) {
+  const int64_t n = end - begin;
+  NodeColumns& tc = cols_[kTruth];
+  NodeColumns& bc = cols_[kBelieved];
+  // Kernel pre-passes over the whole chunk: clamp the incoming positions
+  // into the world (bit-identical to Rect::Clamp) and test every node
+  // against its clearance ball. Unknown believed lanes get clamped too --
+  // harmless, their skip lanes come out 0 and the values are never read.
+  FrameArena& arena = ws->chunk_arena;
+  arena.Reset();
+  double* ctx = arena.AllocSpan<double>(n);
+  double* cty = arena.AllocSpan<double>(n);
+  double* cbx = arena.AllocSpan<double>(n);
+  double* cby = arena.AllocSpan<double>(n);
+  uint8_t* skip_t = arena.AllocSpan<uint8_t>(n);
+  uint8_t* skip_b = arena.AllocSpan<uint8_t>(n);
+  // Candidate-walk distance columns, sized by the index's partial-list high
+  // watermark so every walk in the chunk reuses them (queries cannot be
+  // added mid-sample).
+  const auto walk_n = static_cast<int64_t>(query_index_.max_partial_size());
+  ws->walk_old_side = arena.AllocSpan<double>(walk_n);
+  ws->walk_new_flip = arena.AllocSpan<double>(walk_n);
+  // Deferred-walk keys: (new cell + 1, node, family) packed into one word.
+  // Collecting the walks first and running them as a batch keeps the
+  // bookkeeping loop's working set small and measures ~10% faster than
+  // walking inline. Walk order is immaterial to the output: a walk reads
+  // only the immutable query index and its own node's column slots, and
+  // ApplyEvents re-sorts every (query, family) bucket by node, so the
+  // applied event stream is independent of walk schedule and thread count.
+  // (Sorting the batch by cell to reuse hot candidate lists was tried and
+  // lost: scattering the node-column accesses costs more than the list
+  // locality buys at these list sizes.)
+  uint64_t* walk_keys = arena.AllocSpan<uint64_t>(2 * n);
+  int64_t num_walks = 0;
+  kernels::ClampPoints(n, truth_x + begin, truth_y + begin, clamp_spec_, ctx,
+                       cty);
+  kernels::ClampPoints(n, believed_x + begin, believed_y + begin, clamp_spec_,
+                       cbx, cby);
+  kernels::L1SkipMask(n, ctx, cty, tc.ref_x.data() + begin,
+                      tc.ref_y.data() + begin, tc.clearance.data() + begin,
+                      tc.present.data() + begin, /*new_present=*/nullptr,
+                      skip_t);
+  kernels::L1SkipMask(n, cbx, cby, bc.ref_x.data() + begin,
+                      bc.ref_y.data() + begin, bc.clearance.data() + begin,
+                      bc.present.data() + begin, believed_known + begin,
+                      skip_b);
+  // Scalar driver: per-node bookkeeping inline, walks deferred and keyed
+  // by destination cell.
+  for (int64_t i = 0; i < n; ++i) {
+    const auto id = static_cast<NodeId>(begin + i);
+    const Point new_truth{ctx[i], cty[i]};
+    const bool known = believed_known[id] != 0;
+    Point new_believed{};
+    if (known) {
+      new_believed = Point{cbx[i], cby[i]};
+      // Same expression, argument order, and clamping as CompareQuery's
+      // Distance(believed.PositionOf(id), truth.PositionOf(id)).
+      node_distance_[id] = Distance(new_believed, new_truth);
+    }
+    if (skip_t[i] != 0) {
+      // Still inside the ball certified by the last walk: same candidate
+      // lists, no membership flips possible.
+      tc.pos_x[id] = new_truth.x;
+      tc.pos_y[id] = new_truth.y;
+    } else {
+      const int32_t cell = query_index_.CellIndexOf(new_truth);
+      walk_keys[num_walks++] =
+          (static_cast<uint64_t>(cell + 1) << 33) |
+          (static_cast<uint64_t>(static_cast<uint32_t>(id)) << 1) |
+          static_cast<uint64_t>(kTruth);
+    }
+    if (skip_b[i] != 0) {
+      bc.pos_x[id] = new_believed.x;
+      bc.pos_y[id] = new_believed.y;
+    } else if (bc.present[id] != 0 || known) {
+      const int32_t cell = known ? query_index_.CellIndexOf(new_believed) : -1;
+      walk_keys[num_walks++] =
+          (static_cast<uint64_t>(cell + 1) << 33) |
+          (static_cast<uint64_t>(static_cast<uint32_t>(id)) << 1) |
+          static_cast<uint64_t>(kBelieved);
+    }
   }
-  ProcessFamily(kTruth, id, /*new_present=*/true, new_truth, ws);
-  ProcessFamily(kBelieved, id, known, new_believed, ws);
+  for (int64_t w = 0; w < num_walks; ++w) {
+    const uint64_t key = walk_keys[w];
+    const auto family = static_cast<Family>(key & 1);
+    const auto id = static_cast<NodeId>((key >> 1) & 0xFFFFFFFFu);
+    const auto cell = static_cast<int32_t>(key >> 33) - 1;
+    const int64_t i = id - begin;
+    if (family == kTruth) {
+      WalkFamily(kTruth, id, /*new_present=*/true, Point{ctx[i], cty[i]},
+                 cell, ws);
+    } else {
+      const bool known = believed_known[id] != 0;
+      const Point new_believed =
+          known ? Point{cbx[i], cby[i]} : Point{};
+      WalkFamily(kBelieved, id, known, new_believed, cell, ws);
+    }
+  }
 }
 
 void IncrementalEvaluator::ApplyEvents(
@@ -317,11 +473,12 @@ void IncrementalEvaluator::ApplyEvents(
   // the sym_diff update below maintains its invariant exactly at every step
   // -- so regrouping preserves bitwise output; the sort must merely be
   // deterministic, which counting sort over deterministic inputs is.
+  // The (query, family) key is simply tag >> 1.
   const size_t num_keys = queries_.size() * 2;
   event_starts_.assign(num_keys + 1, 0);
   for (const WorkerScratch& ws : scratch) {
     for (const MemberEvent& ev : ws.events) {
-      ++event_starts_[static_cast<size_t>(ev.query) * 2 + ev.family + 1];
+      ++event_starts_[(ev.tag >> 1) + 1];
     }
   }
   for (size_t k = 0; k < num_keys; ++k) {
@@ -332,10 +489,25 @@ void IncrementalEvaluator::ApplyEvents(
   // the END of bucket `key` (the classic in-place counting-sort shift).
   for (const WorkerScratch& ws : scratch) {
     for (const MemberEvent& ev : ws.events) {
-      const size_t key = static_cast<size_t>(ev.query) * 2 + ev.family;
-      sorted_events_[event_starts_[key]++] = ev;
+      sorted_events_[event_starts_[ev.tag >> 1]++] = ev;
     }
   }
+  // The sym_diff update needs in_other, the other family's membership of
+  // the event's node at application time. It is answered geometrically: at
+  // this point both families' columns hold the sample's final clamped
+  // positions, and `present && Contains(pos)` equals list membership at all
+  // times (walked nodes were classified by this very test -- the kernel sign
+  // encoding and the full-coverage guarantee are both exact -- and a skipped
+  // node's clearance ball certifies that no membership flipped, so the
+  // stale membership still agrees with the fresh position). The one wrinkle
+  // is membership *when*: the chosen logical order applies, per (query,
+  // node), the believed event before the truth event. So truth events see
+  // the believed columns as-is (final state), while believed events must
+  // un-flip the truth test when this sample also carries a truth event for
+  // the same (query, node) -- detected by streaming the adjacent truth
+  // bucket, which shares the ascending node order.
+  const NodeColumns& tc = cols_[kTruth];
+  const NodeColumns& bc = cols_[kBelieved];
   for (size_t key = 0; key < num_keys; ++key) {
     const uint32_t begin = key == 0 ? 0 : event_starts_[key - 1];
     const uint32_t end = event_starts_[key];
@@ -343,26 +515,152 @@ void IncrementalEvaluator::ApplyEvents(
       continue;
     }
     const auto query = static_cast<QueryId>(key / 2);
-    const auto family = static_cast<int>(key % 2);
-    std::vector<NodeId>& mine = members_[family][query];
-    const std::vector<NodeId>& other = members_[1 - family][query];
-    for (uint32_t i = begin; i < end; ++i) {
-      const MemberEvent& ev = sorted_events_[i];
-      const bool in_other =
-          std::binary_search(other.begin(), other.end(), ev.node);
-      const auto it = std::lower_bound(mine.begin(), mine.end(), ev.node);
-      if (ev.add) {
-        LIRA_DCHECK(it == mine.end() || *it != ev.node);
-        mine.insert(it, ev.node);
-        sym_diff_[query] += in_other ? -1 : 1;
-      } else {
-        LIRA_DCHECK(it != mine.end() && *it == ev.node);
-        mine.erase(it);
-        sym_diff_[query] += in_other ? 1 : -1;
+    // Walks run in cell order, so a bucket's events arrive unordered;
+    // sorting by node (ids are unique within a bucket) restores the one
+    // canonical order the merge below and the bitwise contract rely on,
+    // whatever the walk schedule or thread count did.
+    std::sort(sorted_events_.begin() + begin, sorted_events_.begin() + end,
+              [](const MemberEvent& a, const MemberEvent& b) {
+                return a.node < b.node;
+              });
+    const Rect range = queries_[query];
+    int32_t sym = sym_diff_[query];
+    if (key % 2 == static_cast<size_t>(kTruth)) {
+      // Truth member sets are consumed only as a size (Evaluate) and as the
+      // geometric membership test above, so no list exists to rebuild --
+      // truth events just bump the counter. This halves the bandwidth of
+      // the whole ApplyEvents pass, which is dominated by member-vector
+      // rebuild traffic.
+      int32_t count = truth_size_[query];
+      for (uint32_t i = begin; i < end; ++i) {
+        const MemberEvent& ev = sorted_events_[i];
+        LIRA_DCHECK(i == begin || sorted_events_[i - 1].node < ev.node);
+        const NodeId v = ev.node;
+        const bool in_other =
+            bc.present[v] != 0 &&
+            range.Contains(Point{bc.pos_x[v], bc.pos_y[v]});
+        if ((ev.tag & 1) != 0) {
+          ++count;
+          sym += in_other ? -1 : 1;
+        } else {
+          --count;
+          sym += in_other ? 1 : -1;
+        }
       }
-      LIRA_DCHECK(sym_diff_[query] >= 0);
+      LIRA_DCHECK(count >= 0);
+      truth_size_[query] = count;
+    } else {
+      // A node walks at most once per family per sample, so the bucket
+      // holds at most one event per node, ascending after the sort above.
+      // Rebuilding the sorted believed member vector with one linear merge
+      // is O(members + events) for the whole bucket, where per-event
+      // lower_bound + insert would memmove O(members) each time; same final
+      // set, so bitwise output is unaffected. The unchanged runs between
+      // event positions move as bulk memmoves, and the ascending event
+      // order lets every search resume from the previous position. (A
+      // deferred-overlay variant -- pending ops folded in lazily -- was
+      // tried and lost: the rebuild is memcpy-bound and cheap, while the
+      // overlay taxed every Evaluate with a second merge stream.)
+      std::vector<NodeId>& mine = believed_members_[query];
+      // This query's truth bucket (key - 1): one resuming pointer detects
+      // same-node truth events for the in_other un-flip.
+      const uint32_t t_begin = key == 1 ? 0 : event_starts_[key - 2];
+      const uint32_t t_end = event_starts_[key - 1];
+      uint32_t ti = t_begin;
+      merge_buf_.clear();
+      merge_buf_.reserve(mine.size() + (end - begin));
+      size_t m = 0;
+      for (uint32_t i = begin; i < end; ++i) {
+        const MemberEvent& ev = sorted_events_[i];
+        LIRA_DCHECK(i == begin || sorted_events_[i - 1].node < ev.node);
+        const NodeId v = ev.node;
+        const auto pos = static_cast<size_t>(
+            std::lower_bound(mine.begin() + static_cast<ptrdiff_t>(m),
+                             mine.end(), v) -
+            mine.begin());
+        merge_buf_.insert(merge_buf_.end(),
+                          mine.begin() + static_cast<ptrdiff_t>(m),
+                          mine.begin() + static_cast<ptrdiff_t>(pos));
+        m = pos;
+        while (ti < t_end && sorted_events_[ti].node < v) {
+          ++ti;
+        }
+        const bool truth_flipped = ti < t_end && sorted_events_[ti].node == v;
+        const bool truth_now =
+            tc.present[v] != 0 &&
+            range.Contains(Point{tc.pos_x[v], tc.pos_y[v]});
+        const bool in_other = truth_now != truth_flipped;
+        if ((ev.tag & 1) != 0) {
+          LIRA_DCHECK(m == mine.size() || mine[m] != v);
+          merge_buf_.push_back(v);
+          sym += in_other ? -1 : 1;
+        } else {
+          LIRA_DCHECK(m < mine.size() && mine[m] == v);
+          ++m;  // removed
+          sym += in_other ? 1 : -1;
+        }
+      }
+      merge_buf_.insert(merge_buf_.end(),
+                        mine.begin() + static_cast<ptrdiff_t>(m), mine.end());
+      mine.swap(merge_buf_);
     }
+    sym_diff_[query] = sym;
   }
+#ifndef NDEBUG
+  // A query's sym_diff may transiently dip below zero after its truth
+  // bucket alone (the physical bucket order differs from the logical
+  // per-node order the deltas were computed for), but once both buckets are
+  // in, every counter must again be a valid |truth SYMDIFF believed|.
+  for (size_t q = 0; q < queries_.size(); ++q) {
+    LIRA_DCHECK(sym_diff_[q] >= 0);
+  }
+#endif
+}
+
+void IncrementalEvaluator::ApplySample(const double* truth_x,
+                                       const double* truth_y,
+                                       const double* believed_x,
+                                       const double* believed_y,
+                                       const uint8_t* believed_known,
+                                       ThreadPool* pool) {
+  if (mode_ == EvalMode::kFullRescan) {
+    // The original serial snapshot maintenance, verbatim.
+    for (NodeId id = 0; id < num_nodes_; ++id) {
+      truth_index_->Update(id, Point{truth_x[id], truth_y[id]});
+      if (believed_known[id] != 0) {
+        believed_index_->Update(id, Point{believed_x[id], believed_y[id]});
+      } else {
+        believed_index_->Remove(id);
+      }
+    }
+    return;
+  }
+  sample_seen_ = true;
+  const int32_t workers =
+      (pool == nullptr || pool->num_threads() <= 1) ? 1 : pool->num_threads();
+  if (static_cast<int32_t>(scratch_.size()) < workers) {
+    scratch_.resize(workers);
+  }
+  for (WorkerScratch& ws : scratch_) {
+    ws.events.clear();
+    ws.touched = 0;
+  }
+  if (workers == 1) {
+    ProcessChunk(0, num_nodes_, truth_x, truth_y, believed_x, believed_y,
+                 believed_known, &scratch_[0]);
+  } else {
+    // Parallel phase: per-node column slots and per-worker buffers only.
+    // Chunks are contiguous ascending, so applying buffers in chunk order
+    // afterwards replays the events in ascending node order for any thread
+    // count.
+    pool->ParallelFor(0, num_nodes_, kNodeGrain,
+                      [&](int32_t chunk, int64_t begin, int64_t end) {
+                        ProcessChunk(begin, end, truth_x, truth_y, believed_x,
+                                     believed_y, believed_known,
+                                     &scratch_[chunk]);
+                      });
+  }
+  ApplyEvents(scratch_);
 }
 
 void IncrementalEvaluator::ApplySample(
@@ -372,40 +670,19 @@ void IncrementalEvaluator::ApplySample(
   LIRA_CHECK(static_cast<int32_t>(truth_positions.size()) == num_nodes_);
   LIRA_CHECK(static_cast<int32_t>(believed_positions.size()) == num_nodes_);
   LIRA_CHECK(static_cast<int32_t>(believed_known.size()) == num_nodes_);
-  if (mode_ == EvalMode::kFullRescan) {
-    // The original serial snapshot maintenance, verbatim.
-    for (NodeId id = 0; id < num_nodes_; ++id) {
-      truth_index_->Update(id, truth_positions[id]);
-      if (believed_known[id] != 0) {
-        believed_index_->Update(id, believed_positions[id]);
-      } else {
-        believed_index_->Remove(id);
-      }
-    }
-    return;
+  stage_tx_.resize(num_nodes_);
+  stage_ty_.resize(num_nodes_);
+  stage_bx_.resize(num_nodes_);
+  stage_by_.resize(num_nodes_);
+  for (int32_t i = 0; i < num_nodes_; ++i) {
+    stage_tx_[i] = truth_positions[i].x;
+    stage_ty_[i] = truth_positions[i].y;
+    stage_bx_[i] = believed_positions[i].x;
+    stage_by_[i] = believed_positions[i].y;
   }
-  if (pool == nullptr || pool->num_threads() <= 1) {
-    std::vector<WorkerScratch> scratch(1);
-    for (NodeId id = 0; id < num_nodes_; ++id) {
-      ProcessNode(id, truth_positions, believed_positions, believed_known,
-                  &scratch[0]);
-    }
-    ApplyEvents(scratch);
-    return;
-  }
-  // Parallel phase: per-node slots and per-worker buffers only. Chunks are
-  // contiguous ascending, so applying buffers in chunk order afterwards
-  // replays the events in ascending node order for any thread count.
-  std::vector<WorkerScratch> scratch(pool->num_threads());
-  pool->ParallelFor(0, num_nodes_, kNodeGrain,
-                    [&](int32_t chunk, int64_t begin, int64_t end) {
-                      for (int64_t id = begin; id < end; ++id) {
-                        ProcessNode(static_cast<NodeId>(id), truth_positions,
-                                    believed_positions, believed_known,
-                                    &scratch[chunk]);
-                      }
-                    });
-  ApplyEvents(scratch);
+  ApplySample(stage_tx_.data(), stage_ty_.data(), stage_bx_.data(),
+              stage_by_.data(),
+              reinterpret_cast<const uint8_t*>(believed_known.data()), pool);
 }
 
 std::vector<QueryAccuracy> IncrementalEvaluator::Evaluate(ThreadPool* pool) {
@@ -433,40 +710,73 @@ std::vector<QueryAccuracy> IncrementalEvaluator::Evaluate(ThreadPool* pool) {
                       });
     return out;
   }
-  const auto eval_one = [&](QueryId q) {
-    if (active_[q] == 0) {
-      return;
+  // Position-error sums are latency-bound: each query's ascending-id
+  // summation (the order CompareQuery fixes, which the bitwise contract
+  // pins) is one serial FP-add dependency chain. Interleaving two queries'
+  // sums keeps two independent chains in flight, nearly doubling
+  // throughput, while every individual query still accumulates its own
+  // terms in exactly the contractual order -- the pairing changes which
+  // instructions neighbour each other, not any query's arithmetic.
+  const auto sum_pair = [&](QueryId qa, QueryId qb) {
+    const std::vector<NodeId>& a = believed_members_[qa];
+    const std::vector<NodeId>& b = believed_members_[qb];
+    const size_t shared = std::min(a.size(), b.size());
+    double ta = 0.0;
+    double tb = 0.0;
+    for (size_t i = 0; i < shared; ++i) {
+      ta += node_distance_[a[i]];
+      tb += node_distance_[b[i]];
     }
-    const std::vector<NodeId>& truth = members_[kTruth][q];
-    const std::vector<NodeId>& believed = members_[kBelieved][q];
-    QueryAccuracy acc;
-    acc.truth_size = static_cast<int32_t>(truth.size());
-    acc.believed_size = static_cast<int32_t>(believed.size());
-    acc.containment_error =
-        static_cast<double>(sym_diff_[q]) /
-        static_cast<double>(std::max<int32_t>(1, acc.truth_size));
-    if (!believed.empty()) {
-      // Ascending-id summation of the identical per-node distance terms
-      // reproduces CompareQuery's partial sums exactly.
+    for (size_t i = shared; i < a.size(); ++i) {
+      ta += node_distance_[a[i]];
+    }
+    for (size_t i = shared; i < b.size(); ++i) {
+      tb += node_distance_[b[i]];
+    }
+    out[qa].position_error = ta / static_cast<double>(a.size());
+    out[qb].position_error = tb / static_cast<double>(b.size());
+  };
+  const auto eval_range = [&](int64_t begin, int64_t end) {
+    QueryId pending = -1;
+    for (int64_t i = begin; i < end; ++i) {
+      const auto q = static_cast<QueryId>(i);
+      if (active_[q] == 0) {
+        continue;
+      }
+      const std::vector<NodeId>& believed = believed_members_[q];
+      QueryAccuracy acc;
+      acc.truth_size = truth_size_[q];
+      acc.believed_size = static_cast<int32_t>(believed.size());
+      acc.containment_error =
+          static_cast<double>(sym_diff_[q]) /
+          static_cast<double>(std::max<int32_t>(1, acc.truth_size));
+      out[q] = acc;
+      if (believed.empty()) {
+        continue;
+      }
+      if (pending < 0) {
+        pending = q;
+      } else {
+        sum_pair(pending, q);
+        pending = -1;
+      }
+    }
+    if (pending >= 0) {
+      const std::vector<NodeId>& a = believed_members_[pending];
       double total = 0.0;
-      for (NodeId id : believed) {
+      for (const NodeId id : a) {
         total += node_distance_[id];
       }
-      acc.position_error = total / static_cast<double>(believed.size());
+      out[pending].position_error = total / static_cast<double>(a.size());
     }
-    out[q] = acc;
   };
   if (pool == nullptr || pool->num_threads() <= 1) {
-    for (QueryId q = 0; q < num_queries(); ++q) {
-      eval_one(q);
-    }
+    eval_range(0, num_queries());
     return out;
   }
   pool->ParallelFor(0, num_queries(), /*grain=*/1,
                     [&](int32_t /*chunk*/, int64_t begin, int64_t end) {
-                      for (int64_t q = begin; q < end; ++q) {
-                        eval_one(static_cast<QueryId>(q));
-                      }
+                      eval_range(begin, end);
                     });
   return out;
 }

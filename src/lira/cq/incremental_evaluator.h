@@ -1,25 +1,41 @@
-// Incremental continual-query evaluation (ISSUE 3 tentpole).
+// Incremental continual-query evaluation (ISSUE 3 tentpole; SoA hot path,
+// ISSUE 8).
 //
 // CompareAllQueries re-executes every registered range query on each
 // accuracy sample: O(Q * avg_result) work even when almost nothing moved.
-// IncrementalEvaluator instead maintains each query's member sets (truth and
-// believed) across samples: a node's position update consults only the
-// query lists of its old and new grid cells (QueryIndex), emits membership
-// deltas for the handful of queries whose boundary it crossed, and the
-// per-sample cost drops to O(moved_nodes * queries_per_cell).
+// IncrementalEvaluator instead maintains each query's membership state
+// across samples (a believed member list plus a truth member counter): a
+// node's position update consults only the query lists of its old and new
+// grid cells (QueryIndex), emits membership deltas for the handful of
+// queries whose boundary it crossed, and the per-sample cost drops to
+// O(moved_nodes * queries_per_cell).
 //
-// Determinism contract (DESIGN.md sections 7 and 8): the evaluator's output
-// is bitwise identical to the from-scratch CompareAllQueries path at any
-// thread count. ApplySample's parallel phase writes only per-node slots and
-// per-worker delta buffers; because ParallelFor chunks are contiguous and
-// ascending, concatenating the buffers in chunk order reproduces the serial
-// event stream, which is then regrouped by (query, family) with a stable
-// counting sort and applied serially. Membership deltas are integers, the
-// symmetric difference is maintained as an integer counter (its update rule
-// keeps the invariant exact at every step, so the final counts are
-// independent of application order), and the per-query position error sums
-// identical per-node distance terms in the same ascending-id order as
-// CompareQuery -- so no floating-point reassociation can occur.
+// Per-node walk state lives in structure-of-arrays columns (NodeColumns,
+// one instance per membership family), so the per-chunk pre-passes --
+// clamping the incoming positions and testing every node against its L1
+// clearance ball -- run as contiguous auto-vectorized kernels
+// (common/kernels.h) before a scalar driver walks only the nodes whose
+// clearance test failed. The same-cell candidate walk streams a cell's
+// partial-query rect columns through the RectWalkDistances kernel into
+// per-chunk FrameArena scratch (sized once per chunk from the query index's
+// partial-list high watermark); the min-reduction over flip distances and
+// the event emission stay scalar to preserve evaluation order.
+//
+// Determinism contract (DESIGN.md sections 7, 8 and 11): the evaluator's
+// output is bitwise identical to the from-scratch CompareAllQueries path at
+// any thread count, and identical between the vectorized and scalar-
+// reference kernel builds. ApplySample's parallel phase writes only
+// per-node column slots and per-worker delta buffers; the per-worker
+// buffers are regrouped into (query, family) buckets with a counting sort
+// and each bucket is sorted by node id before it is applied, so the
+// applied event stream is a pure function of the event SET -- independent
+// of walk schedule, chunk boundaries, and thread count.
+// Membership deltas are integers, the symmetric difference is maintained as
+// an integer counter (its update rule keeps the invariant exact at every
+// step, so the final counts are independent of application order), and the
+// per-query position error sums identical per-node distance terms in the
+// same ascending-id order as CompareQuery -- so no floating-point
+// reassociation can occur.
 //
 // kFullRescan keeps the original two-GridIndex + CompareQuery path alive
 // behind the same interface for verification and benchmarking.
@@ -27,12 +43,16 @@
 #ifndef LIRA_CQ_INCREMENTAL_EVALUATOR_H_
 #define LIRA_CQ_INCREMENTAL_EVALUATOR_H_
 
+#include <algorithm>
 #include <array>
 #include <cstdint>
 #include <optional>
 #include <vector>
 
+#include "lira/common/arena.h"
 #include "lira/common/geometry.h"
+#include "lira/common/kernels.h"
+#include "lira/common/node_store.h"
 #include "lira/common/parallel.h"
 #include "lira/common/status.h"
 #include "lira/cq/evaluator.h"
@@ -68,12 +88,24 @@ class IncrementalEvaluator {
       const QueryRegistry& registry, EvalMode mode = EvalMode::kIncremental,
       double margin = -1.0);
 
-  /// Ingests one accuracy sample: per-node truth position, believed
-  /// position, and whether the server believes it knows the node at all
-  /// (same triple the simulation loop produced for the snapshot indexes).
-  /// With a pool, nodes are processed in deterministic contiguous chunks;
-  /// per-worker delta buffers are concatenated in chunk (= node) order and
-  /// applied grouped by query.
+  /// Ingests one accuracy sample from SoA position columns: per-node truth
+  /// position, believed position, and whether the server believes it knows
+  /// the node at all. Lanes with believed_known[id] == 0 ignore the
+  /// believed columns. With a pool, nodes are processed in deterministic
+  /// contiguous chunks; per-worker delta buffers are concatenated in chunk
+  /// (= node) order and applied grouped by query.
+  void ApplySample(const double* truth_x, const double* truth_y,
+                   const double* believed_x, const double* believed_y,
+                   const uint8_t* believed_known, ThreadPool* pool = nullptr);
+
+  /// As above, straight from a NodeStore snapshot.
+  void ApplySample(const NodeStore& store, ThreadPool* pool = nullptr) {
+    ApplySample(store.truth_x(), store.truth_y(), store.believed_x(),
+                store.believed_y(), store.believed_known(), pool);
+  }
+
+  /// Array-of-structs convenience overload (tests and legacy callers);
+  /// stages the points into reusable columns and runs the SoA path.
   void ApplySample(const std::vector<Point>& truth_positions,
                    const std::vector<Point>& believed_positions,
                    const std::vector<char>& believed_known,
@@ -102,82 +134,130 @@ class IncrementalEvaluator {
   /// (incremental mode only).
   int64_t queries_touched() const { return queries_touched_; }
 
+  /// Heap footprint of the per-node walk columns (bytes/node telemetry).
+  size_t node_state_bytes() const {
+    return cols_[0].MemoryBytes() + cols_[1].MemoryBytes() +
+           node_distance_.capacity() * sizeof(double);
+  }
+  /// Largest per-worker scratch-arena watermark seen so far (bytes).
+  size_t arena_high_watermark() const {
+    size_t hw = 0;
+    for (const WorkerScratch& ws : scratch_) {
+      hw = std::max(hw, ws.chunk_arena.high_watermark());
+    }
+    return hw;
+  }
+
  private:
   /// Index into the per-family state arrays.
   enum Family : int { kTruth = 0, kBelieved = 1 };
 
   /// One membership flip, produced by the parallel walk and applied
-  /// serially in node order.
+  /// serially in node order. Packed to 8 bytes: query ids occupy the top 30
+  /// bits of `tag` (AddQuery checks the bound), family bit 1, add bit 0.
   struct MemberEvent {
-    QueryId query;
+    uint32_t tag;
     NodeId node;
-    uint8_t family;
-    bool add;
   };
 
-  /// Per-worker output of the parallel phase.
+  static MemberEvent MakeEvent(QueryId query, NodeId node, int family,
+                               bool add) {
+    return MemberEvent{(static_cast<uint32_t>(query) << 2) |
+                           (static_cast<uint32_t>(family) << 1) |
+                           static_cast<uint32_t>(add),
+                       node};
+  }
+
+  /// Per-worker output and scratch of the parallel phase. The arena is
+  /// exclusively owned by one worker per sample (ParallelFor chunk c runs
+  /// on worker c) and holds the per-chunk clamp/skip columns plus the
+  /// candidate-walk distance columns, all allocated once per chunk; the
+  /// walk pointers below alias into it and are rewritten by every
+  /// ProcessChunk call.
   struct WorkerScratch {
     std::vector<MemberEvent> events;
     int64_t touched = 0;
+    FrameArena chunk_arena;
+    double* walk_old_side = nullptr;
+    double* walk_new_flip = nullptr;
   };
 
   IncrementalEvaluator(const Rect& world, int32_t num_nodes, EvalMode mode,
                        QueryIndex query_index);
 
-  /// Per-node per-family state, packed so the hot skip test touches one
-  /// cache line: authoritative clamped position, the reference point of the
-  /// last candidate walk, and the L1 clearance ball that walk certified
-  /// (largest displacement from `ref` that provably flips no membership and
-  /// keeps the cell assignment; 0 disables skipping).
-  struct NodeState {
-    Point pos;
-    Point ref;
-    double clearance = 0.0;
-    uint8_t present = 0;
-  };
-
-  void ProcessNode(NodeId id, const std::vector<Point>& truth_positions,
-                   const std::vector<Point>& believed_positions,
-                   const std::vector<char>& believed_known,
-                   WorkerScratch* ws);
-  void ProcessFamily(Family family, NodeId id, bool new_present,
-                     Point new_pos, WorkerScratch* ws);
+  /// Runs the clamp + clearance-skip kernels over node rows [begin, end),
+  /// then walks the nodes whose skip test failed as one deferred batch
+  /// (ApplyEvents sorts each event bucket by node, so the walk schedule
+  /// never shows in the output).
+  void ProcessChunk(int64_t begin, int64_t end, const double* truth_x,
+                    const double* truth_y, const double* believed_x,
+                    const double* believed_y, const uint8_t* believed_known,
+                    WorkerScratch* ws);
+  /// Re-walks one family of one node after a failed (or disabled) skip
+  /// test; updates the family's columns. `new_cell` is the query-index
+  /// cell of new_pos (-1 when !new_present), precomputed by the driver.
+  void WalkFamily(Family family, NodeId id, bool new_present, Point new_pos,
+                  int32_t new_cell, WorkerScratch* ws);
   /// Emits membership-flip events for the move old -> new and returns the
   /// clearance of `new_pos` in its cell (computed inside the same pass over
-  /// the cell's candidate lists; 0.0 when !new_present).
+  /// the cell's candidate lists; 0.0 when !new_present). Maintains the
+  /// family's cached cell id.
   double WalkCandidates(Family family, NodeId id, bool old_present,
                         Point old_pos, bool new_present, Point new_pos,
-                        WorkerScratch* ws);
+                        int32_t new_cell, WorkerScratch* ws);
   void ApplyEvents(const std::vector<WorkerScratch>& scratch);
 
   Rect world_;
   int32_t num_nodes_;
   EvalMode mode_;
   QueryIndex query_index_;
+  /// world_'s Rect::Clamp bounds, precomputed for the ClampPoints kernel.
+  kernels::ClampSpec clamp_spec_;
 
   /// Dense query state; ids are registration order.
   std::vector<Rect> queries_;
   std::vector<char> active_;
-  /// members_[family][q]: current member ids, ascending.
-  std::array<std::vector<std::vector<NodeId>>, 2> members_;
+  /// Truth member-set sizes, maintained as counters. The truth sets are
+  /// only ever consumed as a size (Evaluate) and a membership test
+  /// (ApplyEvents' in_other), and the test is answered geometrically
+  /// against the authoritative truth columns -- `present && Contains(pos)`
+  /// equals list membership at all times -- so no truth lists are stored or
+  /// rebuilt.
+  std::vector<int32_t> truth_size_;
+  /// believed_members_[q]: current believed member ids, ascending (Evaluate
+  /// streams them to sum the per-node distance terms in ascending-id
+  /// order, which the determinism contract requires).
+  std::vector<std::vector<NodeId>> believed_members_;
   /// |truth(q) symmetric-difference believed(q)|, maintained exactly.
   std::vector<int32_t> sym_diff_;
 
-  /// Per-node authoritative state (clamped positions), both families packed
-  /// into adjacent records (ProcessNode touches truth then believed, so one
-  /// node's state streams through consecutive cache lines); a node within
-  /// its clearance ball provably flipped no membership, so its walk is
-  /// skipped entirely.
-  std::vector<std::array<NodeState, 2>> state_;
+  /// Per-family per-node walk state columns: authoritative clamped
+  /// position, the reference point of the last candidate walk, the L1
+  /// clearance ball that walk certified (largest displacement from ref that
+  /// provably flips no membership; 0 disables skipping), and the cached
+  /// query-index cell (>= 0 only while the ball provably keeps the cell
+  /// assignment, so a later walk can skip CellIndexOf's floor arithmetic).
+  std::array<NodeColumns, 2> cols_;
   /// Distance(believed, truth) per believed-known node, refreshed each
   /// sample; summed per query in ascending id order by Evaluate.
   std::vector<double> node_distance_;
 
+  /// Per-worker scratch, kept across samples so steady-state samples do no
+  /// heap allocation (events keep their capacity, arenas their block).
+  std::vector<WorkerScratch> scratch_;
+  /// AoS-overload staging columns, reused across samples.
+  std::vector<double> stage_tx_;
+  std::vector<double> stage_ty_;
+  std::vector<double> stage_bx_;
+  std::vector<double> stage_by_;
+
   /// ApplyEvents scratch, kept across samples to avoid reallocation:
-  /// counting-sort bucket boundaries ((query, family) keys) and the
-  /// regrouped event buffer.
+  /// counting-sort bucket boundaries ((query, family) keys), the regrouped
+  /// event buffer, and the member-merge output (swapped with the live
+  /// member vector per bucket).
   std::vector<uint32_t> event_starts_;
   std::vector<MemberEvent> sorted_events_;
+  std::vector<NodeId> merge_buf_;
 
   /// kFullRescan state: the original snapshot indexes.
   std::optional<GridIndex> truth_index_;
@@ -185,6 +265,9 @@ class IncrementalEvaluator {
 
   int64_t deltas_applied_ = 0;
   int64_t queries_touched_ = 0;
+  /// False until the first ApplySample: lets Create's bulk AddQuery loop
+  /// skip the per-query clearance-column reset (everything is still zero).
+  bool sample_seen_ = false;
 };
 
 }  // namespace lira

@@ -105,11 +105,16 @@ void QueryIndex::Insert(QueryId id, const Rect& range) {
         auto& list = full_[cell];
         list.insert(std::lower_bound(list.begin(), list.end(), id), id);
       } else {
-        auto& list = partial_[cell];
-        const auto pos = std::lower_bound(
-            list.begin(), list.end(), id,
-            [](const PartialEntry& e, QueryId v) { return e.id < v; });
-        list.insert(pos, PartialEntry{id, range});
+        CellPartials& list = partial_[cell];
+        const auto pos =
+            std::lower_bound(list.id.begin(), list.id.end(), id) -
+            list.id.begin();
+        list.id.insert(list.id.begin() + pos, id);
+        list.min_x.insert(list.min_x.begin() + pos, range.min_x);
+        list.min_y.insert(list.min_y.begin() + pos, range.min_y);
+        list.max_x.insert(list.max_x.begin() + pos, range.max_x);
+        list.max_y.insert(list.max_y.begin() + pos, range.max_y);
+        max_partial_ = std::max(max_partial_, list.id.size());
       }
     }
   }
@@ -132,12 +137,16 @@ void QueryIndex::Erase(QueryId id, const Rect& range) {
         full.erase(fit);
         continue;
       }
-      auto& partial = partial_[cell];
-      const auto pit = std::lower_bound(
-          partial.begin(), partial.end(), id,
-          [](const PartialEntry& e, QueryId v) { return e.id < v; });
-      if (pit != partial.end() && pit->id == id) {
-        partial.erase(pit);
+      CellPartials& partial = partial_[cell];
+      const auto pit =
+          std::lower_bound(partial.id.begin(), partial.id.end(), id);
+      if (pit != partial.id.end() && *pit == id) {
+        const auto pos = pit - partial.id.begin();
+        partial.id.erase(pit);
+        partial.min_x.erase(partial.min_x.begin() + pos);
+        partial.min_y.erase(partial.min_y.begin() + pos);
+        partial.max_x.erase(partial.max_x.begin() + pos);
+        partial.max_y.erase(partial.max_y.begin() + pos);
       }
     }
   }

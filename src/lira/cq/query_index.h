@@ -13,8 +13,11 @@
 //     Every position inside the cell is a member, so a node moving within one
 //     such cell can skip these queries entirely.
 //   - `partial`: queries overlapping but not fully covering the cell. The
-//     query rectangle is stored inline so the membership test during a delta
-//     walk does not chase a pointer into the registry.
+//     query rectangles are stored inline as structure-of-arrays columns
+//     (CellPartials) so the membership test during a delta walk neither
+//     chases a pointer into the registry nor strides over interleaved
+//     fields -- the same-cell walk hands the four edge columns straight to
+//     the RectWalkDistances kernel (common/kernels.h).
 //
 // Correctness depends on a coverage guarantee: for any in-world position p
 // assigned to cell c by CellIndexOf's floor arithmetic, every query
@@ -40,10 +43,22 @@ namespace lira {
 /// inserted with.
 class QueryIndex {
  public:
-  /// A query partially overlapping a cell; range stored inline.
-  struct PartialEntry {
-    QueryId id;
-    Rect range;
+  /// The queries partially overlapping one cell, as parallel columns sorted
+  /// ascending by id: `id[i]` has range `{min_x[i], min_y[i], max_x[i],
+  /// max_y[i]}`. The edge columns are contiguous doubles, ready for the
+  /// vectorized rect kernels.
+  struct CellPartials {
+    std::vector<QueryId> id;
+    std::vector<double> min_x;
+    std::vector<double> min_y;
+    std::vector<double> max_x;
+    std::vector<double> max_y;
+
+    size_t size() const { return id.size(); }
+    bool empty() const { return id.empty(); }
+    Rect RectAt(size_t i) const {
+      return Rect{min_x[i], min_y[i], max_x[i], max_y[i]};
+    }
   };
 
   /// `world` must be non-degenerate; `cells_per_side` >= 1. `margin`
@@ -66,9 +81,7 @@ class QueryIndex {
   Rect CellRectOf(int32_t cell) const;
 
   /// Queries partially overlapping the cell, ascending by id.
-  const std::vector<PartialEntry>& Partial(int32_t cell) const {
-    return partial_[cell];
-  }
+  const CellPartials& Partial(int32_t cell) const { return partial_[cell]; }
 
   /// Queries fully covering the cell (with slack), ascending by id.
   const std::vector<QueryId>& Full(int32_t cell) const { return full_[cell]; }
@@ -88,6 +101,10 @@ class QueryIndex {
   /// The FP component of the slack (slack() - margin()): the part that only
   /// absorbs floor-arithmetic ulp disagreement.
   double fp_slack() const { return slack_ - margin_; }
+  /// Upper bound on the length of any cell's partial list (high watermark:
+  /// Erase never lowers it). Lets walk scratch be sized once per chunk
+  /// instead of once per candidate walk.
+  size_t max_partial_size() const { return max_partial_; }
 
  private:
   QueryIndex(const Rect& world, int32_t cells_per_side, double margin);
@@ -103,8 +120,9 @@ class QueryIndex {
   double cell_h_;
   double margin_;
   double slack_;
-  std::vector<std::vector<PartialEntry>> partial_;
+  std::vector<CellPartials> partial_;
   std::vector<std::vector<QueryId>> full_;
+  size_t max_partial_ = 0;
 };
 
 }  // namespace lira

@@ -152,7 +152,7 @@ void TprTree::SplitNode(Node* node) {
   // Re-home moved entries.
   for (Entry& entry : sibling->entries) {
     if (sibling->leaf) {
-      leaf_of_[entry.id] = sibling.get();
+      SetLeaf(entry.id, sibling.get());
     } else {
       entry.child->parent = sibling.get();
     }
@@ -193,7 +193,7 @@ void TprTree::SplitNode(Node* node) {
 void TprTree::InsertEntry(Node* leaf, Entry entry) {
   LIRA_DCHECK(leaf->leaf);
   const NodeId id = entry.id;
-  leaf_of_[id] = leaf;  // splits below re-home moved entries
+  SetLeaf(id, leaf);  // splits below re-home moved entries
   leaf->entries.push_back(std::move(entry));
   Node* node = leaf;
   while (node != nullptr &&
@@ -203,7 +203,7 @@ void TprTree::InsertEntry(Node* leaf, Entry entry) {
     node = parent;
   }
   // Refresh ancestor boxes along the entry's (possibly new) leaf path.
-  AdjustUpwards(leaf_of_.at(id));
+  AdjustUpwards(LeafOf(id));
 }
 
 void TprTree::Update(NodeId id, const LinearMotionModel& model) {
@@ -213,9 +213,7 @@ void TprTree::Update(NodeId id, const LinearMotionModel& model) {
   // delete + reinsert. Dead-reckoning updates are small corrections, so
   // this is the common case.
   const Tpbr new_box = Tpbr::ForModel(model);
-  auto it = leaf_of_.find(id);
-  if (it != leaf_of_.end()) {
-    Node* leaf = it->second;
+  if (Node* leaf = LeafOf(id); leaf != nullptr) {
     bool contained = false;
     if (leaf->entries.size() > 1) {
       Tpbr others = Tpbr::ForModel(model);  // placeholder; rebuilt below
@@ -313,18 +311,18 @@ void TprTree::CondenseAfterRemove(Node* leaf) {
 }
 
 bool TprTree::Remove(NodeId id) {
-  auto it = leaf_of_.find(id);
-  if (it == leaf_of_.end()) {
+  Node* leaf = LeafOf(id);
+  if (leaf == nullptr) {
     return false;
   }
-  Node* leaf = it->second;
   for (size_t i = 0; i < leaf->entries.size(); ++i) {
     if (leaf->entries[i].id == id) {
       leaf->entries.erase(leaf->entries.begin() + i);
       break;
     }
   }
-  leaf_of_.erase(it);
+  leaf_of_[id] = nullptr;
+  --size_;
   if (!leaf->entries.empty()) {
     AdjustUpwards(leaf);
   }
@@ -334,7 +332,7 @@ bool TprTree::Remove(NodeId id) {
 
 std::vector<NodeId> TprTree::QueryAt(const Rect& range, double t) const {
   std::vector<NodeId> out;
-  if (leaf_of_.empty()) {
+  if (size_ == 0) {
     return out;
   }
   std::vector<const Node*> stack = {root_.get()};
@@ -362,11 +360,11 @@ std::vector<NodeId> TprTree::QueryAt(const Rect& range, double t) const {
 }
 
 StatusOr<LinearMotionModel> TprTree::ModelOf(NodeId id) const {
-  auto it = leaf_of_.find(id);
-  if (it == leaf_of_.end()) {
+  const Node* leaf = LeafOf(id);
+  if (leaf == nullptr) {
     return NotFoundError("id not indexed: " + std::to_string(id));
   }
-  for (const Entry& entry : it->second->entries) {
+  for (const Entry& entry : leaf->entries) {
     if (entry.id == id) {
       return entry.model;
     }
@@ -398,8 +396,7 @@ Status TprTree::CheckNode(const Node* node, const Node* expected_parent) const {
   }
   for (const Entry& entry : node->entries) {
     if (node->leaf) {
-      auto it = leaf_of_.find(entry.id);
-      if (it == leaf_of_.end() || it->second != node) {
+      if (LeafOf(entry.id) != node) {
         return InternalError("leaf map inconsistent");
       }
     } else {
@@ -428,8 +425,15 @@ Status TprTree::CheckInvariants() const {
     return InternalError("missing root");
   }
   LIRA_RETURN_IF_ERROR(CheckNode(root_.get(), nullptr));
-  // Every mapped id must be reachable.
-  for (const auto& [id, leaf] : leaf_of_) {
+  // Every mapped id must be reachable, and the live count must match the
+  // occupied slots.
+  int32_t live = 0;
+  for (NodeId id = 0; id < static_cast<NodeId>(leaf_of_.size()); ++id) {
+    const Node* leaf = leaf_of_[id];
+    if (leaf == nullptr) {
+      continue;
+    }
+    ++live;
     bool found = false;
     for (const Entry& entry : leaf->entries) {
       found = found || entry.id == id;
@@ -437,6 +441,9 @@ Status TprTree::CheckInvariants() const {
     if (!found) {
       return InternalError("mapped id missing from its leaf");
     }
+  }
+  if (live != size_) {
+    return InternalError("leaf map live count drifted");
   }
   return OkStatus();
 }

@@ -23,7 +23,6 @@
 
 #include <cstdint>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "lira/common/geometry.h"
@@ -80,8 +79,8 @@ class TprTree {
   /// Removes `id` if present; returns whether it was present.
   bool Remove(NodeId id);
 
-  bool Contains(NodeId id) const { return leaf_of_.contains(id); }
-  int32_t size() const { return static_cast<int32_t>(leaf_of_.size()); }
+  bool Contains(NodeId id) const { return LeafOf(id) != nullptr; }
+  int32_t size() const { return size_; }
 
   /// Ids whose predicted position at time `t` lies inside `range`.
   /// Requires t >= every indexed model's t0 for exact results (earlier
@@ -123,6 +122,24 @@ class TprTree {
     return t_ref + options_.horizon / 2.0;
   }
 
+  /// Leaf currently holding `id`, or nullptr when the id is not indexed.
+  Node* LeafOf(NodeId id) const {
+    return id >= 0 && static_cast<size_t>(id) < leaf_of_.size()
+               ? leaf_of_[id]
+               : nullptr;
+  }
+  /// Grows the slot map to cover `id` and points its slot at `leaf`,
+  /// maintaining the live count.
+  void SetLeaf(NodeId id, Node* leaf) {
+    if (static_cast<size_t>(id) >= leaf_of_.size()) {
+      leaf_of_.resize(static_cast<size_t>(id) + 1, nullptr);
+    }
+    if (leaf_of_[id] == nullptr) {
+      ++size_;
+    }
+    leaf_of_[id] = leaf;
+  }
+
   Node* ChooseLeaf(const Tpbr& box);
   void InsertEntry(Node* node, Entry entry);
   void SplitNode(Node* node);
@@ -134,7 +151,12 @@ class TprTree {
 
   TprTreeOptions options_;
   std::unique_ptr<Node> root_;
-  std::unordered_map<NodeId, Node*> leaf_of_;
+  /// Flat id -> leaf slot map (ISSUE 8): node ids are dense small integers,
+  /// so a vector indexed by id replaces the old unordered_map on the
+  /// delete + reinsert hot path -- no hashing, one predictable load.
+  /// nullptr marks an unindexed id; size_ counts live slots.
+  std::vector<Node*> leaf_of_;
+  int32_t size_ = 0;
 };
 
 }  // namespace lira

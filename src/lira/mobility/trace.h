@@ -73,6 +73,15 @@ class Trace {
   }
   PositionSample Sample(int32_t frame, NodeId node) const;
 
+  /// Raw frame row: num_nodes() stride-4 float states {x, y, vx, vy} --
+  /// exactly kernels::UnpackFrame's input layout, so a whole frame widens
+  /// to double columns in one kernel call instead of num_nodes() Sample
+  /// calls (float -> double conversion is exact either way).
+  const float* FrameData(int32_t frame) const {
+    LIRA_DCHECK(frame >= 0 && frame < num_frames_);
+    return &states_[static_cast<size_t>(frame) * num_nodes_].x;
+  }
+
   /// Mean speed over all nodes in a frame.
   double MeanSpeed(int32_t frame) const;
 
@@ -80,6 +89,8 @@ class Trace {
   struct CompactState {
     float x, y, vx, vy;
   };
+  static_assert(sizeof(CompactState) == 4 * sizeof(float),
+                "FrameData exposes CompactState as a packed stride-4 row");
 
   Trace(int32_t num_frames, int32_t num_nodes, double dt)
       : num_frames_(num_frames), num_nodes_(num_nodes), dt_(dt) {}

@@ -3,11 +3,17 @@
 #include <utility>
 
 #include "lira/common/check.h"
+#include "lira/common/kernels.h"
 
 namespace lira {
 
 DeadReckoningEncoder::DeadReckoningEncoder(int32_t num_nodes)
-    : models_(num_nodes), has_model_(num_nodes, 0) {
+    : origin_x_(num_nodes, 0.0),
+      origin_y_(num_nodes, 0.0),
+      vel_x_(num_nodes, 0.0),
+      vel_y_(num_nodes, 0.0),
+      t0_(num_nodes, 0.0),
+      has_model_(num_nodes, 0) {
   LIRA_CHECK(num_nodes >= 0);
 }
 
@@ -19,16 +25,125 @@ std::optional<ModelUpdate> DeadReckoningEncoder::Observe(
   if (!has_model_[id]) {
     send = true;
   } else {
-    const Point predicted = models_[id].PredictAt(sample.time);
+    const LinearMotionModel model{Point{origin_x_[id], origin_y_[id]},
+                                  Vec2{vel_x_[id], vel_y_[id]}, t0_[id]};
+    const Point predicted = model.PredictAt(sample.time);
     send = Distance(predicted, sample.position) > delta;
   }
   if (!send) {
     return std::nullopt;
   }
-  models_[id] = LinearMotionModel::FromSample(sample);
+  origin_x_[id] = sample.position.x;
+  origin_y_[id] = sample.position.y;
+  vel_x_[id] = sample.velocity.x;
+  vel_y_[id] = sample.velocity.y;
+  t0_[id] = sample.time;
   has_model_[id] = 1;
   updates_emitted_.fetch_add(1, std::memory_order_relaxed);
-  return ModelUpdate{id, models_[id]};
+  return ModelUpdate{
+      id, LinearMotionModel{sample.position, sample.velocity, sample.time}};
+}
+
+void DeadReckoningEncoder::ResolveAndMaybeSend(NodeId id, double ox, double oy,
+                                               double vx, double vy, double t,
+                                               double delta,
+                                               std::vector<ModelUpdate>* out,
+                                               int64_t* emitted) {
+  // Observe's exact expression, reproduced verbatim for lanes inside the
+  // kernel's rounding band.
+  const LinearMotionModel model{Point{origin_x_[id], origin_y_[id]},
+                                Vec2{vel_x_[id], vel_y_[id]}, t0_[id]};
+  const Point predicted = model.PredictAt(t);
+  if (!(Distance(predicted, Point{ox, oy}) > delta)) {
+    return;
+  }
+  origin_x_[id] = ox;
+  origin_y_[id] = oy;
+  vel_x_[id] = vx;
+  vel_y_[id] = vy;
+  t0_[id] = t;
+  has_model_[id] = 1;
+  ++*emitted;
+  out->push_back(
+      ModelUpdate{id, LinearMotionModel{Point{ox, oy}, Vec2{vx, vy}, t}});
+}
+
+void DeadReckoningEncoder::ObserveSpan(NodeId begin, int64_t n,
+                                       const double* obs_x,
+                                       const double* obs_y,
+                                       const double* obs_vx,
+                                       const double* obs_vy, double t,
+                                       const double* delta, uint8_t* decision,
+                                       std::vector<ModelUpdate>* out) {
+  LIRA_DCHECK(begin >= 0 && begin + n <= num_nodes());
+  kernels::DeviationFilter(n, origin_x_.data() + begin,
+                           origin_y_.data() + begin, vel_x_.data() + begin,
+                           vel_y_.data() + begin, t0_.data() + begin,
+                           has_model_.data() + begin, t, obs_x, obs_y, delta,
+                           decision);
+  int64_t emitted = 0;
+  for (int64_t i = 0; i < n; ++i) {
+    const uint8_t d = decision[i];
+    if (d == kernels::kDevKeep) {
+      continue;
+    }
+    const NodeId id = begin + static_cast<NodeId>(i);
+    if (d == kernels::kDevAmbiguous) {
+      ResolveAndMaybeSend(id, obs_x[i], obs_y[i], obs_vx[i], obs_vy[i], t,
+                          delta[i], out, &emitted);
+      continue;
+    }
+    origin_x_[id] = obs_x[i];
+    origin_y_[id] = obs_y[i];
+    vel_x_[id] = obs_vx[i];
+    vel_y_[id] = obs_vy[i];
+    t0_[id] = t;
+    has_model_[id] = 1;
+    ++emitted;
+    out->push_back(ModelUpdate{
+        id, LinearMotionModel{Point{obs_x[i], obs_y[i]},
+                              Vec2{obs_vx[i], obs_vy[i]}, t}});
+  }
+  if (emitted > 0) {
+    updates_emitted_.fetch_add(emitted, std::memory_order_relaxed);
+  }
+}
+
+void DeadReckoningEncoder::ObserveSpanUniform(
+    NodeId begin, int64_t n, const double* obs_x, const double* obs_y,
+    const double* obs_vx, const double* obs_vy, double t, double delta,
+    uint8_t* decision, std::vector<ModelUpdate>* out) {
+  LIRA_DCHECK(begin >= 0 && begin + n <= num_nodes());
+  kernels::DeviationFilterUniform(
+      n, origin_x_.data() + begin, origin_y_.data() + begin,
+      vel_x_.data() + begin, vel_y_.data() + begin, t0_.data() + begin,
+      has_model_.data() + begin, t, obs_x, obs_y, delta, decision);
+  int64_t emitted = 0;
+  for (int64_t i = 0; i < n; ++i) {
+    const uint8_t d = decision[i];
+    if (d == kernels::kDevKeep) {
+      continue;
+    }
+    const NodeId id = begin + static_cast<NodeId>(i);
+    if (d == kernels::kDevAmbiguous) {
+      ResolveAndMaybeSend(id, obs_x[i], obs_y[i], obs_vx[i], obs_vy[i], t,
+                          delta, out, &emitted);
+      continue;
+    }
+    origin_x_[id] = obs_x[i];
+    origin_y_[id] = obs_y[i];
+    vel_x_[id] = obs_vx[i];
+    vel_y_[id] = obs_vy[i];
+    t0_[id] = t;
+    has_model_[id] = 1;
+    ++emitted;
+    out->push_back(ModelUpdate{
+        id, LinearMotionModel{Point{obs_x[i], obs_y[i]},
+                              Vec2{obs_vx[i], obs_vy[i]}, t}});
+  }
+  if (emitted > 0) {
+    updates_emitted_.fetch_add(emitted, std::memory_order_relaxed);
+  }
 }
 
 std::optional<LinearMotionModel> DeadReckoningEncoder::ModelOf(
@@ -36,18 +151,29 @@ std::optional<LinearMotionModel> DeadReckoningEncoder::ModelOf(
   if (id < 0 || id >= num_nodes() || !has_model_[id]) {
     return std::nullopt;
   }
-  return models_[id];
+  return LinearMotionModel{Point{origin_x_[id], origin_y_[id]},
+                           Vec2{vel_x_[id], vel_y_[id]}, t0_[id]};
 }
 
 PositionTracker::PositionTracker(int32_t num_nodes)
-    : models_(num_nodes), has_model_(num_nodes, 0) {
+    : origin_x_(num_nodes, 0.0),
+      origin_y_(num_nodes, 0.0),
+      vel_x_(num_nodes, 0.0),
+      vel_y_(num_nodes, 0.0),
+      t0_(num_nodes, 0.0),
+      has_model_(num_nodes, 0) {
   LIRA_CHECK(num_nodes >= 0);
 }
 
 void PositionTracker::Apply(const ModelUpdate& update) {
-  LIRA_DCHECK(update.node_id >= 0 && update.node_id < num_nodes());
-  models_[update.node_id] = update.model;
-  has_model_[update.node_id] = 1;
+  const NodeId id = update.node_id;
+  LIRA_DCHECK(id >= 0 && id < num_nodes());
+  origin_x_[id] = update.model.origin.x;
+  origin_y_[id] = update.model.origin.y;
+  vel_x_[id] = update.model.velocity.x;
+  vel_y_[id] = update.model.velocity.y;
+  t0_[id] = update.model.t0;
+  has_model_[id] = 1;
   updates_applied_.fetch_add(1, std::memory_order_relaxed);
 }
 
@@ -60,23 +186,45 @@ std::optional<Point> PositionTracker::PredictAt(NodeId id, double t) const {
   if (!HasModel(id)) {
     return std::nullopt;
   }
-  return models_[id].PredictAt(t);
+  const LinearMotionModel model{Point{origin_x_[id], origin_y_[id]},
+                                Vec2{vel_x_[id], vel_y_[id]}, t0_[id]};
+  return model.PredictAt(t);
 }
 
 double PositionTracker::BelievedSpeed(NodeId id) const {
   if (!HasModel(id)) {
     return 0.0;
   }
-  return Norm(models_[id].velocity);
+  return Norm(Vec2{vel_x_[id], vel_y_[id]});
+}
+
+void PositionTracker::PredictSpan(NodeId begin, int64_t n, double t,
+                                  const double* fallback_x,
+                                  const double* fallback_y, double* out_x,
+                                  double* out_y, uint8_t* known) const {
+  LIRA_DCHECK(begin >= 0 && begin + n <= num_nodes());
+  LIRA_DCHECK((fallback_x == nullptr) == (fallback_y == nullptr));
+  kernels::PredictPositions(n, origin_x_.data() + begin,
+                            origin_y_.data() + begin, vel_x_.data() + begin,
+                            vel_y_.data() + begin, t0_.data() + begin,
+                            has_model_.data() + begin, t, fallback_x,
+                            fallback_y, out_x, out_y);
+  if (known != nullptr) {
+    for (int64_t i = 0; i < n; ++i) {
+      known[i] = has_model_[begin + i];
+    }
+  }
 }
 
 std::vector<std::pair<NodeId, Point>> PositionTracker::PredictAllAt(
     double t) const {
   std::vector<std::pair<NodeId, Point>> out;
-  out.reserve(models_.size());
+  out.reserve(t0_.size());
   for (NodeId id = 0; id < num_nodes(); ++id) {
     if (has_model_[id]) {
-      out.emplace_back(id, models_[id].PredictAt(t));
+      const LinearMotionModel model{Point{origin_x_[id], origin_y_[id]},
+                                    Vec2{vel_x_[id], vel_y_[id]}, t0_[id]};
+      out.emplace_back(id, model.PredictAt(t));
     }
   }
   return out;

@@ -1,4 +1,11 @@
 // Node-side dead-reckoning encoder and server-side position tracker.
+//
+// Both keep their motion-model state as structure-of-arrays columns
+// (origin_x/origin_y/vel_x/vel_y/t0/has) so the bulk paths -- ObserveSpan
+// and PredictSpan -- can stream contiguous lanes through the
+// DeviationFilter / PredictPositions kernels (common/kernels.h). The scalar
+// Observe / Apply / PredictAt API is unchanged and operates on the same
+// columns, so the two paths can never disagree about state.
 
 #ifndef LIRA_MOTION_DEAD_RECKONING_H_
 #define LIRA_MOTION_DEAD_RECKONING_H_
@@ -23,16 +30,20 @@ namespace lira {
 /// feedback about server-side drops, which is exactly why random dropping is
 /// so harmful (Section 1).
 ///
-/// Thread-safety: Observe may run concurrently for *disjoint* node ids
-/// (the simulator's ParallelFor partitions by id); the emitted-update
-/// counter is a relaxed atomic so the total stays exact.
+/// Thread-safety: Observe / ObserveSpan may run concurrently for *disjoint*
+/// node ids (the simulator's ParallelFor partitions by id); the emitted-
+/// update counter is a relaxed atomic so the total stays exact.
 class DeadReckoningEncoder {
  public:
   /// `num_nodes` nodes with ids 0..num_nodes-1, none having reported yet.
   explicit DeadReckoningEncoder(int32_t num_nodes);
 
   DeadReckoningEncoder(DeadReckoningEncoder&& other) noexcept
-      : models_(std::move(other.models_)),
+      : origin_x_(std::move(other.origin_x_)),
+        origin_y_(std::move(other.origin_y_)),
+        vel_x_(std::move(other.vel_x_)),
+        vel_y_(std::move(other.vel_y_)),
+        t0_(std::move(other.t0_)),
         has_model_(std::move(other.has_model_)),
         updates_emitted_(other.updates_emitted_.load()) {}
 
@@ -41,18 +52,47 @@ class DeadReckoningEncoder {
   std::optional<ModelUpdate> Observe(const PositionSample& sample,
                                      double delta);
 
+  /// Bulk Observe over the id range [begin, begin + n), all observed at one
+  /// common time t. obs_x/obs_y/obs_vx/obs_vy/delta are n-lane columns (lane
+  /// i is node begin + i). `decision` is caller scratch of n bytes (a
+  /// FrameArena span). Appends the emitted updates to *out in ascending id
+  /// order -- bitwise identical to n scalar Observe calls: the
+  /// DeviationFilter kernel classifies lanes as certainly-send /
+  /// certainly-keep with a band that swallows every rounding difference,
+  /// and ambiguous lanes fall back to Observe's exact hypot comparison.
+  void ObserveSpan(NodeId begin, int64_t n, const double* obs_x,
+                   const double* obs_y, const double* obs_vx,
+                   const double* obs_vy, double t, const double* delta,
+                   uint8_t* decision, std::vector<ModelUpdate>* out);
+
+  /// As ObserveSpan with one threshold for every lane.
+  void ObserveSpanUniform(NodeId begin, int64_t n, const double* obs_x,
+                          const double* obs_y, const double* obs_vx,
+                          const double* obs_vy, double t, double delta,
+                          uint8_t* decision, std::vector<ModelUpdate>* out);
+
   /// Number of updates emitted so far.
   int64_t updates_emitted() const { return updates_emitted_.load(); }
 
-  int32_t num_nodes() const { return static_cast<int32_t>(models_.size()); }
+  int32_t num_nodes() const { return static_cast<int32_t>(t0_.size()); }
 
   /// The node's current reference model (the last one sent); nullopt before
   /// the first report.
   std::optional<LinearMotionModel> ModelOf(NodeId id) const;
 
  private:
-  std::vector<LinearMotionModel> models_;
-  std::vector<char> has_model_;
+  /// Resolves one ambiguous lane with Observe's exact scalar expression and
+  /// emits/records the update when it sends.
+  void ResolveAndMaybeSend(NodeId id, double ox, double oy, double vx,
+                           double vy, double t, double delta,
+                           std::vector<ModelUpdate>* out, int64_t* emitted);
+
+  std::vector<double> origin_x_;
+  std::vector<double> origin_y_;
+  std::vector<double> vel_x_;
+  std::vector<double> vel_y_;
+  std::vector<double> t0_;
+  std::vector<uint8_t> has_model_;
   std::atomic<int64_t> updates_emitted_{0};
 };
 
@@ -66,7 +106,11 @@ class PositionTracker {
   explicit PositionTracker(int32_t num_nodes);
 
   PositionTracker(PositionTracker&& other) noexcept
-      : models_(std::move(other.models_)),
+      : origin_x_(std::move(other.origin_x_)),
+        origin_y_(std::move(other.origin_y_)),
+        vel_x_(std::move(other.vel_x_)),
+        vel_y_(std::move(other.vel_y_)),
+        t0_(std::move(other.t0_)),
         has_model_(std::move(other.has_model_)),
         updates_applied_(other.updates_applied_.load()) {}
 
@@ -84,18 +128,38 @@ class PositionTracker {
   /// Believed speed of a node (from the last model); 0 if never reported.
   double BelievedSpeed(NodeId id) const;
 
+  /// Bulk PredictAt over the id range [begin, begin + n) via the
+  /// PredictPositions kernel (PredictAt's exact expression per lane).
+  /// Model-less lanes take fallback_x/fallback_y when given, else their
+  /// out slots are unspecified. `known` (optional) receives the model
+  /// flags, matching PredictAt's has_value() per lane.
+  void PredictSpan(NodeId begin, int64_t n, double t,
+                   const double* fallback_x, const double* fallback_y,
+                   double* out_x, double* out_y, uint8_t* known) const;
+
   bool HasModel(NodeId id) const {
     return id >= 0 && id < num_nodes() && has_model_[id] != 0;
   }
-  int32_t num_nodes() const { return static_cast<int32_t>(models_.size()); }
+  int32_t num_nodes() const { return static_cast<int32_t>(t0_.size()); }
   int64_t updates_applied() const { return updates_applied_.load(); }
+
+  /// Heap footprint of the model columns (health snapshots / telemetry).
+  size_t MemoryBytes() const {
+    return (origin_x_.capacity() + origin_y_.capacity() + vel_x_.capacity() +
+            vel_y_.capacity() + t0_.capacity()) * sizeof(double) +
+           has_model_.capacity() * sizeof(uint8_t);
+  }
 
   /// Believed positions of all reported nodes at time t, as (id, position).
   std::vector<std::pair<NodeId, Point>> PredictAllAt(double t) const;
 
  private:
-  std::vector<LinearMotionModel> models_;
-  std::vector<char> has_model_;
+  std::vector<double> origin_x_;
+  std::vector<double> origin_y_;
+  std::vector<double> vel_x_;
+  std::vector<double> vel_y_;
+  std::vector<double> t0_;
+  std::vector<uint8_t> has_model_;
   std::atomic<int64_t> updates_applied_{0};
 };
 

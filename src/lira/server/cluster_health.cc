@@ -42,6 +42,9 @@ void WriteHealthJson(const ClusterHealth& health, std::ostream& out) {
   AppendDouble(&text, health.mean_shard_nodes);
   text += ",\"imbalance_ratio\":";
   AppendDouble(&text, health.imbalance_ratio);
+  text += ",\"tracker_bytes\":" + std::to_string(health.tracker_bytes);
+  text += ",\"bytes_per_node\":";
+  AppendDouble(&text, health.bytes_per_node);
   text += ",\"shards\":[";
   for (size_t i = 0; i < health.shards.size(); ++i) {
     const ShardHealth& shard = health.shards[i];
@@ -53,6 +56,7 @@ void WriteHealthJson(const ClusterHealth& health, std::ostream& out) {
     text += ",\"queue_depth\":" + std::to_string(shard.queue_depth);
     text += ",\"queue_arrivals\":" + std::to_string(shard.queue_arrivals);
     text += ",\"queue_dropped\":" + std::to_string(shard.queue_dropped);
+    text += ",\"tracker_bytes\":" + std::to_string(shard.tracker_bytes);
     text.push_back('}');
   }
   text += "]}";
@@ -85,6 +89,12 @@ void WriteHealthPrometheus(const ClusterHealth& health,
   text.append("# TYPE lira_cluster_imbalance_ratio gauge\n");
   AppendPromSample(&text, "lira_cluster_imbalance_ratio", "",
                    health.imbalance_ratio);
+  text.append("# TYPE lira_cluster_tracker_bytes gauge\n");
+  AppendPromSample(&text, "lira_cluster_tracker_bytes", "",
+                   static_cast<double>(health.tracker_bytes));
+  text.append("# TYPE lira_cluster_bytes_per_node gauge\n");
+  AppendPromSample(&text, "lira_cluster_bytes_per_node", "",
+                   health.bytes_per_node);
   text.append("# TYPE lira_cluster_shard_nodes_owned gauge\n");
   for (const ShardHealth& shard : health.shards) {
     AppendPromSample(&text, "lira_cluster_shard_nodes_owned",
@@ -102,6 +112,12 @@ void WriteHealthPrometheus(const ClusterHealth& health,
     AppendPromSample(&text, "lira_cluster_shard_queue_dropped",
                      "shard=\"" + std::to_string(shard.shard) + "\"",
                      static_cast<double>(shard.queue_dropped));
+  }
+  text.append("# TYPE lira_cluster_shard_tracker_bytes gauge\n");
+  for (const ShardHealth& shard : health.shards) {
+    AppendPromSample(&text, "lira_cluster_shard_tracker_bytes",
+                     "shard=\"" + std::to_string(shard.shard) + "\"",
+                     static_cast<double>(shard.tracker_bytes));
   }
   out << text;
   if (metrics != nullptr) {

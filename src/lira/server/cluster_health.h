@@ -24,6 +24,8 @@ struct ShardHealth {
   /// Cumulative arrivals / drops at this shard's queue.
   int64_t queue_arrivals = 0;
   int64_t queue_dropped = 0;
+  /// Heap bytes held by the shard tracker's motion-model columns.
+  int64_t tracker_bytes = 0;
 };
 
 struct ClusterHealth {
@@ -41,6 +43,10 @@ struct ClusterHealth {
   int64_t max_shard_nodes = 0;
   double mean_shard_nodes = 0.0;
   double imbalance_ratio = 0.0;
+  /// Memory shape (ISSUE 8): tracker column bytes summed over shards, and
+  /// that total per configured node.
+  int64_t tracker_bytes = 0;
+  double bytes_per_node = 0.0;
   std::vector<ShardHealth> shards;
 };
 

@@ -172,6 +172,12 @@ class CqServer : public ServerPipeline {
                                           double t) const override {
     return tracker_stage_.tracker().PredictAt(id, t);
   }
+  void FillBelievedInto(NodeId begin, int64_t n, double t, double* out_x,
+                        double* out_y, uint8_t* known) const override {
+    tracker_stage_.tracker().PredictSpan(begin, n, t, /*fallback_x=*/nullptr,
+                                         /*fallback_y=*/nullptr, out_x, out_y,
+                                         known);
+  }
   size_t queue_size() const override { return ingest_.queue().size(); }
   int64_t queue_arrivals() const override {
     return ingest_.queue().total_arrivals();

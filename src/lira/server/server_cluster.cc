@@ -464,11 +464,17 @@ ClusterHealth ServerCluster::HealthSnapshot() const {
         static_cast<int64_t>(shards_[k].ingest.queue().size());
     shard.queue_arrivals = shards_[k].ingest.queue().total_arrivals();
     shard.queue_dropped = shards_[k].ingest.queue().total_dropped();
+    shard.tracker_bytes =
+        static_cast<int64_t>(shards_[k].tracker.tracker().MemoryBytes());
     health.shards.push_back(shard);
     health.total_nodes += shard.nodes_owned;
     health.max_shard_nodes =
         std::max(health.max_shard_nodes, shard.nodes_owned);
+    health.tracker_bytes += shard.tracker_bytes;
   }
+  health.bytes_per_node =
+      static_cast<double>(health.tracker_bytes) /
+      std::max<int32_t>(1, config_.server.num_nodes);
   health.mean_shard_nodes =
       static_cast<double>(health.total_nodes) / num_shards();
   health.imbalance_ratio =

@@ -59,6 +59,26 @@ class ServerPipeline {
   virtual std::optional<Point> BelievedPositionAt(NodeId id,
                                                   double t) const = 0;
 
+  /// Bulk BelievedPositionAt over the id range [begin, begin + n): writes
+  /// the believed position columns and the known mask (lane i is node
+  /// begin + i; out slots of unknown lanes are unspecified). This default
+  /// loops over BelievedPositionAt; pipelines with columnar trackers
+  /// override it with the PredictPositions kernel (CqServer). Either path
+  /// yields bitwise-identical columns.
+  virtual void FillBelievedInto(NodeId begin, int64_t n, double t,
+                                double* out_x, double* out_y,
+                                uint8_t* known) const {
+    for (int64_t i = 0; i < n; ++i) {
+      const auto believed =
+          BelievedPositionAt(begin + static_cast<NodeId>(i), t);
+      known[i] = believed.has_value() ? 1 : 0;
+      if (believed.has_value()) {
+        out_x[i] = believed->x;
+        out_y[i] = believed->y;
+      }
+    }
+  }
+
   /// Queue accounting, aggregated over all shards.
   virtual size_t queue_size() const = 0;
   virtual int64_t queue_arrivals() const = 0;

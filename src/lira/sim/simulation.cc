@@ -7,6 +7,9 @@
 #include <utility>
 #include <vector>
 
+#include "lira/common/arena.h"
+#include "lira/common/kernels.h"
+#include "lira/common/node_store.h"
 #include "lira/common/parallel.h"
 #include "lira/common/rng.h"
 #include "lira/common/stats.h"
@@ -157,12 +160,22 @@ StatusOr<SimulationResult> RunSimulation(const World& world,
   // keeps the capacity): emitted updates per chunk, merged into `batch` in
   // chunk order == node order, so the server sees the exact serial batch.
   std::vector<std::vector<ModelUpdate>> batch_scratch(pool.num_threads());
+  std::vector<std::vector<ModelUpdate>> reference_scratch(pool.num_threads());
+  // Per-chunk decision-lane arenas (ParallelFor chunk c always runs on
+  // worker c, so an arena is never touched by two threads; Reset at chunk
+  // start makes steady-state frames allocation-free).
+  std::vector<FrameArena> arenas(pool.num_threads());
   std::vector<ModelUpdate> batch;
-  // Two-phase accuracy sampling: workers write per-node slots (no shared
-  // mutation), then the index updates are applied serially in id order.
-  std::vector<Point> truth_positions(num_nodes);
-  std::vector<Point> believed_positions(num_nodes);
-  std::vector<char> believed_known(num_nodes, 0);
+  // SoA frame snapshot (DESIGN.md §11): truth positions/velocities widened
+  // from the trace row by the UnpackFrame kernel, per-node thresholds from
+  // the active plan, and believed-position columns filled by the pipeline
+  // at sampling time.
+  NodeStore store(static_cast<int32_t>(num_nodes));
+  // Evaluation truth: the reference prediction, falling back to the frame
+  // truth. Separate columns from the store because PredictSpan's outputs
+  // must not alias its fallback inputs (the kernels are restrict-qualified).
+  std::vector<double> eval_truth_x(num_nodes);
+  std::vector<double> eval_truth_y(num_nodes);
   const double delta_min = world.reduction.delta_min();
   // Cumulative evaluator counters already forwarded to telemetry.
   int64_t deltas_emitted = 0;
@@ -175,29 +188,48 @@ StatusOr<SimulationResult> RunSimulation(const World& world,
     // Node side: every node checks its deviation against the throttler of
     // its current shedding region and transmits when it exceeds it. Chunks
     // own disjoint id ranges: encoder/tracker/history state is per-node,
-    // the plan is immutable, and counters are atomic.
+    // the plan is immutable, and counters are atomic. Each chunk stages its
+    // frame columns with the UnpackFrame/FillDeltas kernels and runs the
+    // vectorized deviation filter; per-lane decisions are identical to the
+    // scalar Observe path (ambiguous lanes re-resolve with the exact scalar
+    // expression), so the emitted update stream is bitwise unchanged.
     for (std::vector<ModelUpdate>& chunk_out : batch_scratch) {
       chunk_out.clear();
     }
+    const float* frame_states = trace.FrameData(frame);
     pool.ParallelFor(
         0, num_nodes, kNodeGrain,
         [&](int32_t chunk, int64_t chunk_begin, int64_t chunk_end) {
-          std::vector<ModelUpdate>& out = batch_scratch[chunk];
-          for (int64_t id = chunk_begin; id < chunk_end; ++id) {
-            const auto node = static_cast<NodeId>(id);
-            const PositionSample sample = trace.Sample(frame, node);
-            const double delta = plan.DeltaAt(sample.position);
-            auto update = encoder.Observe(sample, delta);
-            if (update.has_value()) {
-              out.push_back(*update);
-            }
-            auto reference_update = reference_encoder.Observe(sample,
-                                                              delta_min);
-            if (reference_update.has_value()) {
-              reference_tracker.Apply(*reference_update);
-              if (config.evaluate_history) {
-                reference_history.Record(*reference_update);
-              }
+          const int64_t len = chunk_end - chunk_begin;
+          kernels::UnpackFrame(len, frame_states + 4 * chunk_begin,
+                               store.truth_x() + chunk_begin,
+                               store.truth_y() + chunk_begin,
+                               store.vel_x() + chunk_begin,
+                               store.vel_y() + chunk_begin);
+          plan.FillDeltas(len, store.truth_x() + chunk_begin,
+                          store.truth_y() + chunk_begin,
+                          store.delta() + chunk_begin);
+          FrameArena& arena = arenas[chunk];
+          arena.Reset();
+          uint8_t* decision = arena.AllocSpan<uint8_t>(len);
+          encoder.ObserveSpan(static_cast<NodeId>(chunk_begin), len,
+                              store.truth_x() + chunk_begin,
+                              store.truth_y() + chunk_begin,
+                              store.vel_x() + chunk_begin,
+                              store.vel_y() + chunk_begin, t,
+                              store.delta() + chunk_begin, decision,
+                              &batch_scratch[chunk]);
+          std::vector<ModelUpdate>& reference_out = reference_scratch[chunk];
+          reference_out.clear();
+          reference_encoder.ObserveSpanUniform(
+              static_cast<NodeId>(chunk_begin), len,
+              store.truth_x() + chunk_begin, store.truth_y() + chunk_begin,
+              store.vel_x() + chunk_begin, store.vel_y() + chunk_begin, t,
+              delta_min, decision, &reference_out);
+          for (const ModelUpdate& update : reference_out) {
+            reference_tracker.Apply(update);
+            if (config.evaluate_history) {
+              reference_history.Record(update);
             }
           }
         });
@@ -228,32 +260,47 @@ StatusOr<SimulationResult> RunSimulation(const World& world,
                 static_cast<double>(server->queue_arrivals()));
       sink.Emit(telemetry::EventKind::kCounter, "lira.queue.dropped", t,
                 static_cast<double>(server->queue_dropped()));
+      // Memory-shape gauges (ISSUE 8): heap bytes per node across the SoA
+      // columns, and the largest per-frame scratch watermark any worker
+      // arena has reached.
+      const size_t node_bytes =
+          store.MemoryBytes() + evaluator->node_state_bytes();
+      sink.SampleGauge("lira.mem.bytes_per_node", t,
+                       static_cast<double>(node_bytes) /
+                           static_cast<double>(std::max<int64_t>(1,
+                                                                 num_nodes)));
+      size_t arena_hw = evaluator->arena_high_watermark();
+      for (const FrameArena& arena : arenas) {
+        arena_hw = std::max(arena_hw, arena.high_watermark());
+      }
+      sink.SampleGauge("lira.frame.arena_high_watermark", t,
+                       static_cast<double>(arena_hw));
     }
 
     // Accuracy sampling: phase one predicts every node's reference and
-    // believed position into per-node slots (parallel, no shared writes),
-    // phase two applies them to the snapshot indexes serially in id order
-    // (the grid's cell buckets are shared), then the per-query comparison
-    // maps over the pool with read-only index access.
+    // believed position into per-node column slots (parallel, no shared
+    // writes; reference via the PredictPositions kernel with the frame
+    // truth as fallback, believed via the pipeline's bulk fill), then the
+    // evaluator applies the columns to the snapshot indexes.
     if (frame >= config.warmup_frames &&
         (frame - config.warmup_frames) % config.sample_every == 0) {
       pool.ParallelFor(
           0, num_nodes, kNodeGrain,
           [&](int32_t /*chunk*/, int64_t chunk_begin, int64_t chunk_end) {
-            for (int64_t id = chunk_begin; id < chunk_end; ++id) {
-              const auto node = static_cast<NodeId>(id);
-              const auto reference = reference_tracker.PredictAt(node, t);
-              truth_positions[id] =
-                  reference.value_or(trace.Position(frame, node));
-              const auto believed = server->BelievedPositionAt(node, t);
-              believed_known[id] = believed.has_value() ? 1 : 0;
-              if (believed.has_value()) {
-                believed_positions[id] = *believed;
-              }
-            }
+            const int64_t len = chunk_end - chunk_begin;
+            reference_tracker.PredictSpan(
+                static_cast<NodeId>(chunk_begin), len, t,
+                store.truth_x() + chunk_begin, store.truth_y() + chunk_begin,
+                eval_truth_x.data() + chunk_begin,
+                eval_truth_y.data() + chunk_begin, /*known=*/nullptr);
+            server->FillBelievedInto(static_cast<NodeId>(chunk_begin), len, t,
+                                     store.believed_x() + chunk_begin,
+                                     store.believed_y() + chunk_begin,
+                                     store.believed_known() + chunk_begin);
           });
-      evaluator->ApplySample(truth_positions, believed_positions,
-                             believed_known, &pool);
+      evaluator->ApplySample(eval_truth_x.data(), eval_truth_y.data(),
+                             store.believed_x(), store.believed_y(),
+                             store.believed_known(), &pool);
       metrics.AddSample(evaluator->Evaluate(&pool));
       if (config.telemetry != nullptr) {
         telemetry::TelemetrySink& sink = *config.telemetry;

@@ -20,10 +20,7 @@ QueryIndex MakeIndex(int32_t cells = 10, double margin = 0.0) {
 
 /// All candidate query ids listed for `cell`, ascending.
 std::vector<QueryId> Candidates(const QueryIndex& index, int32_t cell) {
-  std::vector<QueryId> ids;
-  for (const QueryIndex::PartialEntry& e : index.Partial(cell)) {
-    ids.push_back(e.id);
-  }
+  std::vector<QueryId> ids = index.Partial(cell).id;
   for (QueryId id : index.Full(cell)) {
     ids.push_back(id);
   }
@@ -59,7 +56,8 @@ TEST(QueryIndexTest, FullCoverageClassification) {
   const int32_t edge = index.CellIndexOf({25.0, 250.0});
   EXPECT_TRUE(index.Full(edge).empty());
   ASSERT_EQ(index.Partial(edge).size(), 1u);
-  EXPECT_EQ(index.Partial(edge)[0].id, 7);
+  EXPECT_EQ(index.Partial(edge).id[0], 7);
+  EXPECT_EQ(index.Partial(edge).RectAt(0), (Rect{50.0, 50.0, 450.0, 450.0}));
 }
 
 TEST(QueryIndexTest, EraseIsInverseOfInsert) {
@@ -91,12 +89,14 @@ TEST(QueryIndexTest, ListsStaySortedById) {
   for (int32_t cell = 0; cell < 16; ++cell) {
     const auto& full = index.Full(cell);
     EXPECT_TRUE(std::is_sorted(full.begin(), full.end())) << "cell " << cell;
-    const auto& partial = index.Partial(cell);
-    EXPECT_TRUE(std::is_sorted(
-        partial.begin(), partial.end(),
-        [](const QueryIndex::PartialEntry& x,
-           const QueryIndex::PartialEntry& y) { return x.id < y.id; }))
+    const QueryIndex::CellPartials& partial = index.Partial(cell);
+    EXPECT_TRUE(std::is_sorted(partial.id.begin(), partial.id.end()))
         << "cell " << cell;
+    // The edge columns must stay aligned with the id column.
+    ASSERT_EQ(partial.min_x.size(), partial.id.size());
+    ASSERT_EQ(partial.min_y.size(), partial.id.size());
+    ASSERT_EQ(partial.max_x.size(), partial.id.size());
+    ASSERT_EQ(partial.max_y.size(), partial.id.size());
   }
 }
 

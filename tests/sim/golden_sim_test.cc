@@ -1,0 +1,168 @@
+// Golden bitwise-equivalence fixtures for RunSimulation (ISSUE 8).
+//
+// The SoA/data-oriented hot-path overhaul must not change a single bit of
+// simulation output. These tests replay a fixed world through RunSimulation
+// at threads in {1, 2, 8} and shards in {0, 1, 4} and compare every numeric
+// field of the SimulationResult against fixtures serialized from the
+// pre-refactor code (hexfloat, so doubles round-trip exactly).
+//
+// Regenerating (only legitimate when simulation *semantics* deliberately
+// change, never for a layout refactor):
+//   LIRA_REGEN_GOLDEN=1 ./sim_golden_sim_test
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "lira/core/policy.h"
+#include "lira/sim/experiment.h"
+#include "lira/sim/simulation.h"
+#include "lira/sim/world.h"
+
+namespace lira {
+namespace {
+
+#ifndef LIRA_SIM_TESTDATA_DIR
+#define LIRA_SIM_TESTDATA_DIR "tests/sim/testdata"
+#endif
+
+constexpr int32_t kNodes = 600;
+constexpr int32_t kFrames = 300;
+const int32_t kShardSettings[] = {0, 1, 4};
+const int32_t kThreadSettings[] = {1, 2, 8};
+
+std::string FixturePath() {
+  return std::string(LIRA_SIM_TESTDATA_DIR) + "/golden_sim.txt";
+}
+
+const World& GoldenWorld() {
+  static const World* world = [] {
+    WorldConfig config = DefaultWorldConfig(kNodes);
+    config.trace_frames = kFrames;
+    config.query_node_ratio = 0.05;
+    config.seed = 42;
+    auto built = BuildWorld(config);
+    if (!built.ok()) {
+      std::fprintf(stderr, "BuildWorld: %s\n",
+                   built.status().ToString().c_str());
+      std::abort();
+    }
+    return new World(*std::move(built));
+  }();
+  return *world;
+}
+
+SimulationResult RunGolden(int32_t threads, int32_t shards) {
+  auto policy = MakePolicy("Lira", DefaultLiraConfig());
+  if (!policy.ok()) {
+    ADD_FAILURE() << policy.status().ToString();
+    std::abort();
+  }
+  SimulationConfig config = DefaultSimulationConfig();
+  config.z = 0.35;
+  config.threads = threads;
+  config.shards = shards;
+  auto result = RunSimulation(GoldenWorld(), **policy, config);
+  if (!result.ok()) {
+    ADD_FAILURE() << result.status().ToString();
+    std::abort();
+  }
+  return *result;
+}
+
+/// Flattens the numeric result fields into an ordered key -> value map.
+/// Doubles are stored as hexfloat strings (exact), integers as decimal.
+std::map<std::string, std::string> Flatten(const SimulationResult& r,
+                                           int32_t shards) {
+  const std::string p = "s" + std::to_string(shards) + ".";
+  std::map<std::string, std::string> out;
+  char buf[64];
+  const auto put_f = [&](const char* key, double v) {
+    std::snprintf(buf, sizeof(buf), "%a", v);
+    out[p + key] = buf;
+  };
+  const auto put_i = [&](const char* key, int64_t v) {
+    std::snprintf(buf, sizeof(buf), "%" PRId64, v);
+    out[p + key] = buf;
+  };
+  put_f("mean_containment_error", r.metrics.mean_containment_error);
+  put_f("mean_position_error", r.metrics.mean_position_error);
+  put_f("containment_error_stddev", r.metrics.containment_error_stddev);
+  put_f("containment_error_cov", r.metrics.containment_error_cov);
+  put_f("position_error_stddev", r.metrics.position_error_stddev);
+  put_i("num_samples", r.metrics.num_samples);
+  put_i("num_queries", r.metrics.num_queries);
+  put_f("final_z", r.final_z);
+  put_i("updates_sent", r.updates_sent);
+  put_i("updates_dropped", r.updates_dropped);
+  put_i("updates_applied", r.updates_applied);
+  put_i("plan_builds", r.plan_builds);
+  put_i("final_plan_regions", r.final_plan_regions);
+  put_f("final_plan_min_delta", r.final_plan_min_delta);
+  put_f("final_plan_max_delta", r.final_plan_max_delta);
+  put_f("measured_update_fraction", r.measured_update_fraction);
+  return out;
+}
+
+std::map<std::string, std::string> LoadFixture() {
+  std::map<std::string, std::string> out;
+  std::ifstream in(FixturePath());
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') {
+      continue;
+    }
+    const size_t space = line.find(' ');
+    if (space != std::string::npos) {
+      out[line.substr(0, space)] = line.substr(space + 1);
+    }
+  }
+  return out;
+}
+
+TEST(GoldenSimTest, MatchesPreRefactorFixturesAtEveryThreadAndShardCount) {
+  if (const char* regen = std::getenv("LIRA_REGEN_GOLDEN");
+      regen != nullptr && *regen != '\0') {
+    std::ofstream out(FixturePath());
+    ASSERT_TRUE(out.good()) << "cannot write " << FixturePath();
+    out << "# RunSimulation golden outputs: " << kNodes << " nodes, "
+        << kFrames << " frames, Lira z=0.35, seed 42.\n"
+        << "# Doubles are hexfloat (exact); regenerate with "
+           "LIRA_REGEN_GOLDEN=1 only on a deliberate semantic change.\n";
+    for (int32_t shards : kShardSettings) {
+      for (const auto& [key, value] : Flatten(RunGolden(1, shards), shards)) {
+        out << key << ' ' << value << '\n';
+      }
+    }
+    ASSERT_TRUE(out.good());
+    GTEST_SKIP() << "regenerated " << FixturePath();
+  }
+
+  const auto want = LoadFixture();
+  ASSERT_FALSE(want.empty())
+      << "missing fixture " << FixturePath()
+      << " (generate with LIRA_REGEN_GOLDEN=1)";
+  for (int32_t shards : kShardSettings) {
+    for (int32_t threads : kThreadSettings) {
+      const auto got = Flatten(RunGolden(threads, shards), shards);
+      for (const auto& [key, value] : got) {
+        const auto it = want.find(key);
+        ASSERT_NE(it, want.end()) << "fixture missing key " << key;
+        EXPECT_EQ(value, it->second)
+            << key << " diverged at threads=" << threads
+            << " shards=" << shards;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace lira
