@@ -14,7 +14,27 @@
 // period is set beyond the run so every Adapt() is explicit and timed.
 // On a single-core host expect flat-to-slightly-worse scaling: the rows
 // then measure the sharding overhead itself, which must stay small.
+//
+// Flash-crowd mode (DESIGN.md §12):
+//
+//   bench_shard_scaling --hotspot [--nodes 8000] [--ticks 600] [--shards 8]
+//                       [--flash-tick 120] [--window 200] [--threads 0]
+//                       [--min-ratio 0] [--json BENCH_rebalance.json]
+//
+// Mid-run, 95% of the population teleports into an 8-column hot band and
+// starts reporting every tick. The same stream is replayed through a static
+// cluster (rebalance_stride = 0) and a rebalanced one (stride 1): under the
+// static even split only the two shards owning the hot band can serve it,
+// so the cluster's applied-update throughput is capped at 2/S of its
+// aggregate service rate; the rebalanced map re-splits the columns until
+// every shard owns a slice of the crowd. The headline metric is the ratio
+// of applied updates over the steady tail window -- a deterministic
+// queue/service quantity, identical for every thread count and machine --
+// and each run prints a state_hash line (FNV-1a over the map epoch, strip
+// boundaries, ownership counts, queue totals, and final believed
+// positions) that CI compares across thread counts.
 
+#include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
@@ -86,17 +106,275 @@ double Seconds(std::chrono::steady_clock::time_point a,
   return std::chrono::duration<double>(b - a).count();
 }
 
+// ---------------------------------------------------------------------------
+// Flash-crowd ("hotspot") mode.
+
+/// The hot band: 8 of the 64 grid columns, centred in the world.
+constexpr double kHotMinX = 4375.0;
+constexpr double kHotMaxX = 5625.0;
+
+/// Like MakeBatches, but at `flash_tick` 95% of the nodes teleport into the
+/// hot x-band and start reporting every tick (the cold remainder drops to
+/// p = 0.2), so post-flash traffic concentrates into 8 grid columns.
+std::vector<std::vector<ModelUpdate>> MakeHotspotBatches(int32_t nodes,
+                                                         int32_t ticks,
+                                                         int32_t flash_tick,
+                                                         uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Point> pos(nodes);
+  for (int32_t id = 0; id < nodes; ++id) {
+    pos[id] = {rng.Uniform(0.0, 10000.0), rng.Uniform(0.0, 10000.0)};
+  }
+  auto is_hot = [](int32_t id) { return id % 20 != 0; };  // 95%
+  std::vector<std::vector<ModelUpdate>> batches(ticks);
+  for (int32_t t = 0; t < ticks; ++t) {
+    const double now = t * kTickSeconds;
+    if (t == flash_tick) {
+      for (int32_t id = 0; id < nodes; ++id) {
+        if (is_hot(id)) {
+          pos[id] = {rng.Uniform(kHotMinX, kHotMaxX),
+                     rng.Uniform(0.0, 10000.0)};
+        }
+      }
+    }
+    const bool flashed = t >= flash_tick;
+    for (int32_t id = 0; id < nodes; ++id) {
+      pos[id].x += rng.Uniform(-15.0, 15.0);
+      pos[id].y += rng.Uniform(-15.0, 15.0);
+      const bool hot = flashed && is_hot(id);
+      if (hot) {
+        pos[id].x = std::clamp(pos[id].x, kHotMinX, kHotMaxX - 1e-6);
+      }
+      const double report_p = hot ? 1.0 : (flashed ? 0.2 : 0.5);
+      if (rng.Uniform(0.0, 1.0) >= report_p) continue;
+      ModelUpdate u;
+      u.node_id = id;
+      u.model = LinearMotionModel{
+          pos[id], {rng.Uniform(-15.0, 15.0), rng.Uniform(-15.0, 15.0)}, now};
+      batches[t].push_back(u);
+    }
+  }
+  return batches;
+}
+
+/// FNV-1a 64 over the 8 bytes of v (little-endian order, explicitly --
+/// the hash must agree across hosts).
+uint64_t HashU64(uint64_t h, uint64_t v) {
+  for (int b = 0; b < 8; ++b) {
+    h ^= (v >> (8 * b)) & 0xff;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+uint64_t HashDouble(uint64_t h, double d) {
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(d));
+  std::memcpy(&bits, &d, sizeof(bits));
+  return HashU64(h, bits);
+}
+
+struct HotspotResult {
+  int64_t applied_total = 0;
+  /// Applied updates over the last `window` ticks (the steady tail).
+  int64_t window_applied = 0;
+  int64_t dropped = 0;
+  int64_t map_epoch = 0;
+  int64_t rebalances = 0;
+  int64_t nodes_migrated = 0;
+  double wall_seconds = 0.0;
+  uint64_t state_hash = 0;
+};
+
+/// Replays the stream through one cluster configuration. Everything in the
+/// result except wall_seconds is a deterministic function of the inputs
+/// (independent of --threads); state_hash digests the full end state.
+StatusOr<HotspotResult> RunHotspot(
+    const std::vector<std::vector<ModelUpdate>>& batches, int32_t nodes,
+    int32_t shards, int32_t threads, int32_t rebalance_stride,
+    int32_t window, const LoadSheddingPolicy& policy,
+    const UpdateReductionFunction& reduction, const QueryRegistry& queries) {
+  ServerClusterConfig config;
+  config.server.num_nodes = nodes;
+  config.server.world = kWorld;
+  config.server.alpha = 64;
+  config.server.queue_capacity = static_cast<size_t>(nodes);
+  // Deliberately scarce: per-shard service mu/S admits only 2 * nodes / S
+  // updates per simulated second, so a shard owning the whole flash crowd
+  // saturates and the cluster's throughput is ownership-limited.
+  config.server.service_rate = 2.0 * nodes;
+  config.server.adaptation_period = 2.0;  // adapt every 20 ticks
+  config.server.fixed_z = 0.5;
+  config.shards = shards;
+  config.threads = threads;
+  config.rebalance_stride = rebalance_stride;
+  config.rebalance_max_moves = 4;
+  auto cluster = ServerCluster::Create(config, &policy, &reduction, &queries);
+  if (!cluster.ok()) return cluster.status();
+
+  const int32_t ticks = static_cast<int32_t>(batches.size());
+  HotspotResult result;
+  int64_t window_start_applied = 0;
+  std::vector<ModelUpdate> scratch;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int32_t t = 0; t < ticks; ++t) {
+    if (t == ticks - window) {
+      window_start_applied = (*cluster)->updates_applied();
+    }
+    scratch = batches[t];  // ReceiveBatch consumes its input
+    (*cluster)->ReceiveBatch(&scratch);
+    if (auto s = (*cluster)->Tick(kTickSeconds); !s.ok()) return s;
+  }
+  result.wall_seconds = Seconds(t0, std::chrono::steady_clock::now());
+
+  result.applied_total = (*cluster)->updates_applied();
+  result.window_applied = result.applied_total - window_start_applied;
+  result.dropped = (*cluster)->queue_dropped();
+  result.map_epoch = (*cluster)->map_epoch();
+  result.rebalances = (*cluster)->rebalances();
+  result.nodes_migrated = (*cluster)->nodes_migrated();
+
+  uint64_t h = 1469598103934665603ull;  // FNV offset basis
+  h = HashU64(h, static_cast<uint64_t>(result.map_epoch));
+  h = HashU64(h, static_cast<uint64_t>(result.nodes_migrated));
+  h = HashU64(h, static_cast<uint64_t>(result.applied_total));
+  h = HashU64(h, static_cast<uint64_t>(result.dropped));
+  for (int32_t k = 0; k < shards; ++k) {
+    h = HashU64(h, static_cast<uint64_t>((*cluster)->shard_map().ColumnBegin(k)));
+  }
+  const ClusterHealth health = (*cluster)->HealthSnapshot();
+  for (const ShardHealth& sh : health.shards) {
+    h = HashU64(h, static_cast<uint64_t>(sh.nodes_owned));
+    h = HashU64(h, static_cast<uint64_t>(sh.queue_depth));
+    h = HashU64(h, static_cast<uint64_t>(sh.queue_dropped));
+  }
+  const double t_end = (*cluster)->time();
+  for (int32_t id = 0; id < nodes; ++id) {
+    const auto p = (*cluster)->BelievedPositionAt(id, t_end);
+    if (p.has_value()) {
+      h = HashDouble(h, p->x);
+      h = HashDouble(h, p->y);
+    } else {
+      h = HashU64(h, 0x6e6f6e65ull);  // "none"
+    }
+  }
+  result.state_hash = h;
+  return result;
+}
+
+/// The --hotspot entry point: static vs rebalanced replay, table, hashes,
+/// BENCH_rebalance.json export, optional --min-ratio gate.
+int HotspotMain(int32_t nodes, int32_t ticks, int32_t shards,
+                int32_t threads, int32_t flash_tick, int32_t window,
+                double min_ratio, const std::string& json_path,
+                const LoadSheddingPolicy& policy,
+                const UpdateReductionFunction& reduction,
+                const QueryRegistry& queries) {
+  if (flash_tick <= 0 || flash_tick >= ticks || window <= 0 ||
+      window > ticks - flash_tick) {
+    std::fprintf(stderr,
+                 "need 0 < --flash-tick < --ticks and 0 < --window <= "
+                 "ticks - flash_tick\n");
+    return 2;
+  }
+  std::printf(
+      "hotspot: %d nodes, %d ticks, flash at tick %d, S=%d, window=%d\n",
+      nodes, ticks, flash_tick, shards, window);
+  const auto batches = MakeHotspotBatches(nodes, ticks, flash_tick, 42);
+  int64_t stream_updates = 0;
+  for (const auto& batch : batches) {
+    stream_updates += static_cast<int64_t>(batch.size());
+  }
+  std::printf("stream: %lld updates\n\n",
+              static_cast<long long>(stream_updates));
+
+  struct Run {
+    const char* label;
+    int32_t stride;
+    HotspotResult r;
+  };
+  Run runs[2] = {{"static", 0, {}}, {"rebalanced", 1, {}}};
+  for (Run& run : runs) {
+    auto r = RunHotspot(batches, nodes, shards, threads, run.stride, window,
+                        policy, reduction, queries);
+    if (!r.ok()) {
+      std::fprintf(stderr, "%s run: %s\n", run.label,
+                   r.status().ToString().c_str());
+      return 1;
+    }
+    run.r = *r;
+  }
+
+  std::printf("%-12s %14s %14s %8s %10s %10s\n", "config", "window_applied",
+              "applied_tick", "epoch", "migrated", "wall_s");
+  for (const Run& run : runs) {
+    std::printf("%-12s %14lld %14.1f %8lld %10lld %10.3f\n", run.label,
+                static_cast<long long>(run.r.window_applied),
+                static_cast<double>(run.r.window_applied) / window,
+                static_cast<long long>(run.r.map_epoch),
+                static_cast<long long>(run.r.nodes_migrated),
+                run.r.wall_seconds);
+  }
+  const double ratio =
+      static_cast<double>(runs[1].r.window_applied) /
+      static_cast<double>(runs[0].r.window_applied > 0
+                              ? runs[0].r.window_applied
+                              : 1);
+  std::printf("\nrebalanced / static window throughput: %.2fx\n", ratio);
+  // One line per run, grepped by CI and compared across thread counts.
+  for (const Run& run : runs) {
+    std::printf("state_hash[%s]: %016llx\n", run.label,
+                static_cast<unsigned long long>(run.r.state_hash));
+  }
+
+  bench::BenchExport export_("bench_rebalance");
+  export_.SetConfig("nodes", nodes);
+  export_.SetConfig("ticks", ticks);
+  export_.SetConfig("flash_tick", flash_tick);
+  export_.SetConfig("window", window);
+  export_.SetConfig("shards", shards);
+  export_.SetConfig("threads", threads);
+  export_.SetConfig("stream_updates", static_cast<double>(stream_updates));
+  for (const Run& run : runs) {
+    const std::string prefix = std::string(run.label) + ".";
+    export_.SetMetric(prefix + "window_applied",
+                      static_cast<double>(run.r.window_applied));
+    export_.SetMetric(prefix + "updates_applied",
+                      static_cast<double>(run.r.applied_total));
+    export_.SetMetric(prefix + "updates_dropped",
+                      static_cast<double>(run.r.dropped));
+    export_.SetMetric(prefix + "map_epoch",
+                      static_cast<double>(run.r.map_epoch));
+    export_.SetMetric(prefix + "nodes_migrated",
+                      static_cast<double>(run.r.nodes_migrated));
+    export_.SetMetric(prefix + "wall_seconds", run.r.wall_seconds);
+  }
+  export_.SetMetric("throughput_ratio", ratio);
+  if (!export_.WriteJson(json_path)) return 1;
+  if (min_ratio > 0.0 && ratio < min_ratio) {
+    std::fprintf(stderr, "FAIL: throughput ratio %.2f < --min-ratio %.2f\n",
+                 ratio, min_ratio);
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 }  // namespace lira
 
 int main(int argc, char** argv) {
   using namespace lira;
-  int32_t nodes = 10000;
-  int32_t ticks = 200;
+  int32_t nodes = -1;
+  int32_t ticks = -1;
   int32_t adaptations = 10;
   int32_t threads = 0;
+  bool hotspot = false;
+  int32_t shards = 8;
+  int32_t flash_tick = -1;
+  int32_t window = -1;
+  double min_ratio = 0.0;
   std::vector<int32_t> shard_counts = {1, 2, 4, 8};
-  std::string json_path = "BENCH_shard.json";
+  std::string json_path;
   for (int i = 1; i < argc; ++i) {
     auto next = [&]() -> const char* {
       if (i + 1 >= argc) {
@@ -115,24 +393,36 @@ int main(int argc, char** argv) {
       threads = std::atoi(next());
     } else if (!std::strcmp(argv[i], "--shards-list")) {
       shard_counts = ParseShardsList(next());
+    } else if (!std::strcmp(argv[i], "--hotspot")) {
+      hotspot = true;
+    } else if (!std::strcmp(argv[i], "--shards")) {
+      shards = std::atoi(next());
+    } else if (!std::strcmp(argv[i], "--flash-tick")) {
+      flash_tick = std::atoi(next());
+    } else if (!std::strcmp(argv[i], "--window")) {
+      window = std::atoi(next());
+    } else if (!std::strcmp(argv[i], "--min-ratio")) {
+      min_ratio = std::atof(next());
     } else if (!std::strcmp(argv[i], "--json")) {
       json_path = next();
     } else {
       std::fprintf(stderr,
                    "usage: %s [--nodes N] [--ticks T] [--adaptations A]"
-                   " [--shards-list 1,2,4,8] [--threads N] [--json PATH]\n",
-                   argv[0]);
+                   " [--shards-list 1,2,4,8] [--threads N] [--json PATH]\n"
+                   "       %s --hotspot [--nodes N] [--ticks T] [--shards S]"
+                   " [--flash-tick F] [--window W] [--min-ratio R]"
+                   " [--threads N] [--json PATH]\n",
+                   argv[0], argv[0]);
       return 2;
     }
   }
-
-  std::printf("generating %d ticks of updates for %d nodes\n", ticks, nodes);
-  const auto batches = MakeBatches(nodes, ticks, 42);
-  int64_t stream_updates = 0;
-  for (const auto& batch : batches) {
-    stream_updates += static_cast<int64_t>(batch.size());
+  if (nodes < 0) nodes = hotspot ? 8000 : 10000;
+  if (ticks < 0) ticks = hotspot ? 600 : 200;
+  if (flash_tick < 0) flash_tick = ticks / 5;
+  if (window < 0) window = ticks / 3;
+  if (json_path.empty()) {
+    json_path = hotspot ? "BENCH_rebalance.json" : "BENCH_shard.json";
   }
-
   LiraConfig lira_config;
   lira_config.l = 100;
   const LiraPolicy policy(lira_config);
@@ -154,6 +444,18 @@ int main(int argc, char** argv) {
     const double x0 = query_rng.Uniform(0.0, 10000.0 - side);
     const double y0 = query_rng.Uniform(0.0, 10000.0 - side);
     queries.Add(Rect{x0, y0, x0 + side, y0 + side});
+  }
+
+  if (hotspot) {
+    return HotspotMain(nodes, ticks, shards, threads, flash_tick, window,
+                       min_ratio, json_path, policy, *reduction, queries);
+  }
+
+  std::printf("generating %d ticks of updates for %d nodes\n", ticks, nodes);
+  const auto batches = MakeBatches(nodes, ticks, 42);
+  int64_t stream_updates = 0;
+  for (const auto& batch : batches) {
+    stream_updates += static_cast<int64_t>(batch.size());
   }
 
   std::printf("stream: %lld updates over %d ticks, %d queries\n\n",

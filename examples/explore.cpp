@@ -9,12 +9,15 @@
 //           [--telemetry out.jsonl] [--telemetry-stride 10]
 //           [--trace out.json] [--flight out.json]
 //           [--health out.jsonl] [--health-stride 60]
-//           [--threads N] [--shards S] [--incremental | --no-incremental]
+//           [--threads N] [--shards S] [--rebalance R]
+//           [--incremental | --no-incremental]
 //
 // --threads sets the simulation engine's worker count (0 = hardware
 // concurrency, 1 = fully serial); results are identical for any value.
 // --shards S >= 1 runs the region-sharded ServerCluster instead of the
 // monolithic server (0, the default); S = 1 is bitwise identical to 0.
+// --rebalance R re-splits the cluster's shard strips from observed load
+// every R adaptation windows (requires --shards >= 1; 0 = static map).
 // --no-incremental forces the original recompute-everything accuracy and
 // statistics paths (incremental is the default); results are bitwise
 // identical either way, only wall-clock time changes.
@@ -59,7 +62,7 @@ namespace {
       "          [--seed S] [--telemetry PATH] [--telemetry-stride K]\n"
       "          [--trace PATH] [--flight PATH]\n"
       "          [--health PATH] [--health-stride K]\n"
-      "          [--threads N] [--shards S]\n"
+      "          [--threads N] [--shards S] [--rebalance R]\n"
       "          [--incremental | --no-incremental]\n",
       argv0);
   std::exit(2);
@@ -87,6 +90,7 @@ int main(int argc, char** argv) {
   int32_t health_stride = 60;
   int32_t threads = 0;
   int32_t shards = 0;
+  int32_t rebalance_stride = 0;
   bool incremental = true;
 
   for (int i = 1; i < argc; ++i) {
@@ -151,6 +155,8 @@ int main(int argc, char** argv) {
       threads = std::atoi(next("--threads"));
     } else if (!std::strcmp(argv[i], "--shards")) {
       shards = std::atoi(next("--shards"));
+    } else if (!std::strcmp(argv[i], "--rebalance")) {
+      rebalance_stride = std::atoi(next("--rebalance"));
     } else if (!std::strcmp(argv[i], "--incremental")) {
       incremental = true;
     } else if (!std::strcmp(argv[i], "--no-incremental")) {
@@ -184,6 +190,7 @@ int main(int argc, char** argv) {
   sim.evaluate_history = history;
   sim.threads = threads;
   sim.shards = shards;
+  sim.rebalance_stride = rebalance_stride;
   sim.incremental = incremental;
   if (capacity_fraction > 0.0) {
     sim.service_rate_override = capacity_fraction * world->full_update_rate;

@@ -254,6 +254,16 @@ RegionStats StatisticsGrid::AggregateRect(const Rect& rect) const {
   return stats;
 }
 
+void StatisticsGrid::ColumnNodeCounts(std::vector<int64_t>* out) const {
+  out->assign(alpha_, 0);
+  for (int32_t iy = 0; iy < alpha_; ++iy) {
+    const int64_t* row = node_count_.data() + CellIndex(0, iy);
+    for (int32_t ix = 0; ix < alpha_; ++ix) {
+      (*out)[ix] += row[ix];
+    }
+  }
+}
+
 double StatisticsGrid::TotalNodes() const {
   return static_cast<double>(total_node_count_);
 }

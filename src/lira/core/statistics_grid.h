@@ -100,6 +100,12 @@ class StatisticsGrid {
   /// l-partitioning baseline and by tests.
   RegionStats AggregateRect(const Rect& rect) const;
 
+  /// Fills `out` (resized to alpha) with the exact integer node count of
+  /// each grid column (sum of the column's cells). These are the load
+  /// figures the cluster coordinator feeds ShardMap::Rebalance -- integers
+  /// so every thread count derives the identical split.
+  void ColumnNodeCounts(std::vector<int64_t>* out) const;
+
   /// Totals over the whole grid. Node totals are running sums maintained by
   /// Add/Remove (O(1)); the query total is cached lazily after AddQueries.
   double TotalNodes() const;

@@ -1,0 +1,83 @@
+#include "lira/cq/sharded_queries.h"
+
+#include <algorithm>
+
+#include "lira/common/check.h"
+
+namespace lira {
+
+void ShardedQueryTable::Build(const QueryRegistry& registry,
+                              const std::vector<Rect>& shard_strips,
+                              double margin) {
+  LIRA_CHECK(margin >= 0.0);
+  shards_.assign(shard_strips.size(), {});
+  for (size_t k = 0; k < shard_strips.size(); ++k) {
+    const Rect& strip = shard_strips[k];
+    const Rect expanded{strip.min_x - margin, strip.min_y - margin,
+                        strip.max_x + margin, strip.max_y + margin};
+    for (const RangeQuery& q : registry.queries()) {
+      // Closed intersection: a query flush against a strip border must be
+      // installed on both sides -- a believed position exactly on the
+      // half-open boundary belongs to the right-hand strip, but the node
+      // reporting it may be owned by either shard within the margin.
+      if (q.range.IntersectsClosed(expanded)) {
+        shards_[k].push_back(
+            ShardSubQuery{q.id, q.range.Intersection(expanded)});
+      }
+    }
+  }
+}
+
+const ShardSubQuery* ShardedQueryTable::Find(int32_t shard,
+                                             QueryId id) const {
+  const std::vector<ShardSubQuery>& list = shards_[shard];
+  auto it = std::lower_bound(
+      list.begin(), list.end(), id,
+      [](const ShardSubQuery& sq, QueryId target) { return sq.id < target; });
+  if (it == list.end() || it->id != id) {
+    return nullptr;
+  }
+  return &*it;
+}
+
+int64_t ShardedQueryTable::TotalInstalled() const {
+  int64_t total = 0;
+  for (const auto& list : shards_) {
+    total += static_cast<int64_t>(list.size());
+  }
+  return total;
+}
+
+std::vector<NodeId> MergeSortedUnion(
+    const std::vector<std::vector<NodeId>>& lists) {
+  std::vector<NodeId> merged;
+  for (const std::vector<NodeId>& list : lists) {
+    if (list.empty()) {
+      continue;
+    }
+    if (merged.empty()) {
+      merged = list;
+      continue;
+    }
+    std::vector<NodeId> next;
+    next.reserve(merged.size() + list.size());
+    size_t i = 0, j = 0;
+    while (i < merged.size() && j < list.size()) {
+      if (merged[i] < list[j]) {
+        next.push_back(merged[i++]);
+      } else if (list[j] < merged[i]) {
+        next.push_back(list[j++]);
+      } else {
+        next.push_back(merged[i]);
+        ++i;
+        ++j;
+      }
+    }
+    next.insert(next.end(), merged.begin() + i, merged.end());
+    next.insert(next.end(), list.begin() + j, list.end());
+    merged = std::move(next);
+  }
+  return merged;
+}
+
+}  // namespace lira

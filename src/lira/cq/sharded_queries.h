@@ -1,0 +1,79 @@
+// Shard-local clipped sub-queries for a strip-partitioned cluster.
+//
+// A range query overlapping K shard strips is installed as K shard-local
+// sub-queries, each carrying the query range clipped to its strip expanded
+// by the attainable-inaccuracy margin. Each shard evaluates only its own
+// sub-queries against only the nodes it owns, and the coordinator unions
+// the per-shard membership lists with a sorted merge -- no per-query
+// coordinator round-trip, and no cross-shard candidate traffic.
+//
+// This layer is pure cq-side bookkeeping: it takes the shard strips as
+// plain rectangles (it does not know about ShardMap or epochs). The owner
+// rebuilds the table whenever the query set or the strip boundaries change,
+// which keeps the installed sub-queries aligned with the current ownership
+// epoch (DESIGN.md §12).
+
+#ifndef LIRA_CQ_SHARDED_QUERIES_H_
+#define LIRA_CQ_SHARDED_QUERIES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "lira/common/geometry.h"
+#include "lira/cq/query.h"
+#include "lira/cq/query_registry.h"
+#include "lira/mobility/position.h"
+
+namespace lira {
+
+/// One query's clipped installation at one shard.
+struct ShardSubQuery {
+  QueryId id = -1;
+  /// range(query) ∩ strip(shard) -- never empty under closed intersection,
+  /// but possibly zero-area (a query edge flush against a strip border).
+  Rect clipped;
+};
+
+/// Per-shard lists of clipped sub-queries, id-sorted within each shard.
+class ShardedQueryTable {
+ public:
+  ShardedQueryTable() = default;
+
+  /// Rebuilds the table: query q is installed at shard k iff q.range
+  /// closed-intersects strip k expanded by `margin` on every side. The
+  /// margin covers believed positions that drift up to the attainable
+  /// inaccuracy outside the owning strip; the clipped rect is the
+  /// intersection with the *expanded* strip. Registration order (and so
+  /// each shard's list order) follows ascending query id.
+  void Build(const QueryRegistry& registry,
+             const std::vector<Rect>& shard_strips, double margin);
+
+  int32_t num_shards() const { return static_cast<int32_t>(shards_.size()); }
+
+  /// Sub-queries installed at `shard`, ascending by query id.
+  const std::vector<ShardSubQuery>& AtShard(int32_t shard) const {
+    return shards_[shard];
+  }
+
+  /// The clipped rect of query `id` at `shard`, or nullptr when the query
+  /// is not installed there. Binary search over the id-sorted list.
+  const ShardSubQuery* Find(int32_t shard, QueryId id) const;
+
+  /// Total installed sub-queries across shards (>= registry size; each
+  /// boundary-straddling query counts once per overlapped shard).
+  int64_t TotalInstalled() const;
+
+ private:
+  std::vector<std::vector<ShardSubQuery>> shards_;
+};
+
+/// Sorted-set union of per-shard membership lists: each input must be
+/// ascending and duplicate-free; inputs may share ids only when shards
+/// disagree about ownership transiently (the merge deduplicates). K-way
+/// merge by repeated two-way passes -- K is the shard count, tiny.
+std::vector<NodeId> MergeSortedUnion(
+    const std::vector<std::vector<NodeId>>& lists);
+
+}  // namespace lira
+
+#endif  // LIRA_CQ_SHARDED_QUERIES_H_

@@ -359,6 +359,13 @@ std::vector<NodeId> TprTree::QueryAt(const Rect& range, double t) const {
   return out;
 }
 
+std::optional<Rect> TprTree::BoundsAt(double t) const {
+  if (size_ == 0) {
+    return std::nullopt;
+  }
+  return NodeBox(root_.get()).AtTime(t);
+}
+
 StatusOr<LinearMotionModel> TprTree::ModelOf(NodeId id) const {
   const Node* leaf = LeafOf(id);
   if (leaf == nullptr) {

@@ -23,6 +23,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "lira/common/geometry.h"
@@ -87,6 +88,12 @@ class TprTree {
   /// times still return a superset-free answer because each candidate is
   /// verified against its exact model).
   std::vector<NodeId> QueryAt(const Rect& range, double t) const;
+
+  /// Conservative bounding box of every indexed object's predicted position
+  /// at time t (the root TPBR extrapolated to t); nullopt when empty.
+  /// Lets a caller prove all indexed objects lie inside some region, or
+  /// skip a query that cannot intersect any of them.
+  std::optional<Rect> BoundsAt(double t) const;
 
   /// The exact current model of an indexed object.
   StatusOr<LinearMotionModel> ModelOf(NodeId id) const;

@@ -116,11 +116,20 @@ class PositionTracker {
 
   void Apply(const ModelUpdate& update);
 
+  /// As Apply but without counting toward updates_applied(): reinstates a
+  /// model this cluster already applied once, when a node's ownership
+  /// migrates between shard trackers.
+  void Restore(const ModelUpdate& update);
+
   /// Drops the node's current model -- e.g. its ownership migrated to
   /// another shard's tracker. PredictAt/BelievedSpeed behave as if the node
   /// never reported until the next Apply; updates_applied() is unchanged
   /// (it counts Apply calls, not live models).
   void Forget(NodeId id);
+
+  /// The node's current believed model; nullopt if never reported or
+  /// forgotten. Used to hand the model to the adopting shard on migration.
+  std::optional<LinearMotionModel> ModelOf(NodeId id) const;
 
   /// Believed position of a node at time t; nullopt if never reported.
   std::optional<Point> PredictAt(NodeId id, double t) const;

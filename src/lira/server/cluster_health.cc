@@ -45,6 +45,9 @@ void WriteHealthJson(const ClusterHealth& health, std::ostream& out) {
   text += ",\"tracker_bytes\":" + std::to_string(health.tracker_bytes);
   text += ",\"bytes_per_node\":";
   AppendDouble(&text, health.bytes_per_node);
+  text += ",\"map_epoch\":" + std::to_string(health.map_epoch);
+  text += ",\"rebalances\":" + std::to_string(health.rebalances);
+  text += ",\"nodes_migrated\":" + std::to_string(health.nodes_migrated);
   text += ",\"shards\":[";
   for (size_t i = 0; i < health.shards.size(); ++i) {
     const ShardHealth& shard = health.shards[i];
@@ -57,6 +60,8 @@ void WriteHealthJson(const ClusterHealth& health, std::ostream& out) {
     text += ",\"queue_arrivals\":" + std::to_string(shard.queue_arrivals);
     text += ",\"queue_dropped\":" + std::to_string(shard.queue_dropped);
     text += ",\"tracker_bytes\":" + std::to_string(shard.tracker_bytes);
+    text += ",\"col_begin\":" + std::to_string(shard.col_begin);
+    text += ",\"col_end\":" + std::to_string(shard.col_end);
     text.push_back('}');
   }
   text += "]}";
@@ -95,6 +100,15 @@ void WriteHealthPrometheus(const ClusterHealth& health,
   text.append("# TYPE lira_cluster_bytes_per_node gauge\n");
   AppendPromSample(&text, "lira_cluster_bytes_per_node", "",
                    health.bytes_per_node);
+  text.append("# TYPE lira_cluster_map_epoch gauge\n");
+  AppendPromSample(&text, "lira_cluster_map_epoch", "",
+                   static_cast<double>(health.map_epoch));
+  text.append("# TYPE lira_cluster_rebalances counter\n");
+  AppendPromSample(&text, "lira_cluster_rebalances", "",
+                   static_cast<double>(health.rebalances));
+  text.append("# TYPE lira_cluster_nodes_migrated counter\n");
+  AppendPromSample(&text, "lira_cluster_nodes_migrated", "",
+                   static_cast<double>(health.nodes_migrated));
   text.append("# TYPE lira_cluster_shard_nodes_owned gauge\n");
   for (const ShardHealth& shard : health.shards) {
     AppendPromSample(&text, "lira_cluster_shard_nodes_owned",
@@ -118,6 +132,18 @@ void WriteHealthPrometheus(const ClusterHealth& health,
     AppendPromSample(&text, "lira_cluster_shard_tracker_bytes",
                      "shard=\"" + std::to_string(shard.shard) + "\"",
                      static_cast<double>(shard.tracker_bytes));
+  }
+  text.append("# TYPE lira_cluster_shard_col_begin gauge\n");
+  for (const ShardHealth& shard : health.shards) {
+    AppendPromSample(&text, "lira_cluster_shard_col_begin",
+                     "shard=\"" + std::to_string(shard.shard) + "\"",
+                     static_cast<double>(shard.col_begin));
+  }
+  text.append("# TYPE lira_cluster_shard_col_end gauge\n");
+  for (const ShardHealth& shard : health.shards) {
+    AppendPromSample(&text, "lira_cluster_shard_col_end",
+                     "shard=\"" + std::to_string(shard.shard) + "\"",
+                     static_cast<double>(shard.col_end));
   }
   out << text;
   if (metrics != nullptr) {

@@ -26,6 +26,10 @@ struct ShardHealth {
   int64_t queue_dropped = 0;
   /// Heap bytes held by the shard tracker's motion-model columns.
   int64_t tracker_bytes = 0;
+  /// Grid columns [col_begin, col_end) the shard owns under the current
+  /// map epoch (DESIGN.md §12).
+  int32_t col_begin = 0;
+  int32_t col_end = 0;
 };
 
 struct ClusterHealth {
@@ -47,6 +51,12 @@ struct ClusterHealth {
   /// that total per configured node.
   int64_t tracker_bytes = 0;
   double bytes_per_node = 0.0;
+  /// Shard-map rebalancing state (DESIGN.md §12): the current map epoch,
+  /// how many rebalances have fired, and how many node ownerships they
+  /// migrated, cumulatively.
+  int64_t map_epoch = 0;
+  int64_t rebalances = 0;
+  int64_t nodes_migrated = 0;
   std::vector<ShardHealth> shards;
 };
 

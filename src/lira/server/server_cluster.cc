@@ -46,12 +46,19 @@ ServerCluster::ServerCluster(const ServerClusterConfig& config,
     telemetry::MetricRegistry& metrics = config_.server.telemetry->metrics();
     arrivals_counter_ = metrics.GetCounter("lira.queue.arrivals");
     dropped_counter_ = metrics.GetCounter("lira.queue.dropped");
+    rebalance_epochs_counter_ =
+        metrics.GetCounter("lira.cluster.rebalance.epochs");
+    rebalance_columns_counter_ =
+        metrics.GetCounter("lira.cluster.rebalance.columns_moved");
+    rebalance_migrated_counter_ =
+        metrics.GetCounter("lira.cluster.rebalance.nodes_migrated");
     shard_nodes_gauges_.reserve(shards_.size());
     for (int32_t k = 0; k < num_shards(); ++k) {
       shard_nodes_gauges_.push_back(
           metrics.GetGauge(ShardPrefix(k) + ".stats.nodes"));
     }
   }
+  RebuildSubQueries();
 }
 
 double ServerCluster::QueryMargin() const {
@@ -85,6 +92,13 @@ StatusOr<std::unique_ptr<ServerCluster>> ServerCluster::Create(
   }
   if (config.threads < 0) {
     return InvalidArgumentError("threads must be >= 0");
+  }
+  if (config.rebalance_stride < 0) {
+    return InvalidArgumentError("rebalance_stride must be >= 0 (0 = off)");
+  }
+  if (config.rebalance_stride > 0 && config.rebalance_max_moves < 1) {
+    return InvalidArgumentError(
+        "rebalance_max_moves must be >= 1 when rebalancing is enabled");
   }
   auto shard_map =
       ShardMap::Create(server.world, server.alpha, config.shards);
@@ -199,7 +213,24 @@ Status ServerCluster::InstallQueries(const QueryRegistry* queries) {
   }
   queries_ = queries;
   merged_stats_.InvalidateQueryCache();
+  RebuildSubQueries();
   return OkStatus();
+}
+
+Rect ServerCluster::ExpandedStrip(int32_t shard) const {
+  const double margin = QueryMargin();
+  const Rect strip = shard_map_.ShardRect(shard);
+  return Rect{strip.min_x - margin, strip.min_y - margin,
+              strip.max_x + margin, strip.max_y + margin};
+}
+
+void ServerCluster::RebuildSubQueries() {
+  std::vector<Rect> strips;
+  strips.reserve(static_cast<size_t>(num_shards()));
+  for (int32_t k = 0; k < num_shards(); ++k) {
+    strips.push_back(shard_map_.ShardRect(k));
+  }
+  sub_queries_.Build(*queries_, strips, QueryMargin());
 }
 
 void ServerCluster::ReceiveBatch(std::vector<ModelUpdate>* updates) {
@@ -368,6 +399,20 @@ Status ServerCluster::Adapt() {
   telemetry::TraceLane* driver_lane =
       tr != nullptr ? tr->lane(telemetry::TraceRecorder::kDriverLane)
                     : nullptr;
+  // Rebalance phase (DESIGN.md §12): every R-th adaptation re-splits the
+  // strip boundaries from the *previous* adaptation's merged grid -- the
+  // only cross-shard state every thread count agrees on -- then migrates
+  // ownership serially before this adaptation's rebuild re-establishes the
+  // migrated grid contributions at their new shards. The first adaptation
+  // is skipped (no merged occupancy yet).
+  if (config_.rebalance_stride > 0 && num_shards() > 1 && adaptations_ > 0 &&
+      adaptations_ % config_.rebalance_stride == 0) {
+    telemetry::ScopedSpan rebalance_span(tr, driver_lane,
+                                         "cluster.rebalance", tick_, -1,
+                                         time_);
+    MaybeRebalance();
+    rebalance_span.set_value(static_cast<double>(shard_map_.epoch()));
+  }
   {
     telemetry::ScopedSpan throttle_span(tr, driver_lane, "optimizer.throttle",
                                         tick_, -1, time_);
@@ -438,7 +483,93 @@ Status ServerCluster::Adapt() {
   telemetry::RecordInstant(tr, driver_lane, "plan.broadcast", tick_, -1,
                            time_,
                            static_cast<double>(optimizer_.plan().NumRegions()));
+  ++adaptations_;
   return built;
+}
+
+double ServerCluster::SpanImbalance(
+    const std::vector<int64_t>& column_load) const {
+  int64_t total = 0;
+  int64_t max_span = 0;
+  for (int32_t k = 0; k < num_shards(); ++k) {
+    int64_t span = 0;
+    for (int32_t c = shard_map_.ColumnBegin(k); c < shard_map_.ColumnEnd(k);
+         ++c) {
+      span += column_load[c];
+    }
+    total += span;
+    max_span = std::max(max_span, span);
+  }
+  if (total == 0) {
+    return 0.0;
+  }
+  return static_cast<double>(max_span) * num_shards() /
+         static_cast<double>(total);
+}
+
+void ServerCluster::MaybeRebalance() {
+  std::vector<int64_t> column_load;
+  merged_stats_.grid().ColumnNodeCounts(&column_load);
+  const double before = SpanImbalance(column_load);
+  const int32_t moved =
+      shard_map_.Rebalance(column_load, config_.rebalance_max_moves);
+  if (moved == 0) {
+    return;
+  }
+  const double after = SpanImbalance(column_load);
+  const int64_t migrated = MigrateOwnership();
+  ++rebalances_;
+  nodes_migrated_ += migrated;
+  RebuildSubQueries();
+  if (config_.server.telemetry != nullptr) {
+    rebalance_epochs_counter_->Increment(1);
+    rebalance_columns_counter_->Increment(moved);
+    rebalance_migrated_counter_->Increment(migrated);
+    config_.server.telemetry->Emit(
+        telemetry::EventKind::kCounter, "lira.cluster.rebalance", time_,
+        static_cast<double>(moved), static_cast<double>(migrated));
+  }
+  if (config_.server.flight_recorder != nullptr) {
+    telemetry::RebalanceRecord record;
+    record.tick = tick_;
+    record.time = time_;
+    record.epoch = shard_map_.epoch();
+    record.columns_moved = moved;
+    record.nodes_migrated = migrated;
+    record.imbalance_before = before;
+    record.imbalance_after = after;
+    config_.server.flight_recorder->RecordRebalance(record);
+  }
+}
+
+int64_t ServerCluster::MigrateOwnership() {
+  // Serial, ascending node id: the same Forget/NoteOwned handoff path the
+  // per-tick ownership transfers use, so grids stay exactly a union of
+  // owned cells and Merge stays integer-exact across epochs. The adopting
+  // tracker restores the model without counting it as an applied update;
+  // its grid contribution is re-established by this adaptation's rebuild.
+  int64_t migrated = 0;
+  for (NodeId id = 0; id < config_.server.num_nodes; ++id) {
+    const int32_t previous = owner_of_[id];
+    if (previous < 0) {
+      continue;
+    }
+    const auto model = shards_[previous].tracker.ModelOf(id);
+    if (!model.has_value()) {
+      continue;
+    }
+    const int32_t next = shard_map_.ShardFor(model->origin);
+    if (next == previous) {
+      continue;
+    }
+    shards_[previous].stats.ForgetNode(id);
+    shards_[previous].tracker.Forget(id);
+    shards_[next].tracker.Adopt(ModelUpdate{id, *model});
+    shards_[next].stats.NoteOwned(id);
+    owner_of_[id] = next;
+    ++migrated;
+  }
+  return migrated;
 }
 
 ClusterHealth ServerCluster::HealthSnapshot() const {
@@ -455,6 +586,9 @@ ClusterHealth ServerCluster::HealthSnapshot() const {
       ++owned[static_cast<size_t>(owner)];
     }
   }
+  health.map_epoch = shard_map_.epoch();
+  health.rebalances = rebalances_;
+  health.nodes_migrated = nodes_migrated_;
   health.shards.reserve(owned.size());
   for (int32_t k = 0; k < num_shards(); ++k) {
     ShardHealth shard;
@@ -466,6 +600,8 @@ ClusterHealth ServerCluster::HealthSnapshot() const {
     shard.queue_dropped = shards_[k].ingest.queue().total_dropped();
     shard.tracker_bytes =
         static_cast<int64_t>(shards_[k].tracker.tracker().MemoryBytes());
+    shard.col_begin = shard_map_.ColumnBegin(k);
+    shard.col_end = shard_map_.ColumnEnd(k);
     health.shards.push_back(shard);
     health.total_nodes += shard.nodes_owned;
     health.max_shard_nodes =
@@ -529,6 +665,42 @@ int64_t ServerCluster::updates_applied() const {
   return total;
 }
 
+bool ServerCluster::ClipIsExact(int32_t shard, const Rect& bounds) const {
+  // The clipped sub-query is exact iff every believed position the shard's
+  // tree can report lies inside the margin-expanded strip: min edges may
+  // touch (Rect::Contains is closed below), max edges must stay strictly
+  // inside (a position exactly on the expanded strip's half-open max edge
+  // would escape the clipped rect). The root TPBR conservatively bounds
+  // every indexed position, so this check is sufficient; when a node has
+  // drifted further than the margin, the caller falls back to the full
+  // range -- correctness never depends on the margin being large enough.
+  const Rect expanded = ExpandedStrip(shard);
+  return bounds.min_x >= expanded.min_x && bounds.min_y >= expanded.min_y &&
+         bounds.max_x < expanded.max_x && bounds.max_y < expanded.max_y;
+}
+
+Status ServerCluster::AppendShardRange(
+    int32_t shard, const Rect& eval, double t,
+    std::vector<std::vector<NodeId>>* lists) const {
+  auto ids = shards_[shard].tracker.RangeAt(eval, t);
+  if (!ids.ok()) {
+    return ids.status();
+  }
+  std::vector<NodeId> owned;
+  owned.reserve(ids->size());
+  for (const NodeId id : *ids) {
+    // A shard's index may briefly retain a handed-off node; ownership
+    // filtering keeps every id at exactly one shard, making the per-shard
+    // lists disjoint and the union merge duplicate-free.
+    if (owner_of_[id] == shard) {
+      owned.push_back(id);
+    }
+  }
+  std::sort(owned.begin(), owned.end());
+  lists->push_back(std::move(owned));
+  return OkStatus();
+}
+
 StatusOr<std::vector<NodeId>> ServerCluster::AnswerRange(const Rect& range,
                                                          double t) const {
   if (!config_.server.maintain_index) {
@@ -539,20 +711,57 @@ StatusOr<std::vector<NodeId>> ServerCluster::AnswerRange(const Rect& range,
         "snapshot time is in the past; use the history store for "
         "historical queries");
   }
-  std::vector<NodeId> out;
+  std::vector<std::vector<NodeId>> lists;
+  lists.reserve(static_cast<size_t>(num_shards()));
   for (int32_t k = 0; k < num_shards(); ++k) {
-    auto ids = shards_[k].tracker.RangeAt(range, t);
-    if (!ids.ok()) {
-      return ids.status();
+    const auto bounds = shards_[k].tracker.BoundsAt(t);
+    if (!bounds.has_value() || !range.IntersectsClosed(*bounds)) {
+      continue;  // no indexed node of this shard can fall in the range
     }
-    for (const NodeId id : *ids) {
-      if (owner_of_[id] == k) {
-        out.push_back(id);
+    Rect eval = range;
+    if (ClipIsExact(k, *bounds)) {
+      const Rect expanded = ExpandedStrip(k);
+      if (!range.IntersectsClosed(expanded)) {
+        continue;  // all of k's nodes are inside the strip, away from range
       }
+      eval = range.Intersection(expanded);
     }
+    LIRA_RETURN_IF_ERROR(AppendShardRange(k, eval, t, &lists));
   }
-  std::sort(out.begin(), out.end());
-  return out;
+  return MergeSortedUnion(lists);
+}
+
+StatusOr<std::vector<NodeId>> ServerCluster::AnswerQuery(
+    QueryId query) const {
+  if (!config_.server.maintain_index) {
+    return FailedPreconditionError("server index maintenance is disabled");
+  }
+  if (query < 0 || query >= queries_->size()) {
+    return InvalidArgumentError("unknown query id: " +
+                                std::to_string(query));
+  }
+  const Rect& range = queries_->Get(query).range;
+  const double t = time_;
+  std::vector<std::vector<NodeId>> lists;
+  lists.reserve(static_cast<size_t>(num_shards()));
+  for (int32_t k = 0; k < num_shards(); ++k) {
+    const auto bounds = shards_[k].tracker.BoundsAt(t);
+    if (!bounds.has_value() || !range.IntersectsClosed(*bounds)) {
+      continue;
+    }
+    Rect eval = range;
+    if (ClipIsExact(k, *bounds)) {
+      // Shard-local evaluation through the installed sub-query: when the
+      // query is not installed here, no in-strip node can match.
+      const ShardSubQuery* sub = sub_queries_.Find(k, query);
+      if (sub == nullptr) {
+        continue;
+      }
+      eval = sub->clipped;
+    }
+    LIRA_RETURN_IF_ERROR(AppendShardRange(k, eval, t, &lists));
+  }
+  return MergeSortedUnion(lists);
 }
 
 std::optional<Point> ServerCluster::HistoricalPositionAt(NodeId id,

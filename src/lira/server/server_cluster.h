@@ -41,6 +41,7 @@
 #include "lira/core/shedding_plan.h"
 #include "lira/core/statistics_grid.h"
 #include "lira/cq/query_registry.h"
+#include "lira/cq/sharded_queries.h"
 #include "lira/mobility/position.h"
 #include "lira/motion/linear_model.h"
 #include "lira/motion/update_reduction.h"
@@ -71,6 +72,17 @@ struct ServerClusterConfig {
   /// Worker threads for the per-shard fan-out sections; 0 = min(hardware
   /// concurrency, shards). Results are identical for any value.
   int32_t threads = 0;
+  /// Shard-map rebalancing stride R (DESIGN.md §12): every R adaptation
+  /// windows the coordinator re-splits the grid columns across shards from
+  /// the merged grid's integer per-column occupancy. 0 (default) disables
+  /// rebalancing entirely -- the map stays the initial even split and every
+  /// observable output is unchanged from earlier versions. The decision
+  /// consumes only merged integer state, so any thread count produces the
+  /// identical map sequence.
+  int32_t rebalance_stride = 0;
+  /// Hysteresis bound: max columns each strip boundary may travel per
+  /// rebalance epoch.
+  int32_t rebalance_max_moves = 2;
 };
 
 /// The cluster facade; drives S shard pipelines behind the same interface
@@ -112,12 +124,22 @@ class ServerCluster : public ServerPipeline {
                                             double t) const override;
   int64_t history_bytes() const override;
 
-  /// Ad-hoc snapshot range query at t >= now, merged over the shard
-  /// TPR-trees (ids ascending). Requires maintain_index. A shard's index
-  /// may briefly retain a handed-off node; results are filtered by current
-  /// ownership so every id appears exactly once.
+  /// Ad-hoc snapshot range query at t >= now, evaluated shard-locally:
+  /// each overlapped shard searches its own TPR-tree with the range clipped
+  /// to its margin-expanded strip (falling back to the full range when its
+  /// tree's bounding box has drifted outside the strip -- exactness guard,
+  /// DESIGN.md §12), and the per-shard id-sorted membership lists are
+  /// unioned by sorted merge. Requires maintain_index. Results are filtered
+  /// by current ownership so every id appears exactly once, and are bitwise
+  /// identical to the unsharded CqServer's answer on the same belief state.
   StatusOr<std::vector<NodeId>> AnswerRange(const Rect& range,
                                             double t) const;
+
+  /// Evaluates a *registered* query (by id) at the current time through its
+  /// installed shard-local sub-queries (the clipped rects precomputed at
+  /// registration / rebalance). Same result contract as AnswerRange on the
+  /// query's range.
+  StatusOr<std::vector<NodeId>> AnswerQuery(QueryId query) const;
 
   /// Historical snapshot range query at a past time t (Status-checked
   /// variant of HistoricalRangeAt). Requires record_history.
@@ -137,6 +159,12 @@ class ServerCluster : public ServerPipeline {
     return static_cast<int32_t>(shards_.size());
   }
   const ShardMap& shard_map() const { return shard_map_; }
+  /// Rebalance accounting (0 / epoch 0 while rebalance_stride == 0).
+  int64_t map_epoch() const { return shard_map_.epoch(); }
+  int64_t rebalances() const { return rebalances_; }
+  int64_t nodes_migrated() const { return nodes_migrated_; }
+  /// The installed shard-local sub-queries, for tests and diagnostics.
+  const ShardedQueryTable& sub_queries() const { return sub_queries_; }
   /// The coordinator's merged grid (valid after an adaptation).
   const StatisticsGrid& stats() const { return merged_stats_.grid(); }
   /// One shard's own grid / queue, for tests and diagnostics.
@@ -168,6 +196,31 @@ class ServerCluster : public ServerPipeline {
                 OptimizerStage optimizer, int32_t pool_threads);
 
   double QueryMargin() const;
+  /// Shard k's strip expanded by the query margin on every side.
+  Rect ExpandedStrip(int32_t shard) const;
+  /// Reinstalls every registered query as per-shard clipped sub-queries
+  /// against the current strip boundaries (called on registry change and
+  /// after every rebalance epoch).
+  void RebuildSubQueries();
+  /// Appends `shard`'s sorted membership list for the search rect `eval`
+  /// (the full query range or its strip clip) at time t.
+  Status AppendShardRange(int32_t shard, const Rect& eval, double t,
+                          std::vector<std::vector<NodeId>>* lists) const;
+  /// True when every node indexed at `shard` provably lies inside its
+  /// margin-expanded strip at time t, i.e. the clipped sub-query is exact.
+  /// `bounds` is the shard tree's root box at t.
+  bool ClipIsExact(int32_t shard, const Rect& bounds) const;
+  /// The deterministic rebalance step (start of every R-th adaptation):
+  /// re-splits the map from the merged grid's column occupancy, migrates
+  /// ownership through the Forget/Adopt handoff path in ascending node
+  /// order, reinstalls sub-queries, and records flight/telemetry.
+  void MaybeRebalance();
+  /// Moves every owned node whose origin column changed shards; returns the
+  /// migration count.
+  int64_t MigrateOwnership();
+  /// max/mean per-shard load under the *current* strip boundaries, from
+  /// per-column loads (1.0 = balanced, 0 when total load is 0).
+  double SpanImbalance(const std::vector<int64_t>& column_load) const;
   /// Serial post-tick pass: ownership transfers for this tick's applied
   /// updates, in shard order.
   void ProcessHandoffs();
@@ -190,9 +243,20 @@ class ServerCluster : public ServerPipeline {
   double next_adaptation_;
   /// Current owning shard per node; -1 until the first applied update.
   std::vector<int32_t> owner_of_;
+  /// Adaptations completed (the rebalance stride counts these).
+  int64_t adaptations_ = 0;
+  /// Cumulative rebalance accounting.
+  int64_t rebalances_ = 0;
+  int64_t nodes_migrated_ = 0;
+  /// Registered queries clipped per shard, aligned with the current map
+  /// epoch and registry.
+  ShardedQueryTable sub_queries_;
   /// Cluster-level instruments (sums over shards), resolved once.
   telemetry::Counter* arrivals_counter_ = nullptr;
   telemetry::Counter* dropped_counter_ = nullptr;
+  telemetry::Counter* rebalance_epochs_counter_ = nullptr;
+  telemetry::Counter* rebalance_columns_counter_ = nullptr;
+  telemetry::Counter* rebalance_migrated_counter_ = nullptr;
   /// Per-shard node-count gauges, set after each adaptation's rebuild.
   std::vector<telemetry::Gauge*> shard_nodes_gauges_;
 };

@@ -35,9 +35,29 @@ class TrackerStage {
   /// TPR-tree and the history store.
   void Apply(const ModelUpdate& update);
 
+  /// Takes over a node migrating from another shard: reinstates its model
+  /// in the tracker (without counting as a newly applied update), the
+  /// TPR-tree, and the history store, so the adopting shard answers
+  /// historical and current queries exactly as the previous owner would
+  /// have. Counterpart of Forget on the losing shard.
+  void Adopt(const ModelUpdate& update);
+
   /// Drops the node's current model from the tracker and the TPR-tree (the
   /// history keeps its records). Used on cross-shard handoff.
   void Forget(NodeId id);
+
+  /// The node's current believed model; nullopt when it never reported here
+  /// or was forgotten. The migration source for Adopt.
+  std::optional<LinearMotionModel> ModelOf(NodeId id) const {
+    return tracker_.ModelOf(id);
+  }
+
+  /// Conservative bounding box of every indexed node's believed position at
+  /// time t from the TPR-tree root (nullopt when the stage tracks no
+  /// nodes). Requires maintain_index. Lets the cluster prove a shard's
+  /// whole population lies inside its strip before evaluating a clipped
+  /// sub-query (DESIGN.md §12).
+  std::optional<Rect> BoundsAt(double t) const { return index_.BoundsAt(t); }
 
   /// Ids whose believed position at time t lies in `range`, from the
   /// TPR-tree. Requires maintain_index.

@@ -43,6 +43,13 @@ StatusOr<SimulationResult> RunSimulation(const World& world,
   if (config.shards < 0) {
     return InvalidArgumentError("shards must be >= 0");
   }
+  if (config.rebalance_stride < 0) {
+    return InvalidArgumentError("rebalance_stride must be >= 0");
+  }
+  if (config.rebalance_stride > 0 && config.shards == 0) {
+    return InvalidArgumentError(
+        "rebalance_stride requires a sharded cluster (shards >= 1)");
+  }
   if (config.health_stride < 1) {
     return InvalidArgumentError("health_stride must be >= 1");
   }
@@ -103,6 +110,7 @@ StatusOr<SimulationResult> RunSimulation(const World& world,
     cluster_config.server = server_config;
     cluster_config.shards = config.shards;
     cluster_config.threads = config.threads;
+    cluster_config.rebalance_stride = config.rebalance_stride;
     auto created = ServerCluster::Create(cluster_config, &policy,
                                          &world.reduction, &world.queries);
     if (!created.ok()) {

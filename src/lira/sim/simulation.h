@@ -99,6 +99,11 @@ struct SimulationConfig {
   /// is bitwise identical to the single server, and any S is bitwise
   /// reproducible across thread counts (asserted in sim/simulation_test).
   int32_t shards = 0;
+  /// Shard-map rebalancing stride R (DESIGN.md §12): every R adaptation
+  /// windows the cluster re-splits its column strips from observed load.
+  /// Requires shards >= 1; 0 (the default) disables rebalancing and keeps
+  /// every output bitwise identical to earlier versions.
+  int32_t rebalance_stride = 0;
   uint64_t seed = 99;
 };
 

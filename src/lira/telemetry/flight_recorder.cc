@@ -64,6 +64,20 @@ void AppendSample(std::ostream& out, const FlightSample& s) {
   out << buffer;
 }
 
+void AppendRebalance(std::ostream& out, const RebalanceRecord& r) {
+  char buffer[256];
+  std::snprintf(
+      buffer, sizeof(buffer),
+      "{\"tick\":%lld,\"time\":%.6f,\"epoch\":%lld,\"columns_moved\":%d,"
+      "\"nodes_migrated\":%lld,\"imbalance_before\":%.6f,"
+      "\"imbalance_after\":%.6f}",
+      static_cast<long long>(r.tick), r.time,
+      static_cast<long long>(r.epoch), r.columns_moved,
+      static_cast<long long>(r.nodes_migrated), r.imbalance_before,
+      r.imbalance_after);
+  out << buffer;
+}
+
 }  // namespace
 
 FlightRecorder::FlightRecorder(size_t capacity, std::string label)
@@ -91,6 +105,35 @@ void FlightRecorder::Record(const FlightSample& sample) {
   }
   next_ = (next_ + 1) % capacity_;
   ++total_;
+}
+
+void FlightRecorder::RecordRebalance(const RebalanceRecord& record) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (rebalance_ring_.size() < capacity_) {
+    rebalance_ring_.push_back(record);
+  } else {
+    rebalance_ring_[rebalance_next_] = record;
+  }
+  rebalance_next_ = (rebalance_next_ + 1) % capacity_;
+  ++rebalance_total_;
+}
+
+std::vector<RebalanceRecord> FlightRecorder::SnapshotRebalances() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<RebalanceRecord> out;
+  out.reserve(rebalance_ring_.size());
+  if (rebalance_ring_.size() < capacity_) {
+    out = rebalance_ring_;
+  } else {
+    out.insert(out.end(),
+               rebalance_ring_.begin() +
+                   static_cast<ptrdiff_t>(rebalance_next_),
+               rebalance_ring_.end());
+    out.insert(out.end(), rebalance_ring_.begin(),
+               rebalance_ring_.begin() +
+                   static_cast<ptrdiff_t>(rebalance_next_));
+  }
+  return out;
 }
 
 std::vector<FlightSample> FlightRecorder::Snapshot() const {
@@ -121,6 +164,7 @@ int64_t FlightRecorder::total_recorded() const {
 
 void FlightRecorder::DumpJson(std::ostream& out) const {
   const std::vector<FlightSample> samples = Snapshot();
+  const std::vector<RebalanceRecord> rebalances = SnapshotRebalances();
   out << "{\"label\":\"" << label_ << "\",\"capacity\":" << capacity_
       << ",\"total_recorded\":" << total_recorded() << ",\"samples\":[";
   for (size_t i = 0; i < samples.size(); ++i) {
@@ -129,6 +173,14 @@ void FlightRecorder::DumpJson(std::ostream& out) const {
     }
     out << "\n";
     AppendSample(out, samples[i]);
+  }
+  out << "\n],\"rebalances\":[";
+  for (size_t i = 0; i < rebalances.size(); ++i) {
+    if (i > 0) {
+      out << ",";
+    }
+    out << "\n";
+    AppendRebalance(out, rebalances[i]);
   }
   out << "\n]}";
 }

@@ -53,6 +53,24 @@ struct FlightSample {
   double plan_max_delta = 0.0;
 };
 
+/// One shard-map rebalance decision (DESIGN.md §12): what the coordinator
+/// moved and the load skew it saw before/after, so a postmortem shows the
+/// map's whole recent history next to the per-tick signals.
+struct RebalanceRecord {
+  int64_t tick = 0;
+  double time = 0.0;
+  /// ShardMap epoch *after* the move (>= 1; epoch 0 is the initial split).
+  int64_t epoch = 0;
+  /// Total boundary travel in columns this epoch.
+  int32_t columns_moved = 0;
+  /// Nodes whose ownership migrated as a result.
+  int64_t nodes_migrated = 0;
+  /// max/mean per-shard column load before and after the boundary move
+  /// (from the merged integer grid the decision was made on).
+  double imbalance_before = 0.0;
+  double imbalance_after = 0.0;
+};
+
 /// Fixed-capacity ring of FlightSamples, oldest overwritten first.
 class FlightRecorder {
  public:
@@ -66,17 +84,26 @@ class FlightRecorder {
 
   void Record(const FlightSample& sample);
 
+  /// Records one rebalance decision into a second ring with the same
+  /// capacity (rebalances are orders of magnitude rarer than ticks, so the
+  /// ring effectively keeps them all).
+  void RecordRebalance(const RebalanceRecord& record);
+
   /// Ring contents, oldest to newest.
   std::vector<FlightSample> Snapshot() const;
+
+  /// Rebalance ring contents, oldest to newest.
+  std::vector<RebalanceRecord> SnapshotRebalances() const;
 
   size_t capacity() const { return capacity_; }
   size_t size() const;
   int64_t total_recorded() const;
   const std::string& label() const { return label_; }
 
-  /// The ring as one JSON object:
+  /// The rings as one JSON object:
   ///   {"label":"cluster","capacity":256,"total_recorded":9000,
-  ///    "samples":[{"tick":...,"shard":...,...}, ...]}
+  ///    "samples":[{"tick":...,"shard":...,...}, ...],
+  ///    "rebalances":[{"tick":...,"epoch":...,...}, ...]}
   void DumpJson(std::ostream& out) const;
 
   /// Dumps every live recorder to `out` as {"recorders":[...]}.
@@ -97,6 +124,9 @@ class FlightRecorder {
   std::vector<FlightSample> ring_;
   size_t next_ = 0;
   int64_t total_ = 0;
+  std::vector<RebalanceRecord> rebalance_ring_;
+  size_t rebalance_next_ = 0;
+  int64_t rebalance_total_ = 0;
 };
 
 }  // namespace lira::telemetry

@@ -139,6 +139,77 @@ TEST_F(ClusterHealthTest, JsonRoundTripsThroughFlattener) {
   EXPECT_TRUE(flat.numbers.count("shards.2.queue_dropped"));
 }
 
+TEST_F(ClusterHealthTest, RebalanceFieldsSurfaceAndRoundTrip) {
+  // Enable rebalancing and drive a skewed load through two adaptations so
+  // the map leaves epoch 0 and nodes migrate.
+  ServerClusterConfig config;
+  config.server.num_nodes = 80;
+  config.server.world = kWorld;
+  config.server.alpha = 16;
+  config.server.queue_capacity = 256;
+  config.server.service_rate = 1000.0;
+  config.server.adaptation_period = 100.0;
+  config.server.fixed_z = 0.5;
+  config.shards = 4;
+  config.threads = 1;
+  config.rebalance_stride = 1;
+  auto cluster =
+      ServerCluster::Create(config, &policy_, &*reduction_, &queries_);
+  ASSERT_TRUE(cluster.ok());
+  std::vector<ModelUpdate> batch;
+  for (NodeId id = 0; id < 80; ++id) {
+    batch.push_back(UpdateFor(id, {50.0 + 3.0 * id, 800.0}, 0.0));
+  }
+  (*cluster)->ReceiveBatch(&batch);
+  ASSERT_TRUE((*cluster)->Tick(1.0).ok());
+  ASSERT_TRUE((*cluster)->Adapt().ok());  // adaptation 0: no rebalance yet
+  ASSERT_TRUE((*cluster)->Adapt().ok());  // adaptation 1: rebalances
+
+  const ClusterHealth health = (*cluster)->HealthSnapshot();
+  EXPECT_GE(health.map_epoch, 1);
+  EXPECT_GE(health.rebalances, 1);
+  EXPECT_GT(health.nodes_migrated, 0);
+  // The per-shard spans partition [0, alpha).
+  int32_t col = 0;
+  for (const ShardHealth& shard : health.shards) {
+    EXPECT_EQ(shard.col_begin, col);
+    EXPECT_GT(shard.col_end, shard.col_begin);
+    col = shard.col_end;
+  }
+  EXPECT_EQ(col, 16);
+
+  std::stringstream out;
+  WriteHealthJson(health, out);
+  const benchgate::FlatBench flat = benchgate::FlattenJson(out.str());
+  ASSERT_TRUE(flat.ok) << flat.error;
+  EXPECT_DOUBLE_EQ(flat.numbers.at("map_epoch"),
+                   static_cast<double>(health.map_epoch));
+  EXPECT_DOUBLE_EQ(flat.numbers.at("rebalances"),
+                   static_cast<double>(health.rebalances));
+  EXPECT_DOUBLE_EQ(flat.numbers.at("nodes_migrated"),
+                   static_cast<double>(health.nodes_migrated));
+  EXPECT_DOUBLE_EQ(flat.numbers.at("shards.0.col_begin"), 0.0);
+  EXPECT_DOUBLE_EQ(flat.numbers.at("shards.3.col_end"), 16.0);
+  EXPECT_DOUBLE_EQ(flat.numbers.at("shards.1.col_begin"),
+                   static_cast<double>(health.shards[1].col_begin));
+
+  std::stringstream prom;
+  WriteHealthPrometheus(health, /*metrics=*/nullptr, prom);
+  const std::string text = prom.str();
+  EXPECT_NE(text.find("# TYPE lira_cluster_map_epoch gauge"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("# TYPE lira_cluster_rebalances counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE lira_cluster_nodes_migrated counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("lira_cluster_shard_col_begin{shard=\"0\"} 0"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("lira_cluster_shard_col_end{shard=\"3\"} 16"),
+            std::string::npos);
+}
+
 TEST_F(ClusterHealthTest, PrometheusExpositionHasClusterSeries) {
   auto cluster = MakeCluster(2);
   std::vector<ModelUpdate> batch;

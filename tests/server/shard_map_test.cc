@@ -82,6 +82,140 @@ TEST(ShardMapTest, PointsRouteIntoOwningShardRect) {
             map->num_shards() - 1);
 }
 
+// ---------------------------------------------------------------------------
+// Randomized property suite: for arbitrary worlds / alphas / shard counts
+// (and after arbitrary Rebalance sequences) the map must stay a contiguous
+// partition with >= 1 column per shard, and ShardFor / ShardRect /
+// ColumnBegin must agree with each other.
+
+void CheckInvariants(const ShardMap& map, int32_t alpha, const Rect& world,
+                     Rng* rng) {
+  const int32_t shards = map.num_shards();
+  ASSERT_EQ(map.ColumnBegin(0), 0);
+  ASSERT_EQ(map.ColumnEnd(shards - 1), alpha);
+  double x = world.min_x;
+  for (int32_t k = 0; k < shards; ++k) {
+    ASSERT_GE(map.ColumnEnd(k) - map.ColumnBegin(k), 1)
+        << "empty shard " << k;
+    if (k > 0) {
+      ASSERT_EQ(map.ColumnBegin(k), map.ColumnEnd(k - 1))
+          << "gap/overlap at shard " << k;
+    }
+    const Rect rect = map.ShardRect(k);
+    ASSERT_DOUBLE_EQ(rect.min_x, x);
+    ASSERT_DOUBLE_EQ(rect.min_y, world.min_y);
+    ASSERT_DOUBLE_EQ(rect.max_y, world.max_y);
+    x = rect.max_x;
+  }
+  ASSERT_DOUBLE_EQ(x, world.max_x);
+  const double cell_w = world.width() / alpha;
+  for (int i = 0; i < 200; ++i) {
+    const Point p{rng->Uniform(world.min_x - cell_w, world.max_x + cell_w),
+                  rng->Uniform(world.min_y, world.max_y)};
+    const int32_t shard = map.ShardFor(p);
+    ASSERT_GE(shard, 0);
+    ASSERT_LT(shard, shards);
+    const int32_t col = map.ColumnOf(p);
+    ASSERT_GE(col, map.ColumnBegin(shard));
+    ASSERT_LT(col, map.ColumnEnd(shard));
+    if (world.Contains(p)) {
+      ASSERT_TRUE(map.ShardRect(shard).Contains(p)) << "p=" << p;
+    }
+  }
+}
+
+TEST(ShardMapPropertyTest, RandomWorldsAlphasShardCounts) {
+  Rng rng(2024);
+  for (int trial = 0; trial < 60; ++trial) {
+    const double x0 = rng.Uniform(-5000.0, 5000.0);
+    const double y0 = rng.Uniform(-5000.0, 5000.0);
+    const Rect world{x0, y0, x0 + rng.Uniform(10.0, 20000.0),
+                     y0 + rng.Uniform(10.0, 20000.0)};
+    const int32_t alpha = 1 << (2 + trial % 6);  // 4..128
+    const int32_t shards =
+        1 + static_cast<int32_t>(rng.Uniform(0.0, 1.0) * alpha) % alpha;
+    auto map = ShardMap::Create(world, alpha, shards);
+    ASSERT_TRUE(map.ok()) << "alpha=" << alpha << " shards=" << shards;
+    ASSERT_EQ(map->epoch(), 0);
+    CheckInvariants(*map, alpha, world, &rng);
+    // Invariants survive randomized rebalance sequences.
+    for (int step = 0; step < 4; ++step) {
+      std::vector<int64_t> load(alpha);
+      for (int64_t& l : load) {
+        l = static_cast<int64_t>(rng.Uniform(0.0, 100.0));
+      }
+      map->Rebalance(load, 1 + trial % 4);
+      CheckInvariants(*map, alpha, world, &rng);
+    }
+  }
+}
+
+TEST(ShardMapRebalanceTest, SplitsByLoadWithinHysteresis) {
+  auto map = ShardMap::Create(kWorld, 16, 4);
+  ASSERT_TRUE(map.ok());
+  // All load in the last 4 columns: the ideal boundaries are 13, 14, 15 but
+  // each may travel at most 2 columns per epoch from {4, 8, 12}.
+  std::vector<int64_t> load(16, 0);
+  for (int32_t c = 12; c < 16; ++c) load[c] = 100;
+  const int32_t moved = map->Rebalance(load, 2);
+  EXPECT_EQ(map->epoch(), 1);
+  EXPECT_EQ(map->ColumnBegin(1), 6);
+  EXPECT_EQ(map->ColumnBegin(2), 10);
+  EXPECT_EQ(map->ColumnBegin(3), 14);
+  EXPECT_EQ(moved, 2 + 2 + 2);
+  // Iterating converges to the balanced split (one hot column per shard),
+  // never emptying a shard.
+  for (int i = 0; i < 10; ++i) map->Rebalance(load, 2);
+  EXPECT_EQ(map->ColumnBegin(1), 13);
+  EXPECT_EQ(map->ColumnBegin(2), 14);
+  EXPECT_EQ(map->ColumnBegin(3), 15);
+}
+
+TEST(ShardMapRebalanceTest, NoOpCases) {
+  auto map = ShardMap::Create(kWorld, 16, 4);
+  ASSERT_TRUE(map.ok());
+  std::vector<int64_t> uniform(16, 5);
+  // Already balanced: boundaries stay, epoch stays.
+  EXPECT_EQ(map->Rebalance(uniform, 3), 0);
+  EXPECT_EQ(map->epoch(), 0);
+  // Zero total load: no information, no movement.
+  EXPECT_EQ(map->Rebalance(std::vector<int64_t>(16, 0), 3), 0);
+  EXPECT_EQ(map->epoch(), 0);
+  // max_moves = 0 disables movement outright.
+  std::vector<int64_t> skew(16, 0);
+  skew[15] = 1000;
+  EXPECT_EQ(map->Rebalance(skew, 0), 0);
+  EXPECT_EQ(map->epoch(), 0);
+  // A single shard has no boundaries to move.
+  auto one = ShardMap::Create(kWorld, 16, 1);
+  ASSERT_TRUE(one.ok());
+  EXPECT_EQ(one->Rebalance(skew, 4), 0);
+}
+
+TEST(ShardMapRebalanceTest, DeterministicAcrossInstances) {
+  Rng rng(99);
+  std::vector<std::vector<int64_t>> loads;
+  for (int step = 0; step < 8; ++step) {
+    std::vector<int64_t> load(32);
+    for (int64_t& l : load) {
+      l = static_cast<int64_t>(rng.Uniform(0.0, 50.0));
+    }
+    loads.push_back(std::move(load));
+  }
+  auto a = ShardMap::Create(kWorld, 32, 5);
+  auto b = ShardMap::Create(kWorld, 32, 5);
+  ASSERT_TRUE(a.ok() && b.ok());
+  for (const auto& load : loads) {
+    a->Rebalance(load, 2);
+    b->Rebalance(load, 2);
+    ASSERT_EQ(a->epoch(), b->epoch());
+    for (int32_t k = 0; k < 5; ++k) {
+      ASSERT_EQ(a->ColumnBegin(k), b->ColumnBegin(k));
+    }
+  }
+  EXPECT_GT(a->epoch(), 0);  // the random loads did move boundaries
+}
+
 TEST(ShardMapTest, SingleShardOwnsEverything) {
   auto map = ShardMap::Create(kWorld, 16, 1);
   ASSERT_TRUE(map.ok());

@@ -75,6 +75,48 @@ TEST(FlightRecorderTest, DumpJsonHasLabelAndSamples) {
   EXPECT_NE(text.find("\"shard\":2"), std::string::npos) << text;
 }
 
+RebalanceRecord RebalanceForEpoch(int64_t epoch) {
+  RebalanceRecord r;
+  r.tick = 10 * epoch;
+  r.time = static_cast<double>(epoch);
+  r.epoch = epoch;
+  r.columns_moved = 2;
+  r.nodes_migrated = 30 + epoch;
+  r.imbalance_before = 3.5;
+  r.imbalance_after = 1.25;
+  return r;
+}
+
+TEST(FlightRecorderTest, RebalanceRingRecordsAndWraps) {
+  FlightRecorder recorder(3, "coord");
+  EXPECT_TRUE(recorder.SnapshotRebalances().empty());
+  for (int64_t epoch = 1; epoch <= 5; ++epoch) {
+    recorder.RecordRebalance(RebalanceForEpoch(epoch));
+  }
+  // Same capacity and oldest-first contract as the sample ring.
+  const std::vector<RebalanceRecord> records = recorder.SnapshotRebalances();
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_EQ(records.front().epoch, 3);
+  EXPECT_EQ(records.back().epoch, 5);
+  EXPECT_EQ(records.back().nodes_migrated, 35);
+  EXPECT_DOUBLE_EQ(records.back().imbalance_before, 3.5);
+}
+
+TEST(FlightRecorderTest, DumpJsonIncludesRebalances) {
+  FlightRecorder recorder(8, "coord");
+  recorder.Record(SampleForTick(7));
+  recorder.RecordRebalance(RebalanceForEpoch(2));
+  std::stringstream out;
+  recorder.DumpJson(out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("\"rebalances\":["), std::string::npos) << text;
+  EXPECT_NE(text.find("\"epoch\":2"), std::string::npos) << text;
+  EXPECT_NE(text.find("\"columns_moved\":2"), std::string::npos) << text;
+  EXPECT_NE(text.find("\"nodes_migrated\":32"), std::string::npos) << text;
+  EXPECT_NE(text.find("\"imbalance_before\":3.5"), std::string::npos) << text;
+  EXPECT_NE(text.find("\"imbalance_after\":1.25"), std::string::npos) << text;
+}
+
 TEST(FlightRecorderTest, DumpAllSeesEveryLiveRecorder) {
   FlightRecorder a(4, "alpha-ring");
   FlightRecorder b(4, "beta-ring");
