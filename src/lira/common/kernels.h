@@ -104,7 +104,37 @@ enum : uint8_t {
   /* Widens a stride-4 float frame row {x, y, vx, vy} into double columns     \
      (float->double conversion is exact). */                                   \
   void UnpackFrame(int64_t n, const float* states, double* x, double* y,       \
-                   double* vx, double* vy);
+                   double* vx, double* vy);                                    \
+                                                                               \
+  /* out[i] += in[i] over int64 lanes. Integer addition is associative and    \
+     exact, so any chunking / reduction shape over these lanes is bitwise     \
+     identical to a serial accumulation -- the property the coordinator's     \
+     parallel shard-grid merge relies on. */                                   \
+  void AddI64(int64_t n, const int64_t* in, int64_t* out);                     \
+                                                                               \
+  /* cell[i] = flat row-major grid cell (iy * alpha + ix) of point i, or -1   \
+     for lanes with known[i] == 0 (known == nullptr means all lanes valid).   \
+     Per axis this is StatisticsGrid::LocateCell's exact expression:          \
+     clamp into the ClampSpec box, subtract the origin, divide by the cell    \
+     pitch, truncate to int32, clamp to [0, alpha). Division is correctly     \
+     rounded per IEEE-754 and the in-range double->int32 conversion is        \
+     exact, so scalar and SIMD lanes agree bitwise; unknown lanes are         \
+     select-replaced with the origin before the conversion so no garbage      \
+     value ever reaches the (UB-on-overflow) cast. */                          \
+  void LocateCells(int64_t n, const double* px, const double* py,              \
+                   const uint8_t* known, const ClampSpec& spec, double cell_w, \
+                   double cell_h, int32_t alpha, int32_t* cell);               \
+                                                                               \
+  /* skip[i] = cell[i] == old_cell[i] (and >= 0) & velocity bits unchanged    \
+     (vel == cached, IEEE == on doubles -- velocities are never NaN). The     \
+     columnar stats rebuild's fast path: a skipped lane's contribution        \
+     (cell and quantized speed) is provably identical to what the grid        \
+     already holds, so the scalar relocation loop tests one byte instead of   \
+     re-deriving the comparison chain per lane. */                             \
+  void RelocateSkipMask(int64_t n, const int32_t* cell,                        \
+                        const int32_t* old_cell, const double* vel_x,          \
+                        const double* vel_y, const double* cached_vx,          \
+                        const double* cached_vy, uint8_t* skip);
 
 namespace vec {
 LIRA_KERNELS_DECLARE
@@ -194,6 +224,31 @@ inline void UnpackFrame(int64_t n, const float* states, double* x, double* y,
                         double* vx, double* vy) {
   scalar_reference_enabled() ? ref::UnpackFrame(n, states, x, y, vx, vy)
                              : vec::UnpackFrame(n, states, x, y, vx, vy);
+}
+
+inline void AddI64(int64_t n, const int64_t* in, int64_t* out) {
+  scalar_reference_enabled() ? ref::AddI64(n, in, out)
+                             : vec::AddI64(n, in, out);
+}
+
+inline void LocateCells(int64_t n, const double* px, const double* py,
+                        const uint8_t* known, const ClampSpec& spec,
+                        double cell_w, double cell_h, int32_t alpha,
+                        int32_t* cell) {
+  scalar_reference_enabled()
+      ? ref::LocateCells(n, px, py, known, spec, cell_w, cell_h, alpha, cell)
+      : vec::LocateCells(n, px, py, known, spec, cell_w, cell_h, alpha, cell);
+}
+
+inline void RelocateSkipMask(int64_t n, const int32_t* cell,
+                             const int32_t* old_cell, const double* vel_x,
+                             const double* vel_y, const double* cached_vx,
+                             const double* cached_vy, uint8_t* skip) {
+  scalar_reference_enabled()
+      ? ref::RelocateSkipMask(n, cell, old_cell, vel_x, vel_y, cached_vx,
+                              cached_vy, skip)
+      : vec::RelocateSkipMask(n, cell, old_cell, vel_x, vel_y, cached_vx,
+                              cached_vy, skip);
 }
 
 }  // namespace lira::kernels

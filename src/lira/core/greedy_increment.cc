@@ -2,8 +2,6 @@
 
 #include <algorithm>
 #include <cmath>
-#include <queue>
-#include <set>
 #include <utility>
 #include <vector>
 
@@ -16,11 +14,74 @@ namespace {
 // effectively infinite, ordered among themselves by n_i * s_i * r.
 constexpr double kQueryEpsilon = 1e-12;
 
+/// Indexed binary min-heap over the region deltas, replacing the original
+/// std::multiset<double> minimum tracking (ISSUE 10). The algorithm only
+/// ever reads the minimum *value* and raises one region's delta at a time,
+/// so an array-backed heap keyed by the exact delta doubles reproduces the
+/// multiset's observable behaviour bit-for-bit (ties among equal minima are
+/// irrelevant: both structures surface the same value) while replacing
+/// O(log l) node allocations with in-place sifts. A pure knot-count table
+/// would not be exact: fairness caps and the terminal budget-limited step
+/// park deltas *between* knots (min_before + fairness_threshold, or the
+/// fractional budget intercept), so the keys must stay exact doubles.
+class DeltaMinHeap {
+ public:
+  /// Builds over regions [0, l) with all keys equal (every delta starts at
+  /// d_min), so the identity ordering is already a valid heap.
+  DeltaMinHeap(const double* deltas, size_t l, FrameArena* arena)
+      : deltas_(deltas), size_(l) {
+    heap_ = arena->AllocSpan<size_t>(l);
+    pos_ = arena->AllocSpan<size_t>(l);
+    for (size_t i = 0; i < l; ++i) {
+      heap_[i] = i;
+      pos_[i] = i;
+    }
+  }
+
+  double MinValue() const { return deltas_[heap_[0]]; }
+
+  /// Restores the heap after region j's delta increased (deltas only ever
+  /// move up, so a sift-down from j's slot suffices).
+  void KeyIncreased(size_t j) {
+    size_t at = pos_[j];
+    while (true) {
+      const size_t left = 2 * at + 1;
+      const size_t right = 2 * at + 2;
+      size_t smallest = at;
+      if (left < size_ && deltas_[heap_[left]] < deltas_[heap_[smallest]]) {
+        smallest = left;
+      }
+      if (right < size_ && deltas_[heap_[right]] < deltas_[heap_[smallest]]) {
+        smallest = right;
+      }
+      if (smallest == at) {
+        return;
+      }
+      std::swap(heap_[at], heap_[smallest]);
+      pos_[heap_[at]] = at;
+      pos_[heap_[smallest]] = smallest;
+      at = smallest;
+    }
+  }
+
+ private:
+  const double* deltas_;
+  size_t size_;
+  size_t* heap_;
+  size_t* pos_;
+};
+
 }  // namespace
 
 StatusOr<GreedyIncrementResult> RunGreedyIncrement(
     const std::vector<RegionStats>& regions, const UpdateReductionFunction& f,
     const GreedyIncrementConfig& config) {
+  return RunGreedyIncrement(regions, f, config, nullptr);
+}
+
+StatusOr<GreedyIncrementResult> RunGreedyIncrement(
+    const std::vector<RegionStats>& regions, const UpdateReductionFunction& f,
+    const GreedyIncrementConfig& config, GreedyScratch* scratch) {
   if (regions.empty()) {
     return InvalidArgumentError("no regions");
   }
@@ -33,6 +94,13 @@ StatusOr<GreedyIncrementResult> RunGreedyIncrement(
   if (config.fairness_threshold < 0.0) {
     return InvalidArgumentError("fairness_threshold must be >= 0");
   }
+  GreedyScratch local;
+  if (scratch == nullptr) {
+    scratch = &local;
+  }
+  scratch->arena.Reset();
+  scratch->heap.clear();
+  scratch->blocked.clear();
 
   const double d_min = f.delta_min();
   const double d_max = f.delta_max();
@@ -65,7 +133,7 @@ StatusOr<GreedyIncrementResult> RunGreedyIncrement(
   }
   const double s_hat = speed_dot / n_total;
 
-  std::vector<double> weight(l);
+  double* weight = scratch->arena.AllocSpan<double>(l);
   for (size_t i = 0; i < l; ++i) {
     if (config.use_speed_factor && s_hat > 0.0) {
       weight[i] = regions[i].n * regions[i].s / s_hat;
@@ -91,13 +159,31 @@ StatusOr<GreedyIncrementResult> RunGreedyIncrement(
     return std::min(d_max, d_min + k * config.c_delta);
   };
 
+  // Gain max-heap over (gain, region). Each region appears at most once, so
+  // the pair order is a strict total order and the pop sequence -- always
+  // the unique maximum -- is independent of the heap's internal layout;
+  // push_heap/pop_heap on reused storage therefore reproduces the original
+  // std::priority_queue exactly, without its per-run allocation.
   using HeapEntry = std::pair<double, size_t>;  // (gain, region)
-  std::priority_queue<HeapEntry> heap;
+  std::vector<HeapEntry>& heap = scratch->heap;
+  heap.reserve(l);
   for (size_t i = 0; i < l; ++i) {
-    heap.emplace(gain_of(i), i);
+    heap.emplace_back(gain_of(i), i);
+    std::push_heap(heap.begin(), heap.end());
   }
-  std::multiset<double> delta_set(result.deltas.begin(), result.deltas.end());
-  std::vector<size_t> blocked;
+  auto heap_pop_top = [&]() {
+    std::pop_heap(heap.begin(), heap.end());
+    const HeapEntry top = heap.back();
+    heap.pop_back();
+    return top;
+  };
+  auto heap_push = [&](double gain, size_t i) {
+    heap.emplace_back(gain, i);
+    std::push_heap(heap.begin(), heap.end());
+  };
+
+  DeltaMinHeap delta_min_heap(result.deltas.data(), l, &scratch->arena);
+  std::vector<size_t>& blocked = scratch->blocked;
 
   auto unblock_below = [&](double current_min) {
     // Moves fairness-blocked regions whose headroom reopened back into the
@@ -107,7 +193,7 @@ StatusOr<GreedyIncrementResult> RunGreedyIncrement(
       const size_t j = blocked[idx];
       if (result.deltas[j] - current_min <
           config.fairness_threshold - delta_tol) {
-        heap.emplace(gain_of(j), j);
+        heap_push(gain_of(j), j);
       } else {
         blocked[kept++] = j;
       }
@@ -122,7 +208,7 @@ StatusOr<GreedyIncrementResult> RunGreedyIncrement(
       }
       // Degenerate fairness corner: all active regions blocked. Advance the
       // minimal group together so the fairness window can slide up.
-      const double floor_old = *delta_set.begin();
+      const double floor_old = delta_min_heap.MinValue();
       if (floor_old >= d_max - delta_tol) {
         break;
       }
@@ -143,24 +229,22 @@ StatusOr<GreedyIncrementResult> RunGreedyIncrement(
         if (dj <= floor_old + delta_tol) {
           const double nd = std::min(floor_new, d_max);
           expenditure -= weight[j] * (f.Eval(dj) - f.Eval(nd));
-          delta_set.erase(delta_set.find(dj));
-          delta_set.insert(nd);
           dj = nd;
+          delta_min_heap.KeyIncreased(j);
           ++result.steps;
         }
       }
-      unblock_below(*delta_set.begin());
+      unblock_below(delta_min_heap.MinValue());
       continue;
     }
 
-    const auto [gain, i] = heap.top();
-    heap.pop();
+    const auto [gain, i] = heap_pop_top();
     (void)gain;
     double& delta_i = result.deltas[i];
     if (delta_i >= d_max - delta_tol) {
       continue;
     }
-    const double min_before = *delta_set.begin();
+    const double min_before = delta_min_heap.MinValue();
     const double fairness_cap =
         std::isinf(config.fairness_threshold)
             ? d_max
@@ -178,18 +262,17 @@ StatusOr<GreedyIncrementResult> RunGreedyIncrement(
     }
     const double new_delta = std::min(delta_i + step, d_max);
     expenditure -= weight[i] * (f.Eval(delta_i) - f.Eval(new_delta));
-    delta_set.erase(delta_set.find(delta_i));
-    delta_set.insert(new_delta);
     delta_i = new_delta;
+    delta_min_heap.KeyIncreased(i);
     ++result.steps;
 
-    const double min_after = *delta_set.begin();
+    const double min_after = delta_min_heap.MinValue();
     if (new_delta < d_max - delta_tol) {
       if (!std::isinf(config.fairness_threshold) &&
           new_delta - min_after >= config.fairness_threshold - delta_tol) {
         blocked.push_back(i);
       } else {
-        heap.emplace(gain_of(i), i);
+        heap_push(gain_of(i), i);
       }
     }
     if (min_after > min_before + delta_tol) {

@@ -25,8 +25,10 @@
 
 #include <cstdint>
 #include <limits>
+#include <utility>
 #include <vector>
 
+#include "lira/common/arena.h"
 #include "lira/common/status.h"
 #include "lira/core/region_stats.h"
 #include "lira/motion/update_reduction.h"
@@ -60,10 +62,35 @@ struct GreedyIncrementResult {
   int64_t steps = 0;
 };
 
+/// Reusable scratch for RunGreedyIncrement (DESIGN.md §13). The fixed-size
+/// per-region arrays (weights, the indexed delta min-heap and its position
+/// index) are arena-backed and recycled with one Reset() per call; the
+/// variable-size heaps keep their vector capacity across calls. After the
+/// first call at a given l, a run is allocation-free except for the
+/// returned deltas. Single-owner, not thread-safe: parallel callers
+/// (GridReduce's drill-down waves) keep one scratch per worker. Every span
+/// is invalidated by the next call that uses the scratch.
+struct GreedyScratch {
+  FrameArena arena;
+  /// Gain max-heap storage, maintained with std::push_heap / std::pop_heap
+  /// (the exact algorithms std::priority_queue is specified in terms of).
+  std::vector<std::pair<double, size_t>> heap;
+  /// Fairness-blocked region list (paper Algorithm 2).
+  std::vector<size_t> blocked;
+  /// Region copy used by SolvePartitionedInaccuracy (region_solver.cc).
+  std::vector<RegionStats> regions;
+};
+
 /// Runs the optimizer. Fails on invalid configuration or empty input.
 StatusOr<GreedyIncrementResult> RunGreedyIncrement(
     const std::vector<RegionStats>& regions, const UpdateReductionFunction& f,
     const GreedyIncrementConfig& config);
+
+/// As above with caller-provided scratch (nullptr falls back to call-local
+/// scratch). Bitwise identical results; this is a pure allocation saving.
+StatusOr<GreedyIncrementResult> RunGreedyIncrement(
+    const std::vector<RegionStats>& regions, const UpdateReductionFunction& f,
+    const GreedyIncrementConfig& config, GreedyScratch* scratch);
 
 }  // namespace lira
 

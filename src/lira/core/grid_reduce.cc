@@ -15,8 +15,23 @@ struct HeapEntry {
   double gain = 0.0;
   QuadNodeRef node;
 
+  /// Max-heap priority: higher gain first; equal gains break toward the
+  /// smaller (level, iy, ix) node ref. Node refs are unique, so this is a
+  /// strict total order -- the popped sequence is the sorted order
+  /// regardless of insertion order, which is what makes the region output
+  /// order a documented invariant (and lets a wave of gains be evaluated
+  /// in parallel without perturbing the drill order).
   friend bool operator<(const HeapEntry& a, const HeapEntry& b) {
-    return a.gain < b.gain;
+    if (a.gain != b.gain) {
+      return a.gain < b.gain;
+    }
+    if (a.node.level != b.node.level) {
+      return a.node.level > b.node.level;
+    }
+    if (a.node.iy != b.node.iy) {
+      return a.node.iy > b.node.iy;
+    }
+    return a.node.ix > b.node.ix;
   }
 };
 
@@ -43,14 +58,20 @@ StatusOr<std::vector<SheddingRegion>> GridReduce(
     return InvalidArgumentError("z must be in [0, 1]");
   }
 
-  auto gain_of = [&](const QuadNodeRef& ref) -> StatusOr<double> {
+  // One greedy scratch per worker; ParallelFor chunk c always runs on
+  // worker c, so scratch slot c is never touched by two threads.
+  const bool pooled = config.pool != nullptr && config.pool->num_threads() > 1;
+  std::vector<GreedyScratch> scratch(pooled ? config.pool->num_threads() : 1);
+
+  auto gain_of = [&](const QuadNodeRef& ref,
+                     GreedyScratch* slot) -> StatusOr<double> {
     std::array<RegionStats, 4> children;
     const auto child_refs = tree.Children(ref);
     for (int i = 0; i < 4; ++i) {
       children[i] = tree.Stats(child_refs[i]);
     }
-    return AccuracyGain(tree.Stats(ref), children, config.z, f,
-                        config.greedy);
+    return AccuracyGain(tree.Stats(ref), children, config.z, f, config.greedy,
+                        slot);
   };
 
   std::priority_queue<HeapEntry> heap;
@@ -59,7 +80,7 @@ StatusOr<std::vector<SheddingRegion>> GridReduce(
   if (tree.IsLeaf(tree.root())) {
     leaves_done.push_back(tree.root());
   } else {
-    auto gain = gain_of(tree.root());
+    auto gain = gain_of(tree.root(), &scratch[0]);
     if (!gain.ok()) {
       return gain.status();
     }
@@ -82,18 +103,31 @@ StatusOr<std::vector<SheddingRegion>> GridReduce(
           config.now, top.gain,
           static_cast<double>(heap.size() + leaves_done.size() + 1));
     }
-    for (const QuadNodeRef& child : tree.Children(node)) {
-      if (tree.IsLeaf(child)) {
-        // Leaf children enter the heap with zero gain (they cannot be split
-        // further); they surface only after all positive-gain regions.
-        heap.push({0.0, child});
-      } else {
-        auto gain = gain_of(child);
-        if (!gain.ok()) {
-          return gain.status();
+    // Frontier wave: evaluate every child gain of this drill-down before
+    // touching the heap, then push in fixed child order. Each gain is the
+    // same pure sub-problem either way, and the heap's total order makes
+    // push order irrelevant, so the wave may fan out across workers.
+    const auto children = tree.Children(node);
+    std::array<StatusOr<double>, 4> gains = {0.0, 0.0, 0.0, 0.0};
+    const auto eval_range = [&](int32_t chunk, int64_t begin, int64_t end) {
+      for (int64_t c = begin; c < end; ++c) {
+        if (!tree.IsLeaf(children[c])) {
+          // Leaf children keep zero gain (they cannot be split further);
+          // they surface only after all positive-gain regions.
+          gains[c] = gain_of(children[c], &scratch[chunk]);
         }
-        heap.push({*gain, child});
       }
+    };
+    if (pooled) {
+      config.pool->ParallelFor(0, 4, 1, eval_range);
+    } else {
+      eval_range(0, 0, 4);
+    }
+    for (int i = 0; i < 4; ++i) {
+      if (!gains[i].ok()) {
+        return gains[i].status();
+      }
+      heap.push({*gains[i], children[i]});
     }
   }
 

@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "lira/common/parallel.h"
 #include "lira/common/status.h"
 #include "lira/core/greedy_increment.h"
 #include "lira/core/quad_hierarchy.h"
@@ -35,11 +36,24 @@ struct GridReduceConfig {
   telemetry::TelemetrySink* telemetry = nullptr;
   /// Timestamp attached to telemetry records.
   double now = 0.0;
+  /// Optional worker pool (not owned). Each drill-down wave evaluates its
+  /// children's AccuracyGain sub-problems via ParallelFor with one greedy
+  /// scratch per worker; results merge in fixed child order, and the
+  /// explicit (gain, node-ref) heap tie-break makes the drill order a total
+  /// order, so the output is bitwise identical for any thread count.
+  ThreadPool* pool = nullptr;
 };
 
 /// Runs the drill-down and returns l shedding regions (areas + statistics;
 /// throttlers unset). Regions tile the hierarchy's world exactly. Returns
 /// fewer than l regions only if l exceeds the number of leaves.
+///
+/// Output-order invariant (documented; regression-tested in
+/// tests/core/grid_reduce_test): regions appear in drill-down completion
+/// order -- leaves popped during the drill first, then the remaining
+/// frontier in descending (gain, then ascending (level, iy, ix)) order.
+/// Ties in gain (notably the 0.0-gain leaf entries) therefore never depend
+/// on heap insertion order.
 StatusOr<std::vector<SheddingRegion>> GridReduce(
     const QuadHierarchy& tree, const UpdateReductionFunction& f,
     const GridReduceConfig& config);

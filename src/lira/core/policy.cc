@@ -39,7 +39,13 @@ StatusOr<SheddingPlan> FinishPlan(const PolicyContext& ctx,
   telemetry::ScopedTimer timer(ctx.telemetry,
                                "lira.adapt.greedy_increment_seconds", ctx.now);
   auto result = RunGreedyIncrement(stats, *ctx.reduction, greedy);
-  timer.Stop();
+  const double greedy_seconds = timer.Stop();
+  if (ctx.telemetry != nullptr) {
+    // Per-phase adaptation histogram; the legacy name above is kept for
+    // existing dashboards and tests.
+    ctx.telemetry->RecordSpan("lira.adapt.greedy_seconds", ctx.now,
+                              greedy_seconds);
+  }
   if (!result.ok()) {
     return result.status();
   }
@@ -84,7 +90,10 @@ StatusOr<SheddingPlan> LiraGridPolicy::BuildPlan(
 
 StatusOr<SheddingPlan> LiraPolicy::BuildPlan(const PolicyContext& ctx) const {
   LIRA_RETURN_IF_ERROR(ValidateContext(ctx));
-  const QuadHierarchy tree = QuadHierarchy::Build(*ctx.stats);
+  telemetry::ScopedTimer quad_timer(ctx.telemetry,
+                                    "lira.adapt.quad_build_seconds", ctx.now);
+  const QuadHierarchy tree = QuadHierarchy::Build(*ctx.stats, ctx.pool);
+  quad_timer.Stop();
   GridReduceConfig reduce;
   reduce.l = config_.l;
   reduce.z = ctx.z;
@@ -92,10 +101,17 @@ StatusOr<SheddingPlan> LiraPolicy::BuildPlan(const PolicyContext& ctx) const {
   reduce.greedy.use_speed_factor = config_.use_speed_factor;
   reduce.telemetry = ctx.telemetry;
   reduce.now = ctx.now;
+  reduce.pool = ctx.pool;
   telemetry::ScopedTimer timer(ctx.telemetry, "lira.adapt.grid_reduce_seconds",
                                ctx.now);
   auto regions = GridReduce(tree, *ctx.reduction, reduce);
-  timer.Stop();
+  const double reduce_seconds = timer.Stop();
+  if (ctx.telemetry != nullptr) {
+    // Per-phase adaptation histogram; the legacy name above is kept for
+    // existing dashboards and tests.
+    ctx.telemetry->RecordSpan("lira.adapt.gridreduce_seconds", ctx.now,
+                              reduce_seconds);
+  }
   if (!regions.ok()) {
     return regions.status();
   }

@@ -18,6 +18,7 @@
 #include <memory>
 #include <string_view>
 
+#include "lira/common/parallel.h"
 #include "lira/common/status.h"
 #include "lira/core/shedding_plan.h"
 #include "lira/core/statistics_grid.h"
@@ -38,6 +39,10 @@ struct PolicyContext {
   telemetry::TelemetrySink* telemetry = nullptr;
   /// Server time attached to telemetry records.
   double now = 0.0;
+  /// Optional worker pool (not owned) used by LiraPolicy for the quad-tree
+  /// build and the GRIDREDUCE drill-down waves. Plans are bitwise identical
+  /// with or without it (see QuadHierarchy::Build and GridReduceConfig).
+  ThreadPool* pool = nullptr;
 };
 
 /// Interface of a load-shedding policy.

@@ -16,33 +16,84 @@ QuadHierarchy::QuadHierarchy(Rect world, int32_t num_levels)
     offset += side * side;
   }
   level_offset_[num_levels_] = offset;
-  stats_.resize(offset);
+  // Leaf level stays virtual (read through grid_); store only the interior.
+  stats_.resize(level_offset_[num_levels_ - 1]);
 }
 
-QuadHierarchy QuadHierarchy::Build(const StatisticsGrid& grid) {
+QuadHierarchy QuadHierarchy::Build(const StatisticsGrid& grid,
+                                   ThreadPool* pool) {
   const int32_t alpha = grid.alpha();
   const auto levels =
       static_cast<int32_t>(std::lround(std::log2(alpha))) + 1;
   QuadHierarchy tree(grid.world(), levels);
 
-  // Leaves: statistics-grid cells.
+  tree.grid_ = &grid;
+
+  // Rows below this cell count run serially: the fork/join overhead of a
+  // ParallelFor pass dwarfs the work of a small level.
+  constexpr int64_t kParallelCells = 4096;
+  const bool pooled = pool != nullptr && pool->num_threads() > 1;
+
+  // Deepest materialized level: aggregate straight from the grid. Each
+  // parent row reads two leaf rows of cell statistics into scratch
+  // (CellStatsRow -- the same bits the old materialized leaf fill stored)
+  // and folds them in the original Children() order, so every stored
+  // aggregate is bitwise identical to the copy-then-aggregate build while
+  // skipping the alpha^2 RegionStats store and its read-back.
   const int32_t leaf = tree.leaf_level();
-  for (int32_t iy = 0; iy < alpha; ++iy) {
-    for (int32_t ix = 0; ix < alpha; ++ix) {
-      tree.stats_[tree.FlatIndex({leaf, ix, iy})] = grid.CellStats(ix, iy);
+  if (leaf > 0) {
+    const int32_t side = 1 << (leaf - 1);
+    const size_t offset = tree.level_offset_[leaf - 1];
+    const auto agg_leaf_rows = [&](int32_t /*chunk*/, int64_t row_begin,
+                                   int64_t row_end) {
+      std::vector<RegionStats> scratch(2 * static_cast<size_t>(alpha));
+      RegionStats* const row0 = scratch.data();
+      RegionStats* const row1 = scratch.data() + alpha;
+      for (int64_t iy = row_begin; iy < row_end; ++iy) {
+        grid.CellStatsRow(static_cast<int32_t>(2 * iy), row0);
+        grid.CellStatsRow(static_cast<int32_t>(2 * iy + 1), row1);
+        RegionStats* const out =
+            tree.stats_.data() + offset + static_cast<size_t>(iy) * side;
+        for (int32_t ix = 0; ix < side; ++ix) {
+          RegionStats agg;
+          agg = agg + row0[2 * ix];
+          agg = agg + row0[2 * ix + 1];
+          agg = agg + row1[2 * ix];
+          agg = agg + row1[2 * ix + 1];
+          out[ix] = agg;
+        }
+      }
+    };
+    if (pooled && static_cast<int64_t>(side) * side >= kParallelCells) {
+      pool->ParallelFor(0, side, 1, agg_leaf_rows);
+    } else {
+      agg_leaf_rows(0, 0, side);
     }
   }
+
   // Bottom-up aggregation (equivalent to the paper's post-order traversal).
-  for (int32_t level = leaf - 1; level >= 0; --level) {
+  // Parents within one level are independent and read only the completed
+  // level below; returning from the level's ParallelFor is the barrier
+  // before the next level starts.
+  for (int32_t level = leaf - 2; level >= 0; --level) {
     const int32_t side = 1 << level;
-    for (int32_t iy = 0; iy < side; ++iy) {
-      for (int32_t ix = 0; ix < side; ++ix) {
-        RegionStats agg;
-        for (const QuadNodeRef& child : tree.Children({level, ix, iy})) {
-          agg = agg + tree.stats_[tree.FlatIndex(child)];
+    const auto agg_rows = [&](int32_t /*chunk*/, int64_t row_begin,
+                              int64_t row_end) {
+      for (int64_t iy = row_begin; iy < row_end; ++iy) {
+        for (int32_t ix = 0; ix < side; ++ix) {
+          const QuadNodeRef ref{level, ix, static_cast<int32_t>(iy)};
+          RegionStats agg;
+          for (const QuadNodeRef& child : tree.Children(ref)) {
+            agg = agg + tree.stats_[tree.FlatIndex(child)];
+          }
+          tree.stats_[tree.FlatIndex(ref)] = agg;
         }
-        tree.stats_[tree.FlatIndex({level, ix, iy})] = agg;
       }
+    };
+    if (pooled && static_cast<int64_t>(side) * side >= kParallelCells) {
+      pool->ParallelFor(0, side, 1, agg_rows);
+    } else {
+      agg_rows(0, 0, side);
     }
   }
   return tree;
@@ -58,7 +109,18 @@ std::array<QuadNodeRef, 4> QuadHierarchy::Children(
           QuadNodeRef{level, bx, by + 1}, QuadNodeRef{level, bx + 1, by + 1}};
 }
 
-const RegionStats& QuadHierarchy::Stats(const QuadNodeRef& ref) const {
+RegionStats QuadHierarchy::Stats(const QuadNodeRef& ref) const {
+  if (ref.level == leaf_level()) {
+    LIRA_DCHECK(ref.ix >= 0 && ref.ix < (1 << ref.level));
+    LIRA_DCHECK(ref.iy >= 0 && ref.iy < (1 << ref.level));
+    // Virtual leaf: the grid's cell statistics, the exact bits CellStatsRow
+    // would have stored (MeanSpeed shares its guarded-divide expression).
+    RegionStats out;
+    out.n = grid_->NodeCount(ref.ix, ref.iy);
+    out.m = grid_->QueryCount(ref.ix, ref.iy);
+    out.s = grid_->MeanSpeed(ref.ix, ref.iy);
+    return out;
+  }
   return stats_[FlatIndex(ref)];
 }
 
@@ -75,7 +137,8 @@ int64_t QuadHierarchy::TotalNodes() const {
 }
 
 size_t QuadHierarchy::FlatIndex(const QuadNodeRef& ref) const {
-  LIRA_DCHECK(ref.level >= 0 && ref.level < num_levels_);
+  // Interior nodes only: the leaf level has no stored slot (virtual leaves).
+  LIRA_DCHECK(ref.level >= 0 && ref.level < num_levels_ - 1);
   const int32_t side = 1 << ref.level;
   LIRA_DCHECK(ref.ix >= 0 && ref.ix < side && ref.iy >= 0 && ref.iy < side);
   return level_offset_[ref.level] +

@@ -17,7 +17,8 @@ double SolveSingleRegionInaccuracy(const RegionStats& region, double z,
 
 StatusOr<double> SolvePartitionedInaccuracy(
     const std::array<RegionStats, 4>& children, double z,
-    const UpdateReductionFunction& f, const GreedyIncrementConfig& config) {
+    const UpdateReductionFunction& f, const GreedyIncrementConfig& config,
+    GreedyScratch* scratch) {
   GreedyIncrementConfig child_config = config;
   child_config.z = z;
   // The accuracy gain compares unconstrained optima; the fairness threshold
@@ -25,8 +26,12 @@ StatusOr<double> SolvePartitionedInaccuracy(
   // heuristic.
   child_config.fairness_threshold =
       std::numeric_limits<double>::infinity();
-  const std::vector<RegionStats> regions(children.begin(), children.end());
-  auto result = RunGreedyIncrement(regions, f, child_config);
+  GreedyScratch local;
+  if (scratch == nullptr) {
+    scratch = &local;
+  }
+  scratch->regions.assign(children.begin(), children.end());
+  auto result = RunGreedyIncrement(scratch->regions, f, child_config, scratch);
   if (!result.ok()) {
     return result.status();
   }
@@ -36,9 +41,10 @@ StatusOr<double> SolvePartitionedInaccuracy(
 StatusOr<double> AccuracyGain(const RegionStats& parent,
                               const std::array<RegionStats, 4>& children,
                               double z, const UpdateReductionFunction& f,
-                              const GreedyIncrementConfig& config) {
+                              const GreedyIncrementConfig& config,
+                              GreedyScratch* scratch) {
   const double whole = SolveSingleRegionInaccuracy(parent, z, f);
-  auto split = SolvePartitionedInaccuracy(children, z, f, config);
+  auto split = SolvePartitionedInaccuracy(children, z, f, config, scratch);
   if (!split.ok()) {
     return split.status();
   }

@@ -28,16 +28,21 @@ double SolveSingleRegionInaccuracy(const RegionStats& region, double z,
                                    const UpdateReductionFunction& f);
 
 /// E_p[t]: minimal inaccuracy when the region is split into the four given
-/// sub-regions sharing the parent's budget.
+/// sub-regions sharing the parent's budget. `scratch` (nullable) is reused
+/// across calls -- GridReduce evaluates one gain per candidate drill-down,
+/// so the inner greedy run recycling its heaps matters; results are
+/// bitwise identical either way.
 StatusOr<double> SolvePartitionedInaccuracy(
     const std::array<RegionStats, 4>& children, double z,
-    const UpdateReductionFunction& f, const GreedyIncrementConfig& config);
+    const UpdateReductionFunction& f, const GreedyIncrementConfig& config,
+    GreedyScratch* scratch = nullptr);
 
 /// V[t] = max(0, E[t] - E_p[t]).
 StatusOr<double> AccuracyGain(const RegionStats& parent,
                               const std::array<RegionStats, 4>& children,
                               double z, const UpdateReductionFunction& f,
-                              const GreedyIncrementConfig& config);
+                              const GreedyIncrementConfig& config,
+                              GreedyScratch* scratch = nullptr);
 
 }  // namespace lira
 

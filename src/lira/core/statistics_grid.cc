@@ -2,20 +2,15 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 
 #include "lira/common/check.h"
+#include "lira/common/kernels.h"
 
 namespace lira {
 namespace {
 
 bool IsPowerOfTwo(int32_t v) { return v > 0 && (v & (v - 1)) == 0; }
-
-/// Speeds are accumulated in units of 2^-20 m/s (~1e-6 m/s resolution, far
-/// below any physically meaningful speed difference). Integer accumulation is
-/// associative and exactly reversible, so incremental add/remove leaves the
-/// grid bitwise identical to a from-scratch rebuild -- the property the
-/// delta-maintenance paths in CqServer rely on.
-constexpr double kSpeedScale = 1048576.0;  // 2^20
 
 }  // namespace
 
@@ -24,8 +19,7 @@ StatisticsGrid::StatisticsGrid(const Rect& world, int32_t alpha)
       alpha_(alpha),
       cell_w_(world.width() / alpha),
       cell_h_(world.height() / alpha),
-      node_count_(static_cast<size_t>(alpha) * alpha, 0),
-      speed_sum_q_(static_cast<size_t>(alpha) * alpha, 0),
+      node_acc_(2 * static_cast<size_t>(alpha) * alpha, 0),
       query_count_(static_cast<size_t>(alpha) * alpha, 0.0) {}
 
 StatusOr<StatisticsGrid> StatisticsGrid::Create(const Rect& world,
@@ -59,8 +53,7 @@ int64_t StatisticsGrid::QuantizeSpeed(double speed) {
 }
 
 void StatisticsGrid::ClearNodes() {
-  std::fill(node_count_.begin(), node_count_.end(), int64_t{0});
-  std::fill(speed_sum_q_.begin(), speed_sum_q_.end(), int64_t{0});
+  std::fill(node_acc_.begin(), node_acc_.end(), int64_t{0});
   total_node_count_ = 0;
   total_speed_q_ = 0;
 }
@@ -96,25 +89,59 @@ void StatisticsGrid::RemoveNode(Point position, double speed) {
 
 void StatisticsGrid::AddNodeAt(int32_t cell, double speed) {
   LIRA_DCHECK(cell >= 0 &&
-              cell < static_cast<int32_t>(node_count_.size()));
-  node_count_[cell] += 1;
-  speed_sum_q_[cell] += QuantizeSpeed(speed);
+              cell < static_cast<int32_t>(node_acc_.size() / 2));
+  int64_t* const acc = node_acc_.data() + 2 * static_cast<size_t>(cell);
+  acc[0] += 1;
+  acc[1] += QuantizeSpeed(speed);
   total_node_count_ += 1;
   total_speed_q_ += QuantizeSpeed(speed);
 }
 
 void StatisticsGrid::RemoveNodeAt(int32_t cell, double speed) {
   LIRA_DCHECK(cell >= 0 &&
-              cell < static_cast<int32_t>(node_count_.size()));
+              cell < static_cast<int32_t>(node_acc_.size() / 2));
   // Unmatched removals clamp at zero; the totals subtract only what was
   // actually applied so they always equal the per-cell sums.
-  const int64_t count_delta = std::min<int64_t>(1, node_count_[cell]);
-  const int64_t speed_delta =
-      std::min(QuantizeSpeed(speed), speed_sum_q_[cell]);
-  node_count_[cell] -= count_delta;
-  speed_sum_q_[cell] -= speed_delta;
+  int64_t* const acc = node_acc_.data() + 2 * static_cast<size_t>(cell);
+  const int64_t count_delta = std::min<int64_t>(1, acc[0]);
+  const int64_t speed_delta = std::min(QuantizeSpeed(speed), acc[1]);
+  acc[0] -= count_delta;
+  acc[1] -= speed_delta;
   total_node_count_ -= count_delta;
   total_speed_q_ -= speed_delta;
+}
+
+void StatisticsGrid::AddNodeQAt(int32_t cell, int64_t q) {
+  LIRA_DCHECK(cell >= 0 &&
+              cell < static_cast<int32_t>(node_acc_.size() / 2));
+  int64_t* const acc = node_acc_.data() + 2 * static_cast<size_t>(cell);
+  acc[0] += 1;
+  acc[1] += q;
+  total_node_count_ += 1;
+  total_speed_q_ += q;
+}
+
+void StatisticsGrid::RemoveNodeQAt(int32_t cell, int64_t q) {
+  LIRA_DCHECK(cell >= 0 &&
+              cell < static_cast<int32_t>(node_acc_.size() / 2));
+  int64_t* const acc = node_acc_.data() + 2 * static_cast<size_t>(cell);
+  const int64_t count_delta = std::min<int64_t>(1, acc[0]);
+  const int64_t speed_delta = std::min(q, acc[1]);
+  acc[0] -= count_delta;
+  acc[1] -= speed_delta;
+  total_node_count_ -= count_delta;
+  total_speed_q_ -= speed_delta;
+}
+
+void StatisticsGrid::ApplyNodeDelta(int32_t cell, int64_t count_delta,
+                                    int64_t speed_q_delta) {
+  LIRA_DCHECK(cell >= 0 &&
+              cell < static_cast<int32_t>(node_acc_.size() / 2));
+  int64_t* const acc = node_acc_.data() + 2 * static_cast<size_t>(cell);
+  acc[0] += count_delta;
+  acc[1] += speed_q_delta;
+  total_node_count_ += count_delta;
+  total_speed_q_ += speed_q_delta;
 }
 
 Status StatisticsGrid::Merge(const StatisticsGrid& other) {
@@ -125,9 +152,11 @@ Status StatisticsGrid::Merge(const StatisticsGrid& other) {
     return InvalidArgumentError(
         "cannot merge statistics grids with different worlds or resolutions");
   }
-  for (size_t i = 0; i < node_count_.size(); ++i) {
-    node_count_[i] += other.node_count_[i];
-    speed_sum_q_[i] += other.speed_sum_q_[i];
+  // Interleaved count/speed lanes sum lane-wise in one pass.
+  for (size_t i = 0; i < node_acc_.size(); ++i) {
+    node_acc_[i] += other.node_acc_[i];
+  }
+  for (size_t i = 0; i < query_count_.size(); ++i) {
     if (other.query_count_[i] != 0.0) {
       query_count_[i] += other.query_count_[i];
     }
@@ -138,11 +167,68 @@ Status StatisticsGrid::Merge(const StatisticsGrid& other) {
   return OkStatus();
 }
 
+Status StatisticsGrid::AssignNodeSum(
+    const std::vector<const StatisticsGrid*>& parts, ThreadPool* pool) {
+  for (const StatisticsGrid* part : parts) {
+    if (alpha_ != part->alpha_ || world_.min_x != part->world_.min_x ||
+        world_.min_y != part->world_.min_y ||
+        world_.max_x != part->world_.max_x ||
+        world_.max_y != part->world_.max_y) {
+      return InvalidArgumentError(
+          "cannot merge statistics grids with different worlds or "
+          "resolutions");
+    }
+  }
+  // Chunk by cell; each cell spans two interleaved int64 lanes, and every
+  // lane is an independent integer sum, so AddI64 over the doubled range is
+  // bitwise identical to summing counts and speeds separately.
+  const auto cells = static_cast<int64_t>(node_acc_.size() / 2);
+  const auto body = [&](int32_t /*chunk*/, int64_t begin, int64_t end) {
+    const size_t lane0 = 2 * static_cast<size_t>(begin);
+    const size_t lanes = 2 * static_cast<size_t>(end - begin);
+    if (parts.empty()) {
+      std::memset(node_acc_.data() + lane0, 0, lanes * sizeof(int64_t));
+      return;
+    }
+    std::memcpy(node_acc_.data() + lane0, parts[0]->node_acc_.data() + lane0,
+                lanes * sizeof(int64_t));
+    for (size_t p = 1; p < parts.size(); ++p) {
+      kernels::AddI64(static_cast<int64_t>(lanes),
+                      parts[p]->node_acc_.data() + lane0,
+                      node_acc_.data() + lane0);
+    }
+  };
+  // Chunks of whole rows keep lanes cache-line aligned; any chunking is
+  // bitwise equivalent (disjoint lanes, integer sums).
+  const int64_t grain = std::max<int64_t>(alpha_, 1024);
+  if (pool != nullptr && pool->num_threads() > 1 && cells > grain) {
+    pool->ParallelFor(0, cells, grain, body);
+  } else {
+    body(0, 0, cells);
+  }
+  // The running totals are already integer sums per part.
+  total_node_count_ = 0;
+  total_speed_q_ = 0;
+  for (const StatisticsGrid* part : parts) {
+    total_node_count_ += part->total_node_count_;
+    total_speed_q_ += part->total_speed_q_;
+  }
+  return OkStatus();
+}
+
 void StatisticsGrid::AddQueries(const QueryRegistry& registry,
                                 double margin) {
+  AddQueriesRange(registry, 0, registry.size(), margin);
+}
+
+void StatisticsGrid::AddQueriesRange(const QueryRegistry& registry,
+                                     int32_t begin, int32_t end,
+                                     double margin) {
   LIRA_CHECK(margin >= 0.0);
-  for (const RangeQuery& original : registry.queries()) {
-    RangeQuery q = original;
+  LIRA_CHECK(begin >= 0 && begin <= end && end <= registry.size());
+  const auto queries = registry.queries();
+  for (int32_t qi = begin; qi < end; ++qi) {
+    RangeQuery q = queries[qi];
     q.range.min_x -= margin;
     q.range.min_y -= margin;
     q.range.max_x += margin;
@@ -172,8 +258,14 @@ void StatisticsGrid::AddQueries(const QueryRegistry& registry,
   total_queries_valid_ = false;
 }
 
+bool StatisticsGrid::QueryCountsEqual(const StatisticsGrid& other) const {
+  return query_count_.size() == other.query_count_.size() &&
+         std::memcmp(query_count_.data(), other.query_count_.data(),
+                     query_count_.size() * sizeof(double)) == 0;
+}
+
 double StatisticsGrid::NodeCount(int32_t ix, int32_t iy) const {
-  return static_cast<double>(node_count_[CellIndex(ix, iy)]);
+  return static_cast<double>(node_acc_[2 * CellIndex(ix, iy)]);
 }
 
 double StatisticsGrid::QueryCount(int32_t ix, int32_t iy) const {
@@ -181,14 +273,13 @@ double StatisticsGrid::QueryCount(int32_t ix, int32_t iy) const {
 }
 
 double StatisticsGrid::SpeedSumAt(size_t idx) const {
-  return static_cast<double>(speed_sum_q_[idx]) / kSpeedScale;
+  return static_cast<double>(node_acc_[2 * idx + 1]) / kSpeedScale;
 }
 
 double StatisticsGrid::MeanSpeed(int32_t ix, int32_t iy) const {
   const size_t idx = CellIndex(ix, iy);
-  return node_count_[idx] > 0
-             ? SpeedSumAt(idx) / static_cast<double>(node_count_[idx])
-             : 0.0;
+  const int64_t count = node_acc_[2 * idx];
+  return count > 0 ? SpeedSumAt(idx) / static_cast<double>(count) : 0.0;
 }
 
 RegionStats StatisticsGrid::CellStats(int32_t ix, int32_t iy) const {
@@ -197,6 +288,33 @@ RegionStats StatisticsGrid::CellStats(int32_t ix, int32_t iy) const {
   stats.m = QueryCount(ix, iy);
   stats.s = MeanSpeed(ix, iy);
   return stats;
+}
+
+void StatisticsGrid::LocateCells(int64_t n, const double* px, const double* py,
+                                 const uint8_t* known, int32_t* cell) const {
+  kernels::ClampSpec spec;
+  spec.lo_x = world_.min_x;
+  spec.lo_y = world_.min_y;
+  spec.hi_x = world_.clamp_hi_x();
+  spec.hi_y = world_.clamp_hi_y();
+  kernels::LocateCells(n, px, py, known, spec, cell_w_, cell_h_, alpha_, cell);
+}
+
+void StatisticsGrid::CellStatsRow(int32_t iy, RegionStats* out) const {
+  LIRA_DCHECK(iy >= 0 && iy < alpha_);
+  const size_t row = CellIndex(0, iy);
+  const int64_t* __restrict acc = node_acc_.data() + 2 * row;
+  const double* __restrict queries = query_count_.data() + row;
+  for (int32_t ix = 0; ix < alpha_; ++ix) {
+    const int64_t count = acc[2 * ix];
+    const int64_t speed_q = acc[2 * ix + 1];
+    out[ix].n = static_cast<double>(count);
+    out[ix].m = queries[ix];
+    // MeanSpeed's expression verbatim (SpeedSumAt then the guarded divide).
+    out[ix].s = count > 0 ? (static_cast<double>(speed_q) / kSpeedScale) /
+                                static_cast<double>(count)
+                          : 0.0;
+  }
 }
 
 RegionStats StatisticsGrid::AggregateRect(const Rect& rect) const {
@@ -245,7 +363,7 @@ RegionStats StatisticsGrid::AggregateRect(const Rect& rect) const {
         continue;
       }
       const size_t idx = CellIndex(ix, iy);
-      stats.n += static_cast<double>(node_count_[idx]) * fraction;
+      stats.n += static_cast<double>(node_acc_[2 * idx]) * fraction;
       stats.m += query_count_[idx] * fraction;
       speed_sum += SpeedSumAt(idx) * fraction;
     }
@@ -257,9 +375,9 @@ RegionStats StatisticsGrid::AggregateRect(const Rect& rect) const {
 void StatisticsGrid::ColumnNodeCounts(std::vector<int64_t>* out) const {
   out->assign(alpha_, 0);
   for (int32_t iy = 0; iy < alpha_; ++iy) {
-    const int64_t* row = node_count_.data() + CellIndex(0, iy);
+    const int64_t* row = node_acc_.data() + 2 * CellIndex(0, iy);
     for (int32_t ix = 0; ix < alpha_; ++ix) {
-      (*out)[ix] += row[ix];
+      (*out)[ix] += row[2 * ix];
     }
   }
 }

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "lira/common/geometry.h"
+#include "lira/common/parallel.h"
 #include "lira/common/status.h"
 #include "lira/cq/query_registry.h"
 #include "lira/core/region_stats.h"
@@ -46,9 +47,16 @@ class StatisticsGrid {
   /// point -- the key used by AddNodeAt/RemoveNodeAt delta maintenance.
   int32_t CellIndexOf(Point p) const;
 
-  /// Fixed-point representation of a speed as accumulated by the grid. Two
-  /// speeds with equal quantization contribute identically, so a maintainer
-  /// may skip the remove/add pair when QuantizeSpeed is unchanged.
+  /// Speeds are accumulated in units of 2^-20 m/s (~1e-6 m/s resolution,
+  /// far below any physically meaningful speed difference). Integer
+  /// accumulation is associative and exactly reversible, so incremental
+  /// add/remove leaves the grid bitwise identical to a from-scratch rebuild.
+  static constexpr double kSpeedScale = 1048576.0;  // 2^20
+
+  /// Fixed-point representation of a speed as accumulated by the grid
+  /// (llround(speed * kSpeedScale)). Two speeds with equal quantization
+  /// contribute identically, so a maintainer may skip the remove/add pair
+  /// when QuantizeSpeed is unchanged.
   static int64_t QuantizeSpeed(double speed);
 
   /// Clears node statistics (n and s); query statistics are kept.
@@ -67,6 +75,23 @@ class StatisticsGrid {
   void AddNodeAt(int32_t cell, double speed);
   void RemoveNodeAt(int32_t cell, double speed);
 
+  /// Add/Remove with the speed already quantized (q == QuantizeSpeed(speed)):
+  /// bitwise identical to AddNodeAt/RemoveNodeAt but without re-rounding,
+  /// for maintainers that cache the quantized contribution per node.
+  void AddNodeQAt(int32_t cell, int64_t q);
+  void RemoveNodeQAt(int32_t cell, int64_t q);
+
+  /// Applies a signed integer node-statistics delta to one cell (and the
+  /// grid totals). Deltas from any partition of a set of AddNodeQAt /
+  /// RemoveNodeQAt pairs may be applied in any order: integer addition is
+  /// commutative and associative, so the final accumulators are bitwise
+  /// identical to performing the pairs directly, even when a cell's count
+  /// is transiently negative mid-application. Callers must only submit
+  /// deltas whose removals match previously present contributions (the
+  /// delta-relocation path by construction does); unmatched removals are
+  /// NOT clamped the way RemoveNodeAt clamps.
+  void ApplyNodeDelta(int32_t cell, int64_t count_delta, int64_t speed_q_delta);
+
   /// Adds every accumulator of `other` into this grid (same world and
   /// alpha required). Node statistics are integer accumulators, so merging
   /// disjoint partitions of an observation set is bitwise identical to
@@ -76,6 +101,18 @@ class StatisticsGrid {
   /// bitwise-reproducible query statistics count queries into exactly one
   /// of the merged grids (FP addition is not associative across orderings).
   Status Merge(const StatisticsGrid& other);
+
+  /// Overwrites this grid's *node* accumulators (n, s and their totals) with
+  /// the cell-wise sum of `parts`, leaving query counts untouched -- the
+  /// coordinator's parallel replacement for ClearNodes() + a serial Merge()
+  /// per shard. The flat cell range is partitioned into contiguous chunks
+  /// (ParallelFor when `pool` is non-null); each chunk copies the first
+  /// part's lanes and accumulates the rest with the vectorized AddI64
+  /// kernel. Integer addition is associative, so every chunking and every
+  /// accumulation shape is bitwise identical to the serial merge loop.
+  /// All parts must share this grid's world and alpha.
+  Status AssignNodeSum(const std::vector<const StatisticsGrid*>& parts,
+                       ThreadPool* pool);
 
   /// Adds the registry's queries with fractional counting: each query adds
   /// area(q ∩ cell) / area(q) to every overlapped cell's m.
@@ -88,11 +125,45 @@ class StatisticsGrid {
   /// regions flush against query boundaries.
   void AddQueries(const QueryRegistry& registry, double margin = 0.0);
 
+  /// As AddQueries for the registry sub-range [begin, end) only. The full
+  /// count is a sum of per-query cell contributions accumulated in
+  /// registration order, so counting [0, k) and later appending [k, size)
+  /// is bitwise identical to one AddQueries pass over the whole registry --
+  /// the append-only delta path StatsStage::RebuildQueries uses when the
+  /// registry merely grew.
+  void AddQueriesRange(const QueryRegistry& registry, int32_t begin,
+                       int32_t end, double margin = 0.0);
+
+  /// Bitwise equality of the fractional query counts (debug verification of
+  /// the delta-maintained path against a full rescan).
+  bool QueryCountsEqual(const StatisticsGrid& other) const;
+
   /// Per-cell accessors.
   double NodeCount(int32_t ix, int32_t iy) const;
   double QueryCount(int32_t ix, int32_t iy) const;
   double MeanSpeed(int32_t ix, int32_t iy) const;
   RegionStats CellStats(int32_t ix, int32_t iy) const;
+
+  /// Bulk CellIndexOf over structure-of-arrays point lanes: cell[i] =
+  /// CellIndexOf({px[i], py[i]}), or -1 where known[i] == 0 (known ==
+  /// nullptr means every lane is valid). Dispatches to the vectorized
+  /// LocateCells kernel, which reproduces LocateCell bit-for-bit.
+  void LocateCells(int64_t n, const double* px, const double* py,
+                   const uint8_t* known, int32_t* cell) const;
+
+  /// Writes row iy's statistics into out[0..alpha): bitwise equal to
+  /// CellStats(ix, iy) per cell, but one walk over the raw accumulator rows
+  /// instead of three accessor calls per cell -- the quad-tree leaf fill
+  /// path, where the per-cell call overhead dominates at alpha = 1024.
+  void CellStatsRow(int32_t iy, RegionStats* out) const;
+
+  /// Prefetch hint for a cell's node accumulators (no numeric effect). The
+  /// delta-relocation loop knows its upcoming cells from the bulk-located
+  /// lane array, so it issues these a few lanes ahead to hide the
+  /// read-modify-write latency of effectively random cell accesses.
+  void PrefetchCellAcc(int32_t cell) const {
+    __builtin_prefetch(node_acc_.data() + 2 * static_cast<size_t>(cell), 1, 1);
+  }
 
   /// Aggregated statistics of an arbitrary rectangle. Cells partially
   /// covered contribute proportionally to the covered area fraction (their
@@ -127,8 +198,12 @@ class StatisticsGrid {
   int32_t alpha_;
   double cell_w_;
   double cell_h_;
-  std::vector<int64_t> node_count_;
-  std::vector<int64_t> speed_sum_q_;  ///< fixed-point (QuantizeSpeed units)
+  /// Node accumulators, interleaved per cell: lane 2*cell holds the count,
+  /// lane 2*cell + 1 the speed sum in fixed point (QuantizeSpeed units).
+  /// A relocation's read-modify-write touches one cache line per cell
+  /// instead of two, which matters at alpha = 1024 where the hot-path cell
+  /// accesses are effectively random.
+  std::vector<int64_t> node_acc_;
   std::vector<double> query_count_;
   int64_t total_node_count_ = 0;
   int64_t total_speed_q_ = 0;

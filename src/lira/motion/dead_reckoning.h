@@ -149,6 +149,13 @@ class PositionTracker {
   bool HasModel(NodeId id) const {
     return id >= 0 && id < num_nodes() && has_model_[id] != 0;
   }
+
+  /// Raw believed-velocity columns (lane i = node i; meaningful only where
+  /// HasModel(i)). Bulk consumers compare lanes across rebuilds to skip
+  /// recomputing the non-vectorizable hypot in BelievedSpeed: equal operand
+  /// bits imply an equal speed, so a cached speed is bitwise safe.
+  const double* vel_x_data() const { return vel_x_.data(); }
+  const double* vel_y_data() const { return vel_y_.data(); }
   int32_t num_nodes() const { return static_cast<int32_t>(t0_.size()); }
   int64_t updates_applied() const { return updates_applied_.load(); }
 

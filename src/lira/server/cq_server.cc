@@ -55,8 +55,10 @@ StatusOr<CqServer> CqServer::Create(const CqServerConfig& config,
   stats_config.alpha = config.alpha;
   stats_config.stats_sample_fraction = config.stats_sample_fraction;
   stats_config.incremental_stats = config.incremental_stats;
+  stats_config.columnar_rebuild = config.columnar_rebuild;
   stats_config.seed = config.seed ^ 0x57a75ULL;
   stats_config.telemetry = config.telemetry;
+  stats_config.pool = config.pool;
   auto stats_stage = StatsStage::Create(stats_config);
   if (!stats_stage.ok()) {
     return stats_stage.status();
@@ -84,6 +86,7 @@ StatusOr<CqServer> CqServer::Create(const CqServerConfig& config,
   optimizer_config.auto_throttle = config.auto_throttle;
   optimizer_config.fixed_z = config.fixed_z;
   optimizer_config.telemetry = config.telemetry;
+  optimizer_config.pool = config.pool;
   auto optimizer = OptimizerStage::Create(optimizer_config, config.world,
                                           reduction->delta_min());
   if (!optimizer.ok()) {
@@ -244,7 +247,13 @@ Status CqServer::Adapt() {
     telemetry::ScopedSpan stats_span(tr, lane, "stats.rebuild", tick_, -1,
                                      time_);
     stats_stage_.RebuildNodes(tracker_stage_.tracker(), time_);
-    stats_stage_.RebuildQueries(*queries_, QueryMargin());
+    {
+      telemetry::ScopedTimer query_timer(t, "lira.adapt.query_rebuild_seconds",
+                                         time_);
+      telemetry::ScopedSpan query_span(tr, lane, "stats.query_rebuild", tick_,
+                                       -1, time_);
+      stats_stage_.RebuildQueries(*queries_, QueryMargin());
+    }
     stats_span.set_value(stats_stage_.grid().TotalNodes());
   }
   Status built;

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "lira/common/geometry.h"
+#include "lira/common/parallel.h"
 #include "lira/common/status.h"
 #include "lira/core/policy.h"
 #include "lira/core/shedding_plan.h"
@@ -82,6 +83,11 @@ struct CqServerConfig {
   /// (integer grid accumulators; neither path consumes stats RNG at
   /// fraction 1.0). Sampled statistics fall back to the rebuild.
   bool incremental_stats = true;
+  /// When false the statistics rebuild uses the scalar per-node walk
+  /// instead of the columnar (block-predicted, velocity-cached) kernel.
+  /// Bitwise identical either way; the flag exists so benchmarks can A/B
+  /// the two flavors (bench_adapt_path). See StatsStageConfig.
+  bool columnar_rebuild = true;
   /// Optional telemetry (not owned; must outlive the server). When set, the
   /// server maintains `lira.queue.*` instruments on every Receive and
   /// records the adaptation loop -- z trajectory, per-stage plan-build
@@ -100,6 +106,12 @@ struct CqServerConfig {
   /// a crash or chaos event leaves a postmortem of the last N ticks.
   telemetry::FlightRecorder* flight_recorder = nullptr;
   uint64_t seed = 1234;
+  /// Optional worker pool (not owned; must outlive the server) for the
+  /// adaptation path: the columnar statistics rebuild, the quad-tree build,
+  /// and the GRIDREDUCE drill-down waves. Plans and statistics are bitwise
+  /// identical for every thread count (and without a pool); see the
+  /// determinism notes on StatsStage and GridReduceConfig.
+  ThreadPool* pool = nullptr;
 };
 
 /// Single-threaded discrete-time CQ server.

@@ -12,6 +12,7 @@ OptimizerStage::OptimizerStage(const OptimizerStageConfig& config,
       auto_throttle_(config.auto_throttle),
       fixed_z_(config.fixed_z),
       telemetry_(config.telemetry),
+      pool_(config.pool),
       throt_loop_(std::move(throt_loop)),
       plan_(std::move(plan)),
       z_(config.auto_throttle ? 1.0 : config.fixed_z),
@@ -90,6 +91,7 @@ Status OptimizerStage::BuildPlan(const LoadSheddingPolicy& policy,
   ctx.z = z_;
   ctx.telemetry = telemetry_;
   ctx.now = now;
+  ctx.pool = pool_;
   const auto start = std::chrono::steady_clock::now();
   auto plan = policy.BuildPlan(ctx);
   const auto elapsed = std::chrono::steady_clock::now() - start;

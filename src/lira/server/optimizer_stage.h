@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <string>
 
+#include "lira/common/parallel.h"
 #include "lira/common/status.h"
 #include "lira/core/policy.h"
 #include "lira/core/shedding_plan.h"
@@ -36,6 +37,10 @@ struct OptimizerStageConfig {
   std::string metric_prefix = "lira";
   /// Optional telemetry (not owned; must outlive the stage).
   telemetry::TelemetrySink* telemetry = nullptr;
+  /// Optional worker pool (not owned) handed to the policy via
+  /// PolicyContext::pool (quad-tree build + GRIDREDUCE waves). Owners that
+  /// construct their pool after the stage use set_pool instead.
+  ThreadPool* pool = nullptr;
 };
 
 /// Throttle + plan build. Not thread-safe.
@@ -64,6 +69,10 @@ class OptimizerStage {
   const SheddingPlan& plan() const { return plan_; }
   bool auto_throttle() const { return auto_throttle_; }
 
+  /// Late pool injection (the ServerCluster builds its pool after its
+  /// stages). Plans are bitwise identical with or without a pool.
+  void set_pool(ThreadPool* pool) { pool_ = pool; }
+
   /// Last measured arrival rate (upd/s) and utilization lambda/mu from
   /// UpdateThrottle; 0 until the first THROTLOOP step. Feeds the flight
   /// recorder's per-tick samples.
@@ -84,6 +93,7 @@ class OptimizerStage {
   bool auto_throttle_;
   double fixed_z_;
   telemetry::TelemetrySink* telemetry_;
+  ThreadPool* pool_;
   ThrotLoop throt_loop_;
   SheddingPlan plan_;
   double z_;

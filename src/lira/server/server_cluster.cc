@@ -42,6 +42,10 @@ ServerCluster::ServerCluster(const ServerClusterConfig& config,
       pool_(pool_threads),
       next_adaptation_(config.server.adaptation_period),
       owner_of_(config.server.num_nodes, -1) {
+  // The coordinator-side adaptation phases (shard-grid merge, quad build,
+  // GRIDREDUCE waves) reuse the shard fan-out pool once the fan-out has
+  // returned; shard stages themselves must stay pool-free (no nesting).
+  optimizer_.set_pool(&pool_);
   if (config_.server.telemetry != nullptr) {
     telemetry::MetricRegistry& metrics = config_.server.telemetry->metrics();
     arrivals_counter_ = metrics.GetCounter("lira.queue.arrivals");
@@ -460,15 +464,30 @@ Status ServerCluster::Adapt() {
         });
     telemetry::ScopedSpan merge_span(tr, driver_lane, "stats.merge", tick_,
                                      -1, time_);
-    merged_stats_.mutable_grid()->ClearNodes();
+    telemetry::ScopedTimer merge_timer(t, "lira.adapt.merge_seconds", time_);
+    // Column-partitioned tree reduction over the shard grids' integer node
+    // accumulators (AssignNodeSum) replaces the serial per-shard Merge
+    // loop; integer addition keeps the result bitwise identical to it.
+    // Query counts stay untouched: shard grids never count queries (the
+    // merged stage owns them), so the old loop only ever added FP zeros.
+    std::vector<const StatisticsGrid*> parts;
+    parts.reserve(static_cast<size_t>(num_shards()));
     for (int32_t k = 0; k < num_shards(); ++k) {
-      LIRA_RETURN_IF_ERROR(
-          merged_stats_.mutable_grid()->Merge(shards_[k].stats.grid()));
+      parts.push_back(&shards_[k].stats.grid());
       if (t != nullptr) {
         shard_nodes_gauges_[k]->Set(shards_[k].stats.grid().TotalNodes());
       }
     }
-    merged_stats_.RebuildQueries(*queries_, QueryMargin());
+    LIRA_RETURN_IF_ERROR(
+        merged_stats_.mutable_grid()->AssignNodeSum(parts, &pool_));
+    merge_timer.Stop();
+    {
+      telemetry::ScopedTimer query_timer(t, "lira.adapt.query_rebuild_seconds",
+                                         time_);
+      telemetry::ScopedSpan query_span(tr, driver_lane, "stats.query_rebuild",
+                                       tick_, -1, time_);
+      merged_stats_.RebuildQueries(*queries_, QueryMargin());
+    }
     merge_span.set_value(merged_stats_.grid().TotalNodes());
   }
   Status built;

@@ -1,20 +1,35 @@
 #include "lira/server/stats_stage.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "lira/common/check.h"
+#include "lira/common/kernels.h"
 
 namespace lira {
+namespace {
+
+/// Columnar rebuild block size: ids stream through the prediction kernel
+/// this many lanes at a time (bounds the arena spans and keeps the block
+/// resident in cache), and a pooled rebuild never cuts chunks finer.
+constexpr int64_t kColumnarBlock = 8192;
+
+}  // namespace
 
 StatsStage::StatsStage(const StatsStageConfig& config, StatisticsGrid grid)
     : world_(config.world),
       stats_sample_fraction_(config.stats_sample_fraction),
       incremental_stats_(config.incremental_stats),
       owned_only_(config.owned_only),
+      columnar_rebuild_(config.columnar_rebuild),
+      pool_(config.pool),
       grid_(std::move(grid)),
       stats_rng_(config.seed),
       stats_cell_of_(config.num_nodes, -1),
       stats_speed_of_(config.num_nodes, 0.0),
+      stats_speed_q_of_(config.num_nodes, 0),
+      stats_vel_x_(config.columnar_rebuild ? config.num_nodes : 0, 0.0),
+      stats_vel_y_(config.columnar_rebuild ? config.num_nodes : 0, 0.0),
       owned_words_(config.owned_only
                        ? (static_cast<size_t>(config.num_nodes) + 63) / 64
                        : 0,
@@ -58,6 +73,7 @@ void StatsStage::ForgetNode(NodeId id) {
     grid_.RemoveNodeAt(stats_cell_of_[id], stats_speed_of_[id]);
     stats_cell_of_[id] = -1;
     stats_speed_of_[id] = 0.0;
+    stats_speed_q_of_[id] = 0;
   }
   if (owned_only_) {
     owned_words_[static_cast<size_t>(id) / 64] &=
@@ -94,6 +110,8 @@ int64_t StatsStage::RelocateNode(const PositionTracker& tracker, NodeId id,
   }
   stats_cell_of_[id] = new_cell;
   stats_speed_of_[id] = new_speed;
+  stats_speed_q_of_[id] =
+      new_cell >= 0 ? StatisticsGrid::QuantizeSpeed(new_speed) : 0;
   return dirtied;
 }
 
@@ -129,9 +147,199 @@ void StatsStage::RebuildNodesIncremental(const PositionTracker& tracker,
   }
 }
 
+int64_t StatsStage::RelocateRange(const PositionTracker& tracker, double now,
+                                  FrameArena* arena, int64_t begin,
+                                  int64_t end,
+                                  std::vector<CellDelta>* deltas) {
+  const double* vel_x = tracker.vel_x_data();
+  const double* vel_y = tracker.vel_y_data();
+  arena->Reset();
+  const int64_t span = std::min<int64_t>(end - begin, kColumnarBlock);
+  auto px = arena->AllocSpan<double>(static_cast<size_t>(span));
+  auto py = arena->AllocSpan<double>(static_cast<size_t>(span));
+  auto known = arena->AllocSpan<uint8_t>(static_cast<size_t>(span));
+  auto cells = arena->AllocSpan<int32_t>(static_cast<size_t>(span));
+  auto skip = arena->AllocSpan<uint8_t>(static_cast<size_t>(span));
+  int64_t dirtied = 0;
+  for (int64_t block = begin; block < end; block += kColumnarBlock) {
+    const int64_t n = std::min<int64_t>(kColumnarBlock, end - block);
+    tracker.PredictSpan(static_cast<NodeId>(block), n, now, nullptr, nullptr,
+                        px, py, known);
+    // The LocateCells kernel clamps internally and Rect::Clamp is
+    // idempotent, so locating the raw predicted points matches the scalar
+    // path's Clamp-then-CellIndexOf bit-for-bit; unknown lanes come back -1.
+    grid_.LocateCells(n, px, py, known, cells);
+    // Vectorized fast-path test: same cell, same velocity bits -> the grid
+    // already holds this node's exact contribution. (A -1 unknown lane
+    // never sets skip: cell >= 0 fails.)
+    kernels::RelocateSkipMask(n, cells, stats_cell_of_.data() + block,
+                              vel_x + block, vel_y + block,
+                              stats_vel_x_.data() + block,
+                              stats_vel_y_.data() + block, skip);
+    // How far ahead the direct-mutation loop prefetches grid lines: far
+    // enough to cover the lanes between two relocations, near enough that
+    // the lines survive until use.
+    constexpr int64_t kPrefetchAhead = 16;
+    const bool direct = deltas == nullptr;
+    for (int64_t i = 0; i < n; ++i) {
+      const int64_t j = i + kPrefetchAhead;
+      if (direct && j < n && skip[j] == 0) {
+        const int32_t ahead_old = stats_cell_of_[block + j];
+        if (ahead_old >= 0) {
+          grid_.PrefetchCellAcc(ahead_old);
+        }
+        if (cells[j] >= 0) {
+          grid_.PrefetchCellAcc(cells[j]);
+        }
+      }
+      if (skip[i] != 0) {
+        continue;
+      }
+      const auto id = static_cast<NodeId>(block + i);
+      const int32_t old_cell = stats_cell_of_[id];
+      int32_t new_cell = -1;
+      int64_t new_q = 0;
+      double new_speed = 0.0;
+      if (known[i] != 0) {
+        new_cell = cells[i];
+        if (old_cell >= 0 && vel_x[id] == stats_vel_x_[id] &&
+            vel_y[id] == stats_vel_y_[id]) {
+          // Velocity bits unchanged since the stored contribution:
+          // BelievedSpeed would hypot the same operands, so the stored
+          // speed (and its cached quantization) is bitwise the recomputed
+          // one. The mask already skipped the same-cell case, so this is
+          // always a pure cell move.
+          new_speed = stats_speed_of_[id];
+          new_q = stats_speed_q_of_[id];
+        } else {
+          new_speed = tracker.BelievedSpeed(id);
+          new_q = StatisticsGrid::QuantizeSpeed(new_speed);
+          stats_vel_x_[id] = vel_x[id];
+          stats_vel_y_[id] = vel_y[id];
+        }
+      }
+      const int64_t old_q = old_cell >= 0 ? stats_speed_q_of_[id] : 0;
+      if (old_cell == new_cell && (new_cell < 0 || old_q == new_q)) {
+        continue;
+      }
+      if (deltas != nullptr) {
+        if (old_cell >= 0) {
+          deltas->push_back({old_cell, -1, -old_q});
+          ++dirtied;
+        }
+        if (new_cell >= 0) {
+          deltas->push_back({new_cell, 1, new_q});
+          if (new_cell != old_cell) {
+            ++dirtied;
+          }
+        }
+      } else {
+        if (old_cell >= 0) {
+          grid_.RemoveNodeQAt(old_cell, old_q);
+          ++dirtied;
+        }
+        if (new_cell >= 0) {
+          grid_.AddNodeQAt(new_cell, new_q);
+          if (new_cell != old_cell) {
+            ++dirtied;
+          }
+        }
+      }
+      stats_cell_of_[id] = new_cell;
+      stats_speed_of_[id] = new_speed;
+      stats_speed_q_of_[id] = new_q;
+    }
+  }
+  return dirtied;
+}
+
+void StatsStage::ApplyDeltas(const std::vector<CellDelta>& deltas) {
+  // Cells per radix bucket: a bucket's slice of the two accumulator arrays
+  // is 4096 * 16 bytes = 64 KiB, comfortably cache-resident while the
+  // bucket's deltas replay against it.
+  constexpr int32_t kBucketShift = 12;
+  // Below this size the partitioning passes cost more than the (few)
+  // scattered misses they avoid.
+  constexpr size_t kMinBucketed = 1 << 14;
+  const int64_t cells =
+      static_cast<int64_t>(grid_.alpha()) * grid_.alpha();
+  if (deltas.size() < kMinBucketed || cells <= (1 << kBucketShift)) {
+    for (const CellDelta& d : deltas) {
+      grid_.ApplyNodeDelta(d.cell, d.count, d.speed_q);
+    }
+    return;
+  }
+  const auto buckets =
+      static_cast<int32_t>((cells + (1 << kBucketShift) - 1) >> kBucketShift);
+  delta_bucket_offsets_.assign(static_cast<size_t>(buckets) + 1, 0);
+  for (const CellDelta& d : deltas) {
+    ++delta_bucket_offsets_[(d.cell >> kBucketShift) + 1];
+  }
+  for (int32_t b = 0; b < buckets; ++b) {
+    delta_bucket_offsets_[b + 1] += delta_bucket_offsets_[b];
+  }
+  delta_sort_scratch_.resize(deltas.size());
+  for (const CellDelta& d : deltas) {
+    delta_sort_scratch_[delta_bucket_offsets_[d.cell >> kBucketShift]++] = d;
+  }
+  for (const CellDelta& d : delta_sort_scratch_) {
+    grid_.ApplyNodeDelta(d.cell, d.count, d.speed_q);
+  }
+}
+
+void StatsStage::RebuildNodesColumnar(const PositionTracker& tracker,
+                                      double now) {
+  const int64_t n = tracker.num_nodes();
+  const bool pooled = pool_ != nullptr && pool_->num_threads() > 1 &&
+                      n >= 2 * kColumnarBlock;
+  int64_t dirtied = 0;
+  if (!pooled) {
+    if (rebuild_arenas_.empty()) {
+      rebuild_arenas_.resize(1);
+    }
+    dirtied = RelocateRange(tracker, now, &rebuild_arenas_[0], 0, n, nullptr);
+  } else {
+    const auto workers = static_cast<size_t>(pool_->num_threads());
+    if (rebuild_arenas_.size() < workers) {
+      rebuild_arenas_.resize(workers);
+    }
+    rebuild_deltas_.resize(workers);
+    rebuild_dirtied_.assign(workers, 0);
+    for (auto& list : rebuild_deltas_) {
+      list.clear();
+    }
+    // Workers own disjoint id ranges: per-node state writes are private,
+    // and grid mutations queue into the worker's delta list. Applying the
+    // lists in chunk order after the join reproduces the serial grid
+    // bit-for-bit -- the deltas are matched integer remove/add pairs, which
+    // commute (StatisticsGrid::ApplyNodeDelta).
+    pool_->ParallelFor(0, n, kColumnarBlock,
+                       [&](int32_t chunk, int64_t begin, int64_t end) {
+                         rebuild_dirtied_[chunk] = RelocateRange(
+                             tracker, now, &rebuild_arenas_[chunk], begin,
+                             end, &rebuild_deltas_[chunk]);
+                       });
+    for (size_t c = 0; c < workers; ++c) {
+      dirtied += rebuild_dirtied_[c];
+      ApplyDeltas(rebuild_deltas_[c]);
+    }
+  }
+  if (cells_dirtied_counter_ != nullptr) {
+    cells_dirtied_counter_->Increment(dirtied);
+  }
+}
+
 void StatsStage::RebuildNodes(const PositionTracker& tracker, double now) {
   if (IncrementalEnabled()) {
-    RebuildNodesIncremental(tracker, now);
+    // The owned-only path keeps the scalar owned-bitmap iteration: shard
+    // rebuilds already run inside the coordinator's shard fan-out (no pool
+    // here -- ParallelFor does not nest) and touch O(owned) ids rather
+    // than scanning every lane.
+    if (columnar_rebuild_ && !owned_only_) {
+      RebuildNodesColumnar(tracker, now);
+    } else {
+      RebuildNodesIncremental(tracker, now);
+    }
     return;
   }
   grid_.ClearNodes();
@@ -165,8 +373,23 @@ void StatsStage::RebuildQueries(const QueryRegistry& queries, double margin) {
       query_stats_margin_ == margin) {
     return;  // counts already in the grid are current
   }
-  grid_.ClearQueries();
-  grid_.AddQueries(queries, margin);
+  if (query_stats_valid_ && query_stats_margin_ == margin &&
+      query_stats_size_ >= 0 && queries.size() > query_stats_size_) {
+    // The registry is append-only and the margin is unchanged, so only the
+    // tail [counted, size) is new. Query contributions accumulate in
+    // registration order, making the appended count bitwise identical to a
+    // full rescan (StatisticsGrid::AddQueriesRange).
+    grid_.AddQueriesRange(queries, query_stats_size_, queries.size(), margin);
+#ifndef NDEBUG
+    StatisticsGrid check = grid_;
+    check.ClearQueries();
+    check.AddQueries(queries, margin);
+    LIRA_DCHECK(grid_.QueryCountsEqual(check));
+#endif
+  } else {
+    grid_.ClearQueries();
+    grid_.AddQueries(queries, margin);
+  }
   query_stats_valid_ = true;
   query_stats_size_ = queries.size();
   query_stats_margin_ = margin;

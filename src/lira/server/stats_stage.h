@@ -3,8 +3,8 @@
 // Owns the StatisticsGrid and everything needed to refresh it from the
 // tracker's believed node states at each adaptation: the delta-maintenance
 // state (last contribution per node), the sampling RNG, and the query-count
-// refresh cache. The rebuild paths are transplanted verbatim from the
-// original monolithic CqServer and keep its bitwise guarantees:
+// refresh cache. The rebuild paths keep the original monolithic CqServer's
+// bitwise guarantees:
 //
 //  * incremental (fraction == 1.0): relocate only contributions whose cell
 //    or quantized speed changed -- bitwise identical to ClearNodes() + full
@@ -14,11 +14,36 @@
 //    node id, reported or not, so the stream is a function of (seed,
 //    rebuild ordinal) only.
 //
+// The incremental path comes in two interchangeable flavors sharing the
+// same per-node state:
+//
+//  * scalar: the original per-node loop (PredictAt + BelievedSpeed per id),
+//    kept verbatim as the bitwise reference path for A/B benchmarking;
+//  * columnar (default): streams id blocks through the PredictPositions
+//    kernel, locates cells from the bulk-predicted positions (Rect::Clamp
+//    is idempotent, so clamping once in CellIndexOf matches the scalar
+//    Clamp-then-locate bit-for-bit), and caches each node's believed
+//    velocity so the non-vectorizable std::hypot in BelievedSpeed runs
+//    only for nodes whose velocity bits actually changed. With a worker
+//    pool the id range splits into contiguous chunks: workers relocate
+//    their own nodes into per-worker sparse cell-delta lists which the
+//    caller applies in chunk order after the join -- integer deltas from
+//    matched remove/add pairs commute, so the grid is bitwise identical
+//    to the scalar path for every thread count.
+//
 // Cluster shards set `owned_only`: the incremental path then iterates just
-// the ids ever marked via NoteOwned. Unmarked ids contribute nothing in
+// the ids ever marked via NoteOwned (scalar path; shard rebuilds already
+// run inside the coordinator's shard fan-out, and ParallelFor does not
+// nest, so shard stages take no pool). Unmarked ids contribute nothing in
 // either mode (no model -> no cell, no RNG in the incremental path), so an
 // S=1 shard stays bitwise identical to the all-ids server. The sampled
 // path always iterates every id to preserve that per-id RNG stream.
+//
+// Query counts are delta-maintained: the registry is append-only, so when
+// only its size grew (same margin), the stage counts just the appended
+// tail via AddQueriesRange -- bitwise identical to the full rescan, which
+// remains the fallback for margin changes or explicit invalidation (and
+// double-checks the delta path in debug builds).
 
 #ifndef LIRA_SERVER_STATS_STAGE_H_
 #define LIRA_SERVER_STATS_STAGE_H_
@@ -27,7 +52,9 @@
 #include <string>
 #include <vector>
 
+#include "lira/common/arena.h"
 #include "lira/common/geometry.h"
+#include "lira/common/parallel.h"
 #include "lira/common/rng.h"
 #include "lira/common/status.h"
 #include "lira/core/statistics_grid.h"
@@ -56,6 +83,14 @@ struct StatsStageConfig {
   std::string metric_prefix = "lira";
   /// Optional telemetry (not owned; must outlive the stage).
   telemetry::TelemetrySink* telemetry = nullptr;
+  /// Optional worker pool (not owned) for the columnar incremental rebuild.
+  /// Cluster shard stages must leave this null: their rebuilds run inside
+  /// the coordinator's shard fan-out and ParallelFor does not nest.
+  ThreadPool* pool = nullptr;
+  /// Columnar incremental rebuild (kernel spans + velocity cache); false
+  /// pins the original scalar per-node loop -- the bitwise reference path
+  /// the adaptation bench A/Bs against.
+  bool columnar_rebuild = true;
 };
 
 /// Grid + rebuild machinery. Not thread-safe; distinct stages (cluster
@@ -69,9 +104,11 @@ class StatsStage {
   void RebuildNodes(const PositionTracker& tracker, double now);
 
   /// Refreshes query statistics (m) with `margin` meters added around each
-  /// query rectangle, skipping the pass when the (registry size, margin)
-  /// already counted is current. The registry is append-only, so its size
-  /// captures content changes; InvalidateQueryCache forces a recount.
+  /// query rectangle. Skips the pass entirely when the (registry size,
+  /// margin) already counted is current; counts only the appended tail when
+  /// the registry merely grew at the same margin (the registry is
+  /// append-only, so its size captures content changes); falls back to a
+  /// full rescan otherwise. InvalidateQueryCache forces the full rescan.
   void RebuildQueries(const QueryRegistry& queries, double margin);
   void InvalidateQueryCache() { query_stats_valid_ = false; }
 
@@ -92,24 +129,68 @@ class StatsStage {
   }
 
  private:
+  /// One cell's node-statistics delta, queued by a rebuild worker and
+  /// applied by the caller after the join (StatisticsGrid::ApplyNodeDelta).
+  struct CellDelta {
+    int32_t cell;
+    int32_t count;
+    int64_t speed_q;
+  };
+
   StatsStage(const StatsStageConfig& config, StatisticsGrid grid);
 
   void RebuildNodesIncremental(const PositionTracker& tracker, double now);
   /// One node's delta-relocation step; returns cells dirtied (0..2).
   int64_t RelocateNode(const PositionTracker& tracker, NodeId id, double now);
 
+  /// Columnar incremental rebuild (see file comment). `deltas` == nullptr
+  /// mutates the grid directly (serial mode); otherwise relocations are
+  /// queued for deferred application. Returns cells dirtied.
+  int64_t RelocateRange(const PositionTracker& tracker, double now,
+                        FrameArena* arena, int64_t begin, int64_t end,
+                        std::vector<CellDelta>* deltas);
+  void RebuildNodesColumnar(const PositionTracker& tracker, double now);
+
+  /// Applies a relocation delta list to the grid. Large lists are
+  /// radix-partitioned by cell first so the read-modify-writes walk the
+  /// accumulator arrays slice by slice (each slice cache-resident) instead
+  /// of hopping randomly across them; ApplyNodeDelta deltas commute
+  /// (integer sums), so any reordering is bitwise identical.
+  void ApplyDeltas(const std::vector<CellDelta>& deltas);
+
   Rect world_;
   double stats_sample_fraction_;
   bool incremental_stats_;
   bool owned_only_;
+  bool columnar_rebuild_;
+  ThreadPool* pool_;
   StatisticsGrid grid_;
   Rng stats_rng_;
   /// Delta-maintenance state: each node's last contribution to the grid
   /// (flat cell index, -1 = none, and the speed it was added with).
   std::vector<int32_t> stats_cell_of_;
   std::vector<double> stats_speed_of_;
+  /// QuantizeSpeed(stats_speed_of_[id]) cached at store time, valid while
+  /// stats_cell_of_[id] >= 0 -- the columnar path's removal operand, saving
+  /// one llround per relocation (the cached value is the same bits the
+  /// on-demand quantization would produce).
+  std::vector<int64_t> stats_speed_q_of_;
+  /// Believed-velocity cache (columnar path): the velocity bits behind
+  /// stats_speed_of_. Consulted only while the node contributes
+  /// (stats_cell_of_ >= 0); equal bits let the rebuild reuse the stored
+  /// speed instead of recomputing std::hypot.
+  std::vector<double> stats_vel_x_;
+  std::vector<double> stats_vel_y_;
   /// Owned-id bitmap (64 ids per word), iterated in ascending id order.
   std::vector<uint64_t> owned_words_;
+  /// Columnar-rebuild scratch: one arena (and, under a pool, one delta
+  /// list) per worker; arenas hold the per-block prediction spans.
+  std::vector<FrameArena> rebuild_arenas_;
+  std::vector<std::vector<CellDelta>> rebuild_deltas_;
+  std::vector<int64_t> rebuild_dirtied_;
+  /// ApplyDeltas radix scratch (reused across rebuilds).
+  std::vector<CellDelta> delta_sort_scratch_;
+  std::vector<int32_t> delta_bucket_offsets_;
   /// Query-count refresh skip state.
   bool query_stats_valid_ = false;
   int32_t query_stats_size_ = -1;

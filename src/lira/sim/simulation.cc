@@ -91,13 +91,25 @@ StatusOr<SimulationResult> RunSimulation(const World& world,
   server_config.flight_recorder = config.flight_recorder;
   server_config.seed = config.seed;
 
+  // Parallel execution (DESIGN.md §7): the per-frame node loop, the
+  // accuracy-sampling pass, and the single server's adaptation path share a
+  // deterministic fork-join pool (constructed ahead of the server so the
+  // server can borrow it). threads == 1 (or a 0 default on a single-core
+  // host) bypasses the pool.
+  ThreadPool pool(config.threads > 0 ? config.threads
+                                     : ThreadPool::DefaultThreads());
+
   // shards == 0 runs the single in-process server; S >= 1 runs the
   // region-sharded cluster behind the same ServerPipeline interface
-  // (bitwise identical at S = 1, see sim/simulation_test).
+  // (bitwise identical at S = 1, see sim/simulation_test). The cluster owns
+  // its own pool (its adaptation runs inside this pool's frame fan-out on
+  // some drivers, and ParallelFor does not nest), so only the single server
+  // borrows the simulator's.
   std::optional<CqServer> single_server;
   std::unique_ptr<ServerCluster> cluster;
   ServerPipeline* server = nullptr;
   if (config.shards == 0) {
+    server_config.pool = &pool;
     auto created = CqServer::Create(server_config, &policy, &world.reduction,
                                     &world.queries);
     if (!created.ok()) {
@@ -157,11 +169,6 @@ StatusOr<SimulationResult> RunSimulation(const World& world,
   int64_t measured_updates = 0;
   int64_t measured_frames = 0;
 
-  // Parallel execution (DESIGN.md §7): the per-frame node loop and the
-  // accuracy-sampling pass are split over a deterministic fork-join pool.
-  // threads == 1 (or a 0 default on a single-core host) bypasses the pool.
-  ThreadPool pool(config.threads > 0 ? config.threads
-                                     : ThreadPool::DefaultThreads());
   const int64_t num_nodes = world.num_nodes();
   constexpr int64_t kNodeGrain = 256;
   // Per-worker scratch, hoisted out of the frame loop and reused (clear

@@ -13,6 +13,7 @@
 
 #include "lira/common/geometry.h"
 #include "lira/common/rng.h"
+#include "lira/core/statistics_grid.h"
 #include "lira/motion/linear_model.h"
 
 namespace lira {
@@ -298,6 +299,37 @@ TEST(KernelsTest, UnpackFrameWidensExactly) {
     EXPECT_EQ(vy[i], static_cast<double>(states[4 * i + 3]));
     EXPECT_EQ(sx[i], x[i]);
     EXPECT_EQ(svy[i], vy[i]);
+  }
+}
+
+TEST(KernelsTest, LocateCellsMatchesGridCellIndexOfBitwise) {
+  const Rect world{0.0, 0.0, 8000.0, 6000.0};
+  constexpr int32_t kAlpha = 64;
+  auto grid = StatisticsGrid::Create(world, kAlpha);
+  ASSERT_TRUE(grid.ok());
+  const kernels::ClampSpec spec{world.min_x, world.min_y, world.clamp_hi_x(),
+                                world.clamp_hi_y()};
+  const double cell_w = world.width() / kAlpha;
+  const double cell_h = world.height() / kAlpha;
+  Columns in = RandomColumns(7);  // [-1e4, 1e4]: many lanes outside the world
+  in.a[0] = world.max_x;  // exact max edge: clamps to the last cell
+  in.b[0] = world.max_y;
+  in.a[1] = world.min_x;
+  in.b[1] = world.min_y;
+  std::vector<int32_t> vcell(kLanes), rcell(kLanes);
+  const uint8_t* variants[] = {in.u.data(), nullptr};
+  for (const uint8_t* known : variants) {
+    kernels::vec::LocateCells(kLanes, in.a.data(), in.b.data(), known, spec,
+                              cell_w, cell_h, kAlpha, vcell.data());
+    kernels::ref::LocateCells(kLanes, in.a.data(), in.b.data(), known, spec,
+                              cell_w, cell_h, kAlpha, rcell.data());
+    for (int64_t i = 0; i < kLanes; ++i) {
+      const int32_t want = (known == nullptr || known[i] != 0)
+                               ? grid->CellIndexOf({in.a[i], in.b[i]})
+                               : -1;
+      EXPECT_EQ(vcell[i], want) << i;
+      EXPECT_EQ(rcell[i], vcell[i]) << i;
+    }
   }
 }
 

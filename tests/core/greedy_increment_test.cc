@@ -485,6 +485,37 @@ TEST(GreedyIncrementTest, SpeedFactorOffIgnoresSpeeds) {
   EXPECT_NEAR(result->deltas[0], result->deltas[1], 1.0 + 1e-9);
 }
 
+TEST(GreedyIncrementTest, ReusedScratchIsBitwiseIdenticalToCallLocal) {
+  const PiecewiseLinearReduction f = MakePwl();
+  Rng rng(41);
+  GreedyScratch scratch;
+  // Back-to-back solves of different shapes through one scratch (the
+  // GridReduce per-worker usage) must match fresh call-local runs exactly.
+  for (int round = 0; round < 12; ++round) {
+    const int l = 1 + static_cast<int>(rng.Uniform(0.0, 40.0));
+    std::vector<RegionStats> regions;
+    for (int i = 0; i < l; ++i) {
+      regions.push_back(MakeRegion(rng.Uniform(0.0, 500.0),
+                                   rng.Uniform(0.0, 3.0),
+                                   rng.Uniform(0.0, 30.0)));
+    }
+    GreedyIncrementConfig config;
+    config.z = rng.Uniform(0.05, 0.95);
+    config.fairness_threshold = round % 3 == 0 ? 50.0 : kInf;
+    auto fresh = RunGreedyIncrement(regions, f, config);
+    auto reused = RunGreedyIncrement(regions, f, config, &scratch);
+    ASSERT_TRUE(fresh.ok() && reused.ok()) << "round=" << round;
+    ASSERT_EQ(fresh->deltas.size(), reused->deltas.size());
+    for (size_t i = 0; i < fresh->deltas.size(); ++i) {
+      ASSERT_EQ(fresh->deltas[i], reused->deltas[i])
+          << "round=" << round << " region=" << i;
+    }
+    EXPECT_EQ(fresh->inaccuracy, reused->inaccuracy) << "round=" << round;
+    EXPECT_EQ(fresh->steps, reused->steps) << "round=" << round;
+    EXPECT_EQ(fresh->budget_met, reused->budget_met) << "round=" << round;
+  }
+}
+
 TEST(GreedyIncrementTest, AllStationaryNodesFallBackToCountWeights) {
   const PiecewiseLinearReduction f = MakePwl();
   GreedyIncrementConfig config;

@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <tuple>
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "lira/common/parallel.h"
 #include "lira/common/rng.h"
 
 namespace lira {
@@ -60,7 +62,8 @@ void ExpectTilesWorld(const std::vector<SheddingRegion>& regions) {
 
 TEST(GridReduceTest, ProducesExactlyLRegions) {
   const PiecewiseLinearReduction f = MakePwl();
-  const QuadHierarchy tree = QuadHierarchy::Build(SkewedGrid());
+  const StatisticsGrid grid = SkewedGrid();
+  const QuadHierarchy tree = QuadHierarchy::Build(grid);
   for (int32_t l : {1, 4, 13, 40, 100}) {
     GridReduceConfig config;
     config.l = l;
@@ -73,7 +76,8 @@ TEST(GridReduceTest, ProducesExactlyLRegions) {
 
 TEST(GridReduceTest, RegionsTileTheWorldDisjointly) {
   const PiecewiseLinearReduction f = MakePwl();
-  const QuadHierarchy tree = QuadHierarchy::Build(SkewedGrid());
+  const StatisticsGrid grid = SkewedGrid();
+  const QuadHierarchy tree = QuadHierarchy::Build(grid);
   GridReduceConfig config;
   config.l = 40;
   auto regions = GridReduce(tree, f, config);
@@ -106,7 +110,8 @@ TEST(GridReduceTest, DrillsDownWhereItMatters) {
   // The node-dense corner (lots of updates, no queries) and the query
   // corner should be partitioned more finely than the empty middle.
   const PiecewiseLinearReduction f = MakePwl();
-  const QuadHierarchy tree = QuadHierarchy::Build(SkewedGrid());
+  const StatisticsGrid grid = SkewedGrid();
+  const QuadHierarchy tree = QuadHierarchy::Build(grid);
   GridReduceConfig config;
   config.l = 40;
   auto regions = GridReduce(tree, f, config);
@@ -123,7 +128,8 @@ TEST(GridReduceTest, DrillsDownWhereItMatters) {
 
 TEST(GridReduceTest, LOneIsTheWholeWorld) {
   const PiecewiseLinearReduction f = MakePwl();
-  const QuadHierarchy tree = QuadHierarchy::Build(SkewedGrid());
+  const StatisticsGrid grid = SkewedGrid();
+  const QuadHierarchy tree = QuadHierarchy::Build(grid);
   GridReduceConfig config;
   config.l = 1;
   auto regions = GridReduce(tree, f, config);
@@ -135,7 +141,8 @@ TEST(GridReduceTest, LOneIsTheWholeWorld) {
 TEST(GridReduceTest, CapsAtLeafCount) {
   const PiecewiseLinearReduction f = MakePwl();
   // 4x4 grid -> at most 16 leaf regions.
-  const QuadHierarchy tree = QuadHierarchy::Build(SkewedGrid(4));
+  const StatisticsGrid grid = SkewedGrid(4);
+  const QuadHierarchy tree = QuadHierarchy::Build(grid);
   GridReduceConfig config;
   config.l = 22;  // 22 mod 3 == 1 but > 16
   auto regions = GridReduce(tree, f, config);
@@ -190,9 +197,79 @@ TEST(GridReduceTest, MoreRegionsNeverIncreasePlannedInaccuracy) {
   }
 }
 
+TEST(GridReduceTest, TieBreakOrderIsDocumentedInvariant) {
+  // A perfectly uniform world: one node per cell center at equal speed and
+  // one world-spanning query make every sibling gain bitwise identical, so
+  // the drill sequence is decided purely by the heap tie-break (smaller
+  // (level, iy, ix) first). With l = 13 on a 4x4 grid the drills are
+  // root -> L1(0,0) -> L1(1,0) -> L1(0,1), leaving the L1(1,1) quadrant
+  // whole and 12 level-2 leaves. The emitted order is the heap's sorted
+  // order: the quadrant first (smaller level wins ties), then the leaves
+  // in ascending (iy, ix).
+  auto grid = StatisticsGrid::Create(kWorld, 4);
+  ASSERT_TRUE(grid.ok());
+  for (int32_t iy = 0; iy < 4; ++iy) {
+    for (int32_t ix = 0; ix < 4; ++ix) {
+      grid->AddNode({400.0 + 800.0 * ix, 400.0 + 800.0 * iy}, 10.0);
+    }
+  }
+  QueryRegistry registry;
+  registry.Add(kWorld);
+  grid->AddQueries(registry);
+  const PiecewiseLinearReduction f = MakePwl();
+  const QuadHierarchy tree = QuadHierarchy::Build(*grid);
+  GridReduceConfig config;
+  config.l = 13;
+  auto regions = GridReduce(tree, f, config);
+  ASSERT_TRUE(regions.ok());
+  ASSERT_EQ(regions->size(), 13u);
+  EXPECT_EQ((*regions)[0].area, (Rect{1600.0, 1600.0, 3200.0, 3200.0}));
+  const std::vector<std::pair<int32_t, int32_t>> expected_leaves = {
+      {0, 0}, {1, 0}, {2, 0}, {3, 0},  // iy = 0
+      {0, 1}, {1, 1}, {2, 1}, {3, 1},  // iy = 1
+      {0, 2}, {1, 2},                  // iy = 2 (quadrant (1,1) not drilled)
+      {0, 3}, {1, 3},                  // iy = 3
+  };
+  for (size_t i = 0; i < expected_leaves.size(); ++i) {
+    const auto [ix, iy] = expected_leaves[i];
+    const Rect expected{800.0 * ix, 800.0 * iy, 800.0 * (ix + 1),
+                        800.0 * (iy + 1)};
+    EXPECT_EQ((*regions)[i + 1].area, expected)
+        << "position " << i + 1 << " expected leaf (" << ix << "," << iy
+        << ")";
+  }
+}
+
+TEST(GridReduceTest, PooledWaveIsBitwiseIdenticalToSerial) {
+  const PiecewiseLinearReduction f = MakePwl();
+  const StatisticsGrid grid = SkewedGrid();
+  const QuadHierarchy tree = QuadHierarchy::Build(grid);
+  GridReduceConfig config;
+  config.l = 40;
+  auto serial = GridReduce(tree, f, config);
+  ASSERT_TRUE(serial.ok());
+  for (int32_t threads : {2, 8}) {
+    ThreadPool pool(threads);
+    config.pool = &pool;
+    auto pooled = GridReduce(tree, f, config);
+    ASSERT_TRUE(pooled.ok()) << "threads=" << threads;
+    ASSERT_EQ(serial->size(), pooled->size()) << "threads=" << threads;
+    for (size_t i = 0; i < serial->size(); ++i) {
+      const SheddingRegion& a = (*serial)[i];
+      const SheddingRegion& b = (*pooled)[i];
+      ASSERT_EQ(a.area, b.area) << "threads=" << threads << " region=" << i;
+      ASSERT_EQ(a.stats.n, b.stats.n) << "threads=" << threads;
+      ASSERT_EQ(a.stats.m, b.stats.m) << "threads=" << threads;
+      ASSERT_EQ(a.stats.s, b.stats.s) << "threads=" << threads;
+      ASSERT_EQ(a.delta, b.delta) << "threads=" << threads;
+    }
+  }
+}
+
 TEST(GridReduceTest, ValidatesArguments) {
   const PiecewiseLinearReduction f = MakePwl();
-  const QuadHierarchy tree = QuadHierarchy::Build(SkewedGrid());
+  const StatisticsGrid grid = SkewedGrid();
+  const QuadHierarchy tree = QuadHierarchy::Build(grid);
   GridReduceConfig config;
   config.l = 0;
   EXPECT_FALSE(GridReduce(tree, f, config).ok());

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "lira/common/parallel.h"
 #include "lira/common/rng.h"
 
 namespace lira {
@@ -29,7 +30,8 @@ StatisticsGrid PopulatedGrid(int32_t alpha, int nodes = 300) {
 }
 
 TEST(QuadHierarchyTest, LevelCountMatchesAlpha) {
-  const QuadHierarchy tree = QuadHierarchy::Build(PopulatedGrid(16));
+  const StatisticsGrid grid = PopulatedGrid(16);
+  const QuadHierarchy tree = QuadHierarchy::Build(grid);
   EXPECT_EQ(tree.num_levels(), 5);  // log2(16) + 1
   EXPECT_EQ(tree.leaf_level(), 4);
   EXPECT_FALSE(tree.IsLeaf(tree.root()));
@@ -38,7 +40,8 @@ TEST(QuadHierarchyTest, LevelCountMatchesAlpha) {
 }
 
 TEST(QuadHierarchyTest, SingleCellGridIsRootOnly) {
-  const QuadHierarchy tree = QuadHierarchy::Build(PopulatedGrid(1));
+  const StatisticsGrid grid = PopulatedGrid(1);
+  const QuadHierarchy tree = QuadHierarchy::Build(grid);
   EXPECT_EQ(tree.num_levels(), 1);
   EXPECT_TRUE(tree.IsLeaf(tree.root()));
   EXPECT_EQ(tree.TotalNodes(), 1);
@@ -54,7 +57,8 @@ TEST(QuadHierarchyTest, RootAggregatesEverything) {
 }
 
 TEST(QuadHierarchyTest, ParentEqualsSumOfChildrenEverywhere) {
-  const QuadHierarchy tree = QuadHierarchy::Build(PopulatedGrid(16));
+  const StatisticsGrid grid = PopulatedGrid(16);
+  const QuadHierarchy tree = QuadHierarchy::Build(grid);
   for (int32_t level = 0; level < tree.leaf_level(); ++level) {
     const int32_t side = 1 << level;
     for (int32_t iy = 0; iy < side; ++iy) {
@@ -88,7 +92,8 @@ TEST(QuadHierarchyTest, LeavesMatchGridCells) {
 }
 
 TEST(QuadHierarchyTest, ChildrenQuadrantsTileParentRegion) {
-  const QuadHierarchy tree = QuadHierarchy::Build(PopulatedGrid(8));
+  const StatisticsGrid grid = PopulatedGrid(8);
+  const QuadHierarchy tree = QuadHierarchy::Build(grid);
   const QuadNodeRef parent{1, 1, 0};
   const Rect parent_rect = tree.RegionOf(parent);
   double child_area = 0.0;
@@ -104,8 +109,35 @@ TEST(QuadHierarchyTest, ChildrenQuadrantsTileParentRegion) {
 }
 
 TEST(QuadHierarchyTest, RootRegionIsWorld) {
-  const QuadHierarchy tree = QuadHierarchy::Build(PopulatedGrid(4));
+  const StatisticsGrid grid = PopulatedGrid(4);
+  const QuadHierarchy tree = QuadHierarchy::Build(grid);
   EXPECT_EQ(tree.RegionOf(tree.root()), kWorld);
+}
+
+TEST(QuadHierarchyTest, PooledBuildIsBitwiseIdenticalToSerial) {
+  // alpha = 128 crosses the parallel threshold for the leaf level and the
+  // first aggregation levels; smaller levels take the serial branch, so
+  // both code paths are exercised in one build.
+  const StatisticsGrid grid = PopulatedGrid(128);
+  const QuadHierarchy serial = QuadHierarchy::Build(grid);
+  for (int32_t threads : {2, 4, 8}) {
+    ThreadPool pool(threads);
+    const QuadHierarchy pooled = QuadHierarchy::Build(grid, &pool);
+    ASSERT_EQ(serial.num_levels(), pooled.num_levels());
+    for (int32_t level = 0; level < serial.num_levels(); ++level) {
+      const int32_t side = 1 << level;
+      for (int32_t iy = 0; iy < side; ++iy) {
+        for (int32_t ix = 0; ix < side; ++ix) {
+          const QuadNodeRef ref{level, ix, iy};
+          const RegionStats& a = serial.Stats(ref);
+          const RegionStats& b = pooled.Stats(ref);
+          ASSERT_EQ(a.n, b.n) << "threads=" << threads << " level=" << level;
+          ASSERT_EQ(a.m, b.m) << "threads=" << threads << " level=" << level;
+          ASSERT_EQ(a.s, b.s) << "threads=" << threads << " level=" << level;
+        }
+      }
+    }
+  }
 }
 
 }  // namespace

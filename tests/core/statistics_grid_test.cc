@@ -363,6 +363,149 @@ TEST(StatisticsGridTest, MergeRejectsMismatchedGrids) {
   EXPECT_FALSE(grid.Merge(*other_world).ok());
 }
 
+TEST(StatisticsGridTest, QAtVariantsMatchDoubleSpeedVariants) {
+  StatisticsGrid a = MakeGrid();
+  StatisticsGrid b = MakeGrid();
+  const double speed = 13.377;
+  const int64_t q = StatisticsGrid::QuantizeSpeed(speed);
+  a.AddNodeAt(3, speed);
+  b.AddNodeQAt(3, q);
+  EXPECT_EQ(a.NodeCount(3, 0), b.NodeCount(3, 0));
+  EXPECT_EQ(a.MeanSpeed(3, 0), b.MeanSpeed(3, 0));
+  a.RemoveNodeAt(3, speed);
+  b.RemoveNodeQAt(3, q);
+  EXPECT_EQ(a.NodeCount(3, 0), 0.0);
+  EXPECT_EQ(b.NodeCount(3, 0), 0.0);
+  EXPECT_EQ(a.TotalNodes(), b.TotalNodes());
+}
+
+TEST(StatisticsGridTest, ApplyNodeDeltaMatchesDirectPairsAnyOrder) {
+  // A set of matched remove/add relocations applied directly...
+  StatisticsGrid direct = MakeGrid();
+  StatisticsGrid deferred = MakeGrid();
+  Rng rng(77);
+  std::vector<std::pair<int32_t, int64_t>> present;
+  for (int i = 0; i < 40; ++i) {
+    const int32_t cell = static_cast<int32_t>(rng.Uniform(0.0, 63.999));
+    const int64_t q =
+        StatisticsGrid::QuantizeSpeed(rng.Uniform(0.0, 30.0));
+    direct.AddNodeQAt(cell, q);
+    deferred.AddNodeQAt(cell, q);
+    present.push_back({cell, q});
+  }
+  // ...must equal the same relocations queued as per-cell deltas and
+  // applied in a different order (integer addition commutes).
+  struct Delta {
+    int32_t cell;
+    int64_t count;
+    int64_t q;
+  };
+  std::vector<Delta> deltas;
+  for (int i = 0; i < 20; ++i) {
+    auto [old_cell, old_q] = present[static_cast<size_t>(i)];
+    const int32_t new_cell = static_cast<int32_t>(rng.Uniform(0.0, 63.999));
+    const int64_t new_q =
+        StatisticsGrid::QuantizeSpeed(rng.Uniform(0.0, 30.0));
+    direct.RemoveNodeQAt(old_cell, old_q);
+    direct.AddNodeQAt(new_cell, new_q);
+    deltas.push_back({old_cell, -1, -old_q});
+    deltas.push_back({new_cell, 1, new_q});
+  }
+  // Reverse order: removals may transiently precede the matching balance.
+  for (auto it = deltas.rbegin(); it != deltas.rend(); ++it) {
+    deferred.ApplyNodeDelta(it->cell, it->count, it->q);
+  }
+  for (int32_t iy = 0; iy < 8; ++iy) {
+    for (int32_t ix = 0; ix < 8; ++ix) {
+      ASSERT_EQ(direct.NodeCount(ix, iy), deferred.NodeCount(ix, iy));
+      ASSERT_EQ(direct.MeanSpeed(ix, iy), deferred.MeanSpeed(ix, iy));
+    }
+  }
+  EXPECT_EQ(direct.TotalNodes(), deferred.TotalNodes());
+  EXPECT_EQ(direct.OverallMeanSpeed(), deferred.OverallMeanSpeed());
+}
+
+TEST(StatisticsGridTest, AssignNodeSumMatchesSerialMergeLoop) {
+  Rng rng(91);
+  std::vector<StatisticsGrid> parts;
+  for (int p = 0; p < 5; ++p) {
+    StatisticsGrid part = MakeGrid();
+    for (int i = 0; i < 30 + p * 17; ++i) {
+      part.AddNode({rng.Uniform(0.0, 800.0), rng.Uniform(0.0, 800.0)},
+                   rng.Uniform(0.0, 30.0));
+    }
+    parts.push_back(std::move(part));
+  }
+  StatisticsGrid reference = MakeGrid();
+  for (const StatisticsGrid& part : parts) {
+    ASSERT_TRUE(reference.Merge(part).ok());
+  }
+  std::vector<const StatisticsGrid*> part_ptrs;
+  for (const StatisticsGrid& part : parts) {
+    part_ptrs.push_back(&part);
+  }
+  ThreadPool pool(4);
+  for (ThreadPool* p : {static_cast<ThreadPool*>(nullptr), &pool}) {
+    StatisticsGrid sum = MakeGrid();
+    // Pre-pollute node accumulators: AssignNodeSum overwrites them.
+    sum.AddNode({10.0, 10.0}, 99.0);
+    ASSERT_TRUE(sum.AssignNodeSum(part_ptrs, p).ok());
+    for (int32_t iy = 0; iy < 8; ++iy) {
+      for (int32_t ix = 0; ix < 8; ++ix) {
+        ASSERT_EQ(reference.NodeCount(ix, iy), sum.NodeCount(ix, iy));
+        ASSERT_EQ(reference.MeanSpeed(ix, iy), sum.MeanSpeed(ix, iy));
+      }
+    }
+    EXPECT_EQ(reference.TotalNodes(), sum.TotalNodes());
+    EXPECT_EQ(reference.OverallMeanSpeed(), sum.OverallMeanSpeed());
+  }
+}
+
+TEST(StatisticsGridTest, AssignNodeSumLeavesQueryCountsAndHandlesEmpty) {
+  QueryRegistry registry;
+  registry.Add(Rect{100, 100, 300, 300});
+  StatisticsGrid sum = MakeGrid();
+  sum.AddQueries(registry);
+  StatisticsGrid snapshot = sum;
+  sum.AddNode({50.0, 50.0}, 5.0);
+  ASSERT_TRUE(sum.AssignNodeSum({}, nullptr).ok());
+  EXPECT_EQ(sum.TotalNodes(), 0.0);  // empty parts == cleared node stats
+  EXPECT_TRUE(sum.QueryCountsEqual(snapshot));
+
+  StatisticsGrid other_alpha = MakeGrid(16);
+  EXPECT_FALSE(sum.AssignNodeSum({&other_alpha}, nullptr).ok());
+}
+
+TEST(StatisticsGridTest, AddQueriesRangeAppendMatchesFullPass) {
+  QueryRegistry registry;
+  Rng rng(13);
+  for (int i = 0; i < 9; ++i) {
+    const Point c{rng.Uniform(50.0, 750.0), rng.Uniform(50.0, 750.0)};
+    registry.Add(Rect::CenteredAt(c, rng.Uniform(30.0, 240.0)));
+  }
+  const double margin = 25.0;
+  StatisticsGrid full = MakeGrid();
+  full.AddQueries(registry, margin);
+  StatisticsGrid split = MakeGrid();
+  split.AddQueriesRange(registry, 0, 4, margin);
+  split.AddQueriesRange(registry, 4, registry.size(), margin);
+  EXPECT_TRUE(full.QueryCountsEqual(split));
+  EXPECT_EQ(full.TotalQueries(), split.TotalQueries());
+
+  // Different split point, same registration order: still bitwise equal.
+  StatisticsGrid other = MakeGrid();
+  other.AddQueriesRange(registry, 0, 7, margin);
+  other.AddQueriesRange(registry, 7, registry.size(), margin);
+  EXPECT_TRUE(full.QueryCountsEqual(other));
+
+  StatisticsGrid reordered = MakeGrid();
+  reordered.AddQueriesRange(registry, 4, registry.size(), margin);
+  reordered.AddQueriesRange(registry, 0, 4, margin);
+  // FP addition per cell is order-sensitive in general, but equality here
+  // would not be wrong -- only the in-order contract is guaranteed.
+  EXPECT_EQ(reordered.TotalQueries() > 0.0, true);
+}
+
 TEST(RegionStatsTest, AdditionMergesSpeedByNodeWeight) {
   RegionStats a;
   a.n = 3;

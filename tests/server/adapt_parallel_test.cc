@@ -1,0 +1,299 @@
+// End-to-end properties of the parallel adaptation path (DESIGN.md §13):
+// a server given a worker pool -- and a cluster given any worker count --
+// must produce bitwise identical statistics grids and shedding plans, for
+// serial and pooled runs, across thread counts and shard counts, and
+// through mid-run continual-query workload changes.
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "lira/common/parallel.h"
+#include "lira/common/rng.h"
+#include "lira/server/cq_server.h"
+#include "lira/server/server_cluster.h"
+
+namespace lira {
+namespace {
+
+constexpr Rect kWorld{0.0, 0.0, 1600.0, 1600.0};
+
+class AdaptParallelTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto analytic = AnalyticReduction::Create(5.0, 100.0, 0.7, 1.0);
+    ASSERT_TRUE(analytic.ok());
+    auto pwl = PiecewiseLinearReduction::SampleFunction(
+        5.0, 100.0, 95, [&](double d) { return analytic->Eval(d); });
+    ASSERT_TRUE(pwl.ok());
+    reduction_.emplace(*std::move(pwl));
+    queries_.Add(Rect{100, 100, 500, 500});
+    queries_.Add(Rect{900, 900, 1300, 1300});
+    LiraConfig lira;
+    lira.l = 13;
+    lira.locator_cells = 16;
+    policy_ = std::make_unique<LiraPolicy>(lira);
+  }
+
+  CqServerConfig BaseServerConfig(int32_t num_nodes = 80, int32_t alpha = 16) {
+    CqServerConfig config;
+    config.num_nodes = num_nodes;
+    config.world = kWorld;
+    config.alpha = alpha;
+    config.queue_capacity = 64;
+    config.service_rate = 30.0;
+    config.adaptation_period = 4.0;
+    config.auto_throttle = true;
+    return config;
+  }
+
+  StatusOr<CqServer> MakeServer(const CqServerConfig& config) {
+    return CqServer::Create(config, policy_.get(), &*reduction_, &queries_);
+  }
+
+  ModelUpdate UpdateFor(NodeId id, Point p, Vec2 v, double t) {
+    ModelUpdate u;
+    u.node_id = id;
+    u.model = LinearMotionModel{p, v, t};
+    return u;
+  }
+
+  std::vector<ModelUpdate> RandomBatch(Rng& rng, int32_t num_nodes,
+                                       double t) {
+    std::vector<ModelUpdate> batch;
+    for (NodeId id = 0; id < num_nodes; ++id) {
+      if (rng.Uniform(0.0, 1.0) < 0.3) continue;
+      batch.push_back(UpdateFor(
+          id, {rng.Uniform(-40.0, 1640.0), rng.Uniform(-40.0, 1640.0)},
+          {rng.Uniform(-8.0, 8.0), rng.Uniform(-8.0, 8.0)}, t));
+    }
+    return batch;
+  }
+
+  static void ExpectGridsBitwiseEqual(const StatisticsGrid& a,
+                                      const StatisticsGrid& b) {
+    ASSERT_EQ(a.alpha(), b.alpha());
+    for (int32_t iy = 0; iy < a.alpha(); ++iy) {
+      for (int32_t ix = 0; ix < a.alpha(); ++ix) {
+        ASSERT_EQ(a.NodeCount(ix, iy), b.NodeCount(ix, iy))
+            << "cell (" << ix << ", " << iy << ")";
+        ASSERT_EQ(a.MeanSpeed(ix, iy), b.MeanSpeed(ix, iy))
+            << "cell (" << ix << ", " << iy << ")";
+        ASSERT_EQ(a.QueryCount(ix, iy), b.QueryCount(ix, iy))
+            << "cell (" << ix << ", " << iy << ")";
+      }
+    }
+  }
+
+  /// Plans equal region-by-region in order -- the output order itself is
+  /// part of the GridReduce contract, so no sorting before comparing.
+  static void ExpectPlansBitwiseEqual(const SheddingPlan& a,
+                                      const SheddingPlan& b) {
+    ASSERT_EQ(a.NumRegions(), b.NumRegions());
+    for (int32_t i = 0; i < a.NumRegions(); ++i) {
+      const SheddingRegion& ra = a.regions()[i];
+      const SheddingRegion& rb = b.regions()[i];
+      ASSERT_EQ(ra.area, rb.area) << "region " << i;
+      ASSERT_EQ(ra.delta, rb.delta) << "region " << i;
+      ASSERT_EQ(ra.stats.n, rb.stats.n) << "region " << i;
+      ASSERT_EQ(ra.stats.m, rb.stats.m) << "region " << i;
+      ASSERT_EQ(ra.stats.s, rb.stats.s) << "region " << i;
+    }
+  }
+
+  std::optional<PiecewiseLinearReduction> reduction_;
+  QueryRegistry queries_;
+  std::unique_ptr<LiraPolicy> policy_;
+};
+
+TEST_F(AdaptParallelTest, SingleServerBitwiseInvariantUnderPoolWidth) {
+  ThreadPool pool2(2);
+  ThreadPool pool8(8);
+  std::vector<ThreadPool*> pools = {nullptr, &pool2, &pool8};
+  std::vector<CqServer> servers;
+  for (ThreadPool* pool : pools) {
+    auto config = BaseServerConfig();
+    config.pool = pool;
+    auto server = MakeServer(config);
+    ASSERT_TRUE(server.ok()) << server.status().ToString();
+    servers.push_back(*std::move(server));
+  }
+
+  Rng rng(7);
+  for (int t = 0; t < 20; ++t) {
+    const std::vector<ModelUpdate> batch = RandomBatch(rng, 80, t);
+    for (CqServer& server : servers) {
+      std::vector<ModelUpdate> copy = batch;
+      server.Receive(std::move(copy));
+      ASSERT_TRUE(server.Tick(1.0).ok());
+    }
+    for (size_t s = 1; s < servers.size(); ++s) {
+      ASSERT_EQ(servers[s].z(), servers[0].z()) << "t=" << t;
+    }
+  }
+  ASSERT_GT(servers[0].plan_builds(), 2);
+  for (size_t s = 1; s < servers.size(); ++s) {
+    ASSERT_EQ(servers[s].plan_builds(), servers[0].plan_builds());
+    ExpectGridsBitwiseEqual(servers[s].stats(), servers[0].stats());
+    ExpectPlansBitwiseEqual(servers[s].plan(), servers[0].plan());
+  }
+}
+
+TEST_F(AdaptParallelTest, LargeWorldPooledAdaptationMatchesSerial) {
+  // Enough nodes and cells to cross the columnar-rebuild and quad-build
+  // parallel thresholds, so the pooled server really fans out all three
+  // adaptation phases (stats chunks, quad levels, GRIDREDUCE waves).
+  constexpr int32_t kNodes = 20000;
+  auto config = BaseServerConfig(kNodes, /*alpha=*/64);
+  config.queue_capacity = 30000;
+  config.service_rate = 30000.0;
+  config.adaptation_period = 2.0;
+  config.auto_throttle = false;
+  config.fixed_z = 0.5;
+  config.maintain_index = false;
+  auto serial = MakeServer(config);
+  ThreadPool pool(8);
+  config.pool = &pool;
+  auto pooled = MakeServer(config);
+  ASSERT_TRUE(serial.ok() && pooled.ok());
+
+  Rng rng(17);
+  for (int t = 0; t < 6; ++t) {
+    const std::vector<ModelUpdate> batch = RandomBatch(rng, kNodes, t);
+    std::vector<ModelUpdate> copy = batch;
+    serial->Receive(std::move(copy));
+    copy = batch;
+    pooled->Receive(std::move(copy));
+    ASSERT_TRUE(serial->Tick(1.0).ok());
+    ASSERT_TRUE(pooled->Tick(1.0).ok());
+  }
+  ASSERT_GT(serial->plan_builds(), 1);
+  ASSERT_EQ(pooled->plan_builds(), serial->plan_builds());
+  ExpectGridsBitwiseEqual(pooled->stats(), serial->stats());
+  ExpectPlansBitwiseEqual(pooled->plan(), serial->plan());
+}
+
+TEST_F(AdaptParallelTest, ClusterBitwiseInvariantAcrossThreadCounts) {
+  for (int32_t shards : {1, 4, 8}) {
+    std::vector<std::unique_ptr<ServerCluster>> clusters;
+    for (int32_t threads : {1, 2, 8}) {
+      ServerClusterConfig config;
+      config.server = BaseServerConfig();
+      config.shards = shards;
+      config.threads = threads;
+      auto cluster = ServerCluster::Create(config, policy_.get(),
+                                           &*reduction_, &queries_);
+      ASSERT_TRUE(cluster.ok()) << cluster.status().ToString();
+      clusters.push_back(*std::move(cluster));
+    }
+    Rng rng(100 + shards);
+    for (int t = 0; t < 12; ++t) {
+      const std::vector<ModelUpdate> batch = RandomBatch(rng, 80, t);
+      for (auto& cluster : clusters) {
+        std::vector<ModelUpdate> copy = batch;
+        cluster->Receive(std::move(copy));
+        ASSERT_TRUE(cluster->Tick(1.0).ok());
+      }
+      for (size_t c = 1; c < clusters.size(); ++c) {
+        ASSERT_EQ(clusters[c]->z(), clusters[0]->z())
+            << "shards=" << shards << " t=" << t;
+        ASSERT_EQ(clusters[c]->queue_dropped(), clusters[0]->queue_dropped())
+            << "shards=" << shards << " t=" << t;
+      }
+    }
+    ASSERT_GT(clusters[0]->plan_builds(), 2) << "shards=" << shards;
+    for (size_t c = 1; c < clusters.size(); ++c) {
+      ASSERT_EQ(clusters[c]->plan_builds(), clusters[0]->plan_builds());
+      ExpectGridsBitwiseEqual(clusters[c]->stats(), clusters[0]->stats());
+      ExpectPlansBitwiseEqual(clusters[c]->plan(), clusters[0]->plan());
+    }
+  }
+}
+
+TEST_F(AdaptParallelTest, SingleShardClusterMatchesPooledSingleServer) {
+  ServerClusterConfig cluster_config;
+  cluster_config.server = BaseServerConfig();
+  cluster_config.shards = 1;
+  cluster_config.threads = 2;
+  auto cluster = ServerCluster::Create(cluster_config, policy_.get(),
+                                       &*reduction_, &queries_);
+  ASSERT_TRUE(cluster.ok());
+  ThreadPool pool(2);
+  auto server_config = BaseServerConfig();
+  server_config.pool = &pool;
+  auto server = MakeServer(server_config);
+  ASSERT_TRUE(server.ok());
+
+  Rng rng(55);
+  for (int t = 0; t < 16; ++t) {
+    const std::vector<ModelUpdate> batch = RandomBatch(rng, 80, t);
+    std::vector<ModelUpdate> copy = batch;
+    (*cluster)->Receive(std::move(copy));
+    copy = batch;
+    server->Receive(std::move(copy));
+    ASSERT_TRUE((*cluster)->Tick(1.0).ok());
+    ASSERT_TRUE(server->Tick(1.0).ok());
+  }
+  ASSERT_GT(server->plan_builds(), 2);
+  ASSERT_EQ((*cluster)->plan_builds(), server->plan_builds());
+  ExpectGridsBitwiseEqual((*cluster)->stats(), server->stats());
+  ExpectPlansBitwiseEqual((*cluster)->plan(), server->plan());
+}
+
+TEST_F(AdaptParallelTest, MidRunQueryChangesStayBitwiseIdentical) {
+  // The CQ workload grows mid-run (append-only delta path) and is then
+  // replaced wholesale (forced full rescan). Pooled and serial servers
+  // must agree bitwise after every change.
+  auto config = BaseServerConfig();
+  config.auto_throttle = false;
+  config.fixed_z = 0.5;
+  auto serial = MakeServer(config);
+  ThreadPool pool(8);
+  config.pool = &pool;
+  auto pooled = MakeServer(config);
+  ASSERT_TRUE(serial.ok() && pooled.ok());
+
+  Rng rng(71);
+  const auto run_ticks = [&](int n, double t0) {
+    for (int t = 0; t < n; ++t) {
+      const std::vector<ModelUpdate> batch = RandomBatch(rng, 80, t0 + t);
+      std::vector<ModelUpdate> copy = batch;
+      serial->Receive(std::move(copy));
+      copy = batch;
+      pooled->Receive(std::move(copy));
+      ASSERT_TRUE(serial->Tick(1.0).ok());
+      ASSERT_TRUE(pooled->Tick(1.0).ok());
+    }
+  };
+  run_ticks(5, 0.0);
+  ASSERT_TRUE(serial->Adapt().ok());
+  ASSERT_TRUE(pooled->Adapt().ok());
+  const double before = serial->stats().TotalQueries();
+
+  // Grow the shared registry: the next adaptation takes the append path.
+  queries_.Add(Rect{200, 900, 600, 1300});
+  queries_.Add(Rect{900, 200, 1300, 600});
+  run_ticks(2, 5.0);
+  ASSERT_TRUE(serial->Adapt().ok());
+  ASSERT_TRUE(pooled->Adapt().ok());
+  EXPECT_GT(serial->stats().TotalQueries(), before);
+  ExpectGridsBitwiseEqual(pooled->stats(), serial->stats());
+  ExpectPlansBitwiseEqual(pooled->plan(), serial->plan());
+
+  // Replace the workload: InstallQueries invalidates the cache, so the
+  // shrunken registry is fully recounted.
+  QueryRegistry replacement;
+  replacement.Add(Rect{400, 400, 1200, 1200});
+  ASSERT_TRUE(serial->InstallQueries(&replacement).ok());
+  ASSERT_TRUE(pooled->InstallQueries(&replacement).ok());
+  ASSERT_TRUE(serial->Adapt().ok());
+  ASSERT_TRUE(pooled->Adapt().ok());
+  EXPECT_NEAR(serial->stats().TotalQueries(), 1.0, 0.5);
+  ExpectGridsBitwiseEqual(pooled->stats(), serial->stats());
+  ExpectPlansBitwiseEqual(pooled->plan(), serial->plan());
+}
+
+}  // namespace
+}  // namespace lira

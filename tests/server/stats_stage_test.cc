@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "lira/common/parallel.h"
 #include "lira/common/rng.h"
 #include "lira/telemetry/telemetry.h"
 
@@ -148,6 +149,126 @@ TEST(StatsStageTest, QueryRebuildCachesOnSizeAndMargin) {
   stage->InvalidateQueryCache();
   stage->RebuildQueries(queries, 50.0);
   EXPECT_DOUBLE_EQ(stage->grid().TotalQueries(), with_margin);
+}
+
+TEST(StatsStageTest, ColumnarMatchesScalarIncrementalBitwise) {
+  // The columnar (block-predicted, velocity-cached) rebuild is the default;
+  // the scalar per-node walk is the reference. Both must agree bitwise on
+  // every cell across epochs with silent nodes and re-located nodes.
+  auto columnar = StatsStage::Create(BaseConfig());
+  auto config = BaseConfig();
+  config.columnar_rebuild = false;
+  auto scalar = StatsStage::Create(config);
+  ASSERT_TRUE(columnar.ok() && scalar.ok());
+
+  PositionTracker tracker(60);
+  Rng rng(47);
+  for (int t = 0; t < 12; ++t) {
+    for (NodeId id = 0; id < 60; ++id) {
+      if (rng.Uniform(0.0, 1.0) < 0.4) continue;  // stale model: cache hits
+      tracker.Apply(UpdateFor(id,
+                              {rng.Uniform(-40.0, 1640.0),
+                               rng.Uniform(-40.0, 1640.0)},
+                              {rng.Uniform(-8.0, 8.0), rng.Uniform(-8.0, 8.0)},
+                              t));
+    }
+    columnar->RebuildNodes(tracker, t + 0.5);
+    scalar->RebuildNodes(tracker, t + 0.5);
+    for (int32_t iy = 0; iy < 16; ++iy) {
+      for (int32_t ix = 0; ix < 16; ++ix) {
+        ASSERT_EQ(columnar->grid().NodeCount(ix, iy),
+                  scalar->grid().NodeCount(ix, iy))
+            << "t=" << t << " cell (" << ix << ", " << iy << ")";
+        ASSERT_EQ(columnar->grid().MeanSpeed(ix, iy),
+                  scalar->grid().MeanSpeed(ix, iy))
+            << "t=" << t << " cell (" << ix << ", " << iy << ")";
+      }
+    }
+  }
+}
+
+TEST(StatsStageTest, PooledColumnarMatchesSerialBitwise) {
+  // Enough nodes to cross the parallel block threshold so the pooled stage
+  // actually splits the id range across workers and merges per-chunk delta
+  // lists in chunk order.
+  constexpr int32_t kNodes = 20000;
+  for (int32_t threads : {2, 8}) {
+    ThreadPool pool(threads);
+    auto config = BaseConfig(kNodes);
+    config.pool = &pool;
+    auto pooled = StatsStage::Create(config);
+    auto reference = StatsStage::Create(BaseConfig(kNodes));
+    ASSERT_TRUE(pooled.ok() && reference.ok());
+
+    PositionTracker tracker(kNodes);
+    Rng rng(threads);
+    for (int t = 0; t < 3; ++t) {
+      for (NodeId id = 0; id < kNodes; ++id) {
+        if (rng.Uniform(0.0, 1.0) < 0.3) continue;
+        tracker.Apply(
+            UpdateFor(id,
+                      {rng.Uniform(-40.0, 1640.0), rng.Uniform(-40.0, 1640.0)},
+                      {rng.Uniform(-8.0, 8.0), rng.Uniform(-8.0, 8.0)}, t));
+      }
+      pooled->RebuildNodes(tracker, t + 0.5);
+      reference->RebuildNodes(tracker, t + 0.5);
+    }
+    for (int32_t iy = 0; iy < 16; ++iy) {
+      for (int32_t ix = 0; ix < 16; ++ix) {
+        ASSERT_EQ(reference->grid().NodeCount(ix, iy),
+                  pooled->grid().NodeCount(ix, iy))
+            << "threads=" << threads << " cell (" << ix << ", " << iy << ")";
+        ASSERT_EQ(reference->grid().MeanSpeed(ix, iy),
+                  pooled->grid().MeanSpeed(ix, iy))
+            << "threads=" << threads << " cell (" << ix << ", " << iy << ")";
+      }
+    }
+  }
+}
+
+TEST(StatsStageTest, QueryAppendDeltaMatchesFullRescan) {
+  // Growing the registry takes the append-only delta path; the result must
+  // be bitwise identical to a forced full rescan of the same registry.
+  auto delta_stage = StatsStage::Create(BaseConfig());
+  auto full_stage = StatsStage::Create(BaseConfig());
+  ASSERT_TRUE(delta_stage.ok() && full_stage.ok());
+  QueryRegistry queries;
+  Rng rng(91);
+  for (int round = 0; round < 6; ++round) {
+    const int appends = 1 + round % 3;
+    for (int i = 0; i < appends; ++i) {
+      const double side = rng.Uniform(80.0, 500.0);
+      queries.Add(Rect::CenteredAt(
+          {rng.Uniform(0.0, 1600.0), rng.Uniform(0.0, 1600.0)}, side));
+    }
+    delta_stage->RebuildQueries(queries, 10.0);
+    full_stage->InvalidateQueryCache();
+    full_stage->RebuildQueries(queries, 10.0);
+    for (int32_t iy = 0; iy < 16; ++iy) {
+      for (int32_t ix = 0; ix < 16; ++ix) {
+        ASSERT_EQ(delta_stage->grid().QueryCount(ix, iy),
+                  full_stage->grid().QueryCount(ix, iy))
+            << "round=" << round << " cell (" << ix << ", " << iy << ")";
+      }
+    }
+  }
+  // A margin change invalidates the delta path and falls back to a rescan.
+  delta_stage->RebuildQueries(queries, 25.0);
+  full_stage->InvalidateQueryCache();
+  full_stage->RebuildQueries(queries, 25.0);
+  EXPECT_EQ(delta_stage->grid().TotalQueries(),
+            full_stage->grid().TotalQueries());
+  // Registry replacement ("query removal") must go through an explicit
+  // invalidation; the delta path only ever extends a same-margin prefix.
+  QueryRegistry fewer;
+  fewer.Add(Rect{100, 100, 700, 700});
+  delta_stage->InvalidateQueryCache();
+  delta_stage->RebuildQueries(fewer, 25.0);
+  full_stage->InvalidateQueryCache();
+  full_stage->RebuildQueries(fewer, 25.0);
+  EXPECT_EQ(delta_stage->grid().TotalQueries(),
+            full_stage->grid().TotalQueries());
+  EXPECT_NEAR(delta_stage->grid().TotalQueries(), 1.0, 1e-9);
 }
 
 TEST(StatsStageTest, SampledRebuildIsUnbiased) {
